@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation A1: DLMonitor's call-path caching (Section 4.1 Optimizations,
+ * flagged in Section 7 as the lever for small-kernel workloads). Runs
+ * Llama3 (many tiny kernels) with the cache enabled and disabled and
+ * reports end-to-end time, unwind steps, and cache hits.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+int
+main()
+{
+    std::printf("Ablation A1: call-path caching (Llama3-8B, "
+                "DeepContext-Native, 30 iterations)\n\n");
+    bench::printRow({"cache", "end-to-end", "overhead", "unwind steps",
+                     "cache hits"},
+                    16);
+    bench::printRule(5, 16);
+
+    DurationNs with_cache = 0;
+    DurationNs without_cache = 0;
+    for (bool disable : {false, true}) {
+        RunConfig config;
+        config.workload = WorkloadId::kLlama3;
+        config.iterations = 30;
+        config.profiler = ProfilerMode::kDeepContextNative;
+        config.disable_callpath_cache = disable;
+        const RunResult result = runWorkload(config);
+        (disable ? without_cache : with_cache) = result.end_to_end_ns;
+        bench::printRow(
+            {disable ? "off" : "on", humanTime(result.end_to_end_ns),
+             humanTime(result.profiling_overhead_ns),
+             strformat("%llu", static_cast<unsigned long long>(
+                                   result.dlmonitor_stats.native_steps)),
+             strformat("%llu", static_cast<unsigned long long>(
+                                   result.dlmonitor_stats.cache_hits))},
+            16);
+    }
+    std::printf("\ncaching saves %.1f%% end-to-end on this workload\n",
+                100.0 * (1.0 - static_cast<double>(with_cache) /
+                                   static_cast<double>(without_cache)));
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Calibration report (not a paper artifact): per-workload CPU/GPU balance
+ * and per-op costs in the baseline configuration. Used to keep the
+ * simulated workloads in the regime where the paper's overhead ratios
+ * are meaningful (eager CPU path comparable to GPU time).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+int
+main(int argc, char **argv)
+{
+    int iterations = 10;
+    if (argc > 2 && std::strcmp(argv[1], "--iters") == 0)
+        iterations = std::atoi(argv[2]);
+
+    bench::printRow({"workload", "fw", "gpu/iter", "cpu/iter", "cpu/gpu",
+                     "ops/iter", "kernels/it"});
+    bench::printRule(7);
+    for (FrameworkSel framework :
+         {FrameworkSel::kTorch, FrameworkSel::kJax}) {
+        for (int w = 0; w < kNumWorkloads; ++w) {
+            RunConfig config;
+            config.workload = static_cast<WorkloadId>(w);
+            config.framework = framework;
+            config.iterations = iterations;
+            const RunResult r = runWorkload(config);
+            const double iters = iterations;
+            bench::printRow(
+                {workloadName(config.workload),
+                 frameworkName(framework),
+                 humanTime(static_cast<std::int64_t>(
+                     r.gpu_kernel_time_ns / iters)),
+                 humanTime(static_cast<std::int64_t>(
+                     r.cpu_time_ns / iters)),
+                 strformat("%.2f", static_cast<double>(r.cpu_time_ns) /
+                                       static_cast<double>(
+                                           r.gpu_kernel_time_ns)),
+                 strformat("%.0f", r.op_dispatches / iters),
+                 strformat("%.0f", r.kernel_count / iters)});
+        }
+    }
+    return 0;
+}

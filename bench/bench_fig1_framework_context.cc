@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 1: the hot call path of a convolution workload with and without
+ * framework context. Without framework/Python integration only native
+ * C/C++ frames are visible and the backward convolution cannot be
+ * attributed to its source; with DLMonitor the Python path and the
+ * operator frames appear.
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "gui/flamegraph.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+namespace {
+
+/** Hottest root-to-kernel path by GPU time. */
+void
+printHotPath(const prof::ProfileDb &db, const char *title)
+{
+    const int gpu_time = db.metrics().find("gpu_time_ns");
+    const prof::CctNode *hottest = nullptr;
+    double best = 0.0;
+    db.cct().visit([&](const prof::CctNode &node) {
+        if (node.frame().kind != dlmon::FrameKind::kKernel)
+            return;
+        const RunningStat *stat = node.findMetric(gpu_time);
+        if (stat != nullptr && stat->sum() > best) {
+            best = stat->sum();
+            hottest = &node;
+        }
+    });
+    std::printf("%s\n", title);
+    if (hottest == nullptr) {
+        std::printf("  (no kernels)\n");
+        return;
+    }
+    std::vector<std::string> labels;
+    for (const prof::CctNode *cur = hottest; cur != nullptr;
+         cur = cur->parent()) {
+        labels.push_back(cur->frame().label());
+    }
+    for (auto it = labels.rbegin(); it != labels.rend(); ++it)
+        std::printf("  %*s%s\n",
+                    static_cast<int>(2 * (it - labels.rbegin())), "",
+                    it->c_str());
+    std::printf("  (hot kernel: %s of GPU time)\n\n",
+                humanTime(static_cast<std::int64_t>(best)).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    RunConfig config;
+    config.workload = WorkloadId::kResnet;
+    config.iterations = 5;
+    config.profiler = ProfilerMode::kDeepContextNative;
+    config.keep_profile = true;
+
+    std::printf("Figure 1: hot call path w/ and w/o framework context\n\n");
+
+    // (a) Without framework context: native-only call paths, as a
+    // classical native profiler would show them.
+    {
+        RunConfig native_only = config;
+        RunResult result = runWorkload(native_only);
+        // Rebuild view ignoring python/operator frames by printing the
+        // native portions only.
+        const int gpu_time = result.profile->metrics().find("gpu_time_ns");
+        (void)gpu_time;
+        std::printf("(a) w/o framework context "
+                    "(native frames only):\n");
+        const prof::CctNode *hottest = nullptr;
+        double best = 0.0;
+        result.profile->cct().visit([&](const prof::CctNode &node) {
+            if (node.frame().kind != dlmon::FrameKind::kKernel)
+                return;
+            const RunningStat *stat = node.findMetric(
+                result.profile->metrics().find("gpu_time_ns"));
+            if (stat != nullptr && stat->sum() > best) {
+                best = stat->sum();
+                hottest = &node;
+            }
+        });
+        int depth = 0;
+        std::vector<std::string> labels;
+        for (const prof::CctNode *cur = hottest; cur != nullptr;
+             cur = cur->parent()) {
+            const auto kind = cur->frame().kind;
+            if (kind == dlmon::FrameKind::kNative ||
+                kind == dlmon::FrameKind::kGpuApi ||
+                kind == dlmon::FrameKind::kKernel) {
+                labels.push_back(cur->frame().label());
+            }
+        }
+        for (auto it = labels.rbegin(); it != labels.rend(); ++it)
+            std::printf("  %*s%s\n", 2 * depth++, "", it->c_str());
+        std::printf("  -> the convolution's caller is invisible: backward "
+                    "runs on another thread\n\n");
+    }
+
+    // (b) With framework context: full unified path.
+    {
+        RunResult result = runWorkload(config);
+        printHotPath(*result.profile, "(b) w/ framework context "
+                                      "(DeepContext unified path):");
+    }
+    return 0;
+}

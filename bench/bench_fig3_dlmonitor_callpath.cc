@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 3: the call path of one convolution with and without DLMonitor.
+ * Uses the dlmonitor C-style API directly: registers a GPU-domain
+ * callback and calls dlmonitor_callpath_get from inside the kernel-launch
+ * callback, once with native-only flags (a) and once with all sources (b).
+ */
+
+#include <cstdio>
+
+#include "dlmonitor/dlmonitor.h"
+#include "framework/ops/op_library.h"
+#include "framework/torchsim/torch_session.h"
+#include "pyrt/py_interp.h"
+#include "sim/runtime/gpu_runtime.h"
+
+using namespace dc;
+
+int
+main()
+{
+    sim::SimContext ctx;
+    ctx.addDevice(sim::makeA100());
+    sim::GpuRuntime runtime(ctx);
+    pyrt::PyInterpreter interp(ctx.libraries());
+    fw::TorchSession session(ctx, runtime, {});
+
+    dlmon::DlMonitorOptions options;
+    options.ctx = &ctx;
+    options.runtime = &runtime;
+    options.interp = &interp;
+    options.torch = &session;
+    dlmon::DlMonitor *monitor = dlmon::dlmonitorInit(options);
+
+    dlmon::CallPath without_dlmonitor;
+    dlmon::CallPath with_dlmonitor;
+    dlmon::dlmonitorCallbackRegister(
+        dlmon::Domain::kGpu,
+        dlmon::GpuCallback([&](const dlmon::GpuCallbackInfo &info) {
+            if (info.api != sim::GpuApiKind::kKernelLaunch ||
+                info.phase != sim::ApiPhase::kEnter ||
+                !without_dlmonitor.empty()) {
+                return;
+            }
+            // (a) Native-only: what a profiler sees without DLMonitor.
+            without_dlmonitor = dlmon::dlmonitorCallpathGet(
+                dlmon::kCallPathNative | dlmon::kCallPathGpuKernel);
+            // (b) Full integration.
+            with_dlmonitor = dlmon::dlmonitorCallpathGet();
+        }));
+
+    // A tiny "model": python frames then one convolution.
+    {
+        pyrt::PyScope main_frame(ctx.currentThread().pyStack(),
+                                 ctx.currentThread().nativeStack(), interp,
+                                 {"train.py", "main", 10});
+        pyrt::PyScope step_frame(ctx.currentThread().pyStack(),
+                                 ctx.currentThread().nativeStack(), interp,
+                                 {"model.py", "forward", 42});
+        fw::Tensor x = session.input({8, 64, 56, 56});
+        fw::Tensor w = session.parameter({64, 64, 3, 3});
+        session.run(fw::ops::conv2d(session.opEnv(), x, w));
+        session.synchronize();
+    }
+
+    std::printf("Figure 3: call paths w/ and w/o DLMonitor\n\n");
+    std::printf("(a) w/o DLMonitor (native + kernel only):\n%s\n",
+                dlmon::toString(without_dlmonitor).c_str());
+    std::printf("(b) w/ DLMonitor (python + operator + native + GPU):\n%s",
+                dlmon::toString(with_dlmonitor).c_str());
+
+    (void)monitor;
+    dlmon::dlmonitorFinalize();
+    return 0;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Figure 6 (a-d): time and memory overhead of every workload under the
+ * framework profiler, DeepContext, and DeepContext+native call paths,
+ * for PyTorch and JAX on the Nvidia-sim and AMD-sim platforms.
+ *
+ * Overhead = measurement with the profiler enabled divided by the same
+ * measurement without any profiler. Usage:
+ *
+ *     bench_fig6_overhead [a|b|c|d|all] [--iters N]
+ */
+
+#include <cstring>
+#include <map>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+namespace {
+
+const WorkloadId kAll[] = {
+    WorkloadId::kConformer, WorkloadId::kDlrmSmall, WorkloadId::kUnet,
+    WorkloadId::kGnn, WorkloadId::kResnet, WorkloadId::kVit,
+    WorkloadId::kTransformerBig, WorkloadId::kLlama3, WorkloadId::kGemma,
+    WorkloadId::kNanoGpt,
+};
+
+struct Cell {
+    double time_ratio = 0.0;
+    double mem_ratio = 0.0;
+    bool oom = false;
+};
+
+/// results[workload][platform][mode]
+using Results = std::map<WorkloadId, std::map<PlatformSel,
+                                              std::map<ProfilerMode, Cell>>>;
+
+Results
+measure(FrameworkSel framework, int iterations)
+{
+    Results results;
+    const ProfilerMode modes[] = {ProfilerMode::kFrameworkProfiler,
+                                  ProfilerMode::kDeepContext,
+                                  ProfilerMode::kDeepContextNative};
+    for (WorkloadId workload : kAll) {
+        for (PlatformSel platform :
+             {PlatformSel::kNvidiaA100, PlatformSel::kAmdMi250}) {
+            RunConfig base;
+            base.workload = workload;
+            base.framework = framework;
+            base.platform = platform;
+            base.iterations = iterations;
+            base.profiler = ProfilerMode::kNone;
+            const RunResult baseline = runWorkload(base);
+
+            for (ProfilerMode mode : modes) {
+                RunConfig config = base;
+                config.profiler = mode;
+                const RunResult run = runWorkload(config);
+                Cell cell;
+                cell.time_ratio =
+                    static_cast<double>(run.end_to_end_ns) /
+                    static_cast<double>(baseline.end_to_end_ns);
+                cell.oom = run.export_oom;
+                cell.mem_ratio =
+                    static_cast<double>(run.peak_host_bytes) /
+                    static_cast<double>(baseline.peak_host_bytes);
+                results[workload][platform][mode] = cell;
+            }
+        }
+    }
+    return results;
+}
+
+void
+printSection(const char *title, const Results &results, bool memory)
+{
+    std::printf("\n=== %s ===\n", title);
+    bench::printRow({"workload", "FwProf-NV", "DC-NV", "DCNative-NV",
+                     "FwProf-AMD", "DC-AMD", "DCNative-AMD"});
+    bench::printRule(7);
+
+    std::map<ProfilerMode, std::map<PlatformSel, std::vector<double>>>
+        medians;
+    for (WorkloadId workload : kAll) {
+        std::vector<std::string> cells = {workloadName(workload)};
+        for (PlatformSel platform :
+             {PlatformSel::kNvidiaA100, PlatformSel::kAmdMi250}) {
+            for (ProfilerMode mode : {ProfilerMode::kFrameworkProfiler,
+                                      ProfilerMode::kDeepContext,
+                                      ProfilerMode::kDeepContextNative}) {
+                const Cell &cell =
+                    results.at(workload).at(platform).at(mode);
+                const double value =
+                    memory ? cell.mem_ratio : cell.time_ratio;
+                const bool oom = memory && cell.oom;
+                cells.push_back(bench::ratioCell(value, oom));
+                if (!oom)
+                    medians[mode][platform].push_back(value);
+            }
+        }
+        // Reorder: NV columns then AMD columns were interleaved above by
+        // platform-major loop; they are already platform-major. Keep.
+        bench::printRow(cells);
+    }
+    bench::printRule(7);
+    std::vector<std::string> median_row = {"median"};
+    for (PlatformSel platform :
+         {PlatformSel::kNvidiaA100, PlatformSel::kAmdMi250}) {
+        for (ProfilerMode mode : {ProfilerMode::kFrameworkProfiler,
+                                  ProfilerMode::kDeepContext,
+                                  ProfilerMode::kDeepContextNative}) {
+            median_row.push_back(
+                bench::ratioCell(median(medians[mode][platform])));
+        }
+    }
+    bench::printRow(median_row);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string section = "all";
+    int iterations = 100;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+            iterations = std::atoi(argv[++i]);
+        } else {
+            section = argv[i];
+        }
+    }
+
+    std::printf("Figure 6: profiler overheads (%d iterations/run)\n",
+                iterations);
+
+    if (section == "a" || section == "b" || section == "all") {
+        if (section != "b") {
+            const Results torch = measure(FrameworkSel::kTorch,
+                                          iterations);
+            printSection("Fig 6a: time overhead, PyTorch workloads",
+                         torch, /*memory=*/false);
+            printSection("Fig 6c: memory overhead, PyTorch workloads",
+                         torch, /*memory=*/true);
+        }
+        if (section != "a") {
+            const Results jax = measure(FrameworkSel::kJax, iterations);
+            printSection("Fig 6b: time overhead, JAX workloads", jax,
+                         false);
+            printSection("Fig 6d: memory overhead, JAX workloads", jax,
+                         true);
+        }
+        return 0;
+    }
+    if (section == "c" || section == "d") {
+        const Results results = measure(section == "c"
+                                            ? FrameworkSel::kTorch
+                                            : FrameworkSel::kJax,
+                                        iterations);
+        printSection(section == "c"
+                         ? "Fig 6c: memory overhead, PyTorch workloads"
+                         : "Fig 6d: memory overhead, JAX workloads",
+                     results, true);
+        return 0;
+    }
+    std::fprintf(stderr, "unknown section '%s'\n", section.c_str());
+    return 1;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 8: the bottom-up view of U-Net on the Nvidia platform — the
+ * cudnn::nchwToNhwcKernel conversion kernels aggregate across all call
+ * paths and surface near the top, the §6.2 finding.
+ */
+
+#include <cstdio>
+
+#include "analyzer/analyses.h"
+#include "gui/flamegraph.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+int
+main()
+{
+    RunConfig config;
+    config.workload = WorkloadId::kUnet;
+    config.iterations = 10;
+    config.profiler = ProfilerMode::kDeepContext;
+    config.keep_profile = true;
+    const RunResult result = runWorkload(config);
+
+    analysis::AnalysisContext actx(*result.profile);
+    const auto issues =
+        analysis::Analyzer::withDefaultAnalyses().runAll(actx);
+
+    std::printf("Figure 8: bottom-up view of U-Net (Nvidia)\n\n");
+    gui::FlameGraphOptions options;
+    options.include_native = false;
+    gui::FlameNode flame =
+        gui::FlameGraph::bottomUp(*result.profile, options, issues);
+
+    // Top kernels with their dominant callers.
+    const double total = flame.value;
+    int shown = 0;
+    for (const gui::FlameNode &kernel : flame.children) {
+        if (++shown > 8)
+            break;
+        std::printf("%5.1f%%  %s\n", 100.0 * kernel.value / total,
+                    kernel.label.c_str());
+        int callers = 0;
+        for (const gui::FlameNode &caller : kernel.children) {
+            if (++callers > 2)
+                break;
+            std::printf("          <- %s\n", caller.label.c_str());
+        }
+    }
+
+    std::printf("\n");
+    for (const analysis::Issue &issue : issues) {
+        if (issue.analysis == "layout_conversion")
+            std::printf("%s\n", issue.toString().c_str());
+    }
+    return 0;
+}

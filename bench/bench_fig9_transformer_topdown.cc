@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 9: the top-down view of Transformer-Big. loss_fn shows the three
+ * small kernels (softmax, copy, nll_loss) with equal invocation counts
+ * and the coarse-grained metrics DeepContext attributes to frames (kernel
+ * counts, register usage, shared memory) — the data behind the §6.3
+ * fusion decision.
+ */
+
+#include <cstdio>
+
+#include "analyzer/analyses.h"
+#include "gui/flamegraph.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+int
+main()
+{
+    RunConfig config;
+    config.workload = WorkloadId::kTransformerBig;
+    config.iterations = 10;
+    config.profiler = ProfilerMode::kDeepContext;
+    config.keep_profile = true;
+    const RunResult result = runWorkload(config);
+
+    std::printf("Figure 9: top-down view of Transformer-Big\n\n");
+
+    analysis::AnalysisContext actx(*result.profile);
+    const auto issues =
+        analysis::Analyzer::withDefaultAnalyses().runAll(actx);
+
+    // Find the loss_fn frame and print its kernels with metrics.
+    const auto loss_nodes = analysis::findPaths(
+        actx, {analysis::matchPythonFunction("loss_fn")});
+    const prof::CctNode *loss = nullptr;
+    for (const prof::CctNode *node : loss_nodes) {
+        if (node->frame().kind == dlmon::FrameKind::kPython) {
+            loss = node;
+            break;
+        }
+    }
+    if (loss != nullptr) {
+        std::printf(
+            "loss_fn: gpu %.2f ms (%.1f%% of total), %0.f kernels\n",
+            actx.metricSum(*loss, "gpu_time_ns") / 1e6,
+            100.0 * actx.metricSum(*loss, "gpu_time_ns") /
+                actx.totalMetric("gpu_time_ns"),
+            actx.metricSum(*loss, "kernel_count"));
+        std::function<void(const prof::CctNode &)> walk =
+            [&](const prof::CctNode &node) {
+                if (node.frame().kind == dlmon::FrameKind::kKernel) {
+                    std::printf(
+                        "  %-42s invocations=%-6.0f regs=%-4.0f "
+                        "shmem=%-6.0f gpu=%.2f ms\n",
+                        node.frame().name.c_str(),
+                        actx.metricSum(node, "kernel_count"),
+                        actx.metricMean(node, "regs_per_thread"),
+                        actx.metricMean(node, "shared_mem_bytes"),
+                        actx.metricSum(node, "gpu_time_ns") / 1e6);
+                }
+                node.forEachChild(walk);
+            };
+        walk(*loss);
+    }
+
+    std::printf("\n");
+    gui::FlameGraphOptions options;
+    options.include_native = false;
+    options.min_fraction = 0.02;
+    gui::FlameNode flame =
+        gui::FlameGraph::topDown(*result.profile, options, issues);
+    std::printf("%s\n", gui::FlameGraph::renderAscii(flame, 40, 6)
+                            .c_str());
+
+    for (const analysis::Issue &issue : issues) {
+        if (issue.analysis == "kernel_fusion")
+            std::printf("%s\n", issue.toString().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Section 6.6: JAX vs PyTorch on DLRM-small, U-Net, GNN and ResNet. JAX
+ * should win every task by >50% with consistently fewer kernel
+ * operations — the XLA fusion advantage.
+ */
+
+#include <cstdio>
+
+#include "analyzer/diff.h"
+#include "bench_util.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+int
+main()
+{
+    std::printf("Section 6.6: JAX vs PyTorch (Nvidia, 50 iterations)\n\n");
+    bench::printRow({"workload", "torch GPU", "jax GPU", "jax speedup",
+                     "torch kernels", "jax kernels"});
+    bench::printRule(6);
+
+    for (WorkloadId workload :
+         {WorkloadId::kDlrmSmall, WorkloadId::kUnet, WorkloadId::kGnn,
+          WorkloadId::kResnet}) {
+        RunConfig torch_cfg;
+        torch_cfg.workload = workload;
+        torch_cfg.iterations = 50;
+        torch_cfg.keep_profile = true;
+        torch_cfg.profiler = ProfilerMode::kDeepContext;
+        const RunResult torch_run = runWorkload(torch_cfg);
+
+        RunConfig jax_cfg = torch_cfg;
+        jax_cfg.framework = FrameworkSel::kJax;
+        const RunResult jax_run = runWorkload(jax_cfg);
+
+        const double speedup =
+            static_cast<double>(torch_run.gpu_kernel_time_ns) /
+            static_cast<double>(jax_run.gpu_kernel_time_ns);
+        bench::printRow(
+            {workloadName(workload),
+             humanTime(torch_run.gpu_kernel_time_ns),
+             humanTime(jax_run.gpu_kernel_time_ns),
+             strformat("%.2fx", speedup),
+             strformat("%llu", static_cast<unsigned long long>(
+                                   torch_run.kernel_count)),
+             strformat("%llu", static_cast<unsigned long long>(
+                                   jax_run.kernel_count))});
+
+        if (workload == WorkloadId::kResnet) {
+            std::printf("\nper-kernel comparison (ResNet):\n%s",
+                        analysis::compareProfiles(*torch_run.profile,
+                                                  *jax_run.profile)
+                            .toString("PyTorch", "JAX")
+                            .c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the profiler's hot paths: frame
+ * hashing, CCT insertion (hit and miss), metric propagation, the fusion
+ * pass, and DLMonitor's unified call-path assembly.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dlmonitor/dlmonitor.h"
+#include "framework/jaxsim/fusion.h"
+#include "framework/ops/op_library.h"
+#include "framework/torchsim/torch_session.h"
+#include "profiler/cct.h"
+#include "pyrt/py_interp.h"
+#include "sim/runtime/gpu_runtime.h"
+
+using namespace dc;
+using dlmon::Frame;
+
+namespace {
+
+dlmon::CallPath
+makePath(int salt)
+{
+    return {Frame::python("train.py", "main", 10),
+            Frame::python("model.py", "forward", 42 + salt % 8),
+            Frame::op("aten::conv2d"),
+            Frame::native(0x7f0000001000ull + (salt % 16) * 64),
+            Frame::gpuApi(0x7f0000002000ull, "cudaLaunchKernel"),
+            Frame::kernel("implicit_gemm_" + std::to_string(salt % 4))};
+}
+
+void
+BM_FrameHash(benchmark::State &state)
+{
+    Frame frame = Frame::python("some/deep/model.py", "forward", 1234);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(frame.locationHash());
+}
+BENCHMARK(BM_FrameHash);
+
+void
+BM_CctInsertHit(benchmark::State &state)
+{
+    prof::Cct cct;
+    const dlmon::CallPath path = makePath(0);
+    cct.insert(path);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cct.insert(path));
+}
+BENCHMARK(BM_CctInsertHit);
+
+void
+BM_CctInsertMiss(benchmark::State &state)
+{
+    prof::Cct cct;
+    int salt = 0;
+    for (auto _ : state) {
+        dlmon::CallPath path = makePath(salt);
+        path.back().name = "k" + std::to_string(salt++);
+        benchmark::DoNotOptimize(cct.insert(path));
+    }
+}
+BENCHMARK(BM_CctInsertMiss);
+
+void
+BM_MetricPropagation(benchmark::State &state)
+{
+    prof::Cct cct;
+    prof::CctNode *leaf = cct.insert(makePath(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cct.addMetric(leaf, 0, 1.0));
+}
+BENCHMARK(BM_MetricPropagation);
+
+void
+BM_FusionPass(benchmark::State &state)
+{
+    sim::GpuArch arch = sim::makeA100();
+    fw::OpEnv env;
+    env.arch = &arch;
+    fw::JaxGraph graph;
+    fw::Tensor x = env.newTensor({4096, 512}, fw::Dtype::kF16);
+    for (int i = 0; i < 64; ++i) {
+        fw::JaxNode node;
+        node.id = i;
+        node.spec = (i % 4 == 0)
+                        ? fw::ops::matmul(env, x,
+                                          env.newTensor({512, 512},
+                                                        fw::Dtype::kF16))
+                        : fw::ops::relu(env, x);
+        graph.nodes.push_back(std::move(node));
+    }
+    for (auto _ : state) {
+        auto steps = fw::FusionPass::run(graph);
+        benchmark::DoNotOptimize(steps);
+    }
+}
+BENCHMARK(BM_FusionPass);
+
+void
+BM_DlMonitorCallpathGet(benchmark::State &state)
+{
+    sim::SimContext ctx;
+    ctx.addDevice(sim::makeA100());
+    sim::GpuRuntime runtime(ctx);
+    pyrt::PyInterpreter interp(ctx.libraries());
+    fw::TorchSession session(ctx, runtime, {});
+
+    dlmon::DlMonitorOptions options;
+    options.ctx = &ctx;
+    options.runtime = &runtime;
+    options.interp = &interp;
+    options.torch = &session;
+    auto monitor = dlmon::DlMonitor::init(options);
+
+    pyrt::PyScope py1(ctx.currentThread().pyStack(),
+                      ctx.currentThread().nativeStack(), interp,
+                      {"train.py", "main", 10});
+    pyrt::PyScope py2(ctx.currentThread().pyStack(),
+                      ctx.currentThread().nativeStack(), interp,
+                      {"model.py", "forward", 77});
+
+    for (auto _ : state) {
+        auto path = monitor->callpathGet(dlmon::kCallPathAll);
+        benchmark::DoNotOptimize(path);
+    }
+}
+BENCHMARK(BM_DlMonitorCallpathGet);
+
+} // namespace
+
+BENCHMARK_MAIN();

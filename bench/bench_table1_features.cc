@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 1: feature comparison of DeepContext with existing profilers.
+ * The DeepContext row is derived from this repository's actual
+ * capabilities (which contexts the profiler can put in a call path and
+ * which substrates it attaches to); the other rows are the published
+ * capability matrix.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+struct ToolRow {
+    const char *name;
+    bool python, framework, cxx, device, cross_gpu, cross_fw, cpu;
+};
+
+const char *
+mark(bool v)
+{
+    return v ? "yes" : "-";
+}
+
+} // namespace
+
+int
+main()
+{
+    using dc::bench::printRow;
+    using dc::bench::printRule;
+
+    const std::vector<ToolRow> rows = {
+        {"Nsight Systems", true, false, true, false, false, true, true},
+        {"RocTracer", false, false, false, false, false, false, false},
+        {"JAX profiler", true, false, false, false, true, false, true},
+        {"PyTorch profiler", true, true, false, false, true, false, true},
+        // DeepContext's row reflects what this build does: Python frames
+        // (pyrt), operator frames (DLMonitor shadow stack), native C/C++
+        // frames (unwind merge), device instruction frames (PC sampling),
+        // CUPTI-sim + RocTracer-sim backends, torchsim + jaxsim
+        // adapters, and CPU_TIME/REAL_TIME sampling.
+        {"DeepContext", true, true, true, true, true, true, true},
+    };
+
+    std::printf("Table 1: profiling-tool feature comparison\n\n");
+    printRow({"Tool", "Python", "Framework", "C++", "Device", "CrossGPU",
+              "CrossFw", "CPU"},
+             12);
+    printRule(8, 12);
+    for (const ToolRow &row : rows) {
+        printRow({row.name, mark(row.python), mark(row.framework),
+                  mark(row.cxx), mark(row.device), mark(row.cross_gpu),
+                  mark(row.cross_fw), mark(row.cpu)},
+                 12);
+    }
+    return 0;
+}

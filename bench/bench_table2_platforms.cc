@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 2: the evaluation platforms, printed from the simulator's
+ * architecture presets (the same objects every run uses).
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "sim/cpu/cpu_info.h"
+#include "sim/gpu/gpu_arch.h"
+#include "workloads/runner.h"
+
+int
+main()
+{
+    using namespace dc;
+
+    std::printf("Table 2: evaluation platforms\n\n");
+    std::printf("%-10s %-16s %-8s %-14s %-10s %s\n", "Platform", "CPU",
+                "Memory", "GPU", "GPU Mem", "GPU Specifications");
+    for (auto platform : {workloads::PlatformSel::kNvidiaA100,
+                          workloads::PlatformSel::kAmdMi250}) {
+        const sim::GpuArch arch = workloads::archFor(platform);
+        const sim::CpuInfo cpu = sim::makeEpyc7543();
+        const std::uint64_t dram = workloads::dramBytesFor(platform);
+        std::printf(
+            "%-10s %-16s %-8s %-14s %-10s %d %s, %.1f TFLOP/s, "
+            "%.1f TB/s, warp %d\n",
+            workloads::platformName(platform), cpu.name.c_str(),
+            humanBytes(dram).c_str(), arch.name.c_str(),
+            humanBytes(arch.memory_bytes).c_str(), arch.sm_count,
+            arch.vendor == sim::GpuVendor::kNvidia ? "SMs" : "CUs",
+            arch.tensor_tflops, arch.mem_bandwidth_gbps / 1000.0,
+            arch.warp_size);
+    }
+    return 0;
+}

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Table 3: the seven case studies. Each case (a) profiles the unoptimized
+ * workload with DeepContext, (b) shows that the named analysis client
+ * detects the issue, (c) applies the optimization knob, and (d) reports
+ * the speedup.
+ *
+ * Usage: bench_table3_case_studies [--iters N]
+ */
+
+#include <cstring>
+
+#include "analyzer/analyses.h"
+#include "bench_util.h"
+#include "common/strings.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+namespace {
+
+int g_iterations = 100;
+
+struct CaseOutcome {
+    std::string model;
+    std::string platform;
+    std::string analysis;
+    std::string optimization;
+    std::string speedup;
+    bool detected = false;
+};
+
+RunResult
+profiledRun(RunConfig config)
+{
+    config.profiler = ProfilerMode::kDeepContext;
+    config.keep_profile = true;
+    return runWorkload(config);
+}
+
+double
+speedup(const RunResult &before, const RunResult &after, bool gpu_time)
+{
+    const double a = gpu_time
+                         ? static_cast<double>(before.gpu_kernel_time_ns)
+                         : static_cast<double>(before.end_to_end_ns);
+    const double b = gpu_time
+                         ? static_cast<double>(after.gpu_kernel_time_ns)
+                         : static_cast<double>(after.end_to_end_ns);
+    return a / b;
+}
+
+bool
+hasIssue(const std::vector<analysis::Issue> &issues,
+         const std::string &analysis_name, const std::string &substring)
+{
+    for (const analysis::Issue &issue : issues) {
+        if (issue.analysis == analysis_name &&
+            (substring.empty() ||
+             contains(issue.node->frame().label(), substring) ||
+             contains(issue.message, substring))) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<analysis::Issue>
+analyze(const RunResult &result, int sm_count = 0)
+{
+    analysis::AnalysisContext ctx(*result.profile, nullptr, nullptr,
+                                  sm_count);
+    return analysis::Analyzer::withDefaultAnalyses().runAll(ctx);
+}
+
+/** §6.1 — DLRM / GNN: aten::index -> aten::index_select. */
+CaseOutcome
+caseIndexSelect(WorkloadId workload, const char *expect_speedup)
+{
+    RunConfig config;
+    config.workload = workload;
+    config.iterations = g_iterations;
+    const RunResult before = profiledRun(config);
+    const auto issues = analyze(before);
+
+    CaseOutcome out;
+    out.model = workloadName(workload);
+    out.platform = "Nvidia";
+    out.analysis = "(3) Forward/Backward Operator";
+    out.optimization = "aten::index -> aten::index_select";
+    out.detected = hasIssue(issues, "forward_backward", "aten::index");
+
+    config.knobs.use_index_select = true;
+    config.profiler = ProfilerMode::kNone;
+    const RunResult after = runWorkload(config);
+    RunConfig base = config;
+    base.knobs.use_index_select = false;
+    const RunResult base_run = runWorkload(base);
+    out.speedup = strformat("%.2fx (GPU %s -> %s) [paper: %s]",
+                            speedup(base_run, after, /*gpu_time=*/true),
+                            humanTime(base_run.gpu_kernel_time_ns).c_str(),
+                            humanTime(after.gpu_kernel_time_ns).c_str(),
+                            expect_speedup);
+    return out;
+}
+
+/** §6.2 — U-Net: avoid channels_first <-> channels_last round trips. */
+CaseOutcome
+caseUnetLayout()
+{
+    RunConfig config;
+    config.workload = WorkloadId::kUnet;
+    config.iterations = g_iterations;
+    const RunResult before = profiledRun(config);
+    const auto issues = analyze(before);
+
+    CaseOutcome out;
+    out.model = "UNet";
+    out.platform = "Nvidia";
+    out.analysis = "(1) Hotspot Identification";
+    out.optimization = "store tensors channels_last";
+    out.detected = hasIssue(issues, "layout_conversion", "") ||
+                   hasIssue(issues, "hotspot", "nchwToNhwc");
+
+    config.profiler = ProfilerMode::kNone;
+    RunConfig optimized = config;
+    optimized.knobs.channels_last = true;
+    const RunResult base_run = runWorkload(config);
+    const RunResult after = runWorkload(optimized);
+    out.speedup = strformat(
+        "%.2fx (end-to-end %s -> %s) [paper: 1.28x]",
+        speedup(base_run, after, /*gpu_time=*/false),
+        humanTime(base_run.end_to_end_ns).c_str(),
+        humanTime(after.end_to_end_ns).c_str());
+    return out;
+}
+
+/** §6.4 — U-Net: match loader workers to the 6-core allocation. */
+CaseOutcome
+caseUnetWorkers()
+{
+    RunConfig config;
+    config.workload = WorkloadId::kUnet;
+    config.iterations = g_iterations;
+    config.cpu = sim::makeSmallAllocation();
+    config.cpu_sampling = true;
+    const RunResult before = profiledRun(config);
+    const auto issues = analyze(before);
+
+    CaseOutcome out;
+    out.model = "UNet";
+    out.platform = "Nvidia";
+    out.analysis = "(5) CPU Latency";
+    out.optimization = "match worker_num with #CPU cores (16 -> 8)";
+    out.detected = hasIssue(issues, "cpu_latency", "data_selection") ||
+                   hasIssue(issues, "cpu_latency", "_worker_loop");
+
+    config.profiler = ProfilerMode::kNone;
+    config.cpu_sampling = false;
+    RunConfig optimized = config;
+    optimized.knobs.data_loader_workers = 8;
+    const RunResult base_run = runWorkload(config);
+    const RunResult after = runWorkload(optimized);
+    out.speedup = strformat(
+        "%.2fx (end-to-end %s -> %s) [paper: 1.15x]",
+        speedup(base_run, after, false),
+        humanTime(base_run.end_to_end_ns).c_str(),
+        humanTime(after.end_to_end_ns).c_str());
+    return out;
+}
+
+/** §6.3 — Transformer-Big: fuse the loss kernels. */
+CaseOutcome
+caseFuseLoss()
+{
+    RunConfig config;
+    config.workload = WorkloadId::kTransformerBig;
+    config.iterations = g_iterations;
+    const RunResult before = profiledRun(config);
+    const auto issues = analyze(before);
+
+    CaseOutcome out;
+    out.model = "Transformer-Big";
+    out.platform = "Nvidia";
+    out.analysis = "(2) Kernel Fusion";
+    out.optimization = "fuse softmax/copy/nll_loss (torch.compile)";
+    out.detected = hasIssue(issues, "kernel_fusion", "loss_fn");
+
+    config.profiler = ProfilerMode::kNone;
+    RunConfig optimized = config;
+    optimized.knobs.fuse_loss = true;
+    const RunResult base_run = runWorkload(config);
+    const RunResult after = runWorkload(optimized);
+    out.speedup = strformat(
+        "%.2fx (GPU %s -> %s, end-to-end %.2fx) [paper: 1.06x e2e]",
+        speedup(base_run, after, true),
+        humanTime(base_run.gpu_kernel_time_ns).c_str(),
+        humanTime(after.gpu_kernel_time_ns).c_str(),
+        speedup(base_run, after, false));
+    return out;
+}
+
+/** §6.7 — Llama3: fine-grained stall analysis on the cast kernels. */
+CaseOutcome
+caseLlamaStalls()
+{
+    RunConfig config;
+    config.workload = WorkloadId::kLlama3;
+    config.iterations = std::max(10, g_iterations / 5);
+    config.knobs.pc_sampling = true;
+    const RunResult before = profiledRun(config);
+    const auto issues = analyze(before);
+
+    CaseOutcome out;
+    out.model = "Llama3";
+    out.platform = "Nvidia";
+    out.analysis = "(4) Fine-grained Stall";
+    out.optimization = "vectorized conversions + fused constants";
+    out.detected = hasIssue(issues, "fine_grained_stall", "constant_miss") ||
+                   hasIssue(issues, "fine_grained_stall",
+                            "exec_dependency");
+
+    // N/A in the paper; we additionally report the measured effect of the
+    // vectorized-cast fix on the cast kernels.
+    config.profiler = ProfilerMode::kNone;
+    config.knobs.pc_sampling = false;
+    RunConfig optimized = config;
+    optimized.knobs.vectorized_casts = true;
+    const RunResult base_run = runWorkload(config);
+    const RunResult after = runWorkload(optimized);
+    out.speedup = strformat("N/A [measured GPU %.2fx] (paper: N/A)",
+                            speedup(base_run, after, true));
+    return out;
+}
+
+/** §6.5 — U-Net on AMD: norm-template CTA count vs wavefront width. */
+CaseOutcome
+caseAmdThreadsPerCta()
+{
+    RunConfig config;
+    config.workload = WorkloadId::kUnet;
+    config.platform = PlatformSel::kAmdMi250;
+    config.iterations = g_iterations;
+    const RunResult before = profiledRun(config);
+    const auto issues = analyze(before, sim::makeMi250().sm_count);
+
+    CaseOutcome out;
+    out.model = "UNet";
+    out.platform = "AMD & Nvidia";
+    out.analysis = "(1) Hotspot Identification";
+    out.optimization = "adjust threads/CTAs per wavefront width";
+    out.detected =
+        hasIssue(issues, "hotspot", "batch_norm") ||
+        hasIssue(issues, "low_parallelism", "");
+
+    config.profiler = ProfilerMode::kNone;
+    RunConfig optimized = config;
+    optimized.knobs.norm_cta_fix = true;
+    const RunResult base_run = runWorkload(config);
+    const RunResult after = runWorkload(optimized);
+    out.speedup = strformat("N/A [measured GPU %.2fx] (paper: N/A)",
+                            speedup(base_run, after, true));
+    return out;
+}
+
+/** Table 3 last row — kernel-fusion gap between eager PyTorch and JAX. */
+CaseOutcome
+caseJaxFusionGap()
+{
+    RunConfig torch_cfg;
+    torch_cfg.workload = WorkloadId::kResnet;
+    torch_cfg.iterations = g_iterations;
+    const RunResult torch_run = runWorkload(torch_cfg);
+    RunConfig jax_cfg = torch_cfg;
+    jax_cfg.framework = FrameworkSel::kJax;
+    const RunResult jax_run = runWorkload(jax_cfg);
+
+    CaseOutcome out;
+    out.model = "DLRM/GNN/UNet/ResNet";
+    out.platform = "Nvidia-JAX vs Nvidia-PyTorch";
+    out.analysis = "(2) Kernel Fusion";
+    out.optimization = "fuse small kernels (torch.compile)";
+    out.detected = jax_run.kernel_count < torch_run.kernel_count;
+    out.speedup = strformat(
+        "N/A [ResNet kernels/iter: torch %llu vs jax %llu]",
+        static_cast<unsigned long long>(torch_run.kernel_count /
+                                        g_iterations),
+        static_cast<unsigned long long>(jax_run.kernel_count /
+                                        g_iterations));
+    return out;
+}
+
+void
+printCase(int index, const CaseOutcome &out)
+{
+    std::printf("%d. %-18s | %-26s | %s\n", index, out.model.c_str(),
+                out.platform.c_str(), out.analysis.c_str());
+    std::printf("   detected by analyzer: %s\n",
+                out.detected ? "YES" : "NO");
+    std::printf("   optimization: %s\n", out.optimization.c_str());
+    std::printf("   speedup: %s\n\n", out.speedup.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc)
+            g_iterations = std::atoi(argv[++i]);
+    }
+    std::printf("Table 3: case studies (%d iterations)\n\n", g_iterations);
+
+    int index = 1;
+    printCase(index++, caseIndexSelect(WorkloadId::kDlrmSmall, "1.66x"));
+    printCase(index++, caseIndexSelect(WorkloadId::kGnn, "1.07x"));
+    printCase(index++, caseUnetLayout());
+    printCase(index++, caseUnetWorkers());
+    printCase(index++, caseFuseLoss());
+    printCase(index++, caseLlamaStalls());
+    printCase(index++, caseAmdThreadsPerCta());
+    printCase(index++, caseJaxFusionGap());
+    return 0;
+}

@@ -1,0 +1,44 @@
+#pragma once
+
+/**
+ * @file
+ * Small shared helpers for the bench executables: fixed-width table
+ * printing and overhead formatting.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace dc::bench {
+
+/** Print one row of fixed-width cells. */
+inline void
+printRow(const std::vector<std::string> &cells, int width = 14)
+{
+    for (const std::string &cell : cells)
+        std::printf("%-*s", width, cell.c_str());
+    std::printf("\n");
+}
+
+/** Print a separator line sized for @p columns cells. */
+inline void
+printRule(std::size_t columns, int width = 14)
+{
+    std::printf("%s\n",
+                std::string(columns * static_cast<std::size_t>(width), '-')
+                    .c_str());
+}
+
+/** "1.23x" or "OOM". */
+inline std::string
+ratioCell(double ratio, bool oom = false)
+{
+    if (oom)
+        return "OOM(inf)";
+    return strformat("%.2fx", ratio);
+}
+
+} // namespace dc::bench

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Diagnostic tool: run one workload under DeepContext and print the
+ * bottom-up top kernels by GPU time (useful for calibrating workloads
+ * and for eyeballing the Figure 8/10 views from the command line).
+ *
+ * Usage: tool_top_kernels <workload-index 0..9> [torch|jax] [nv|amd]
+ *        [--iters N]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "analyzer/analyses.h"
+#include "common/strings.h"
+#include "gui/flamegraph.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+int
+main(int argc, char **argv)
+{
+    RunConfig config;
+    config.profiler = ProfilerMode::kDeepContext;
+    config.iterations = 5;
+    config.keep_profile = true;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+            config.iterations = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "jax") == 0) {
+            config.framework = FrameworkSel::kJax;
+        } else if (std::strcmp(argv[i], "amd") == 0) {
+            config.platform = PlatformSel::kAmdMi250;
+        } else if (std::strcmp(argv[i], "torch") == 0 ||
+                   std::strcmp(argv[i], "nv") == 0) {
+            // defaults
+        } else if (std::strcmp(argv[i], "--pc") == 0) {
+            config.knobs.pc_sampling = true;
+        } else {
+            config.workload = static_cast<WorkloadId>(std::atoi(argv[i]));
+        }
+    }
+
+    const RunResult result = runWorkload(config);
+    std::printf("%s / %s / %s: end-to-end %s, gpu %s, cpu %s, "
+                "%llu kernels\n",
+                workloadName(config.workload),
+                frameworkName(config.framework),
+                platformName(config.platform),
+                humanTime(result.end_to_end_ns).c_str(),
+                humanTime(result.gpu_kernel_time_ns).c_str(),
+                humanTime(result.cpu_time_ns).c_str(),
+                static_cast<unsigned long long>(result.kernel_count));
+
+    gui::FlameGraphOptions options;
+    gui::FlameNode bottom_up =
+        gui::FlameGraph::bottomUp(*result.profile, options);
+    double total = bottom_up.value;
+    int shown = 0;
+    for (const gui::FlameNode &kernel : bottom_up.children) {
+        if (++shown > 14)
+            break;
+        std::printf("  %6.2f%%  %12s  %s\n", 100.0 * kernel.value / total,
+                    humanTime(static_cast<std::int64_t>(kernel.value))
+                        .c_str(),
+                    kernel.label.c_str());
+    }
+
+    analysis::AnalysisContext actx(*result.profile);
+    const auto issues =
+        analysis::Analyzer::withDefaultAnalyses().runAll(actx);
+    std::printf("-- analyzer --\n%s",
+                analysis::reportToString(issues).c_str());
+    return 0;
+}

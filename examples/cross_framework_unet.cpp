@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cross-framework, cross-platform example: profile U-Net under PyTorch
+ * and JAX on both the Nvidia-sim and AMD-sim devices with the SAME
+ * profiler, then cross-reference the profiles — the portability story
+ * of the paper (Table 1 and Sections 6.5/6.6).
+ */
+
+#include <cstdio>
+
+#include "analyzer/diff.h"
+#include "common/strings.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+namespace {
+
+RunResult
+profileUnet(FrameworkSel framework, PlatformSel platform)
+{
+    RunConfig config;
+    config.workload = WorkloadId::kUnet;
+    config.framework = framework;
+    config.platform = platform;
+    config.iterations = 20;
+    config.profiler = ProfilerMode::kDeepContext;
+    config.keep_profile = true;
+    return runWorkload(config);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("U-Net under every framework x platform combination:\n\n");
+    std::printf("%-10s %-8s %14s %14s %10s\n", "framework", "gpu",
+                "end-to-end", "GPU time", "kernels");
+
+    RunResult results[2][2];
+    for (int f = 0; f < 2; ++f) {
+        for (int p = 0; p < 2; ++p) {
+            const auto framework = static_cast<FrameworkSel>(f);
+            const auto platform = static_cast<PlatformSel>(p);
+            results[f][p] = profileUnet(framework, platform);
+            std::printf("%-10s %-8s %14s %14s %10llu\n",
+                        frameworkName(framework), platformName(platform),
+                        humanTime(results[f][p].end_to_end_ns).c_str(),
+                        humanTime(results[f][p].gpu_kernel_time_ns)
+                            .c_str(),
+                        static_cast<unsigned long long>(
+                            results[f][p].kernel_count));
+        }
+    }
+
+    // Cross-reference: same workload, same profiler, two frameworks.
+    std::printf("\n== PyTorch vs JAX on Nvidia (same profile format) ==\n");
+    std::printf("%s\n",
+                analysis::compareProfiles(*results[0][0].profile,
+                                          *results[1][0].profile)
+                    .toString("PyTorch", "JAX")
+                    .c_str());
+
+    // Cross-reference: same framework, two GPUs.
+    std::printf("== PyTorch on Nvidia vs AMD ==\n");
+    std::printf("%s",
+                analysis::compareProfiles(*results[0][0].profile,
+                                          *results[0][1].profile)
+                    .toString("Nvidia", "AMD")
+                    .c_str());
+    return 0;
+}

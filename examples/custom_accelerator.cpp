@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Extending DLMonitor to hardware without a vendor callback API using an
+ * LD_AUDIT configuration file (Section 4.1, "Intercepting GPU APIs"):
+ * the user lists the driver functions; DLMonitor intercepts them and the
+ * profiler works unchanged.
+ */
+
+#include <cstdio>
+
+#include "dlmonitor/dlmonitor.h"
+#include "framework/ops/op_library.h"
+#include "framework/torchsim/torch_session.h"
+#include "gui/flamegraph.h"
+#include "profiler/profiler.h"
+#include "pyrt/py_interp.h"
+#include "sim/runtime/gpu_runtime.h"
+
+using namespace dc;
+
+int
+main()
+{
+    // A vendor-less accelerator: no CUPTI, no RocTracer.
+    sim::SimContext ctx;
+    ctx.addDevice(sim::makeCustomAccelerator());
+    sim::GpuRuntime runtime(ctx);
+    pyrt::PyInterpreter interp(ctx.libraries());
+    fw::TorchSession session(ctx, runtime, {});
+
+    // The user writes the driver functions into a config file.
+    const char *audit_config =
+        "# custom NPU driver interception\n"
+        "libnpu_runtime_sim.so npuLaunchKernel kernel_launch\n"
+        "libnpu_runtime_sim.so npuMemcpyAsync  memcpy\n";
+
+    dlmon::DlMonitorOptions options;
+    options.ctx = &ctx;
+    options.runtime = &runtime;
+    options.interp = &interp;
+    options.torch = &session;
+    options.audit_config_text = audit_config;
+    auto monitor = dlmon::DlMonitor::init(options);
+
+    prof::Profiler profiler(*monitor, {});
+
+    // Run a tiny model on the NPU.
+    {
+        pyrt::PyScope frame(ctx.currentThread().pyStack(),
+                            ctx.currentThread().nativeStack(), interp,
+                            {"npu_train.py", "main", 5});
+        fw::Tensor x = session.input({64, 256});
+        fw::Tensor w = session.parameter({256, 256});
+        for (int i = 0; i < 8; ++i)
+            session.run(fw::ops::linear(session.opEnv(), x, w));
+        session.backward();
+        session.synchronize();
+    }
+
+    auto db = profiler.finish();
+    std::printf("profiled %llu GPU events on '%s' via LD_AUDIT "
+                "interception\n\n",
+                static_cast<unsigned long long>(
+                    monitor->stats().gpu_events),
+                db->metadata().at("device").c_str());
+
+    gui::FlameGraphOptions flame_options;
+    flame_options.include_native = false;
+    std::printf("%s", gui::FlameGraph::renderAscii(
+                          gui::FlameGraph::topDown(*db, flame_options), 48,
+                          10)
+                          .c_str());
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Writing a custom analysis against the analyzer API (Section 4.3's
+ * "users instantiate a custom analysis through call path search, metrics
+ * analysis, and visualization"). This one hunts for memcpy time hidden
+ * under training steps and for operators whose GPU time variance is
+ * suspiciously high across invocations (using the online stddev every
+ * CCT node keeps).
+ */
+
+#include <cstdio>
+
+#include "analyzer/analyses.h"
+#include "common/strings.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::workloads;
+
+namespace {
+
+/** Custom analysis #1: operators with unstable per-call GPU time. */
+class JitterAnalysis : public analysis::Analysis
+{
+  public:
+    std::string name() const override { return "gpu_time_jitter"; }
+
+    std::vector<analysis::Issue>
+    run(const analysis::AnalysisContext &ctx) const override
+    {
+        std::vector<analysis::Issue> issues;
+        const int gpu = ctx.db().metrics().find("gpu_time_ns");
+        if (gpu < 0)
+            return issues;
+        for (const prof::CctNode *kernel : ctx.kernels()) {
+            const RunningStat *stat = kernel->findMetric(gpu);
+            if (stat == nullptr || stat->count() < 8)
+                continue;
+            const double cv = stat->stddev() / stat->mean();
+            if (cv < 0.5)
+                continue;
+            analysis::Issue issue;
+            issue.analysis = name();
+            issue.node = kernel;
+            issue.severity = analysis::Severity::kInfo;
+            issue.metric_value = cv;
+            issue.message = strformat(
+                "kernel time varies %.0f%% across %llu calls",
+                100.0 * cv,
+                static_cast<unsigned long long>(stat->count()));
+            issue.suggestion =
+                "investigate shape-dependent behaviour or contention";
+            issues.push_back(std::move(issue));
+        }
+        return issues;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    // Profile DLRM with DeepContext.
+    RunConfig config;
+    config.workload = WorkloadId::kDlrmSmall;
+    config.iterations = 20;
+    config.profiler = ProfilerMode::kDeepContext;
+    config.keep_profile = true;
+    const RunResult result = runWorkload(config);
+
+    analysis::AnalysisContext ctx(*result.profile);
+
+    // 1. Call-path search: find every kernel under the sparse path.
+    const auto sparse_kernels = analysis::findPaths(
+        ctx, {analysis::matchPythonFunction("sparse_forward"),
+              analysis::matchKernelContains("")});
+    double sparse_gpu = 0.0;
+    for (const prof::CctNode *node : sparse_kernels)
+        sparse_gpu += ctx.metricSum(*node, "gpu_time_ns");
+    std::printf("call-path search: %zu kernels under sparse_forward, "
+                "%s GPU time (%.1f%% of total)\n\n",
+                sparse_kernels.size(),
+                humanTime(static_cast<std::int64_t>(sparse_gpu)).c_str(),
+                100.0 * sparse_gpu / ctx.totalMetric("gpu_time_ns"));
+
+    // 2. Register the custom analysis next to the stock ones.
+    analysis::Analyzer analyzer =
+        analysis::Analyzer::withDefaultAnalyses();
+    analyzer.add(std::make_unique<JitterAnalysis>());
+    const auto issues = analyzer.runAll(ctx);
+
+    // 3. Report.
+    std::printf("analyzer report (%zu analyses, %zu issues):\n%s",
+                analyzer.size(), issues.size(),
+                analysis::reportToString(issues).c_str());
+    return 0;
+}

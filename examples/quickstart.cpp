@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: profile one workload with DeepContext and print the
+ * top-down flame graph plus the automated analysis report.
+ *
+ * This is the 60-second tour of the public API:
+ *   1. configure a run (workload, framework, platform, profiler mode),
+ *   2. execute it,
+ *   3. inspect the profile with the analyzer and the flame-graph views.
+ */
+
+#include <cstdio>
+
+#include "analyzer/analyses.h"
+#include "common/strings.h"
+#include "gui/flamegraph.h"
+#include "workloads/runner.h"
+
+int
+main()
+{
+    using namespace dc;
+
+    // 1. Configure: ResNet training on the A100-sim, DeepContext with
+    //    native call paths, 10 iterations.
+    workloads::RunConfig config;
+    config.workload = workloads::WorkloadId::kResnet;
+    config.framework = workloads::FrameworkSel::kTorch;
+    config.platform = workloads::PlatformSel::kNvidiaA100;
+    config.profiler = workloads::ProfilerMode::kDeepContextNative;
+    config.iterations = 10;
+    config.keep_profile = true;
+
+    // 2. Run.
+    workloads::RunResult result = workloads::runWorkload(config);
+
+    std::printf("== run summary ==\n");
+    std::printf("end-to-end time : %s\n",
+                humanTime(result.end_to_end_ns).c_str());
+    std::printf("GPU kernel time : %s\n",
+                humanTime(result.gpu_kernel_time_ns).c_str());
+    std::printf("kernel launches : %llu\n",
+                static_cast<unsigned long long>(result.kernel_count));
+    std::printf("operators       : %llu\n",
+                static_cast<unsigned long long>(result.op_dispatches));
+    std::printf("CCT nodes       : %zu\n",
+                result.profile->cct().nodeCount());
+    std::printf("profiling cost  : %s\n\n",
+                humanTime(result.profiling_overhead_ns).c_str());
+
+    // 3a. Automated analysis.
+    analysis::AnalysisContext actx(*result.profile);
+    analysis::Analyzer analyzer = analysis::Analyzer::withDefaultAnalyses();
+    const auto issues = analyzer.runAll(actx);
+    std::printf("== analyzer report ==\n%s\n",
+                analysis::reportToString(issues).c_str());
+
+    // 3b. Flame graph (top-down, GPU time), pruned for readability.
+    gui::FlameGraphOptions options;
+    options.include_native = false;
+    options.min_fraction = 0.02;
+    gui::FlameNode flame =
+        gui::FlameGraph::topDown(*result.profile, options, issues);
+    std::printf("== top-down flame graph (gpu_time) ==\n%s",
+                gui::FlameGraph::renderAscii(flame, 48, 12).c_str());
+    return 0;
+}

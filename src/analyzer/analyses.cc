@@ -1,0 +1,396 @@
+#include "analyzer/analyses.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "profiler/metrics.h"
+#include "sim/gpu/kernel.h"
+
+namespace dc::analysis {
+
+using prof::metric_names::kCpuTime;
+using prof::metric_names::kGpuTime;
+using prof::metric_names::kGridBlocks;
+using prof::metric_names::kKernelCount;
+using prof::metric_names::kStallPrefix;
+using prof::metric_names::kStallSamples;
+
+std::vector<Issue>
+HotspotAnalysis::run(const AnalysisContext &ctx) const
+{
+    std::vector<Issue> issues;
+    const double total = ctx.totalMetric(kGpuTime);
+    if (total <= 0.0)
+        return issues;
+
+    for (const prof::CctNode *kernel : ctx.kernels()) {
+        const double time = ctx.metricSum(*kernel, kGpuTime);
+        const double fraction = time / total;
+        if (fraction <= threshold_)
+            continue;
+        Issue issue;
+        issue.analysis = name();
+        issue.node = kernel;
+        issue.severity = fraction > 2 * threshold_ ? Severity::kCritical
+                                                   : Severity::kWarning;
+        issue.metric_value = fraction;
+        issue.message = strformat("kernel takes %.1f%% of total GPU time",
+                                  100.0 * fraction);
+        issue.suggestion =
+            "inspect the highlighted call path; this kernel dominates "
+            "device time";
+        issues.push_back(std::move(issue));
+    }
+    return issues;
+}
+
+std::vector<Issue>
+KernelFusionAnalysis::run(const AnalysisContext &ctx) const
+{
+    std::vector<Issue> issues;
+    ctx.bfs([&](const prof::CctNode &node) {
+        // Apply at operator/Python frames that aggregate many kernels.
+        if (node.frame().kind != dlmon::FrameKind::kOperator &&
+            node.frame().kind != dlmon::FrameKind::kPython) {
+            return;
+        }
+        const std::uint64_t kernels =
+            static_cast<std::uint64_t>(ctx.metricSum(node, kKernelCount));
+        if (kernels < min_kernels_)
+            return;
+        const double gpu = ctx.metricSum(node, kGpuTime);
+        const double mean = gpu / static_cast<double>(kernels);
+        if (mean >= static_cast<double>(gpu_threshold_ns_))
+            return;
+        // Only flag the outermost frame exhibiting the pattern: if the
+        // parent already qualifies, skip this node.
+        if (node.parent() != nullptr) {
+            const prof::CctNode &parent = *node.parent();
+            const std::uint64_t parent_kernels =
+                static_cast<std::uint64_t>(
+                    ctx.metricSum(parent, kKernelCount));
+            if (parent.parent() != nullptr &&
+                parent_kernels >= min_kernels_ &&
+                ctx.metricSum(parent, kGpuTime) /
+                        static_cast<double>(parent_kernels) <
+                    static_cast<double>(gpu_threshold_ns_)) {
+                return;
+            }
+        }
+        Issue issue;
+        issue.analysis = name();
+        issue.node = &node;
+        issue.metric_value = static_cast<double>(kernels);
+        issue.message = strformat(
+            "Small GPU kernels: %llu launches averaging %.1f us",
+            static_cast<unsigned long long>(kernels), mean / 1000.0);
+        issue.suggestion =
+            "fuse small kernels (e.g. torch.compile or manual fusion) to "
+            "amortize launch overhead";
+        issues.push_back(std::move(issue));
+    });
+    return issues;
+}
+
+namespace {
+
+/** Inclusive GPU time of backward-operator descendants of @p node. */
+double
+backwardGpuTime(const AnalysisContext &ctx, const prof::CctNode &node)
+{
+    double total = 0.0;
+    std::function<void(const prof::CctNode &)> walk =
+        [&](const prof::CctNode &cur) {
+            if (AnalysisContext::isBackwardOperator(cur)) {
+                total += ctx.metricSum(cur, kGpuTime);
+                return; // inclusive metric covers the subtree
+            }
+            cur.forEachChild(walk);
+        };
+    node.forEachChild(walk);
+    return total;
+}
+
+} // namespace
+
+std::vector<Issue>
+ForwardBackwardAnalysis::run(const AnalysisContext &ctx) const
+{
+    std::vector<Issue> issues;
+    for (const prof::CctNode *op : ctx.operators()) {
+        if (AnalysisContext::isBackwardOperator(*op))
+            continue;
+        // Only analyze "aten::"-style forward operators whose subtree
+        // contains associated backward work.
+        const double backward = backwardGpuTime(ctx, *op);
+        if (backward <= 0.0)
+            continue;
+        const double total = ctx.metricSum(*op, kGpuTime);
+        const double forward = std::max(0.0, total - backward);
+        if (forward <= 0.0)
+            continue;
+        const double ratio = backward / forward;
+        if (ratio <= ratio_threshold_)
+            continue;
+        Issue issue;
+        issue.analysis = name();
+        issue.node = op;
+        issue.severity =
+            ratio > 5 * ratio_threshold_ ? Severity::kCritical
+                                         : Severity::kWarning;
+        issue.metric_value = ratio;
+        issue.message = strformat(
+            "Backward abnormality: backward/forward GPU time = %.1fx",
+            ratio);
+        issue.suggestion =
+            op->frame().name == "aten::index"
+                ? "replace aten::index with aten::index_select (the "
+                  "deterministic backward serializes duplicate indices)"
+                : "inspect the backward kernels of this operator";
+        issues.push_back(std::move(issue));
+    }
+    return issues;
+}
+
+std::vector<Issue>
+StallAnalysis::run(const AnalysisContext &ctx) const
+{
+    std::vector<Issue> issues;
+    const double total = ctx.totalMetric(kGpuTime);
+    if (total <= 0.0)
+        return issues;
+
+    // The same kernel appears under many call paths; hotspots are judged
+    // on the bottom-up aggregation by kernel name, as in the GUI.
+    std::map<std::string, double> time_by_name;
+    std::map<std::string, const prof::CctNode *> biggest_by_name;
+    for (const prof::CctNode *kernel : ctx.kernels()) {
+        const double time = ctx.metricSum(*kernel, kGpuTime);
+        time_by_name[kernel->frame().name] += time;
+        const prof::CctNode *&best = biggest_by_name[kernel->frame().name];
+        if (best == nullptr || time > ctx.metricSum(*best, kGpuTime))
+            best = kernel;
+    }
+
+    for (const auto &[name, group_time] : time_by_name) {
+        if (group_time / total <= hotspot_threshold_)
+            continue;
+        const prof::CctNode *kernel = biggest_by_name[name];
+        const double time = group_time;
+
+        // Aggregate per-reason samples over the instruction children of
+        // every context of this kernel.
+        std::map<std::string, double> by_reason;
+        double total_samples = 0.0;
+        for (const prof::CctNode *instance : ctx.kernels()) {
+            if (instance->frame().name != name)
+                continue;
+            instance->forEachChild([&](const prof::CctNode &child) {
+                if (child.frame().kind != dlmon::FrameKind::kInstruction)
+                    return;
+                for (int r = 0; r < sim::kNumStallReasons; ++r) {
+                    const auto reason = static_cast<sim::StallReason>(r);
+                    if (reason == sim::StallReason::kNone)
+                        continue;
+                    const std::string metric =
+                        std::string(kStallPrefix) +
+                        sim::stallReasonName(reason);
+                    const double v = ctx.metricSum(child, metric);
+                    by_reason[sim::stallReasonName(reason)] += v;
+                    total_samples += v;
+                }
+                total_samples +=
+                    ctx.metricSum(child, std::string(kStallPrefix) +
+                                             sim::stallReasonName(
+                                                 sim::StallReason::kNone));
+            });
+        }
+        if (total_samples <= 0.0)
+            continue;
+
+        std::vector<std::pair<std::string, double>> sorted(
+            by_reason.begin(), by_reason.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+
+        std::vector<std::string> top;
+        for (int i = 0; i < topk_ && i < static_cast<int>(sorted.size());
+             ++i) {
+            const double fraction = sorted[static_cast<std::size_t>(
+                                        i)].second / total_samples;
+            if (fraction < stall_fraction_threshold_)
+                break;
+            top.push_back(strformat(
+                "%s (%.0f%%)",
+                sorted[static_cast<std::size_t>(i)].first.c_str(),
+                100.0 * fraction));
+        }
+        if (top.empty())
+            continue;
+
+        Issue issue;
+        issue.analysis = this->name();
+        issue.node = kernel;
+        issue.metric_value = time / total;
+        issue.message =
+            "Kernel is mainly stalled by " + join(top, ", ");
+        if (contains(issue.message, "constant_miss")) {
+            issue.suggestion =
+                "minimize constant-memory loads per CTA (load fewer "
+                "bytes per block; fuse the conversion with neighbours)";
+        } else if (contains(issue.message, "exec_dependency")) {
+            issue.suggestion =
+                "use vectorized data-type conversion instructions";
+        } else if (contains(issue.message, "memory_throttle")) {
+            issue.suggestion =
+                "reduce conflicting memory traffic (serialized or "
+                "contended atomics)";
+        } else {
+            issue.suggestion = "inspect the kernel's memory access pattern";
+        }
+        issues.push_back(std::move(issue));
+    }
+    return issues;
+}
+
+std::vector<Issue>
+CpuLatencyAnalysis::run(const AnalysisContext &ctx) const
+{
+    std::vector<Issue> issues;
+    const double total_cpu = ctx.totalMetric(kCpuTime);
+    if (total_cpu <= 0.0)
+        return issues;
+
+    ctx.bfs([&](const prof::CctNode &node) {
+        if (node.frame().kind != dlmon::FrameKind::kPython)
+            return;
+        const double cpu = ctx.metricSum(node, kCpuTime);
+        if (cpu / total_cpu < min_cpu_fraction_)
+            return;
+        const double gpu = ctx.metricSum(node, kGpuTime);
+        if (gpu > 0.0 && cpu / gpu <= cpu_threshold_)
+            return;
+        // Flag the outermost frame showing the imbalance.
+        if (node.parent() != nullptr &&
+            node.parent()->frame().kind == dlmon::FrameKind::kPython) {
+            const double parent_cpu =
+                ctx.metricSum(*node.parent(), kCpuTime);
+            const double parent_gpu =
+                ctx.metricSum(*node.parent(), kGpuTime);
+            if (parent_cpu / total_cpu >= min_cpu_fraction_ &&
+                (parent_gpu <= 0.0 ||
+                 parent_cpu / parent_gpu > cpu_threshold_)) {
+                return;
+            }
+        }
+        Issue issue;
+        issue.analysis = name();
+        issue.node = &node;
+        issue.metric_value = cpu / total_cpu;
+        issue.message = strformat(
+            "CPU time abnormality: %.0f%% of CPU time with %s GPU time",
+            100.0 * cpu / total_cpu,
+            gpu > 0.0 ? humanTime(static_cast<std::int64_t>(gpu)).c_str()
+                      : "no");
+        issue.suggestion =
+            AnalysisContext::isDataLoadingFrame(node)
+                ? "match worker_num with the number of allocated CPU "
+                  "cores; oversubscription adds scheduling overhead"
+                : "overlap this CPU work with GPU execution or reduce it";
+        issues.push_back(std::move(issue));
+    });
+    return issues;
+}
+
+std::vector<Issue>
+LayoutConversionAnalysis::run(const AnalysisContext &ctx) const
+{
+    std::vector<Issue> issues;
+    const double total = ctx.totalMetric(kGpuTime);
+    if (total <= 0.0)
+        return issues;
+
+    double conversion_time = 0.0;
+    std::vector<const prof::CctNode *> conv_kernels;
+    for (const prof::CctNode *kernel : ctx.kernels()) {
+        const std::string &name = kernel->frame().name;
+        if (contains(name, "nchwToNhwc") || contains(name, "nhwcToNchw") ||
+            contains(name, "transposeNhwc") ||
+            contains(name, "transposeNchw")) {
+            conversion_time += ctx.metricSum(*kernel, kGpuTime);
+            conv_kernels.push_back(kernel);
+        }
+    }
+    const double fraction = conversion_time / total;
+    if (fraction <= fraction_threshold_ || conv_kernels.empty())
+        return issues;
+
+    Issue issue;
+    issue.analysis = name();
+    issue.node = conv_kernels.front();
+    issue.severity = Severity::kCritical;
+    issue.metric_value = fraction;
+    issue.message = strformat(
+        "memory-format conversions consume %.1f%% of GPU time",
+        100.0 * fraction);
+    issue.suggestion =
+        "store input tensors in channels_last before the compute and keep "
+        "normalization weights in the same layout to avoid round-trips";
+    issues.push_back(std::move(issue));
+    return issues;
+}
+
+std::vector<Issue>
+ParallelismAnalysis::run(const AnalysisContext &ctx) const
+{
+    std::vector<Issue> issues;
+    if (ctx.smCount() <= 0)
+        return issues;
+    const double total = ctx.totalMetric(kGpuTime);
+    if (total <= 0.0)
+        return issues;
+
+    for (const prof::CctNode *kernel : ctx.kernels()) {
+        const double time = ctx.metricSum(*kernel, kGpuTime);
+        if (time / total <= time_fraction_threshold_)
+            continue;
+        const double mean_grid = ctx.metricMean(*kernel, kGridBlocks);
+        if (mean_grid <= 0.0 ||
+            mean_grid >= static_cast<double>(ctx.smCount())) {
+            continue;
+        }
+        Issue issue;
+        issue.analysis = name();
+        issue.node = kernel;
+        issue.metric_value = time / total;
+        issue.message = strformat(
+            "kernel launches %.0f CTAs on a %d-SM device (%.1f%% of GPU "
+            "time at low parallelism)",
+            mean_grid, ctx.smCount(), 100.0 * time / total);
+        issue.suggestion =
+            "adjust the number of threads per CTA so the grid fills the "
+            "device (kernel templates shared across warp sizes "
+            "under-decompose on wide-wavefront GPUs)";
+        issues.push_back(std::move(issue));
+    }
+    return issues;
+}
+
+Analyzer
+Analyzer::withDefaultAnalyses()
+{
+    Analyzer analyzer;
+    analyzer.add(std::make_unique<HotspotAnalysis>());
+    analyzer.add(std::make_unique<KernelFusionAnalysis>());
+    analyzer.add(std::make_unique<ForwardBackwardAnalysis>());
+    analyzer.add(std::make_unique<StallAnalysis>());
+    analyzer.add(std::make_unique<CpuLatencyAnalysis>());
+    analyzer.add(std::make_unique<LayoutConversionAnalysis>());
+    analyzer.add(std::make_unique<ParallelismAnalysis>());
+    return analyzer;
+}
+
+} // namespace dc::analysis

@@ -1,0 +1,152 @@
+#pragma once
+
+/**
+ * @file
+ * Concrete analyses: the five examples from Section 4.3 plus two
+ * DeepContext-style extras used by the case studies (layout-conversion
+ * detection for §6.2 and a low-parallelism check for §6.5).
+ */
+
+#include "analyzer/analysis.h"
+
+namespace dc::analysis {
+
+/** (1) Hotspot identification: kernels above a total-time fraction. */
+class HotspotAnalysis : public Analysis
+{
+  public:
+    explicit HotspotAnalysis(double threshold = 0.10)
+        : threshold_(threshold)
+    {
+    }
+
+    std::string name() const override { return "hotspot"; }
+    std::vector<Issue> run(const AnalysisContext &ctx) const override;
+
+  private:
+    double threshold_;
+};
+
+/**
+ * (2) Kernel-fusion analysis: frames launching many kernels whose mean
+ * GPU time is below a threshold ("Small GPU kernels").
+ */
+class KernelFusionAnalysis : public Analysis
+{
+  public:
+    KernelFusionAnalysis(DurationNs gpu_threshold_ns = 25'000,
+                         std::uint64_t min_kernels = 64)
+        : gpu_threshold_ns_(gpu_threshold_ns), min_kernels_(min_kernels)
+    {
+    }
+
+    std::string name() const override { return "kernel_fusion"; }
+    std::vector<Issue> run(const AnalysisContext &ctx) const override;
+
+  private:
+    DurationNs gpu_threshold_ns_;
+    std::uint64_t min_kernels_;
+};
+
+/**
+ * (3) Forward/backward operator analysis: backward passes taking
+ * disproportionately longer than their forward counterparts.
+ */
+class ForwardBackwardAnalysis : public Analysis
+{
+  public:
+    explicit ForwardBackwardAnalysis(double ratio_threshold = 2.0)
+        : ratio_threshold_(ratio_threshold)
+    {
+    }
+
+    std::string name() const override { return "forward_backward"; }
+    std::vector<Issue> run(const AnalysisContext &ctx) const override;
+
+  private:
+    double ratio_threshold_;
+};
+
+/**
+ * (4) Fine-grained stall analysis: dominant stall reasons inside hotspot
+ * kernels, from instruction samples.
+ */
+class StallAnalysis : public Analysis
+{
+  public:
+    StallAnalysis(double hotspot_threshold = 0.05,
+                  double stall_fraction_threshold = 0.15, int topk = 2)
+        : hotspot_threshold_(hotspot_threshold),
+          stall_fraction_threshold_(stall_fraction_threshold), topk_(topk)
+    {
+    }
+
+    std::string name() const override { return "fine_grained_stall"; }
+    std::vector<Issue> run(const AnalysisContext &ctx) const override;
+
+  private:
+    double hotspot_threshold_;
+    double stall_fraction_threshold_;
+    int topk_;
+};
+
+/**
+ * (5) CPU latency analysis: frames whose CPU time dwarfs their GPU time
+ * (imbalanced work or synchronization problems).
+ */
+class CpuLatencyAnalysis : public Analysis
+{
+  public:
+    CpuLatencyAnalysis(double cpu_threshold = 4.0,
+                       double min_cpu_fraction = 0.10)
+        : cpu_threshold_(cpu_threshold), min_cpu_fraction_(min_cpu_fraction)
+    {
+    }
+
+    std::string name() const override { return "cpu_latency"; }
+    std::vector<Issue> run(const AnalysisContext &ctx) const override;
+
+  private:
+    double cpu_threshold_;
+    double min_cpu_fraction_;
+};
+
+/**
+ * Extra: memory-layout conversion analysis (§6.2) — flags time sunk in
+ * nchwToNhwc-style conversion kernels.
+ */
+class LayoutConversionAnalysis : public Analysis
+{
+  public:
+    explicit LayoutConversionAnalysis(double fraction_threshold = 0.05)
+        : fraction_threshold_(fraction_threshold)
+    {
+    }
+
+    std::string name() const override { return "layout_conversion"; }
+    std::vector<Issue> run(const AnalysisContext &ctx) const override;
+
+  private:
+    double fraction_threshold_;
+};
+
+/**
+ * Extra: low-parallelism analysis (§6.5) — kernels whose CTA count
+ * cannot fill the device's SMs/CUs.
+ */
+class ParallelismAnalysis : public Analysis
+{
+  public:
+    explicit ParallelismAnalysis(double time_fraction_threshold = 0.05)
+        : time_fraction_threshold_(time_fraction_threshold)
+    {
+    }
+
+    std::string name() const override { return "low_parallelism"; }
+    std::vector<Issue> run(const AnalysisContext &ctx) const override;
+
+  private:
+    double time_fraction_threshold_;
+};
+
+} // namespace dc::analysis

@@ -1,0 +1,254 @@
+#include "analyzer/analysis.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace dc::analysis {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::kInfo: return "info";
+      case Severity::kWarning: return "warning";
+      case Severity::kCritical: return "critical";
+    }
+    return "?";
+}
+
+std::string
+Issue::toString() const
+{
+    std::string where = node != nullptr ? node->frame().label() : "<...>";
+    return strformat("[%s] %s: %s (at %s) -> %s",
+                     severityName(severity), analysis.c_str(),
+                     message.c_str(), where.c_str(), suggestion.c_str());
+}
+
+AnalysisContext::AnalysisContext(const prof::ProfileDb &db,
+                                 const sim::LibraryRegistry *libraries,
+                                 const sim::SourceMap *sources,
+                                 int sm_count)
+    : db_(db), libraries_(libraries), sources_(sources), sm_count_(sm_count)
+{
+}
+
+double
+AnalysisContext::metricSum(const prof::CctNode &node,
+                           const std::string &name) const
+{
+    const int id = db_.metrics().find(name);
+    if (id < 0)
+        return 0.0;
+    const RunningStat *stat = node.findMetric(id);
+    return stat == nullptr ? 0.0 : stat->sum();
+}
+
+std::uint64_t
+AnalysisContext::metricCount(const prof::CctNode &node,
+                             const std::string &name) const
+{
+    const int id = db_.metrics().find(name);
+    if (id < 0)
+        return 0;
+    const RunningStat *stat = node.findMetric(id);
+    return stat == nullptr ? 0 : stat->count();
+}
+
+double
+AnalysisContext::metricMean(const prof::CctNode &node,
+                            const std::string &name) const
+{
+    const int id = db_.metrics().find(name);
+    if (id < 0)
+        return 0.0;
+    const RunningStat *stat = node.findMetric(id);
+    return stat == nullptr ? 0.0 : stat->mean();
+}
+
+double
+AnalysisContext::totalMetric(const std::string &name) const
+{
+    return metricSum(cct().root(), name);
+}
+
+void
+AnalysisContext::bfs(
+    const std::function<void(const prof::CctNode &)> &fn) const
+{
+    std::deque<const prof::CctNode *> queue;
+    queue.push_back(&cct().root());
+    while (!queue.empty()) {
+        const prof::CctNode *node = queue.front();
+        queue.pop_front();
+        fn(*node);
+        node->forEachChild([&queue](const prof::CctNode &child) {
+            queue.push_back(&child);
+        });
+    }
+}
+
+std::vector<const prof::CctNode *>
+AnalysisContext::kernels() const
+{
+    std::vector<const prof::CctNode *> out;
+    bfs([&out](const prof::CctNode &node) {
+        if (node.frame().kind == dlmon::FrameKind::kKernel)
+            out.push_back(&node);
+    });
+    return out;
+}
+
+std::vector<const prof::CctNode *>
+AnalysisContext::operators() const
+{
+    std::vector<const prof::CctNode *> out;
+    bfs([&out](const prof::CctNode &node) {
+        if (node.frame().kind == dlmon::FrameKind::kOperator &&
+            node.parent() != nullptr) {
+            out.push_back(&node);
+        }
+    });
+    return out;
+}
+
+std::vector<std::string>
+AnalysisContext::pathLabels(const prof::CctNode &node)
+{
+    std::vector<std::string> labels;
+    for (const prof::CctNode *cur = &node; cur != nullptr;
+         cur = cur->parent()) {
+        labels.push_back(cur->frame().label());
+    }
+    std::reverse(labels.begin(), labels.end());
+    return labels;
+}
+
+bool
+AnalysisContext::isBackwardOperator(const prof::CctNode &node)
+{
+    if (node.frame().kind != dlmon::FrameKind::kOperator)
+        return false;
+    const std::string &name = node.frame().name;
+    return contains(name, "Backward") || contains(name, "backward");
+}
+
+bool
+AnalysisContext::isLossFrame(const prof::CctNode &node)
+{
+    if (node.frame().kind != dlmon::FrameKind::kPython)
+        return false;
+    return contains(node.frame().function, "loss");
+}
+
+bool
+AnalysisContext::isDataLoadingFrame(const prof::CctNode &node)
+{
+    if (node.frame().kind != dlmon::FrameKind::kPython)
+        return false;
+    return contains(node.frame().function, "data_selection") ||
+           contains(node.frame().function, "_worker_loop") ||
+           contains(node.frame().file, "dataloader");
+}
+
+FrameMatcher
+matchOperator(const std::string &name)
+{
+    return [name](const dlmon::Frame &frame) {
+        return frame.kind == dlmon::FrameKind::kOperator &&
+               frame.name == name;
+    };
+}
+
+FrameMatcher
+matchKernelContains(const std::string &substring)
+{
+    return [substring](const dlmon::Frame &frame) {
+        return frame.kind == dlmon::FrameKind::kKernel &&
+               contains(frame.name, substring);
+    };
+}
+
+FrameMatcher
+matchPythonFunction(const std::string &function)
+{
+    return [function](const dlmon::Frame &frame) {
+        return frame.kind == dlmon::FrameKind::kPython &&
+               frame.function == function;
+    };
+}
+
+FrameMatcher
+matchAnyFrame()
+{
+    return [](const dlmon::Frame &) { return true; };
+}
+
+std::vector<const prof::CctNode *>
+findPaths(const AnalysisContext &ctx,
+          const std::vector<FrameMatcher> &pattern)
+{
+    std::vector<const prof::CctNode *> out;
+    if (pattern.empty())
+        return out;
+
+    // DFS carrying how many pattern elements are already matched along
+    // the current root-to-node path.
+    std::function<void(const prof::CctNode &, std::size_t)> walk =
+        [&](const prof::CctNode &node, std::size_t matched) {
+            std::size_t next = matched;
+            if (next < pattern.size() && pattern[next](node.frame()))
+                ++next;
+            if (next == pattern.size())
+                out.push_back(&node);
+            node.forEachChild([&](const prof::CctNode &child) {
+                walk(child, next);
+            });
+        };
+    ctx.cct().root().forEachChild(
+        [&](const prof::CctNode &child) { walk(child, 0); });
+    return out;
+}
+
+void
+Analyzer::add(std::unique_ptr<Analysis> analysis)
+{
+    analyses_.push_back(std::move(analysis));
+}
+
+std::vector<Issue>
+Analyzer::runAll(const AnalysisContext &ctx) const
+{
+    std::vector<Issue> issues;
+    for (const auto &analysis : analyses_) {
+        std::vector<Issue> found = analysis->run(ctx);
+        issues.insert(issues.end(),
+                      std::make_move_iterator(found.begin()),
+                      std::make_move_iterator(found.end()));
+    }
+    std::stable_sort(issues.begin(), issues.end(),
+                     [](const Issue &a, const Issue &b) {
+                         if (a.severity != b.severity)
+                             return static_cast<int>(a.severity) >
+                                    static_cast<int>(b.severity);
+                         return a.metric_value > b.metric_value;
+                     });
+    return issues;
+}
+
+std::string
+reportToString(const std::vector<Issue> &issues)
+{
+    if (issues.empty())
+        return "no issues detected\n";
+    std::string out;
+    for (const Issue &issue : issues) {
+        out += issue.toString();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace dc::analysis

@@ -1,0 +1,169 @@
+#pragma once
+
+/**
+ * @file
+ * Analysis framework (Section 4.3).
+ *
+ * The analyzer initializes an environment around a finished profile
+ * (CCT + metrics + symbol/source information) and exposes the three
+ * dimensions the paper names: program-structure queries (call-path
+ * pattern matching), model-level semantics (loss/forward/backward/
+ * dataloader classification), and operator-level efficiency. Concrete
+ * analyses (analyses.h) traverse the tree, apply metric filters, and
+ * flag issue nodes with actionable suggestions — the flags drive the
+ * GUI's color coding.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "profiler/profile_db.h"
+#include "sim/loader/library_registry.h"
+#include "sim/loader/source_map.h"
+
+namespace dc::analysis {
+
+/** Severity for GUI color coding. */
+enum class Severity {
+    kInfo,
+    kWarning,
+    kCritical,
+};
+
+/** Printable severity. */
+const char *severityName(Severity severity);
+
+/** One flagged issue. */
+struct Issue {
+    std::string analysis;          ///< Producing analysis name.
+    const prof::CctNode *node = nullptr;
+    std::string message;
+    std::string suggestion;        ///< Optimization advice.
+    Severity severity = Severity::kWarning;
+    double metric_value = 0.0;     ///< Analysis-specific magnitude.
+
+    /** "analysis: message (at <path leaf>)" rendering. */
+    std::string toString() const;
+};
+
+/** Environment an analysis runs against. */
+class AnalysisContext
+{
+  public:
+    /**
+     * @param db The finished profile.
+     * @param libraries Optional symbol registry for native frames.
+     * @param sources Optional DWARF-like source map.
+     * @param sm_count SM/CU count of the profiled device (parallelism
+     *        analyses); 0 disables them.
+     */
+    AnalysisContext(const prof::ProfileDb &db,
+                    const sim::LibraryRegistry *libraries = nullptr,
+                    const sim::SourceMap *sources = nullptr,
+                    int sm_count = 0);
+
+    const prof::Cct &cct() const { return db_.cct(); }
+    const prof::ProfileDb &db() const { return db_; }
+    const sim::LibraryRegistry *libraries() const { return libraries_; }
+    const sim::SourceMap *sources() const { return sources_; }
+    int smCount() const { return sm_count_; }
+
+    // --- Metric access --------------------------------------------------
+
+    /** Sum of a metric at a node (0 when absent). */
+    double metricSum(const prof::CctNode &node,
+                     const std::string &name) const;
+
+    /** Sample count of a metric at a node. */
+    std::uint64_t metricCount(const prof::CctNode &node,
+                              const std::string &name) const;
+
+    /** Mean of a metric at a node. */
+    double metricMean(const prof::CctNode &node,
+                      const std::string &name) const;
+
+    /** Total (root-inclusive) value of a metric. */
+    double totalMetric(const std::string &name) const;
+
+    // --- Traversal ------------------------------------------------------
+
+    /** Breadth-first visit of every node. */
+    void bfs(const std::function<void(const prof::CctNode &)> &fn) const;
+
+    /** All kernel-frame nodes. */
+    std::vector<const prof::CctNode *> kernels() const;
+
+    /** All operator-frame nodes. */
+    std::vector<const prof::CctNode *> operators() const;
+
+    /** Root-to-node frame labels (for reports). */
+    static std::vector<std::string> pathLabels(const prof::CctNode &node);
+
+    // --- Semantics (model dimension) -------------------------------------
+
+    /** True if the node's subtree is rooted at a backward operator. */
+    static bool isBackwardOperator(const prof::CctNode &node);
+
+    /** True for loss-related Python frames (loss_fn etc.). */
+    static bool isLossFrame(const prof::CctNode &node);
+
+    /** True for data-loading Python frames. */
+    static bool isDataLoadingFrame(const prof::CctNode &node);
+
+  private:
+    const prof::ProfileDb &db_;
+    const sim::LibraryRegistry *libraries_;
+    const sim::SourceMap *sources_;
+    int sm_count_;
+};
+
+/** A frame predicate for call-path pattern matching. */
+using FrameMatcher = std::function<bool(const dlmon::Frame &)>;
+
+/** Matchers for common cases. */
+FrameMatcher matchOperator(const std::string &name);
+FrameMatcher matchKernelContains(const std::string &substring);
+FrameMatcher matchPythonFunction(const std::string &function);
+FrameMatcher matchAnyFrame();
+
+/**
+ * Program-structure dimension: find nodes whose root-to-node path
+ * contains the matcher sequence (in order, gaps allowed).
+ */
+std::vector<const prof::CctNode *> findPaths(
+    const AnalysisContext &ctx, const std::vector<FrameMatcher> &pattern);
+
+/** Base class for analyses. */
+class Analysis
+{
+  public:
+    virtual ~Analysis() = default;
+    virtual std::string name() const = 0;
+    virtual std::vector<Issue> run(const AnalysisContext &ctx) const = 0;
+};
+
+/** An ordered collection of analyses producing a combined report. */
+class Analyzer
+{
+  public:
+    /** Register an analysis (takes ownership). */
+    void add(std::unique_ptr<Analysis> analysis);
+
+    /** Construct with the paper's example analyses pre-registered. */
+    static Analyzer withDefaultAnalyses();
+
+    /** Run everything; issues are ordered by severity then magnitude. */
+    std::vector<Issue> runAll(const AnalysisContext &ctx) const;
+
+    std::size_t size() const { return analyses_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Analysis>> analyses_;
+};
+
+/** Render a report (one line per issue). */
+std::string reportToString(const std::vector<Issue> &issues);
+
+} // namespace dc::analysis

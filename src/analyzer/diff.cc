@@ -1,0 +1,103 @@
+#include "analyzer/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+#include "profiler/metrics.h"
+
+namespace dc::analysis {
+
+namespace {
+
+void
+collectKernelTimes(const prof::ProfileDb &db,
+                   std::map<std::string, double> &times,
+                   double &total_time, std::uint64_t &launches,
+                   std::size_t &contexts)
+{
+    const int gpu_time = db.metrics().find(prof::metric_names::kGpuTime);
+    const int kcount = db.metrics().find(prof::metric_names::kKernelCount);
+    contexts = db.cct().nodeCount();
+
+    db.cct().visit([&](const prof::CctNode &node) {
+        if (node.parent() == nullptr) {
+            if (gpu_time >= 0 && node.findMetric(gpu_time) != nullptr)
+                total_time = node.findMetric(gpu_time)->sum();
+            if (kcount >= 0 && node.findMetric(kcount) != nullptr) {
+                launches = static_cast<std::uint64_t>(
+                    node.findMetric(kcount)->sum());
+            }
+            return;
+        }
+        if (node.frame().kind != dlmon::FrameKind::kKernel)
+            return;
+        if (gpu_time >= 0 && node.findMetric(gpu_time) != nullptr)
+            times[node.frame().name] += node.findMetric(gpu_time)->sum();
+    });
+}
+
+} // namespace
+
+ProfileComparison
+compareProfiles(const prof::ProfileDb &a, const prof::ProfileDb &b)
+{
+    ProfileComparison cmp;
+    std::map<std::string, double> times_a;
+    std::map<std::string, double> times_b;
+    collectKernelTimes(a, times_a, cmp.gpu_time_a, cmp.kernel_launches_a,
+                       cmp.contexts_a);
+    collectKernelTimes(b, times_b, cmp.gpu_time_b, cmp.kernel_launches_b,
+                       cmp.contexts_b);
+
+    std::map<std::string, DiffEntry> merged;
+    for (const auto &[name, value] : times_a) {
+        merged[name].name = name;
+        merged[name].value_a = value;
+    }
+    for (const auto &[name, value] : times_b) {
+        merged[name].name = name;
+        merged[name].value_b = value;
+    }
+    for (auto &[name, entry] : merged)
+        cmp.kernels.push_back(entry);
+    std::sort(cmp.kernels.begin(), cmp.kernels.end(),
+              [](const DiffEntry &x, const DiffEntry &y) {
+                  return std::abs(x.delta()) > std::abs(y.delta());
+              });
+    return cmp;
+}
+
+std::string
+ProfileComparison::toString(const std::string &label_a,
+                            const std::string &label_b,
+                            std::size_t top_n) const
+{
+    std::string out;
+    out += strformat("%-34s %14s %14s\n", "", label_a.c_str(),
+                     label_b.c_str());
+    out += strformat("%-34s %14s %14s\n", "total GPU time",
+                     humanTime(static_cast<std::int64_t>(gpu_time_a))
+                         .c_str(),
+                     humanTime(static_cast<std::int64_t>(gpu_time_b))
+                         .c_str());
+    out += strformat("%-34s %14llu %14llu\n", "kernel launches",
+                     static_cast<unsigned long long>(kernel_launches_a),
+                     static_cast<unsigned long long>(kernel_launches_b));
+    out += strformat("%-34s %14zu %14zu\n", "distinct contexts",
+                     contexts_a, contexts_b);
+    out += strformat("speedup (%s / %s): %.2fx\n", label_a.c_str(),
+                     label_b.c_str(), speedup());
+    out += "top kernel deltas:\n";
+    for (std::size_t i = 0; i < std::min(top_n, kernels.size()); ++i) {
+        const DiffEntry &entry = kernels[i];
+        out += strformat(
+            "  %-32s %14s %14s\n", entry.name.substr(0, 32).c_str(),
+            humanTime(static_cast<std::int64_t>(entry.value_a)).c_str(),
+            humanTime(static_cast<std::int64_t>(entry.value_b)).c_str());
+    }
+    return out;
+}
+
+} // namespace dc::analysis

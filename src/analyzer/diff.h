@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Cross-profile comparison (the §6.6 JAX-vs-PyTorch and §6.5 AMD-vs-
+ * Nvidia workflows): totals, kernel-operation counts, and the largest
+ * per-kernel deltas between two profiles.
+ */
+
+#include <string>
+#include <vector>
+
+#include "profiler/profile_db.h"
+
+namespace dc::analysis {
+
+/** One named quantity present in both profiles. */
+struct DiffEntry {
+    std::string name;
+    double value_a = 0.0;
+    double value_b = 0.0;
+
+    double delta() const { return value_a - value_b; }
+};
+
+/** Result of comparing two profiles. */
+struct ProfileComparison {
+    double gpu_time_a = 0.0;
+    double gpu_time_b = 0.0;
+    std::uint64_t kernel_launches_a = 0;
+    std::uint64_t kernel_launches_b = 0;
+    std::size_t contexts_a = 0;
+    std::size_t contexts_b = 0;
+    /// Per-kernel-name GPU time, sorted by |delta| descending.
+    std::vector<DiffEntry> kernels;
+
+    /** a/b speed ratio (how much faster b is than a). */
+    double speedup() const
+    {
+        return gpu_time_b > 0.0 ? gpu_time_a / gpu_time_b : 0.0;
+    }
+
+    /** Render a small table. */
+    std::string toString(const std::string &label_a,
+                         const std::string &label_b,
+                         std::size_t top_n = 8) const;
+};
+
+/** Compare two profiles by aggregate GPU behaviour. */
+ProfileComparison compareProfiles(const prof::ProfileDb &a,
+                                  const prof::ProfileDb &b);
+
+} // namespace dc::analysis

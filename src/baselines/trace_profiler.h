@@ -1,0 +1,137 @@
+#pragma once
+
+/**
+ * @file
+ * Trace-based baseline profilers: the PyTorch-profiler and JAX-profiler
+ * stand-ins Figure 6 compares against.
+ *
+ * Unlike DeepContext, these record **every** event instance into a
+ * growing in-memory trace (op begin/end pairs with optional Python stack
+ * strings, plus every kernel/memcpy activity). Per-event overhead is low
+ * — framework profilers are cheap in time — but memory grows linearly
+ * with iteration count, and exporting the trace expands it further; the
+ * export can exhaust host DRAM (the paper observed the PyTorch profiler
+ * OOM-ing while exporting Llama3/Gemma profiles).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "framework/jaxsim/jax_session.h"
+#include "framework/torchsim/torch_session.h"
+#include "sim/runtime/gpu_runtime.h"
+#include "sim/sim_context.h"
+
+namespace dc::baselines {
+
+/** Which framework profiler is being modeled. */
+enum class TraceFlavor {
+    kTorchProfiler,
+    kJaxProfiler,
+};
+
+/** One recorded trace event. */
+struct TraceEvent {
+    enum class Kind {
+        kOp,
+        kKernel,
+        kMemcpy,
+        kMemory,
+    };
+    Kind kind = Kind::kOp;
+    std::string name;
+    TimeNs ts = 0;
+    DurationNs dur = 0;
+    ThreadId tid = 0;
+    SequenceId seq = 0;
+    bool is_backward = false;
+    std::string python_stack; ///< with_stack=True captures (torch only).
+};
+
+/** Tuning knobs (costs and per-event footprints). */
+struct TraceProfilerConfig {
+    /// Record Python stacks with each op (torch profiler's with_stack).
+    bool with_stack = true;
+    DurationNs op_event_cost_ns = 700;
+    DurationNs stack_frame_cost_ns = 90;
+    DurationNs activity_event_cost_ns = 150;
+    /// Host bytes per op event (event struct + shapes + stack strings).
+    std::uint64_t host_bytes_per_op_event = 8'192;
+    std::uint64_t host_bytes_per_activity = 512;
+    /// JSON expansion factor when exporting the trace.
+    double export_expansion = 8.0;
+    std::size_t activity_buffer_capacity = 512;
+};
+
+/** Result of exporting the trace. */
+struct ExportResult {
+    bool ok = false;
+    bool oom = false;           ///< Export aborted: DRAM exhausted.
+    std::uint64_t trace_bytes = 0;
+    std::uint64_t export_bytes = 0;
+};
+
+/** The baseline profiler. */
+class TraceProfiler
+{
+  public:
+    /**
+     * Attach to a torch session (flavor kTorchProfiler) or a jax session
+     * (flavor kJaxProfiler); exactly one must be non-null.
+     */
+    TraceProfiler(sim::SimContext &ctx, sim::GpuRuntime &runtime,
+                  int device, fw::TorchSession *torch,
+                  fw::JaxSession *jax, TraceProfilerConfig config = {});
+    ~TraceProfiler();
+
+    TraceProfiler(const TraceProfiler &) = delete;
+    TraceProfiler &operator=(const TraceProfiler &) = delete;
+
+    TraceFlavor flavor() const { return flavor_; }
+
+    /** Events recorded so far. */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Live trace bytes (host memory charged). */
+    std::uint64_t traceBytes() const { return trace_bytes_; }
+
+    /**
+     * Export a chrome-trace JSON. Fails with oom when live host memory
+     * (trace + export buffer) would exceed @p dram_limit_bytes.
+     * On success the JSON string is returned through @p out (optional).
+     */
+    ExportResult exportChromeTrace(std::uint64_t dram_limit_bytes,
+                                   std::string *out = nullptr);
+
+    /** Detach callbacks (automatic on destruction). */
+    void detach();
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+  private:
+    void onTorchEvent(const fw::RecordEvent &event);
+    void onJaxOpEvent(const fw::JaxOpEvent &event);
+    void onActivities(std::vector<sim::ActivityRecord> &&records);
+    void record(TraceEvent event, std::uint64_t bytes);
+    std::string captureStack();
+
+    sim::SimContext &ctx_;
+    sim::GpuRuntime &runtime_;
+    int device_;
+    fw::TorchSession *torch_;
+    fw::JaxSession *jax_;
+    TraceFlavor flavor_;
+    TraceProfilerConfig config_;
+
+    int torch_handle_ = 0;
+    bool attached_ = false;
+
+    std::vector<TraceEvent> events_;
+    std::uint64_t trace_bytes_ = 0;
+
+    /// Open op begin timestamps per thread.
+    std::map<ThreadId, std::vector<std::pair<std::string, TimeNs>>> open_;
+};
+
+} // namespace dc::baselines

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dc {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+void
+logMessage(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", levelName(level), file, line,
+                 msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[PANIC] %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[FATAL] %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+} // namespace dc

@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (bugs in this library), fatal() for unrecoverable user errors (bad
+ * configuration), warn()/inform() for status messages. panic() aborts,
+ * fatal() exits with status 1.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace dc {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    kDebug,
+    kInfo,
+    kWarn,
+    kError,
+};
+
+/** Global log threshold; messages below it are suppressed. */
+LogLevel logThreshold();
+
+/** Set the global log threshold. */
+void setLogThreshold(LogLevel level);
+
+/** Emit a log line (used by the macros below). */
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &msg);
+
+/** Abort with a message: an internal invariant was violated. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a message: the user supplied an impossible configuration. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+namespace detail {
+
+/** Builds the message string for the variadic logging macros. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace dc
+
+#define DC_LOG(level, ...)                                                   \
+    do {                                                                     \
+        if (static_cast<int>(level) >=                                       \
+            static_cast<int>(::dc::logThreshold())) {                        \
+            ::dc::logMessage(level, __FILE__, __LINE__,                      \
+                             ::dc::detail::concat(__VA_ARGS__));             \
+        }                                                                    \
+    } while (0)
+
+#define DC_DEBUG(...) DC_LOG(::dc::LogLevel::kDebug, __VA_ARGS__)
+#define DC_INFORM(...) DC_LOG(::dc::LogLevel::kInfo, __VA_ARGS__)
+#define DC_WARN(...) DC_LOG(::dc::LogLevel::kWarn, __VA_ARGS__)
+
+/** Internal invariant violation: this is a bug in the library. */
+#define DC_PANIC(...)                                                        \
+    ::dc::panicImpl(__FILE__, __LINE__, ::dc::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user error (bad configuration, invalid arguments). */
+#define DC_FATAL(...)                                                        \
+    ::dc::fatalImpl(__FILE__, __LINE__, ::dc::detail::concat(__VA_ARGS__))
+
+/** Check an invariant; panic with the stringified condition on failure. */
+#define DC_CHECK(cond, ...)                                                  \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::dc::panicImpl(__FILE__, __LINE__,                              \
+                            ::dc::detail::concat("check failed: " #cond " ", \
+                                                 ##__VA_ARGS__));            \
+        }                                                                    \
+    } while (0)

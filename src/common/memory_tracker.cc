@@ -1,0 +1,62 @@
+#include "common/memory_tracker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dc {
+
+void
+HostMemoryTracker::allocate(const std::string &category, std::uint64_t bytes)
+{
+    Entry &entry = categories_[category];
+    entry.live += bytes;
+    entry.peak = std::max(entry.peak, entry.live);
+    total_live_ += bytes;
+    peak_ = std::max(peak_, total_live_);
+}
+
+void
+HostMemoryTracker::release(const std::string &category, std::uint64_t bytes)
+{
+    auto it = categories_.find(category);
+    DC_CHECK(it != categories_.end(),
+             "release from unknown category '", category, "'");
+    DC_CHECK(it->second.live >= bytes, "release of ", bytes,
+             " bytes exceeds live ", it->second.live, " in '", category, "'");
+    it->second.live -= bytes;
+    total_live_ -= bytes;
+}
+
+std::uint64_t
+HostMemoryTracker::liveBytes(const std::string &category) const
+{
+    auto it = categories_.find(category);
+    return it == categories_.end() ? 0 : it->second.live;
+}
+
+std::uint64_t
+HostMemoryTracker::peakBytes(const std::string &category) const
+{
+    auto it = categories_.find(category);
+    return it == categories_.end() ? 0 : it->second.peak;
+}
+
+std::map<std::string, std::uint64_t>
+HostMemoryTracker::liveByCategory() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, entry] : categories_)
+        out[name] = entry.live;
+    return out;
+}
+
+void
+HostMemoryTracker::reset()
+{
+    categories_.clear();
+    total_live_ = 0;
+    peak_ = 0;
+}
+
+} // namespace dc

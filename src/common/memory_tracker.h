@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * Structural host-memory accounting.
+ *
+ * Figure 6c/6d of the paper compares the *memory overhead* of profilers:
+ * peak host memory with profiling divided by peak host memory without.
+ * In this reproduction host memory is accounted structurally: each component
+ * (workload buffers, framework state, a profiler's trace vectors or CCT
+ * nodes) charges/releases bytes against a named category on the tracker
+ * owned by the current SimContext. The tracker records the running total and
+ * the peak, so the overhead ratio is a direct structural property of how
+ * much state each profiler keeps alive.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dc {
+
+/** Tracks live and peak bytes per category for one simulation run. */
+class HostMemoryTracker
+{
+  public:
+    /** Charge @p bytes against @p category. */
+    void allocate(const std::string &category, std::uint64_t bytes);
+
+    /** Release @p bytes from @p category. Releasing more than live panics. */
+    void release(const std::string &category, std::uint64_t bytes);
+
+    /** Live bytes in one category (0 if never used). */
+    std::uint64_t liveBytes(const std::string &category) const;
+
+    /** Live bytes across all categories. */
+    std::uint64_t totalLiveBytes() const { return total_live_; }
+
+    /** Peak of totalLiveBytes() over the run so far. */
+    std::uint64_t peakBytes() const { return peak_; }
+
+    /** Peak bytes observed within one category. */
+    std::uint64_t peakBytes(const std::string &category) const;
+
+    /** Snapshot of all categories and their live bytes. */
+    std::map<std::string, std::uint64_t> liveByCategory() const;
+
+    /** Reset all accounting to zero. */
+    void reset();
+
+  private:
+    struct Entry {
+        std::uint64_t live = 0;
+        std::uint64_t peak = 0;
+    };
+
+    std::map<std::string, Entry> categories_;
+    std::uint64_t total_live_ = 0;
+    std::uint64_t peak_ = 0;
+};
+
+} // namespace dc

@@ -1,0 +1,117 @@
+#pragma once
+
+/**
+ * @file
+ * Online statistics used by the profiler's metric aggregation.
+ *
+ * The paper (Section 4.2) specifies that each calling-context-tree node
+ * aggregates metrics of the same type by sum, minimum, average, and standard
+ * deviation. RunningStat implements these with Welford's numerically stable
+ * online algorithm so that no per-sample storage is required — the key
+ * property behind DeepContext's flat memory overhead.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dc {
+
+/** Online sum/min/max/mean/stddev accumulator (Welford). */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++count_;
+        sum_ += x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+    }
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void
+    merge(const RunningStat &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const double n1 = static_cast<double>(count_);
+        const double n2 = static_cast<double>(other.count_);
+        const double delta = other.mean_ - mean_;
+        const double n = n1 + n2;
+        mean_ += delta * n2 / n;
+        m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+        count_ += other.count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double m2() const { return m2_; }
+
+    /** Rebuild an accumulator from serialized raw fields. */
+    static RunningStat
+    fromRaw(std::uint64_t count, double sum, double min, double max,
+            double mean, double m2)
+    {
+        RunningStat s;
+        s.count_ = count;
+        s.sum_ = sum;
+        if (count > 0) {
+            s.min_ = min;
+            s.max_ = max;
+            s.mean_ = mean;
+            s.m2_ = m2;
+        }
+        return s;
+    }
+
+    /** Population variance; 0 for fewer than two samples. */
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Median of a copy of @p values; 0 for an empty vector. */
+inline double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+} // namespace dc

@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * Small string/formatting helpers used by reports, exporters and benches.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dc {
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Human-readable byte count, e.g. "1.50 GB". */
+std::string humanBytes(std::uint64_t bytes);
+
+/** Human-readable duration from nanoseconds, e.g. "12.3 ms". */
+std::string humanTime(std::int64_t ns);
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True if @p s ends with @p suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** True if @p needle occurs in @p haystack. */
+bool contains(const std::string &haystack, const std::string &needle);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Escape a string for embedding in JSON output. */
+std::string jsonEscape(const std::string &s);
+
+/** Left-pad or truncate @p s to exactly @p width characters. */
+std::string padTo(const std::string &s, std::size_t width);
+
+} // namespace dc

@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * Fundamental scalar types shared across the DeepContext reproduction.
+ *
+ * All simulation time is virtual and expressed in nanoseconds. Using a
+ * dedicated alias (rather than std::chrono) keeps the arithmetic in the
+ * analytical cost models simple and explicit.
+ */
+
+#include <cstdint>
+
+namespace dc {
+
+/** Virtual time in nanoseconds since the start of a simulation run. */
+using TimeNs = std::int64_t;
+
+/** A span of virtual time, in nanoseconds. */
+using DurationNs = std::int64_t;
+
+/** Simulated program-counter value (an address in a simulated library). */
+using Pc = std::uint64_t;
+
+/** Identifier of a logical (simulated) CPU thread. */
+using ThreadId = std::uint32_t;
+
+/** Correlation ID linking a GPU API call to its asynchronous activity. */
+using CorrelationId = std::uint64_t;
+
+/** Autograd sequence number associating forward and backward operators. */
+using SequenceId = std::uint64_t;
+
+constexpr TimeNs kNsPerUs = 1'000;
+constexpr TimeNs kNsPerMs = 1'000'000;
+constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+/** Convert nanoseconds to (floating-point) seconds. */
+inline double
+toSeconds(DurationNs ns)
+{
+    return static_cast<double>(ns) / static_cast<double>(kNsPerSec);
+}
+
+/** Convert nanoseconds to (floating-point) milliseconds. */
+inline double
+toMillis(DurationNs ns)
+{
+    return static_cast<double>(ns) / static_cast<double>(kNsPerMs);
+}
+
+/** Convert (floating-point) seconds to nanoseconds, rounding to nearest. */
+inline DurationNs
+fromSeconds(double s)
+{
+    return static_cast<DurationNs>(s * static_cast<double>(kNsPerSec) + 0.5);
+}
+
+/** Convert (floating-point) microseconds to nanoseconds. */
+inline DurationNs
+fromMicros(double us)
+{
+    return static_cast<DurationNs>(us * 1'000.0 + 0.5);
+}
+
+} // namespace dc

@@ -1,0 +1,188 @@
+#include "dlmonitor/callpath.h"
+
+#include "common/strings.h"
+
+namespace dc::dlmon {
+
+namespace {
+
+std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t value)
+{
+    return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 12) +
+                   (seed >> 4));
+}
+
+std::uint64_t
+hashString(const std::string &s)
+{
+    // FNV-1a.
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+const char *
+frameKindName(FrameKind kind)
+{
+    switch (kind) {
+      case FrameKind::kPython: return "python";
+      case FrameKind::kOperator: return "operator";
+      case FrameKind::kNative: return "native";
+      case FrameKind::kGpuApi: return "gpu_api";
+      case FrameKind::kKernel: return "kernel";
+      case FrameKind::kInstruction: return "instruction";
+    }
+    return "?";
+}
+
+Frame
+Frame::python(std::string file, std::string function, int line)
+{
+    Frame f;
+    f.kind = FrameKind::kPython;
+    f.file = std::move(file);
+    f.function = std::move(function);
+    f.line = line;
+    return f;
+}
+
+Frame
+Frame::op(std::string name)
+{
+    Frame f;
+    f.kind = FrameKind::kOperator;
+    f.name = std::move(name);
+    return f;
+}
+
+Frame
+Frame::native(Pc pc)
+{
+    Frame f;
+    f.kind = FrameKind::kNative;
+    f.pc = pc;
+    return f;
+}
+
+Frame
+Frame::gpuApi(Pc pc, std::string name)
+{
+    Frame f;
+    f.kind = FrameKind::kGpuApi;
+    f.pc = pc;
+    f.name = std::move(name);
+    return f;
+}
+
+Frame
+Frame::kernel(std::string name)
+{
+    Frame f;
+    f.kind = FrameKind::kKernel;
+    f.name = std::move(name);
+    return f;
+}
+
+Frame
+Frame::instruction(Pc pc, int stall)
+{
+    Frame f;
+    f.kind = FrameKind::kInstruction;
+    f.pc = pc;
+    f.stall = stall;
+    return f;
+}
+
+bool
+Frame::sameLocation(const Frame &other) const
+{
+    if (kind != other.kind)
+        return false;
+    switch (kind) {
+      case FrameKind::kPython:
+        // Compared by file path and line number (Section 4.2).
+        return file == other.file && line == other.line;
+      case FrameKind::kOperator:
+        return name == other.name;
+      case FrameKind::kNative:
+      case FrameKind::kGpuApi:
+        // Compared by library path + PC; PCs are globally unique in the
+        // simulated loader, so the PC alone identifies the location.
+        return pc == other.pc;
+      case FrameKind::kKernel:
+        return name == other.name;
+      case FrameKind::kInstruction:
+        return pc == other.pc && stall == other.stall;
+    }
+    return false;
+}
+
+std::uint64_t
+Frame::locationHash() const
+{
+    std::uint64_t h = static_cast<std::uint64_t>(kind) * 0x9e3779b9ull;
+    switch (kind) {
+      case FrameKind::kPython:
+        h = hashCombine(h, hashString(file));
+        h = hashCombine(h, static_cast<std::uint64_t>(line));
+        break;
+      case FrameKind::kOperator:
+      case FrameKind::kKernel:
+        h = hashCombine(h, hashString(name));
+        break;
+      case FrameKind::kNative:
+      case FrameKind::kGpuApi:
+        h = hashCombine(h, pc);
+        break;
+      case FrameKind::kInstruction:
+        h = hashCombine(h, pc);
+        h = hashCombine(h, static_cast<std::uint64_t>(stall + 1));
+        break;
+    }
+    return h;
+}
+
+std::string
+Frame::label() const
+{
+    switch (kind) {
+      case FrameKind::kPython:
+        return strformat("%s:%d (%s)", file.c_str(), line,
+                         function.c_str());
+      case FrameKind::kOperator:
+        return name;
+      case FrameKind::kNative:
+        return name.empty()
+                   ? strformat("pc:0x%llx",
+                               static_cast<unsigned long long>(pc))
+                   : name;
+      case FrameKind::kGpuApi:
+        return name;
+      case FrameKind::kKernel:
+        return name;
+      case FrameKind::kInstruction:
+        return strformat("pc+0x%llx",
+                         static_cast<unsigned long long>(pc));
+    }
+    return "?";
+}
+
+std::string
+toString(const CallPath &path)
+{
+    std::string out;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        out += std::string(i * 2, ' ');
+        out += path[i].label();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace dc::dlmon

@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * Multi-layer call-path frames.
+ *
+ * A unified call path spans Python frames, deep-learning operator frames,
+ * native C/C++ frames, GPU API frames, GPU kernel frames, and (for
+ * fine-grained metrics) instruction frames — Figure 3(b) of the paper.
+ * Frame equality follows Section 4.2: native/GPU frames match by program
+ * counter, Python frames by (file, line), operator frames by name.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dc::dlmon {
+
+/** Layer a frame belongs to. */
+enum class FrameKind : std::uint8_t {
+    kPython,      ///< Python file/function/line.
+    kOperator,    ///< Deep-learning operator (framework layer).
+    kNative,      ///< C/C++ frame (PC into a simulated library).
+    kGpuApi,      ///< Driver API frame (also a PC).
+    kKernel,      ///< GPU kernel function.
+    kInstruction, ///< Sampled instruction inside a kernel.
+};
+
+/** Printable kind name. */
+const char *frameKindName(FrameKind kind);
+
+/** One frame of a unified call path. */
+struct Frame {
+    FrameKind kind = FrameKind::kNative;
+
+    // Python frames.
+    std::string file;
+    std::string function;
+    int line = 0;
+
+    // Native / GPU API / instruction frames.
+    Pc pc = 0;
+
+    // Operator and kernel frames (and resolved native names in reports).
+    std::string name;
+
+    // Instruction frames: stall reason index (sim::StallReason).
+    int stall = -1;
+
+    /** Construct a Python frame. */
+    static Frame python(std::string file, std::string function, int line);
+    /** Construct an operator frame. */
+    static Frame op(std::string name);
+    /** Construct a native frame. */
+    static Frame native(Pc pc);
+    /** Construct a GPU API frame. */
+    static Frame gpuApi(Pc pc, std::string name);
+    /** Construct a kernel frame. */
+    static Frame kernel(std::string name);
+    /** Construct an instruction frame. */
+    static Frame instruction(Pc pc, int stall);
+
+    /** Equality under the paper's collapsing rules. */
+    bool sameLocation(const Frame &other) const;
+
+    /** Stable hash consistent with sameLocation. */
+    std::uint64_t locationHash() const;
+
+    /** Short printable label ("train.py:42", "aten::conv2d", ...). */
+    std::string label() const;
+};
+
+/** A root-to-leaf call path. */
+using CallPath = std::vector<Frame>;
+
+/** Human-readable one-per-line rendering (for reports/tests). */
+std::string toString(const CallPath &path);
+
+/** Flags selecting which sources dlmonitor_callpath_get integrates. */
+enum CallPathFlags : unsigned {
+    kCallPathPython = 1u << 0,
+    kCallPathFramework = 1u << 1,
+    kCallPathNative = 1u << 2,
+    kCallPathGpuKernel = 1u << 3,
+    kCallPathAll = 0xffffffffu,
+};
+
+} // namespace dc::dlmon

@@ -1,0 +1,646 @@
+#include "dlmonitor/dlmonitor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/cupti/cupti_sim.h"
+#include "sim/roctracer/roctracer_sim.h"
+
+namespace dc::dlmon {
+
+namespace {
+
+/// Bytes charged per stored forward-association frame.
+constexpr std::uint64_t kAssocFrameBytes = 72;
+
+} // namespace
+
+void
+DlMonitor::roctracerThunk(sim::roctracer::RoctracerDomain domain,
+                          const sim::ApiCallbackInfo &info, void *arg)
+{
+    (void)domain;
+    static_cast<DlMonitor *>(arg)->onGpuApi(info);
+}
+
+std::unique_ptr<DlMonitor>
+DlMonitor::init(const DlMonitorOptions &options)
+{
+    DC_CHECK(options.ctx != nullptr, "DlMonitor needs a SimContext");
+    DC_CHECK(options.runtime != nullptr, "DlMonitor needs a GpuRuntime");
+    auto monitor = std::unique_ptr<DlMonitor>(new DlMonitor(options));
+    return monitor;
+}
+
+DlMonitor::DlMonitor(const DlMonitorOptions &options)
+    : options_(options), ctx_(options.ctx)
+{
+    if (options_.torch != nullptr)
+        attachTorch();
+    if (options_.jax != nullptr)
+        attachJax();
+    attachGpu();
+}
+
+DlMonitor::~DlMonitor()
+{
+    finalize();
+}
+
+void
+DlMonitor::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+
+    if (torch_attached_) {
+        options_.torch->recordFunctions().removeGlobalCallback(
+            torch_handle_);
+        torch_attached_ = false;
+    }
+    if (jax_attached_) {
+        options_.jax->clearInstrumentation();
+        jax_attached_ = false;
+    }
+    if (gpu_attached_) {
+        if (roctracer_attached_) {
+            sim::roctracer::roctracerDisableDomainCallback(
+                *options_.runtime, options_.device,
+                sim::roctracer::kDomainHipApi);
+            roctracer_attached_ = false;
+        } else {
+            options_.runtime->unsubscribe(runtime_token_);
+        }
+        gpu_attached_ = false;
+    }
+    if (audit_attached_) {
+        options_.runtime->clearAudit();
+        audit_attached_ = false;
+    }
+    if (forward_context_bytes_ > 0) {
+        ctx_->hostMemory().release("dlmonitor.assoc",
+                                   forward_context_bytes_);
+        forward_context_bytes_ = 0;
+    }
+    framework_callbacks_.clear();
+    gpu_callbacks_.clear();
+}
+
+void
+DlMonitor::attachTorch()
+{
+    torch_handle_ =
+        options_.torch->recordFunctions().addGlobalCallback(
+            [this](const fw::RecordEvent &event) { onTorchEvent(event); });
+    torch_attached_ = true;
+}
+
+void
+DlMonitor::attachJax()
+{
+    fw::JaxInstrumentation hooks;
+    hooks.op_callback = [this](const fw::JaxOpEvent &event) {
+        onJaxOpEvent(event);
+    };
+    hooks.compile_callback =
+        [this](fw::RecordPhase phase, const std::string &name) {
+            onJaxCompile(phase, name);
+        };
+    options_.jax->setInstrumentation(std::move(hooks));
+    jax_attached_ = true;
+}
+
+void
+DlMonitor::attachGpu()
+{
+    const sim::GpuVendor vendor =
+        ctx_->device(options_.device).arch().vendor;
+
+    if (!options_.audit_config_text.empty()) {
+        // LD_AUDIT extension path: intercept functions listed in the
+        // user's configuration file (for vendor-less hardware).
+        const sim::AuditConfig config =
+            sim::AuditConfig::parse(options_.audit_config_text);
+        DC_CHECK(config.errors().empty(),
+                 "audit config parse error: ",
+                 config.errors().empty() ? "" : config.errors().front());
+        options_.runtime->installAudit(
+            config,
+            [this](const sim::ApiCallbackInfo &info) { onGpuApi(info); });
+        audit_attached_ = true;
+        return;
+    }
+
+    if (vendor == sim::GpuVendor::kNvidia) {
+        sim::cupti::Subscriber subscriber;
+        const auto result = sim::cupti::cuptiSubscribe(
+            *options_.runtime, options_.device,
+            [this](const sim::ApiCallbackInfo &info) { onGpuApi(info); },
+            &subscriber);
+        DC_CHECK(result == sim::cupti::CuptiResult::kSuccess,
+                 "cuptiSubscribe failed: ",
+                 sim::cupti::cuptiResultName(result));
+        runtime_token_ = subscriber.runtime_token;
+        gpu_attached_ = true;
+    } else if (vendor == sim::GpuVendor::kAmd) {
+        const int status = sim::roctracer::roctracerEnableDomainCallback(
+            *options_.runtime, options_.device,
+            sim::roctracer::kDomainHipApi, &DlMonitor::roctracerThunk,
+            this);
+        DC_CHECK(status == sim::roctracer::kRoctracerStatusSuccess,
+                 "roctracer enable failed: ", status);
+        gpu_attached_ = true;
+        roctracer_attached_ = true;
+    } else {
+        DC_CHECK(!options_.audit_config_text.empty() || true,
+                 "custom device without audit config: GPU domain inactive");
+    }
+}
+
+DlMonitor::ThreadState &
+DlMonitor::state(ThreadId thread)
+{
+    return thread_state_[thread];
+}
+
+std::size_t
+DlMonitor::shadowDepth(ThreadId thread) const
+{
+    auto it = thread_state_.find(thread);
+    return it == thread_state_.end() ? 0 : it->second.shadow_stack.size();
+}
+
+int
+DlMonitor::callbackRegister(Domain domain, FrameworkCallback callback)
+{
+    DC_CHECK(domain == Domain::kFramework,
+             "framework callback on non-framework domain");
+    const int handle = next_handle_++;
+    framework_callbacks_.emplace_back(handle, std::move(callback));
+    return handle;
+}
+
+int
+DlMonitor::callbackRegister(Domain domain, GpuCallback callback)
+{
+    DC_CHECK(domain == Domain::kGpu, "gpu callback on non-gpu domain");
+    const int handle = next_handle_++;
+    gpu_callbacks_.emplace_back(handle, std::move(callback));
+    return handle;
+}
+
+void
+DlMonitor::callbackUnregister(Domain domain, int handle)
+{
+    if (domain == Domain::kFramework) {
+        std::erase_if(framework_callbacks_, [handle](const auto &entry) {
+            return entry.first == handle;
+        });
+    } else {
+        std::erase_if(gpu_callbacks_, [handle](const auto &entry) {
+            return entry.first == handle;
+        });
+    }
+}
+
+void
+DlMonitor::fireFramework(const OpCallbackInfo &info)
+{
+    for (auto &[handle, callback] : framework_callbacks_) {
+        ctx_->chargeProfilingOverhead(options_.callback_dispatch_cost_ns);
+        callback(info);
+    }
+}
+
+void
+DlMonitor::fireGpu(const GpuCallbackInfo &info)
+{
+    for (auto &[handle, callback] : gpu_callbacks_) {
+        ctx_->chargeProfilingOverhead(options_.callback_dispatch_cost_ns);
+        callback(info);
+    }
+}
+
+const std::string &
+DlMonitor::symbolize(Pc pc)
+{
+    auto it = symbol_memo_.find(pc);
+    if (it == symbol_memo_.end())
+        it = symbol_memo_.emplace(pc, ctx_->libraries().describe(pc)).first;
+    return it->second;
+}
+
+std::vector<Frame>
+DlMonitor::pythonFrames() const
+{
+    const auto &frames = ctx_->currentThread().pyStack().frames();
+    ctx_->chargeProfilingOverhead(
+        static_cast<DurationNs>(frames.size()) *
+        options_.python_frame_cost_ns);
+    std::vector<Frame> out;
+    out.reserve(frames.size());
+    for (const pyrt::PyFrame &f : frames)
+        out.push_back(Frame::python(f.file, f.function, f.line));
+    return out;
+}
+
+void
+DlMonitor::recordForwardContext(SequenceId seq, const CallPath &prefix)
+{
+    auto it = forward_contexts_.find(seq);
+    if (it != forward_contexts_.end()) {
+        const std::uint64_t old_bytes =
+            static_cast<std::uint64_t>(it->second.size()) *
+            kAssocFrameBytes;
+        ctx_->hostMemory().release("dlmonitor.assoc", old_bytes);
+        forward_context_bytes_ -= old_bytes;
+    }
+    forward_contexts_[seq] = prefix;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(prefix.size()) * kAssocFrameBytes;
+    ctx_->hostMemory().allocate("dlmonitor.assoc", bytes);
+    forward_context_bytes_ += bytes;
+}
+
+CallPath
+DlMonitor::mergeFull(ThreadState &ts, unsigned flags)
+{
+    const bool want_python = flags & kCallPathPython;
+    const bool want_framework = flags & kCallPathFramework;
+    const bool want_kernel = flags & kCallPathGpuKernel;
+
+    // Build leaf -> root, then reverse.
+    std::vector<Frame> leaf_up;
+
+    if (want_kernel && ts.in_gpu_callback && !ts.current_kernel.empty())
+        leaf_up.push_back(Frame::kernel(ts.current_kernel));
+
+    const sim::NativeStack &native = ctx_->currentThread().nativeStack();
+    sim::UnwindCursor cursor(native);
+
+    // Operator frames not yet emitted, innermost first.
+    std::size_t next_shadow = ts.shadow_stack.size();
+
+    bool reached_python = false;
+    bool spliced_cache = false;
+
+    while (cursor.step()) {
+        ++stats_.native_steps;
+        ctx_->chargeProfilingOverhead(options_.native_step_cost_ns);
+        const Pc pc = cursor.current().pc;
+
+        // Call-path caching mode B: stop unwinding once we reach the
+        // frame the cached prefix ends at; splice the cached prefix
+        // (filtered to the sources this request asked for).
+        if (options_.enable_callpath_cache && ts.cache_valid &&
+            pc == ts.cache_anchor_pc) {
+            for (auto it = ts.cached_prefix.rbegin();
+                 it != ts.cached_prefix.rend(); ++it) {
+                if (it->kind == FrameKind::kPython && !want_python)
+                    continue;
+                if (it->kind == FrameKind::kOperator && !want_framework)
+                    continue;
+                leaf_up.push_back(*it);
+            }
+            ++stats_.cache_hits;
+            spliced_cache = true;
+            break;
+        }
+
+        if (ctx_->libraries().isPythonPc(pc)) {
+            // Everything above the first libpython frame is replaced by
+            // the Python call path.
+            if (want_python) {
+                std::vector<Frame> python = pythonFrames();
+                for (auto it = python.rbegin(); it != python.rend(); ++it)
+                    leaf_up.push_back(*it);
+            }
+            reached_python = true;
+            break;
+        }
+
+        if (ts.in_gpu_callback && pc == ts.current_api_pc) {
+            leaf_up.push_back(Frame::gpuApi(pc, ts.current_api_name));
+        } else {
+            Frame frame = Frame::native(pc);
+            frame.name = symbolize(pc);
+            leaf_up.push_back(std::move(frame));
+        }
+
+        // Insert the operator frame under its caller when this PC is the
+        // recorded dispatch address of a shadow-stack operator.
+        if (want_framework && next_shadow > 0 &&
+            ts.shadow_stack[next_shadow - 1].op_pc == pc) {
+            leaf_up.push_back(
+                Frame::op(ts.shadow_stack[next_shadow - 1].name));
+            --next_shadow;
+        }
+    }
+
+    // Backward threads have no Python frames; adopt the forward context
+    // recorded for this sequence number (Section 4.1 optimization).
+    if (!reached_python && !spliced_cache && want_framework &&
+        ts.assoc_valid) {
+        for (auto it = ts.assoc_prefix.rbegin();
+             it != ts.assoc_prefix.rend(); ++it) {
+            leaf_up.push_back(*it);
+        }
+    }
+
+    ctx_->chargeProfilingOverhead(
+        static_cast<DurationNs>(leaf_up.size()) *
+        options_.merge_frame_cost_ns);
+
+    return CallPath(leaf_up.rbegin(), leaf_up.rend());
+}
+
+CallPath
+DlMonitor::callpathGet(unsigned flags)
+{
+    ++stats_.callpath_requests;
+    ThreadState &ts = state(ctx_->currentThreadId());
+
+    if (flags & kCallPathNative)
+        return mergeFull(ts, flags);
+
+    // Cheap mode (native collection disabled): concatenate the cached
+    // Python path, the shadow operator stack, the GPU API, and the
+    // kernel function.
+    const bool want_python = flags & kCallPathPython;
+    const bool want_framework = flags & kCallPathFramework;
+    const bool want_kernel = flags & kCallPathGpuKernel;
+
+    CallPath out;
+    if (want_framework && ts.assoc_valid) {
+        out.insert(out.end(), ts.assoc_prefix.begin(),
+                   ts.assoc_prefix.end());
+    } else if (want_python) {
+        bool from_cache = false;
+        if (options_.enable_callpath_cache && ts.cache_valid) {
+            for (const Frame &f : ts.cached_prefix) {
+                if (f.kind == FrameKind::kPython)
+                    out.push_back(f);
+            }
+            from_cache = true;
+            ++stats_.cache_hits;
+        }
+        if (!from_cache) {
+            std::vector<Frame> python = pythonFrames();
+            out.insert(out.end(), python.begin(), python.end());
+        }
+    }
+    if (want_framework) {
+        for (const ShadowOp &op : ts.shadow_stack) {
+            if (!ts.assoc_valid || op.is_backward ||
+                out.empty() ||
+                out.back().kind != FrameKind::kOperator ||
+                out.back().name != op.name) {
+                out.push_back(Frame::op(op.name));
+            }
+        }
+    }
+    if (ts.in_gpu_callback && !ts.current_api_name.empty())
+        out.push_back(Frame::gpuApi(ts.current_api_pc,
+                                    ts.current_api_name));
+    if (want_kernel && ts.in_gpu_callback && !ts.current_kernel.empty())
+        out.push_back(Frame::kernel(ts.current_kernel));
+
+    ctx_->chargeProfilingOverhead(
+        static_cast<DurationNs>(out.size()) *
+        options_.merge_frame_cost_ns);
+    return out;
+}
+
+void
+DlMonitor::opBegin(ThreadState &ts, ShadowOp op)
+{
+    const bool is_backward = op.is_backward;
+    const SequenceId seq = op.seq;
+
+    if (is_backward) {
+        auto it = forward_contexts_.find(seq);
+        if (it != forward_contexts_.end()) {
+            ts.assoc_prefix = it->second;
+            ts.assoc_valid = true;
+        }
+    }
+
+    ts.shadow_stack.push_back(std::move(op));
+
+    CallPath prefix_py_ops;
+    if (options_.enable_callpath_cache) {
+        // Snapshot the merged prefix once per operator entry; kernel
+        // launches inside the operator splice it instead of re-unwinding.
+        ts.cache_valid = false; // avoid splicing a stale anchor
+        CallPath merged = mergeFull(
+            ts, kCallPathPython | kCallPathFramework | kCallPathNative);
+        const auto &native = ctx_->currentThread().nativeStack();
+        if (!native.empty()) {
+            ts.cache_anchor_pc = native.frames().back().pc;
+            ts.cached_prefix = merged;
+            ts.cache_valid = true;
+        }
+        for (const Frame &f : merged) {
+            if (f.kind == FrameKind::kPython ||
+                f.kind == FrameKind::kOperator) {
+                prefix_py_ops.push_back(f);
+            }
+        }
+    } else {
+        std::vector<Frame> python = pythonFrames();
+        prefix_py_ops.insert(prefix_py_ops.end(), python.begin(),
+                             python.end());
+        for (const ShadowOp &shadow : ts.shadow_stack)
+            prefix_py_ops.push_back(Frame::op(shadow.name));
+    }
+
+    if (!is_backward && seq != 0)
+        recordForwardContext(seq, prefix_py_ops);
+}
+
+void
+DlMonitor::opEnd(ThreadState &ts)
+{
+    DC_CHECK(!ts.shadow_stack.empty(), "operator end without begin");
+    ts.shadow_stack.pop_back();
+    ts.cache_valid = false;
+    if (ts.shadow_stack.empty())
+        ts.assoc_valid = false;
+}
+
+void
+DlMonitor::onTorchEvent(const fw::RecordEvent &event)
+{
+    ++stats_.op_events;
+    ThreadState &ts = state(ctx_->currentThreadId());
+
+    OpCallbackInfo info;
+    info.phase = event.phase;
+    info.name = event.name;
+    info.seq = event.seq;
+    info.is_backward = event.is_backward;
+    info.thread = ctx_->currentThreadId();
+    info.bytes = event.bytes;
+    info.alloc_delta = event.alloc_delta;
+
+    switch (event.kind) {
+      case fw::RecordKind::kOperator:
+        info.type = FwEventType::kOperator;
+        if (event.phase == fw::RecordPhase::kBegin) {
+            ShadowOp op;
+            op.name = event.name;
+            op.seq = event.seq;
+            op.is_backward = event.is_backward;
+            op.op_pc = event.op_pc;
+            opBegin(ts, std::move(op));
+            fireFramework(info);
+        } else {
+            fireFramework(info);
+            opEnd(ts);
+        }
+        break;
+      case fw::RecordKind::kMemory:
+        info.type = FwEventType::kMemory;
+        fireFramework(info);
+        break;
+      case fw::RecordKind::kGraphCompile:
+        info.type = FwEventType::kGraphCompile;
+        fireFramework(info);
+        break;
+    }
+}
+
+void
+DlMonitor::onJaxOpEvent(const fw::JaxOpEvent &event)
+{
+    ++stats_.op_events;
+    ThreadState &ts = state(ctx_->currentThreadId());
+
+    OpCallbackInfo info;
+    info.phase = event.phase;
+    info.name = event.step->name;
+    info.seq = event.seq;
+    info.is_backward = event.step->is_backward;
+    info.thread = ctx_->currentThreadId();
+    info.fused_step = event.step;
+    info.executable = event.executable;
+
+    if (event.phase == fw::RecordPhase::kBegin) {
+        ShadowOp op;
+        op.name = event.step->name;
+        op.seq = event.seq;
+        op.is_backward = event.step->is_backward;
+        op.op_pc = event.op_pc;
+        op.fused_step = event.step;
+        opBegin(ts, std::move(op));
+        fireFramework(info);
+    } else {
+        fireFramework(info);
+        opEnd(ts);
+    }
+}
+
+void
+DlMonitor::onJaxCompile(fw::RecordPhase phase, const std::string &name)
+{
+    OpCallbackInfo info;
+    info.phase = phase;
+    info.type = FwEventType::kGraphCompile;
+    info.name = name;
+    info.thread = ctx_->currentThreadId();
+    fireFramework(info);
+}
+
+void
+DlMonitor::onGpuApi(const sim::ApiCallbackInfo &info)
+{
+    ++stats_.gpu_events;
+    ThreadState &ts = state(ctx_->currentThreadId());
+
+    if (!gpu_callbacks_.empty() &&
+        ctx_->device(info.device_id).arch().vendor ==
+            sim::GpuVendor::kAmd) {
+        ctx_->chargeProfilingOverhead(options_.roctracer_event_extra_ns);
+    }
+
+    GpuCallbackInfo out;
+    out.phase = info.phase;
+    out.api = info.api;
+    out.function_name = info.function_name;
+    out.correlation_id = info.correlation_id;
+    out.device = info.device_id;
+    out.stream = info.stream;
+    out.kernel = info.kernel;
+    out.bytes = info.bytes;
+
+    if (info.phase == sim::ApiPhase::kEnter) {
+        ts.in_gpu_callback = true;
+        const auto &native = ctx_->currentThread().nativeStack();
+        ts.current_api_pc =
+            native.empty() ? 0 : native.frames().back().pc;
+        ts.current_api_name = info.function_name;
+        if (info.kernel != nullptr)
+            ts.current_kernel = info.kernel->name;
+        fireGpu(out);
+    } else {
+        fireGpu(out);
+        ts.in_gpu_callback = false;
+        ts.current_api_pc = 0;
+        ts.current_api_name.clear();
+        ts.current_kernel.clear();
+    }
+}
+
+// --- C-style global wrappers -------------------------------------------
+
+namespace {
+
+std::unique_ptr<DlMonitor> g_monitor;
+
+} // namespace
+
+DlMonitor *
+dlmonitorInit(const DlMonitorOptions &options)
+{
+    g_monitor = DlMonitor::init(options);
+    return g_monitor.get();
+}
+
+DlMonitor *
+dlmonitorInstance()
+{
+    return g_monitor.get();
+}
+
+int
+dlmonitorCallbackRegister(Domain domain, FrameworkCallback callback)
+{
+    DC_CHECK(g_monitor != nullptr, "dlmonitor not initialized");
+    return g_monitor->callbackRegister(domain, std::move(callback));
+}
+
+int
+dlmonitorCallbackRegister(Domain domain, GpuCallback callback)
+{
+    DC_CHECK(g_monitor != nullptr, "dlmonitor not initialized");
+    return g_monitor->callbackRegister(domain, std::move(callback));
+}
+
+CallPath
+dlmonitorCallpathGet(unsigned flags)
+{
+    DC_CHECK(g_monitor != nullptr, "dlmonitor not initialized");
+    return g_monitor->callpathGet(flags);
+}
+
+void
+dlmonitorFinalize()
+{
+    if (g_monitor != nullptr) {
+        g_monitor->finalize();
+        g_monitor.reset();
+    }
+}
+
+} // namespace dc::dlmon

@@ -1,0 +1,268 @@
+#pragma once
+
+/**
+ * @file
+ * DLMonitor: the "shim" layer between profilers and deep-learning
+ * frameworks (Section 4.1).
+ *
+ * Profilers never talk to frameworks or vendor APIs directly; they
+ * register callbacks for two domains:
+ *
+ *   - kFramework: operator begin/end (forward and backward), tensor
+ *     allocation, and graph-compilation events, adapted from torchsim's
+ *     addGlobalCallback and from jaxsim via the binary-instrumentation
+ *     hooks;
+ *   - kGpu: driver API callbacks, adapted from CUPTI-sim (Nvidia),
+ *     RocTracer-sim (AMD), or LD_AUDIT config entries (custom hardware).
+ *
+ * callpathGet() assembles the unified call path: it walks the native
+ * stack bottom-up, inserts operator frames where a frame's PC matches a
+ * recorded operator dispatch address, replaces everything above the first
+ * libpython frame with the Python call path, and appends the kernel frame
+ * when called from a launch callback. Forward/backward association and
+ * the two call-path caching modes from the paper's Optimizations section
+ * are implemented here.
+ */
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dlmonitor/callpath.h"
+#include "framework/jaxsim/jax_session.h"
+#include "framework/torchsim/torch_session.h"
+#include "pyrt/py_interp.h"
+#include "sim/loader/audit_config.h"
+#include "sim/roctracer/roctracer_sim.h"
+#include "sim/runtime/gpu_runtime.h"
+#include "sim/sim_context.h"
+
+namespace dc::dlmon {
+
+/** Callback domains (the paper's DLMONITOR_FRAMEWORK / DLMONITOR_GPU). */
+enum class Domain {
+    kFramework,
+    kGpu,
+};
+
+/** Framework-event categories delivered on the kFramework domain. */
+enum class FwEventType {
+    kOperator,
+    kMemory,
+    kGraphCompile,
+};
+
+/** Framework-domain callback payload. */
+struct OpCallbackInfo {
+    fw::RecordPhase phase = fw::RecordPhase::kBegin;
+    FwEventType type = FwEventType::kOperator;
+    std::string name;
+    SequenceId seq = 0;
+    bool is_backward = false;
+    ThreadId thread = 0;
+    std::uint64_t bytes = 0;
+    std::int64_t alloc_delta = 0;
+
+    /// JAX only: the fused step and executable (fused→original mapping).
+    const fw::ExecStep *fused_step = nullptr;
+    const fw::JaxExecutable *executable = nullptr;
+};
+
+/** GPU-domain callback payload. */
+struct GpuCallbackInfo {
+    sim::ApiPhase phase = sim::ApiPhase::kEnter;
+    sim::GpuApiKind api = sim::GpuApiKind::kKernelLaunch;
+    std::string function_name;
+    CorrelationId correlation_id = 0;
+    int device = 0;
+    int stream = 0;
+    const sim::KernelDesc *kernel = nullptr;
+    std::uint64_t bytes = 0;
+};
+
+using FrameworkCallback = std::function<void(const OpCallbackInfo &)>;
+using GpuCallback = std::function<void(const GpuCallbackInfo &)>;
+
+/** Construction options (the dlmonitor_init argument block). */
+struct DlMonitorOptions {
+    sim::SimContext *ctx = nullptr;
+    sim::GpuRuntime *runtime = nullptr;
+    const pyrt::PyInterpreter *interp = nullptr;
+    fw::TorchSession *torch = nullptr; ///< Attach via addGlobalCallback.
+    fw::JaxSession *jax = nullptr;     ///< Attach via binary instrumentation.
+    int device = 0;
+
+    /// Call-path caching (paper Optimizations). Off for the ablation.
+    bool enable_callpath_cache = true;
+
+    /// LD_AUDIT config text for vendor-less hardware ("" = unused).
+    std::string audit_config_text;
+
+    // Virtual-time costs of DLMonitor's own work.
+    DurationNs python_frame_cost_ns = 350;   ///< Per PyFrame walked.
+    DurationNs native_step_cost_ns = 1'800;  ///< Per unw_step (DWARF CFI).
+    DurationNs merge_frame_cost_ns = 70;     ///< Per merged output frame.
+    DurationNs callback_dispatch_cost_ns = 250; ///< Per callback fired.
+    /// Extra cost per GPU API event on AMD: roctracer's HSA intercept
+    /// layer is heavier than CUPTI's subscriber path.
+    DurationNs roctracer_event_extra_ns = 2'600;
+};
+
+/** Aggregate statistics for tests and the caching ablation. */
+struct DlMonitorStats {
+    std::uint64_t callpath_requests = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t native_steps = 0;
+    std::uint64_t op_events = 0;
+    std::uint64_t gpu_events = 0;
+};
+
+/** The shim layer. One instance per profiled process. */
+class DlMonitor
+{
+  public:
+    /** dlmonitor_init: attach to the configured substrates. */
+    static std::unique_ptr<DlMonitor> init(const DlMonitorOptions &options);
+
+    ~DlMonitor();
+
+    /** dlmonitor_finalize: release every interception. */
+    void finalize();
+
+    /** Register a framework-domain callback; returns a handle. */
+    int callbackRegister(Domain domain, FrameworkCallback callback);
+
+    /** Register a GPU-domain callback; returns a handle. */
+    int callbackRegister(Domain domain, GpuCallback callback);
+
+    /** Remove a callback. */
+    void callbackUnregister(Domain domain, int handle);
+
+    /**
+     * dlmonitor_callpath_get: assemble the unified call path for the
+     * current thread. @p flags selects the sources to integrate.
+     */
+    CallPath callpathGet(unsigned flags = kCallPathAll);
+
+    /** Stats (cache hit rates etc.). */
+    const DlMonitorStats &stats() const { return stats_; }
+
+    /** The options the monitor was initialized with. */
+    const DlMonitorOptions &options() const { return options_; }
+
+    /** Shadow operator-stack depth of a thread (for tests). */
+    std::size_t shadowDepth(ThreadId thread) const;
+
+  private:
+    explicit DlMonitor(const DlMonitorOptions &options);
+
+    /** One entry of a thread's shadow operator stack. */
+    struct ShadowOp {
+        std::string name;
+        SequenceId seq = 0;
+        bool is_backward = false;
+        Pc op_pc = 0;
+        const fw::ExecStep *fused_step = nullptr;
+    };
+
+    /** Per-thread DLMonitor state. */
+    struct ThreadState {
+        std::vector<ShadowOp> shadow_stack;
+        /// Cached merged prefix ending at the innermost operator frame.
+        CallPath cached_prefix;
+        Pc cache_anchor_pc = 0;
+        bool cache_valid = false;
+        /// Forward context adopted by a backward op (assoc. override).
+        CallPath assoc_prefix;
+        bool assoc_valid = false;
+        /// Inside a GPU API callback: the API frame and kernel name.
+        Pc current_api_pc = 0;
+        std::string current_api_name;
+        std::string current_kernel;
+        bool in_gpu_callback = false;
+    };
+
+    ThreadState &state(ThreadId thread);
+
+    void attachTorch();
+    void attachJax();
+    void attachGpu();
+
+    void onTorchEvent(const fw::RecordEvent &event);
+    void onJaxOpEvent(const fw::JaxOpEvent &event);
+    void onJaxCompile(fw::RecordPhase phase, const std::string &name);
+    void onGpuApi(const sim::ApiCallbackInfo &info);
+
+    /** C-style trampoline handed to roctracer (user-arg = this). */
+    static void roctracerThunk(sim::roctracer::RoctracerDomain domain,
+                               const sim::ApiCallbackInfo &info, void *arg);
+
+    void opBegin(ThreadState &ts, ShadowOp op);
+    void opEnd(ThreadState &ts);
+
+    /** Record the forward context of @p seq for backward association. */
+    void recordForwardContext(SequenceId seq, const CallPath &prefix);
+
+    /** Full merge of the current thread's stacks (no cache). */
+    CallPath mergeFull(ThreadState &ts, unsigned flags);
+
+    /** Python call path of the current thread as frames (leaf last). */
+    std::vector<Frame> pythonFrames() const;
+
+    /** Memoized native-frame symbolization ("lib!symbol"). */
+    const std::string &symbolize(Pc pc);
+
+    void fireFramework(const OpCallbackInfo &info);
+    void fireGpu(const GpuCallbackInfo &info);
+
+    DlMonitorOptions options_;
+    sim::SimContext *ctx_ = nullptr;
+    bool finalized_ = false;
+
+    std::vector<std::pair<int, FrameworkCallback>> framework_callbacks_;
+    std::vector<std::pair<int, GpuCallback>> gpu_callbacks_;
+    int next_handle_ = 1;
+
+    std::map<ThreadId, ThreadState> thread_state_;
+
+    /// seq -> forward (python + operator) prefix, for backward assoc.
+    std::map<SequenceId, CallPath> forward_contexts_;
+    /// pc -> display name memo (symbolization is pure; cache it).
+    std::map<Pc, std::string> symbol_memo_;
+    std::uint64_t forward_context_bytes_ = 0;
+
+    // Adapter registrations to tear down on finalize.
+    int torch_handle_ = 0;
+    bool torch_attached_ = false;
+    bool jax_attached_ = false;
+    int runtime_token_ = 0;
+    bool gpu_attached_ = false;
+    bool roctracer_attached_ = false;
+    bool audit_attached_ = false;
+
+    DlMonitorStats stats_;
+};
+
+// --- C-style API from the paper (thin wrappers over a process-global
+// --- instance, mirroring libdlmonitor.so's exported surface) -----------
+
+/** dlmonitor_init: create the process-global monitor. */
+DlMonitor *dlmonitorInit(const DlMonitorOptions &options);
+
+/** The process-global monitor (nullptr before init / after finalize). */
+DlMonitor *dlmonitorInstance();
+
+/** dlmonitor_callback_register on the global instance. */
+int dlmonitorCallbackRegister(Domain domain, FrameworkCallback callback);
+int dlmonitorCallbackRegister(Domain domain, GpuCallback callback);
+
+/** dlmonitor_callpath_get on the global instance. */
+CallPath dlmonitorCallpathGet(unsigned flags = kCallPathAll);
+
+/** dlmonitor_finalize: tear down the global instance. */
+void dlmonitorFinalize();
+
+} // namespace dc::dlmon

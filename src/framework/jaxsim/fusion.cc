@@ -1,0 +1,211 @@
+#include "framework/jaxsim/fusion.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dc::fw {
+
+std::vector<const JaxNode *>
+JaxExecutable::originalNodes(std::size_t step_index) const
+{
+    DC_CHECK(step_index < steps.size(), "bad step index");
+    std::vector<const JaxNode *> out;
+    for (int id : steps[step_index].original_node_ids) {
+        for (const JaxNode &node : nodes) {
+            if (node.id == id) {
+                out.push_back(&node);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::size_t
+JaxExecutable::kernelCount() const
+{
+    std::size_t count = 0;
+    for (const ExecStep &step : steps)
+        count += step.kernels.size();
+    return count;
+}
+
+namespace {
+
+bool
+isFusable(const JaxNode &node)
+{
+    if (!node.spec.fusable)
+        return false;
+    // Only map/reduce-style kernels participate; compute (gemm/conv)
+    // kernels would be their own XLA fusion roots.
+    const auto &kernels =
+        node.is_backward && !node.spec.backward.empty()
+            ? node.spec.backward.front().kernels
+            : node.spec.forward_kernels;
+    for (const sim::KernelDesc &k : kernels) {
+        if (k.kind != sim::KernelKind::kElementwise &&
+            k.kind != sim::KernelKind::kReduction) {
+            return false;
+        }
+    }
+    return !kernels.empty();
+}
+
+const std::vector<sim::KernelDesc> &
+nodeKernels(const JaxNode &node)
+{
+    if (node.is_backward && !node.spec.backward.empty())
+        return node.spec.backward.front().kernels;
+    return node.spec.forward_kernels;
+}
+
+std::string
+nodeStepName(const JaxNode &node)
+{
+    if (node.is_backward && !node.spec.backward.empty())
+        return node.spec.backward.front().name;
+    return node.spec.name;
+}
+
+} // namespace
+
+sim::KernelDesc
+FusionPass::fuseKernels(const std::vector<const JaxNode *> &group,
+                        int fusion_index)
+{
+    DC_CHECK(!group.empty(), "empty fusion group");
+
+    sim::KernelDesc fused;
+    fused.name = strformat("fusion_%d", fusion_index);
+    fused.kind = sim::KernelKind::kElementwise;
+    fused.block = 256;
+    fused.regs_per_thread = 40;
+
+    bool first = true;
+    std::uint64_t first_read = 0;
+    std::uint64_t last_written = 0;
+    std::uint64_t other_traffic = 0;
+    for (const JaxNode *node : group) {
+        for (const sim::KernelDesc &k : nodeKernels(*node)) {
+            fused.grid = std::max(fused.grid, k.grid);
+            fused.flops += k.flops;
+            fused.constant_bytes =
+                std::max(fused.constant_bytes, k.constant_bytes);
+            fused.vectorized = fused.vectorized && k.vectorized;
+            fused.serialization_factor = std::max(
+                fused.serialization_factor, k.serialization_factor);
+            fused.atomic_factor =
+                std::max(fused.atomic_factor, k.atomic_factor);
+            if (k.kind == sim::KernelKind::kReduction)
+                fused.kind = sim::KernelKind::kReduction;
+            if (first) {
+                first_read = k.bytes_read;
+                first = false;
+            } else {
+                other_traffic += k.bytes_read;
+            }
+            last_written = k.bytes_written;
+            other_traffic += k.bytes_written;
+        }
+    }
+    other_traffic -= std::min(other_traffic, last_written);
+
+    // Fusion's win: inputs are read once and the final output written
+    // once; intermediate tensors stay in registers. A ~15% residue models
+    // imperfect fusion (spills, multiple operands).
+    fused.bytes_read =
+        first_read + static_cast<std::uint64_t>(0.15 * other_traffic);
+    fused.bytes_written = last_written;
+    return fused;
+}
+
+std::vector<ExecStep>
+FusionPass::run(const JaxGraph &graph, FusionStats *stats)
+{
+    std::vector<ExecStep> steps;
+    FusionStats local;
+    local.input_nodes = graph.nodes.size();
+
+    for (const JaxNode &node : graph.nodes) {
+        for (const sim::KernelDesc &k : nodeKernels(node))
+            local.bytes_before += k.totalBytes();
+    }
+
+    int fusion_index = 0;
+    std::size_t i = 0;
+    while (i < graph.nodes.size()) {
+        const JaxNode &node = graph.nodes[i];
+
+        // Extend a fusable run as far as possible without crossing the
+        // forward/backward boundary.
+        if (isFusable(node)) {
+            std::vector<const JaxNode *> group;
+            std::size_t j = i;
+            while (j < graph.nodes.size() && isFusable(graph.nodes[j]) &&
+                   graph.nodes[j].is_backward == node.is_backward) {
+                group.push_back(&graph.nodes[j]);
+                ++j;
+            }
+            if (group.size() > 1) {
+                ExecStep step;
+                step.name = strformat("fusion_%d", fusion_index);
+                step.kernels.push_back(fuseKernels(group, fusion_index));
+                for (const JaxNode *member : group)
+                    step.original_node_ids.push_back(member->id);
+                step.fused = true;
+                step.is_backward = node.is_backward;
+                steps.push_back(std::move(step));
+                ++fusion_index;
+                ++local.fused_groups;
+                local.nodes_fused += group.size();
+                i = j;
+                continue;
+            }
+        }
+
+        // Epilogue fusion: XLA folds a lone elementwise op into the
+        // preceding compute kernel (gemm/conv epilogues), eliminating the
+        // intermediate's round trip through DRAM.
+        if (isFusable(node) && !steps.empty() &&
+            steps.back().is_backward == node.is_backward &&
+            !steps.back().kernels.empty() &&
+            steps.back().kernels.back().kind ==
+                sim::KernelKind::kCompute) {
+            sim::KernelDesc &base = steps.back().kernels.back();
+            for (const sim::KernelDesc &k : nodeKernels(node)) {
+                base.flops += k.flops;
+                // The intermediate stays in registers; only the final
+                // output is written.
+                base.bytes_written = k.bytes_written;
+            }
+            steps.back().original_node_ids.push_back(node.id);
+            steps.back().fused = true;
+            ++local.nodes_fused;
+            ++i;
+            continue;
+        }
+
+        // Lone node: passes through with its own kernels.
+        ExecStep step;
+        step.name = nodeStepName(node);
+        step.kernels = nodeKernels(node);
+        step.original_node_ids.push_back(node.id);
+        step.is_backward = node.is_backward;
+        steps.push_back(std::move(step));
+        ++i;
+    }
+
+    for (const ExecStep &step : steps) {
+        for (const sim::KernelDesc &k : step.kernels)
+            local.bytes_after += k.totalBytes();
+    }
+    local.output_steps = steps.size();
+    if (stats != nullptr)
+        *stats = local;
+    return steps;
+}
+
+} // namespace dc::fw

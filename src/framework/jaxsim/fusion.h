@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * The XLA-style operator-fusion pass.
+ *
+ * Greedily merges runs of consecutive fusable nodes (elementwise maps,
+ * normalizations, small reductions) into single fusion kernels, the way
+ * XLA's instruction fusion eliminates intermediate tensor traffic. The
+ * pass records which original nodes each fused kernel came from — the
+ * mapping DLMonitor captures during compilation (Figure 4) — and never
+ * fuses across the forward/backward boundary.
+ */
+
+#include "framework/jaxsim/graph.h"
+
+namespace dc::fw {
+
+/** Statistics of one fusion run (for tests and reports). */
+struct FusionStats {
+    std::size_t input_nodes = 0;
+    std::size_t output_steps = 0;
+    std::size_t fused_groups = 0;
+    std::size_t nodes_fused = 0;
+    std::uint64_t bytes_before = 0;
+    std::uint64_t bytes_after = 0;
+};
+
+/** The fusion pass. */
+class FusionPass
+{
+  public:
+    /**
+     * Run fusion on @p graph, producing executable steps.
+     * @param[out] stats Optional statistics sink.
+     */
+    static std::vector<ExecStep> run(const JaxGraph &graph,
+                                     FusionStats *stats = nullptr);
+
+    /**
+     * Merge the kernels of a fusable group into one fusion kernel.
+     * Exposed for unit testing.
+     */
+    static sim::KernelDesc fuseKernels(
+        const std::vector<const JaxNode *> &group, int fusion_index);
+};
+
+} // namespace dc::fw

@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Traced computation graphs (the jaxpr/HLO equivalent).
+ *
+ * JAX compiles operators into computation graphs before execution; the
+ * call path of each operator at runtime differs from the path where it
+ * was written (Section 4.1). Each traced node therefore stores the
+ * *compile-time* Python call path — the data behind Figure 4's
+ * fused-to-original mapping.
+ */
+
+#include <string>
+#include <vector>
+
+#include "framework/ops/op_spec.h"
+#include "pyrt/py_frame.h"
+
+namespace dc::fw {
+
+/** One traced operator. */
+struct JaxNode {
+    int id = 0;
+    OpSpec spec;
+    bool is_backward = false;
+    /// Python call path captured while tracing (compile-time path).
+    std::vector<pyrt::PyFrame> trace_py_path;
+};
+
+/** A traced (pre-compilation) graph. */
+struct JaxGraph {
+    std::string name;
+    std::vector<JaxNode> nodes;
+};
+
+/** One step of a compiled executable: a fused group or a lone op. */
+struct ExecStep {
+    std::string name;                       ///< "fusion_3" or the op name.
+    std::vector<sim::KernelDesc> kernels;
+    std::vector<int> original_node_ids;     ///< Fused->original mapping.
+    bool fused = false;
+    bool is_backward = false;
+};
+
+/** A compiled executable: ordered steps plus the preserved trace. */
+struct JaxExecutable {
+    std::string name;
+    std::vector<ExecStep> steps;
+    std::vector<JaxNode> nodes;             ///< Original traced nodes.
+    std::uint64_t workspace_bytes = 0;      ///< Per-run device workspace.
+
+    /** Original nodes merged into step @p step_index. */
+    std::vector<const JaxNode *> originalNodes(std::size_t step_index) const;
+
+    /** Total kernels launched by one run. */
+    std::size_t kernelCount() const;
+};
+
+} // namespace dc::fw

@@ -1,0 +1,207 @@
+#include "framework/jaxsim/jax_session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dc::fw {
+
+namespace {
+
+constexpr const char *kXlaLibrary = "libjax_xla_sim.so";
+
+} // namespace
+
+JaxTracer::JaxTracer(JaxSession &session, JaxGraph &graph)
+    : session_(session), graph_(graph)
+{
+}
+
+OpEnv &
+JaxTracer::opEnv()
+{
+    return session_.env_;
+}
+
+Tensor
+JaxTracer::apply(const OpSpec &spec)
+{
+    JaxNode node;
+    node.id = next_node_id_++;
+    node.spec = spec;
+    node.is_backward = false;
+    node.trace_py_path =
+        session_.ctx_.currentThread().pyStack().frames();
+    graph_.nodes.push_back(std::move(node));
+
+    // Tracing itself is cheap but not free (abstract evaluation).
+    session_.ctx_.advanceCpu(2'000);
+
+    DC_CHECK(!spec.outputs.empty(), "op ", spec.name, " has no outputs");
+    Tensor out = spec.outputs.front();
+    out.device = session_.config_.device;
+    return out;
+}
+
+JaxSession::JaxSession(sim::SimContext &ctx, sim::GpuRuntime &runtime,
+                       JaxConfig config)
+    : ctx_(ctx), runtime_(runtime), config_(config)
+{
+    DC_CHECK(config_.device >= 0 &&
+                 config_.device < static_cast<int>(ctx_.deviceCount()),
+             "jax session bound to unknown device ", config_.device);
+    env_.arch = &ctx_.device(config_.device).arch();
+    // XLA's layout assignment picks the backend-preferred layout for the
+    // whole program, so traced tensors never need conversion kernels.
+
+    xla_lib_ = ctx_.libraries().registerLibrary(kXlaLibrary, 64 << 20);
+    execute_pc_ = ctx_.libraries().registerSymbol(
+        xla_lib_, "xla::gpu::GpuExecutable::ExecuteAsyncOnStream", 4096);
+}
+
+Tensor
+JaxSession::parameter(Shape shape, Dtype dtype)
+{
+    Tensor t = env_.newTensor(std::move(shape), dtype,
+                              MemoryFormat::kContiguous);
+    t.device = config_.device;
+    ctx_.device(config_.device).allocate(t.bytes());
+    persistent_bytes_ += t.bytes();
+    return t;
+}
+
+Tensor
+JaxSession::input(Shape shape, Dtype dtype)
+{
+    // Inputs are donated buffers reused across steps.
+    return parameter(std::move(shape), dtype);
+}
+
+JaxExecutable &
+JaxSession::jit(const std::string &name, const TraceFn &fn)
+{
+    auto it = cache_.find(name);
+    if (it != cache_.end())
+        return *it->second;
+
+    if (instrumented_ && hooks_.compile_callback)
+        hooks_.compile_callback(RecordPhase::kBegin, name);
+
+    JaxGraph graph;
+    graph.name = name;
+    {
+        JaxTracer tracer(*this, graph);
+        fn(tracer);
+    }
+
+    // Autodiff: append backward nodes in reverse trace order. Each keeps
+    // the forward node's compile-time Python path (jax.grad retraces the
+    // same source).
+    if (config_.training) {
+        const std::size_t forward_count = graph.nodes.size();
+        int next_id = static_cast<int>(forward_count);
+        for (std::size_t i = forward_count; i > 0; --i) {
+            const JaxNode &fwd = graph.nodes[i - 1];
+            if (fwd.spec.backward.empty())
+                continue;
+            JaxNode bwd;
+            bwd.id = next_id++;
+            bwd.spec = fwd.spec;
+            bwd.is_backward = true;
+            bwd.trace_py_path = fwd.trace_py_path;
+            graph.nodes.push_back(std::move(bwd));
+        }
+    }
+
+    auto executable = std::make_unique<JaxExecutable>();
+    executable->name = name;
+    executable->nodes = graph.nodes;
+    executable->steps = FusionPass::run(graph);
+
+    // Workspace: one device block reused every run, sized by the live
+    // intermediate footprint.
+    std::uint64_t bytes = 0;
+    for (const JaxNode &node : graph.nodes) {
+        for (const Tensor &out : node.spec.outputs)
+            bytes = std::max(bytes, out.bytes() * 4);
+    }
+    executable->workspace_bytes = bytes;
+    ctx_.device(config_.device).allocate(bytes);
+
+    // Compilation cost scales with the traced graph.
+    ctx_.advanceCpu(static_cast<DurationNs>(graph.nodes.size()) *
+                    config_.compile_cost_per_node_ns);
+
+    if (instrumented_ && hooks_.compile_callback)
+        hooks_.compile_callback(RecordPhase::kEnd, name);
+
+    JaxExecutable &ref = *executable;
+    cache_[name] = std::move(executable);
+    return ref;
+}
+
+void
+JaxSession::run(JaxExecutable &executable)
+{
+    sim::NativeStack &native = ctx_.currentThread().nativeStack();
+    sim::NativeScope execute_frame(native, execute_pc_);
+
+    for (const ExecStep &step : executable.steps) {
+        const Pc step_pc = ctx_.libraries().registerSymbol(
+            xla_lib_, "xla::thunk::" + step.name);
+        sim::NativeScope step_frame(native, step_pc);
+        const SequenceId seq = next_seq_++;
+        ++step_count_;
+
+        JaxOpEvent event;
+        event.step = &step;
+        event.executable = &executable;
+        event.seq = seq;
+        event.op_pc = step_pc;
+
+        if (instrumented_ && hooks_.op_callback) {
+            event.phase = RecordPhase::kBegin;
+            hooks_.op_callback(event);
+        }
+
+        ctx_.advanceCpu(config_.step_cost_ns);
+        for (const sim::KernelDesc &kernel : step.kernels) {
+            ctx_.advanceCpu(config_.per_kernel_cpu_ns);
+            runtime_.launchKernel(config_.device, config_.stream, kernel);
+        }
+
+        if (instrumented_ && hooks_.op_callback) {
+            event.phase = RecordPhase::kEnd;
+            hooks_.op_callback(event);
+        }
+    }
+}
+
+void
+JaxSession::synchronize()
+{
+    runtime_.deviceSynchronize(config_.device);
+}
+
+void
+JaxSession::setInstrumentation(JaxInstrumentation hooks)
+{
+    hooks_ = std::move(hooks);
+    instrumented_ = true;
+}
+
+void
+JaxSession::clearInstrumentation()
+{
+    hooks_ = JaxInstrumentation{};
+    instrumented_ = false;
+}
+
+const JaxExecutable *
+JaxSession::findExecutable(const std::string &name) const
+{
+    auto it = cache_.find(name);
+    return it == cache_.end() ? nullptr : it->second.get();
+}
+
+} // namespace dc::fw

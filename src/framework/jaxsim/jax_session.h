@@ -1,0 +1,145 @@
+#pragma once
+
+/**
+ * @file
+ * The JIT (JAX-like) framework: tracing, compilation with fusion, and
+ * compiled execution.
+ *
+ * Two properties matter for DeepContext (Section 4.1): JAX has no native
+ * per-operator callback mechanism, and once compiled, operators run with
+ * call paths unrelated to the code that wrote them. The session therefore
+ * exposes an *instrumentation* interface — the stand-in for DLMonitor's
+ * lightweight binary-instrumentation utility — which injects callbacks
+ * around every post-fusion step and around the compilation window, and
+ * hands the instrumentor the fused-to-original mapping.
+ */
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "framework/jaxsim/fusion.h"
+#include "framework/jaxsim/graph.h"
+#include "framework/torchsim/record_function.h"
+#include "sim/runtime/gpu_runtime.h"
+#include "sim/sim_context.h"
+
+namespace dc::fw {
+
+/** JIT-engine tuning knobs. */
+struct JaxConfig {
+    int device = 0;
+    int stream = 0;
+    bool training = true;        ///< Trace backward nodes into the graph.
+    /// Compiled-executor cost per step (much lower than eager dispatch).
+    DurationNs step_cost_ns = 9'000;
+    /// Extra CPU per launched kernel.
+    DurationNs per_kernel_cpu_ns = 2'500;
+    /// Compilation cost per traced node.
+    DurationNs compile_cost_per_node_ns = 1'500'000;
+};
+
+class JaxSession;
+
+/** Records operators into a graph while the model function runs. */
+class JaxTracer
+{
+  public:
+    JaxTracer(JaxSession &session, JaxGraph &graph);
+
+    /** Trace one operator; returns its (abstract) output. */
+    Tensor apply(const OpSpec &spec);
+
+    /** Op-planning environment (tracing does not allocate). */
+    OpEnv &opEnv();
+
+  private:
+    JaxSession &session_;
+    JaxGraph &graph_;
+    int next_node_id_ = 0;
+};
+
+/** Event delivered to the instrumentation around each compiled step. */
+struct JaxOpEvent {
+    RecordPhase phase = RecordPhase::kBegin;
+    const ExecStep *step = nullptr;
+    const JaxExecutable *executable = nullptr;
+    SequenceId seq = 0;
+    Pc op_pc = 0;
+};
+
+/** The instrumentation hooks DLMonitor's binary instrumentation installs. */
+struct JaxInstrumentation {
+    std::function<void(const JaxOpEvent &)> op_callback;
+    std::function<void(RecordPhase, const std::string &graph_name)>
+        compile_callback;
+};
+
+/** The JIT framework session. */
+class JaxSession
+{
+  public:
+    using TraceFn = std::function<void(JaxTracer &)>;
+
+    JaxSession(sim::SimContext &ctx, sim::GpuRuntime &runtime,
+               JaxConfig config = {});
+
+    sim::SimContext &context() { return ctx_; }
+    sim::GpuRuntime &runtime() { return runtime_; }
+    const JaxConfig &config() const { return config_; }
+    OpEnv &opEnv() { return env_; }
+
+    // --- Tensors (allocated at setup time, outside tracing) -----------
+
+    Tensor parameter(Shape shape, Dtype dtype = Dtype::kF32);
+    Tensor input(Shape shape, Dtype dtype = Dtype::kF32);
+
+    // --- Compile & run -------------------------------------------------
+
+    /**
+     * Trace @p fn and compile it (fusion pass included). Cached by name:
+     * the second jit() with the same name reuses the executable without
+     * recompiling, like jax.jit's trace cache.
+     */
+    JaxExecutable &jit(const std::string &name, const TraceFn &fn);
+
+    /** Execute a compiled function once. */
+    void run(JaxExecutable &executable);
+
+    /** Device-synchronize. */
+    void synchronize();
+
+    // --- Instrumentation (used by DLMonitor) ---------------------------
+
+    void setInstrumentation(JaxInstrumentation hooks);
+    void clearInstrumentation();
+    bool instrumented() const { return instrumented_; }
+
+    /** Find a cached executable (nullptr if absent). */
+    const JaxExecutable *findExecutable(const std::string &name) const;
+
+    /** Total compiled steps executed. */
+    std::uint64_t stepCount() const { return step_count_; }
+
+  private:
+    friend class JaxTracer;
+
+    sim::SimContext &ctx_;
+    sim::GpuRuntime &runtime_;
+    JaxConfig config_;
+    OpEnv env_;
+
+    int xla_lib_ = -1;
+    Pc execute_pc_ = 0;
+
+    std::map<std::string, std::unique_ptr<JaxExecutable>> cache_;
+    JaxInstrumentation hooks_;
+    bool instrumented_ = false;
+
+    SequenceId next_seq_ = 1;
+    std::uint64_t step_count_ = 0;
+    std::uint64_t persistent_bytes_ = 0;
+};
+
+} // namespace dc::fw

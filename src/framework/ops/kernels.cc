@@ -1,0 +1,133 @@
+#include "framework/ops/kernels.h"
+
+#include <algorithm>
+
+namespace dc::fw::kernels {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+sim::KernelDesc
+elementwise(const std::string &name, std::int64_t elems, std::uint64_t bytes,
+            double flops_per_elem)
+{
+    sim::KernelDesc k;
+    k.name = name;
+    k.kind = sim::KernelKind::kElementwise;
+    k.block = 256;
+    // PyTorch's elementwise kernels process 4 elements per thread.
+    k.grid = std::max<std::uint64_t>(
+        1, ceilDiv(static_cast<std::uint64_t>(elems), 256ull * 4ull));
+    k.regs_per_thread = 24;
+    k.flops = static_cast<double>(elems) * flops_per_elem;
+    k.bytes_read = bytes / 2;
+    k.bytes_written = bytes - k.bytes_read;
+    return k;
+}
+
+sim::KernelDesc
+gemm(const std::string &name, std::int64_t m, std::int64_t n, std::int64_t k,
+     std::size_t elem_size, bool tensor_cores)
+{
+    sim::KernelDesc desc;
+    desc.name = name;
+    desc.kind = sim::KernelKind::kCompute;
+    desc.block = 256;
+    // 128x128 output tiles per CTA.
+    desc.grid = std::max<std::uint64_t>(
+        1, ceilDiv(static_cast<std::uint64_t>(m), 128) *
+               ceilDiv(static_cast<std::uint64_t>(n), 128));
+    // Skinny problems (GEMV-like m, or wgrad's huge reduction dimension)
+    // are decomposed with split-K so the whole device streams the
+    // operands: one CTA per ~128 KiB of input.
+    const std::uint64_t input_bytes =
+        (static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(k) +
+         static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(n)) *
+        elem_size;
+    desc.grid = std::max(desc.grid,
+                         std::min<std::uint64_t>(
+                             8192, ceilDiv(input_bytes, 128 * 1024)));
+    desc.regs_per_thread = 128;
+    desc.shared_mem_bytes = 48 * 1024;
+    desc.uses_tensor_cores = tensor_cores;
+    desc.flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                 static_cast<double>(k);
+    desc.bytes_read =
+        (static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(k) +
+         static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(n)) *
+        elem_size;
+    desc.bytes_written = static_cast<std::uint64_t>(m) *
+                         static_cast<std::uint64_t>(n) * elem_size;
+    return desc;
+}
+
+sim::KernelDesc
+rowReduction(const std::string &name, std::int64_t rows, std::int64_t cols,
+             std::uint64_t bytes)
+{
+    sim::KernelDesc k;
+    k.name = name;
+    k.kind = sim::KernelKind::kReduction;
+    k.block = 256;
+    k.grid = std::max<std::int64_t>(1, rows);
+    k.regs_per_thread = 32;
+    k.shared_mem_bytes = 4 * 1024;
+    k.flops = static_cast<double>(rows) * static_cast<double>(cols) * 2.0;
+    k.bytes_read = bytes;
+    k.bytes_written = static_cast<std::uint64_t>(rows) * 4;
+    return k;
+}
+
+sim::KernelDesc
+layoutConversion(const std::string &name, std::uint64_t tensor_bytes)
+{
+    sim::KernelDesc k;
+    k.name = name;
+    k.kind = sim::KernelKind::kLayoutConversion;
+    k.block = 256;
+    k.grid = std::max<std::uint64_t>(1, ceilDiv(tensor_bytes / 4, 256 * 4));
+    k.regs_per_thread = 32;
+    k.bytes_read = tensor_bytes;
+    k.bytes_written = tensor_bytes;
+    // Transposing small-channel NCHW tensors is strided on one side; the
+    // conversion kernels reach well under half of peak bandwidth.
+    k.serialization_factor = 2.4;
+    return k;
+}
+
+sim::KernelDesc
+gather(const std::string &name, std::int64_t rows, std::uint64_t row_bytes)
+{
+    sim::KernelDesc k;
+    k.name = name;
+    k.kind = sim::KernelKind::kGatherScatter;
+    k.block = 128;
+    k.grid = std::max<std::int64_t>(1, ceilDiv(
+        static_cast<std::uint64_t>(rows) * std::max<std::uint64_t>(
+            1, row_bytes / 16), 128));
+    k.grid = std::min<std::uint64_t>(k.grid, 65535);
+    k.regs_per_thread = 32;
+    k.bytes_read = static_cast<std::uint64_t>(rows) * row_bytes +
+                   static_cast<std::uint64_t>(rows) * 8; // index reads
+    k.bytes_written = static_cast<std::uint64_t>(rows) * row_bytes;
+    return k;
+}
+
+sim::KernelDesc
+scatter(const std::string &name, std::int64_t rows, std::uint64_t row_bytes,
+        double serialization, double atomic)
+{
+    sim::KernelDesc k = gather(name, rows, row_bytes);
+    k.serialization_factor = serialization;
+    k.atomic_factor = atomic;
+    return k;
+}
+
+} // namespace dc::fw::kernels

@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Kernel-geometry helpers shared by the operator builders.
+ *
+ * Each helper produces a KernelDesc with launch geometry and volumes that
+ * follow the conventions of real PyTorch/cuDNN/MIOpen kernels closely
+ * enough that the cost model's occupancy and roofline terms respond the
+ * way the paper's case studies describe.
+ */
+
+#include <string>
+
+#include "framework/tensor/tensor.h"
+#include "sim/gpu/kernel.h"
+
+namespace dc::fw::kernels {
+
+/** Elementwise map kernel: @p elems elements, @p bytes total traffic. */
+sim::KernelDesc elementwise(const std::string &name, std::int64_t elems,
+                            std::uint64_t bytes, double flops_per_elem = 1.0);
+
+/** Dense GEMM kernel (optionally on the matrix units). */
+sim::KernelDesc gemm(const std::string &name, std::int64_t m, std::int64_t n,
+                     std::int64_t k, std::size_t elem_size,
+                     bool tensor_cores = true);
+
+/** Row-wise reduction kernel over a [rows, cols] view. */
+sim::KernelDesc rowReduction(const std::string &name, std::int64_t rows,
+                             std::int64_t cols, std::uint64_t bytes);
+
+/** Pure layout-conversion kernel (nchwToNhwc and friends). */
+sim::KernelDesc layoutConversion(const std::string &name,
+                                 std::uint64_t tensor_bytes);
+
+/** Gather kernel: @p rows lookups of @p row_bytes each. */
+sim::KernelDesc gather(const std::string &name, std::int64_t rows,
+                       std::uint64_t row_bytes);
+
+/**
+ * Scatter kernel. @p serialization > 1 models the deterministic
+ * duplicate-index serialization of indexing_backward_kernel; @p atomic
+ * models the contended-atomic alternative.
+ */
+sim::KernelDesc scatter(const std::string &name, std::int64_t rows,
+                        std::uint64_t row_bytes, double serialization,
+                        double atomic);
+
+} // namespace dc::fw::kernels

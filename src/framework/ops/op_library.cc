@@ -1,0 +1,897 @@
+#include "framework/ops/op_library.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "framework/ops/kernels.h"
+
+namespace dc::fw {
+
+std::uint64_t
+OpSpec::forwardBytes() const
+{
+    std::uint64_t total = 0;
+    for (const sim::KernelDesc &k : forward_kernels)
+        total += k.totalBytes();
+    return total;
+}
+
+double
+OpSpec::forwardFlops() const
+{
+    double total = 0.0;
+    for (const sim::KernelDesc &k : forward_kernels)
+        total += k.flops;
+    return total;
+}
+
+namespace ops {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+bool
+isNvidia(const OpEnv &env)
+{
+    return env.arch->vendor == sim::GpuVendor::kNvidia;
+}
+
+/**
+ * CTA count of the shared batch_norm/instance_norm CUDA template.
+ * The template packs (warp_size / 32) normalization slices per CTA, so a
+ * warp-64 device produces half as many CTAs for the same problem (§6.5).
+ * The norm_cta_fix knob packs one slice per CTA instead.
+ */
+std::uint64_t
+normTemplateGrid(const OpEnv &env, std::int64_t slices)
+{
+    const int slices_per_cta =
+        env.norm_cta_fix ? 1 : std::max(1, env.arch->warp_size / 32);
+    return std::max<std::uint64_t>(
+        1, ceilDiv(static_cast<std::uint64_t>(slices),
+                   static_cast<std::uint64_t>(slices_per_cta)));
+}
+
+sim::KernelDesc
+normTemplateKernel(const OpEnv &env, const std::string &name,
+                   std::int64_t slices, std::uint64_t bytes, double flops)
+{
+    sim::KernelDesc k;
+    k.name = name;
+    k.kind = sim::KernelKind::kReduction;
+    k.grid = normTemplateGrid(env, slices);
+    k.block = 512;
+    k.regs_per_thread = 64;
+    k.shared_mem_bytes = 8 * 1024;
+    k.bytes_read = bytes / 2;
+    k.bytes_written = bytes - k.bytes_read;
+    k.flops = flops;
+    // The template's reductions use 32-lane shuffles: on wider wavefronts
+    // half the lanes idle through every reduction step, and the fixed
+    // shared-memory tile adds bank conflicts for 64-wide accesses (§6.5).
+    if (env.arch->warp_size > 32 && !env.norm_cta_fix) {
+        const double ratio =
+            static_cast<double>(env.arch->warp_size) / 32.0;
+        k.serialization_factor = ratio * 1.4;
+    }
+    return k;
+}
+
+/** Output spatial size of a convolution. */
+std::int64_t
+convOut(std::int64_t in, int kernel, int stride, int pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+} // namespace
+
+OpSpec
+conv2d(OpEnv &env, const Tensor &x, const Tensor &w, Conv2dOpts opts)
+{
+    DC_CHECK(x.shape.size() == 4 && w.shape.size() == 4,
+             "conv2d expects 4-D tensors");
+    const std::int64_t n = x.shape[0];
+    const std::int64_t c = x.shape[1];
+    const std::int64_t h = x.shape[2];
+    const std::int64_t ww = x.shape[3];
+    const std::int64_t k_out = w.shape[0];
+    const std::int64_t r = w.shape[2];
+    const std::int64_t s = w.shape[3];
+    DC_CHECK(w.shape[1] == c, "conv2d channel mismatch");
+
+    const std::int64_t ho = convOut(h, static_cast<int>(r), opts.stride,
+                                    opts.pad);
+    const std::int64_t wo = convOut(ww, static_cast<int>(s), opts.stride,
+                                    opts.pad);
+
+    OpSpec spec;
+    spec.name = "aten::conv2d";
+
+    const MemoryFormat preferred = env.preferredConvLayout();
+    const bool needs_conversion =
+        x.shape.size() == 4 && x.format != preferred;
+
+    Tensor out = env.newTensor({n, k_out, ho, wo}, x.dtype, x.format);
+
+    const char *to_backend = isNvidia(env) ? "cudnn::nchwToNhwcKernel"
+                                           : "miopen::transposeNhwcToNchw";
+    const char *from_backend = isNvidia(env) ? "cudnn::nhwcToNchwKernel"
+                                             : "miopen::transposeNchwToNhwc";
+
+    if (needs_conversion) {
+        spec.forward_kernels.push_back(
+            kernels::layoutConversion(to_backend, x.bytes()));
+    }
+
+    sim::KernelDesc main = kernels::gemm(
+        isNvidia(env) ? "sm80_xmma_fprop_implicit_gemm_tf32f32"
+                      : "miopen_igemm_fwd",
+        n * ho * wo, k_out, c * r * s, dtypeSize(x.dtype),
+        /*tensor_cores=*/true);
+    main.kind = sim::KernelKind::kCompute;
+    spec.forward_kernels.push_back(main);
+
+    if (needs_conversion) {
+        spec.forward_kernels.push_back(
+            kernels::layoutConversion(from_backend, out.bytes()));
+    }
+
+    // Backward: dgrad + wgrad; conversions are paid again on the gradient
+    // tensors when the layouts mismatch.
+    BackwardOp bwd;
+    bwd.name = "ConvolutionBackward0";
+    if (needs_conversion) {
+        bwd.kernels.push_back(
+            kernels::layoutConversion(to_backend, out.bytes()));
+    }
+    bwd.kernels.push_back(kernels::gemm(
+        isNvidia(env) ? "sm80_xmma_dgrad_implicit_gemm_tf32f32"
+                      : "miopen_igemm_bwd_data",
+        n * ho * wo, c, k_out * r * s, dtypeSize(x.dtype), true));
+    bwd.kernels.push_back(kernels::gemm(
+        isNvidia(env) ? "sm80_xmma_wgrad_implicit_gemm_tf32f32"
+                      : "miopen_igemm_bwd_weights",
+        k_out, c * r * s, n * ho * wo, dtypeSize(x.dtype), true));
+    if (needs_conversion) {
+        bwd.kernels.push_back(
+            kernels::layoutConversion(from_backend, x.bytes()));
+    }
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+convTranspose2d(OpEnv &env, const Tensor &x, const Tensor &w, int stride)
+{
+    DC_CHECK(x.shape.size() == 4 && w.shape.size() == 4,
+             "conv_transpose2d expects 4-D tensors");
+    const std::int64_t n = x.shape[0];
+    const std::int64_t c = x.shape[1];
+    const std::int64_t h = x.shape[2];
+    const std::int64_t ww = x.shape[3];
+    const std::int64_t k_out = w.shape[0];
+    const std::int64_t r = w.shape[2];
+
+    OpSpec spec;
+    spec.name = "aten::conv_transpose2d";
+    Tensor out =
+        env.newTensor({n, k_out, h * stride, ww * stride}, x.dtype,
+                      x.format);
+
+    sim::KernelDesc main = kernels::gemm(
+        isNvidia(env) ? "sm80_xmma_dgrad_implicit_gemm_tf32f32"
+                      : "miopen_igemm_bwd_data",
+        n * h * stride * ww * stride, k_out, c * r * r,
+        dtypeSize(x.dtype), true);
+    spec.forward_kernels.push_back(main);
+
+    BackwardOp bwd;
+    bwd.name = "ConvTranspose2DBackward0";
+    bwd.kernels.push_back(kernels::gemm(
+        isNvidia(env) ? "sm80_xmma_fprop_implicit_gemm_tf32f32"
+                      : "miopen_igemm_fwd",
+        n * h * ww, c, k_out * r * r, dtypeSize(x.dtype), true));
+    bwd.kernels.push_back(kernels::gemm(
+        isNvidia(env) ? "sm80_xmma_wgrad_implicit_gemm_tf32f32"
+                      : "miopen_igemm_bwd_weights",
+        k_out, c * r * r, n * h * ww, dtypeSize(x.dtype), true));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+matmul(OpEnv &env, const Tensor &a, const Tensor &b)
+{
+    DC_CHECK(a.shape.size() >= 2 && b.shape.size() == 2,
+             "matmul expects [*,K] x [K,N]");
+    const std::int64_t k = a.shape.back();
+    DC_CHECK(b.shape[0] == k, "matmul inner-dimension mismatch");
+    std::int64_t m = 1;
+    for (std::size_t i = 0; i + 1 < a.shape.size(); ++i)
+        m *= a.shape[i];
+    const std::int64_t n = b.shape[1];
+
+    OpSpec spec;
+    spec.name = "aten::matmul";
+    Shape out_shape(a.shape.begin(), a.shape.end() - 1);
+    out_shape.push_back(n);
+    Tensor out = env.newTensor(std::move(out_shape), a.dtype);
+
+    spec.forward_kernels.push_back(kernels::gemm(
+        isNvidia(env) ? "ampere_sgemm_128x128_tn" : "Cijk_Ailk_Bljk_SB",
+        m, n, k, dtypeSize(a.dtype), true));
+
+    BackwardOp bwd;
+    bwd.name = "MmBackward0";
+    bwd.kernels.push_back(kernels::gemm(
+        isNvidia(env) ? "ampere_sgemm_128x128_nn" : "Cijk_Ailk_Bjlk_SB",
+        m, k, n, dtypeSize(a.dtype), true));
+    bwd.kernels.push_back(kernels::gemm(
+        isNvidia(env) ? "ampere_sgemm_128x128_nt" : "Cijk_Alik_Bljk_SB",
+        k, n, m, dtypeSize(a.dtype), true));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+bmm(OpEnv &env, const Tensor &a, const Tensor &b)
+{
+    DC_CHECK(a.shape.size() == 3 && b.shape.size() == 3,
+             "bmm expects 3-D tensors");
+    const std::int64_t batch = a.shape[0];
+    const std::int64_t m = a.shape[1];
+    const std::int64_t k = a.shape[2];
+    const std::int64_t n = b.shape[2];
+    DC_CHECK(b.shape[0] == batch && b.shape[1] == k, "bmm shape mismatch");
+
+    OpSpec spec;
+    spec.name = "aten::bmm";
+    Tensor out = env.newTensor({batch, m, n}, a.dtype);
+
+    spec.forward_kernels.push_back(kernels::gemm(
+        isNvidia(env) ? "ampere_bmm_128x64_tn" : "Cijk_Bmm_SB",
+        batch * m, n, k, dtypeSize(a.dtype), true));
+
+    BackwardOp bwd;
+    bwd.name = "BmmBackward0";
+    bwd.kernels.push_back(kernels::gemm("bmm_dgrad_a", batch * m, k, n,
+                                        dtypeSize(a.dtype), true));
+    bwd.kernels.push_back(kernels::gemm("bmm_dgrad_b", batch * k, n, m,
+                                        dtypeSize(a.dtype), true));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+linear(OpEnv &env, const Tensor &x, const Tensor &w)
+{
+    DC_CHECK(w.shape.size() == 2, "linear weight must be 2-D");
+    const std::int64_t k = x.shape.back();
+    DC_CHECK(w.shape[1] == k, "linear inner-dimension mismatch");
+    std::int64_t m = 1;
+    for (std::size_t i = 0; i + 1 < x.shape.size(); ++i)
+        m *= x.shape[i];
+    const std::int64_t n = w.shape[0];
+
+    OpSpec spec;
+    spec.name = "aten::linear";
+    Shape out_shape(x.shape.begin(), x.shape.end() - 1);
+    out_shape.push_back(n);
+    Tensor out = env.newTensor(std::move(out_shape), x.dtype);
+
+    spec.forward_kernels.push_back(kernels::gemm(
+        isNvidia(env) ? "ampere_fp16_s16816gemm_fp16_128x128_ldg8_relu_tn"
+                      : "Cijk_Linear_HB",
+        m, n, k, dtypeSize(x.dtype), true));
+
+    BackwardOp bwd;
+    bwd.name = "AddmmBackward0";
+    bwd.kernels.push_back(kernels::gemm("linear_dgrad", m, k, n,
+                                        dtypeSize(x.dtype), true));
+    bwd.kernels.push_back(kernels::gemm("linear_wgrad", n, k, m,
+                                        dtypeSize(x.dtype), true));
+    bwd.kernels.push_back(kernels::rowReduction(
+        "reduce_kernel<BiasGrad>", n, m,
+        static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+            dtypeSize(x.dtype)));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+namespace {
+
+/** Shared shape for unary elementwise ops. */
+OpSpec
+unaryElementwise(OpEnv &env, const Tensor &x, const char *op_name,
+                 const char *kernel_name, const char *backward_name,
+                 double flops_per_elem)
+{
+    OpSpec spec;
+    spec.name = op_name;
+    spec.fusable = true;
+    Tensor out = env.newTensor(x.shape, x.dtype, x.format);
+    spec.forward_kernels.push_back(kernels::elementwise(
+        kernel_name, x.elements(), 2 * x.bytes(), flops_per_elem));
+
+    BackwardOp bwd;
+    bwd.name = backward_name;
+    bwd.kernels.push_back(kernels::elementwise(
+        "elementwise_kernel<BackwardFunctor>", x.elements(), 3 * x.bytes(),
+        flops_per_elem));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+} // namespace
+
+OpSpec
+relu(OpEnv &env, const Tensor &x)
+{
+    return unaryElementwise(env, x, "aten::relu",
+                            "vectorized_elementwise_kernel<ReluFunctor>",
+                            "ReluBackward0", 1.0);
+}
+
+OpSpec
+gelu(OpEnv &env, const Tensor &x)
+{
+    return unaryElementwise(env, x, "aten::gelu",
+                            "vectorized_elementwise_kernel<GeluFunctor>",
+                            "GeluBackward0", 8.0);
+}
+
+OpSpec
+dropout(OpEnv &env, const Tensor &x)
+{
+    return unaryElementwise(
+        env, x, "aten::dropout",
+        "fused_dropout_kernel_vec", "NativeDropoutBackward0", 3.0);
+}
+
+OpSpec
+add(OpEnv &env, const Tensor &a, const Tensor &b)
+{
+    (void)b;
+    OpSpec spec;
+    spec.name = "aten::add";
+    spec.fusable = true;
+    Tensor out = env.newTensor(a.shape, a.dtype, a.format);
+    spec.forward_kernels.push_back(kernels::elementwise(
+        "vectorized_elementwise_kernel<AddFunctor>", a.elements(),
+        3 * a.bytes(), 1.0));
+    // Addition backward is a gradient pass-through: no kernels.
+    spec.backward.push_back(BackwardOp{"AddBackward0", {}});
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+mul(OpEnv &env, const Tensor &a, const Tensor &b)
+{
+    (void)b;
+    OpSpec spec;
+    spec.name = "aten::mul";
+    spec.fusable = true;
+    Tensor out = env.newTensor(a.shape, a.dtype, a.format);
+    spec.forward_kernels.push_back(kernels::elementwise(
+        "vectorized_elementwise_kernel<MulFunctor>", a.elements(),
+        3 * a.bytes(), 1.0));
+    BackwardOp bwd;
+    bwd.name = "MulBackward0";
+    bwd.kernels.push_back(kernels::elementwise(
+        "elementwise_kernel<MulBackward>", a.elements(), 4 * a.bytes(),
+        2.0));
+    spec.backward.push_back(std::move(bwd));
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+namespace {
+
+OpSpec
+normOp(OpEnv &env, const Tensor &x, const char *op_name,
+       const char *backward_name, std::int64_t slices)
+{
+    OpSpec spec;
+    spec.name = op_name;
+    spec.fusable = true;
+    Tensor out = env.newTensor(x.shape, x.dtype, x.format);
+
+    spec.forward_kernels.push_back(normTemplateKernel(
+        env, "batch_norm_collect_statistics_kernel", slices, x.bytes(),
+        static_cast<double>(x.elements()) * 2.0));
+    spec.forward_kernels.push_back(normTemplateKernel(
+        env, "batch_norm_transform_input_kernel", slices, 2 * x.bytes(),
+        static_cast<double>(x.elements()) * 2.0));
+
+    BackwardOp bwd;
+    bwd.name = backward_name;
+    bwd.kernels.push_back(normTemplateKernel(
+        env, "batch_norm_backward_cuda_template", slices, 3 * x.bytes(),
+        static_cast<double>(x.elements()) * 4.0));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+} // namespace
+
+OpSpec
+batchNorm(OpEnv &env, const Tensor &x)
+{
+    DC_CHECK(x.shape.size() == 4, "batch_norm expects 4-D input");
+    // One slice per channel.
+    return normOp(env, x, "aten::batch_norm", "NativeBatchNormBackward0",
+                  x.shape[1]);
+}
+
+OpSpec
+instanceNorm(OpEnv &env, const Tensor &x)
+{
+    DC_CHECK(x.shape.size() == 4, "instance_norm expects 4-D input");
+    // One slice per (sample, channel) plane.
+    return normOp(env, x, "aten::instance_norm", "InstanceNormBackward0",
+                  x.shape[0] * x.shape[1]);
+}
+
+OpSpec
+layerNorm(OpEnv &env, const Tensor &x)
+{
+    const std::int64_t d = x.shape.back();
+    const std::int64_t rows = x.elements() / std::max<std::int64_t>(1, d);
+
+    OpSpec spec;
+    spec.name = "aten::layer_norm";
+    spec.fusable = true;
+    Tensor out = env.newTensor(x.shape, x.dtype, x.format);
+    spec.forward_kernels.push_back(kernels::rowReduction(
+        "vectorized_layer_norm_kernel", rows, d, 2 * x.bytes()));
+
+    BackwardOp bwd;
+    bwd.name = "NativeLayerNormBackward0";
+    bwd.kernels.push_back(kernels::rowReduction(
+        "layer_norm_grad_input_kernel", rows, d, 3 * x.bytes()));
+    bwd.kernels.push_back(kernels::rowReduction(
+        "GammaBetaBackwardCUDAKernel", d, rows, x.bytes()));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+rmsNorm(OpEnv &env, const Tensor &x)
+{
+    const std::int64_t d = x.shape.back();
+    const std::int64_t rows = x.elements() / std::max<std::int64_t>(1, d);
+
+    OpSpec spec;
+    spec.name = "aten::rms_norm";
+    spec.fusable = true;
+    Tensor out = env.newTensor(x.shape, x.dtype, x.format);
+    sim::KernelDesc k = kernels::rowReduction("rms_norm_kernel", rows, d,
+                                              2 * x.bytes());
+    // The RMSNorm epsilon/weight constants live in constant memory.
+    k.constant_bytes = 1024;
+    spec.forward_kernels.push_back(k);
+
+    BackwardOp bwd;
+    bwd.name = "RmsNormBackward0";
+    bwd.kernels.push_back(kernels::rowReduction("rms_norm_backward_kernel",
+                                                rows, d, 3 * x.bytes()));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+to(OpEnv &env, const Tensor &x, Dtype target)
+{
+    OpSpec spec;
+    spec.name = "aten::to";
+    spec.fusable = true;
+    Tensor out = env.newTensor(x.shape, target, x.format);
+
+    const std::uint64_t bytes = x.bytes() + out.bytes();
+    sim::KernelDesc k = kernels::elementwise(
+        env.vectorized_casts
+            ? "vectorized_elementwise_kernel<CastFunctor>"
+            : "elementwise_kernel<CastFunctor>",
+        x.elements(), bytes, 1.0);
+    k.vectorized = env.vectorized_casts;
+    // Conversion kernels load rounding-mode/scale constants per CTA.
+    k.constant_bytes = 1536;
+    spec.forward_kernels.push_back(k);
+
+    BackwardOp bwd;
+    bwd.name = "ToCopyBackward0";
+    sim::KernelDesc kb = k;
+    kb.name = env.vectorized_casts
+                  ? "vectorized_elementwise_kernel<CastFunctor>"
+                  : "elementwise_kernel<CastFunctor>";
+    bwd.kernels.push_back(kb);
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+softmax(OpEnv &env, const Tensor &x)
+{
+    const std::int64_t d = x.shape.back();
+    const std::int64_t rows = x.elements() / std::max<std::int64_t>(1, d);
+
+    OpSpec spec;
+    spec.name = "aten::softmax";
+    spec.fusable = true;
+    Tensor out = env.newTensor(x.shape, x.dtype, x.format);
+    spec.forward_kernels.push_back(kernels::rowReduction(
+        "softmax_warp_forward", rows, d, 2 * x.bytes()));
+
+    BackwardOp bwd;
+    bwd.name = "SoftmaxBackward0";
+    bwd.kernels.push_back(kernels::rowReduction("softmax_warp_backward",
+                                                rows, d, 3 * x.bytes()));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+logSoftmax(OpEnv &env, const Tensor &x)
+{
+    OpSpec spec = softmax(env, x);
+    spec.name = "aten::log_softmax";
+    spec.forward_kernels.front().name = "cunn_SoftMaxForward<LogSoftMax>";
+    spec.backward.front().name = "LogSoftmaxBackward0";
+    return spec;
+}
+
+OpSpec
+copy(OpEnv &env, const Tensor &x)
+{
+    OpSpec spec;
+    spec.name = "aten::copy_";
+    spec.fusable = true;
+    Tensor out = env.newTensor(x.shape, x.dtype, x.format);
+    spec.forward_kernels.push_back(kernels::elementwise(
+        "copy_device_to_device", x.elements(), 2 * x.bytes(), 0.0));
+    spec.backward.push_back(BackwardOp{"CopyBackwards", {}});
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+nllLoss(OpEnv &env, const Tensor &probs)
+{
+    const std::int64_t rows = probs.shape.front();
+
+    OpSpec spec;
+    spec.name = "aten::nll_loss";
+    spec.fusable = true;
+    Tensor out = env.newTensor({1}, probs.dtype);
+    spec.forward_kernels.push_back(kernels::rowReduction(
+        "nll_loss_forward_reduce_cuda_kernel_2d", rows,
+        probs.elements() / std::max<std::int64_t>(1, rows),
+        probs.bytes()));
+
+    BackwardOp bwd;
+    bwd.name = "NllLossBackward0";
+    bwd.kernels.push_back(kernels::elementwise(
+        "nll_loss_backward_reduce_cuda_kernel_2d", probs.elements(),
+        2 * probs.bytes(), 1.0));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+mseLoss(OpEnv &env, const Tensor &pred)
+{
+    OpSpec spec;
+    spec.name = "aten::mse_loss";
+    spec.fusable = true;
+    Tensor out = env.newTensor({1}, pred.dtype);
+    spec.forward_kernels.push_back(kernels::rowReduction(
+        "reduce_kernel<MseLoss>", 1, pred.elements(), pred.bytes()));
+
+    BackwardOp bwd;
+    bwd.name = "MseLossBackward0";
+    bwd.kernels.push_back(kernels::elementwise(
+        "elementwise_kernel<MseLossBackward>", pred.elements(),
+        3 * pred.bytes(), 2.0));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+fusedSoftmaxNll(OpEnv &env, const Tensor &logits)
+{
+    const std::int64_t d = logits.shape.back();
+    const std::int64_t rows =
+        logits.elements() / std::max<std::int64_t>(1, d);
+
+    OpSpec spec;
+    spec.name = "compiled::fused_softmax_nll_loss";
+    Tensor out = env.newTensor({1}, logits.dtype);
+    // One pass over the logits instead of three.
+    spec.forward_kernels.push_back(kernels::rowReduction(
+        "triton_fused_softmax_nll", rows, d,
+        logits.bytes() + logits.bytes() / 8));
+
+    BackwardOp bwd;
+    bwd.name = "FusedSoftmaxNllBackward";
+    bwd.kernels.push_back(kernels::rowReduction(
+        "triton_fused_softmax_nll_backward", rows, d,
+        2 * logits.bytes()));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+namespace {
+
+OpSpec
+indexingOp(OpEnv &env, const Tensor &table, std::int64_t lookups,
+           double avg_duplicates, bool deterministic)
+{
+    DC_CHECK(table.shape.size() == 2, "indexing expects a 2-D table");
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(table.shape[1]) * dtypeSize(table.dtype);
+
+    OpSpec spec;
+    spec.name = deterministic ? "aten::index" : "aten::index_select";
+    Tensor out =
+        env.newTensor({lookups, table.shape[1]}, table.dtype);
+    spec.forward_kernels.push_back(kernels::gather(
+        deterministic ? "index_elementwise_kernel"
+                      : "indexSelectLargeIndex",
+        lookups, row_bytes));
+
+    BackwardOp bwd;
+    bwd.name = deterministic ? "IndexBackward0" : "IndexSelectBackward0";
+    if (deterministic) {
+        // The deterministic kernel sorts and serializes threads that hit
+        // the same row: execution time scales with the duplicate count
+        // (GitHub issue #41162 referenced by the paper).
+        bwd.kernels.push_back(kernels::scatter(
+            "indexing_backward_kernel", lookups, row_bytes,
+            /*serialization=*/std::max(1.0, avg_duplicates),
+            /*atomic=*/1.0));
+    } else {
+        // index_select's backward scatters with atomics; contention adds
+        // a modest constant factor instead of full serialization.
+        bwd.kernels.push_back(kernels::scatter(
+            "indexSelectLargeIndexBackward", lookups, row_bytes,
+            /*serialization=*/1.0,
+            /*atomic=*/1.0 + 0.05 * std::log2(
+                std::max(1.0, avg_duplicates))));
+    }
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+} // namespace
+
+OpSpec
+index(OpEnv &env, const Tensor &table, std::int64_t lookups,
+      double avg_duplicates)
+{
+    return indexingOp(env, table, lookups, avg_duplicates,
+                      /*deterministic=*/true);
+}
+
+OpSpec
+indexSelect(OpEnv &env, const Tensor &table, std::int64_t lookups,
+            double avg_duplicates)
+{
+    return indexingOp(env, table, lookups, avg_duplicates,
+                      /*deterministic=*/false);
+}
+
+OpSpec
+scatterAdd(OpEnv &env, const Tensor &src, std::int64_t updates,
+           double avg_duplicates)
+{
+    const std::uint64_t row_bytes =
+        src.shape.size() >= 2
+            ? static_cast<std::uint64_t>(src.shape.back()) *
+                  dtypeSize(src.dtype)
+            : dtypeSize(src.dtype);
+
+    OpSpec spec;
+    spec.name = "aten::scatter_add";
+    Tensor out = env.newTensor(src.shape, src.dtype);
+    spec.forward_kernels.push_back(kernels::scatter(
+        "scatter_add_kernel", updates, row_bytes, 1.0,
+        1.0 + 0.05 * std::log2(std::max(1.0, avg_duplicates))));
+
+    BackwardOp bwd;
+    bwd.name = "ScatterAddBackward0";
+    bwd.kernels.push_back(
+        kernels::gather("gather_kernel", updates, row_bytes));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+namespace {
+
+OpSpec
+pool2d(OpEnv &env, const Tensor &x, int kernel, const char *op_name,
+       const char *kernel_name, const char *backward_name)
+{
+    DC_CHECK(x.shape.size() == 4, "pool expects 4-D input");
+    OpSpec spec;
+    spec.name = op_name;
+    Tensor out = env.newTensor(
+        {x.shape[0], x.shape[1], x.shape[2] / kernel, x.shape[3] / kernel},
+        x.dtype, x.format);
+    spec.forward_kernels.push_back(kernels::elementwise(
+        kernel_name, x.elements(), x.bytes() + out.bytes(), 1.0));
+
+    BackwardOp bwd;
+    bwd.name = backward_name;
+    bwd.kernels.push_back(kernels::elementwise(
+        "elementwise_kernel<PoolBackward>", x.elements(),
+        x.bytes() + out.bytes(), 1.0));
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+} // namespace
+
+OpSpec
+maxPool2d(OpEnv &env, const Tensor &x, int kernel)
+{
+    return pool2d(env, x, kernel, "aten::max_pool2d",
+                  "max_pool_forward_nchw",
+                  "MaxPool2DWithIndicesBackward0");
+}
+
+OpSpec
+avgPool2d(OpEnv &env, const Tensor &x, int kernel)
+{
+    return pool2d(env, x, kernel, "aten::avg_pool2d",
+                  "avg_pool2d_out_cuda_frame",
+                  "AvgPool2DBackward0");
+}
+
+OpSpec
+cat(OpEnv &env, const std::vector<Tensor> &inputs)
+{
+    DC_CHECK(!inputs.empty(), "cat of nothing");
+    Shape out_shape = inputs.front().shape;
+    std::int64_t channel_sum = 0;
+    std::uint64_t total_bytes = 0;
+    for (const Tensor &t : inputs) {
+        channel_sum += t.shape.size() > 1 ? t.shape[1] : t.shape[0];
+        total_bytes += t.bytes();
+    }
+    if (out_shape.size() > 1)
+        out_shape[1] = channel_sum;
+    else
+        out_shape[0] = channel_sum;
+
+    OpSpec spec;
+    spec.name = "aten::cat";
+    Tensor out = env.newTensor(out_shape, inputs.front().dtype,
+                               inputs.front().format);
+    spec.forward_kernels.push_back(kernels::elementwise(
+        "CatArrayBatchedCopy", out.elements(), 2 * total_bytes, 0.0));
+    spec.backward.push_back(BackwardOp{"CatBackward0", {}});
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+sdpaFlash(OpEnv &env, const Tensor &q, const Tensor &k, const Tensor &v)
+{
+    DC_CHECK(q.shape.size() == 4, "sdpa expects [B, heads, S, Dh]");
+    const std::int64_t b = q.shape[0];
+    const std::int64_t heads = q.shape[1];
+    const std::int64_t s = q.shape[2];
+    const std::int64_t dh = q.shape[3];
+    (void)k;
+    (void)v;
+
+    OpSpec spec;
+    spec.name = "aten::scaled_dot_product_attention";
+    Tensor out = env.newTensor(q.shape, q.dtype);
+
+    sim::KernelDesc main;
+    main.name = "flash_fwd_kernel";
+    main.kind = sim::KernelKind::kCompute;
+    main.grid = static_cast<std::uint64_t>(b * heads) *
+                ceilDiv(static_cast<std::uint64_t>(s), 128);
+    main.block = 256;
+    main.regs_per_thread = 160;
+    main.shared_mem_bytes = 96 * 1024;
+    main.uses_tensor_cores = true;
+    main.flops = 4.0 * static_cast<double>(b * heads) *
+                 static_cast<double>(s) * static_cast<double>(s) *
+                 static_cast<double>(dh);
+    main.bytes_read = 3 * q.bytes();
+    main.bytes_written = out.bytes();
+    spec.forward_kernels.push_back(main);
+
+    BackwardOp bwd;
+    bwd.name = "ScaledDotProductFlashAttentionBackward0";
+    sim::KernelDesc bk = main;
+    bk.name = "flash_bwd_kernel";
+    bk.flops *= 2.5;
+    bk.bytes_read = 4 * q.bytes();
+    bk.bytes_written = 3 * q.bytes();
+    bwd.kernels.push_back(bk);
+    spec.backward.push_back(std::move(bwd));
+
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+adamStep(OpEnv &env, std::uint64_t param_bytes)
+{
+    OpSpec spec;
+    spec.name = "optim::adam_step";
+    Tensor out = env.newTensor({1}, Dtype::kF32);
+    const std::int64_t elems =
+        static_cast<std::int64_t>(param_bytes / 4);
+    // Parameters + exp_avg + exp_avg_sq each read and written.
+    spec.forward_kernels.push_back(kernels::elementwise(
+        "multi_tensor_apply_kernel<AdamFunctor>", elems, 6 * param_bytes,
+        8.0));
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+OpSpec
+contiguous(OpEnv &env, const Tensor &x, MemoryFormat format)
+{
+    OpSpec spec;
+    spec.name = "aten::contiguous";
+    Tensor out = env.newTensor(x.shape, x.dtype, format);
+    spec.forward_kernels.push_back(kernels::layoutConversion(
+        env.arch->vendor == sim::GpuVendor::kNvidia
+            ? "cudnn::nchwToNhwcKernel"
+            : "miopen::transposeNhwcToNchw",
+        2 * x.bytes()));
+    spec.backward.push_back(BackwardOp{"ContiguousBackward", {}});
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+} // namespace ops
+} // namespace dc::fw

@@ -1,0 +1,126 @@
+#pragma once
+
+/**
+ * @file
+ * Builders for every operator the workloads use.
+ *
+ * Each builder plans one operator: output metadata, the forward kernels
+ * (with names and geometry mirroring the real cuDNN/MIOpen/ATen kernels),
+ * and the backward operator autograd will run. The case-study mechanisms
+ * are encoded here:
+ *
+ *  - conv2d inserts cudnn::nchwToNhwcKernel conversions when the input
+ *    layout differs from the backend's preference (§6.2);
+ *  - index's backward is the deterministic, serialized
+ *    indexing_backward_kernel while index_select's backward uses atomics
+ *    (§6.1);
+ *  - the norm templates derive CTA counts from the warp size (§6.5);
+ *  - cast kernels load constant memory and may use scalar conversion
+ *    instructions (§6.7).
+ */
+
+#include <vector>
+
+#include "framework/ops/op_spec.h"
+
+namespace dc::fw::ops {
+
+/** Convolution options. */
+struct Conv2dOpts {
+    int stride = 1;
+    int pad = 1;
+};
+
+/** x[N,C,H,W] (*) w[K,C,R,S] -> [N,K,Ho,Wo]. */
+OpSpec conv2d(OpEnv &env, const Tensor &x, const Tensor &w,
+              Conv2dOpts opts = {});
+
+/** Transposed convolution (U-Net upsampling path). */
+OpSpec convTranspose2d(OpEnv &env, const Tensor &x, const Tensor &w,
+                       int stride = 2);
+
+/** a[M,K] x b[K,N]. */
+OpSpec matmul(OpEnv &env, const Tensor &a, const Tensor &b);
+
+/** Batched matmul a[B,M,K] x b[B,K,N]. */
+OpSpec bmm(OpEnv &env, const Tensor &a, const Tensor &b);
+
+/** x[...,K] x w[N,K] + bias. */
+OpSpec linear(OpEnv &env, const Tensor &x, const Tensor &w);
+
+// Elementwise ops.
+OpSpec relu(OpEnv &env, const Tensor &x);
+OpSpec gelu(OpEnv &env, const Tensor &x);
+OpSpec add(OpEnv &env, const Tensor &a, const Tensor &b);
+OpSpec mul(OpEnv &env, const Tensor &a, const Tensor &b);
+OpSpec dropout(OpEnv &env, const Tensor &x);
+
+// Normalizations. Instance/batch norm use the shared CUDA template whose
+// CTA count depends on the warp size (§6.5).
+OpSpec batchNorm(OpEnv &env, const Tensor &x);
+OpSpec instanceNorm(OpEnv &env, const Tensor &x);
+OpSpec layerNorm(OpEnv &env, const Tensor &x);
+/** RMSNorm core (Llama); the surrounding casts are separate `to` ops. */
+OpSpec rmsNorm(OpEnv &env, const Tensor &x);
+
+/** Data-type conversion (torch.to). Honours env.vectorized_casts. */
+OpSpec to(OpEnv &env, const Tensor &x, Dtype target);
+
+/** Softmax over the last dimension. */
+OpSpec softmax(OpEnv &env, const Tensor &x);
+OpSpec logSoftmax(OpEnv &env, const Tensor &x);
+
+/** Device-to-device copy (the `copy` kernel under loss_fn in Fig. 9). */
+OpSpec copy(OpEnv &env, const Tensor &x);
+
+/** NLL loss over probs[N, C] -> scalar. */
+OpSpec nllLoss(OpEnv &env, const Tensor &probs);
+
+/** Mean-squared-error loss -> scalar (U-Net). */
+OpSpec mseLoss(OpEnv &env, const Tensor &pred);
+
+/**
+ * The manually-fused softmax+copy+nll_loss kernel from the §6.3
+ * optimization (also what torch.compile produces for the loss).
+ */
+OpSpec fusedSoftmaxNll(OpEnv &env, const Tensor &logits);
+
+/**
+ * aten::index — advanced indexing (embedding_table[idx]): gather forward,
+ * *deterministic serialized* scatter backward.
+ * @param lookups Number of gathered rows.
+ * @param avg_duplicates Mean occurrences of each distinct index; the
+ *        backward serialization factor.
+ */
+OpSpec index(OpEnv &env, const Tensor &table, std::int64_t lookups,
+             double avg_duplicates);
+
+/** aten::index_select — same gather, atomic (non-deterministic) backward. */
+OpSpec indexSelect(OpEnv &env, const Tensor &table, std::int64_t lookups,
+                   double avg_duplicates);
+
+/** scatter_add (GNN message aggregation). */
+OpSpec scatterAdd(OpEnv &env, const Tensor &src, std::int64_t updates,
+                  double avg_duplicates);
+
+OpSpec maxPool2d(OpEnv &env, const Tensor &x, int kernel = 2);
+OpSpec avgPool2d(OpEnv &env, const Tensor &x, int kernel = 2);
+
+/** Concatenate along dim 1 (channel dim). */
+OpSpec cat(OpEnv &env, const std::vector<Tensor> &inputs);
+
+/**
+ * Fused scaled-dot-product attention (FlashAttention-style single
+ * kernel). q,k,v: [B, heads, S, Dh]. Eager PyTorch paths that lack the
+ * fused kernel compose bmm+softmax+bmm instead.
+ */
+OpSpec sdpaFlash(OpEnv &env, const Tensor &q, const Tensor &k,
+                 const Tensor &v);
+
+/** Optimizer step over all parameters (multi_tensor_apply). */
+OpSpec adamStep(OpEnv &env, std::uint64_t param_bytes);
+
+/** Explicit layout conversion (x.contiguous(memory_format=...)). */
+OpSpec contiguous(OpEnv &env, const Tensor &x, MemoryFormat format);
+
+} // namespace dc::fw::ops

@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * Operator specifications: the framework-agnostic unit both simulated
+ * frameworks execute.
+ *
+ * An OpSpec is one planned operator invocation: its name (aten::-style),
+ * output tensors (metadata only; executors allocate), the GPU kernels the
+ * forward pass launches, and the backward operator plan autograd will run.
+ * Builders for every operator live in op_library.h; keeping the planning
+ * in one place is what lets torchsim (eager) and jaxsim (traced+fused)
+ * run identical models, which the cross-framework comparison (§6.6)
+ * depends on.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "framework/tensor/tensor.h"
+#include "sim/gpu/gpu_arch.h"
+#include "sim/gpu/kernel.h"
+
+namespace dc::fw {
+
+/** The backward operator generated for one forward operator. */
+struct BackwardOp {
+    std::string name;                       ///< e.g. "ConvolutionBackward0".
+    std::vector<sim::KernelDesc> kernels;   ///< Kernels it launches.
+};
+
+/** One planned operator invocation. */
+struct OpSpec {
+    std::string name;                       ///< e.g. "aten::conv2d".
+    std::vector<Tensor> outputs;
+    std::vector<sim::KernelDesc> forward_kernels;
+    std::vector<BackwardOp> backward;       ///< Empty if not differentiable.
+
+    /// True for ops whose kernels can be fused with neighbours by a JIT
+    /// compiler (elementwise / normalization / small reductions). The
+    /// jaxsim fusion pass consults this.
+    bool fusable = false;
+
+    const Tensor &
+    output() const
+    {
+        return outputs.front();
+    }
+
+    /// Sum of forward kernel DRAM traffic (used by the fusion pass).
+    std::uint64_t forwardBytes() const;
+
+    /// Sum of forward kernel flops.
+    double forwardFlops() const;
+};
+
+/**
+ * Environment an op builder plans against: target architecture, tensor-id
+ * generation, and the behavioural knobs the case studies flip.
+ */
+struct OpEnv {
+    const sim::GpuArch *arch = nullptr;
+    std::uint64_t next_tensor_id = 1;
+
+    /// §6.5 fix: pack one channel per CTA in the norm templates on AMD
+    /// (default templates derive CTA count from the warp size).
+    bool norm_cta_fix = false;
+
+    /// §6.7 fix: use vectorized data-type conversion instructions.
+    bool vectorized_casts = false;
+
+    /** Create a fresh output tensor on the current device. */
+    Tensor
+    newTensor(Shape shape, Dtype dtype,
+              MemoryFormat format = MemoryFormat::kContiguous)
+    {
+        Tensor t;
+        t.id = next_tensor_id++;
+        t.shape = std::move(shape);
+        t.dtype = dtype;
+        t.format = format;
+        return t;
+    }
+
+    /** Layout the convolution backend prefers on this architecture. */
+    MemoryFormat
+    preferredConvLayout() const
+    {
+        // cuDNN tensor cores want NHWC; MIOpen's fastest paths are NCHW.
+        return arch->vendor == sim::GpuVendor::kNvidia
+                   ? MemoryFormat::kChannelsLast
+                   : MemoryFormat::kChannelsFirst;
+    }
+};
+
+} // namespace dc::fw

@@ -1,0 +1,69 @@
+#include "framework/tensor/tensor.h"
+
+#include "common/strings.h"
+
+namespace dc::fw {
+
+std::size_t
+dtypeSize(Dtype dtype)
+{
+    switch (dtype) {
+      case Dtype::kF32: return 4;
+      case Dtype::kF16: return 2;
+      case Dtype::kBf16: return 2;
+      case Dtype::kF8: return 1;
+      case Dtype::kI32: return 4;
+      case Dtype::kI64: return 8;
+      case Dtype::kBool: return 1;
+    }
+    return 4;
+}
+
+const char *
+dtypeName(Dtype dtype)
+{
+    switch (dtype) {
+      case Dtype::kF32: return "float32";
+      case Dtype::kF16: return "float16";
+      case Dtype::kBf16: return "bfloat16";
+      case Dtype::kF8: return "float8";
+      case Dtype::kI32: return "int32";
+      case Dtype::kI64: return "int64";
+      case Dtype::kBool: return "bool";
+    }
+    return "?";
+}
+
+const char *
+memoryFormatName(MemoryFormat format)
+{
+    switch (format) {
+      case MemoryFormat::kContiguous: return "contiguous";
+      case MemoryFormat::kChannelsFirst: return "channels_first";
+      case MemoryFormat::kChannelsLast: return "channels_last";
+    }
+    return "?";
+}
+
+std::int64_t
+numel(const Shape &shape)
+{
+    std::int64_t n = 1;
+    for (std::int64_t dim : shape)
+        n *= dim;
+    return shape.empty() ? 0 : n;
+}
+
+std::string
+shapeToString(const Shape &shape)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += strformat("%lld", static_cast<long long>(shape[i]));
+    }
+    return out + "]";
+}
+
+} // namespace dc::fw

@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Tensor metadata for the simulated frameworks.
+ *
+ * Tensors carry shape, dtype, memory format (the channels_first /
+ * channels_last distinction behind the Section 6.2 case study), and the
+ * device they live on. No element data is stored: the cost model only
+ * needs volumes and layouts.
+ */
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace dc::fw {
+
+/** Element types. */
+enum class Dtype {
+    kF32,
+    kF16,
+    kBf16,
+    kF8,
+    kI32,
+    kI64,
+    kBool,
+};
+
+/** Size of one element in bytes. */
+std::size_t dtypeSize(Dtype dtype);
+
+/** Printable dtype name ("float32", ...). */
+const char *dtypeName(Dtype dtype);
+
+/**
+ * Memory format of a (typically 4-D) tensor. kChannelsFirst is PyTorch's
+ * default NCHW; kChannelsLast is NHWC, the layout cuDNN prefers.
+ */
+enum class MemoryFormat {
+    kContiguous,    ///< Plain row-major (non-image tensors).
+    kChannelsFirst, ///< NCHW.
+    kChannelsLast,  ///< NHWC.
+};
+
+/** Printable memory-format name. */
+const char *memoryFormatName(MemoryFormat format);
+
+/** Tensor shape. */
+using Shape = std::vector<std::int64_t>;
+
+/** Total element count of a shape. */
+std::int64_t numel(const Shape &shape);
+
+/** "[2, 3, 224, 224]" form for reports. */
+std::string shapeToString(const Shape &shape);
+
+/** Tensor metadata handle. */
+struct Tensor {
+    std::uint64_t id = 0;
+    Shape shape;
+    Dtype dtype = Dtype::kF32;
+    MemoryFormat format = MemoryFormat::kContiguous;
+    int device = 0;
+    bool requires_grad = false;
+
+    std::int64_t elements() const { return numel(shape); }
+
+    std::uint64_t
+    bytes() const
+    {
+        return static_cast<std::uint64_t>(elements()) * dtypeSize(dtype);
+    }
+
+    bool defined() const { return !shape.empty(); }
+};
+
+} // namespace dc::fw

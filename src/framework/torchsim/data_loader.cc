@@ -1,0 +1,97 @@
+#include "framework/torchsim/data_loader.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/cpu/cpu_info.h"
+
+namespace dc::fw {
+
+DataLoader::DataLoader(sim::SimContext &ctx,
+                       const pyrt::PyInterpreter &interp,
+                       DataLoaderConfig config)
+    : ctx_(ctx), interp_(interp), config_(config)
+{
+    DC_CHECK(config_.num_workers > 0, "data loader needs workers");
+    for (int i = 0; i < config_.num_workers; ++i) {
+        sim::SimThread &worker = ctx_.createThread(
+            "loader_worker_" + std::to_string(i),
+            sim::ThreadKind::kLoaderWorker,
+            /*on_critical_path=*/false);
+        workers_.push_back(worker.id());
+    }
+    ctx_.hostMemory().allocate("dataloader", config_.host_buffer_bytes);
+}
+
+DataLoader::~DataLoader()
+{
+    ctx_.hostMemory().release("dataloader", config_.host_buffer_bytes);
+}
+
+DurationNs
+DataLoader::batchPrepTime() const
+{
+    // Work is divided across workers, capped by available cores (one core
+    // is kept busy by the main thread), then inflated by the scheduling
+    // overhead of oversubscription.
+    const int cores = std::max(1, ctx_.cpu().physical_cores - 1);
+    const int effective = std::min(config_.num_workers, cores);
+    const double factor = sim::schedulingOverheadFactor(
+        config_.num_workers, cores);
+    return static_cast<DurationNs>(
+        static_cast<double>(config_.cpu_work_per_batch_ns) /
+        static_cast<double>(effective) * factor);
+}
+
+void
+DataLoader::chargeWorkerTime()
+{
+    // Total CPU burned, including the oversubscription penalty, spread
+    // evenly across workers under the loader's Python call path.
+    const int cores = std::max(1, ctx_.cpu().physical_cores - 1);
+    const double factor = sim::schedulingOverheadFactor(
+        config_.num_workers, cores);
+    const DurationNs total = static_cast<DurationNs>(
+        static_cast<double>(config_.cpu_work_per_batch_ns) * factor);
+    const DurationNs per_worker = total / config_.num_workers;
+
+    for (ThreadId id : workers_) {
+        sim::ThreadSwitch to_worker(ctx_, id);
+        sim::SimThread &worker = ctx_.currentThread();
+        pyrt::PyScope loop(worker.pyStack(), worker.nativeStack(), interp_,
+                           {"dataloader.py", "_worker_loop", 281});
+        pyrt::PyScope select(worker.pyStack(), worker.nativeStack(),
+                             interp_,
+                             {config_.python_file, "data_selection", 74});
+        ctx_.advanceCpu(per_worker);
+    }
+}
+
+void
+DataLoader::nextBatch(DurationNs compute_time_hint)
+{
+    const DurationNs prep = batchPrepTime();
+
+    if (!first_batch_done_) {
+        // Cold start: the whole first window is read from disk and
+        // prepared while the GPU idles.
+        const DurationNs stall = config_.first_batch_disk_ns + prep;
+        ctx_.advanceWall(stall);
+        total_stall_ += stall;
+        chargeWorkerTime();
+        first_batch_done_ = true;
+        return;
+    }
+
+    // Steady state: workers prefetched during the previous iteration's
+    // compute; the caller only stalls for the part that did not fit.
+    const DurationNs stall = std::max<DurationNs>(
+        0, prep - std::max<DurationNs>(0, compute_time_hint));
+    if (stall > 0) {
+        ctx_.advanceWall(stall);
+        total_stall_ += stall;
+    }
+    chargeWorkerTime();
+}
+
+} // namespace dc::fw

@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated multi-worker data loader.
+ *
+ * Models PyTorch's DataLoader timing: a cold first batch that reads from
+ * disk while the GPU idles, prefetched subsequent batches that overlap
+ * with compute, per-batch CPU work divided across worker threads, and a
+ * scheduling-overhead penalty when workers oversubscribe the allocated
+ * cores — the mechanism behind the Section 6.4 case study (16 hard-coded
+ * workers on a 6-core allocation).
+ *
+ * Worker CPU time is attributed to worker SimThreads under a
+ * data_selection Python call path, so CPU_TIME samplers see exactly what
+ * the paper's CPU-latency analysis saw.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "pyrt/py_interp.h"
+#include "sim/sim_context.h"
+
+namespace dc::fw {
+
+/** Data-loader configuration. */
+struct DataLoaderConfig {
+    int num_workers = 4;
+    std::uint64_t batch_bytes = 64ull << 20;
+    /// Total CPU work (decode/augment) to produce one batch.
+    DurationNs cpu_work_per_batch_ns = 80 * kNsPerMs;
+    /// Cold read of the first window from disk.
+    DurationNs first_batch_disk_ns = 10 * kNsPerSec;
+    /// Host-memory footprint of loader buffers (prefetch queue).
+    std::uint64_t host_buffer_bytes = 512ull << 20;
+    /// Python file shown in the loader call path.
+    std::string python_file = "input_pipeline.py";
+};
+
+/** The loader. Create one per run; call nextBatch() once per iteration. */
+class DataLoader
+{
+  public:
+    DataLoader(sim::SimContext &ctx, const pyrt::PyInterpreter &interp,
+               DataLoaderConfig config);
+    ~DataLoader();
+
+    DataLoader(const DataLoader &) = delete;
+    DataLoader &operator=(const DataLoader &) = delete;
+
+    /**
+     * Produce the next batch. Advances the wall clock by any stall the
+     * caller would experience (cold first batch, or prefetch not ready),
+     * and charges worker CPU time under the data_selection call path.
+     *
+     * @param compute_time_hint How long the previous iteration's compute
+     *        took; prefetch overlaps with it.
+     */
+    void nextBatch(DurationNs compute_time_hint);
+
+    /** Wall-clock time spent stalled waiting for data so far. */
+    DurationNs totalStall() const { return total_stall_; }
+
+    /** Per-batch preparation latency under the current configuration. */
+    DurationNs batchPrepTime() const;
+
+    int numWorkers() const { return config_.num_workers; }
+
+  private:
+    void chargeWorkerTime();
+
+    sim::SimContext &ctx_;
+    const pyrt::PyInterpreter &interp_;
+    DataLoaderConfig config_;
+    std::vector<ThreadId> workers_;
+    bool first_batch_done_ = false;
+    DurationNs total_stall_ = 0;
+};
+
+} // namespace dc::fw

@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * RecordFunction-style global callbacks.
+ *
+ * PyTorch's aten::addGlobalCallback lets tools observe every operator
+ * dispatch without modifying framework source — the exact mechanism
+ * DLMonitor uses for PyTorch (Section 4.1, "Intercepting Framework
+ * Operations"). This reproduction fires the same begin/end pairs around
+ * operators, autograd nodes, graph compilations, and tensor allocations.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dc::fw {
+
+/** Phase of a record event. */
+enum class RecordPhase {
+    kBegin,
+    kEnd,
+};
+
+/** What kind of framework activity the event describes. */
+enum class RecordKind {
+    kOperator,       ///< A deep-learning operator (forward or backward).
+    kMemory,         ///< Tensor allocation / deallocation.
+    kGraphCompile,   ///< JIT graph compilation window.
+};
+
+/** One framework interception event. */
+struct RecordEvent {
+    RecordPhase phase = RecordPhase::kBegin;
+    RecordKind kind = RecordKind::kOperator;
+    std::string name;           ///< Operator or event name.
+    SequenceId seq = 0;         ///< Autograd sequence number.
+    bool is_backward = false;   ///< True on the autograd engine thread.
+    Pc op_pc = 0;               ///< Native PC of the dispatch symbol; the
+                                ///< merge algorithm matches operators to
+                                ///< native frames through this address.
+    std::uint64_t bytes = 0;    ///< Memory events: size.
+    std::int64_t alloc_delta = 0; ///< Memory events: +alloc / -free.
+};
+
+/** Observer signature. */
+using RecordCallback = std::function<void(const RecordEvent &)>;
+
+/** Registry of global callbacks (the addGlobalCallback surface). */
+class RecordFunctionRegistry
+{
+  public:
+    /** Register a callback; returns a handle for removal. */
+    int
+    addGlobalCallback(RecordCallback callback)
+    {
+        const int handle = next_handle_++;
+        callbacks_.emplace_back(handle, std::move(callback));
+        return handle;
+    }
+
+    /** Remove a callback by handle. */
+    void
+    removeGlobalCallback(int handle)
+    {
+        std::erase_if(callbacks_, [handle](const auto &entry) {
+            return entry.first == handle;
+        });
+    }
+
+    /** Number of live callbacks. */
+    std::size_t size() const { return callbacks_.size(); }
+
+    /** Fire an event to all callbacks. */
+    void
+    fire(const RecordEvent &event) const
+    {
+        for (const auto &[handle, callback] : callbacks_)
+            callback(event);
+    }
+
+  private:
+    std::vector<std::pair<int, RecordCallback>> callbacks_;
+    int next_handle_ = 1;
+};
+
+} // namespace dc::fw

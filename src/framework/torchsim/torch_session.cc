@@ -1,0 +1,229 @@
+#include "framework/torchsim/torch_session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dc::fw {
+
+namespace {
+
+constexpr const char *kTorchLibrary = "libtorch_sim.so";
+
+/** "aten::conv2d" -> "at::_ops::conv2d::call". */
+std::string
+dispatchSymbol(const std::string &op_name)
+{
+    std::string base = op_name;
+    const std::size_t pos = base.find("::");
+    if (pos != std::string::npos)
+        base = base.substr(pos + 2);
+    return "at::_ops::" + base + "::call";
+}
+
+} // namespace
+
+TorchSession::TorchSession(sim::SimContext &ctx, sim::GpuRuntime &runtime,
+                           TorchConfig config)
+    : ctx_(ctx), runtime_(runtime), config_(config)
+{
+    DC_CHECK(config_.device >= 0 &&
+                 config_.device < static_cast<int>(ctx_.deviceCount()),
+             "torch session bound to unknown device ", config_.device);
+    env_.arch = &ctx_.device(config_.device).arch();
+
+    torch_lib_ = ctx_.libraries().registerLibrary(kTorchLibrary, 64 << 20);
+    engine_pc_ = ctx_.libraries().registerSymbol(
+        torch_lib_, "torch::autograd::Engine::thread_main", 2048);
+    node_apply_pc_ = ctx_.libraries().registerSymbol(
+        torch_lib_, "torch::autograd::Node::operator()", 2048);
+}
+
+Pc
+TorchSession::opDispatchPc(const std::string &op_name)
+{
+    return ctx_.libraries().registerSymbol(torch_lib_,
+                                           dispatchSymbol(op_name));
+}
+
+void
+TorchSession::fire(const RecordEvent &event)
+{
+    record_registry_.fire(event);
+}
+
+Tensor
+TorchSession::parameter(Shape shape, Dtype dtype, MemoryFormat format)
+{
+    Tensor t = env_.newTensor(std::move(shape), dtype, format);
+    t.device = config_.device;
+    t.requires_grad = config_.training;
+    ctx_.device(config_.device).allocate(t.bytes());
+    persistent_bytes_ += t.bytes();
+
+    RecordEvent event;
+    event.kind = RecordKind::kMemory;
+    event.name = "alloc";
+    event.bytes = t.bytes();
+    event.alloc_delta = static_cast<std::int64_t>(t.bytes());
+    event.phase = RecordPhase::kBegin;
+    fire(event);
+    return t;
+}
+
+Tensor
+TorchSession::input(Shape shape, Dtype dtype, MemoryFormat format)
+{
+    Tensor t = env_.newTensor(std::move(shape), dtype, format);
+    t.device = config_.device;
+    ctx_.device(config_.device).allocate(t.bytes());
+    iteration_bytes_ += t.bytes();
+
+    RecordEvent event;
+    event.kind = RecordKind::kMemory;
+    event.name = "alloc";
+    event.bytes = t.bytes();
+    event.alloc_delta = static_cast<std::int64_t>(t.bytes());
+    event.phase = RecordPhase::kBegin;
+    fire(event);
+    return t;
+}
+
+void
+TorchSession::allocateOutputs(const OpSpec &spec)
+{
+    for (const Tensor &out : spec.outputs) {
+        ctx_.device(config_.device).allocate(out.bytes());
+        iteration_bytes_ += out.bytes();
+    }
+}
+
+void
+TorchSession::launchKernels(const std::vector<sim::KernelDesc> &kernels)
+{
+    for (const sim::KernelDesc &kernel : kernels) {
+        ctx_.advanceCpu(config_.per_kernel_cpu_ns);
+        runtime_.launchKernel(config_.device, config_.stream, kernel);
+    }
+}
+
+Tensor
+TorchSession::run(const OpSpec &spec)
+{
+    const SequenceId seq = next_seq_++;
+    ++op_count_;
+
+    // The eager dispatcher's native frames.
+    sim::NativeStack &native = ctx_.currentThread().nativeStack();
+    const Pc op_pc = opDispatchPc(spec.name);
+    sim::NativeScope dispatch_frame(native, op_pc);
+    sim::NativeScope impl_frame(
+        native, ctx_.libraries().registerSymbol(
+                    torch_lib_, "at::native::" + spec.name.substr(
+                                    spec.name.find("::") + 2) + "_cuda"));
+
+    RecordEvent begin;
+    begin.phase = RecordPhase::kBegin;
+    begin.kind = RecordKind::kOperator;
+    begin.name = spec.name;
+    begin.seq = seq;
+    begin.op_pc = op_pc;
+    fire(begin);
+
+    ctx_.advanceCpu(config_.dispatch_cost_ns);
+    allocateOutputs(spec);
+    launchKernels(spec.forward_kernels);
+
+    RecordEvent end = begin;
+    end.phase = RecordPhase::kEnd;
+    fire(end);
+
+    if (config_.training && !spec.backward.empty()) {
+        TapeEntry entry;
+        entry.seq = seq;
+        entry.forward_name = spec.name;
+        entry.backward_ops = spec.backward;
+        tape_.push_back(std::move(entry));
+    }
+
+    DC_CHECK(!spec.outputs.empty(), "op ", spec.name, " has no outputs");
+    Tensor out = spec.outputs.front();
+    out.device = config_.device;
+    out.requires_grad = config_.training;
+    return out;
+}
+
+void
+TorchSession::backward()
+{
+    if (tape_.empty())
+        return;
+
+    if (!backward_thread_created_) {
+        // One autograd engine thread per device, created on first use.
+        sim::SimThread &thread = ctx_.createThread(
+            "autograd_engine_dev" + std::to_string(config_.device),
+            sim::ThreadKind::kBackward, /*on_critical_path=*/true);
+        backward_thread_ = thread.id();
+        backward_thread_created_ = true;
+    }
+
+    // loss.backward() blocks the calling thread while the engine thread
+    // runs, so the engine work stays on the critical path.
+    sim::ThreadSwitch switch_to_engine(ctx_, backward_thread_);
+    sim::NativeStack &native = ctx_.currentThread().nativeStack();
+    sim::NativeScope engine_frame(native, engine_pc_);
+
+    for (auto it = tape_.rbegin(); it != tape_.rend(); ++it) {
+        for (const BackwardOp &bwd : it->backward_ops) {
+            sim::NativeScope node_frame(native, node_apply_pc_);
+            const Pc op_pc = ctx_.libraries().registerSymbol(
+                torch_lib_, "torch::autograd::generated::" + bwd.name);
+            sim::NativeScope apply_frame(native, op_pc);
+
+            RecordEvent begin;
+            begin.phase = RecordPhase::kBegin;
+            begin.kind = RecordKind::kOperator;
+            begin.name = bwd.name;
+            begin.seq = it->seq;
+            begin.is_backward = true;
+            begin.op_pc = op_pc;
+            fire(begin);
+            ++op_count_;
+
+            ctx_.advanceCpu(config_.backward_node_cost_ns);
+            launchKernels(bwd.kernels);
+
+            RecordEvent end = begin;
+            end.phase = RecordPhase::kEnd;
+            fire(end);
+        }
+    }
+    tape_.clear();
+}
+
+void
+TorchSession::endIteration()
+{
+    if (iteration_bytes_ > 0) {
+        ctx_.device(config_.device).release(iteration_bytes_);
+
+        RecordEvent event;
+        event.kind = RecordKind::kMemory;
+        event.name = "free";
+        event.bytes = iteration_bytes_;
+        event.alloc_delta = -static_cast<std::int64_t>(iteration_bytes_);
+        event.phase = RecordPhase::kBegin;
+        fire(event);
+        iteration_bytes_ = 0;
+    }
+    tape_.clear();
+}
+
+void
+TorchSession::synchronize()
+{
+    runtime_.deviceSynchronize(config_.device);
+}
+
+} // namespace dc::fw

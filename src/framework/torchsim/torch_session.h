@@ -1,0 +1,127 @@
+#pragma once
+
+/**
+ * @file
+ * The eager (PyTorch-like) framework.
+ *
+ * Executes OpSpecs one at a time: each run() dispatches through simulated
+ * libtorch native frames, fires RecordFunction callbacks, charges eager
+ * dispatch CPU time, allocates outputs, launches the planned kernels, and
+ * records a tape entry. backward() replays the tape on a dedicated
+ * backward thread whose native context has no Python frames — the exact
+ * situation DeepContext's forward/backward association solves
+ * (Section 4.1).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "framework/ops/op_spec.h"
+#include "framework/torchsim/record_function.h"
+#include "sim/runtime/gpu_runtime.h"
+#include "sim/sim_context.h"
+
+namespace dc::fw {
+
+/** Eager-engine tuning knobs (virtual-time costs). */
+struct TorchConfig {
+    int device = 0;
+    int stream = 0;
+    bool training = true;
+    /// Eager dispatcher cost per operator call.
+    DurationNs dispatch_cost_ns = 26'000;
+    /// Extra CPU per launched kernel (arg marshalling).
+    DurationNs per_kernel_cpu_ns = 3'000;
+    /// Autograd engine cost per backward node.
+    DurationNs backward_node_cost_ns = 18'000;
+};
+
+/** One entry on the autograd tape. */
+struct TapeEntry {
+    SequenceId seq = 0;
+    std::string forward_name;
+    std::vector<BackwardOp> backward_ops;
+};
+
+/** The eager framework session (one model/process). */
+class TorchSession
+{
+  public:
+    TorchSession(sim::SimContext &ctx, sim::GpuRuntime &runtime,
+                 TorchConfig config = {});
+
+    sim::SimContext &context() { return ctx_; }
+    sim::GpuRuntime &runtime() { return runtime_; }
+    const TorchConfig &config() const { return config_; }
+    OpEnv &opEnv() { return env_; }
+
+    /** The aten::addGlobalCallback surface DLMonitor attaches to. */
+    RecordFunctionRegistry &recordFunctions() { return record_registry_; }
+
+    // --- Tensors -------------------------------------------------------
+
+    /** Allocate a persistent tensor (parameters; freed at session end). */
+    Tensor parameter(Shape shape, Dtype dtype = Dtype::kF32,
+                     MemoryFormat format = MemoryFormat::kContiguous);
+
+    /** Allocate a per-iteration tensor (inputs/activations). */
+    Tensor input(Shape shape, Dtype dtype = Dtype::kF32,
+                 MemoryFormat format = MemoryFormat::kContiguous);
+
+    // --- Execution -----------------------------------------------------
+
+    /**
+     * Execute one planned operator eagerly. Returns the first output.
+     * When training is enabled and the spec has a backward plan, a tape
+     * entry is recorded.
+     */
+    Tensor run(const OpSpec &spec);
+
+    /** Run the tape on the backward thread (loss.backward()). */
+    void backward();
+
+    /** Free this iteration's activations and reset the tape. */
+    void endIteration();
+
+    /** Device-synchronize the session's device. */
+    void synchronize();
+
+    /** Sequence number that will be assigned to the next operator. */
+    SequenceId nextSequence() const { return next_seq_; }
+
+    /** Total operators dispatched (forward + backward). */
+    std::uint64_t opCount() const { return op_count_; }
+
+    /** The backward thread id (created lazily; 0 means none yet). */
+    ThreadId backwardThread() const { return backward_thread_; }
+
+  private:
+    Pc opDispatchPc(const std::string &op_name);
+    void fire(const RecordEvent &event);
+    void allocateOutputs(const OpSpec &spec);
+    void launchKernels(const std::vector<sim::KernelDesc> &kernels);
+
+    sim::SimContext &ctx_;
+    sim::GpuRuntime &runtime_;
+    TorchConfig config_;
+    OpEnv env_;
+    RecordFunctionRegistry record_registry_;
+
+    int torch_lib_ = -1;
+    Pc engine_pc_ = 0;
+    Pc node_apply_pc_ = 0;
+
+    SequenceId next_seq_ = 1;
+    std::uint64_t op_count_ = 0;
+    std::vector<TapeEntry> tape_;
+
+    std::uint64_t iteration_bytes_ = 0;   ///< Live activation bytes.
+    std::uint64_t persistent_bytes_ = 0;  ///< Parameter bytes.
+
+    ThreadId backward_thread_ = 0;
+    bool backward_thread_created_ = false;
+};
+
+} // namespace dc::fw

@@ -1,0 +1,294 @@
+#include "gui/flamegraph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace dc::gui {
+
+namespace {
+
+const char *
+issueColor(analysis::Severity severity)
+{
+    switch (severity) {
+      case analysis::Severity::kCritical: return "#e4473a";
+      case analysis::Severity::kWarning: return "#f3a33c";
+      case analysis::Severity::kInfo: return "#4f9ddb";
+    }
+    return "";
+}
+
+std::map<const prof::CctNode *, std::string>
+issueColors(const std::vector<analysis::Issue> &issues)
+{
+    std::map<const prof::CctNode *, std::string> colors;
+    // Later (lower-priority) issues must not overwrite earlier ones.
+    for (const analysis::Issue &issue : issues) {
+        if (issue.node != nullptr && !colors.count(issue.node))
+            colors[issue.node] = issueColor(issue.severity);
+    }
+    return colors;
+}
+
+} // namespace
+
+double
+FlameNode::childSum() const
+{
+    double sum = 0.0;
+    for (const FlameNode &child : children)
+        sum += child.value;
+    return sum;
+}
+
+FlameNode
+FlameGraph::topDown(const prof::ProfileDb &db,
+                    const FlameGraphOptions &options,
+                    const std::vector<analysis::Issue> &issues)
+{
+    const int metric = db.metrics().find(options.metric);
+    const auto colors = issueColors(issues);
+
+    const RunningStat *root_stat =
+        metric >= 0 ? db.cct().root().findMetric(metric) : nullptr;
+    const double root_value = root_stat != nullptr ? root_stat->sum() : 0.0;
+    const double min_value = root_value * options.min_fraction;
+
+    std::function<void(const prof::CctNode &, FlameNode &)> walk =
+        [&](const prof::CctNode &node, FlameNode &out) {
+            node.forEachChild([&](const prof::CctNode &child) {
+                const dlmon::Frame &frame = child.frame();
+                if (!options.include_instructions &&
+                    frame.kind == dlmon::FrameKind::kInstruction) {
+                    return;
+                }
+                const RunningStat *stat =
+                    metric >= 0 ? child.findMetric(metric) : nullptr;
+                const double value = stat != nullptr ? stat->sum() : 0.0;
+                if (value <= 0.0 || value < min_value)
+                    return;
+
+                if (!options.include_native &&
+                    (frame.kind == dlmon::FrameKind::kNative)) {
+                    // Collapse: splice the child's children into out.
+                    walk(child, out);
+                    return;
+                }
+
+                FlameNode flame;
+                flame.label = frame.label();
+                flame.value = value;
+                auto color = colors.find(&child);
+                if (color != colors.end())
+                    flame.color = color->second;
+                walk(child, flame);
+                out.children.push_back(std::move(flame));
+            });
+        };
+
+    FlameNode root;
+    root.label = "<root>";
+    root.value = root_value;
+    walk(db.cct().root(), root);
+    return root;
+}
+
+FlameNode
+FlameGraph::bottomUp(const prof::ProfileDb &db,
+                     const FlameGraphOptions &options,
+                     const std::vector<analysis::Issue> &issues)
+{
+    const int metric = db.metrics().find(options.metric);
+    const auto colors = issueColors(issues);
+
+    FlameNode root;
+    root.label = "<root>";
+
+    // Aggregate every kernel node by name; expand callers beneath.
+    db.cct().visit([&](const prof::CctNode &node) {
+        if (node.frame().kind != dlmon::FrameKind::kKernel)
+            return;
+        const RunningStat *stat =
+            metric >= 0 ? node.findMetric(metric) : nullptr;
+        const double value = stat != nullptr ? stat->sum() : 0.0;
+        if (value <= 0.0)
+            return;
+
+        // Find or create the first-level node for this kernel name.
+        FlameNode *bucket = nullptr;
+        for (FlameNode &child : root.children) {
+            if (child.label == node.frame().label()) {
+                bucket = &child;
+                break;
+            }
+        }
+        if (bucket == nullptr) {
+            FlameNode fresh;
+            fresh.label = node.frame().label();
+            auto color = colors.find(&node);
+            if (color != colors.end())
+                fresh.color = color->second;
+            root.children.push_back(std::move(fresh));
+            bucket = &root.children.back();
+        }
+        bucket->value += value;
+        root.value += value;
+
+        // Walk callers leaf->root, creating a chain under the bucket.
+        FlameNode *cursor = bucket;
+        for (const prof::CctNode *caller = node.parent();
+             caller != nullptr && caller->parent() != nullptr;
+             caller = caller->parent()) {
+            if (!options.include_native &&
+                caller->frame().kind == dlmon::FrameKind::kNative) {
+                continue;
+            }
+            const std::string label = caller->frame().label();
+            FlameNode *next = nullptr;
+            for (FlameNode &child : cursor->children) {
+                if (child.label == label) {
+                    next = &child;
+                    break;
+                }
+            }
+            if (next == nullptr) {
+                FlameNode fresh;
+                fresh.label = label;
+                cursor->children.push_back(std::move(fresh));
+                next = &cursor->children.back();
+            }
+            next->value += value;
+            cursor = next;
+        }
+    });
+
+    std::sort(root.children.begin(), root.children.end(),
+              [](const FlameNode &a, const FlameNode &b) {
+                  return a.value > b.value;
+              });
+    return root;
+}
+
+std::string
+FlameGraph::renderAscii(const FlameNode &root, int width, int max_depth)
+{
+    std::string out;
+    const double total = root.value > 0.0 ? root.value : 1.0;
+    std::function<void(const FlameNode &, int)> walk =
+        [&](const FlameNode &node, int depth) {
+            if (depth > max_depth)
+                return;
+            const double fraction = node.value / total;
+            int bar = static_cast<int>(std::lround(
+                fraction * static_cast<double>(width)));
+            bar = std::clamp(bar, 1, width);
+            std::string marker = node.color.empty() ? "" : " [!]";
+            out += strformat("%*s%s %s%s (%.1f%%)\n", depth * 2, "",
+                             std::string(static_cast<std::size_t>(bar),
+                                         '#')
+                                 .c_str(),
+                             node.label.c_str(), marker.c_str(),
+                             100.0 * fraction);
+            for (const FlameNode &child : node.children)
+                walk(child, depth + 1);
+        };
+    walk(root, 0);
+    return out;
+}
+
+std::string
+FlameGraph::toFolded(const FlameNode &root)
+{
+    std::string out;
+    std::vector<std::string> stack;
+    std::function<void(const FlameNode &)> walk =
+        [&](const FlameNode &node) {
+            stack.push_back(node.label);
+            const double self = node.value - node.childSum();
+            if (self > 0.0 || node.children.empty()) {
+                out += join(stack, ";");
+                out += strformat(" %.0f\n", std::max(self, node.value *
+                                     (node.children.empty() ? 1.0 : 0.0)));
+            }
+            for (const FlameNode &child : node.children)
+                walk(child);
+            stack.pop_back();
+        };
+    walk(root);
+    return out;
+}
+
+std::string
+FlameGraph::toJson(const FlameNode &root)
+{
+    std::function<std::string(const FlameNode &)> walk =
+        [&](const FlameNode &node) -> std::string {
+        std::string json = "{\"name\":\"" + jsonEscape(node.label) +
+                           "\",\"value\":" +
+                           strformat("%.0f", node.value);
+        if (!node.color.empty())
+            json += ",\"color\":\"" + node.color + "\"";
+        if (!node.children.empty()) {
+            json += ",\"children\":[";
+            for (std::size_t i = 0; i < node.children.size(); ++i) {
+                if (i)
+                    json += ",";
+                json += walk(node.children[i]);
+            }
+            json += "]";
+        }
+        json += "}";
+        return json;
+    };
+    return walk(root);
+}
+
+std::string
+FlameGraph::toHtml(const FlameNode &root, const std::string &title)
+{
+    // Minimal self-contained viewer: nested <div>s with proportional
+    // widths; hover shows the value. No external dependencies so the
+    // file opens anywhere.
+    std::string html;
+    html += "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>";
+    html += jsonEscape(title);
+    html += "</title><style>\n"
+            ".f{box-sizing:border-box;overflow:hidden;white-space:nowrap;"
+            "font:11px monospace;border:1px solid #fff;background:#fca750;"
+            "padding:1px 3px;}\n"
+            ".f:hover{background:#ffd79e;cursor:pointer;}\n"
+            "</style></head><body><h3>";
+    html += jsonEscape(title);
+    html += "</h3>\n";
+
+    const double total = root.value > 0.0 ? root.value : 1.0;
+    std::function<void(const FlameNode &)> walk =
+        [&](const FlameNode &node) {
+            const double pct = 100.0 * node.value / total;
+            if (pct < 0.05)
+                return;
+            html += strformat(
+                "<div class=\"f\" style=\"width:%.2f%%;%s\" title=\"%s: "
+                "%.0f\">%s</div>\n",
+                pct,
+                node.color.empty()
+                    ? ""
+                    : ("background:" + node.color + ";").c_str(),
+                jsonEscape(node.label).c_str(), node.value,
+                jsonEscape(node.label).c_str());
+            if (node.children.empty())
+                return;
+            html += "<div style=\"margin-left:8px\">\n";
+            for (const FlameNode &child : node.children)
+                walk(child);
+            html += "</div>\n";
+        };
+    walk(root);
+    html += "</body></html>\n";
+    return html;
+}
+
+} // namespace dc::gui

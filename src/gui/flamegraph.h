@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * Flame-graph views of a profile (Section 4.4).
+ *
+ * The GUI visualizes the calling context tree as flame graphs with
+ * switchable top-down and bottom-up views: top-down is the direct tree,
+ * bottom-up aggregates the same kernel across different call paths.
+ * Issues reported by the analyzer color-code frames. Exports:
+ *
+ *  - ASCII rendering (terminal reports, used by the benches to show the
+ *    paper's figures),
+ *  - Brendan-Gregg folded stacks,
+ *  - d3-flame-graph JSON,
+ *  - a self-contained HTML file.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyzer/analysis.h"
+#include "profiler/profile_db.h"
+
+namespace dc::gui {
+
+/** A node of the rendered flame graph. */
+struct FlameNode {
+    std::string label;
+    double value = 0.0;          ///< Inclusive metric value.
+    std::string color;           ///< "" = default palette.
+    std::vector<FlameNode> children;
+
+    /** Total value of the children (<= value for proper trees). */
+    double childSum() const;
+};
+
+/** View construction options. */
+struct FlameGraphOptions {
+    /// Metric the widths encode.
+    std::string metric = "gpu_time_ns";
+    /// Collapse native frames (the GUI's "hide C/C++" toggle).
+    bool include_native = true;
+    /// Include instruction frames (fine-grained view).
+    bool include_instructions = false;
+    /// Prune nodes below this fraction of the root value.
+    double min_fraction = 0.0;
+};
+
+/** Flame-graph builder and exporters. */
+class FlameGraph
+{
+  public:
+    /** Direct representation of the CCT. */
+    static FlameNode topDown(const prof::ProfileDb &db,
+                             const FlameGraphOptions &options = {},
+                             const std::vector<analysis::Issue> &issues =
+                                 {});
+
+    /**
+     * Bottom-up view: aggregates each kernel's metric across all call
+     * paths, with callers expanded beneath it.
+     */
+    static FlameNode bottomUp(const prof::ProfileDb &db,
+                              const FlameGraphOptions &options = {},
+                              const std::vector<analysis::Issue> &issues =
+                                  {});
+
+    /** ASCII rendering (width-proportional bars). */
+    static std::string renderAscii(const FlameNode &root, int width = 96,
+                                   int max_depth = 24);
+
+    /** Brendan-Gregg folded-stack format ("a;b;c value"). */
+    static std::string toFolded(const FlameNode &root);
+
+    /** d3-flame-graph JSON. */
+    static std::string toJson(const FlameNode &root);
+
+    /** Self-contained HTML (inline JSON + a tiny renderer). */
+    static std::string toHtml(const FlameNode &root,
+                              const std::string &title);
+};
+
+} // namespace dc::gui

@@ -1,0 +1,88 @@
+#include "gui/ide_protocol.h"
+
+#include "common/strings.h"
+
+namespace dc::gui {
+
+std::string
+EditorAction::toJson() const
+{
+    const char *method = "";
+    switch (kind) {
+      case Kind::kOpenFile: method = "editor/openFile"; break;
+      case Kind::kGotoLine: method = "editor/gotoLine"; break;
+      case Kind::kHighlightRange: method = "editor/highlightRange"; break;
+    }
+    return strformat(
+        "{\"method\":\"%s\",\"params\":{\"file\":\"%s\",\"line\":%d,"
+        "\"endLine\":%d}}",
+        method, jsonEscape(file).c_str(), line,
+        end_line > 0 ? end_line : line);
+}
+
+std::vector<EditorAction>
+actionsForNode(const prof::CctNode &node, const sim::SourceMap *sources)
+{
+    std::vector<EditorAction> actions;
+    const dlmon::Frame &frame = node.frame();
+
+    std::optional<sim::SourceLocation> location;
+    if (frame.kind == dlmon::FrameKind::kPython) {
+        location = sim::SourceLocation{frame.file, frame.line};
+    } else if (sources != nullptr &&
+               (frame.kind == dlmon::FrameKind::kNative ||
+                frame.kind == dlmon::FrameKind::kGpuApi ||
+                frame.kind == dlmon::FrameKind::kInstruction)) {
+        location = sources->resolve(frame.pc);
+    }
+
+    if (!location) {
+        // Fall back to the nearest Python ancestor so a click always
+        // lands somewhere useful.
+        for (const prof::CctNode *cur = node.parent(); cur != nullptr;
+             cur = cur->parent()) {
+            if (cur->frame().kind == dlmon::FrameKind::kPython) {
+                location = sim::SourceLocation{cur->frame().file,
+                                               cur->frame().line};
+                break;
+            }
+        }
+    }
+    if (!location)
+        return actions;
+
+    EditorAction open;
+    open.kind = EditorAction::Kind::kOpenFile;
+    open.file = location->file;
+    open.line = location->line;
+    actions.push_back(open);
+
+    EditorAction go;
+    go.kind = EditorAction::Kind::kGotoLine;
+    go.file = location->file;
+    go.line = location->line;
+    actions.push_back(go);
+
+    EditorAction highlight;
+    highlight.kind = EditorAction::Kind::kHighlightRange;
+    highlight.file = location->file;
+    highlight.line = location->line;
+    highlight.end_line = location->line + 2;
+    actions.push_back(highlight);
+    return actions;
+}
+
+std::string
+actionsToJson(const std::vector<EditorAction> &actions)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+        if (i)
+            out += ",";
+        out += actions[i].toJson();
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace dc::gui

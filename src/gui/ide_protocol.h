@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * IDE interaction backend (Section 4.4).
+ *
+ * The WebView GUI translates visualization events (clicking a hotspot
+ * frame) into editor actions: open the file, navigate to the line,
+ * highlight the region. This module is that translation layer, emitting
+ * VS-Code-protocol-style JSON messages; any IDE speaking the protocol
+ * (VSCode, VSCodium, Theia) could consume them. Python frames resolve
+ * directly; native/kernel frames resolve through the DWARF-like source
+ * map.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profiler/cct.h"
+#include "sim/loader/source_map.h"
+
+namespace dc::gui {
+
+/** One editor action. */
+struct EditorAction {
+    enum class Kind {
+        kOpenFile,
+        kGotoLine,
+        kHighlightRange,
+    };
+    Kind kind = Kind::kOpenFile;
+    std::string file;
+    int line = 0;
+    int end_line = 0;
+
+    /** VSCode-protocol-style JSON message. */
+    std::string toJson() const;
+};
+
+/** Translate a click on a CCT node into editor actions. */
+std::vector<EditorAction> actionsForNode(const prof::CctNode &node,
+                                         const sim::SourceMap *sources);
+
+/** Render a sequence of actions as a JSON array (WebView -> IDE). */
+std::string actionsToJson(const std::vector<EditorAction> &actions);
+
+} // namespace dc::gui

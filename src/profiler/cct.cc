@@ -1,0 +1,180 @@
+#include "profiler/cct.h"
+
+#include "common/logging.h"
+
+namespace dc::prof {
+
+namespace {
+
+/// Approximate live bytes of one node (struct + bookkeeping).
+constexpr std::uint64_t kNodeBytes = 224;
+/// Approximate bytes of one metric accumulator.
+constexpr std::uint64_t kMetricBytes = 64;
+
+std::uint64_t
+frameBytes(const dlmon::Frame &frame)
+{
+    return kNodeBytes + frame.file.size() + frame.function.size() +
+           frame.name.size();
+}
+
+} // namespace
+
+CctNode *
+CctNode::findChild(const dlmon::Frame &frame)
+{
+    auto it = children_.find(frame.locationHash());
+    if (it == children_.end())
+        return nullptr;
+    for (const auto &child : it->second) {
+        if (child->frame().sameLocation(frame))
+            return child.get();
+    }
+    return nullptr;
+}
+
+const CctNode *
+CctNode::findChild(const dlmon::Frame &frame) const
+{
+    return const_cast<CctNode *>(this)->findChild(frame);
+}
+
+CctNode *
+CctNode::child(const dlmon::Frame &frame, bool *created)
+{
+    CctNode *existing = findChild(frame);
+    if (existing != nullptr) {
+        if (created != nullptr)
+            *created = false;
+        return existing;
+    }
+    auto node = std::make_unique<CctNode>(frame, this, depth_ + 1);
+    CctNode *raw = node.get();
+    children_[frame.locationHash()].push_back(std::move(node));
+    order_.push_back(raw);
+    if (created != nullptr)
+        *created = true;
+    return raw;
+}
+
+const RunningStat *
+CctNode::findMetric(int metric_id) const
+{
+    auto it = metrics_.find(metric_id);
+    return it == metrics_.end() ? nullptr : &it->second;
+}
+
+void
+CctNode::forEachChild(const std::function<void(CctNode &)> &fn)
+{
+    for (CctNode *child : order_)
+        fn(*child);
+}
+
+void
+CctNode::forEachChild(const std::function<void(const CctNode &)> &fn) const
+{
+    for (const CctNode *child : order_)
+        fn(*child);
+}
+
+Cct::Cct(HostMemoryTracker *tracker) : tracker_(tracker)
+{
+    root_ = std::make_unique<CctNode>(dlmon::Frame::op("<root>"), nullptr,
+                                      0);
+    charge(kNodeBytes);
+}
+
+Cct::~Cct()
+{
+    if (tracker_ != nullptr && memory_bytes_ > 0)
+        tracker_->release("profiler.cct", memory_bytes_);
+}
+
+void
+Cct::charge(std::uint64_t bytes)
+{
+    memory_bytes_ += bytes;
+    if (tracker_ != nullptr)
+        tracker_->allocate("profiler.cct", bytes);
+}
+
+CctNode *
+Cct::insert(const dlmon::CallPath &path, std::size_t *created_nodes)
+{
+    CctNode *node = root_.get();
+    std::size_t created = 0;
+    for (const dlmon::Frame &frame : path) {
+        bool was_created = false;
+        node = node->child(frame, &was_created);
+        if (was_created) {
+            ++created;
+            ++node_count_;
+            charge(frameBytes(frame));
+        }
+    }
+    if (created_nodes != nullptr)
+        *created_nodes = created;
+    return node;
+}
+
+CctNode *
+Cct::attachChild(CctNode *parent, const dlmon::Frame &frame)
+{
+    DC_CHECK(parent != nullptr, "attach to null parent");
+    bool created = false;
+    CctNode *node = parent->child(frame, &created);
+    if (created) {
+        ++node_count_;
+        charge(frameBytes(frame));
+    }
+    return node;
+}
+
+std::size_t
+Cct::addMetric(CctNode *node, int metric_id, double value, bool propagate)
+{
+    DC_CHECK(node != nullptr, "metric on null node");
+    std::size_t updated = 0;
+    for (CctNode *cur = node; cur != nullptr; cur = cur->parent()) {
+        const bool existed = cur->findMetric(metric_id) != nullptr;
+        cur->metric(metric_id).add(value);
+        if (!existed)
+            charge(kMetricBytes);
+        ++updated;
+        if (!propagate)
+            break;
+    }
+    return updated;
+}
+
+void
+Cct::visit(const std::function<void(const CctNode &)> &fn) const
+{
+    std::function<void(const CctNode &)> walk =
+        [&](const CctNode &node) {
+            fn(node);
+            node.forEachChild(walk);
+        };
+    walk(*root_);
+}
+
+void
+Cct::visit(const std::function<void(CctNode &)> &fn)
+{
+    std::function<void(CctNode &)> walk = [&](CctNode &node) {
+        fn(node);
+        node.forEachChild(walk);
+    };
+    walk(*root_);
+}
+
+void
+Cct::detachTracker()
+{
+    if (tracker_ != nullptr && memory_bytes_ > 0)
+        tracker_->release("profiler.cct", memory_bytes_);
+    tracker_ = nullptr;
+}
+
+} // namespace dc::prof

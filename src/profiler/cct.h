@@ -1,0 +1,144 @@
+#pragma once
+
+/**
+ * @file
+ * The calling context tree (Figure 5).
+ *
+ * Call paths from DLMonitor are inserted and frames referring to the same
+ * location are collapsed (Frame::sameLocation implements the Section 4.2
+ * equality rules). Each node aggregates metrics online with RunningStat
+ * (sum/min/max/mean/stddev), and metric updates at a leaf propagate to
+ * the root so every ancestor holds inclusive values — this online
+ * aggregation is why DeepContext's profile size stays flat no matter how
+ * long the workload runs.
+ */
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/stats.h"
+#include "dlmonitor/callpath.h"
+
+namespace dc::prof {
+
+/** One calling-context-tree node. */
+class CctNode
+{
+  public:
+    CctNode(dlmon::Frame frame, CctNode *parent, int depth)
+        : frame_(std::move(frame)), parent_(parent), depth_(depth)
+    {
+    }
+
+    const dlmon::Frame &frame() const { return frame_; }
+    CctNode *parent() { return parent_; }
+    const CctNode *parent() const { return parent_; }
+    int depth() const { return depth_; }
+
+    /** Find a child matching @p frame; nullptr if absent. */
+    CctNode *findChild(const dlmon::Frame &frame);
+    const CctNode *findChild(const dlmon::Frame &frame) const;
+
+    /** Find-or-create a child. @p created reports whether it was new. */
+    CctNode *child(const dlmon::Frame &frame, bool *created);
+
+    /** Metric accumulator (creating it if needed). */
+    RunningStat &metric(int metric_id) { return metrics_[metric_id]; }
+
+    /** Metric accumulator or nullptr. */
+    const RunningStat *findMetric(int metric_id) const;
+
+    const std::map<int, RunningStat> &metrics() const { return metrics_; }
+
+    /** Visit children in deterministic (insertion) order. */
+    void forEachChild(const std::function<void(CctNode &)> &fn);
+    void forEachChild(const std::function<void(const CctNode &)> &fn) const;
+
+    std::size_t childCount() const { return order_.size(); }
+
+  private:
+    dlmon::Frame frame_;
+    CctNode *parent_;
+    int depth_;
+    std::map<int, RunningStat> metrics_;
+    /// Hash buckets; collisions resolved by Frame::sameLocation.
+    std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<CctNode>>>
+        children_;
+    /// Deterministic iteration order (pointers into children_).
+    std::vector<CctNode *> order_;
+};
+
+/** The tree. */
+class Cct
+{
+  public:
+    /**
+     * @param tracker Optional host-memory tracker; node and metric
+     *        creation is charged to the "profiler.cct" category so the
+     *        Figure 6 memory-overhead comparison is structural.
+     */
+    explicit Cct(HostMemoryTracker *tracker = nullptr);
+    ~Cct();
+
+    Cct(const Cct &) = delete;
+    Cct &operator=(const Cct &) = delete;
+
+    CctNode &root() { return *root_; }
+    const CctNode &root() const { return *root_; }
+
+    /**
+     * Insert a root-to-leaf call path, collapsing existing frames.
+     * @param[out] created_nodes Number of new nodes (for overhead
+     *        charging by the caller).
+     * @return The leaf node.
+     */
+    CctNode *insert(const dlmon::CallPath &path,
+                    std::size_t *created_nodes = nullptr);
+
+    /**
+     * Find-or-create a direct child of @p parent with the tree's
+     * bookkeeping (node count, memory accounting). Used by loaders and
+     * by the instruction-frame extension.
+     */
+    CctNode *attachChild(CctNode *parent, const dlmon::Frame &frame);
+
+    /**
+     * Add one metric sample at @p node; when @p propagate is set the
+     * sample is also added to every ancestor up to the root (Figure 5's
+     * "propagate metrics").
+     * @return Number of nodes updated.
+     */
+    std::size_t addMetric(CctNode *node, int metric_id, double value,
+                          bool propagate = true);
+
+    /** Total node count (including the root). */
+    std::size_t nodeCount() const { return node_count_; }
+
+    /** Estimated live bytes of the tree. */
+    std::uint64_t memoryBytes() const { return memory_bytes_; }
+
+    /** Pre-order traversal. */
+    void visit(const std::function<void(const CctNode &)> &fn) const;
+    void visit(const std::function<void(CctNode &)> &fn);
+
+    /**
+     * Release the tree's charge from the memory tracker and detach from
+     * it. Called when the profile is handed to the user and outlives the
+     * profiled run.
+     */
+    void detachTracker();
+
+  private:
+    void charge(std::uint64_t bytes);
+
+    std::unique_ptr<CctNode> root_;
+    HostMemoryTracker *tracker_;
+    std::size_t node_count_ = 1;
+    std::uint64_t memory_bytes_ = 0;
+};
+
+} // namespace dc::prof

@@ -1,0 +1,34 @@
+#include "profiler/metrics.h"
+
+#include "common/logging.h"
+
+namespace dc::prof {
+
+int
+MetricRegistry::intern(const std::string &name)
+{
+    auto it = ids_.find(name);
+    if (it != ids_.end())
+        return it->second;
+    const int id = static_cast<int>(names_.size());
+    names_.push_back(name);
+    ids_[name] = id;
+    return id;
+}
+
+int
+MetricRegistry::find(const std::string &name) const
+{
+    auto it = ids_.find(name);
+    return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string &
+MetricRegistry::name(int id) const
+{
+    DC_CHECK(id >= 0 && id < static_cast<int>(names_.size()),
+             "bad metric id ", id);
+    return names_[static_cast<std::size_t>(id)];
+}
+
+} // namespace dc::prof

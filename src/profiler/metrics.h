@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * Metric identity for the profiler.
+ *
+ * Metrics are interned by name; well-known names used throughout the
+ * profiler, analyzer, and GUI are provided as constants. Per Section 4.2,
+ * each CCT node aggregates every metric type by sum / min / max / average
+ * / standard deviation (RunningStat).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dc::prof {
+
+/** Well-known metric names. */
+namespace metric_names {
+inline constexpr const char *kGpuTime = "gpu_time_ns";
+inline constexpr const char *kKernelCount = "kernel_count";
+inline constexpr const char *kMemcpyTime = "memcpy_time_ns";
+inline constexpr const char *kMemcpyBytes = "memcpy_bytes";
+inline constexpr const char *kCpuTime = "cpu_time_ns";
+inline constexpr const char *kRealTime = "real_time_ns";
+inline constexpr const char *kOpCount = "op_count";
+inline constexpr const char *kOpTime = "op_time_ns";
+inline constexpr const char *kGridBlocks = "grid_blocks";
+inline constexpr const char *kRegsPerThread = "regs_per_thread";
+inline constexpr const char *kSharedMem = "shared_mem_bytes";
+inline constexpr const char *kOccupancy = "occupancy";
+inline constexpr const char *kAllocBytes = "alloc_bytes";
+inline constexpr const char *kStallSamples = "stall_samples";
+/** Per-stall-reason metrics are "stall_" + sim::stallReasonName(). */
+inline constexpr const char *kStallPrefix = "stall_";
+} // namespace metric_names
+
+/** Interns metric names to dense integer IDs. */
+class MetricRegistry
+{
+  public:
+    /** Get-or-create the ID for @p name. */
+    int intern(const std::string &name);
+
+    /** ID of @p name, or -1 if never interned. */
+    int find(const std::string &name) const;
+
+    /** Name of an ID. */
+    const std::string &name(int id) const;
+
+    /** Number of metrics interned. */
+    std::size_t size() const { return names_.size(); }
+
+    const std::vector<std::string> &allNames() const { return names_; }
+
+  private:
+    std::vector<std::string> names_;
+    std::map<std::string, int> ids_;
+};
+
+} // namespace dc::prof

@@ -1,0 +1,183 @@
+#include "profiler/profile_db.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dc::prof {
+
+namespace {
+
+constexpr const char *kHeader = "# deepcontext profile v1";
+
+std::string
+encodeField(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '\t')
+            out += "\\t";
+        else if (c == '\n')
+            out += "\\n";
+        else if (c == '\\')
+            out += "\\\\";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+decodeField(const std::string &s)
+{
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            ++i;
+            if (s[i] == 't')
+                out += '\t';
+            else if (s[i] == 'n')
+                out += '\n';
+            else
+                out += s[i];
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+ProfileDb::ProfileDb(std::unique_ptr<Cct> cct, MetricRegistry metrics,
+                     std::map<std::string, std::string> metadata)
+    : cct_(std::move(cct)), metrics_(std::move(metrics)),
+      metadata_(std::move(metadata))
+{
+    DC_CHECK(cct_ != nullptr, "profile without a CCT");
+}
+
+std::string
+ProfileDb::serialize() const
+{
+    std::ostringstream out;
+    out << kHeader << "\n";
+    for (const auto &[key, value] : metadata_)
+        out << "meta\t" << encodeField(key) << "\t" << encodeField(value)
+            << "\n";
+    for (const std::string &name : metrics_.allNames())
+        out << "metric\t" << encodeField(name) << "\n";
+
+    // Nodes in pre-order; ids assigned on the fly.
+    int next_id = 0;
+    std::map<const CctNode *, int> ids;
+    std::function<void(const CctNode &)> walk = [&](const CctNode &node) {
+        const int id = next_id++;
+        ids[&node] = id;
+        const int parent =
+            node.parent() == nullptr ? -1 : ids[node.parent()];
+        const dlmon::Frame &f = node.frame();
+        out << "node\t" << id << "\t" << parent << "\t"
+            << static_cast<int>(f.kind) << "\t" << encodeField(f.file)
+            << "\t" << encodeField(f.function) << "\t" << f.line << "\t"
+            << f.pc << "\t" << encodeField(f.name) << "\t" << f.stall;
+        for (const auto &[metric_id, stat] : node.metrics()) {
+            out << "\tm:" << metric_id << ":" << stat.count() << ":"
+                << strformat("%.17g:%.17g:%.17g:%.17g:%.17g", stat.sum(),
+                             stat.min(), stat.max(), stat.mean(),
+                             stat.m2());
+        }
+        out << "\n";
+        node.forEachChild(walk);
+    };
+    walk(cct_->root());
+    return out.str();
+}
+
+std::uint64_t
+ProfileDb::save(const std::string &path) const
+{
+    const std::string text = serialize();
+    std::ofstream out(path, std::ios::binary);
+    DC_CHECK(out.good(), "cannot open ", path, " for writing");
+    out << text;
+    return text.size();
+}
+
+std::unique_ptr<ProfileDb>
+ProfileDb::deserialize(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::getline(in, line);
+    DC_CHECK(line == kHeader, "bad profile header: ", line);
+
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    std::map<std::string, std::string> metadata;
+    std::map<int, CctNode *> nodes;
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const std::vector<std::string> fields = split(line, '\t');
+        if (fields[0] == "meta" && fields.size() >= 3) {
+            metadata[decodeField(fields[1])] = decodeField(fields[2]);
+        } else if (fields[0] == "metric" && fields.size() >= 2) {
+            metrics.intern(decodeField(fields[1]));
+        } else if (fields[0] == "node" && fields.size() >= 10) {
+            const int id = std::stoi(fields[1]);
+            const int parent_id = std::stoi(fields[2]);
+
+            dlmon::Frame frame;
+            frame.kind =
+                static_cast<dlmon::FrameKind>(std::stoi(fields[3]));
+            frame.file = decodeField(fields[4]);
+            frame.function = decodeField(fields[5]);
+            frame.line = std::stoi(fields[6]);
+            frame.pc = std::stoull(fields[7]);
+            frame.name = decodeField(fields[8]);
+            frame.stall = std::stoi(fields[9]);
+
+            CctNode *node = nullptr;
+            if (parent_id < 0) {
+                node = &cct->root();
+            } else {
+                auto it = nodes.find(parent_id);
+                DC_CHECK(it != nodes.end(), "orphan node ", id);
+                node = cct->attachChild(it->second, frame);
+            }
+            nodes[id] = node;
+
+            for (std::size_t i = 10; i < fields.size(); ++i) {
+                if (!startsWith(fields[i], "m:"))
+                    continue;
+                const std::vector<std::string> parts =
+                    split(fields[i], ':');
+                if (parts.size() < 8)
+                    continue;
+                const int metric_id = std::stoi(parts[1]);
+                node->metric(metric_id) = RunningStat::fromRaw(
+                    std::stoull(parts[2]), std::stod(parts[3]),
+                    std::stod(parts[4]), std::stod(parts[5]),
+                    std::stod(parts[6]), std::stod(parts[7]));
+            }
+        }
+    }
+    return std::make_unique<ProfileDb>(std::move(cct), std::move(metrics),
+                                       std::move(metadata));
+}
+
+std::unique_ptr<ProfileDb>
+ProfileDb::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    DC_CHECK(in.good(), "cannot open ", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return deserialize(buffer.str());
+}
+
+} // namespace dc::prof

@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * The profile database: a finished CCT plus metric identity and run
+ * metadata, with save/load in a compact line-oriented text format.
+ *
+ * Because metrics were aggregated online, the database is proportional
+ * to the number of *distinct contexts*, not to the number of events —
+ * the disk-size half of the paper's memory/disk claim.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "profiler/cct.h"
+#include "profiler/metrics.h"
+
+namespace dc::prof {
+
+/** A completed profile. */
+class ProfileDb
+{
+  public:
+    ProfileDb(std::unique_ptr<Cct> cct, MetricRegistry metrics,
+              std::map<std::string, std::string> metadata);
+
+    const Cct &cct() const { return *cct_; }
+    Cct &cct() { return *cct_; }
+    const MetricRegistry &metrics() const { return metrics_; }
+    const std::map<std::string, std::string> &metadata() const
+    {
+        return metadata_;
+    }
+
+    /** Serialize to the v1 text format. */
+    std::string serialize() const;
+
+    /** Write serialize() to @p path. Returns bytes written. */
+    std::uint64_t save(const std::string &path) const;
+
+    /** Parse a serialized profile back into a ProfileDb. */
+    static std::unique_ptr<ProfileDb> deserialize(const std::string &text);
+
+    /** Load from a file. */
+    static std::unique_ptr<ProfileDb> load(const std::string &path);
+
+  private:
+    std::unique_ptr<Cct> cct_;
+    MetricRegistry metrics_;
+    std::map<std::string, std::string> metadata_;
+};
+
+} // namespace dc::prof

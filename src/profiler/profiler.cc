@@ -1,0 +1,325 @@
+#include "profiler/profiler.h"
+
+#include "common/logging.h"
+#include "sim/cupti/cupti_sim.h"
+#include "sim/roctracer/roctracer_sim.h"
+
+namespace dc::prof {
+
+Profiler::Profiler(dlmon::DlMonitor &monitor, ProfilerConfig config)
+    : monitor_(monitor), ctx_(monitor.options().ctx), config_(config)
+{
+    cct_ = std::make_unique<Cct>(&ctx_->hostMemory());
+
+    m_gpu_time_ = metrics_.intern(metric_names::kGpuTime);
+    m_kernel_count_ = metrics_.intern(metric_names::kKernelCount);
+    m_memcpy_time_ = metrics_.intern(metric_names::kMemcpyTime);
+    m_memcpy_bytes_ = metrics_.intern(metric_names::kMemcpyBytes);
+    m_cpu_time_ = metrics_.intern(metric_names::kCpuTime);
+    m_real_time_ = metrics_.intern(metric_names::kRealTime);
+    m_op_count_ = metrics_.intern(metric_names::kOpCount);
+    m_op_time_ = metrics_.intern(metric_names::kOpTime);
+    m_grid_ = metrics_.intern(metric_names::kGridBlocks);
+    m_regs_ = metrics_.intern(metric_names::kRegsPerThread);
+    m_shared_ = metrics_.intern(metric_names::kSharedMem);
+    m_occupancy_ = metrics_.intern(metric_names::kOccupancy);
+    m_alloc_bytes_ = metrics_.intern(metric_names::kAllocBytes);
+    m_stall_samples_ = metrics_.intern(metric_names::kStallSamples);
+    for (int r = 0; r < sim::kNumStallReasons; ++r) {
+        m_stall_reason_.push_back(metrics_.intern(
+            std::string(metric_names::kStallPrefix) +
+            sim::stallReasonName(static_cast<sim::StallReason>(r))));
+    }
+
+    fw_handle_ = monitor_.callbackRegister(
+        dlmon::Domain::kFramework,
+        dlmon::FrameworkCallback(
+            [this](const dlmon::OpCallbackInfo &info) {
+                onFrameworkEvent(info);
+            }));
+    gpu_handle_ = monitor_.callbackRegister(
+        dlmon::Domain::kGpu,
+        dlmon::GpuCallback([this](const dlmon::GpuCallbackInfo &info) {
+            onGpuEvent(info);
+        }));
+    attached_ = true;
+
+    // Enable vendor activity collection on the monitored device.
+    if (config_.gpu_activities) {
+        sim::GpuRuntime &runtime = *monitor_.options().runtime;
+        const int device = monitor_.options().device;
+        const sim::GpuVendor vendor = ctx_->device(device).arch().vendor;
+        auto handler = [this](std::vector<sim::ActivityRecord> &&records) {
+            onActivities(std::move(records));
+        };
+        if (vendor == sim::GpuVendor::kNvidia) {
+            auto result = sim::cupti::cuptiActivityEnable(
+                runtime, device, handler,
+                config_.activity_buffer_capacity);
+            DC_CHECK(result == sim::cupti::CuptiResult::kSuccess,
+                     "cuptiActivityEnable failed");
+            sim::cupti::cuptiActivityConfigurePcSampling(
+                runtime, device, config_.pc_sampling);
+        } else if (vendor == sim::GpuVendor::kAmd) {
+            const int status = sim::roctracer::roctracerOpenPool(
+                runtime, device, handler,
+                config_.activity_buffer_capacity);
+            DC_CHECK(status == sim::roctracer::kRoctracerStatusSuccess,
+                     "roctracerOpenPool failed");
+            sim::roctracer::roctracerConfigureThreadTrace(
+                runtime, device, config_.pc_sampling);
+        } else {
+            // Vendor-less device: attach the generic flush handler.
+            ctx_->device(device).setFlushHandler(
+                handler, config_.activity_buffer_capacity);
+            ctx_->device(device).setPcSamplingEnabled(config_.pc_sampling);
+        }
+        activities_enabled_ = true;
+    }
+
+    if (config_.cpu_sampling) {
+        cpu_sampler_ = std::make_unique<sim::SignalSampler>(
+            *ctx_, sim::TimerEventKind::kCpuTime,
+            config_.cpu_sample_period_ns,
+            [this](sim::SimThread &thread, sim::TimerEventKind kind,
+                   DurationNs interval, TimeNs wall_now) {
+                onCpuSample(thread, kind, interval, wall_now);
+            });
+        real_sampler_ = std::make_unique<sim::SignalSampler>(
+            *ctx_, sim::TimerEventKind::kRealTime,
+            config_.cpu_sample_period_ns,
+            [this](sim::SimThread &thread, sim::TimerEventKind kind,
+                   DurationNs interval, TimeNs wall_now) {
+                onCpuSample(thread, kind, interval, wall_now);
+            });
+    }
+}
+
+Profiler::~Profiler()
+{
+    if (attached_)
+        finish();
+}
+
+unsigned
+Profiler::pathFlags() const
+{
+    unsigned flags = 0;
+    if (config_.python_path)
+        flags |= dlmon::kCallPathPython;
+    if (config_.framework_path)
+        flags |= dlmon::kCallPathFramework;
+    if (config_.native_path)
+        flags |= dlmon::kCallPathNative;
+    if (config_.gpu_kernel_frames)
+        flags |= dlmon::kCallPathGpuKernel;
+    return flags;
+}
+
+void
+Profiler::chargeInsert(std::size_t path_len, std::size_t created)
+{
+    const std::size_t hits = path_len - std::min(path_len, created);
+    ctx_->chargeProfilingOverhead(
+        static_cast<DurationNs>(hits) * config_.cct_insert_hit_ns +
+        static_cast<DurationNs>(created) * config_.cct_insert_miss_ns);
+}
+
+CctNode *
+Profiler::insertCurrentPath(unsigned flags)
+{
+    const dlmon::CallPath path = monitor_.callpathGet(flags);
+    std::size_t created = 0;
+    CctNode *node = cct_->insert(path, &created);
+    chargeInsert(path.size(), created);
+    ++stats_.paths_inserted;
+    stats_.nodes_created += created;
+    return node;
+}
+
+void
+Profiler::addMetricCharged(CctNode *node, int metric_id, double value)
+{
+    const std::size_t updated = cct_->addMetric(node, metric_id, value);
+    ctx_->chargeProfilingOverhead(
+        static_cast<DurationNs>(updated) * config_.metric_update_ns);
+}
+
+void
+Profiler::onFrameworkEvent(const dlmon::OpCallbackInfo &info)
+{
+    ++stats_.op_events;
+    switch (info.type) {
+      case dlmon::FwEventType::kOperator: {
+        auto &open = open_ops_[info.thread];
+        if (info.phase == fw::RecordPhase::kBegin) {
+            CctNode *node = insertCurrentPath(pathFlags() &
+                                              ~dlmon::kCallPathGpuKernel);
+            addMetricCharged(node, m_op_count_, 1.0);
+            open.emplace_back(node, ctx_->now());
+        } else if (!open.empty()) {
+            auto [node, begin] = open.back();
+            open.pop_back();
+            addMetricCharged(node, m_op_time_,
+                             static_cast<double>(ctx_->now() - begin));
+        }
+        break;
+      }
+      case dlmon::FwEventType::kMemory:
+        if (info.alloc_delta > 0) {
+            CctNode *node = insertCurrentPath(
+                (pathFlags() & ~dlmon::kCallPathGpuKernel) &
+                ~dlmon::kCallPathNative);
+            addMetricCharged(node, m_alloc_bytes_,
+                             static_cast<double>(info.bytes));
+        }
+        break;
+      case dlmon::FwEventType::kGraphCompile:
+        // Recorded as metadata only; compilation windows are rare.
+        if (info.phase == fw::RecordPhase::kBegin) {
+            metadata_["compiled." + info.name] = "1";
+        }
+        break;
+    }
+}
+
+void
+Profiler::onGpuEvent(const dlmon::GpuCallbackInfo &info)
+{
+    if (info.phase != sim::ApiPhase::kEnter)
+        return;
+    switch (info.api) {
+      case sim::GpuApiKind::kKernelLaunch:
+      case sim::GpuApiKind::kMemcpy: {
+        CctNode *node = insertCurrentPath(pathFlags());
+        correlation_[info.correlation_id] = node;
+        break;
+      }
+      case sim::GpuApiKind::kMalloc:
+      case sim::GpuApiKind::kFree:
+      case sim::GpuApiKind::kSync:
+        break;
+    }
+}
+
+void
+Profiler::onActivities(std::vector<sim::ActivityRecord> &&records)
+{
+    for (const sim::ActivityRecord &record : records) {
+        ++stats_.activities_consumed;
+        ctx_->chargeProfilingOverhead(config_.activity_record_ns);
+
+        auto it = correlation_.find(record.correlation_id);
+        if (it == correlation_.end())
+            continue;
+        CctNode *node = it->second;
+        correlation_.erase(it);
+
+        switch (record.kind) {
+          case sim::ActivityKind::kKernel: {
+            addMetricCharged(node, m_gpu_time_,
+                             static_cast<double>(record.duration()));
+            addMetricCharged(node, m_kernel_count_, 1.0);
+            // Resource metrics aggregate at the kernel node only; they
+            // are not meaningful summed across kernels.
+            cct_->addMetric(node, m_grid_,
+                            static_cast<double>(record.grid),
+                            /*propagate=*/false);
+            cct_->addMetric(node, m_regs_,
+                            static_cast<double>(record.regs_per_thread),
+                            false);
+            cct_->addMetric(node, m_shared_,
+                            static_cast<double>(record.shared_mem_bytes),
+                            false);
+            cct_->addMetric(node, m_occupancy_, record.occupancy, false);
+
+            // Fine-grained samples extend the path with instruction
+            // frames (Section 4.2, "GPU Metrics").
+            for (const sim::PcSample &sample : record.pc_samples) {
+                ++stats_.pc_samples_consumed;
+                ctx_->chargeProfilingOverhead(config_.pc_sample_ns);
+                const std::size_t before = cct_->nodeCount();
+                CctNode *inst = cct_->attachChild(
+                    node, dlmon::Frame::instruction(
+                              sample.pc, static_cast<int>(sample.stall)));
+                stats_.nodes_created += cct_->nodeCount() - before;
+                cct_->addMetric(inst, m_stall_samples_, 1.0);
+                cct_->addMetric(
+                    inst,
+                    m_stall_reason_[static_cast<int>(sample.stall)], 1.0,
+                    /*propagate=*/false);
+            }
+            break;
+          }
+          case sim::ActivityKind::kMemcpy:
+            addMetricCharged(node, m_memcpy_time_,
+                             static_cast<double>(record.duration()));
+            addMetricCharged(node, m_memcpy_bytes_,
+                             static_cast<double>(record.bytes));
+            break;
+          case sim::ActivityKind::kMemset:
+            break;
+        }
+    }
+}
+
+void
+Profiler::onCpuSample(sim::SimThread &thread, sim::TimerEventKind kind,
+                      DurationNs interval, TimeNs wall_now)
+{
+    (void)thread;
+    (void)wall_now;
+    ++stats_.cpu_samples;
+    CctNode *node = insertCurrentPath(pathFlags() &
+                                      ~dlmon::kCallPathGpuKernel);
+    addMetricCharged(node,
+                     kind == sim::TimerEventKind::kCpuTime ? m_cpu_time_
+                                                           : m_real_time_,
+                     static_cast<double>(interval));
+}
+
+void
+Profiler::setMetadata(const std::string &key, const std::string &value)
+{
+    metadata_[key] = value;
+}
+
+std::unique_ptr<ProfileDb>
+Profiler::finish()
+{
+    DC_CHECK(attached_, "profiler already finished");
+
+    // Flush pending activity so nothing is lost.
+    sim::GpuRuntime &runtime = *monitor_.options().runtime;
+    const int device = monitor_.options().device;
+    if (activities_enabled_) {
+        ctx_->device(device).flushActivities();
+        const sim::GpuVendor vendor = ctx_->device(device).arch().vendor;
+        if (vendor == sim::GpuVendor::kNvidia) {
+            sim::cupti::cuptiActivityDisable(runtime, device);
+        } else if (vendor == sim::GpuVendor::kAmd) {
+            sim::roctracer::roctracerClosePool(runtime, device);
+        } else {
+            ctx_->device(device).clearFlushHandler();
+        }
+        activities_enabled_ = false;
+    }
+
+    monitor_.callbackUnregister(dlmon::Domain::kFramework, fw_handle_);
+    monitor_.callbackUnregister(dlmon::Domain::kGpu, gpu_handle_);
+    cpu_sampler_.reset();
+    real_sampler_.reset();
+    attached_ = false;
+
+    metadata_["device"] = ctx_->device(device).arch().name;
+    metadata_["vendor"] =
+        sim::gpuVendorName(ctx_->device(device).arch().vendor);
+
+    // The profile may outlive the run (and its memory tracker).
+    cct_->detachTracker();
+    return std::make_unique<ProfileDb>(std::move(cct_),
+                                       std::move(metrics_),
+                                       std::move(metadata_));
+}
+
+} // namespace dc::prof

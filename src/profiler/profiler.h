@@ -1,0 +1,152 @@
+#pragma once
+
+/**
+ * @file
+ * The DeepContext profiler (Section 4.2).
+ *
+ * Registers callbacks on DLMonitor's FRAMEWORK and GPU domains, enables
+ * vendor activity collection (CUPTI-sim / RocTracer-sim), and optionally
+ * CPU sampling. Every observation is attributed to a calling-context-tree
+ * node obtained via dlmonitor_callpath_get and aggregated online:
+ *
+ *  - kernel launches record a correlation-ID -> CCT-node mapping; the
+ *    asynchronous activity flush later attributes GPU time, launch
+ *    geometry, occupancy, and (optionally) PC samples to that node;
+ *  - operator begin/end events attribute op counts and op CPU time;
+ *  - CPU_TIME / REAL_TIME samplers attribute sampling intervals.
+ *
+ * All profiler work charges virtual time, so Figure 6's overhead numbers
+ * emerge from the amount of work configured.
+ */
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dlmonitor/dlmonitor.h"
+#include "profiler/cct.h"
+#include "profiler/metrics.h"
+#include "profiler/profile_db.h"
+#include "sim/perf/perf_events.h"
+
+namespace dc::prof {
+
+/** Profiler configuration. */
+struct ProfilerConfig {
+    bool python_path = true;
+    bool framework_path = true;
+    /// Collect native C/C++ call paths (the "DeepContext Native" variant
+    /// in Figure 6; costs extra unwinding time).
+    bool native_path = false;
+    bool gpu_kernel_frames = true;
+
+    bool gpu_activities = true;
+    /// Fine-grained instruction sampling (Section 6.7).
+    bool pc_sampling = false;
+    std::size_t activity_buffer_capacity = 512;
+
+    bool cpu_sampling = false;
+    DurationNs cpu_sample_period_ns = 4'000'000; // 250 Hz
+
+    // Virtual-time costs of the profiler's own work.
+    DurationNs cct_insert_hit_ns = 60;    ///< Per existing frame.
+    DurationNs cct_insert_miss_ns = 450;  ///< Per created node.
+    DurationNs metric_update_ns = 35;     ///< Per node on the propagation
+                                          ///< path (frame unification +
+                                          ///< aggregation cost).
+    DurationNs activity_record_ns = 140;  ///< Per consumed record.
+    DurationNs pc_sample_ns = 90;         ///< Per consumed PC sample.
+};
+
+/** Profiler run statistics (tests / ablations). */
+struct ProfilerStats {
+    std::uint64_t paths_inserted = 0;
+    std::uint64_t nodes_created = 0;
+    std::uint64_t activities_consumed = 0;
+    std::uint64_t pc_samples_consumed = 0;
+    std::uint64_t cpu_samples = 0;
+    std::uint64_t op_events = 0;
+};
+
+/** The profiler. Construct to attach; finish() detaches and yields a DB. */
+class Profiler
+{
+  public:
+    Profiler(dlmon::DlMonitor &monitor, ProfilerConfig config = {});
+    ~Profiler();
+
+    Profiler(const Profiler &) = delete;
+    Profiler &operator=(const Profiler &) = delete;
+
+    /** Live CCT (inspectable mid-run). */
+    const Cct &cct() const { return *cct_; }
+
+    MetricRegistry &metrics() { return metrics_; }
+
+    const ProfilerStats &stats() const { return stats_; }
+
+    /** Set a metadata key recorded into the profile. */
+    void setMetadata(const std::string &key, const std::string &value);
+
+    /**
+     * Flush outstanding activity, detach all callbacks, and build the
+     * profile database. The profiler is inert afterwards.
+     */
+    std::unique_ptr<ProfileDb> finish();
+
+  private:
+    unsigned pathFlags() const;
+    CctNode *insertCurrentPath(unsigned flags);
+    void chargeInsert(std::size_t path_len, std::size_t created);
+    void addMetricCharged(CctNode *node, int metric_id, double value);
+
+    void onFrameworkEvent(const dlmon::OpCallbackInfo &info);
+    void onGpuEvent(const dlmon::GpuCallbackInfo &info);
+    void onActivities(std::vector<sim::ActivityRecord> &&records);
+    void onCpuSample(sim::SimThread &thread, sim::TimerEventKind kind,
+                     DurationNs interval, TimeNs wall_now);
+
+    dlmon::DlMonitor &monitor_;
+    sim::SimContext *ctx_;
+    ProfilerConfig config_;
+
+    std::unique_ptr<Cct> cct_;
+    MetricRegistry metrics_;
+    std::map<std::string, std::string> metadata_;
+    ProfilerStats stats_;
+
+    // Interned metric ids.
+    int m_gpu_time_;
+    int m_kernel_count_;
+    int m_memcpy_time_;
+    int m_memcpy_bytes_;
+    int m_cpu_time_;
+    int m_real_time_;
+    int m_op_count_;
+    int m_op_time_;
+    int m_grid_;
+    int m_regs_;
+    int m_shared_;
+    int m_occupancy_;
+    int m_alloc_bytes_;
+    int m_stall_samples_;
+    std::vector<int> m_stall_reason_;
+
+    int fw_handle_ = 0;
+    int gpu_handle_ = 0;
+    bool attached_ = false;
+    bool activities_enabled_ = false;
+
+    std::unordered_map<CorrelationId, CctNode *> correlation_;
+    /// Per-thread stack of (node, begin wall time) for op timing.
+    std::map<ThreadId, std::vector<std::pair<CctNode *, TimeNs>>>
+        open_ops_;
+
+    std::unique_ptr<sim::SignalSampler> cpu_sampler_;
+    std::unique_ptr<sim::SignalSampler> real_sampler_;
+};
+
+} // namespace dc::prof

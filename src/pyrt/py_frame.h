@@ -1,0 +1,32 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated Python frames.
+ *
+ * DeepContext obtains the Python call path "using CPython's PyFrame-related
+ * APIs" (Section 4.1). This module reproduces the interpreter-visible
+ * state: a per-thread stack of frames, each naming a file, function, and
+ * current line. Frames are compared by (file, line) when collapsed into
+ * calling-context-tree nodes, exactly as the paper specifies.
+ */
+
+#include <string>
+
+namespace dc::pyrt {
+
+/** One Python frame as seen through the PyFrame API. */
+struct PyFrame {
+    std::string file;       ///< Source file, e.g. "train.py".
+    std::string function;   ///< Function (co_name), e.g. "train_step".
+    int line = 0;           ///< Currently executing line.
+
+    bool
+    operator==(const PyFrame &other) const
+    {
+        return file == other.file && line == other.line &&
+               function == other.function;
+    }
+};
+
+} // namespace dc::pyrt

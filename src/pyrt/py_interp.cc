@@ -1,0 +1,15 @@
+#include "pyrt/py_interp.h"
+
+namespace dc::pyrt {
+
+PyInterpreter::PyInterpreter(sim::LibraryRegistry &registry)
+{
+    const int lib = registry.registerLibrary(kLibraryName, 4 << 20);
+    eval_frame_pc_ =
+        registry.registerSymbol(lib, "_PyEval_EvalFrameDefault", 4096);
+    call_function_pc_ =
+        registry.registerSymbol(lib, "_PyObject_Call", 1024);
+    registry.markPythonLibrary(kLibraryName);
+}
+
+} // namespace dc::pyrt

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated Python interpreter: the libpython address-space registration
+ * the loader-based merge algorithm relies on, and the RAII scope that
+ * mirrors Python frames onto the native stack.
+ *
+ * DeepContext obtains the Python call path "using CPython's PyFrame-related
+ * APIs" and detects the interpreter by checking whether native PCs fall in
+ * the libpython address space recorded via LD_AUDIT (Section 4.1). Here
+ * libpython is a simulated library image whose evaluator symbol is pushed
+ * onto the native stack whenever Python "executes".
+ */
+
+#include <string>
+
+#include "common/types.h"
+#include "pyrt/py_frame.h"
+#include "pyrt/py_stack.h"
+#include "sim/loader/library_registry.h"
+#include "sim/loader/native_stack.h"
+
+namespace dc::pyrt {
+
+/**
+ * Process-wide interpreter state: owns the simulated libpython image so
+ * the evaluator PC can be pushed on native stacks, letting the merge
+ * algorithm detect "frames within the libpython address space".
+ */
+class PyInterpreter
+{
+  public:
+    static constexpr const char *kLibraryName = "libpython3.11_sim.so";
+
+    /** Map libpython into @p registry and mark it as the Python library. */
+    explicit PyInterpreter(sim::LibraryRegistry &registry);
+
+    /** PC of the simulated PyEval_EvalFrameDefault. */
+    Pc evalFramePc() const { return eval_frame_pc_; }
+
+    /** PC of the simulated C-API trampoline used by extension calls. */
+    Pc callFunctionPc() const { return call_function_pc_; }
+
+  private:
+    Pc eval_frame_pc_ = 0;
+    Pc call_function_pc_ = 0;
+};
+
+/**
+ * RAII scope that enters a Python frame on a thread: pushes the PyFrame
+ * and mirrors the interpreter's native frame (PyEval_EvalFrameDefault)
+ * on the thread's native stack, as a real CPython stack would show.
+ */
+class PyScope
+{
+  public:
+    PyScope(PyStack &py_stack, sim::NativeStack &native_stack,
+            const PyInterpreter &interp, PyFrame frame)
+        : py_stack_(py_stack), native_stack_(native_stack)
+    {
+        py_stack_.push(frame);
+        native_stack_.push(interp.evalFramePc());
+    }
+
+    ~PyScope()
+    {
+        native_stack_.pop();
+        py_stack_.pop();
+    }
+
+    PyScope(const PyScope &) = delete;
+    PyScope &operator=(const PyScope &) = delete;
+
+  private:
+    PyStack &py_stack_;
+    sim::NativeStack &native_stack_;
+};
+
+} // namespace dc::pyrt

@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * Per-thread Python frame stack (header-only; no simulator dependencies,
+ * so the CPU-thread model can embed one without a library cycle).
+ */
+
+#include <cassert>
+#include <vector>
+
+#include "pyrt/py_frame.h"
+
+namespace dc::pyrt {
+
+/** Per-thread Python frame stack. */
+class PyStack
+{
+  public:
+    void push(const PyFrame &frame) { frames_.push_back(frame); }
+
+    void
+    pop()
+    {
+        assert(!frames_.empty());
+        frames_.pop_back();
+    }
+
+    /** Update the line of the leaf frame (the interpreter's f_lineno). */
+    void
+    setLine(int line)
+    {
+        assert(!frames_.empty());
+        frames_.back().line = line;
+    }
+
+    std::size_t depth() const { return frames_.size(); }
+    bool empty() const { return frames_.empty(); }
+
+    /** Root-to-leaf snapshot (index 0 = outermost frame, like __main__). */
+    const std::vector<PyFrame> &frames() const { return frames_; }
+
+    void clear() { frames_.clear(); }
+
+  private:
+    std::vector<PyFrame> frames_;
+};
+
+} // namespace dc::pyrt

@@ -1,0 +1,21 @@
+#include "sim/cpu/cpu_info.h"
+
+#include <algorithm>
+
+namespace dc::sim {
+
+double
+schedulingOverheadFactor(int workers, int cores)
+{
+    if (workers <= 0 || cores <= 0)
+        return 1.0;
+    if (workers <= cores)
+        return 1.0;
+    const double ratio = static_cast<double>(workers) /
+                         static_cast<double>(cores);
+    // ~35% extra per full level of oversubscription; saturates so the
+    // model stays sane for pathological configurations.
+    return std::min(1.0 + 0.35 * (ratio - 1.0), 2.5);
+}
+
+} // namespace dc::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * Host CPU description.
+ *
+ * Both evaluation platforms in Table 2 use an AMD EPYC 7543, but the
+ * *allocated* core count matters for the CPU-latency case study
+ * (Section 6.4: a 6-core allocation with a 16-thread data loader), so the
+ * visible core count is a per-run parameter.
+ */
+
+#include <string>
+
+namespace dc::sim {
+
+/** Host CPU visible to one simulation run. */
+struct CpuInfo {
+    std::string name = "AMD EPYC 7543";
+    int physical_cores = 32;
+    int threads_per_core = 2;
+    double base_clock_ghz = 2.8;
+
+    int
+    logicalCpus() const
+    {
+        return physical_cores * threads_per_core;
+    }
+};
+
+/** Full EPYC 7543 node (Table 2). */
+inline CpuInfo
+makeEpyc7543()
+{
+    return CpuInfo{};
+}
+
+/** The 6-core slurm allocation used in the Section 6.4 case study. */
+inline CpuInfo
+makeSmallAllocation()
+{
+    CpuInfo info;
+    info.physical_cores = 6;
+    return info;
+}
+
+/**
+ * Scheduling-overhead factor for running @p workers CPU-bound threads on
+ * @p cores physical cores: 1.0 when not oversubscribed, growing with the
+ * oversubscription ratio (context switches, cache thrash). This drives the
+ * Section 6.4 finding that 16 loader threads on 6 cores are slower than 8.
+ */
+double schedulingOverheadFactor(int workers, int cores);
+
+} // namespace dc::sim

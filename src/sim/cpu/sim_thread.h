@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * Logical (simulated) CPU threads.
+ *
+ * PyTorch creates dedicated backward threads per device, and data loaders
+ * spawn worker threads; DeepContext must reassemble contexts across them
+ * (Section 4.1, "Forward and backward operator association"). A SimThread
+ * carries exactly the per-thread state those mechanisms need: a Python
+ * stack, a native stack, and a virtual CPU-time clock.
+ */
+
+#include <string>
+
+#include "common/types.h"
+#include "pyrt/py_stack.h"
+#include "sim/loader/native_stack.h"
+
+namespace dc::sim {
+
+/** Role of a logical thread. */
+enum class ThreadKind {
+    kMain,         ///< Drives iterations; runs forward ops.
+    kBackward,     ///< Autograd engine thread (one per device).
+    kLoaderWorker, ///< Data-loader worker.
+};
+
+/** Printable thread kind. */
+const char *threadKindName(ThreadKind kind);
+
+/** One logical CPU thread. */
+class SimThread
+{
+  public:
+    SimThread(ThreadId id, std::string name, ThreadKind kind,
+              bool on_critical_path)
+        : id_(id), name_(std::move(name)), kind_(kind),
+          on_critical_path_(on_critical_path)
+    {
+    }
+
+    ThreadId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    ThreadKind kind() const { return kind_; }
+
+    /** Whether this thread's CPU work advances the wall clock. */
+    bool onCriticalPath() const { return on_critical_path_; }
+    void setOnCriticalPath(bool value) { on_critical_path_ = value; }
+
+    /** Accumulated CPU time of this thread. */
+    DurationNs cpuTime() const { return cpu_time_; }
+    void addCpuTime(DurationNs delta) { cpu_time_ += delta; }
+
+    NativeStack &nativeStack() { return native_stack_; }
+    const NativeStack &nativeStack() const { return native_stack_; }
+
+    pyrt::PyStack &pyStack() { return py_stack_; }
+    const pyrt::PyStack &pyStack() const { return py_stack_; }
+
+  private:
+    ThreadId id_;
+    std::string name_;
+    ThreadKind kind_;
+    bool on_critical_path_;
+    DurationNs cpu_time_ = 0;
+    NativeStack native_stack_;
+    pyrt::PyStack py_stack_;
+};
+
+} // namespace dc::sim

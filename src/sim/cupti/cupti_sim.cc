@@ -1,0 +1,108 @@
+#include "sim/cupti/cupti_sim.h"
+
+namespace dc::sim::cupti {
+
+const char *
+cuptiResultName(CuptiResult result)
+{
+    switch (result) {
+      case CuptiResult::kSuccess: return "CUPTI_SUCCESS";
+      case CuptiResult::kErrorInvalidDevice:
+        return "CUPTI_ERROR_INVALID_DEVICE";
+      case CuptiResult::kErrorNotInitialized:
+        return "CUPTI_ERROR_NOT_INITIALIZED";
+      case CuptiResult::kErrorInvalidParameter:
+        return "CUPTI_ERROR_INVALID_PARAMETER";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isNvidia(GpuRuntime &runtime, int device)
+{
+    if (device < 0 ||
+        device >= static_cast<int>(runtime.context().deviceCount())) {
+        return false;
+    }
+    return runtime.context().device(device).arch().vendor ==
+           GpuVendor::kNvidia;
+}
+
+} // namespace
+
+CuptiResult
+cuptiSubscribe(GpuRuntime &runtime, int device, RuntimeApiCallback callback,
+               Subscriber *out_subscriber)
+{
+    if (out_subscriber == nullptr || !callback)
+        return CuptiResult::kErrorInvalidParameter;
+    if (!isNvidia(runtime, device))
+        return CuptiResult::kErrorInvalidDevice;
+
+    const int token = runtime.subscribe(
+        [device, cb = std::move(callback)](const ApiCallbackInfo &info) {
+            if (info.device_id == device)
+                cb(info);
+        });
+    out_subscriber->runtime_token = token;
+    out_subscriber->device_id = device;
+    out_subscriber->runtime = &runtime;
+    out_subscriber->active = true;
+    return CuptiResult::kSuccess;
+}
+
+CuptiResult
+cuptiUnsubscribe(Subscriber *subscriber)
+{
+    if (subscriber == nullptr || !subscriber->active)
+        return CuptiResult::kErrorNotInitialized;
+    subscriber->runtime->unsubscribe(subscriber->runtime_token);
+    subscriber->active = false;
+    return CuptiResult::kSuccess;
+}
+
+CuptiResult
+cuptiActivityEnable(GpuRuntime &runtime, int device,
+                    ActivityBufferCompleted completed,
+                    std::size_t buffer_capacity)
+{
+    if (!isNvidia(runtime, device))
+        return CuptiResult::kErrorInvalidDevice;
+    if (!completed)
+        return CuptiResult::kErrorInvalidParameter;
+    runtime.context().device(device).setFlushHandler(std::move(completed),
+                                                     buffer_capacity);
+    return CuptiResult::kSuccess;
+}
+
+CuptiResult
+cuptiActivityDisable(GpuRuntime &runtime, int device)
+{
+    if (!isNvidia(runtime, device))
+        return CuptiResult::kErrorInvalidDevice;
+    runtime.context().device(device).clearFlushHandler();
+    return CuptiResult::kSuccess;
+}
+
+CuptiResult
+cuptiActivityFlushAll(GpuRuntime &runtime, int device)
+{
+    if (!isNvidia(runtime, device))
+        return CuptiResult::kErrorInvalidDevice;
+    runtime.context().device(device).flushActivities();
+    return CuptiResult::kSuccess;
+}
+
+CuptiResult
+cuptiActivityConfigurePcSampling(GpuRuntime &runtime, int device,
+                                 bool enabled)
+{
+    if (!isNvidia(runtime, device))
+        return CuptiResult::kErrorInvalidDevice;
+    runtime.context().device(device).setPcSamplingEnabled(enabled);
+    return CuptiResult::kSuccess;
+}
+
+} // namespace dc::sim::cupti

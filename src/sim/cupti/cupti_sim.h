@@ -1,0 +1,84 @@
+#pragma once
+
+/**
+ * @file
+ * CUPTI-shaped profiling API for the Nvidia-sim device.
+ *
+ * Deliberately mirrors the real CUPTI surface DeepContext uses
+ * (Section 4.1/4.2): subscriber-based runtime-API callbacks
+ * (cuptiSubscribe / cuptiEnableDomain), buffered asynchronous activity
+ * records (cuptiActivityEnable + buffer-completed handler), and PC-sampling
+ * activation. All calls validate that the target device is an Nvidia-sim
+ * part — using CUPTI against the AMD device fails exactly like the real
+ * library would, which is the portability gap DLMonitor exists to paper
+ * over.
+ */
+
+#include <functional>
+
+#include "sim/gpu/gpu_device.h"
+#include "sim/runtime/gpu_runtime.h"
+
+namespace dc::sim::cupti {
+
+/** CUPTI-style status codes. */
+enum class CuptiResult {
+    kSuccess = 0,
+    kErrorInvalidDevice,     ///< Device is not an Nvidia-sim part.
+    kErrorNotInitialized,
+    kErrorInvalidParameter,
+};
+
+/** Printable result name. */
+const char *cuptiResultName(CuptiResult result);
+
+/** Callback domains (only the runtime API domain is modeled). */
+enum class CallbackDomain {
+    kRuntimeApi,
+};
+
+/** Handle returned by cuptiSubscribe. */
+struct Subscriber {
+    int runtime_token = 0;
+    int device_id = -1;
+    GpuRuntime *runtime = nullptr;
+    bool active = false;
+};
+
+/** Runtime-API callback: phase + info, CUPTI's cbdata equivalent. */
+using RuntimeApiCallback = std::function<void(const ApiCallbackInfo &)>;
+
+/** Activity-buffer-completed callback. */
+using ActivityBufferCompleted =
+    std::function<void(std::vector<ActivityRecord> &&)>;
+
+/**
+ * Subscribe to runtime-API callbacks for @p device.
+ * Fails with kErrorInvalidDevice on non-Nvidia devices.
+ */
+CuptiResult cuptiSubscribe(GpuRuntime &runtime, int device,
+                           RuntimeApiCallback callback,
+                           Subscriber *out_subscriber);
+
+/** Unsubscribe a previously created subscriber. */
+CuptiResult cuptiUnsubscribe(Subscriber *subscriber);
+
+/**
+ * Enable buffered activity collection on @p device; @p completed is
+ * invoked whenever the device flushes its buffer.
+ */
+CuptiResult cuptiActivityEnable(GpuRuntime &runtime, int device,
+                                ActivityBufferCompleted completed,
+                                std::size_t buffer_capacity = 512);
+
+/** Disable activity collection (flushes first). */
+CuptiResult cuptiActivityDisable(GpuRuntime &runtime, int device);
+
+/** Force a flush of all pending activity records. */
+CuptiResult cuptiActivityFlushAll(GpuRuntime &runtime, int device);
+
+/** Enable or disable fine-grained PC sampling. */
+CuptiResult cuptiActivityConfigurePcSampling(GpuRuntime &runtime, int device,
+                                             bool enabled);
+
+} // namespace dc::sim::cupti

@@ -1,0 +1,127 @@
+#include "sim/gpu/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dc::sim {
+
+namespace {
+
+/// Fraction of peak bandwidth a copy engine achieves.
+constexpr double kCopyEfficiency = 0.85;
+
+/// Fraction of peak DRAM bandwidth achievable by a fully occupied kernel.
+constexpr double kStreamEfficiency = 0.80;
+
+/// Memory latency in ns used to bound poorly-occupied memory kernels.
+constexpr double kMemLatencyNs = 450.0;
+
+/// Warps per SM needed to hide memory latency completely.
+constexpr double kLatencyHidingWarps = 16.0;
+
+} // namespace
+
+KernelCost
+CostModel::evaluate(const GpuArch &arch, const KernelDesc &kernel)
+{
+    DC_CHECK(kernel.grid > 0 && kernel.block > 0,
+             "empty launch for kernel ", kernel.name);
+
+    KernelCost cost;
+
+    const int concurrent = arch.concurrentCtas(
+        kernel.block, kernel.regs_per_thread, kernel.shared_mem_bytes);
+    cost.waves = static_cast<int>(
+        (kernel.grid + static_cast<std::uint64_t>(concurrent) - 1) /
+        static_cast<std::uint64_t>(concurrent));
+
+    // Fraction of the device's CTA slots kept busy averaged over waves.
+    const double slots = static_cast<double>(cost.waves) *
+                         static_cast<double>(concurrent);
+    cost.utilization = static_cast<double>(kernel.grid) / slots;
+    // A grid smaller than the SM count cannot use every SM regardless of
+    // per-SM occupancy; this is the §6.5 parallelism cliff.
+    if (kernel.grid < static_cast<std::uint64_t>(arch.sm_count)) {
+        cost.utilization = std::min(
+            cost.utilization,
+            static_cast<double>(kernel.grid) /
+                static_cast<double>(arch.sm_count));
+    }
+    cost.utilization = std::clamp(cost.utilization, 0.01, 1.0);
+
+    // Occupancy: resident warps relative to the per-SM maximum.
+    const int warps_per_cta =
+        (kernel.block + arch.warp_size - 1) / arch.warp_size;
+    const int ctas_per_sm = std::max(1, concurrent / arch.sm_count);
+    const double resident_warps =
+        static_cast<double>(warps_per_cta) * ctas_per_sm;
+    const double max_warps = static_cast<double>(arch.max_threads_per_sm) /
+                             arch.warp_size;
+    cost.occupancy = std::clamp(resident_warps / max_warps, 0.0, 1.0);
+
+    // --- Compute leg -----------------------------------------------------
+    const double peak_tflops = kernel.uses_tensor_cores ? arch.tensor_tflops
+                                                        : arch.fp32_tflops;
+    // Real kernels rarely exceed ~70% of peak math.
+    const double math_eff = 0.70 * cost.utilization;
+    if (kernel.flops > 0.0) {
+        const double seconds =
+            kernel.flops / (peak_tflops * 1e12 * std::max(math_eff, 1e-3));
+        cost.compute_ns = static_cast<DurationNs>(seconds * 1e9);
+    }
+
+    // --- Memory leg ------------------------------------------------------
+    if (kernel.totalBytes() > 0) {
+        // Bandwidth achieved scales with latency hiding: few resident warps
+        // leave the memory system underutilized.
+        const double hiding = std::min(
+            1.0, (resident_warps * cost.utilization) / kLatencyHidingWarps);
+        const double bw =
+            arch.mem_bandwidth_gbps * 1e9 * kStreamEfficiency *
+            std::max(hiding, 0.05);
+        double seconds = static_cast<double>(kernel.totalBytes()) / bw;
+        // Latency floor: at least a couple of round trips per wave.
+        seconds = std::max(seconds,
+                           cost.waves * 2.0 * kMemLatencyNs * 1e-9);
+        cost.memory_ns = static_cast<DurationNs>(seconds * 1e9);
+    }
+
+    cost.memory_bound = cost.memory_ns >= cost.compute_ns;
+
+    double ns = static_cast<double>(std::max(cost.compute_ns,
+                                             cost.memory_ns));
+    ns *= std::max(1.0, kernel.serialization_factor);
+    ns *= std::max(1.0, kernel.atomic_factor);
+
+    // Constant-cache fills: each CTA wave pays a cold fill (§6.7). The cost
+    // matters when the kernel body itself is tiny.
+    if (kernel.constant_bytes > 0) {
+        ns += static_cast<double>(cost.waves) *
+              static_cast<double>(arch.constant_miss_latency_ns);
+    }
+
+    // Scalar (non-vectorized) conversion instructions roughly halve the
+    // effective math rate of conversion-heavy elementwise kernels (§6.7).
+    if (!kernel.vectorized)
+        ns *= 1.9;
+
+    ns += static_cast<double>(arch.kernel_launch_overhead_ns);
+
+    cost.duration_ns = static_cast<DurationNs>(ns);
+    return cost;
+}
+
+DurationNs
+CostModel::memcpyDuration(const GpuArch &arch, std::uint64_t bytes)
+{
+    // PCIe/NVLink staging approximated as a fraction of device bandwidth
+    // with a fixed setup latency.
+    const double bw = arch.mem_bandwidth_gbps * 1e9 * 0.012; // ~24 GB/s
+    const double seconds = static_cast<double>(bytes) /
+                           std::max(bw, 1.0) / kCopyEfficiency;
+    return static_cast<DurationNs>(seconds * 1e9) + 8'000; // 8 us setup
+}
+
+} // namespace dc::sim

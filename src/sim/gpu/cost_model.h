@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Analytical kernel cost model.
+ *
+ * Kernel duration follows a roofline with an occupancy/parallelism
+ * correction:
+ *
+ *   duration = max(compute_time, memory_time)
+ *            * serialization_factor * atomic_factor
+ *            + constant_fill_time + launch_overhead
+ *
+ * where compute_time and memory_time are scaled by how well the launch
+ * geometry fills the device. The correction is what makes the Section 6.5
+ * case study work: the batch-norm/instance-norm template derives its CTA
+ * count from the warp size, so on the AMD device (wavefront 64) the same
+ * problem produces half as many CTAs and utilization collapses.
+ */
+
+#include "common/types.h"
+#include "sim/gpu/gpu_arch.h"
+#include "sim/gpu/kernel.h"
+
+namespace dc::sim {
+
+/** Derived execution properties for one kernel on one architecture. */
+struct KernelCost {
+    DurationNs duration_ns = 0;   ///< Total device time.
+    double occupancy = 1.0;       ///< Resident warps / max warps per SM.
+    double utilization = 1.0;     ///< Fraction of the device doing work.
+    int waves = 1;                ///< CTA waves needed to drain the grid.
+    DurationNs compute_ns = 0;    ///< Roofline compute leg.
+    DurationNs memory_ns = 0;     ///< Roofline memory leg.
+    bool memory_bound = false;    ///< memory_ns >= compute_ns.
+};
+
+/** Pure-function cost model (stateless; all knobs live in GpuArch). */
+class CostModel
+{
+  public:
+    /** Full cost breakdown of launching @p kernel on @p arch. */
+    static KernelCost evaluate(const GpuArch &arch, const KernelDesc &kernel);
+
+    /** Convenience: just the duration. */
+    static DurationNs
+    duration(const GpuArch &arch, const KernelDesc &kernel)
+    {
+        return evaluate(arch, kernel).duration_ns;
+    }
+
+    /** Duration of a host<->device or device<->device copy. */
+    static DurationNs memcpyDuration(const GpuArch &arch,
+                                     std::uint64_t bytes);
+};
+
+} // namespace dc::sim

@@ -1,0 +1,95 @@
+#include "sim/gpu/gpu_arch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dc::sim {
+
+const char *
+gpuVendorName(GpuVendor vendor)
+{
+    switch (vendor) {
+      case GpuVendor::kNvidia: return "Nvidia";
+      case GpuVendor::kAmd: return "AMD";
+      case GpuVendor::kCustom: return "Custom";
+    }
+    return "?";
+}
+
+int
+GpuArch::concurrentCtas(int threads_per_cta, int regs_per_thread,
+                        std::uint64_t shared_bytes_per_cta) const
+{
+    DC_CHECK(threads_per_cta > 0, "kernel with no threads");
+    int by_threads = max_threads_per_sm / threads_per_cta;
+    int by_ctas = max_ctas_per_sm;
+    int by_regs = regs_per_thread > 0
+                      ? regs_per_sm / (regs_per_thread * threads_per_cta)
+                      : max_ctas_per_sm;
+    int by_shared = shared_bytes_per_cta > 0
+                        ? static_cast<int>(shared_mem_per_sm /
+                                           shared_bytes_per_cta)
+                        : max_ctas_per_sm;
+    int per_sm = std::max(1, std::min({by_threads, by_ctas, by_regs,
+                                       by_shared}));
+    return per_sm * sm_count;
+}
+
+GpuArch
+makeA100()
+{
+    GpuArch arch;
+    arch.vendor = GpuVendor::kNvidia;
+    arch.name = "A100 SXM 80GB";
+    arch.sm_count = 108;
+    arch.warp_size = 32;
+    arch.max_threads_per_sm = 2048;
+    arch.max_ctas_per_sm = 32;
+    arch.regs_per_sm = 65536;
+    arch.shared_mem_per_sm = 164 * 1024;
+    arch.tensor_tflops = 156.0; // TF32
+    arch.fp32_tflops = 19.5;
+    arch.mem_bandwidth_gbps = 2000.0;
+    arch.memory_bytes = 80ull * 1024 * 1024 * 1024;
+    return arch;
+}
+
+GpuArch
+makeMi250()
+{
+    GpuArch arch;
+    arch.vendor = GpuVendor::kAmd;
+    arch.name = "MI250 64GB";
+    arch.sm_count = 208;
+    arch.warp_size = 64;
+    arch.max_threads_per_sm = 2048;
+    arch.max_ctas_per_sm = 32;
+    arch.regs_per_sm = 65536 * 2; // larger VGPR file per CU
+    arch.shared_mem_per_sm = 64 * 1024;
+    arch.tensor_tflops = 362.1; // FP16 matrix
+    arch.fp32_tflops = 45.3;
+    arch.mem_bandwidth_gbps = 3200.0;
+    arch.memory_bytes = 64ull * 1024 * 1024 * 1024;
+    arch.kernel_launch_overhead_ns = 4'500; // ROCm launch path is longer
+    return arch;
+}
+
+GpuArch
+makeCustomAccelerator()
+{
+    GpuArch arch;
+    arch.vendor = GpuVendor::kCustom;
+    arch.name = "CustomNPU";
+    arch.sm_count = 16;
+    arch.warp_size = 128;
+    arch.max_threads_per_sm = 1024;
+    arch.max_ctas_per_sm = 8;
+    arch.tensor_tflops = 32.0;
+    arch.fp32_tflops = 8.0;
+    arch.mem_bandwidth_gbps = 400.0;
+    arch.memory_bytes = 16ull * 1024 * 1024 * 1024;
+    return arch;
+}
+
+} // namespace dc::sim

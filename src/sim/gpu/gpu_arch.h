@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated GPU architecture descriptors.
+ *
+ * The two presets mirror Table 2 of the paper: an Nvidia A100 SXM 80 GB
+ * (108 SMs, warp size 32, 156 TF32 TFLOP/s, 2 TB/s) and an AMD MI250
+ * (208 compute units, warp/wavefront size 64, 362.1 FP16 TFLOP/s,
+ * 3.2 TB/s). The analytical cost model consumes these numbers; the
+ * warp-size difference drives the instance-norm parallelism case study
+ * (Section 6.5).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace dc::sim {
+
+/** GPU vendor; selects which vendor profiling API (cupti/roctracer) works. */
+enum class GpuVendor {
+    kNvidia,
+    kAmd,
+    kCustom, ///< No vendor callback API; only LD_AUDIT interception works.
+};
+
+/** Printable vendor name. */
+const char *gpuVendorName(GpuVendor vendor);
+
+/** Static description of a simulated GPU. */
+struct GpuArch {
+    GpuVendor vendor = GpuVendor::kNvidia;
+    std::string name;
+
+    /// Streaming multiprocessors (Nvidia) or compute units (AMD).
+    int sm_count = 108;
+    /// Warp (Nvidia) or wavefront (AMD) width in lanes.
+    int warp_size = 32;
+    /// Maximum resident threads per SM.
+    int max_threads_per_sm = 2048;
+    /// Maximum resident CTAs (thread blocks) per SM.
+    int max_ctas_per_sm = 32;
+    /// Register file size per SM, in 32-bit registers.
+    int regs_per_sm = 65536;
+    /// Shared memory (LDS) per SM in bytes.
+    std::uint64_t shared_mem_per_sm = 164 * 1024;
+
+    /// Peak dense math throughput used by matmul/conv kernels (TFLOP/s).
+    double tensor_tflops = 156.0;
+    /// Peak vector FP32 throughput for elementwise kernels (TFLOP/s).
+    double fp32_tflops = 19.5;
+    /// Peak DRAM bandwidth (GB/s).
+    double mem_bandwidth_gbps = 2000.0;
+
+    /// Device memory capacity in bytes.
+    std::uint64_t memory_bytes = 80ull * 1024 * 1024 * 1024;
+
+    /// Fixed device-side cost charged to every kernel (pipeline/launch).
+    DurationNs kernel_launch_overhead_ns = 3'000;
+    /// Latency of a cold constant-cache fill, charged per CTA wave when a
+    /// kernel loads constant memory (Llama3 RMSNorm case study, §6.7).
+    DurationNs constant_miss_latency_ns = 900;
+
+    /** Maximum CTAs resident on the whole device for a given kernel. */
+    int concurrentCtas(int threads_per_cta, int regs_per_thread,
+                       std::uint64_t shared_bytes_per_cta) const;
+};
+
+/** Nvidia A100 SXM 80 GB preset (Table 2, row 1). */
+GpuArch makeA100();
+
+/** AMD MI250 64 GB preset (Table 2, row 2). */
+GpuArch makeMi250();
+
+/** A vendor-less accelerator for the LD_AUDIT extension example. */
+GpuArch makeCustomAccelerator();
+
+} // namespace dc::sim

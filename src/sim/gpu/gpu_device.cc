@@ -1,0 +1,163 @@
+#include "sim/gpu/gpu_device.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dc::sim {
+
+const char *
+activityKindName(ActivityKind kind)
+{
+    switch (kind) {
+      case ActivityKind::kKernel: return "kernel";
+      case ActivityKind::kMemcpy: return "memcpy";
+      case ActivityKind::kMemset: return "memset";
+    }
+    return "?";
+}
+
+GpuDevice::GpuDevice(int device_id, GpuArch arch)
+    : device_id_(device_id), arch_(std::move(arch)),
+      sampler_(/*period_ns=*/1'500,
+               /*seed=*/0x5eedull + static_cast<std::uint64_t>(device_id))
+{
+}
+
+void
+GpuDevice::setFlushHandler(FlushHandler handler, std::size_t capacity)
+{
+    flush_handler_ = std::move(handler);
+    flush_capacity_ = std::max<std::size_t>(1, capacity);
+}
+
+void
+GpuDevice::clearFlushHandler()
+{
+    flushActivities();
+    flush_handler_ = nullptr;
+}
+
+TimeNs
+GpuDevice::enqueue(int stream, TimeNs submit_ns, DurationNs duration)
+{
+    TimeNs &tail = stream_tails_[stream];
+    const TimeNs start = std::max(tail, submit_ns);
+    tail = start + duration;
+    return start;
+}
+
+KernelCost
+GpuDevice::launchKernel(int stream, const KernelDesc &kernel,
+                        CorrelationId correlation_id, TimeNs submit_ns)
+{
+    const KernelCost cost = CostModel::evaluate(arch_, kernel);
+    const TimeNs start = enqueue(stream, submit_ns, cost.duration_ns);
+
+    ActivityRecord record;
+    record.kind = ActivityKind::kKernel;
+    record.correlation_id = correlation_id;
+    record.name = kernel.name;
+    record.stream = stream;
+    record.start_ns = start;
+    record.end_ns = start + cost.duration_ns;
+    record.grid = kernel.grid;
+    record.block = kernel.block;
+    record.regs_per_thread = kernel.regs_per_thread;
+    record.shared_mem_bytes = kernel.shared_mem_bytes;
+    record.occupancy = cost.occupancy;
+    record.utilization = cost.utilization;
+    if (pc_sampling_)
+        record.pc_samples = sampler_.sample(arch_, kernel, cost);
+
+    total_kernel_time_ += cost.duration_ns;
+    ++kernel_count_;
+    bufferRecord(std::move(record));
+    return cost;
+}
+
+DurationNs
+GpuDevice::memcpyAsync(int stream, std::uint64_t bytes,
+                       const std::string &name,
+                       CorrelationId correlation_id, TimeNs submit_ns)
+{
+    const DurationNs duration = CostModel::memcpyDuration(arch_, bytes);
+    const TimeNs start = enqueue(stream, submit_ns, duration);
+
+    ActivityRecord record;
+    record.kind = ActivityKind::kMemcpy;
+    record.correlation_id = correlation_id;
+    record.name = name;
+    record.stream = stream;
+    record.start_ns = start;
+    record.end_ns = start + duration;
+    record.bytes = bytes;
+    bufferRecord(std::move(record));
+    return duration;
+}
+
+void
+GpuDevice::allocate(std::uint64_t bytes)
+{
+    memory_used_ += bytes;
+    memory_peak_ = std::max(memory_peak_, memory_used_);
+    if (memory_used_ > arch_.memory_bytes) {
+        DC_WARN("device ", device_id_, " over-subscribed: ",
+                memory_used_, " of ", arch_.memory_bytes, " bytes");
+    }
+}
+
+void
+GpuDevice::release(std::uint64_t bytes)
+{
+    DC_CHECK(memory_used_ >= bytes, "freeing more device memory than live");
+    memory_used_ -= bytes;
+}
+
+TimeNs
+GpuDevice::streamTail(int stream) const
+{
+    auto it = stream_tails_.find(stream);
+    return it == stream_tails_.end() ? 0 : it->second;
+}
+
+TimeNs
+GpuDevice::completionTime(TimeNs now) const
+{
+    TimeNs latest = now;
+    for (const auto &[stream, tail] : stream_tails_)
+        latest = std::max(latest, tail);
+    return latest;
+}
+
+void
+GpuDevice::bufferRecord(ActivityRecord &&record)
+{
+    buffer_.push_back(std::move(record));
+    if (buffer_.size() >= flush_capacity_)
+        flushActivities();
+}
+
+void
+GpuDevice::flushActivities()
+{
+    if (buffer_.empty())
+        return;
+    std::vector<ActivityRecord> out;
+    out.swap(buffer_);
+    if (flush_handler_)
+        flush_handler_(std::move(out));
+}
+
+void
+GpuDevice::reset()
+{
+    stream_tails_.clear();
+    buffer_.clear();
+    total_kernel_time_ = 0;
+    kernel_count_ = 0;
+    memory_used_ = 0;
+    memory_peak_ = 0;
+}
+
+} // namespace dc::sim

@@ -1,0 +1,158 @@
+#pragma once
+
+/**
+ * @file
+ * The simulated GPU device: streams, asynchronous execution in virtual
+ * time, activity records, and device-memory accounting.
+ *
+ * Work is enqueued at a host submit time; each stream is an ordered queue
+ * whose tail advances by the cost-model duration of each item. Completed
+ * work produces ActivityRecords, buffered and delivered to a registered
+ * flush handler — the same asynchronous-buffer discipline CUPTI and
+ * RocTracer use, which DeepContext's GPU collector depends on
+ * (correlation IDs link records back to call paths).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/gpu/cost_model.h"
+#include "sim/gpu/gpu_arch.h"
+#include "sim/gpu/instruction_sampler.h"
+#include "sim/gpu/kernel.h"
+
+namespace dc::sim {
+
+/** Kind of asynchronous device activity. */
+enum class ActivityKind {
+    kKernel,
+    kMemcpy,
+    kMemset,
+};
+
+/** Printable activity kind. */
+const char *activityKindName(ActivityKind kind);
+
+/** One completed device activity (what CUPTI calls an activity record). */
+struct ActivityRecord {
+    ActivityKind kind = ActivityKind::kKernel;
+    CorrelationId correlation_id = 0;
+    std::string name;
+    int stream = 0;
+    TimeNs start_ns = 0;
+    TimeNs end_ns = 0;
+
+    // Kernel-only resource metrics (coarse-grained metrics in the paper).
+    std::uint64_t grid = 0;
+    int block = 0;
+    int regs_per_thread = 0;
+    std::uint64_t shared_mem_bytes = 0;
+    double occupancy = 0.0;
+    double utilization = 0.0;
+
+    // Memcpy/memset payload size.
+    std::uint64_t bytes = 0;
+
+    /// Fine-grained PC samples (only populated when sampling is enabled).
+    std::vector<PcSample> pc_samples;
+
+    DurationNs duration() const { return end_ns - start_ns; }
+};
+
+/** A simulated GPU with ordered streams and an activity buffer. */
+class GpuDevice
+{
+  public:
+    /** Called when the activity buffer is flushed. */
+    using FlushHandler = std::function<void(std::vector<ActivityRecord> &&)>;
+
+    GpuDevice(int device_id, GpuArch arch);
+
+    int deviceId() const { return device_id_; }
+    const GpuArch &arch() const { return arch_; }
+
+    /** Enable/disable fine-grained PC sampling for subsequent kernels. */
+    void setPcSamplingEnabled(bool enabled) { pc_sampling_ = enabled; }
+    bool pcSamplingEnabled() const { return pc_sampling_; }
+
+    /**
+     * Register the activity flush handler and the buffer capacity (number
+     * of records) after which a flush is triggered automatically.
+     */
+    void setFlushHandler(FlushHandler handler, std::size_t capacity = 512);
+
+    /** Drop the flush handler (activities are then discarded on flush). */
+    void clearFlushHandler();
+
+    /**
+     * Enqueue a kernel.
+     *
+     * @param stream Stream index.
+     * @param kernel The kernel to run.
+     * @param correlation_id Host-side correlation ID.
+     * @param submit_ns Host virtual time of the launch call.
+     * @return The evaluated cost (duration etc.) of this kernel.
+     */
+    KernelCost launchKernel(int stream, const KernelDesc &kernel,
+                            CorrelationId correlation_id, TimeNs submit_ns);
+
+    /** Enqueue an async copy; returns its duration. */
+    DurationNs memcpyAsync(int stream, std::uint64_t bytes,
+                           const std::string &name,
+                           CorrelationId correlation_id, TimeNs submit_ns);
+
+    /** Allocate device memory (accounted against the arch capacity). */
+    void allocate(std::uint64_t bytes);
+
+    /** Free device memory. */
+    void release(std::uint64_t bytes);
+
+    /** Completion time of one stream (>= now). */
+    TimeNs streamTail(int stream) const;
+
+    /** Completion time across all streams (>= @p now). */
+    TimeNs completionTime(TimeNs now) const;
+
+    /** Force a flush of buffered activity records to the handler. */
+    void flushActivities();
+
+    /** Total busy time summed over all kernels so far. */
+    DurationNs totalKernelTime() const { return total_kernel_time_; }
+
+    /** Number of kernels launched so far. */
+    std::uint64_t kernelCount() const { return kernel_count_; }
+
+    /** Live device memory in bytes. */
+    std::uint64_t memoryUsed() const { return memory_used_; }
+
+    /** Peak device memory in bytes. */
+    std::uint64_t memoryPeak() const { return memory_peak_; }
+
+    /** Reset dynamic state (streams, counters); arch is preserved. */
+    void reset();
+
+  private:
+    TimeNs enqueue(int stream, TimeNs submit_ns, DurationNs duration);
+    void bufferRecord(ActivityRecord &&record);
+
+    int device_id_;
+    GpuArch arch_;
+    InstructionSampler sampler_;
+    bool pc_sampling_ = false;
+
+    std::map<int, TimeNs> stream_tails_;
+    std::vector<ActivityRecord> buffer_;
+    FlushHandler flush_handler_;
+    std::size_t flush_capacity_ = 512;
+
+    DurationNs total_kernel_time_ = 0;
+    std::uint64_t kernel_count_ = 0;
+    std::uint64_t memory_used_ = 0;
+    std::uint64_t memory_peak_ = 0;
+};
+
+} // namespace dc::sim

@@ -1,0 +1,94 @@
+#include "sim/gpu/instruction_sampler.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace dc::sim {
+
+InstructionSampler::InstructionSampler(DurationNs period_ns,
+                                       std::uint64_t seed)
+    : period_ns_(period_ns), rng_(seed)
+{
+    DC_CHECK(period_ns_ > 0, "sampling period must be positive");
+}
+
+std::vector<double>
+InstructionSampler::stallMix(const KernelDesc &kernel, const KernelCost &cost)
+{
+    // Index order matches the StallReason enum.
+    std::vector<double> mix(kNumStallReasons, 0.0);
+    auto at = [&mix](StallReason r) -> double & {
+        return mix[static_cast<int>(r)];
+    };
+
+    at(StallReason::kNone) = 0.25;
+    at(StallReason::kNotSelected) = 0.05;
+
+    if (cost.memory_bound) {
+        at(StallReason::kLongScoreboard) += 0.35;
+        at(StallReason::kMemoryThrottle) += 0.05;
+    } else {
+        at(StallReason::kExecDependency) += 0.20;
+        at(StallReason::kShortScoreboard) += 0.10;
+    }
+
+    if (kernel.kind == KernelKind::kReduction)
+        at(StallReason::kBarrier) += 0.15;
+
+    if (kernel.serialization_factor > 1.5 || kernel.atomic_factor > 1.2)
+        at(StallReason::kMemoryThrottle) += 0.30;
+
+    // §6.7 signals: constant loads on tiny inputs dominate; scalar
+    // conversions create long dependency chains in the math pipe.
+    if (kernel.constant_bytes > 0 &&
+        kernel.totalBytes() < 4ull * 1024 * 1024) {
+        at(StallReason::kConstantMiss) += 0.35;
+    }
+    if (!kernel.vectorized)
+        at(StallReason::kExecDependency) += 0.35;
+
+    const double total = std::accumulate(mix.begin(), mix.end(), 0.0);
+    for (double &p : mix)
+        p /= total;
+    return mix;
+}
+
+std::vector<PcSample>
+InstructionSampler::sample(const GpuArch &arch, const KernelDesc &kernel,
+                           const KernelCost &cost)
+{
+    (void)arch;
+    const std::uint64_t count =
+        static_cast<std::uint64_t>(cost.duration_ns / period_ns_);
+    std::vector<PcSample> samples;
+    samples.reserve(count);
+    const std::vector<double> mix = stallMix(kernel, cost);
+
+    // Model the kernel body as 32 virtual instruction slots; stalls of a
+    // given kind cluster on a few PCs, as on real hardware.
+    constexpr int kSlots = 32;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const double u = rng_.uniform();
+        double acc = 0.0;
+        int reason = 0;
+        for (int r = 0; r < kNumStallReasons; ++r) {
+            acc += mix[r];
+            if (u < acc) {
+                reason = r;
+                break;
+            }
+        }
+        PcSample s;
+        // Hash the reason into a stable PC slot, plus a little jitter so
+        // each reason maps to ~3 hot PCs.
+        const int slot = (reason * 5 + static_cast<int>(rng_.below(3))) %
+                         kSlots;
+        s.pc = static_cast<Pc>(slot) * 16;
+        s.stall = static_cast<StallReason>(reason);
+        samples.push_back(s);
+    }
+    return samples;
+}
+
+} // namespace dc::sim

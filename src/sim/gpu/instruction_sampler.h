@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * Fine-grained GPU instruction (PC) sampling.
+ *
+ * Mirrors CUPTI PC Sampling / ROCm SQTT at the granularity the paper's
+ * fine-grained stall analysis needs: each sample is a (virtual PC within
+ * the kernel, stall reason) pair. The per-kernel stall mix is derived from
+ * the KernelDesc flags so that the analyses in Section 6.7 (constant-memory
+ * misses and math-dependency stalls in Llama3's RMSNorm cast kernels) find
+ * real signal in the data.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/gpu/cost_model.h"
+#include "sim/gpu/gpu_arch.h"
+#include "sim/gpu/kernel.h"
+
+namespace dc::sim {
+
+/** One sampled instruction. */
+struct PcSample {
+    Pc pc = 0;                ///< Virtual PC (kernel-relative offset).
+    StallReason stall = StallReason::kNone;
+};
+
+/** Generates deterministic PC samples for a kernel execution. */
+class InstructionSampler
+{
+  public:
+    /**
+     * Construct a sampler.
+     *
+     * @param period_ns Virtual time between samples.
+     * @param seed RNG seed so sampling is reproducible.
+     */
+    explicit InstructionSampler(DurationNs period_ns = 1'500,
+                                std::uint64_t seed = 17);
+
+    /**
+     * Sample one kernel execution.
+     *
+     * @param arch Architecture the kernel ran on.
+     * @param kernel The kernel descriptor.
+     * @param cost Evaluated cost (for duration and boundedness).
+     * @return One PcSample per elapsed sampling period.
+     */
+    std::vector<PcSample> sample(const GpuArch &arch,
+                                 const KernelDesc &kernel,
+                                 const KernelCost &cost);
+
+    /** Stall-probability mix for a kernel (exposed for testing). */
+    static std::vector<double> stallMix(const KernelDesc &kernel,
+                                        const KernelCost &cost);
+
+  private:
+    DurationNs period_ns_;
+    Rng rng_;
+};
+
+} // namespace dc::sim

@@ -1,0 +1,37 @@
+#include "sim/gpu/kernel.h"
+
+namespace dc::sim {
+
+const char *
+kernelKindName(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::kCompute: return "compute";
+      case KernelKind::kElementwise: return "elementwise";
+      case KernelKind::kReduction: return "reduction";
+      case KernelKind::kLayoutConversion: return "layout_conversion";
+      case KernelKind::kGatherScatter: return "gather_scatter";
+      case KernelKind::kMemcpy: return "memcpy";
+      case KernelKind::kMemset: return "memset";
+    }
+    return "?";
+}
+
+const char *
+stallReasonName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::kNone: return "issued";
+      case StallReason::kLongScoreboard: return "long_scoreboard";
+      case StallReason::kShortScoreboard: return "short_scoreboard";
+      case StallReason::kExecDependency: return "exec_dependency";
+      case StallReason::kConstantMiss: return "constant_miss";
+      case StallReason::kMemoryThrottle: return "memory_throttle";
+      case StallReason::kBarrier: return "barrier";
+      case StallReason::kNotSelected: return "not_selected";
+      case StallReason::kDispatch: return "dispatch";
+    }
+    return "?";
+}
+
+} // namespace dc::sim

@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * Kernel descriptors: the unit of work submitted to a simulated GPU.
+ *
+ * A KernelDesc carries everything the analytical cost model and the
+ * instruction sampler need: launch geometry, resource usage, arithmetic
+ * and memory volumes, and behavioural flags that encode the mechanisms
+ * behind the paper's case studies (deterministic-scatter serialization,
+ * constant-memory pressure, non-vectorized conversions).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace dc::sim {
+
+/** Broad behavioural class of a kernel; selects the cost-model path. */
+enum class KernelKind {
+    kCompute,          ///< Math-limited (matmul, conv).
+    kElementwise,      ///< Bandwidth-limited map over elements.
+    kReduction,        ///< Bandwidth-limited with a tree phase.
+    kLayoutConversion, ///< Pure data movement (e.g. nchwToNhwc).
+    kGatherScatter,    ///< Index-driven memory traffic.
+    kMemcpy,           ///< Driver-level copy.
+    kMemset,           ///< Driver-level fill.
+};
+
+/** Printable kind name (used in activity records and reports). */
+const char *kernelKindName(KernelKind kind);
+
+/** Full description of one kernel launch. */
+struct KernelDesc {
+    std::string name;           ///< Mangled-ish kernel name, e.g.
+                                ///< "indexing_backward_kernel".
+    KernelKind kind = KernelKind::kElementwise;
+
+    std::uint64_t grid = 1;     ///< Number of CTAs.
+    int block = 256;            ///< Threads per CTA.
+    int regs_per_thread = 32;   ///< Register usage; limits occupancy.
+    std::uint64_t shared_mem_bytes = 0; ///< Static shared memory per CTA.
+
+    double flops = 0.0;                 ///< Floating-point operations.
+    std::uint64_t bytes_read = 0;       ///< DRAM bytes read.
+    std::uint64_t bytes_written = 0;    ///< DRAM bytes written.
+    bool uses_tensor_cores = false;     ///< Use matrix-unit throughput.
+
+    /// Execution-time multiplier for serialized memory conflicts. The
+    /// deterministic `indexing_backward_kernel` sets this to the mean
+    /// duplicate count of the gathered indices (Section 6.1).
+    double serialization_factor = 1.0;
+
+    /// Multiplier for atomic contention (index_select backward uses
+    /// atomics: mildly contended, far cheaper than full serialization).
+    double atomic_factor = 1.0;
+
+    /// Constant-memory bytes loaded by every CTA (0 = none). Non-zero
+    /// values trigger constant-cache-miss stalls on small inputs (§6.7).
+    std::uint64_t constant_bytes = 0;
+
+    /// False for data-type conversion kernels that use scalar (rather
+    /// than vectorized) conversion instructions (§6.7).
+    bool vectorized = true;
+
+    /// Total DRAM traffic.
+    std::uint64_t totalBytes() const { return bytes_read + bytes_written; }
+
+    /// Total threads in the launch.
+    std::uint64_t totalThreads() const
+    {
+        return grid * static_cast<std::uint64_t>(block);
+    }
+};
+
+/** Reasons a sampled GPU instruction may be stalled (PC sampling). */
+enum class StallReason {
+    kNone,            ///< Instruction issued (not stalled).
+    kLongScoreboard,  ///< Waiting on DRAM/L2 load (memory dependency).
+    kShortScoreboard, ///< Waiting on shared-memory / MIO operation.
+    kExecDependency,  ///< Math pipeline dependency (non-vectorized casts).
+    kConstantMiss,    ///< Immediate-constant cache miss (§6.7).
+    kMemoryThrottle,  ///< LSU queue full (serialized scatter traffic).
+    kBarrier,         ///< Waiting at __syncthreads.
+    kNotSelected,     ///< Eligible but not picked by the scheduler.
+    kDispatch,        ///< Dispatch stall.
+};
+
+/** Printable stall-reason name. */
+const char *stallReasonName(StallReason reason);
+
+/** Number of StallReason values (for iteration in reports). */
+constexpr int kNumStallReasons = 9;
+
+} // namespace dc::sim

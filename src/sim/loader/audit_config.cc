@@ -1,0 +1,75 @@
+#include "sim/loader/audit_config.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dc::sim {
+
+std::optional<AuditKind>
+parseAuditKind(const std::string &text)
+{
+    if (text == "kernel_launch")
+        return AuditKind::kKernelLaunch;
+    if (text == "memcpy")
+        return AuditKind::kMemcpy;
+    if (text == "malloc")
+        return AuditKind::kMalloc;
+    if (text == "free")
+        return AuditKind::kFree;
+    if (text == "sync")
+        return AuditKind::kSync;
+    return std::nullopt;
+}
+
+AuditConfig
+AuditConfig::parse(const std::string &text)
+{
+    AuditConfig config;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        std::istringstream fields(line);
+        std::string library;
+        std::string function;
+        std::string kind_text;
+        fields >> library >> function >> kind_text;
+        if (library.empty() || function.empty() || kind_text.empty()) {
+            config.errors_.push_back(
+                strformat("line %d: expected 'library function kind'",
+                          lineno));
+            continue;
+        }
+        const auto kind = parseAuditKind(kind_text);
+        if (!kind) {
+            config.errors_.push_back(
+                strformat("line %d: unknown kind '%s'", lineno,
+                          kind_text.c_str()));
+            continue;
+        }
+        config.entries_.push_back(AuditEntry{library, function, *kind});
+    }
+    return config;
+}
+
+const AuditEntry *
+AuditConfig::match(const std::string &library,
+                   const std::string &function) const
+{
+    for (const AuditEntry &entry : entries_) {
+        if (entry.library == library && entry.function == function)
+            return &entry;
+    }
+    return nullptr;
+}
+
+} // namespace dc::sim

@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * LD_AUDIT-style interception configuration.
+ *
+ * The paper: "To extend DLMonitor for hardware that does not have a
+ * vendor-provided callback mechanism, users can define the function
+ * signature of the driver function in a configuration file. DLMonitor
+ * will register custom callbacks using LD_AUDIT for all functions recorded
+ * in the configuration file." This module parses that configuration format
+ * and holds the resulting interception table; the GPU runtime consults it
+ * on every driver entry point when no vendor API is attached.
+ *
+ * Config format (one entry per line, '#' comments):
+ *
+ *     library_name  function_name  kind
+ *
+ * where kind is one of: kernel_launch, memcpy, malloc, free, sync.
+ */
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dc::sim {
+
+/** Driver-function category named in an audit config entry. */
+enum class AuditKind {
+    kKernelLaunch,
+    kMemcpy,
+    kMalloc,
+    kFree,
+    kSync,
+};
+
+/** Parse an AuditKind from its config-file spelling. */
+std::optional<AuditKind> parseAuditKind(const std::string &text);
+
+/** One parsed config entry. */
+struct AuditEntry {
+    std::string library;
+    std::string function;
+    AuditKind kind = AuditKind::kKernelLaunch;
+};
+
+/** Parsed LD_AUDIT interception table. */
+class AuditConfig
+{
+  public:
+    /**
+     * Parse configuration text. Malformed lines are collected into
+     * errors() rather than aborting, matching how a robust tool treats
+     * user config.
+     */
+    static AuditConfig parse(const std::string &text);
+
+    const std::vector<AuditEntry> &entries() const { return entries_; }
+    const std::vector<std::string> &errors() const { return errors_; }
+
+    /** Find the entry matching a (library, function) pair, if any. */
+    const AuditEntry *match(const std::string &library,
+                            const std::string &function) const;
+
+  private:
+    std::vector<AuditEntry> entries_;
+    std::vector<std::string> errors_;
+};
+
+} // namespace dc::sim

@@ -1,0 +1,130 @@
+#include "sim/loader/library_registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dc::sim {
+
+LibraryRegistry::LibraryRegistry() = default;
+
+int
+LibraryRegistry::registerLibrary(const std::string &name, std::uint64_t size)
+{
+    auto it = by_name_.find(name);
+    if (it != by_name_.end())
+        return it->second;
+
+    LibraryImage image;
+    image.name = name;
+    image.base = next_base_;
+    image.size = size;
+    next_base_ += ((size + 0xfffff) & ~0xfffffull) + 0x100000;
+
+    const int handle = static_cast<int>(libraries_.size());
+    libraries_.push_back(std::move(image));
+    by_name_[name] = handle;
+    return handle;
+}
+
+Pc
+LibraryRegistry::registerSymbol(int library, const std::string &name,
+                                std::uint64_t size)
+{
+    DC_CHECK(library >= 0 &&
+                 library < static_cast<int>(libraries_.size()),
+             "bad library handle ", library);
+    LibraryImage &image = libraries_[static_cast<std::size_t>(library)];
+
+    const auto key = std::make_pair(library, name);
+    auto it = symbol_cache_.find(key);
+    if (it != symbol_cache_.end())
+        return it->second;
+
+    Pc address = image.base;
+    if (!image.symbols.empty()) {
+        const Symbol &last = image.symbols.back();
+        address = last.address + last.size;
+    }
+    DC_CHECK(address + size <= image.base + image.size,
+             "library ", image.name, " symbol space exhausted");
+    image.symbols.push_back(Symbol{name, address, size});
+    symbol_cache_[key] = address;
+    return address;
+}
+
+Pc
+LibraryRegistry::internSymbol(const std::string &library,
+                              const std::string &symbol)
+{
+    return registerSymbol(registerLibrary(library), symbol);
+}
+
+const LibraryImage *
+LibraryRegistry::findLibrary(Pc pc) const
+{
+    for (const LibraryImage &image : libraries_) {
+        if (pc >= image.base && pc < image.base + image.size)
+            return &image;
+    }
+    return nullptr;
+}
+
+const LibraryImage *
+LibraryRegistry::findLibraryByName(const std::string &name) const
+{
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        return nullptr;
+    return &libraries_[static_cast<std::size_t>(it->second)];
+}
+
+const Symbol *
+LibraryRegistry::findSymbol(Pc pc) const
+{
+    const LibraryImage *image = findLibrary(pc);
+    if (image == nullptr)
+        return nullptr;
+    for (const Symbol &symbol : image->symbols) {
+        if (pc >= symbol.address && pc < symbol.address + symbol.size)
+            return &symbol;
+    }
+    return nullptr;
+}
+
+std::string
+LibraryRegistry::describe(Pc pc) const
+{
+    const LibraryImage *image = findLibrary(pc);
+    if (image == nullptr)
+        return strformat("0x%llx", static_cast<unsigned long long>(pc));
+    const Symbol *symbol = findSymbol(pc);
+    if (symbol == nullptr) {
+        return strformat("%s!+0x%llx", image->name.c_str(),
+                         static_cast<unsigned long long>(pc - image->base));
+    }
+    const std::uint64_t off = pc - symbol->address;
+    if (off == 0)
+        return image->name + "!" + symbol->name;
+    return strformat("%s!%s+0x%llx", image->name.c_str(),
+                     symbol->name.c_str(),
+                     static_cast<unsigned long long>(off));
+}
+
+bool
+LibraryRegistry::isPythonPc(Pc pc) const
+{
+    if (python_library_.empty())
+        return false;
+    const LibraryImage *image = findLibrary(pc);
+    return image != nullptr && image->name == python_library_;
+}
+
+void
+LibraryRegistry::markPythonLibrary(const std::string &name)
+{
+    python_library_ = name;
+}
+
+} // namespace dc::sim

@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated dynamic-loader state: which libraries are mapped where, and
+ * what symbols they export.
+ *
+ * DeepContext records the libpython address space using LD_AUDIT and later
+ * classifies native frames by the library their PC falls into (Section 4.1,
+ * "Call Path Integration"). This registry reproduces that mechanism:
+ * libraries are registered with a synthetic base address, symbols get PC
+ * ranges inside them, and lookups map a PC back to (library, symbol).
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dc::sim {
+
+/** One exported function inside a simulated library. */
+struct Symbol {
+    std::string name;
+    Pc address = 0;     ///< Absolute start PC.
+    std::uint64_t size = 64;
+};
+
+/** One mapped library image. */
+struct LibraryImage {
+    std::string name;   ///< e.g. "libtorch_sim.so".
+    Pc base = 0;
+    std::uint64_t size = 0;
+    std::vector<Symbol> symbols;
+};
+
+/** Registry of mapped libraries and their symbols. */
+class LibraryRegistry
+{
+  public:
+    LibraryRegistry();
+
+    /**
+     * Map a library and return its handle. Addresses are assigned
+     * deterministically in registration order.
+     */
+    int registerLibrary(const std::string &name,
+                        std::uint64_t size = 1 << 20);
+
+    /** Register a symbol in @p library; returns its assigned PC. */
+    Pc registerSymbol(int library, const std::string &name,
+                      std::uint64_t size = 64);
+
+    /**
+     * Convenience: register (or find) a symbol by library name, mapping
+     * the library on first use.
+     */
+    Pc internSymbol(const std::string &library, const std::string &symbol);
+
+    /** Library containing @p pc, if any. */
+    const LibraryImage *findLibrary(Pc pc) const;
+
+    /** Library by exact name, if mapped. */
+    const LibraryImage *findLibraryByName(const std::string &name) const;
+
+    /** Symbol covering @p pc, if any. */
+    const Symbol *findSymbol(Pc pc) const;
+
+    /** Pretty "lib.so!symbol+0x10" form for a PC (for reports). */
+    std::string describe(Pc pc) const;
+
+    /** True if @p pc falls inside the library registered as Python. */
+    bool isPythonPc(Pc pc) const;
+
+    /** Mark a library name as the Python interpreter (LD_AUDIT record). */
+    void markPythonLibrary(const std::string &name);
+
+    const std::vector<LibraryImage> &libraries() const { return libraries_; }
+
+  private:
+    std::vector<LibraryImage> libraries_;
+    std::map<std::string, int> by_name_;
+    std::map<std::pair<int, std::string>, Pc> symbol_cache_;
+    Pc next_base_ = 0x7f0000000000ull;
+    std::string python_library_;
+};
+
+} // namespace dc::sim

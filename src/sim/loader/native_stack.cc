@@ -1,0 +1,14 @@
+#include "sim/loader/native_stack.h"
+
+#include "common/logging.h"
+
+namespace dc::sim {
+
+void
+NativeStack::pop()
+{
+    DC_CHECK(!frames_.empty(), "pop from empty native stack");
+    frames_.pop_back();
+}
+
+} // namespace dc::sim

@@ -1,0 +1,114 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated native (C/C++) call stack with libunwind-style access.
+ *
+ * Frameworks and the runtime push a NativeFrame for every simulated C/C++
+ * function on the current thread's stack. Two access modes mirror
+ * libunwind: a full snapshot unwind, and an UnwindCursor whose step()
+ * walks one frame at a time from the leaf upwards — the API DeepContext's
+ * call-path caching mode uses to stop unwinding at the cached operator
+ * frame (Section 4.1, "Optimizations").
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dc::sim {
+
+/** One native stack frame (just a PC; symbolization is via the registry). */
+struct NativeFrame {
+    Pc pc = 0;
+};
+
+/** Per-thread native shadow stack. */
+class NativeStack
+{
+  public:
+    /** Push a frame (function entry). */
+    void push(Pc pc) { frames_.push_back(NativeFrame{pc}); }
+
+    /** Pop the leaf frame (function exit). */
+    void pop();
+
+    /** Current depth. */
+    std::size_t depth() const { return frames_.size(); }
+
+    bool empty() const { return frames_.empty(); }
+
+    /** Root-to-leaf snapshot (index 0 is the outermost frame). */
+    const std::vector<NativeFrame> &frames() const { return frames_; }
+
+    /** Remove all frames. */
+    void clear() { frames_.clear(); }
+
+  private:
+    std::vector<NativeFrame> frames_;
+};
+
+/**
+ * libunwind-style cursor: starts at the leaf and step() moves toward the
+ * root, returning false once the stack is exhausted.
+ */
+class UnwindCursor
+{
+  public:
+    explicit UnwindCursor(const NativeStack &stack)
+        : stack_(stack), index_(static_cast<std::int64_t>(stack.depth()))
+    {
+    }
+
+    /**
+     * Move one frame toward the root.
+     * @return true if a frame is now available via current().
+     */
+    bool
+    step()
+    {
+        if (index_ <= 0)
+            return false;
+        --index_;
+        return true;
+    }
+
+    /** Frame the cursor currently points at (valid after step()). */
+    const NativeFrame &
+    current() const
+    {
+        return stack_.frames()[static_cast<std::size_t>(index_)];
+    }
+
+    /** Number of step() calls performed so far. */
+    std::size_t
+    stepsTaken() const
+    {
+        return stack_.depth() - static_cast<std::size_t>(index_);
+    }
+
+  private:
+    const NativeStack &stack_;
+    std::int64_t index_;
+};
+
+/** RAII helper that pushes a native frame for the current scope. */
+class NativeScope
+{
+  public:
+    NativeScope(NativeStack &stack, Pc pc) : stack_(stack)
+    {
+        stack_.push(pc);
+    }
+
+    ~NativeScope() { stack_.pop(); }
+
+    NativeScope(const NativeScope &) = delete;
+    NativeScope &operator=(const NativeScope &) = delete;
+
+  private:
+    NativeStack &stack_;
+};
+
+} // namespace dc::sim

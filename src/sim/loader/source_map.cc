@@ -1,0 +1,23 @@
+#include "sim/loader/source_map.h"
+
+namespace dc::sim {
+
+void
+SourceMap::add(Pc pc, const std::string &file, int line)
+{
+    records_[pc] = SourceLocation{file, line};
+}
+
+std::optional<SourceLocation>
+SourceMap::resolve(Pc pc) const
+{
+    auto it = records_.upper_bound(pc);
+    if (it == records_.begin())
+        return std::nullopt;
+    --it;
+    if (pc - it->first > 4096)
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace dc::sim

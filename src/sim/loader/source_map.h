@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * @file
+ * DWARF-like source mapping: PC -> (file, line).
+ *
+ * The performance analyzer "maps GPU/CPU instructions back to the source
+ * code using the DWARF information" (Section 4.3). Simulated libraries
+ * register line records for their symbols here; the analyzer and the GUI
+ * editor-navigation backend read them.
+ */
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace dc::sim {
+
+/** One resolved source location. */
+struct SourceLocation {
+    std::string file;
+    int line = 0;
+};
+
+/** PC -> source-location table. */
+class SourceMap
+{
+  public:
+    /** Register the location for a PC (typically a symbol start). */
+    void add(Pc pc, const std::string &file, int line);
+
+    /**
+     * Resolve @p pc: the nearest registered record at or below @p pc
+     * within 4 KiB, mirroring DWARF line-table semantics.
+     */
+    std::optional<SourceLocation> resolve(Pc pc) const;
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::map<Pc, SourceLocation> records_;
+};
+
+} // namespace dc::sim

@@ -1,0 +1,120 @@
+#include "sim/perf/perf_events.h"
+
+#include "common/logging.h"
+
+namespace dc::sim {
+
+const char *
+timerEventKindName(TimerEventKind kind)
+{
+    switch (kind) {
+      case TimerEventKind::kCpuTime: return "CPU_TIME";
+      case TimerEventKind::kRealTime: return "REAL_TIME";
+    }
+    return "?";
+}
+
+SignalSampler::SignalSampler(SimContext &ctx, TimerEventKind kind,
+                             DurationNs period, SampleCallback callback)
+    : ctx_(ctx), kind_(kind), period_(period), callback_(std::move(callback))
+{
+    DC_CHECK(period_ > 0, "sampling period must be positive");
+    hook_token_ = ctx_.addCpuTickHook(
+        [this](SimThread &thread, DurationNs delta, TimeNs wall_now) {
+            onTick(thread, delta, wall_now);
+        });
+}
+
+SignalSampler::~SignalSampler()
+{
+    ctx_.removeCpuTickHook(hook_token_);
+}
+
+void
+SignalSampler::onTick(SimThread &thread, DurationNs delta, TimeNs wall_now)
+{
+    const std::size_t tid = thread.id();
+    if (clock_value_.size() <= tid) {
+        clock_value_.resize(tid + 1, 0);
+        last_sample_.resize(tid + 1, 0);
+    }
+
+    // Advance the clock this timer follows.
+    if (kind_ == TimerEventKind::kCpuTime) {
+        clock_value_[tid] += delta;
+    } else {
+        clock_value_[tid] = wall_now;
+    }
+
+    // Deliver one sample per elapsed period, attributing the interval
+    // since the previous sample (the paper's subtract-previous-timestamp
+    // scheme).
+    while (clock_value_[tid] - last_sample_[tid] >= period_) {
+        const DurationNs interval = clock_value_[tid] - last_sample_[tid];
+        last_sample_[tid] = clock_value_[tid];
+        ++sample_count_;
+        callback_(thread, kind_, interval, wall_now);
+    }
+}
+
+const char *
+perfCounterName(PerfCounter counter)
+{
+    switch (counter) {
+      case PerfCounter::kCycles: return "PAPI_TOT_CYC";
+      case PerfCounter::kInstructions: return "PAPI_TOT_INS";
+      case PerfCounter::kL2Misses: return "PAPI_L2_TCM";
+      case PerfCounter::kBranchMisses: return "PAPI_BR_MSP";
+    }
+    return "?";
+}
+
+PapiCounterSet::PapiCounterSet(SimContext &ctx) : ctx_(ctx)
+{
+    hook_token_ = ctx_.addCpuTickHook(
+        [this](SimThread &thread, DurationNs delta, TimeNs wall_now) {
+            onTick(thread, delta, wall_now);
+        });
+}
+
+PapiCounterSet::~PapiCounterSet()
+{
+    ctx_.removeCpuTickHook(hook_token_);
+}
+
+void
+PapiCounterSet::onTick(SimThread &thread, DurationNs delta, TimeNs wall_now)
+{
+    (void)thread;
+    (void)wall_now;
+    const double cycles =
+        static_cast<double>(delta) * ctx_.cpu().base_clock_ghz;
+    cycles_ += cycles;
+    instructions_ += cycles * 1.25;   // IPC of a busy host thread.
+    l2_misses_ += cycles * 0.004;     // misses per cycle.
+    branch_misses_ += cycles * 0.0015;
+}
+
+std::uint64_t
+PapiCounterSet::read(PerfCounter counter) const
+{
+    switch (counter) {
+      case PerfCounter::kCycles:
+        return static_cast<std::uint64_t>(cycles_);
+      case PerfCounter::kInstructions:
+        return static_cast<std::uint64_t>(instructions_);
+      case PerfCounter::kL2Misses:
+        return static_cast<std::uint64_t>(l2_misses_);
+      case PerfCounter::kBranchMisses:
+        return static_cast<std::uint64_t>(branch_misses_);
+    }
+    return 0;
+}
+
+void
+PapiCounterSet::reset()
+{
+    cycles_ = instructions_ = l2_misses_ = branch_misses_ = 0.0;
+}
+
+} // namespace dc::sim

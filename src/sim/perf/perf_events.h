@@ -1,0 +1,114 @@
+#pragma once
+
+/**
+ * @file
+ * CPU measurement substrates: sigaction-style sampling timers and
+ * perf/PAPI-style hardware counters, all driven by virtual time.
+ *
+ * The paper (Section 4.2, "CPU Metrics"): DeepContext registers a signal
+ * callback for CPU_TIME and REAL_TIME events; each sample computes the
+ * interval since the previous sample and attributes it to the current call
+ * path. SignalSampler reproduces this on the SimContext tick stream.
+ * PapiCounterSet models PAPI_read()-style accumulating counters derived
+ * from executed virtual time.
+ */
+
+#include <functional>
+
+#include "common/types.h"
+#include "sim/sim_context.h"
+
+namespace dc::sim {
+
+/** Which clock a sampling timer follows. */
+enum class TimerEventKind {
+    kCpuTime,  ///< Per-thread CPU time (ITIMER_VIRTUAL-like).
+    kRealTime, ///< Wall-clock time (ITIMER_REAL-like).
+};
+
+/** Printable timer kind. */
+const char *timerEventKindName(TimerEventKind kind);
+
+/**
+ * Sample delivery: thread that was interrupted, the timer kind, the
+ * interval since the previous sample on that thread, and the current
+ * wall time.
+ */
+using SampleCallback = std::function<void(
+    SimThread &, TimerEventKind, DurationNs interval, TimeNs wall_now)>;
+
+/**
+ * A sigaction-registered sampling timer. Lives as long as profiling is
+ * enabled; unregisters from the context on destruction.
+ */
+class SignalSampler
+{
+  public:
+    SignalSampler(SimContext &ctx, TimerEventKind kind, DurationNs period,
+                  SampleCallback callback);
+    ~SignalSampler();
+
+    SignalSampler(const SignalSampler &) = delete;
+    SignalSampler &operator=(const SignalSampler &) = delete;
+
+    /** Samples delivered so far. */
+    std::uint64_t sampleCount() const { return sample_count_; }
+
+  private:
+    void onTick(SimThread &thread, DurationNs delta, TimeNs wall_now);
+
+    SimContext &ctx_;
+    TimerEventKind kind_;
+    DurationNs period_;
+    SampleCallback callback_;
+    int hook_token_ = 0;
+    std::uint64_t sample_count_ = 0;
+
+    // Per-thread progress: accumulated clock value at last sample.
+    std::vector<TimeNs> last_sample_;
+    std::vector<TimeNs> clock_value_;
+};
+
+/** Hardware counters a PapiCounterSet can expose. */
+enum class PerfCounter {
+    kCycles,
+    kInstructions,
+    kL2Misses,
+    kBranchMisses,
+};
+
+/** Printable counter name (PAPI-style). */
+const char *perfCounterName(PerfCounter counter);
+
+/**
+ * PAPI-style accumulating counter set for the current thread stream.
+ * Values are derived from executed virtual CPU time and the host clock
+ * rate; deterministic by construction.
+ */
+class PapiCounterSet
+{
+  public:
+    explicit PapiCounterSet(SimContext &ctx);
+    ~PapiCounterSet();
+
+    PapiCounterSet(const PapiCounterSet &) = delete;
+    PapiCounterSet &operator=(const PapiCounterSet &) = delete;
+
+    /** PAPI_read: current value of @p counter. */
+    std::uint64_t read(PerfCounter counter) const;
+
+    /** PAPI_reset. */
+    void reset();
+
+  private:
+    void onTick(SimThread &thread, DurationNs delta, TimeNs wall_now);
+
+    SimContext &ctx_;
+    int hook_token_ = 0;
+    double cycles_ = 0.0;
+    double instructions_ = 0.0;
+    double l2_misses_ = 0.0;
+    double branch_misses_ = 0.0;
+};
+
+} // namespace dc::sim

@@ -1,0 +1,103 @@
+#include "sim/roctracer/roctracer_sim.h"
+
+#include <map>
+
+namespace dc::sim::roctracer {
+
+namespace {
+
+bool
+isAmd(GpuRuntime &runtime, int device)
+{
+    if (device < 0 ||
+        device >= static_cast<int>(runtime.context().deviceCount())) {
+        return false;
+    }
+    return runtime.context().device(device).arch().vendor == GpuVendor::kAmd;
+}
+
+// roctracer's C API has process-global callback state; the sim keeps the
+// same shape, keyed by (runtime, device).
+struct CallbackState {
+    int token = 0;
+    bool active = false;
+};
+
+std::map<std::pair<GpuRuntime *, int>, CallbackState> g_callbacks;
+
+} // namespace
+
+int
+roctracerEnableDomainCallback(GpuRuntime &runtime, int device,
+                              RoctracerDomain domain, ApiCallbackFn callback,
+                              void *arg)
+{
+    if (!isAmd(runtime, device))
+        return kRoctracerStatusBadDevice;
+    if (callback == nullptr || domain != kDomainHipApi)
+        return kRoctracerStatusBadArgument;
+
+    const int token = runtime.subscribe(
+        [device, callback, arg](const ApiCallbackInfo &info) {
+            if (info.device_id == device)
+                callback(kDomainHipApi, info, arg);
+        });
+    g_callbacks[{&runtime, device}] = CallbackState{token, true};
+    return kRoctracerStatusSuccess;
+}
+
+int
+roctracerDisableDomainCallback(GpuRuntime &runtime, int device,
+                               RoctracerDomain domain)
+{
+    if (domain != kDomainHipApi)
+        return kRoctracerStatusBadArgument;
+    auto it = g_callbacks.find({&runtime, device});
+    if (it == g_callbacks.end() || !it->second.active)
+        return kRoctracerStatusNotEnabled;
+    runtime.unsubscribe(it->second.token);
+    g_callbacks.erase(it);
+    return kRoctracerStatusSuccess;
+}
+
+int
+roctracerOpenPool(GpuRuntime &runtime, int device, ActivityPoolFn consumer,
+                  std::size_t buffer_capacity)
+{
+    if (!isAmd(runtime, device))
+        return kRoctracerStatusBadDevice;
+    if (!consumer)
+        return kRoctracerStatusBadArgument;
+    runtime.context().device(device).setFlushHandler(std::move(consumer),
+                                                     buffer_capacity);
+    return kRoctracerStatusSuccess;
+}
+
+int
+roctracerClosePool(GpuRuntime &runtime, int device)
+{
+    if (!isAmd(runtime, device))
+        return kRoctracerStatusBadDevice;
+    runtime.context().device(device).clearFlushHandler();
+    return kRoctracerStatusSuccess;
+}
+
+int
+roctracerFlushActivity(GpuRuntime &runtime, int device)
+{
+    if (!isAmd(runtime, device))
+        return kRoctracerStatusBadDevice;
+    runtime.context().device(device).flushActivities();
+    return kRoctracerStatusSuccess;
+}
+
+int
+roctracerConfigureThreadTrace(GpuRuntime &runtime, int device, bool enabled)
+{
+    if (!isAmd(runtime, device))
+        return kRoctracerStatusBadDevice;
+    runtime.context().device(device).setPcSamplingEnabled(enabled);
+    return kRoctracerStatusSuccess;
+}
+
+} // namespace dc::sim::roctracer

@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * RocTracer-shaped profiling API for the AMD-sim device.
+ *
+ * Intentionally a *different* API shape from CUPTI-sim (C-style status
+ * ints, domain enable calls, an explicit activity "pool"), matching how
+ * roctracer diverges from CUPTI in the real world. DLMonitor must adapt
+ * both — this asymmetry is the point of the shim layer.
+ */
+
+#include <functional>
+
+#include "sim/gpu/gpu_device.h"
+#include "sim/runtime/gpu_runtime.h"
+
+namespace dc::sim::roctracer {
+
+/** roctracer uses plain int status codes: 0 success, negative errors. */
+constexpr int kRoctracerStatusSuccess = 0;
+constexpr int kRoctracerStatusBadDevice = -1;
+constexpr int kRoctracerStatusBadArgument = -2;
+constexpr int kRoctracerStatusNotEnabled = -3;
+
+/** Callback/activity domains (only HIP API + HIP ops modeled). */
+enum RoctracerDomain {
+    kDomainHipApi = 1,
+    kDomainHipOps = 2,
+};
+
+/** API callback signature (domain, info, user arg). */
+using ApiCallbackFn = void (*)(RoctracerDomain domain,
+                               const ApiCallbackInfo &info, void *arg);
+
+/** Activity records are delivered through a pool callback. */
+using ActivityPoolFn =
+    std::function<void(std::vector<ActivityRecord> &&records)>;
+
+/**
+ * Enable API callbacks on the HIP domain for @p device.
+ * @return 0 on success, negative status otherwise.
+ */
+int roctracerEnableDomainCallback(GpuRuntime &runtime, int device,
+                                  RoctracerDomain domain,
+                                  ApiCallbackFn callback, void *arg);
+
+/** Disable API callbacks previously enabled. */
+int roctracerDisableDomainCallback(GpuRuntime &runtime, int device,
+                                   RoctracerDomain domain);
+
+/** Open the default activity pool; records flow to @p consumer. */
+int roctracerOpenPool(GpuRuntime &runtime, int device,
+                      ActivityPoolFn consumer,
+                      std::size_t buffer_capacity = 512);
+
+/** Close the pool (flushes first). */
+int roctracerClosePool(GpuRuntime &runtime, int device);
+
+/** Flush pending activity records. */
+int roctracerFlushActivity(GpuRuntime &runtime, int device);
+
+/** Enable/disable wavefront-level instruction sampling (SQTT-like). */
+int roctracerConfigureThreadTrace(GpuRuntime &runtime, int device,
+                                  bool enabled);
+
+} // namespace dc::sim::roctracer

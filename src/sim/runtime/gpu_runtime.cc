@@ -1,0 +1,267 @@
+#include "sim/runtime/gpu_runtime.h"
+
+#include "common/logging.h"
+
+namespace dc::sim {
+
+const char *
+gpuApiKindName(GpuApiKind kind)
+{
+    switch (kind) {
+      case GpuApiKind::kKernelLaunch: return "kernel_launch";
+      case GpuApiKind::kMemcpy: return "memcpy";
+      case GpuApiKind::kMalloc: return "malloc";
+      case GpuApiKind::kFree: return "free";
+      case GpuApiKind::kSync: return "sync";
+    }
+    return "?";
+}
+
+GpuRuntime::GpuRuntime(SimContext &ctx) : ctx_(ctx) {}
+
+int
+GpuRuntime::subscribe(ApiCallback callback)
+{
+    const int token = next_token_++;
+    subscribers_.emplace_back(token, std::move(callback));
+    return token;
+}
+
+void
+GpuRuntime::unsubscribe(int token)
+{
+    std::erase_if(subscribers_, [token](const auto &entry) {
+        return entry.first == token;
+    });
+}
+
+void
+GpuRuntime::installAudit(const AuditConfig &config, ApiCallback callback)
+{
+    audit_config_ = config;
+    audit_callback_ = std::move(callback);
+    audit_installed_ = true;
+}
+
+void
+GpuRuntime::clearAudit()
+{
+    audit_installed_ = false;
+    audit_callback_ = nullptr;
+}
+
+const char *
+GpuRuntime::runtimeLibraryName(GpuVendor vendor)
+{
+    switch (vendor) {
+      case GpuVendor::kNvidia: return "libcudart_sim.so";
+      case GpuVendor::kAmd: return "libamdhip64_sim.so";
+      case GpuVendor::kCustom: return "libnpu_runtime_sim.so";
+    }
+    return "?";
+}
+
+const char *
+GpuRuntime::apiFunctionName(GpuVendor vendor, GpuApiKind api)
+{
+    const bool nv = vendor == GpuVendor::kNvidia;
+    const bool amd = vendor == GpuVendor::kAmd;
+    switch (api) {
+      case GpuApiKind::kKernelLaunch:
+        return nv ? "cudaLaunchKernel" : amd ? "hipLaunchKernel"
+                                             : "npuLaunchKernel";
+      case GpuApiKind::kMemcpy:
+        return nv ? "cudaMemcpyAsync" : amd ? "hipMemcpyAsync"
+                                            : "npuMemcpyAsync";
+      case GpuApiKind::kMalloc:
+        return nv ? "cudaMalloc" : amd ? "hipMalloc" : "npuMalloc";
+      case GpuApiKind::kFree:
+        return nv ? "cudaFree" : amd ? "hipFree" : "npuFree";
+      case GpuApiKind::kSync:
+        return nv ? "cudaDeviceSynchronize"
+                  : amd ? "hipDeviceSynchronize" : "npuDeviceSynchronize";
+    }
+    return "?";
+}
+
+Pc
+GpuRuntime::apiPc(GpuVendor vendor, GpuApiKind api)
+{
+    return ctx_.libraries().internSymbol(runtimeLibraryName(vendor),
+                                         apiFunctionName(vendor, api));
+}
+
+DurationNs
+GpuRuntime::hostApiCost(GpuVendor vendor, GpuApiKind api) const
+{
+    // Host-side cost of the driver call itself (virtual time). ROCm's
+    // launch path is measurably longer than CUDA's; allocation hits the
+    // caching allocator fast path.
+    switch (api) {
+      case GpuApiKind::kKernelLaunch:
+        return vendor == GpuVendor::kAmd ? 9'000 : 6'500;
+      case GpuApiKind::kMemcpy: return 5'500;
+      case GpuApiKind::kMalloc: return 1'800;
+      case GpuApiKind::kFree: return 1'200;
+      case GpuApiKind::kSync: return 4'000;
+    }
+    return 1'000;
+}
+
+void
+GpuRuntime::emit(const ApiCallbackInfo &info)
+{
+    for (auto &[token, callback] : subscribers_)
+        callback(info);
+
+    if (audit_installed_ && audit_callback_) {
+        // LD_AUDIT matches by (library, function) pairs from the config.
+        // Only APIs named in the config produce callbacks.
+        const GpuVendor vendor =
+            ctx_.device(info.device_id).arch().vendor;
+        const AuditEntry *entry = audit_config_.match(
+            runtimeLibraryName(vendor), info.function_name);
+        if (entry != nullptr)
+            audit_callback_(info);
+    }
+}
+
+CorrelationId
+GpuRuntime::launchKernel(int device, int stream, const KernelDesc &kernel)
+{
+    GpuDevice &dev = ctx_.device(device);
+    const GpuVendor vendor = dev.arch().vendor;
+    const CorrelationId correlation = next_correlation_++;
+    ++launch_count_;
+
+    NativeScope api_frame(ctx_.currentThread().nativeStack(),
+                          apiPc(vendor, GpuApiKind::kKernelLaunch));
+
+    ApiCallbackInfo info;
+    info.api = GpuApiKind::kKernelLaunch;
+    info.phase = ApiPhase::kEnter;
+    info.function_name = apiFunctionName(vendor, GpuApiKind::kKernelLaunch);
+    info.correlation_id = correlation;
+    info.device_id = device;
+    info.stream = stream;
+    info.kernel = &kernel;
+    emit(info);
+
+    ctx_.advanceCpu(hostApiCost(vendor, GpuApiKind::kKernelLaunch));
+    dev.launchKernel(stream, kernel, correlation, ctx_.now());
+
+    info.phase = ApiPhase::kExit;
+    emit(info);
+    return correlation;
+}
+
+CorrelationId
+GpuRuntime::memcpyAsync(int device, int stream, std::uint64_t bytes,
+                        const std::string &name)
+{
+    GpuDevice &dev = ctx_.device(device);
+    const GpuVendor vendor = dev.arch().vendor;
+    const CorrelationId correlation = next_correlation_++;
+
+    NativeScope api_frame(ctx_.currentThread().nativeStack(),
+                          apiPc(vendor, GpuApiKind::kMemcpy));
+
+    ApiCallbackInfo info;
+    info.api = GpuApiKind::kMemcpy;
+    info.phase = ApiPhase::kEnter;
+    info.function_name = apiFunctionName(vendor, GpuApiKind::kMemcpy);
+    info.correlation_id = correlation;
+    info.device_id = device;
+    info.stream = stream;
+    info.bytes = bytes;
+    emit(info);
+
+    ctx_.advanceCpu(hostApiCost(vendor, GpuApiKind::kMemcpy));
+    dev.memcpyAsync(stream, bytes, name, correlation, ctx_.now());
+
+    info.phase = ApiPhase::kExit;
+    emit(info);
+    return correlation;
+}
+
+CorrelationId
+GpuRuntime::deviceMalloc(int device, std::uint64_t bytes)
+{
+    GpuDevice &dev = ctx_.device(device);
+    const GpuVendor vendor = dev.arch().vendor;
+    const CorrelationId correlation = next_correlation_++;
+
+    NativeScope api_frame(ctx_.currentThread().nativeStack(),
+                          apiPc(vendor, GpuApiKind::kMalloc));
+
+    ApiCallbackInfo info;
+    info.api = GpuApiKind::kMalloc;
+    info.phase = ApiPhase::kEnter;
+    info.function_name = apiFunctionName(vendor, GpuApiKind::kMalloc);
+    info.correlation_id = correlation;
+    info.device_id = device;
+    info.bytes = bytes;
+    emit(info);
+
+    ctx_.advanceCpu(hostApiCost(vendor, GpuApiKind::kMalloc));
+    dev.allocate(bytes);
+
+    info.phase = ApiPhase::kExit;
+    emit(info);
+    return correlation;
+}
+
+CorrelationId
+GpuRuntime::deviceFree(int device, std::uint64_t bytes)
+{
+    GpuDevice &dev = ctx_.device(device);
+    const GpuVendor vendor = dev.arch().vendor;
+    const CorrelationId correlation = next_correlation_++;
+
+    NativeScope api_frame(ctx_.currentThread().nativeStack(),
+                          apiPc(vendor, GpuApiKind::kFree));
+
+    ApiCallbackInfo info;
+    info.api = GpuApiKind::kFree;
+    info.phase = ApiPhase::kEnter;
+    info.function_name = apiFunctionName(vendor, GpuApiKind::kFree);
+    info.correlation_id = correlation;
+    info.device_id = device;
+    info.bytes = bytes;
+    emit(info);
+
+    ctx_.advanceCpu(hostApiCost(vendor, GpuApiKind::kFree));
+    dev.release(bytes);
+
+    info.phase = ApiPhase::kExit;
+    emit(info);
+    return correlation;
+}
+
+void
+GpuRuntime::deviceSynchronize(int device)
+{
+    GpuDevice &dev = ctx_.device(device);
+    const GpuVendor vendor = dev.arch().vendor;
+    const CorrelationId correlation = next_correlation_++;
+
+    NativeScope api_frame(ctx_.currentThread().nativeStack(),
+                          apiPc(vendor, GpuApiKind::kSync));
+
+    ApiCallbackInfo info;
+    info.api = GpuApiKind::kSync;
+    info.phase = ApiPhase::kEnter;
+    info.function_name = apiFunctionName(vendor, GpuApiKind::kSync);
+    info.correlation_id = correlation;
+    info.device_id = device;
+    emit(info);
+
+    ctx_.advanceCpu(hostApiCost(vendor, GpuApiKind::kSync));
+    ctx_.advanceWallTo(dev.completionTime(ctx_.now()));
+    dev.flushActivities();
+
+    info.phase = ApiPhase::kExit;
+    emit(info);
+}
+
+} // namespace dc::sim

@@ -1,0 +1,137 @@
+#pragma once
+
+/**
+ * @file
+ * The GPU driver/runtime API the frameworks call.
+ *
+ * This is the simulated equivalent of the CUDA/HIP runtime: kernel
+ * launches, async copies, allocation, and synchronization. Every entry
+ * point:
+ *   1. pushes the vendor-appropriate native frame (cudaLaunchKernel /
+ *      hipLaunchKernel / the custom accelerator's symbol),
+ *   2. assigns a correlation ID,
+ *   3. notifies API subscribers (enter/exit) — this is the hook CUPTI-sim,
+ *      RocTracer-sim, and the LD_AUDIT interception attach to,
+ *   4. charges host CPU time for the call, and
+ *   5. enqueues the work on the device in virtual time.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/gpu/gpu_device.h"
+#include "sim/gpu/kernel.h"
+#include "sim/loader/audit_config.h"
+#include "sim/sim_context.h"
+
+namespace dc::sim {
+
+/** Which driver API a callback describes. */
+enum class GpuApiKind {
+    kKernelLaunch,
+    kMemcpy,
+    kMalloc,
+    kFree,
+    kSync,
+};
+
+/** Printable API kind. */
+const char *gpuApiKindName(GpuApiKind kind);
+
+/** Enter/exit phase of an API callback. */
+enum class ApiPhase {
+    kEnter,
+    kExit,
+};
+
+/** Payload delivered to API subscribers. */
+struct ApiCallbackInfo {
+    GpuApiKind api = GpuApiKind::kKernelLaunch;
+    ApiPhase phase = ApiPhase::kEnter;
+    std::string function_name;      ///< e.g. "cudaLaunchKernel".
+    CorrelationId correlation_id = 0;
+    int device_id = 0;
+    int stream = 0;
+    const KernelDesc *kernel = nullptr; ///< Launches only.
+    std::uint64_t bytes = 0;            ///< Copies / allocations.
+};
+
+/** Subscriber callback type. */
+using ApiCallback = std::function<void(const ApiCallbackInfo &)>;
+
+/** Simulated CUDA/HIP-style runtime bound to one SimContext. */
+class GpuRuntime
+{
+  public:
+    explicit GpuRuntime(SimContext &ctx);
+
+    SimContext &context() { return ctx_; }
+
+    /**
+     * Subscribe to driver API callbacks for one device's vendor. Returns
+     * a token for unsubscribing. Vendor profiling layers use this.
+     */
+    int subscribe(ApiCallback callback);
+
+    /** Remove a subscriber. */
+    void unsubscribe(int token);
+
+    /**
+     * Install an LD_AUDIT interception table: entries whose library
+     * matches the device vendor's runtime library produce callbacks to
+     * @p callback even with no vendor profiling API attached.
+     */
+    void installAudit(const AuditConfig &config, ApiCallback callback);
+
+    /** Remove the audit interception. */
+    void clearAudit();
+
+    /**
+     * Launch @p kernel on @p device / @p stream.
+     * @return the correlation ID assigned to the launch.
+     */
+    CorrelationId launchKernel(int device, int stream,
+                               const KernelDesc &kernel);
+
+    /** Async host/device copy. */
+    CorrelationId memcpyAsync(int device, int stream, std::uint64_t bytes,
+                              const std::string &name = "memcpy");
+
+    /** Allocate device memory. */
+    CorrelationId deviceMalloc(int device, std::uint64_t bytes);
+
+    /** Free device memory. */
+    CorrelationId deviceFree(int device, std::uint64_t bytes);
+
+    /** Synchronize one device: wall clock reaches completion; flush. */
+    void deviceSynchronize(int device);
+
+    /** Runtime library name for a vendor ("libcudart_sim.so", ...). */
+    static const char *runtimeLibraryName(GpuVendor vendor);
+
+    /** API function name for (vendor, api), e.g. "hipMemcpyAsync". */
+    static const char *apiFunctionName(GpuVendor vendor, GpuApiKind api);
+
+    /** Number of kernel launches through this runtime. */
+    std::uint64_t launchCount() const { return launch_count_; }
+
+  private:
+    Pc apiPc(GpuVendor vendor, GpuApiKind api);
+    void emit(const ApiCallbackInfo &info);
+    DurationNs hostApiCost(GpuVendor vendor, GpuApiKind api) const;
+
+    SimContext &ctx_;
+    std::vector<std::pair<int, ApiCallback>> subscribers_;
+    int next_token_ = 1;
+
+    AuditConfig audit_config_;
+    ApiCallback audit_callback_;
+    bool audit_installed_ = false;
+
+    CorrelationId next_correlation_ = 1;
+    std::uint64_t launch_count_ = 0;
+};
+
+} // namespace dc::sim

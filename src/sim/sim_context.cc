@@ -1,0 +1,158 @@
+#include "sim/sim_context.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dc::sim {
+
+SimContext::SimContext(CpuInfo cpu, std::uint64_t seed)
+    : cpu_(std::move(cpu)), rng_(seed)
+{
+    createThread("main", ThreadKind::kMain, /*on_critical_path=*/true);
+}
+
+void
+SimContext::advanceWall(DurationNs delta)
+{
+    DC_CHECK(delta >= 0, "wall clock cannot move backwards");
+    wall_now_ += delta;
+}
+
+void
+SimContext::advanceWallTo(TimeNs t)
+{
+    wall_now_ = std::max(wall_now_, t);
+}
+
+void
+SimContext::advanceCpu(DurationNs delta)
+{
+    DC_CHECK(delta >= 0, "cpu time cannot move backwards");
+    SimThread &thread = currentThread();
+    thread.addCpuTime(delta);
+    if (thread.onCriticalPath())
+        wall_now_ += delta;
+
+    if (!in_tick_hook_ && !tick_hooks_.empty()) {
+        in_tick_hook_ = true;
+        for (auto &[token, hook] : tick_hooks_)
+            hook(thread, delta, wall_now_);
+        in_tick_hook_ = false;
+    }
+}
+
+void
+SimContext::chargeProfilingOverhead(DurationNs delta)
+{
+    overhead_total_ += delta;
+    advanceCpu(delta);
+}
+
+SimThread &
+SimContext::createThread(const std::string &name, ThreadKind kind,
+                         bool on_critical_path)
+{
+    const ThreadId id = static_cast<ThreadId>(threads_.size());
+    threads_.push_back(
+        std::make_unique<SimThread>(id, name, kind, on_critical_path));
+    return *threads_.back();
+}
+
+SimThread &
+SimContext::thread(ThreadId id)
+{
+    DC_CHECK(id < threads_.size(), "bad thread id ", id);
+    return *threads_[id];
+}
+
+const SimThread &
+SimContext::thread(ThreadId id) const
+{
+    DC_CHECK(id < threads_.size(), "bad thread id ", id);
+    return *threads_[id];
+}
+
+SimThread &
+SimContext::currentThread()
+{
+    return thread(current_thread_);
+}
+
+const SimThread &
+SimContext::currentThread() const
+{
+    return thread(current_thread_);
+}
+
+void
+SimContext::setCurrentThread(ThreadId id)
+{
+    DC_CHECK(id < threads_.size(), "bad thread id ", id);
+    current_thread_ = id;
+}
+
+GpuDevice &
+SimContext::addDevice(GpuArch arch)
+{
+    const int id = static_cast<int>(devices_.size());
+    devices_.push_back(std::make_unique<GpuDevice>(id, std::move(arch)));
+    return *devices_.back();
+}
+
+GpuDevice &
+SimContext::device(int id)
+{
+    DC_CHECK(id >= 0 && id < static_cast<int>(devices_.size()),
+             "bad device id ", id);
+    return *devices_[static_cast<std::size_t>(id)];
+}
+
+const GpuDevice &
+SimContext::device(int id) const
+{
+    DC_CHECK(id >= 0 && id < static_cast<int>(devices_.size()),
+             "bad device id ", id);
+    return *devices_[static_cast<std::size_t>(id)];
+}
+
+void
+SimContext::synchronizeAllDevices()
+{
+    for (auto &device : devices_) {
+        advanceWallTo(device->completionTime(wall_now_));
+        device->flushActivities();
+    }
+}
+
+int
+SimContext::addCpuTickHook(CpuTickHook hook)
+{
+    const int token = next_hook_token_++;
+    tick_hooks_.emplace_back(token, std::move(hook));
+    return token;
+}
+
+void
+SimContext::removeCpuTickHook(int token)
+{
+    tick_hooks_.erase(
+        std::remove_if(tick_hooks_.begin(), tick_hooks_.end(),
+                       [token](const auto &entry) {
+                           return entry.first == token;
+                       }),
+        tick_hooks_.end());
+}
+
+const char *
+threadKindName(ThreadKind kind)
+{
+    switch (kind) {
+      case ThreadKind::kMain: return "main";
+      case ThreadKind::kBackward: return "backward";
+      case ThreadKind::kLoaderWorker: return "loader_worker";
+    }
+    return "?";
+}
+
+} // namespace dc::sim

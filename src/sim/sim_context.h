@@ -1,0 +1,168 @@
+#pragma once
+
+/**
+ * @file
+ * SimContext: the root object of one simulation run.
+ *
+ * Owns the wall clock, logical threads, GPU devices, the dynamic-loader
+ * registry, source maps, host-memory accounting, and the CPU-tick hooks
+ * that drive virtual-time samplers. Everything in a run is reachable from
+ * here, and two runs with the same inputs are bit-identical.
+ *
+ * Timing model: CPU work performed by a thread on the critical path
+ * advances the wall clock; GPU streams run asynchronously and a
+ * synchronize() advances the wall clock to the device completion time.
+ * Profiling overhead is charged through the same advanceCpu() path, so
+ * end-to-end overhead (Figure 6) emerges from the work each profiler does.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/cpu/cpu_info.h"
+#include "sim/cpu/sim_thread.h"
+#include "sim/gpu/gpu_device.h"
+#include "sim/loader/library_registry.h"
+#include "sim/loader/source_map.h"
+
+namespace dc::sim {
+
+/**
+ * Called on every CPU advance of a thread. Used by virtual-time samplers
+ * (sim::perf). Not re-entered: CPU work performed inside a hook does not
+ * trigger further hooks (signals are masked inside a signal handler).
+ */
+using CpuTickHook =
+    std::function<void(SimThread &, DurationNs, TimeNs wall_now)>;
+
+/** Root of one deterministic simulation run. */
+class SimContext
+{
+  public:
+    explicit SimContext(CpuInfo cpu = CpuInfo{},
+                        std::uint64_t seed = 0xdeadbeefull);
+
+    // Not copyable or movable: components hold references into it.
+    SimContext(const SimContext &) = delete;
+    SimContext &operator=(const SimContext &) = delete;
+
+    // --- Time ------------------------------------------------------------
+
+    /** Current wall-clock virtual time. */
+    TimeNs now() const { return wall_now_; }
+
+    /** Unconditionally advance the wall clock (model-level phases). */
+    void advanceWall(DurationNs delta);
+
+    /** Advance the wall clock to at least @p t. */
+    void advanceWallTo(TimeNs t);
+
+    /**
+     * Charge CPU work to the current thread. Advances the thread's CPU
+     * clock, the wall clock if the thread is on the critical path, and
+     * notifies tick hooks (unless called from inside one).
+     */
+    void advanceCpu(DurationNs delta);
+
+    /** Like advanceCpu but also tallied as profiling overhead. */
+    void chargeProfilingOverhead(DurationNs delta);
+
+    /** Total virtual time charged via chargeProfilingOverhead. */
+    DurationNs profilingOverheadTotal() const { return overhead_total_; }
+
+    // --- Threads ---------------------------------------------------------
+
+    /** Create a logical thread; the first created becomes current. */
+    SimThread &createThread(const std::string &name, ThreadKind kind,
+                            bool on_critical_path = true);
+
+    SimThread &thread(ThreadId id);
+    const SimThread &thread(ThreadId id) const;
+    std::size_t threadCount() const { return threads_.size(); }
+
+    SimThread &currentThread();
+    const SimThread &currentThread() const;
+    void setCurrentThread(ThreadId id);
+    ThreadId currentThreadId() const { return current_thread_; }
+
+    // --- Devices ---------------------------------------------------------
+
+    /** Add a GPU; returns it. Device IDs are assigned in order. */
+    GpuDevice &addDevice(GpuArch arch);
+
+    GpuDevice &device(int id);
+    const GpuDevice &device(int id) const;
+    std::size_t deviceCount() const { return devices_.size(); }
+
+    /** Block until all devices drain; advances the wall clock. */
+    void synchronizeAllDevices();
+
+    // --- Shared components -------------------------------------------
+
+    LibraryRegistry &libraries() { return libraries_; }
+    const LibraryRegistry &libraries() const { return libraries_; }
+
+    SourceMap &sources() { return sources_; }
+    const SourceMap &sources() const { return sources_; }
+
+    HostMemoryTracker &hostMemory() { return host_memory_; }
+    const HostMemoryTracker &hostMemory() const { return host_memory_; }
+
+    Rng &rng() { return rng_; }
+
+    const CpuInfo &cpu() const { return cpu_; }
+
+    // --- Tick hooks --------------------------------------------------
+
+    /** Register a CPU-tick hook; returns a token for unregistering. */
+    int addCpuTickHook(CpuTickHook hook);
+
+    /** Remove a hook by token. */
+    void removeCpuTickHook(int token);
+
+  private:
+    CpuInfo cpu_;
+    Rng rng_;
+    TimeNs wall_now_ = 0;
+    DurationNs overhead_total_ = 0;
+
+    std::vector<std::unique_ptr<SimThread>> threads_;
+    ThreadId current_thread_ = 0;
+
+    std::vector<std::unique_ptr<GpuDevice>> devices_;
+
+    LibraryRegistry libraries_;
+    SourceMap sources_;
+    HostMemoryTracker host_memory_;
+
+    std::vector<std::pair<int, CpuTickHook>> tick_hooks_;
+    int next_hook_token_ = 1;
+    bool in_tick_hook_ = false;
+};
+
+/** RAII switch of the current thread (restores the previous on exit). */
+class ThreadSwitch
+{
+  public:
+    ThreadSwitch(SimContext &ctx, ThreadId id)
+        : ctx_(ctx), previous_(ctx.currentThreadId())
+    {
+        ctx_.setCurrentThread(id);
+    }
+
+    ~ThreadSwitch() { ctx_.setCurrentThread(previous_); }
+
+    ThreadSwitch(const ThreadSwitch &) = delete;
+    ThreadSwitch &operator=(const ThreadSwitch &) = delete;
+
+  private:
+    SimContext &ctx_;
+    ThreadId previous_;
+};
+
+} // namespace dc::sim

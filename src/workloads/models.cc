@@ -1,0 +1,751 @@
+#include "workloads/models.h"
+
+#include "common/logging.h"
+
+namespace dc::workloads {
+
+namespace ops = fw::ops;
+using fw::Dtype;
+using fw::MemoryFormat;
+using fw::OpSpec;
+using fw::Shape;
+using fw::Tensor;
+
+namespace {
+
+// ----------------------------------------------------------------------
+// Shared building blocks
+// ----------------------------------------------------------------------
+
+/** Multi-head attention; eager composes bmm+softmax+bmm, JIT uses flash. */
+Tensor
+attention(ModelContext &m, const Tensor &x, ModelParams &params,
+          const std::string &prefix, int heads)
+{
+    Py frame(m, "modules/attention.py", "self_attention", 57);
+    const std::int64_t tokens = x.shape[0];
+    const std::int64_t d = x.shape[1];
+    const std::int64_t dh = d / heads;
+
+    Tensor qkv = m.apply(ops::linear(*m.env, x,
+                                     params.at(prefix + ".wqkv")));
+    if (m.fused_attention) {
+        Tensor q = m.env->newTensor({1, heads, tokens, dh}, x.dtype);
+        Tensor out = m.apply(ops::sdpaFlash(*m.env, q, q, q));
+        (void)out;
+        Tensor proj = m.apply(ops::linear(*m.env, x,
+                                          params.at(prefix + ".wo")));
+        return m.apply(ops::add(*m.env, proj, x));
+    }
+    // Eager path: explicit bmm / softmax / bmm.
+    Tensor q = m.env->newTensor({heads, tokens, dh}, x.dtype);
+    Tensor kt = m.env->newTensor({heads, dh, tokens}, x.dtype);
+    Tensor scores = m.apply(ops::bmm(*m.env, q, kt));
+    Tensor probs = m.apply(ops::softmax(*m.env, scores));
+    Tensor v = m.env->newTensor({heads, tokens, dh}, x.dtype);
+    Tensor ctx_t = m.apply(ops::bmm(*m.env, probs, v));
+    (void)ctx_t;
+    Tensor proj = m.apply(ops::linear(*m.env, x, params.at(prefix + ".wo")));
+    return m.apply(ops::add(*m.env, proj, x));
+}
+
+/** Transformer FFN block. */
+Tensor
+ffn(ModelContext &m, const Tensor &x, ModelParams &params,
+    const std::string &prefix)
+{
+    Py frame(m, "modules/mlp.py", "feed_forward", 31);
+    Tensor up = m.apply(ops::linear(*m.env, x, params.at(prefix + ".w1")));
+    Tensor act = m.apply(ops::gelu(*m.env, up));
+    Tensor down = m.apply(ops::linear(*m.env, act,
+                                      params.at(prefix + ".w2")));
+    return m.apply(ops::add(*m.env, down, x));
+}
+
+/** Cross-entropy loss: softmax + copy + nll, or the fused kernel. */
+Tensor
+crossEntropyLoss(ModelContext &m, const Tensor &logits)
+{
+    Py frame(m, "train.py", "loss_fn", 118);
+    if (m.knobs.fuse_loss)
+        return m.apply(ops::fusedSoftmaxNll(*m.env, logits));
+    Tensor probs = m.apply(ops::softmax(*m.env, logits));
+    Tensor staged = m.apply(ops::copy(*m.env, probs));
+    return m.apply(ops::nllLoss(*m.env, staged));
+}
+
+// ----------------------------------------------------------------------
+// Conformer (LibriSpeech)
+// ----------------------------------------------------------------------
+
+constexpr int kConformerLayers = 4;
+constexpr std::int64_t kConformerTokens = 768; // B=16 x T=48 frames
+constexpr std::int64_t kConformerDim = 384;
+
+ModelParams
+buildConformer(ModelContext &m, const ParamFactory &param)
+{
+    (void)m;
+    ModelParams p;
+    for (int layer = 0; layer < kConformerLayers; ++layer) {
+        const std::string lp = "layer" + std::to_string(layer);
+        p.add(lp + ".attn.wqkv",
+              param({3 * kConformerDim, kConformerDim}, Dtype::kF16,
+                    MemoryFormat::kContiguous));
+        p.add(lp + ".attn.wo", param({kConformerDim, kConformerDim},
+                                     Dtype::kF16,
+                                     MemoryFormat::kContiguous));
+        p.add(lp + ".conv.w", param({kConformerDim, kConformerDim, 9, 1},
+                                    Dtype::kF16,
+                                    MemoryFormat::kChannelsFirst));
+        p.add(lp + ".ffn.w1", param({4 * kConformerDim, kConformerDim},
+                                    Dtype::kF16,
+                                    MemoryFormat::kContiguous));
+        p.add(lp + ".ffn.w2", param({kConformerDim, 4 * kConformerDim},
+                                    Dtype::kF16,
+                                    MemoryFormat::kContiguous));
+    }
+    p.add("head", param({1024, kConformerDim}, Dtype::kF16,
+                        MemoryFormat::kContiguous));
+    return p;
+}
+
+Tensor
+forwardConformer(ModelContext &m, ModelParams &params)
+{
+    Py frame(m, "conformer/train.py", "train_step", 92);
+    Tensor x = m.env->newTensor({kConformerTokens, kConformerDim},
+                                Dtype::kF16);
+    for (int layer = 0; layer < kConformerLayers; ++layer) {
+        Py layer_frame(m, "conformer/model.py", "conformer_block",
+                       140 + layer);
+        const std::string lp = "layer" + std::to_string(layer);
+        Tensor normed = m.apply(ops::layerNorm(*m.env, x));
+        x = attention(m, normed, params, lp + ".attn", 8);
+        // Convolution module (depthwise conv over time).
+        Tensor conv_in = m.env->newTensor(
+            {16, kConformerDim, kConformerTokens / 16, 1}, Dtype::kF16,
+            MemoryFormat::kChannelsFirst);
+        Tensor conv = m.apply(ops::conv2d(*m.env, conv_in,
+                                          params.at(lp + ".conv.w"),
+                                          {1, 4}));
+        Tensor bn = m.apply(ops::batchNorm(*m.env, conv));
+        (void)bn;
+        x = ffn(m, x, params, lp + ".ffn");
+    }
+    Tensor logits = m.apply(ops::linear(*m.env, x, params.at("head")));
+    return crossEntropyLoss(m, logits);
+}
+
+// ----------------------------------------------------------------------
+// DLRM-small (Criteo 1TB)
+// ----------------------------------------------------------------------
+
+constexpr std::int64_t kDlrmBatch = 4096;
+constexpr std::int64_t kDlrmEmbDim = 128;
+constexpr int kDlrmTables = 8;
+/// Criteo's hot features: high duplicate counts per batch (§6.1).
+constexpr double kCriteoAvgDuplicates = 30.0;
+
+ModelParams
+buildDlrm(ModelContext &m, const ParamFactory &param)
+{
+    (void)m;
+    ModelParams p;
+    for (int t = 0; t < kDlrmTables; ++t) {
+        // Embedding tables use a row-wise sparse optimizer, not Adam.
+        p.addSparse("emb" + std::to_string(t),
+                    param({1 << 20, kDlrmEmbDim}, Dtype::kF32,
+                          MemoryFormat::kContiguous));
+    }
+    p.add("bottom.w0", param({512, 13}, Dtype::kF32,
+                             MemoryFormat::kContiguous));
+    p.add("bottom.w1", param({256, 512}, Dtype::kF32,
+                             MemoryFormat::kContiguous));
+    p.add("bottom.w2", param({kDlrmEmbDim, 256}, Dtype::kF32,
+                             MemoryFormat::kContiguous));
+    p.add("top.w0", param({512, kDlrmEmbDim * (kDlrmTables + 1)},
+                          Dtype::kF32, MemoryFormat::kContiguous));
+    p.add("top.w1", param({256, 512}, Dtype::kF32,
+                          MemoryFormat::kContiguous));
+    p.add("top.w2", param({1, 256}, Dtype::kF32,
+                          MemoryFormat::kContiguous));
+    return p;
+}
+
+Tensor
+forwardDlrm(ModelContext &m, ModelParams &params)
+{
+    Py frame(m, "dlrm/train.py", "train_step", 203);
+
+    // Sparse path: one embedding lookup per categorical feature.
+    std::vector<Tensor> embeddings;
+    {
+        Py sparse(m, "dlrm/model.py", "sparse_forward", 88);
+        for (int t = 0; t < kDlrmTables; ++t) {
+            // embedding_table[idx_lookup] — aten::index by default.
+            Tensor &table = params.at("emb" + std::to_string(t));
+            OpSpec lookup =
+                m.knobs.use_index_select
+                    ? ops::indexSelect(*m.env, table, kDlrmBatch,
+                                       kCriteoAvgDuplicates)
+                    : ops::index(*m.env, table, kDlrmBatch,
+                                 kCriteoAvgDuplicates);
+            embeddings.push_back(m.apply(lookup));
+        }
+    }
+
+    // Dense path: bottom MLP.
+    Tensor dense;
+    {
+        Py dense_frame(m, "dlrm/model.py", "dense_forward", 61);
+        Tensor x = m.env->newTensor({kDlrmBatch, 13}, Dtype::kF32);
+        Tensor h0 = m.apply(ops::linear(*m.env, x, params.at("bottom.w0")));
+        Tensor r0 = m.apply(ops::relu(*m.env, h0));
+        Tensor h1 = m.apply(ops::linear(*m.env, r0,
+                                        params.at("bottom.w1")));
+        Tensor r1 = m.apply(ops::relu(*m.env, h1));
+        Tensor h2 = m.apply(ops::linear(*m.env, r1,
+                                        params.at("bottom.w2")));
+        dense = m.apply(ops::relu(*m.env, h2));
+    }
+
+    // Feature interaction: batched dot products + concat.
+    Tensor interacted;
+    {
+        Py inter(m, "dlrm/model.py", "interaction", 124);
+        Tensor stacked = m.env->newTensor(
+            {kDlrmBatch, kDlrmTables + 1, kDlrmEmbDim}, Dtype::kF32);
+        Tensor stacked_t = m.env->newTensor(
+            {kDlrmBatch, kDlrmEmbDim, kDlrmTables + 1}, Dtype::kF32);
+        Tensor pairwise = m.apply(ops::bmm(*m.env, stacked, stacked_t));
+        (void)pairwise;
+        std::vector<Tensor> cat_in = embeddings;
+        cat_in.push_back(dense);
+        interacted = m.apply(ops::cat(*m.env, cat_in));
+    }
+
+    // Top MLP + loss.
+    Py top(m, "dlrm/model.py", "top_mlp", 150);
+    Tensor h0 = m.apply(ops::linear(*m.env, interacted,
+                                    params.at("top.w0")));
+    Tensor r0 = m.apply(ops::relu(*m.env, h0));
+    Tensor h1 = m.apply(ops::linear(*m.env, r0, params.at("top.w1")));
+    Tensor r1 = m.apply(ops::relu(*m.env, h1));
+    Tensor logits = m.apply(ops::linear(*m.env, r1, params.at("top.w2")));
+    return m.apply(ops::mseLoss(*m.env, logits));
+}
+
+// ----------------------------------------------------------------------
+// U-Net (fastMRI)
+// ----------------------------------------------------------------------
+
+constexpr std::int64_t kUnetBatch = 4;
+constexpr int kUnetLevels = 4;
+
+ModelParams
+buildUnet(ModelContext &m, const ParamFactory &param)
+{
+    ModelParams p;
+    const MemoryFormat fmt = m.knobs.channels_last
+                                 ? MemoryFormat::kChannelsLast
+                                 : MemoryFormat::kChannelsFirst;
+    std::int64_t ch = 16;
+    for (int level = 0; level < kUnetLevels; ++level) {
+        const std::string lp = "enc" + std::to_string(level);
+        const std::int64_t in_ch = level == 0 ? 1 : ch / 2;
+        p.add(lp + ".conv0", param({ch, in_ch, 3, 3}, Dtype::kF32, fmt));
+        p.add(lp + ".conv1", param({ch, ch, 3, 3}, Dtype::kF32, fmt));
+        ch *= 2;
+    }
+    ch /= 2;
+    for (int level = 0; level < kUnetLevels - 1; ++level) {
+        const std::string lp = "dec" + std::to_string(level);
+        p.add(lp + ".up", param({ch / 2, ch, 2, 2}, Dtype::kF32, fmt));
+        p.add(lp + ".conv0", param({ch / 2, ch, 3, 3}, Dtype::kF32, fmt));
+        ch /= 2;
+    }
+    p.add("final", param({1, ch, 1, 1}, Dtype::kF32, fmt));
+    return p;
+}
+
+Tensor
+forwardUnet(ModelContext &m, ModelParams &params)
+{
+    Py frame(m, "unet/train.py", "train_step", 77);
+    const MemoryFormat fmt = m.knobs.channels_last
+                                 ? MemoryFormat::kChannelsLast
+                                 : MemoryFormat::kChannelsFirst;
+
+    Tensor x = m.env->newTensor({kUnetBatch, 1, 320, 320}, Dtype::kF32,
+                                fmt);
+    std::vector<Tensor> skips;
+    std::int64_t ch = 16;
+
+    for (int level = 0; level < kUnetLevels; ++level) {
+        Py enc(m, "unet/model.py", "encoder_block", 45 + level);
+        const std::string lp = "enc" + std::to_string(level);
+        Tensor c0 = m.apply(ops::conv2d(*m.env, x,
+                                        params.at(lp + ".conv0")));
+        Tensor n0 = m.apply(ops::instanceNorm(*m.env, c0));
+        Tensor a0 = m.apply(ops::relu(*m.env, n0));
+        Tensor c1 = m.apply(ops::conv2d(*m.env, a0,
+                                        params.at(lp + ".conv1")));
+        Tensor n1 = m.apply(ops::instanceNorm(*m.env, c1));
+        Tensor a1 = m.apply(ops::relu(*m.env, n1));
+        skips.push_back(a1);
+        x = m.apply(ops::avgPool2d(*m.env, a1));
+        ch *= 2;
+    }
+    ch /= 2;
+
+    for (int level = 0; level < kUnetLevels - 1; ++level) {
+        Py dec(m, "unet/model.py", "decoder_block", 96 + level);
+        const std::string lp = "dec" + std::to_string(level);
+        Tensor up = m.apply(ops::convTranspose2d(*m.env, x,
+                                                 params.at(lp + ".up")));
+        Tensor merged = m.apply(ops::cat(
+            *m.env, {up, skips[static_cast<std::size_t>(
+                        kUnetLevels - 2 - level)]}));
+        Tensor c0 = m.apply(ops::conv2d(*m.env, merged,
+                                        params.at(lp + ".conv0")));
+        Tensor n0 = m.apply(ops::instanceNorm(*m.env, c0));
+        x = m.apply(ops::relu(*m.env, n0));
+        ch /= 2;
+    }
+
+    Py head(m, "unet/model.py", "output_head", 131);
+    Tensor out = m.apply(ops::conv2d(*m.env, x, params.at("final"),
+                                     {1, 0}));
+    Py loss(m, "unet/train.py", "loss_fn", 102);
+    return m.apply(ops::mseLoss(*m.env, out));
+}
+
+// ----------------------------------------------------------------------
+// GNN (OGBG-MOLPCBA)
+// ----------------------------------------------------------------------
+
+constexpr std::int64_t kGnnNodes = 1 << 15;
+constexpr std::int64_t kGnnEdges = 1 << 15;
+constexpr std::int64_t kGnnDim = 128;
+constexpr int kGnnLayers = 3;
+constexpr double kGnnAvgDuplicates = 2.2;
+
+ModelParams
+buildGnn(ModelContext &m, const ParamFactory &param)
+{
+    (void)m;
+    ModelParams p;
+    for (int layer = 0; layer < kGnnLayers; ++layer) {
+        p.add("layer" + std::to_string(layer) + ".w",
+              param({kGnnDim, kGnnDim}, Dtype::kF32,
+                    MemoryFormat::kContiguous));
+    }
+    p.add("readout", param({128, kGnnDim}, Dtype::kF32,
+                           MemoryFormat::kContiguous));
+    return p;
+}
+
+Tensor
+forwardGnn(ModelContext &m, ModelParams &params)
+{
+    Py frame(m, "gnn/train.py", "train_step", 64);
+    Tensor nodes = m.env->newTensor({kGnnNodes, kGnnDim}, Dtype::kF32);
+    nodes.requires_grad = true;
+
+    for (int layer = 0; layer < kGnnLayers; ++layer) {
+        Py mp(m, "gnn/model.py", "message_passing", 52 + layer);
+        // Gather source-node features along edges.
+        OpSpec gather_spec =
+            m.knobs.use_index_select
+                ? ops::indexSelect(*m.env, nodes, kGnnEdges,
+                                   kGnnAvgDuplicates)
+                : ops::index(*m.env, nodes, kGnnEdges, kGnnAvgDuplicates);
+        Tensor messages = m.apply(gather_spec);
+        Tensor transformed = m.apply(ops::linear(
+            *m.env, messages,
+            params.at("layer" + std::to_string(layer) + ".w")));
+        Tensor activated = m.apply(ops::relu(*m.env, transformed));
+        Tensor regularized = m.apply(ops::dropout(*m.env, activated));
+        nodes = m.apply(ops::scatterAdd(*m.env, regularized, kGnnEdges,
+                                        kGnnAvgDuplicates));
+        nodes.shape = {kGnnNodes, kGnnDim};
+    }
+
+    Py readout(m, "gnn/model.py", "readout", 97);
+    Tensor graph_repr = m.env->newTensor({512, kGnnDim}, Dtype::kF32);
+    Tensor logits = m.apply(ops::linear(*m.env, graph_repr,
+                                        params.at("readout")));
+    return crossEntropyLoss(m, logits);
+}
+
+// ----------------------------------------------------------------------
+// ResNet (ImageNet)
+// ----------------------------------------------------------------------
+
+constexpr std::int64_t kResnetBatch = 8;
+constexpr int kResnetBlocks = 8;
+
+ModelParams
+buildResnet(ModelContext &m, const ParamFactory &param)
+{
+    (void)m;
+    ModelParams p;
+    p.add("stem", param({64, 3, 7, 7}, Dtype::kF32,
+                        MemoryFormat::kChannelsFirst));
+    std::int64_t ch = 64;
+    for (int block = 0; block < kResnetBlocks; ++block) {
+        const std::string bp = "block" + std::to_string(block);
+        const std::int64_t out_ch = (block % 2 == 1) ? ch * 2 : ch;
+        p.add(bp + ".conv0", param({ch, ch, 1, 1}, Dtype::kF32,
+                                   MemoryFormat::kChannelsFirst));
+        p.add(bp + ".conv1", param({ch, ch, 3, 3}, Dtype::kF32,
+                                   MemoryFormat::kChannelsFirst));
+        p.add(bp + ".conv2", param({out_ch, ch, 1, 1}, Dtype::kF32,
+                                   MemoryFormat::kChannelsFirst));
+        ch = out_ch;
+    }
+    p.add("fc", param({1000, ch}, Dtype::kF32,
+                      MemoryFormat::kContiguous));
+    return p;
+}
+
+Tensor
+forwardResnet(ModelContext &m, ModelParams &params)
+{
+    Py frame(m, "resnet/train.py", "train_step", 118);
+    Tensor x = m.env->newTensor({kResnetBatch, 3, 224, 224}, Dtype::kF32,
+                                MemoryFormat::kChannelsFirst);
+    {
+        Py stem(m, "resnet/model.py", "stem", 33);
+        Tensor c = m.apply(ops::conv2d(*m.env, x, params.at("stem"),
+                                       {2, 3}));
+        Tensor n = m.apply(ops::batchNorm(*m.env, c));
+        Tensor a = m.apply(ops::relu(*m.env, n));
+        x = m.apply(ops::maxPool2d(*m.env, a));
+    }
+    std::int64_t spatial = 56;
+    for (int block = 0; block < kResnetBlocks; ++block) {
+        Py blk(m, "resnet/model.py", "bottleneck_block", 70 + block);
+        const std::string bp = "block" + std::to_string(block);
+        Tensor c0 = m.apply(ops::conv2d(*m.env, x, params.at(bp + ".conv0"),
+                                        {1, 0}));
+        Tensor n0 = m.apply(ops::batchNorm(*m.env, c0));
+        Tensor a0 = m.apply(ops::relu(*m.env, n0));
+        const int stride = (block % 2 == 1 && spatial > 14) ? 2 : 1;
+        Tensor c1 = m.apply(ops::conv2d(*m.env, a0,
+                                        params.at(bp + ".conv1"),
+                                        {stride, 1}));
+        Tensor n1 = m.apply(ops::batchNorm(*m.env, c1));
+        Tensor a1 = m.apply(ops::relu(*m.env, n1));
+        Tensor c2 = m.apply(ops::conv2d(*m.env, a1,
+                                        params.at(bp + ".conv2"),
+                                        {1, 0}));
+        Tensor n2 = m.apply(ops::batchNorm(*m.env, c2));
+        Tensor sum = m.apply(ops::add(*m.env, n2, n2));
+        x = m.apply(ops::relu(*m.env, sum));
+        if (stride == 2)
+            spatial /= 2;
+    }
+    Py head(m, "resnet/model.py", "classifier", 141);
+    Tensor pooled = m.apply(ops::avgPool2d(*m.env, x, 7));
+    pooled.shape = {kResnetBatch, x.shape[1]};
+    Tensor logits = m.apply(ops::linear(*m.env, pooled, params.at("fc")));
+    return crossEntropyLoss(m, logits);
+}
+
+// ----------------------------------------------------------------------
+// ViT (ImageNet)
+// ----------------------------------------------------------------------
+
+constexpr std::int64_t kVitTokens = 8 * 197; // B=8, 196 patches + cls
+constexpr std::int64_t kVitDim = 512;
+constexpr int kVitLayers = 4;
+
+ModelParams
+buildVit(ModelContext &m, const ParamFactory &param)
+{
+    (void)m;
+    ModelParams p;
+    p.add("patch", param({kVitDim, 3, 16, 16}, Dtype::kF16,
+                         MemoryFormat::kChannelsFirst));
+    for (int layer = 0; layer < kVitLayers; ++layer) {
+        const std::string lp = "layer" + std::to_string(layer);
+        p.add(lp + ".attn.wqkv", param({3 * kVitDim, kVitDim}, Dtype::kF16,
+                                       MemoryFormat::kContiguous));
+        p.add(lp + ".attn.wo", param({kVitDim, kVitDim}, Dtype::kF16,
+                                     MemoryFormat::kContiguous));
+        p.add(lp + ".ffn.w1", param({4 * kVitDim, kVitDim}, Dtype::kF16,
+                                    MemoryFormat::kContiguous));
+        p.add(lp + ".ffn.w2", param({kVitDim, 4 * kVitDim}, Dtype::kF16,
+                                    MemoryFormat::kContiguous));
+    }
+    p.add("head", param({1000, kVitDim}, Dtype::kF16,
+                        MemoryFormat::kContiguous));
+    return p;
+}
+
+Tensor
+forwardVit(ModelContext &m, ModelParams &params)
+{
+    Py frame(m, "vit/train.py", "train_step", 84);
+    Tensor images = m.env->newTensor({8, 3, 224, 224}, Dtype::kF16,
+                                     MemoryFormat::kChannelsFirst);
+    Tensor patches = m.apply(ops::conv2d(*m.env, images,
+                                         params.at("patch"), {16, 0}));
+    (void)patches;
+    Tensor x = m.env->newTensor({kVitTokens, kVitDim}, Dtype::kF16);
+    for (int layer = 0; layer < kVitLayers; ++layer) {
+        Py blk(m, "vit/model.py", "encoder_block", 58 + layer);
+        const std::string lp = "layer" + std::to_string(layer);
+        Tensor n0 = m.apply(ops::layerNorm(*m.env, x));
+        x = attention(m, n0, params, lp + ".attn", 12);
+        Tensor n1 = m.apply(ops::layerNorm(*m.env, x));
+        x = ffn(m, n1, params, lp + ".ffn");
+    }
+    Py head(m, "vit/model.py", "classifier", 120);
+    Tensor cls = m.env->newTensor({8, kVitDim}, Dtype::kF16);
+    Tensor logits = m.apply(ops::linear(*m.env, cls, params.at("head")));
+    return crossEntropyLoss(m, logits);
+}
+
+// ----------------------------------------------------------------------
+// Transformer-Big (WMT)
+// ----------------------------------------------------------------------
+
+constexpr std::int64_t kTbTokens = 32 * 64; // 32 sentences x 64 tokens
+constexpr std::int64_t kTbDim = 1024;
+constexpr std::int64_t kTbVocab = 32768;
+constexpr int kTbLayers = 4;
+constexpr int kTbLossChunks = 32; // per-sentence-chunk loss kernels
+
+ModelParams
+buildTransformerBig(ModelContext &m, const ParamFactory &param)
+{
+    (void)m;
+    ModelParams p;
+    for (int layer = 0; layer < kTbLayers; ++layer) {
+        const std::string lp = "layer" + std::to_string(layer);
+        p.add(lp + ".attn.wqkv", param({3 * kTbDim, kTbDim}, Dtype::kF16,
+                                       MemoryFormat::kContiguous));
+        p.add(lp + ".attn.wo", param({kTbDim, kTbDim}, Dtype::kF16,
+                                     MemoryFormat::kContiguous));
+        p.add(lp + ".ffn.w1", param({4 * kTbDim, kTbDim}, Dtype::kF16,
+                                    MemoryFormat::kContiguous));
+        p.add(lp + ".ffn.w2", param({kTbDim, 4 * kTbDim}, Dtype::kF16,
+                                    MemoryFormat::kContiguous));
+    }
+    p.add("vocab_proj", param({kTbVocab, kTbDim}, Dtype::kF16,
+                              MemoryFormat::kContiguous));
+    return p;
+}
+
+Tensor
+forwardTransformerBig(ModelContext &m, ModelParams &params)
+{
+    Py frame(m, "transformer/train.py", "train_step", 143);
+    Tensor x = m.env->newTensor({kTbTokens, kTbDim}, Dtype::kF16);
+    for (int layer = 0; layer < kTbLayers; ++layer) {
+        Py blk(m, "transformer/model.py", "encoder_layer", 66 + layer);
+        const std::string lp = "layer" + std::to_string(layer);
+        Tensor n0 = m.apply(ops::layerNorm(*m.env, x));
+        x = attention(m, n0, params, lp + ".attn", 16);
+        Tensor n1 = m.apply(ops::layerNorm(*m.env, x));
+        x = ffn(m, n1, params, lp + ".ffn");
+    }
+
+    // One vocabulary projection in the decoder head...
+    Tensor all_logits;
+    {
+        Py head_frame(m, "transformer/model.py", "vocab_projection", 158);
+        all_logits = m.apply(ops::linear(*m.env, x,
+                                         params.at("vocab_proj")));
+        (void)all_logits;
+    }
+    // ...then the loss evaluated per sentence chunk: many small
+    // softmax/copy/nll kernels under loss_fn (the §6.3 fusion
+    // opportunity, Figure 9).
+    Py loss_frame(m, "transformer/train.py", "loss_fn", 171);
+    Tensor loss;
+    const std::int64_t chunk_tokens = kTbTokens / kTbLossChunks;
+    for (int chunk = 0; chunk < kTbLossChunks; ++chunk) {
+        Tensor logits = m.env->newTensor({chunk_tokens, kTbVocab},
+                                         Dtype::kF16);
+        if (m.knobs.fuse_loss) {
+            loss = m.apply(ops::fusedSoftmaxNll(*m.env, logits));
+        } else {
+            Tensor probs = m.apply(ops::softmax(*m.env, logits));
+            Tensor staged = m.apply(ops::copy(*m.env, probs));
+            loss = m.apply(ops::nllLoss(*m.env, staged));
+        }
+    }
+    return loss;
+}
+
+// ----------------------------------------------------------------------
+// Decoder LLMs (Llama3-8B / Gemma-7B / nanoGPT), inference
+// ----------------------------------------------------------------------
+
+struct LlmShape {
+    const char *script;
+    int layers;
+    std::int64_t dim;
+    std::int64_t ffn_dim;
+    int tokens_per_iter;
+    bool rms_with_casts; ///< Llama/Gemma RMSNorm converts f16->f32->f16.
+};
+
+constexpr LlmShape kLlamaShape = {"llama/generate.py", 10, 3072, 8192, 4,
+                                  true};
+constexpr LlmShape kGemmaShape = {"gemma/generate.py", 9, 2560, 7168, 4,
+                                  true};
+constexpr LlmShape kNanoGptShape = {"nanogpt/sample.py", 6, 384, 1536, 8,
+                                    false};
+
+ModelParams
+buildLlm(ModelContext &m, const ParamFactory &param, const LlmShape &shape)
+{
+    (void)m;
+    ModelParams p;
+    for (int layer = 0; layer < shape.layers; ++layer) {
+        const std::string lp = "layer" + std::to_string(layer);
+        p.add(lp + ".wqkv", param({3 * shape.dim, shape.dim}, Dtype::kF16,
+                                  MemoryFormat::kContiguous));
+        p.add(lp + ".wo", param({shape.dim, shape.dim}, Dtype::kF16,
+                                MemoryFormat::kContiguous));
+        p.add(lp + ".w_gate", param({shape.ffn_dim, shape.dim},
+                                    Dtype::kF16,
+                                    MemoryFormat::kContiguous));
+        p.add(lp + ".w_down", param({shape.dim, shape.ffn_dim},
+                                    Dtype::kF16,
+                                    MemoryFormat::kContiguous));
+    }
+    p.add("lm_head", param({32000, shape.dim}, Dtype::kF16,
+                           MemoryFormat::kContiguous));
+    return p;
+}
+
+/** RMSNorm as the HF modeling code writes it: cast up, norm, cast down. */
+Tensor
+llmRmsNorm(ModelContext &m, const Tensor &x, const LlmShape &shape)
+{
+    Py frame(m, "transformers/models/modeling_llama.py", "LlamaRMSNorm",
+             69);
+    if (!shape.rms_with_casts)
+        return m.apply(ops::layerNorm(*m.env, x));
+    Tensor up = m.apply(ops::to(*m.env, x, Dtype::kF32));
+    Tensor normed = m.apply(ops::rmsNorm(*m.env, up));
+    return m.apply(ops::to(*m.env, normed, Dtype::kF16));
+}
+
+Tensor
+forwardLlm(ModelContext &m, ModelParams &params, const LlmShape &shape)
+{
+    // HuggingFace-style generation stacks are deep: generate ->
+    // sample -> forward -> Model.__call__ -> per-module __call__ chains.
+    // The depth is what makes call-path collection expensive on these
+    // workloads (the Figure 6 Llama/Gemma spike).
+    Py frame(m, shape.script, "generate", 31);
+    Py sample(m, "transformers/generation/utils.py", "_sample", 2641);
+    Tensor logits;
+    for (int token = 0; token < shape.tokens_per_iter; ++token) {
+        Py decode(m, shape.script, "decode_one_token", 58);
+        Py model_call(m, "torch/nn/modules/module.py", "_call_impl",
+                      1518);
+        Py model_fwd(m, "transformers/models/modeling_llama.py",
+                     "LlamaModel.forward", 978);
+        // Single-token decode: [1, dim] activations, tiny kernels.
+        Tensor x = m.env->newTensor({1, shape.dim}, Dtype::kF16);
+        for (int layer = 0; layer < shape.layers; ++layer) {
+            Py lyr_call(m, "torch/nn/modules/module.py", "_call_impl",
+                        1518 + layer);
+            Py lyr(m, "transformers/models/modeling_llama.py",
+                   "LlamaDecoderLayer", 310 + layer);
+            Tensor n0 = llmRmsNorm(m, x, shape);
+            Tensor qkv;
+            {
+                Py attn_frame(m, "transformers/models/modeling_llama.py",
+                              "LlamaAttention.forward", 450);
+                qkv = m.apply(ops::linear(
+                    *m.env, n0,
+                    params.at("layer" + std::to_string(layer) + ".wqkv")));
+                (void)qkv;
+                Tensor q = m.env->newTensor({1, 8, 1, shape.dim / 8},
+                                            Dtype::kF16);
+                Tensor attn_out = m.apply(ops::sdpaFlash(*m.env, q, q, q));
+                (void)attn_out;
+            }
+            Tensor proj = m.apply(ops::linear(
+                *m.env, n0,
+                params.at("layer" + std::to_string(layer) + ".wo")));
+            Tensor res0 = m.apply(ops::add(*m.env, proj, x));
+            Tensor n1 = llmRmsNorm(m, res0, shape);
+            Py mlp_frame(m, "transformers/models/modeling_llama.py",
+                         "LlamaMLP.forward", 230);
+            Tensor gate = m.apply(ops::linear(
+                *m.env, n1,
+                params.at("layer" + std::to_string(layer) + ".w_gate")));
+            Tensor act = m.apply(ops::mul(*m.env, gate, gate));
+            Tensor down = m.apply(ops::linear(
+                *m.env, act,
+                params.at("layer" + std::to_string(layer) + ".w_down")));
+            x = m.apply(ops::add(*m.env, down, res0));
+        }
+        Py head(m, shape.script, "lm_head", 84);
+        logits = m.apply(ops::linear(*m.env, x, params.at("lm_head")));
+        Tensor probs = m.apply(ops::softmax(*m.env, logits));
+        (void)probs;
+    }
+    return logits;
+}
+
+} // namespace
+
+const ModelDef &
+modelDef(WorkloadId id)
+{
+    static const std::map<WorkloadId, ModelDef> defs = [] {
+        std::map<WorkloadId, ModelDef> out;
+        out[WorkloadId::kConformer] = {WorkloadId::kConformer,
+                                       buildConformer, forwardConformer};
+        out[WorkloadId::kDlrmSmall] = {WorkloadId::kDlrmSmall, buildDlrm,
+                                       forwardDlrm};
+        out[WorkloadId::kUnet] = {WorkloadId::kUnet, buildUnet,
+                                  forwardUnet};
+        out[WorkloadId::kGnn] = {WorkloadId::kGnn, buildGnn, forwardGnn};
+        out[WorkloadId::kResnet] = {WorkloadId::kResnet, buildResnet,
+                                    forwardResnet};
+        out[WorkloadId::kVit] = {WorkloadId::kVit, buildVit, forwardVit};
+        out[WorkloadId::kTransformerBig] = {WorkloadId::kTransformerBig,
+                                            buildTransformerBig,
+                                            forwardTransformerBig};
+        out[WorkloadId::kLlama3] = {
+            WorkloadId::kLlama3,
+            [](ModelContext &m, const ParamFactory &p) {
+                return buildLlm(m, p, kLlamaShape);
+            },
+            [](ModelContext &m, ModelParams &params) {
+                return forwardLlm(m, params, kLlamaShape);
+            }};
+        out[WorkloadId::kGemma] = {
+            WorkloadId::kGemma,
+            [](ModelContext &m, const ParamFactory &p) {
+                return buildLlm(m, p, kGemmaShape);
+            },
+            [](ModelContext &m, ModelParams &params) {
+                return forwardLlm(m, params, kGemmaShape);
+            }};
+        out[WorkloadId::kNanoGpt] = {
+            WorkloadId::kNanoGpt,
+            [](ModelContext &m, const ParamFactory &p) {
+                return buildLlm(m, p, kNanoGptShape);
+            },
+            [](ModelContext &m, ModelParams &params) {
+                return forwardLlm(m, params, kNanoGptShape);
+            }};
+        return out;
+    }();
+    return defs.at(id);
+}
+
+} // namespace dc::workloads

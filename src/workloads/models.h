@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * The ten evaluation models, written once against a framework-agnostic
+ * apply() function so the same model code runs eagerly (torchsim) or
+ * under tracing (jaxsim). Python scopes annotate every phase the way the
+ * real training scripts would, giving DLMonitor real frames to merge.
+ */
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "framework/ops/op_library.h"
+#include "pyrt/py_interp.h"
+#include "sim/sim_context.h"
+#include "workloads/workload.h"
+
+namespace dc::workloads {
+
+/** Creates a parameter tensor (framework-specific allocation). */
+using ParamFactory = std::function<fw::Tensor(
+    fw::Shape, fw::Dtype, fw::MemoryFormat)>;
+
+/** Executes one planned op (eager run or trace apply). */
+using ApplyFn = std::function<fw::Tensor(const fw::OpSpec &)>;
+
+/** Everything a model forward needs. */
+struct ModelContext {
+    sim::SimContext *ctx = nullptr;
+    const pyrt::PyInterpreter *interp = nullptr;
+    fw::OpEnv *env = nullptr;
+    ApplyFn apply;
+    /// True under jaxsim: XLA provides a fused attention kernel.
+    bool fused_attention = false;
+    WorkloadKnobs knobs;
+};
+
+/** RAII Python scope on the current simulated thread. */
+class Py
+{
+  public:
+    Py(ModelContext &m, std::string file, std::string function, int line)
+        : scope_(m.ctx->currentThread().pyStack(),
+                 m.ctx->currentThread().nativeStack(), *m.interp,
+                 pyrt::PyFrame{std::move(file), std::move(function), line})
+    {
+    }
+
+  private:
+    pyrt::PyScope scope_;
+};
+
+/** Named parameter set of a model. */
+struct ModelParams {
+    std::map<std::string, fw::Tensor> tensors;
+    std::uint64_t total_bytes = 0;
+    /// Bytes held in sparse tables (embedding tables): updated row-wise
+    /// by the optimizer, not by the dense Adam step.
+    std::uint64_t sparse_bytes = 0;
+
+    void
+    add(const std::string &name, fw::Tensor tensor)
+    {
+        total_bytes += tensor.bytes();
+        tensors[name] = std::move(tensor);
+    }
+
+    void
+    addSparse(const std::string &name, fw::Tensor tensor)
+    {
+        sparse_bytes += tensor.bytes();
+        add(name, std::move(tensor));
+    }
+
+    std::uint64_t denseBytes() const { return total_bytes - sparse_bytes; }
+
+    fw::Tensor &at(const std::string &name) { return tensors.at(name); }
+};
+
+/** A model: parameter construction plus the per-iteration forward. */
+struct ModelDef {
+    WorkloadId id;
+    std::function<ModelParams(ModelContext &, const ParamFactory &)> build;
+    /// Returns the loss tensor (training) or last output (inference).
+    std::function<fw::Tensor(ModelContext &, ModelParams &)> forward;
+};
+
+/** Lookup the definition for a workload. */
+const ModelDef &modelDef(WorkloadId id);
+
+} // namespace dc::workloads

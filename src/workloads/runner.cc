@@ -1,0 +1,367 @@
+#include "workloads/runner.h"
+
+#include "baselines/trace_profiler.h"
+#include "common/logging.h"
+#include "framework/jaxsim/jax_session.h"
+#include "framework/torchsim/data_loader.h"
+#include "framework/torchsim/torch_session.h"
+#include "pyrt/py_interp.h"
+#include "sim/runtime/gpu_runtime.h"
+
+namespace dc::workloads {
+
+const char *
+frameworkName(FrameworkSel framework)
+{
+    switch (framework) {
+      case FrameworkSel::kTorch: return "PyTorch";
+      case FrameworkSel::kJax: return "JAX";
+    }
+    return "?";
+}
+
+const char *
+platformName(PlatformSel platform)
+{
+    switch (platform) {
+      case PlatformSel::kNvidiaA100: return "Nvidia";
+      case PlatformSel::kAmdMi250: return "AMD";
+    }
+    return "?";
+}
+
+sim::GpuArch
+archFor(PlatformSel platform)
+{
+    return platform == PlatformSel::kNvidiaA100 ? sim::makeA100()
+                                                : sim::makeMi250();
+}
+
+std::uint64_t
+dramBytesFor(PlatformSel platform)
+{
+    // Table 2: 256 GB on the Nvidia node, 2048 GB on the AMD node.
+    return platform == PlatformSel::kNvidiaA100
+               ? 256ull << 30
+               : 2048ull << 30;
+}
+
+const char *
+profilerModeName(ProfilerMode mode)
+{
+    switch (mode) {
+      case ProfilerMode::kNone: return "none";
+      case ProfilerMode::kFrameworkProfiler: return "framework-profiler";
+      case ProfilerMode::kDeepContext: return "DeepContext";
+      case ProfilerMode::kDeepContextNative: return "DeepContext-Native";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Data-loader parameters for workloads that stream from disk. */
+std::optional<fw::DataLoaderConfig>
+loaderConfigFor(WorkloadId id, const WorkloadKnobs &knobs)
+{
+    if (id != WorkloadId::kUnet)
+        return std::nullopt;
+    fw::DataLoaderConfig config;
+    // The fastMRI input pipeline hard-codes 16 workers (§6.4).
+    config.num_workers = knobs.data_loader_workers > 0
+                             ? knobs.data_loader_workers
+                             : 16;
+    config.cpu_work_per_batch_ns = 30 * kNsPerMs;
+    config.first_batch_disk_ns = 250 * kNsPerMs;
+    config.batch_bytes = 64ull << 20;
+    config.host_buffer_bytes = 1ull << 30;
+    config.python_file = "unet/input_pipeline.py";
+    return config;
+}
+
+prof::ProfilerConfig
+profilerConfigFor(const RunConfig &config)
+{
+    prof::ProfilerConfig pc;
+    pc.native_path = config.profiler == ProfilerMode::kDeepContextNative;
+    pc.cpu_sampling = config.cpu_sampling;
+    pc.pc_sampling = config.knobs.pc_sampling;
+    return pc;
+}
+
+/** Shared measurement collection at the end of a run. */
+void
+collectCommon(RunResult &result, sim::SimContext &ctx, int device)
+{
+    result.end_to_end_ns = ctx.now();
+    result.gpu_kernel_time_ns = ctx.device(device).totalKernelTime();
+    result.kernel_count = ctx.device(device).kernelCount();
+    result.peak_host_bytes = ctx.hostMemory().peakBytes();
+    result.profiling_overhead_ns = ctx.profilingOverheadTotal();
+    for (ThreadId t = 0; t < ctx.threadCount(); ++t) {
+        if (ctx.thread(t).onCriticalPath())
+            result.cpu_time_ns += ctx.thread(t).cpuTime();
+    }
+}
+
+RunResult
+runTorch(const RunConfig &config)
+{
+    RunResult result;
+    const ModelDef &model = modelDef(config.workload);
+    const bool training = !workloadIsInference(config.workload);
+
+    sim::SimContext ctx(config.cpu, config.seed);
+    ctx.addDevice(archFor(config.platform));
+    sim::GpuRuntime runtime(ctx);
+    pyrt::PyInterpreter interp(ctx.libraries());
+
+    result.baseline_host_bytes =
+        workloadHostBaselineBytes(config.workload);
+    ctx.hostMemory().allocate("workload", result.baseline_host_bytes);
+
+    fw::TorchConfig torch_config;
+    torch_config.training = training;
+    fw::TorchSession session(ctx, runtime, torch_config);
+    session.opEnv().vectorized_casts = config.knobs.vectorized_casts;
+    session.opEnv().norm_cta_fix = config.knobs.norm_cta_fix;
+
+    // Profiler attachment.
+    std::unique_ptr<dlmon::DlMonitor> monitor;
+    std::unique_ptr<prof::Profiler> profiler;
+    std::unique_ptr<baselines::TraceProfiler> tracer;
+    if (config.profiler == ProfilerMode::kDeepContext ||
+        config.profiler == ProfilerMode::kDeepContextNative) {
+        dlmon::DlMonitorOptions options;
+        options.ctx = &ctx;
+        options.runtime = &runtime;
+        options.interp = &interp;
+        options.torch = &session;
+        options.enable_callpath_cache = !config.disable_callpath_cache;
+        monitor = dlmon::DlMonitor::init(options);
+        profiler = std::make_unique<prof::Profiler>(
+            *monitor, profilerConfigFor(config));
+    } else if (config.profiler == ProfilerMode::kFrameworkProfiler) {
+        tracer = std::make_unique<baselines::TraceProfiler>(
+            ctx, runtime, 0, &session, nullptr);
+    }
+
+    // Build parameters.
+    ModelContext mctx;
+    mctx.ctx = &ctx;
+    mctx.interp = &interp;
+    mctx.env = &session.opEnv();
+    mctx.apply = [&session](const fw::OpSpec &spec) {
+        return session.run(spec);
+    };
+    mctx.fused_attention = false;
+    mctx.knobs = config.knobs;
+
+    ModelParams params = model.build(
+        mctx, [&session](fw::Shape shape, fw::Dtype dtype,
+                         fw::MemoryFormat format) {
+            return session.parameter(std::move(shape), dtype, format);
+        });
+
+    std::optional<fw::DataLoader> loader;
+    if (auto loader_config = loaderConfigFor(config.workload,
+                                             config.knobs)) {
+        loader.emplace(ctx, interp, *loader_config);
+    }
+
+    // Training / generation loop.
+    pyrt::PyScope main_scope(ctx.currentThread().pyStack(),
+                             ctx.currentThread().nativeStack(), interp,
+                             {"train.py", "main", 22});
+    DurationNs prev_compute = 0;
+    for (int iteration = 0; iteration < config.iterations; ++iteration) {
+        const TimeNs iter_start = ctx.now();
+        if (loader) {
+            Py fetch(mctx, "train.py", "next_batch", 31);
+            loader->nextBatch(prev_compute);
+        }
+        model.forward(mctx, params);
+        if (training) {
+            {
+                Py bwd(mctx, "train.py", "backward", 64);
+                session.backward();
+            }
+            Py opt(mctx, "train.py", "optimizer_step", 71);
+            session.run(fw::ops::adamStep(session.opEnv(),
+                                          params.denseBytes()));
+        }
+        session.endIteration();
+        session.synchronize();
+        prev_compute = ctx.now() - iter_start;
+    }
+    session.synchronize();
+
+    result.op_dispatches = session.opCount();
+
+    if (tracer != nullptr) {
+        result.trace_events = tracer->eventCount();
+        result.trace_bytes = tracer->traceBytes();
+        const auto exported =
+            tracer->exportChromeTrace(dramBytesFor(config.platform));
+        result.export_oom = exported.oom;
+        if (!exported.oom) {
+            // Export peak counts toward the run's memory footprint.
+            result.peak_host_bytes = ctx.hostMemory().peakBytes();
+        } else {
+            // The paper reports infinity: the process died at the DRAM
+            // ceiling.
+            result.peak_host_bytes = dramBytesFor(config.platform);
+        }
+        tracer->detach();
+    }
+    if (profiler != nullptr) {
+        result.profiler_stats = profiler->stats();
+        auto db = profiler->finish();
+        if (config.keep_profile)
+            result.profile = std::move(db);
+    }
+    if (monitor != nullptr) {
+        result.dlmonitor_stats = monitor->stats();
+        monitor->finalize();
+    }
+
+    collectCommon(result, ctx, 0);
+    if (tracer != nullptr && result.export_oom)
+        result.peak_host_bytes = dramBytesFor(config.platform);
+    return result;
+}
+
+RunResult
+runJax(const RunConfig &config)
+{
+    RunResult result;
+    const ModelDef &model = modelDef(config.workload);
+    const bool training = !workloadIsInference(config.workload);
+
+    sim::SimContext ctx(config.cpu, config.seed);
+    ctx.addDevice(archFor(config.platform));
+    sim::GpuRuntime runtime(ctx);
+    pyrt::PyInterpreter interp(ctx.libraries());
+
+    result.baseline_host_bytes =
+        workloadHostBaselineBytes(config.workload);
+    ctx.hostMemory().allocate("workload", result.baseline_host_bytes);
+
+    fw::JaxConfig jax_config;
+    jax_config.training = training;
+    fw::JaxSession session(ctx, runtime, jax_config);
+    session.opEnv().vectorized_casts = config.knobs.vectorized_casts;
+    session.opEnv().norm_cta_fix = config.knobs.norm_cta_fix;
+
+    std::unique_ptr<dlmon::DlMonitor> monitor;
+    std::unique_ptr<prof::Profiler> profiler;
+    std::unique_ptr<baselines::TraceProfiler> tracer;
+    if (config.profiler == ProfilerMode::kDeepContext ||
+        config.profiler == ProfilerMode::kDeepContextNative) {
+        dlmon::DlMonitorOptions options;
+        options.ctx = &ctx;
+        options.runtime = &runtime;
+        options.interp = &interp;
+        options.jax = &session;
+        options.enable_callpath_cache = !config.disable_callpath_cache;
+        monitor = dlmon::DlMonitor::init(options);
+        profiler = std::make_unique<prof::Profiler>(
+            *monitor, profilerConfigFor(config));
+    } else if (config.profiler == ProfilerMode::kFrameworkProfiler) {
+        tracer = std::make_unique<baselines::TraceProfiler>(
+            ctx, runtime, 0, nullptr, &session);
+    }
+
+    ModelParams params;
+    {
+        ModelContext build_ctx;
+        build_ctx.ctx = &ctx;
+        build_ctx.interp = &interp;
+        build_ctx.env = &session.opEnv();
+        build_ctx.knobs = config.knobs;
+        params = model.build(
+            build_ctx,
+            [&session](fw::Shape shape, fw::Dtype dtype,
+                       fw::MemoryFormat format) {
+                (void)format; // XLA assigns layouts itself.
+                return session.parameter(std::move(shape), dtype);
+            });
+    }
+
+    pyrt::PyScope main_scope(ctx.currentThread().pyStack(),
+                             ctx.currentThread().nativeStack(), interp,
+                             {"train.py", "main", 22});
+
+    // Trace + compile once (jax.jit), then run the executable.
+    fw::JaxExecutable *executable = nullptr;
+    {
+        pyrt::PyScope jit_scope(ctx.currentThread().pyStack(),
+                                ctx.currentThread().nativeStack(), interp,
+                                {"train.py", "train_step", 48});
+        executable = &session.jit(
+            workloadName(config.workload), [&](fw::JaxTracer &tracer_ref) {
+                ModelContext mctx;
+                mctx.ctx = &ctx;
+                mctx.interp = &interp;
+                mctx.env = &session.opEnv();
+                mctx.apply = [&tracer_ref](const fw::OpSpec &spec) {
+                    return tracer_ref.apply(spec);
+                };
+                mctx.fused_attention = true;
+                mctx.knobs = config.knobs;
+                model.forward(mctx, params);
+                if (training) {
+                    tracer_ref.apply(fw::ops::adamStep(
+                        session.opEnv(), params.denseBytes()));
+                }
+            });
+    }
+
+    for (int iteration = 0; iteration < config.iterations; ++iteration) {
+        pyrt::PyScope step_scope(ctx.currentThread().pyStack(),
+                                 ctx.currentThread().nativeStack(),
+                                 interp,
+                                 {"train.py", "train_step", 48});
+        session.run(*executable);
+        session.synchronize();
+    }
+    session.synchronize();
+
+    result.op_dispatches = session.stepCount();
+
+    if (tracer != nullptr) {
+        result.trace_events = tracer->eventCount();
+        result.trace_bytes = tracer->traceBytes();
+        const auto exported =
+            tracer->exportChromeTrace(dramBytesFor(config.platform));
+        result.export_oom = exported.oom;
+        tracer->detach();
+    }
+    if (profiler != nullptr) {
+        result.profiler_stats = profiler->stats();
+        auto db = profiler->finish();
+        if (config.keep_profile)
+            result.profile = std::move(db);
+    }
+    if (monitor != nullptr) {
+        result.dlmonitor_stats = monitor->stats();
+        monitor->finalize();
+    }
+
+    collectCommon(result, ctx, 0);
+    if (tracer != nullptr && result.export_oom)
+        result.peak_host_bytes = dramBytesFor(config.platform);
+    return result;
+}
+
+} // namespace
+
+RunResult
+runWorkload(const RunConfig &config)
+{
+    DC_CHECK(config.iterations > 0, "run needs iterations");
+    return config.framework == FrameworkSel::kTorch ? runTorch(config)
+                                                    : runJax(config);
+}
+
+} // namespace dc::workloads

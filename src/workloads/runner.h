@@ -1,0 +1,100 @@
+#pragma once
+
+/**
+ * @file
+ * The run harness: one function that assembles a full simulated process
+ * (context, device, runtime, framework session, optional profiler),
+ * executes N iterations of a workload, and reports the measurements the
+ * paper's evaluation uses (end-to-end time, GPU time, kernel counts,
+ * peak host memory, OOM flags, and optionally the finished profile).
+ */
+
+#include <memory>
+#include <optional>
+
+#include "dlmonitor/dlmonitor.h"
+#include "profiler/profiler.h"
+#include "sim/cpu/cpu_info.h"
+#include "workloads/models.h"
+#include "workloads/workload.h"
+
+namespace dc::workloads {
+
+/** Which framework executes the model. */
+enum class FrameworkSel {
+    kTorch,
+    kJax,
+};
+
+const char *frameworkName(FrameworkSel framework);
+
+/** Which evaluation platform (Table 2). */
+enum class PlatformSel {
+    kNvidiaA100,
+    kAmdMi250,
+};
+
+const char *platformName(PlatformSel platform);
+
+/** GPU architecture preset for a platform. */
+sim::GpuArch archFor(PlatformSel platform);
+
+/** Host DRAM capacity of a platform (Table 2). */
+std::uint64_t dramBytesFor(PlatformSel platform);
+
+/** Profiler attached to the run (the Figure 6 configurations). */
+enum class ProfilerMode {
+    kNone,
+    kFrameworkProfiler,   ///< PyTorch-profiler / JAX-profiler baseline.
+    kDeepContext,         ///< Python + framework call paths.
+    kDeepContextNative,   ///< Plus native C/C++ call paths.
+};
+
+const char *profilerModeName(ProfilerMode mode);
+
+/** One run's configuration. */
+struct RunConfig {
+    WorkloadId workload = WorkloadId::kResnet;
+    FrameworkSel framework = FrameworkSel::kTorch;
+    PlatformSel platform = PlatformSel::kNvidiaA100;
+    ProfilerMode profiler = ProfilerMode::kNone;
+    int iterations = 100;
+    WorkloadKnobs knobs;
+    /// Enable DeepContext CPU sampling (CPU_TIME/REAL_TIME, §6.4).
+    bool cpu_sampling = false;
+    /// Host CPU visible to the run (§6.4 uses a 6-core allocation).
+    sim::CpuInfo cpu = sim::makeEpyc7543();
+    std::uint64_t seed = 42;
+    /// Retain the profile database in the result (DeepContext modes).
+    bool keep_profile = false;
+    /// Disable DLMonitor's call-path cache (ablation A1).
+    bool disable_callpath_cache = false;
+};
+
+/** One run's measurements. */
+struct RunResult {
+    DurationNs end_to_end_ns = 0;
+    DurationNs gpu_kernel_time_ns = 0;
+    /// CPU time of the critical-path threads (main + autograd engine).
+    DurationNs cpu_time_ns = 0;
+    std::uint64_t kernel_count = 0;
+    std::uint64_t op_dispatches = 0;
+    std::uint64_t peak_host_bytes = 0;
+    std::uint64_t baseline_host_bytes = 0;
+    DurationNs profiling_overhead_ns = 0;
+
+    /// Framework-profiler runs: trace size and export outcome.
+    std::uint64_t trace_events = 0;
+    std::uint64_t trace_bytes = 0;
+    bool export_oom = false;
+
+    /// DeepContext runs with keep_profile.
+    std::unique_ptr<prof::ProfileDb> profile;
+    dlmon::DlMonitorStats dlmonitor_stats;
+    prof::ProfilerStats profiler_stats;
+};
+
+/** Execute one configured run. */
+RunResult runWorkload(const RunConfig &config);
+
+} // namespace dc::workloads

@@ -1,0 +1,68 @@
+#include "workloads/workload.h"
+
+namespace dc::workloads {
+
+const char *
+workloadName(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::kConformer: return "Conformer";
+      case WorkloadId::kDlrmSmall: return "DLRM-small";
+      case WorkloadId::kUnet: return "UNet";
+      case WorkloadId::kGnn: return "GNN";
+      case WorkloadId::kResnet: return "ResNet";
+      case WorkloadId::kVit: return "ViT";
+      case WorkloadId::kTransformerBig: return "Transformer-Big";
+      case WorkloadId::kLlama3: return "Llama3-8B";
+      case WorkloadId::kGemma: return "Gemma-7B";
+      case WorkloadId::kNanoGpt: return "NanoGPT";
+    }
+    return "?";
+}
+
+const char *
+workloadDataset(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::kConformer: return "LibriSpeech";
+      case WorkloadId::kDlrmSmall: return "Criteo 1TB";
+      case WorkloadId::kUnet: return "fastMRI";
+      case WorkloadId::kGnn: return "OGBG-MOLPCBA";
+      case WorkloadId::kResnet: return "ImageNet";
+      case WorkloadId::kVit: return "ImageNet";
+      case WorkloadId::kTransformerBig: return "WMT";
+      case WorkloadId::kLlama3: return "Sample Prompt";
+      case WorkloadId::kGemma: return "Sample Prompt";
+      case WorkloadId::kNanoGpt: return "Sample Prompt";
+    }
+    return "?";
+}
+
+bool
+workloadIsInference(WorkloadId id)
+{
+    return id == WorkloadId::kLlama3 || id == WorkloadId::kGemma ||
+           id == WorkloadId::kNanoGpt;
+}
+
+std::uint64_t
+workloadHostBaselineBytes(WorkloadId id)
+{
+    // Host-process footprints (code + CPU-side buffers + pinned staging).
+    constexpr std::uint64_t kMb = 1ull << 20;
+    switch (id) {
+      case WorkloadId::kConformer: return 1600 * kMb;
+      case WorkloadId::kDlrmSmall: return 6144 * kMb; // Criteo shards
+      case WorkloadId::kUnet: return 2048 * kMb;
+      case WorkloadId::kGnn: return 1200 * kMb;
+      case WorkloadId::kResnet: return 2500 * kMb;
+      case WorkloadId::kVit: return 2500 * kMb;
+      case WorkloadId::kTransformerBig: return 1800 * kMb;
+      case WorkloadId::kLlama3: return 2048 * kMb;
+      case WorkloadId::kGemma: return 1800 * kMb;
+      case WorkloadId::kNanoGpt: return 512 * kMb;
+    }
+    return 1024 * kMb;
+}
+
+} // namespace dc::workloads

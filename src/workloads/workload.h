@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * Workload identity and configuration: the ten MLCommons-AlgoPerf-derived
+ * models of the paper's evaluation (Section 5), each implemented once and
+ * runnable under both simulated frameworks.
+ *
+ * Per-workload knobs encode the case-study optimizations so each Table 3
+ * row is a before/after pair of the same model.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace dc::workloads {
+
+/** The evaluated workloads. */
+enum class WorkloadId {
+    kConformer,
+    kDlrmSmall,
+    kUnet,
+    kGnn,
+    kResnet,
+    kVit,
+    kTransformerBig,
+    kLlama3,
+    kGemma,
+    kNanoGpt,
+};
+
+constexpr int kNumWorkloads = 10;
+
+/** Printable workload name. */
+const char *workloadName(WorkloadId id);
+
+/** Dataset used by the workload (Section 5). */
+const char *workloadDataset(WorkloadId id);
+
+/** True for inference-only workloads (Llama3, Gemma, nanoGPT). */
+bool workloadIsInference(WorkloadId id);
+
+/** Baseline host-memory footprint of the workload process. */
+std::uint64_t workloadHostBaselineBytes(WorkloadId id);
+
+/** Case-study optimization toggles (all off = the paper's baseline). */
+struct WorkloadKnobs {
+    /// §6.1: replace aten::index with aten::index_select (DLRM, GNN).
+    bool use_index_select = false;
+    /// §6.2: store tensors channels_last end-to-end (U-Net).
+    bool channels_last = false;
+    /// §6.4: data-loader worker count; 0 = the workload's (bad) default.
+    int data_loader_workers = 0;
+    /// §6.3: fuse the loss kernels (Transformer-Big).
+    bool fuse_loss = false;
+    /// §6.7: vectorized dtype-conversion instructions (Llama3).
+    bool vectorized_casts = false;
+    /// §6.5: fix the norm template's CTA count on wide-warp devices.
+    bool norm_cta_fix = false;
+    /// Enable fine-grained PC sampling during profiling.
+    bool pc_sampling = false;
+};
+
+} // namespace dc::workloads

@@ -1,0 +1,304 @@
+/** @file Tests for the analyzer (5 paper analyses + extras) and the GUI. */
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyses.h"
+#include "analyzer/diff.h"
+#include "gui/flamegraph.h"
+#include "gui/ide_protocol.h"
+#include "profiler/profile_db.h"
+
+namespace dc::analysis {
+namespace {
+
+using dlmon::Frame;
+using prof::Cct;
+using prof::CctNode;
+using prof::MetricRegistry;
+using prof::ProfileDb;
+
+/** Build a synthetic profile with planted patterns. */
+std::unique_ptr<ProfileDb>
+syntheticProfile()
+{
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    const int gpu = metrics.intern("gpu_time_ns");
+    const int cpu = metrics.intern("cpu_time_ns");
+    const int count = metrics.intern("kernel_count");
+    const int grid = metrics.intern("grid_blocks");
+    const int stall_total = metrics.intern("stall_samples");
+    const int stall_const = metrics.intern("stall_constant_miss");
+    const int stall_none = metrics.intern("stall_issued");
+
+    // Hotspot: one kernel with 60% of GPU time, low grid.
+    CctNode *hot = cct->insert(
+        {Frame::python("train.py", "train_step", 10),
+         Frame::op("aten::conv2d"), Frame::kernel("big_kernel")});
+    cct->addMetric(hot, gpu, 600'000.0);
+    cct->addMetric(hot, count, 1.0);
+    cct->addMetric(hot, grid, 16.0, false);
+
+    // Instruction child with constant-miss stalls.
+    bool created = false;
+    CctNode *inst = hot->child(Frame::instruction(0x40, 4), &created);
+    cct->addMetric(inst, stall_total, 20.0);
+    cct->addMetric(inst, stall_const, 16.0, false);
+    cct->addMetric(inst, stall_none, 4.0, false);
+
+    // Forward/backward anomaly: index op with huge backward child.
+    CctNode *fwd_kernel = cct->insert(
+        {Frame::python("train.py", "train_step", 10),
+         Frame::op("aten::index"), Frame::kernel("gather_kernel")});
+    cct->addMetric(fwd_kernel, gpu, 10'000.0);
+    cct->addMetric(fwd_kernel, count, 1.0);
+    CctNode *bwd_kernel = cct->insert(
+        {Frame::python("train.py", "train_step", 10),
+         Frame::op("aten::index"), Frame::op("IndexBackward0"),
+         Frame::kernel("indexing_backward_kernel")});
+    cct->addMetric(bwd_kernel, gpu, 200'000.0);
+    cct->addMetric(bwd_kernel, count, 1.0);
+
+    // Kernel-fusion opportunity: loss_fn with 100 tiny kernels.
+    CctNode *loss = cct->insert(
+        {Frame::python("train.py", "loss_fn", 50),
+         Frame::op("aten::softmax"), Frame::kernel("tiny_softmax")});
+    for (int i = 0; i < 100; ++i) {
+        cct->addMetric(loss, gpu, 2'000.0);
+        cct->addMetric(loss, count, 1.0);
+    }
+
+    // CPU latency: data_selection with lots of CPU, no GPU.
+    CctNode *loader = cct->insert(
+        {Frame::python("input_pipeline.py", "data_selection", 74)});
+    cct->addMetric(loader, cpu, 5'000'000.0);
+    CctNode *main_cpu = cct->insert(
+        {Frame::python("train.py", "train_step", 10)});
+    cct->addMetric(main_cpu, cpu, 1'000'000.0);
+
+    // Layout conversions: 10% of GPU time.
+    CctNode *conv = cct->insert(
+        {Frame::python("train.py", "train_step", 10),
+         Frame::op("aten::conv2d"),
+         Frame::kernel("cudnn::nchwToNhwcKernel")});
+    cct->addMetric(conv, gpu, 120'000.0);
+    cct->addMetric(conv, count, 1.0);
+
+    return std::make_unique<ProfileDb>(std::move(cct), std::move(metrics),
+                                       std::map<std::string,
+                                                std::string>{});
+}
+
+bool
+hasIssue(const std::vector<Issue> &issues, const std::string &analysis)
+{
+    for (const Issue &issue : issues) {
+        if (issue.analysis == analysis)
+            return true;
+    }
+    return false;
+}
+
+TEST(Analyzer, AllPlantedPatternsDetected)
+{
+    auto db = syntheticProfile();
+    AnalysisContext ctx(*db, nullptr, nullptr, /*sm_count=*/108);
+    Analyzer analyzer = Analyzer::withDefaultAnalyses();
+    const auto issues = analyzer.runAll(ctx);
+
+    EXPECT_TRUE(hasIssue(issues, "hotspot"));
+    EXPECT_TRUE(hasIssue(issues, "kernel_fusion"));
+    EXPECT_TRUE(hasIssue(issues, "forward_backward"));
+    EXPECT_TRUE(hasIssue(issues, "fine_grained_stall"));
+    EXPECT_TRUE(hasIssue(issues, "cpu_latency"));
+    EXPECT_TRUE(hasIssue(issues, "layout_conversion"));
+    EXPECT_TRUE(hasIssue(issues, "low_parallelism"));
+}
+
+TEST(Analyzer, SortedBySeverityThenMagnitude)
+{
+    auto db = syntheticProfile();
+    AnalysisContext ctx(*db);
+    const auto issues = Analyzer::withDefaultAnalyses().runAll(ctx);
+    ASSERT_FALSE(issues.empty());
+    for (std::size_t i = 1; i < issues.size(); ++i) {
+        EXPECT_GE(static_cast<int>(issues[i - 1].severity),
+                  static_cast<int>(issues[i].severity));
+    }
+    EXPECT_FALSE(reportToString(issues).empty());
+}
+
+TEST(Analyzer, ForwardBackwardSuggestsIndexSelect)
+{
+    auto db = syntheticProfile();
+    AnalysisContext ctx(*db);
+    const auto issues = ForwardBackwardAnalysis().run(ctx);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].suggestion.find("index_select"),
+              std::string::npos);
+    EXPECT_GT(issues[0].metric_value, 10.0);
+}
+
+TEST(Analyzer, StallAnalysisNamesTheReason)
+{
+    auto db = syntheticProfile();
+    AnalysisContext ctx(*db);
+    const auto issues = StallAnalysis(0.3, 0.1).run(ctx);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("constant_miss"),
+              std::string::npos);
+}
+
+TEST(Analyzer, ThresholdsSuppressSmallIssues)
+{
+    auto db = syntheticProfile();
+    AnalysisContext ctx(*db);
+    // A 99% hotspot threshold flags nothing.
+    EXPECT_TRUE(HotspotAnalysis(0.99).run(ctx).empty());
+    EXPECT_TRUE(ForwardBackwardAnalysis(1000.0).run(ctx).empty());
+}
+
+TEST(Analyzer, PathPatternMatching)
+{
+    auto db = syntheticProfile();
+    AnalysisContext ctx(*db);
+    const auto hits = findPaths(
+        ctx, {matchPythonFunction("train_step"),
+              matchOperator("aten::index"),
+              matchKernelContains("indexing_backward")});
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0]->frame().name, "indexing_backward_kernel");
+    EXPECT_TRUE(findPaths(ctx, {matchOperator("aten::nothing")}).empty());
+}
+
+TEST(Analyzer, MetricAccessors)
+{
+    auto db = syntheticProfile();
+    AnalysisContext ctx(*db);
+    EXPECT_GT(ctx.totalMetric("gpu_time_ns"), 0.0);
+    EXPECT_EQ(ctx.totalMetric("bogus"), 0.0);
+    EXPECT_FALSE(ctx.kernels().empty());
+    EXPECT_FALSE(ctx.operators().empty());
+}
+
+TEST(Diff, ComparesProfiles)
+{
+    auto a = syntheticProfile();
+    auto b = syntheticProfile();
+    const ProfileComparison cmp = compareProfiles(*a, *b);
+    EXPECT_DOUBLE_EQ(cmp.speedup(), 1.0);
+    EXPECT_EQ(cmp.kernel_launches_a, cmp.kernel_launches_b);
+    EXPECT_FALSE(cmp.kernels.empty());
+    EXPECT_FALSE(cmp.toString("A", "B").empty());
+}
+
+TEST(FlameGraph, TopDownValuesAreInclusive)
+{
+    auto db = syntheticProfile();
+    gui::FlameGraphOptions options;
+    gui::FlameNode flame = gui::FlameGraph::topDown(*db, options);
+    EXPECT_GT(flame.value, 0.0);
+    // Children never exceed the parent.
+    std::function<void(const gui::FlameNode &)> walk =
+        [&](const gui::FlameNode &node) {
+            EXPECT_LE(node.childSum(), node.value + 1e-6)
+                << node.label;
+            for (const gui::FlameNode &child : node.children)
+                walk(child);
+        };
+    walk(flame);
+}
+
+TEST(FlameGraph, BottomUpAggregatesKernelsByName)
+{
+    auto db = syntheticProfile();
+    gui::FlameNode flame = gui::FlameGraph::bottomUp(*db, {});
+    ASSERT_FALSE(flame.children.empty());
+    // Sorted by value, the big kernel first.
+    EXPECT_EQ(flame.children.front().label, "big_kernel");
+    // Callers expand beneath the kernel.
+    EXPECT_FALSE(flame.children.front().children.empty());
+}
+
+TEST(FlameGraph, IssueColorsApplied)
+{
+    auto db = syntheticProfile();
+    AnalysisContext ctx(*db);
+    const auto issues = Analyzer::withDefaultAnalyses().runAll(ctx);
+    gui::FlameNode flame = gui::FlameGraph::topDown(*db, {}, issues);
+    int colored = 0;
+    std::function<void(const gui::FlameNode &)> walk =
+        [&](const gui::FlameNode &node) {
+            if (!node.color.empty())
+                ++colored;
+            for (const gui::FlameNode &child : node.children)
+                walk(child);
+        };
+    walk(flame);
+    EXPECT_GT(colored, 0);
+}
+
+TEST(FlameGraph, Exports)
+{
+    auto db = syntheticProfile();
+    gui::FlameNode flame = gui::FlameGraph::topDown(*db, {});
+    const std::string folded = gui::FlameGraph::toFolded(flame);
+    EXPECT_NE(folded.find(";"), std::string::npos);
+    const std::string json = gui::FlameGraph::toJson(flame);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"children\""), std::string::npos);
+    const std::string html = gui::FlameGraph::toHtml(flame, "test");
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    const std::string ascii = gui::FlameGraph::renderAscii(flame);
+    EXPECT_NE(ascii.find("#"), std::string::npos);
+}
+
+TEST(IdeProtocol, PythonFrameNavigatesDirectly)
+{
+    auto db = syntheticProfile();
+    const CctNode *python = nullptr;
+    db->cct().visit([&](const CctNode &node) {
+        if (python == nullptr &&
+            node.frame().kind == dlmon::FrameKind::kPython) {
+            python = &node;
+        }
+    });
+    ASSERT_NE(python, nullptr);
+    const auto actions = gui::actionsForNode(*python, nullptr);
+    ASSERT_EQ(actions.size(), 3u);
+    EXPECT_EQ(actions[0].kind, gui::EditorAction::Kind::kOpenFile);
+    EXPECT_EQ(actions[0].file, python->frame().file);
+    const std::string json = gui::actionsToJson(actions);
+    EXPECT_NE(json.find("editor/openFile"), std::string::npos);
+}
+
+TEST(IdeProtocol, KernelFallsBackToPythonAncestor)
+{
+    auto db = syntheticProfile();
+    const CctNode *kernel = nullptr;
+    db->cct().visit([&](const CctNode &node) {
+        if (kernel == nullptr &&
+            node.frame().kind == dlmon::FrameKind::kKernel) {
+            kernel = &node;
+        }
+    });
+    ASSERT_NE(kernel, nullptr);
+    const auto actions = gui::actionsForNode(*kernel, nullptr);
+    ASSERT_FALSE(actions.empty());
+    EXPECT_EQ(actions[0].file, "train.py");
+}
+
+TEST(IdeProtocol, SourceMapResolvesNativeFrames)
+{
+    sim::SourceMap sources;
+    sources.add(0x1000, "Normalization.cuh", 356);
+    auto cct = std::make_unique<Cct>();
+    CctNode *native = cct->insert({Frame::native(0x1008)});
+    const auto actions = gui::actionsForNode(*native, &sources);
+    ASSERT_FALSE(actions.empty());
+    EXPECT_EQ(actions[0].file, "Normalization.cuh");
+    EXPECT_EQ(actions[0].line, 356);
+}
+
+} // namespace
+} // namespace dc::analysis

@@ -1,0 +1,187 @@
+/** @file Unit tests for the common utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/types.h"
+
+namespace dc {
+namespace {
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat stat;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(v);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_NEAR(stat.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.min(), 0.0);
+    EXPECT_EQ(stat.stddev(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    Rng rng(7);
+    RunningStat all;
+    RunningStat left;
+    RunningStat right;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-50.0, 50.0);
+        all.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.stddev(), all.stddev(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, RawRoundTrip)
+{
+    RunningStat stat;
+    for (double v : {1.0, 2.0, 3.5})
+        stat.add(v);
+    RunningStat copy = RunningStat::fromRaw(stat.count(), stat.sum(),
+                                            stat.min(), stat.max(),
+                                            stat.mean(), stat.m2());
+    EXPECT_DOUBLE_EQ(copy.stddev(), stat.stddev());
+    EXPECT_DOUBLE_EQ(copy.sum(), stat.sum());
+}
+
+/** Property sweep: Welford variance matches the two-pass formula. */
+class RunningStatProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RunningStatProperty, VarianceMatchesTwoPass)
+{
+    Rng rng(GetParam());
+    std::vector<double> values;
+    RunningStat stat;
+    const int n = 50 + static_cast<int>(GetParam() % 200);
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.uniform(-1e3, 1e3);
+        values.push_back(v);
+        stat.add(v);
+    }
+    double mean = 0.0;
+    for (double v : values)
+        mean += v;
+    mean /= static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values)
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(values.size());
+    EXPECT_NEAR(stat.variance(), var, 1e-6 * std::max(1.0, var));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunningStatProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({42.0}), 42.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Strings, HumanBytes)
+{
+    EXPECT_EQ(humanBytes(512), "512 B");
+    EXPECT_EQ(humanBytes(2048), "2.00 KB");
+    EXPECT_EQ(humanBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(Strings, HumanTime)
+{
+    EXPECT_EQ(humanTime(500), "500 ns");
+    EXPECT_EQ(humanTime(1'500), "1.50 us");
+    EXPECT_EQ(humanTime(2'500'000), "2.50 ms");
+    EXPECT_EQ(humanTime(1'500'000'000), "1.500 s");
+}
+
+TEST(Strings, SplitTrimJoin)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(join({"a", "b"}, ";"), "a;b");
+    EXPECT_TRUE(startsWith("aten::conv2d", "aten::"));
+    EXPECT_TRUE(endsWith("Backward0", "ward0"));
+    EXPECT_TRUE(contains("abcdef", "cde"));
+}
+
+TEST(Strings, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(MemoryTracker, PeakAndCategories)
+{
+    HostMemoryTracker tracker;
+    tracker.allocate("a", 100);
+    tracker.allocate("b", 50);
+    EXPECT_EQ(tracker.totalLiveBytes(), 150u);
+    tracker.release("a", 60);
+    EXPECT_EQ(tracker.liveBytes("a"), 40u);
+    EXPECT_EQ(tracker.peakBytes(), 150u);
+    tracker.allocate("a", 200);
+    EXPECT_EQ(tracker.peakBytes(), 290u);
+    EXPECT_EQ(tracker.peakBytes("a"), 240u);
+    EXPECT_EQ(tracker.liveByCategory().size(), 2u);
+}
+
+TEST(MemoryTrackerDeath, OverRelease)
+{
+    HostMemoryTracker tracker;
+    tracker.allocate("a", 10);
+    EXPECT_DEATH(tracker.release("a", 20), "exceeds live");
+    EXPECT_DEATH(tracker.release("unknown", 1), "unknown category");
+}
+
+TEST(Types, Conversions)
+{
+    EXPECT_EQ(fromSeconds(1.5), 1'500'000'000);
+    EXPECT_EQ(fromMicros(2.0), 2'000);
+    EXPECT_DOUBLE_EQ(toSeconds(2'000'000'000), 2.0);
+    EXPECT_DOUBLE_EQ(toMillis(1'500'000), 1.5);
+}
+
+} // namespace
+} // namespace dc

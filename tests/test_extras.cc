@@ -1,0 +1,250 @@
+/** @file Additional coverage: views, memcpy paths, loader prefetch,
+ *  fusion kernel math, runtime allocation events. */
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analysis.h"
+#include "dlmonitor/dlmonitor.h"
+#include "framework/jaxsim/fusion.h"
+#include "framework/ops/op_library.h"
+#include "framework/torchsim/data_loader.h"
+#include "gui/flamegraph.h"
+#include "profiler/profiler.h"
+#include "workloads/runner.h"
+
+namespace dc {
+namespace {
+
+TEST(CallPathRendering, LabelsAndToString)
+{
+    dlmon::CallPath path = {
+        dlmon::Frame::python("train.py", "main", 12),
+        dlmon::Frame::op("aten::relu"),
+        dlmon::Frame::kernel("elementwise"),
+        dlmon::Frame::instruction(0x40, 2),
+    };
+    const std::string text = dlmon::toString(path);
+    EXPECT_NE(text.find("train.py:12 (main)"), std::string::npos);
+    EXPECT_NE(text.find("aten::relu"), std::string::npos);
+    EXPECT_NE(text.find("pc+0x40"), std::string::npos);
+    EXPECT_STREQ(dlmon::frameKindName(dlmon::FrameKind::kGpuApi),
+                 "gpu_api");
+}
+
+TEST(AnalysisContextHelpers, PathLabelsRootFirst)
+{
+    prof::Cct cct;
+    prof::CctNode *leaf = cct.insert(
+        {dlmon::Frame::python("a.py", "f", 1), dlmon::Frame::op("op")});
+    const auto labels = analysis::AnalysisContext::pathLabels(*leaf);
+    ASSERT_EQ(labels.size(), 3u);
+    EXPECT_EQ(labels[0], "<root>");
+    EXPECT_EQ(labels[2], "op");
+}
+
+TEST(FlameGraph, NativeCollapseAndPruning)
+{
+    auto cct = std::make_unique<prof::Cct>();
+    prof::MetricRegistry metrics;
+    const int gpu = metrics.intern("gpu_time_ns");
+    prof::CctNode *big = cct->insert(
+        {dlmon::Frame::python("a.py", "f", 1),
+         dlmon::Frame::native(0x1000), dlmon::Frame::kernel("k_big")});
+    cct->addMetric(big, gpu, 1000.0);
+    prof::CctNode *small = cct->insert(
+        {dlmon::Frame::python("a.py", "f", 1),
+         dlmon::Frame::kernel("k_small")});
+    cct->addMetric(small, gpu, 5.0);
+    prof::ProfileDb db(std::move(cct), std::move(metrics), {});
+
+    gui::FlameGraphOptions options;
+    options.include_native = false;
+    options.min_fraction = 0.05; // prunes the 0.5% kernel
+    gui::FlameNode flame = gui::FlameGraph::topDown(db, options);
+
+    // Native frame collapsed away: kernel directly under the python node.
+    ASSERT_EQ(flame.children.size(), 1u);
+    const gui::FlameNode &python = flame.children[0];
+    ASSERT_EQ(python.children.size(), 1u);
+    EXPECT_EQ(python.children[0].label, "k_big");
+}
+
+TEST(FusionKernelMath, TrafficShrinksAndFlopsAreConserved)
+{
+    sim::GpuArch arch = sim::makeA100();
+    fw::OpEnv env;
+    env.arch = &arch;
+    fw::Tensor x = env.newTensor({1 << 20}, fw::Dtype::kF16);
+
+    std::vector<fw::JaxNode> nodes(3);
+    nodes[0].spec = fw::ops::gelu(env, x);
+    nodes[1].spec = fw::ops::dropout(env, x);
+    nodes[2].spec = fw::ops::add(env, x, x);
+    std::vector<const fw::JaxNode *> group = {&nodes[0], &nodes[1],
+                                              &nodes[2]};
+    const sim::KernelDesc fused = fw::FusionPass::fuseKernels(group, 7);
+    EXPECT_EQ(fused.name, "fusion_7");
+
+    double flops = 0.0;
+    std::uint64_t bytes = 0;
+    for (const auto &node : nodes) {
+        flops += node.spec.forwardFlops();
+        bytes += node.spec.forwardBytes();
+    }
+    EXPECT_DOUBLE_EQ(fused.flops, flops);
+    EXPECT_LT(fused.totalBytes(), bytes / 2);
+}
+
+TEST(GpuRuntime, MallocFreeAndSyncCallbacks)
+{
+    sim::SimContext ctx;
+    ctx.addDevice(sim::makeA100());
+    sim::GpuRuntime runtime(ctx);
+    std::vector<std::string> calls;
+    runtime.subscribe([&calls](const sim::ApiCallbackInfo &info) {
+        if (info.phase == sim::ApiPhase::kEnter)
+            calls.push_back(info.function_name);
+    });
+    runtime.deviceMalloc(0, 1 << 20);
+    runtime.deviceFree(0, 1 << 20);
+    runtime.deviceSynchronize(0);
+    EXPECT_EQ(calls,
+              (std::vector<std::string>{"cudaMalloc", "cudaFree",
+                                        "cudaDeviceSynchronize"}));
+    EXPECT_EQ(ctx.device(0).memoryUsed(), 0u);
+}
+
+TEST(Profiler, MemcpyAttributedWithBytes)
+{
+    sim::SimContext ctx;
+    ctx.addDevice(sim::makeA100());
+    sim::GpuRuntime runtime(ctx);
+    pyrt::PyInterpreter interp(ctx.libraries());
+    fw::TorchSession session(ctx, runtime, {});
+
+    dlmon::DlMonitorOptions options;
+    options.ctx = &ctx;
+    options.runtime = &runtime;
+    options.interp = &interp;
+    options.torch = &session;
+    auto monitor = dlmon::DlMonitor::init(options);
+    prof::Profiler profiler(*monitor, {});
+
+    runtime.memcpyAsync(0, 0, 32 << 20, "h2d");
+    runtime.deviceSynchronize(0);
+    auto db = profiler.finish();
+
+    const int bytes_metric = db->metrics().find("memcpy_bytes");
+    const RunningStat *stat =
+        db->cct().root().findMetric(bytes_metric);
+    ASSERT_NE(stat, nullptr);
+    EXPECT_DOUBLE_EQ(stat->sum(), static_cast<double>(32 << 20));
+    const int time_metric = db->metrics().find("memcpy_time_ns");
+    EXPECT_GT(db->cct().root().findMetric(time_metric)->sum(), 0.0);
+}
+
+TEST(DataLoader, PrefetchHidesUnderCompute)
+{
+    sim::SimContext ctx; // 32 cores: no oversubscription
+    ctx.addDevice(sim::makeA100());
+    pyrt::PyInterpreter interp(ctx.libraries());
+    fw::DataLoaderConfig config;
+    config.num_workers = 8;
+    config.cpu_work_per_batch_ns = 8 * kNsPerMs;
+    config.first_batch_disk_ns = 100 * kNsPerMs;
+    fw::DataLoader loader(ctx, interp, config);
+
+    loader.nextBatch(0); // cold
+    const DurationNs after_cold = loader.totalStall();
+    // Ample compute to overlap: steady-state batches add no stall.
+    loader.nextBatch(50 * kNsPerMs);
+    loader.nextBatch(50 * kNsPerMs);
+    EXPECT_EQ(loader.totalStall(), after_cold);
+    // Tiny compute: the fetch stalls.
+    loader.nextBatch(0);
+    EXPECT_GT(loader.totalStall(), after_cold);
+}
+
+TEST(JaxSession, WorkspaceAllocatedOnCompile)
+{
+    sim::SimContext ctx;
+    ctx.addDevice(sim::makeA100());
+    sim::GpuRuntime runtime(ctx);
+    fw::JaxConfig config;
+    config.training = false;
+    fw::JaxSession session(ctx, runtime, config);
+    const std::uint64_t before = ctx.device(0).memoryUsed();
+    fw::JaxExecutable &exec =
+        session.jit("g", [&](fw::JaxTracer &tracer) {
+            fw::Tensor x =
+                tracer.opEnv().newTensor({1024, 1024}, fw::Dtype::kF32);
+            tracer.apply(fw::ops::relu(tracer.opEnv(), x));
+        });
+    EXPECT_GT(ctx.device(0).memoryUsed(), before);
+    EXPECT_GT(exec.workspace_bytes, 0u);
+    EXPECT_EQ(exec.kernelCount(), 1u);
+}
+
+TEST(Workloads, InferenceRunsLaunchNoBackwardKernels)
+{
+    workloads::RunConfig config;
+    config.workload = workloads::WorkloadId::kNanoGpt;
+    config.iterations = 2;
+    config.profiler = workloads::ProfilerMode::kDeepContext;
+    config.keep_profile = true;
+    const auto result = workloads::runWorkload(config);
+    bool found_backward = false;
+    result.profile->cct().visit([&](const prof::CctNode &node) {
+        if (node.frame().kind == dlmon::FrameKind::kOperator &&
+            analysis::AnalysisContext::isBackwardOperator(node)) {
+            found_backward = true;
+        }
+    });
+    EXPECT_FALSE(found_backward);
+}
+
+TEST(Workloads, PcSamplingOnlyWhenRequested)
+{
+    workloads::RunConfig config;
+    config.workload = workloads::WorkloadId::kNanoGpt;
+    config.iterations = 2;
+    config.profiler = workloads::ProfilerMode::kDeepContext;
+    config.keep_profile = true;
+    const auto plain = workloads::runWorkload(config);
+    config.knobs.pc_sampling = true;
+    const auto sampled = workloads::runWorkload(config);
+
+    auto count_instructions = [](const prof::ProfileDb &db) {
+        std::size_t n = 0;
+        db.cct().visit([&n](const prof::CctNode &node) {
+            if (node.frame().kind == dlmon::FrameKind::kInstruction)
+                ++n;
+        });
+        return n;
+    };
+    EXPECT_EQ(count_instructions(*plain.profile), 0u);
+    EXPECT_GT(count_instructions(*sampled.profile), 0u);
+}
+
+TEST(Workloads, AmdRunsUseHipNames)
+{
+    workloads::RunConfig config;
+    config.workload = workloads::WorkloadId::kGnn;
+    config.platform = workloads::PlatformSel::kAmdMi250;
+    config.iterations = 2;
+    config.profiler = workloads::ProfilerMode::kDeepContext;
+    config.keep_profile = true;
+    const auto result = workloads::runWorkload(config);
+    bool found_hip = false;
+    result.profile->cct().visit([&](const prof::CctNode &node) {
+        if (node.frame().kind == dlmon::FrameKind::kGpuApi &&
+            node.frame().name == "hipLaunchKernel") {
+            found_hip = true;
+        }
+    });
+    EXPECT_TRUE(found_hip);
+    EXPECT_EQ(result.profile->metadata().at("vendor"), "AMD");
+}
+
+} // namespace
+} // namespace dc

@@ -1,0 +1,364 @@
+/** @file Tests for tensors, the op library, and both framework engines. */
+
+#include <gtest/gtest.h>
+
+#include "framework/jaxsim/jax_session.h"
+#include "framework/ops/op_library.h"
+#include "framework/torchsim/data_loader.h"
+#include "framework/torchsim/torch_session.h"
+#include "pyrt/py_interp.h"
+#include "sim/runtime/gpu_runtime.h"
+
+namespace dc::fw {
+namespace {
+
+struct Env {
+    sim::SimContext ctx;
+    sim::GpuRuntime runtime{ctx};
+    pyrt::PyInterpreter interp{ctx.libraries()};
+
+    explicit Env(sim::GpuArch arch = sim::makeA100())
+    {
+        ctx.addDevice(std::move(arch));
+    }
+};
+
+OpEnv
+makeOpEnv(const sim::GpuArch &arch)
+{
+    // Each call gets its own stable arch storage so two envs (e.g. NV
+    // and AMD) can coexist in one test.
+    static std::vector<std::unique_ptr<sim::GpuArch>> storage;
+    storage.push_back(std::make_unique<sim::GpuArch>(arch));
+    OpEnv env;
+    env.arch = storage.back().get();
+    return env;
+}
+
+TEST(Tensor, BytesAndFormats)
+{
+    Tensor t;
+    t.shape = {2, 3, 4};
+    t.dtype = Dtype::kF16;
+    EXPECT_EQ(t.elements(), 24);
+    EXPECT_EQ(t.bytes(), 48u);
+    EXPECT_EQ(dtypeSize(Dtype::kI64), 8u);
+    EXPECT_STREQ(dtypeName(Dtype::kBf16), "bfloat16");
+    EXPECT_STREQ(memoryFormatName(MemoryFormat::kChannelsLast),
+                 "channels_last");
+    EXPECT_EQ(shapeToString({1, 2}), "[1, 2]");
+}
+
+TEST(OpLibrary, Conv2dShapesAndConversions)
+{
+    OpEnv env = makeOpEnv(sim::makeA100());
+    Tensor x = env.newTensor({2, 16, 32, 32}, Dtype::kF32,
+                             MemoryFormat::kChannelsFirst);
+    Tensor w = env.newTensor({32, 16, 3, 3}, Dtype::kF32);
+    OpSpec spec = ops::conv2d(env, x, w);
+    EXPECT_EQ(spec.output().shape, (Shape{2, 32, 32, 32}));
+    // channels_first input on a cuDNN-preferring-NHWC device: conversion
+    // in, conv, conversion out.
+    ASSERT_EQ(spec.forward_kernels.size(), 3u);
+    EXPECT_EQ(spec.forward_kernels[0].name, "cudnn::nchwToNhwcKernel");
+    EXPECT_EQ(spec.forward_kernels[2].name, "cudnn::nhwcToNchwKernel");
+
+    // channels_last input: no conversions.
+    x.format = MemoryFormat::kChannelsLast;
+    OpSpec direct = ops::conv2d(env, x, w);
+    EXPECT_EQ(direct.forward_kernels.size(), 1u);
+
+    // AMD prefers channels_first: no conversions for NCHW input.
+    OpEnv amd = makeOpEnv(sim::makeMi250());
+    x.format = MemoryFormat::kChannelsFirst;
+    OpSpec amd_spec = ops::conv2d(amd, x, w);
+    EXPECT_EQ(amd_spec.forward_kernels.size(), 1u);
+}
+
+TEST(OpLibrary, IndexBackwardSerializesButIndexSelectDoesNot)
+{
+    OpEnv env = makeOpEnv(sim::makeA100());
+    Tensor table = env.newTensor({1 << 20, 128}, Dtype::kF32);
+    OpSpec index = ops::index(env, table, 4096, 24.0);
+    OpSpec select = ops::indexSelect(env, table, 4096, 24.0);
+
+    ASSERT_EQ(index.backward.size(), 1u);
+    const sim::KernelDesc &det = index.backward[0].kernels[0];
+    const sim::KernelDesc &atomic = select.backward[0].kernels[0];
+    EXPECT_EQ(det.name, "indexing_backward_kernel");
+    EXPECT_DOUBLE_EQ(det.serialization_factor, 24.0);
+    EXPECT_DOUBLE_EQ(atomic.serialization_factor, 1.0);
+    EXPECT_LT(atomic.atomic_factor, 1.5);
+    EXPECT_GT(sim::CostModel::duration(*env.arch, det),
+              10 * sim::CostModel::duration(*env.arch, atomic));
+}
+
+TEST(OpLibrary, NormTemplateGridHalvesOnWideWavefronts)
+{
+    OpEnv nv = makeOpEnv(sim::makeA100());
+    OpEnv amd = makeOpEnv(sim::makeMi250());
+    Tensor x = nv.newTensor({4, 32, 64, 64}, Dtype::kF32);
+    const OpSpec nv_spec = ops::instanceNorm(nv, x);
+    const OpSpec amd_spec = ops::instanceNorm(amd, x);
+    EXPECT_EQ(nv_spec.forward_kernels[0].grid, 128u);  // 4*32 slices
+    EXPECT_EQ(amd_spec.forward_kernels[0].grid, 64u);  // halved (§6.5)
+
+    amd.norm_cta_fix = true;
+    const OpSpec fixed = ops::instanceNorm(amd, x);
+    EXPECT_EQ(fixed.forward_kernels[0].grid, 128u);
+    EXPECT_DOUBLE_EQ(fixed.forward_kernels[0].serialization_factor, 1.0);
+}
+
+TEST(OpLibrary, CastHonoursVectorizationKnob)
+{
+    OpEnv env = makeOpEnv(sim::makeA100());
+    Tensor x = env.newTensor({1, 4096}, Dtype::kF16);
+    OpSpec scalar = ops::to(env, x, Dtype::kF32);
+    EXPECT_FALSE(scalar.forward_kernels[0].vectorized);
+    EXPECT_GT(scalar.forward_kernels[0].constant_bytes, 0u);
+    env.vectorized_casts = true;
+    OpSpec vec = ops::to(env, x, Dtype::kF32);
+    EXPECT_TRUE(vec.forward_kernels[0].vectorized);
+    EXPECT_LT(sim::CostModel::duration(*env.arch, vec.forward_kernels[0]),
+              sim::CostModel::duration(*env.arch,
+                                       scalar.forward_kernels[0]));
+}
+
+TEST(OpLibrary, FusedLossIsOneKernel)
+{
+    OpEnv env = makeOpEnv(sim::makeA100());
+    Tensor logits = env.newTensor({512, 32768}, Dtype::kF16);
+    OpSpec softmax = ops::softmax(env, logits);
+    OpSpec copy = ops::copy(env, logits);
+    OpSpec nll = ops::nllLoss(env, logits);
+    OpSpec fused = ops::fusedSoftmaxNll(env, logits);
+    EXPECT_EQ(fused.forward_kernels.size(), 1u);
+    const DurationNs unfused_time =
+        sim::CostModel::duration(*env.arch, softmax.forward_kernels[0]) +
+        sim::CostModel::duration(*env.arch, copy.forward_kernels[0]) +
+        sim::CostModel::duration(*env.arch, nll.forward_kernels[0]);
+    EXPECT_LT(sim::CostModel::duration(*env.arch,
+                                       fused.forward_kernels[0]),
+              unfused_time);
+}
+
+TEST(OpLibrary, MatmulFlopsAreExact)
+{
+    OpEnv env = makeOpEnv(sim::makeA100());
+    Tensor a = env.newTensor({64, 128}, Dtype::kF32);
+    Tensor b = env.newTensor({128, 256}, Dtype::kF32);
+    OpSpec spec = ops::matmul(env, a, b);
+    EXPECT_DOUBLE_EQ(spec.forwardFlops(), 2.0 * 64 * 128 * 256);
+    EXPECT_EQ(spec.output().shape, (Shape{64, 256}));
+    ASSERT_EQ(spec.backward.size(), 1u);
+    EXPECT_EQ(spec.backward[0].kernels.size(), 2u);
+}
+
+TEST(TorchSession, EagerExecutionRecordsTapeAndEvents)
+{
+    Env env;
+    TorchSession session(env.ctx, env.runtime, {});
+    std::vector<std::string> events;
+    session.recordFunctions().addGlobalCallback(
+        [&events](const RecordEvent &event) {
+            if (event.kind == RecordKind::kOperator)
+                events.push_back(
+                    (event.phase == RecordPhase::kBegin ? "B:" : "E:") +
+                    event.name +
+                    (event.is_backward ? "/bwd" : ""));
+        });
+
+    Tensor x = session.input({8, 64});
+    Tensor w = session.parameter({32, 64});
+    session.run(ops::linear(session.opEnv(), x, w));
+    session.backward();
+    session.synchronize();
+
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0], "B:aten::linear");
+    EXPECT_EQ(events[1], "E:aten::linear");
+    EXPECT_EQ(events[2], "B:AddmmBackward0/bwd");
+    EXPECT_EQ(events[3], "E:AddmmBackward0/bwd");
+    EXPECT_EQ(session.opCount(), 2u);
+}
+
+TEST(TorchSession, BackwardRunsOnDedicatedThread)
+{
+    Env env;
+    TorchSession session(env.ctx, env.runtime, {});
+    ThreadId backward_thread = 0;
+    session.recordFunctions().addGlobalCallback(
+        [&](const RecordEvent &event) {
+            if (event.is_backward &&
+                event.phase == RecordPhase::kBegin) {
+                backward_thread = env.ctx.currentThreadId();
+            }
+        });
+    Tensor x = session.input({8, 64});
+    Tensor w = session.parameter({32, 64});
+    session.run(ops::linear(session.opEnv(), x, w));
+    session.backward();
+    EXPECT_NE(backward_thread, 0u);
+    EXPECT_EQ(env.ctx.thread(backward_thread).kind(),
+              sim::ThreadKind::kBackward);
+    // The engine thread has no Python frames (the Figure 1 problem).
+    EXPECT_TRUE(env.ctx.thread(backward_thread).pyStack().empty());
+}
+
+TEST(TorchSession, EndIterationFreesActivations)
+{
+    Env env;
+    TorchSession session(env.ctx, env.runtime, {});
+    session.parameter({1024, 1024});
+    const std::uint64_t params = env.ctx.device(0).memoryUsed();
+    Tensor x = session.input({256, 1024});
+    session.run(ops::relu(session.opEnv(), x));
+    EXPECT_GT(env.ctx.device(0).memoryUsed(), params);
+    session.endIteration();
+    EXPECT_EQ(env.ctx.device(0).memoryUsed(), params);
+}
+
+TEST(DataLoader, ColdStartAndOversubscription)
+{
+    sim::SimContext ctx(sim::makeSmallAllocation());
+    ctx.addDevice(sim::makeA100());
+    pyrt::PyInterpreter interp(ctx.libraries());
+
+    DataLoaderConfig config;
+    config.num_workers = 16;
+    config.cpu_work_per_batch_ns = 50 * kNsPerMs;
+    config.first_batch_disk_ns = 500 * kNsPerMs;
+    DataLoader loader(ctx, interp, config);
+
+    const TimeNs before = ctx.now();
+    loader.nextBatch(0);
+    EXPECT_GE(ctx.now() - before, config.first_batch_disk_ns);
+
+    // Oversubscribed 16 workers on 6 cores are slower per batch than 8.
+    DataLoaderConfig cfg8 = config;
+    cfg8.num_workers = 8;
+    DataLoader loader8(ctx, interp, cfg8);
+    EXPECT_GT(loader.batchPrepTime(), loader8.batchPrepTime());
+
+    // Worker CPU time lands under the data_selection Python frames.
+    bool found_selection_time = false;
+    for (ThreadId t = 0; t < ctx.threadCount(); ++t) {
+        if (ctx.thread(t).kind() == sim::ThreadKind::kLoaderWorker &&
+            ctx.thread(t).cpuTime() > 0) {
+            found_selection_time = true;
+        }
+    }
+    EXPECT_TRUE(found_selection_time);
+}
+
+TEST(JaxSession, TracingCapturesCompileTimePaths)
+{
+    Env env;
+    JaxConfig config;
+    config.training = false;
+    JaxSession session(env.ctx, env.runtime, config);
+    Tensor w = session.parameter({64, 64});
+
+    JaxExecutable &exec = session.jit("f", [&](JaxTracer &tracer) {
+        pyrt::PyScope frame(env.ctx.currentThread().pyStack(),
+                            env.ctx.currentThread().nativeStack(),
+                            env.interp, {"model.py", "f", 5});
+        Tensor x = tracer.opEnv().newTensor({32, 64}, Dtype::kF32);
+        Tensor h = tracer.apply(ops::linear(tracer.opEnv(), x, w));
+        tracer.apply(ops::relu(tracer.opEnv(), h));
+    });
+    ASSERT_EQ(exec.nodes.size(), 2u);
+    ASSERT_FALSE(exec.nodes[0].trace_py_path.empty());
+    EXPECT_EQ(exec.nodes[0].trace_py_path.back().file, "model.py");
+
+    // jit cache: same name -> same executable, no recompile.
+    JaxExecutable &again = session.jit("f", [](JaxTracer &) {
+        FAIL() << "trace function must not rerun for a cached jit";
+    });
+    EXPECT_EQ(&again, &exec);
+}
+
+TEST(JaxSession, TrainingAppendsBackwardNodes)
+{
+    Env env;
+    JaxSession session(env.ctx, env.runtime, {});
+    Tensor w = session.parameter({64, 64});
+    JaxExecutable &exec = session.jit("train", [&](JaxTracer &tracer) {
+        Tensor x = tracer.opEnv().newTensor({32, 64}, Dtype::kF32);
+        tracer.apply(ops::linear(tracer.opEnv(), x, w));
+    });
+    ASSERT_EQ(exec.nodes.size(), 2u);
+    EXPECT_FALSE(exec.nodes[0].is_backward);
+    EXPECT_TRUE(exec.nodes[1].is_backward);
+}
+
+TEST(FusionPass, FusesElementwiseChainsOnly)
+{
+    OpEnv env = makeOpEnv(sim::makeA100());
+    Tensor x = env.newTensor({1024, 512}, Dtype::kF16);
+    Tensor w = env.newTensor({512, 512}, Dtype::kF16);
+
+    JaxGraph graph;
+    int id = 0;
+    auto push = [&](OpSpec spec) {
+        JaxNode node;
+        node.id = id++;
+        node.spec = std::move(spec);
+        graph.nodes.push_back(std::move(node));
+    };
+    push(ops::linear(env, x, w));   // not fusable
+    push(ops::gelu(env, x));        // fusable chain of 3
+    push(ops::dropout(env, x));
+    push(ops::add(env, x, x));
+    push(ops::matmul(env, x, w));   // breaks the chain
+
+    FusionStats stats;
+    const auto steps = FusionPass::run(graph, &stats);
+    ASSERT_EQ(steps.size(), 3u);
+    EXPECT_FALSE(steps[0].fused);
+    EXPECT_TRUE(steps[1].fused);
+    EXPECT_EQ(steps[1].original_node_ids.size(), 3u);
+    EXPECT_FALSE(steps[2].fused);
+    EXPECT_EQ(stats.nodes_fused, 3u);
+    // Fusion must reduce DRAM traffic.
+    EXPECT_LT(stats.bytes_after, stats.bytes_before);
+}
+
+/** Property: every traced node appears in exactly one compiled step. */
+class FusionCoverage : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FusionCoverage, EveryNodeMappedExactlyOnce)
+{
+    OpEnv env = makeOpEnv(sim::makeA100());
+    Tensor x = env.newTensor({256, 256}, Dtype::kF16);
+    Tensor w = env.newTensor({256, 256}, Dtype::kF16);
+    JaxGraph graph;
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 40; ++i) {
+        JaxNode node;
+        node.id = i;
+        node.spec = rng.chance(0.6) ? ops::relu(env, x)
+                                    : ops::matmul(env, x, w);
+        node.is_backward = rng.chance(0.3);
+        graph.nodes.push_back(std::move(node));
+    }
+    const auto steps = FusionPass::run(graph);
+    std::map<int, int> appearances;
+    for (const ExecStep &step : steps) {
+        for (int node_id : step.original_node_ids)
+            ++appearances[node_id];
+        // No fused group crosses the forward/backward boundary (checked
+        // via the original nodes' flags).
+    }
+    ASSERT_EQ(appearances.size(), graph.nodes.size());
+    for (const auto &[node_id, count] : appearances)
+        EXPECT_EQ(count, 1) << "node " << node_id;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionCoverage,
+                         ::testing::Values(1, 7, 42, 1234));
+
+} // namespace
+} // namespace dc::fw

@@ -1,0 +1,264 @@
+/** @file Tests for the CCT, metrics, profiler attribution, and the DB. */
+
+#include <gtest/gtest.h>
+
+#include "dlmonitor/dlmonitor.h"
+#include "framework/ops/op_library.h"
+#include "profiler/profile_db.h"
+#include "profiler/profiler.h"
+
+namespace dc::prof {
+namespace {
+
+using dlmon::Frame;
+
+TEST(Cct, InsertCollapsesSharedPrefixes)
+{
+    Cct cct;
+    std::size_t created = 0;
+    cct.insert({Frame::python("a.py", "f", 1), Frame::op("aten::x")},
+               &created);
+    EXPECT_EQ(created, 2u);
+    cct.insert({Frame::python("a.py", "f", 1), Frame::op("aten::y")},
+               &created);
+    EXPECT_EQ(created, 1u);
+    cct.insert({Frame::python("a.py", "f", 1), Frame::op("aten::x")},
+               &created);
+    EXPECT_EQ(created, 0u);
+    EXPECT_EQ(cct.nodeCount(), 4u); // root + python + 2 ops
+}
+
+TEST(Cct, MetricPropagationIsInclusive)
+{
+    Cct cct;
+    CctNode *leaf_a =
+        cct.insert({Frame::python("a.py", "f", 1), Frame::op("x"),
+                    Frame::kernel("k1")});
+    CctNode *leaf_b =
+        cct.insert({Frame::python("a.py", "f", 1), Frame::op("y"),
+                    Frame::kernel("k2")});
+    cct.addMetric(leaf_a, 0, 10.0);
+    cct.addMetric(leaf_a, 0, 20.0);
+    cct.addMetric(leaf_b, 0, 5.0);
+
+    EXPECT_DOUBLE_EQ(cct.root().metric(0).sum(), 35.0);
+    EXPECT_EQ(cct.root().metric(0).count(), 3u);
+    // The shared python node carries both children's contributions.
+    const CctNode *python =
+        cct.root().findChild(Frame::python("a.py", "f", 1));
+    ASSERT_NE(python, nullptr);
+    EXPECT_DOUBLE_EQ(python->findMetric(0)->sum(), 35.0);
+    // Non-propagated metric stays local.
+    cct.addMetric(leaf_a, 1, 7.0, /*propagate=*/false);
+    EXPECT_EQ(cct.root().findMetric(1), nullptr);
+}
+
+/** Property: root sum always equals the sum of all leaf additions. */
+class CctConservation : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CctConservation, RootEqualsTotal)
+{
+    Rng rng(GetParam());
+    Cct cct;
+    double total = 0.0;
+    for (int i = 0; i < 300; ++i) {
+        dlmon::CallPath path;
+        const int depth = 1 + static_cast<int>(rng.below(6));
+        for (int d = 0; d < depth; ++d) {
+            path.push_back(Frame::op(
+                "op" + std::to_string(rng.below(4)) + "_" +
+                std::to_string(d)));
+        }
+        const double value = rng.uniform(0.0, 100.0);
+        total += value;
+        cct.addMetric(cct.insert(path), 0, value);
+    }
+    EXPECT_NEAR(cct.root().metric(0).sum(), total, 1e-6);
+    EXPECT_EQ(cct.root().metric(0).count(), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CctConservation,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Cct, MemoryChargedToTracker)
+{
+    HostMemoryTracker tracker;
+    {
+        Cct cct(&tracker);
+        cct.insert({Frame::op("a"), Frame::op("b")});
+        EXPECT_GT(tracker.liveBytes("profiler.cct"), 0u);
+        EXPECT_EQ(tracker.liveBytes("profiler.cct"), cct.memoryBytes());
+        cct.detachTracker();
+        EXPECT_EQ(tracker.liveBytes("profiler.cct"), 0u);
+    }
+}
+
+TEST(MetricRegistry, InternIsStable)
+{
+    MetricRegistry registry;
+    const int a = registry.intern("gpu_time_ns");
+    const int b = registry.intern("cpu_time_ns");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(registry.intern("gpu_time_ns"), a);
+    EXPECT_EQ(registry.find("cpu_time_ns"), b);
+    EXPECT_EQ(registry.find("missing"), -1);
+    EXPECT_EQ(registry.name(a), "gpu_time_ns");
+}
+
+struct ProfilerFixture {
+    sim::SimContext ctx;
+    sim::GpuRuntime runtime{ctx};
+    pyrt::PyInterpreter interp{ctx.libraries()};
+    std::unique_ptr<fw::TorchSession> torch;
+    std::unique_ptr<dlmon::DlMonitor> monitor;
+
+    explicit ProfilerFixture(sim::GpuArch arch = sim::makeA100())
+    {
+        ctx.addDevice(std::move(arch));
+        torch = std::make_unique<fw::TorchSession>(ctx, runtime,
+                                                   fw::TorchConfig{});
+        dlmon::DlMonitorOptions options;
+        options.ctx = &ctx;
+        options.runtime = &runtime;
+        options.interp = &interp;
+        options.torch = torch.get();
+        monitor = dlmon::DlMonitor::init(options);
+    }
+};
+
+TEST(Profiler, AttributesGpuTimeToKernelNodes)
+{
+    ProfilerFixture fx;
+    Profiler profiler(*fx.monitor, {});
+
+    pyrt::PyScope frame(fx.ctx.currentThread().pyStack(),
+                        fx.ctx.currentThread().nativeStack(), fx.interp,
+                        {"train.py", "main", 1});
+    fw::Tensor x = fx.torch->input({64, 256});
+    fw::Tensor w = fx.torch->parameter({256, 256});
+    for (int i = 0; i < 3; ++i)
+        fx.torch->run(fw::ops::linear(fx.torch->opEnv(), x, w));
+    fx.torch->synchronize();
+
+    auto db = profiler.finish();
+    const double total_gpu =
+        db->cct().root().findMetric(db->metrics().find("gpu_time_ns"))
+            ->sum();
+    EXPECT_DOUBLE_EQ(total_gpu,
+                     static_cast<double>(
+                         fx.ctx.device(0).totalKernelTime()));
+    const double kernels =
+        db->cct().root().findMetric(db->metrics().find("kernel_count"))
+            ->sum();
+    EXPECT_DOUBLE_EQ(kernels, 3.0);
+
+    // The kernel node aggregated 3 samples of the same kernel.
+    bool found = false;
+    db->cct().visit([&](const CctNode &node) {
+        if (node.frame().kind == dlmon::FrameKind::kKernel) {
+            found = true;
+            EXPECT_EQ(node.findMetric(db->metrics().find("gpu_time_ns"))
+                          ->count(),
+                      3u);
+        }
+    });
+    EXPECT_TRUE(found);
+}
+
+TEST(Profiler, PcSamplingAddsInstructionFrames)
+{
+    ProfilerFixture fx;
+    ProfilerConfig config;
+    config.pc_sampling = true;
+    Profiler profiler(*fx.monitor, config);
+
+    fw::Tensor x = fx.torch->input({1 << 20});
+    fx.torch->run(fw::ops::relu(fx.torch->opEnv(), x));
+    fx.torch->synchronize();
+
+    auto db = profiler.finish();
+    std::size_t instruction_nodes = 0;
+    db->cct().visit([&](const CctNode &node) {
+        if (node.frame().kind == dlmon::FrameKind::kInstruction)
+            ++instruction_nodes;
+    });
+    EXPECT_GT(instruction_nodes, 0u);
+    EXPECT_GT(profiler.stats().pc_samples_consumed, 0u);
+}
+
+TEST(Profiler, CpuSamplingAttributesIntervals)
+{
+    ProfilerFixture fx;
+    ProfilerConfig config;
+    config.cpu_sampling = true;
+    config.cpu_sample_period_ns = 50'000;
+    Profiler profiler(*fx.monitor, config);
+
+    pyrt::PyScope frame(fx.ctx.currentThread().pyStack(),
+                        fx.ctx.currentThread().nativeStack(), fx.interp,
+                        {"train.py", "busy_loop", 9});
+    fx.ctx.advanceCpu(1'000'000);
+
+    auto db = profiler.finish();
+    const int cpu_time = db->metrics().find("cpu_time_ns");
+    ASSERT_GE(cpu_time, 0);
+    const RunningStat *stat = db->cct().root().findMetric(cpu_time);
+    ASSERT_NE(stat, nullptr);
+    EXPECT_GE(stat->sum(), 900'000.0);
+}
+
+TEST(Profiler, OverheadIsCharged)
+{
+    ProfilerFixture fx;
+    Profiler profiler(*fx.monitor, {});
+    fw::Tensor x = fx.torch->input({1 << 16});
+    fx.torch->run(fw::ops::relu(fx.torch->opEnv(), x));
+    fx.torch->synchronize();
+    EXPECT_GT(fx.ctx.profilingOverheadTotal(), 0);
+}
+
+TEST(ProfileDb, SerializationRoundTrip)
+{
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    const int gpu = metrics.intern("gpu_time_ns");
+    CctNode *leaf = cct->insert(
+        {Frame::python("train.py", "main", 3), Frame::op("aten::x"),
+         Frame::kernel("k \"quoted\"\t")});
+    cct->addMetric(leaf, gpu, 12.5);
+    cct->addMetric(leaf, gpu, 7.5);
+
+    ProfileDb db(std::move(cct), std::move(metrics),
+                 {{"device", "A100 SXM 80GB"}});
+    const std::string text = db.serialize();
+
+    auto loaded = ProfileDb::deserialize(text);
+    EXPECT_EQ(loaded->metadata().at("device"), "A100 SXM 80GB");
+    EXPECT_EQ(loaded->cct().nodeCount(), db.cct().nodeCount());
+    const int loaded_gpu = loaded->metrics().find("gpu_time_ns");
+    const RunningStat *stat =
+        loaded->cct().root().findMetric(loaded_gpu);
+    ASSERT_NE(stat, nullptr);
+    EXPECT_DOUBLE_EQ(stat->sum(), 20.0);
+    EXPECT_EQ(stat->count(), 2u);
+    EXPECT_DOUBLE_EQ(stat->min(), 7.5);
+    // Byte-identical re-serialization.
+    EXPECT_EQ(loaded->serialize(), text);
+}
+
+TEST(ProfileDb, SaveLoadFile)
+{
+    auto cct = std::make_unique<Cct>();
+    cct->insert({Frame::op("a")});
+    ProfileDb db(std::move(cct), MetricRegistry{}, {});
+    const std::string path = ::testing::TempDir() + "/profile.dcp";
+    const std::uint64_t bytes = db.save(path);
+    EXPECT_GT(bytes, 0u);
+    auto loaded = ProfileDb::load(path);
+    EXPECT_EQ(loaded->cct().nodeCount(), 2u);
+}
+
+} // namespace
+} // namespace dc::prof

@@ -1,0 +1,417 @@
+/** @file Tests for the simulation substrates (GPU, loader, CPU, perf). */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu/cpu_info.h"
+#include "sim/cupti/cupti_sim.h"
+#include "sim/gpu/cost_model.h"
+#include "sim/gpu/gpu_device.h"
+#include "sim/gpu/instruction_sampler.h"
+#include "sim/loader/audit_config.h"
+#include "sim/loader/library_registry.h"
+#include "sim/loader/native_stack.h"
+#include "sim/loader/source_map.h"
+#include "sim/perf/perf_events.h"
+#include "sim/roctracer/roctracer_sim.h"
+#include "sim/runtime/gpu_runtime.h"
+#include "sim/sim_context.h"
+
+namespace dc::sim {
+namespace {
+
+KernelDesc
+memoryKernel(std::uint64_t bytes, std::uint64_t grid = 1024)
+{
+    KernelDesc k;
+    k.name = "mem";
+    k.grid = grid;
+    k.block = 256;
+    k.bytes_read = bytes / 2;
+    k.bytes_written = bytes / 2;
+    return k;
+}
+
+TEST(CostModel, MoreBytesTakeLonger)
+{
+    const GpuArch arch = makeA100();
+    DurationNs prev = 0;
+    for (std::uint64_t mb = 16; mb <= 256; mb *= 2) {
+        const DurationNs d =
+            CostModel::duration(arch, memoryKernel(mb << 20));
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(CostModel, SerializationScalesDuration)
+{
+    const GpuArch arch = makeA100();
+    KernelDesc k = memoryKernel(64 << 20);
+    const DurationNs base = CostModel::duration(arch, k);
+    k.serialization_factor = 10.0;
+    const DurationNs serialized = CostModel::duration(arch, k);
+    EXPECT_GT(serialized, 8 * base);
+    EXPECT_LT(serialized, 12 * base);
+}
+
+TEST(CostModel, SmallGridUnderutilizes)
+{
+    const GpuArch arch = makeA100();
+    // Same total work, spread over 4 CTAs vs 1024 CTAs.
+    KernelDesc narrow = memoryKernel(64 << 20, 4);
+    KernelDesc wide = memoryKernel(64 << 20, 1024);
+    EXPECT_GT(CostModel::duration(arch, narrow),
+              2 * CostModel::duration(arch, wide));
+}
+
+TEST(CostModel, NonVectorizedIsSlower)
+{
+    const GpuArch arch = makeA100();
+    KernelDesc k = memoryKernel(8 << 20);
+    k.vectorized = true;
+    const DurationNs fast = CostModel::duration(arch, k);
+    k.vectorized = false;
+    EXPECT_GT(CostModel::duration(arch, k), fast);
+}
+
+TEST(CostModel, ConstantBytesAddFixedCost)
+{
+    const GpuArch arch = makeA100();
+    KernelDesc k = memoryKernel(1 << 20);
+    const DurationNs base = CostModel::duration(arch, k);
+    k.constant_bytes = 2048;
+    EXPECT_GT(CostModel::duration(arch, k), base);
+}
+
+TEST(CostModel, TensorCoresBeatVectorUnits)
+{
+    const GpuArch arch = makeA100();
+    KernelDesc k;
+    k.name = "gemm";
+    k.grid = 2048;
+    k.block = 256;
+    k.flops = 1e12;
+    k.uses_tensor_cores = true;
+    const DurationNs tc = CostModel::duration(arch, k);
+    k.uses_tensor_cores = false;
+    EXPECT_GT(CostModel::duration(arch, k), 3 * tc);
+}
+
+TEST(CostModel, MemcpyScalesWithBytes)
+{
+    const GpuArch arch = makeA100();
+    EXPECT_GT(CostModel::memcpyDuration(arch, 1 << 30),
+              4 * CostModel::memcpyDuration(arch, 128 << 20));
+}
+
+/** Parameterized occupancy sweep: more registers -> fewer resident CTAs. */
+class OccupancySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OccupancySweep, RegistersLimitConcurrency)
+{
+    const GpuArch arch = makeA100();
+    const int regs = GetParam();
+    const int concurrent = arch.concurrentCtas(256, regs, 0);
+    EXPECT_GE(concurrent, arch.sm_count);
+    if (regs >= 128) {
+        EXPECT_LT(concurrent,
+                  arch.concurrentCtas(256, regs / 2, 0));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registers, OccupancySweep,
+                         ::testing::Values(32, 64, 128, 255));
+
+TEST(GpuArch, WarpSizeDiffersAcrossVendors)
+{
+    EXPECT_EQ(makeA100().warp_size, 32);
+    EXPECT_EQ(makeMi250().warp_size, 64);
+    EXPECT_EQ(makeA100().vendor, GpuVendor::kNvidia);
+    EXPECT_EQ(makeMi250().vendor, GpuVendor::kAmd);
+}
+
+TEST(InstructionSampler, SampleCountTracksDuration)
+{
+    const GpuArch arch = makeA100();
+    InstructionSampler sampler(1'000, 1);
+    KernelDesc k = memoryKernel(64 << 20);
+    const KernelCost cost = CostModel::evaluate(arch, k);
+    const auto samples = sampler.sample(arch, k, cost);
+    EXPECT_EQ(samples.size(),
+              static_cast<std::size_t>(cost.duration_ns / 1'000));
+}
+
+TEST(InstructionSampler, NonVectorizedCastShowsExecDependency)
+{
+    KernelDesc k = memoryKernel(64 << 10);
+    k.vectorized = false;
+    k.constant_bytes = 1024;
+    const KernelCost cost = CostModel::evaluate(makeA100(), k);
+    const auto mix = InstructionSampler::stallMix(k, cost);
+    EXPECT_GT(mix[static_cast<int>(StallReason::kExecDependency)], 0.15);
+    EXPECT_GT(mix[static_cast<int>(StallReason::kConstantMiss)], 0.15);
+    double total = 0.0;
+    for (double p : mix)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GpuDevice, StreamsSerializeAndOverlap)
+{
+    GpuDevice device(0, makeA100());
+    KernelDesc k = memoryKernel(16 << 20);
+    const KernelCost c1 = device.launchKernel(0, k, 1, 0);
+    const KernelCost c2 = device.launchKernel(0, k, 2, 0);
+    // Same stream: serialized.
+    EXPECT_EQ(device.streamTail(0), c1.duration_ns + c2.duration_ns);
+    // Different stream: overlaps.
+    device.launchKernel(1, k, 3, 0);
+    EXPECT_EQ(device.streamTail(1), c1.duration_ns);
+    EXPECT_EQ(device.kernelCount(), 3u);
+}
+
+TEST(GpuDevice, ActivityFlushOnCapacity)
+{
+    GpuDevice device(0, makeA100());
+    std::size_t flushed = 0;
+    device.setFlushHandler(
+        [&flushed](std::vector<ActivityRecord> &&records) {
+            flushed += records.size();
+        },
+        4);
+    KernelDesc k = memoryKernel(1 << 20);
+    for (int i = 0; i < 10; ++i)
+        device.launchKernel(0, k, static_cast<CorrelationId>(i), 0);
+    EXPECT_EQ(flushed, 8u); // two automatic flushes of 4
+    device.flushActivities();
+    EXPECT_EQ(flushed, 10u);
+}
+
+TEST(GpuDevice, MemoryAccounting)
+{
+    GpuDevice device(0, makeA100());
+    device.allocate(1 << 20);
+    device.allocate(2 << 20);
+    device.release(1 << 20);
+    EXPECT_EQ(device.memoryUsed(), 2u << 20);
+    EXPECT_EQ(device.memoryPeak(), 3u << 20);
+}
+
+TEST(LibraryRegistry, SymbolResolution)
+{
+    LibraryRegistry registry;
+    const int lib = registry.registerLibrary("libx.so");
+    const Pc a = registry.registerSymbol(lib, "foo", 64);
+    const Pc b = registry.registerSymbol(lib, "bar", 64);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(registry.findSymbol(a)->name, "foo");
+    EXPECT_EQ(registry.findSymbol(a + 10)->name, "foo");
+    EXPECT_EQ(registry.findLibrary(b)->name, "libx.so");
+    EXPECT_EQ(registry.describe(a), "libx.so!foo");
+    EXPECT_EQ(registry.describe(a + 8), "libx.so!foo+0x8");
+    // Re-registration is idempotent.
+    EXPECT_EQ(registry.registerSymbol(lib, "foo"), a);
+}
+
+TEST(LibraryRegistry, PythonDetection)
+{
+    LibraryRegistry registry;
+    registry.registerLibrary("libother.so");
+    const int py = registry.registerLibrary("libpython.so");
+    const Pc eval = registry.registerSymbol(py, "eval");
+    EXPECT_FALSE(registry.isPythonPc(eval));
+    registry.markPythonLibrary("libpython.so");
+    EXPECT_TRUE(registry.isPythonPc(eval));
+}
+
+TEST(NativeStack, CursorWalksLeafToRoot)
+{
+    NativeStack stack;
+    stack.push(1);
+    stack.push(2);
+    stack.push(3);
+    UnwindCursor cursor(stack);
+    std::vector<Pc> seen;
+    while (cursor.step())
+        seen.push_back(cursor.current().pc);
+    EXPECT_EQ(seen, (std::vector<Pc>{3, 2, 1}));
+    EXPECT_EQ(cursor.stepsTaken(), 3u);
+}
+
+TEST(NativeStack, ScopeIsRaii)
+{
+    NativeStack stack;
+    {
+        NativeScope outer(stack, 10);
+        NativeScope inner(stack, 20);
+        EXPECT_EQ(stack.depth(), 2u);
+    }
+    EXPECT_TRUE(stack.empty());
+}
+
+TEST(SourceMap, NearestRecordWins)
+{
+    SourceMap map;
+    map.add(100, "a.cu", 10);
+    map.add(200, "b.cu", 20);
+    EXPECT_EQ(map.resolve(150)->file, "a.cu");
+    EXPECT_EQ(map.resolve(200)->line, 20);
+    EXPECT_FALSE(map.resolve(50).has_value());
+    EXPECT_FALSE(map.resolve(200 + 5000).has_value());
+}
+
+TEST(AuditConfig, ParsesEntriesAndReportsErrors)
+{
+    const AuditConfig config = AuditConfig::parse(
+        "# comment\n"
+        "libnpu.so npuLaunchKernel kernel_launch\n"
+        "libnpu.so npuMemcpyAsync memcpy\n"
+        "broken-line\n"
+        "libnpu.so foo not_a_kind\n");
+    EXPECT_EQ(config.entries().size(), 2u);
+    EXPECT_EQ(config.errors().size(), 2u);
+    EXPECT_NE(config.match("libnpu.so", "npuLaunchKernel"), nullptr);
+    EXPECT_EQ(config.match("libnpu.so", "nothing"), nullptr);
+}
+
+TEST(SimContext, CriticalPathAdvancesWall)
+{
+    SimContext ctx;
+    ctx.advanceCpu(100);
+    EXPECT_EQ(ctx.now(), 100);
+    SimThread &worker =
+        ctx.createThread("w", ThreadKind::kLoaderWorker, false);
+    {
+        ThreadSwitch sw(ctx, worker.id());
+        ctx.advanceCpu(1000);
+    }
+    EXPECT_EQ(ctx.now(), 100);          // worker off the critical path
+    EXPECT_EQ(worker.cpuTime(), 1000);  // but its CPU time accrued
+    EXPECT_EQ(ctx.currentThreadId(), 0u);
+}
+
+TEST(SimContext, DeviceSyncAdvancesWall)
+{
+    SimContext ctx;
+    GpuDevice &device = ctx.addDevice(makeA100());
+    KernelDesc k;
+    k.name = "x";
+    k.grid = 1024;
+    k.block = 256;
+    k.bytes_read = 64 << 20;
+    device.launchKernel(0, k, 1, ctx.now());
+    ctx.synchronizeAllDevices();
+    EXPECT_GE(ctx.now(), CostModel::duration(makeA100(), k));
+}
+
+TEST(SignalSampler, DeliversExpectedSampleCount)
+{
+    SimContext ctx;
+    int samples = 0;
+    SignalSampler sampler(ctx, TimerEventKind::kCpuTime, 1000,
+                          [&samples](SimThread &, TimerEventKind,
+                                     DurationNs, TimeNs) { ++samples; });
+    for (int i = 0; i < 10; ++i)
+        ctx.advanceCpu(500);
+    EXPECT_EQ(samples, 5);
+    EXPECT_EQ(sampler.sampleCount(), 5u);
+}
+
+TEST(PapiCounters, AccumulateWithWork)
+{
+    SimContext ctx;
+    PapiCounterSet counters(ctx);
+    ctx.advanceCpu(1'000'000);
+    EXPECT_GT(counters.read(PerfCounter::kCycles), 1'000'000u);
+    EXPECT_GT(counters.read(PerfCounter::kInstructions),
+              counters.read(PerfCounter::kCycles));
+    counters.reset();
+    EXPECT_EQ(counters.read(PerfCounter::kCycles), 0u);
+}
+
+TEST(SchedulingOverhead, OversubscriptionMonotone)
+{
+    EXPECT_DOUBLE_EQ(schedulingOverheadFactor(4, 8), 1.0);
+    EXPECT_DOUBLE_EQ(schedulingOverheadFactor(8, 8), 1.0);
+    EXPECT_GT(schedulingOverheadFactor(16, 8),
+              schedulingOverheadFactor(12, 8));
+    EXPECT_LE(schedulingOverheadFactor(1000, 2), 2.5);
+}
+
+TEST(VendorApis, CuptiRejectsAmdDevice)
+{
+    SimContext ctx;
+    ctx.addDevice(makeMi250());
+    GpuRuntime runtime(ctx);
+    cupti::Subscriber subscriber;
+    EXPECT_EQ(cupti::cuptiSubscribe(runtime, 0,
+                                    [](const ApiCallbackInfo &) {},
+                                    &subscriber),
+              cupti::CuptiResult::kErrorInvalidDevice);
+    EXPECT_EQ(roctracer::roctracerOpenPool(
+                  runtime, 0, [](std::vector<ActivityRecord> &&) {}),
+              roctracer::kRoctracerStatusSuccess);
+}
+
+TEST(VendorApis, RoctracerRejectsNvidiaDevice)
+{
+    SimContext ctx;
+    ctx.addDevice(makeA100());
+    GpuRuntime runtime(ctx);
+    EXPECT_EQ(roctracer::roctracerFlushActivity(runtime, 0),
+              roctracer::kRoctracerStatusBadDevice);
+    cupti::Subscriber subscriber;
+    EXPECT_EQ(cupti::cuptiSubscribe(runtime, 0,
+                                    [](const ApiCallbackInfo &) {},
+                                    &subscriber),
+              cupti::CuptiResult::kSuccess);
+    EXPECT_EQ(cupti::cuptiUnsubscribe(&subscriber),
+              cupti::CuptiResult::kSuccess);
+}
+
+TEST(GpuRuntime, CallbacksCarryCorrelationIds)
+{
+    SimContext ctx;
+    ctx.addDevice(makeA100());
+    GpuRuntime runtime(ctx);
+    std::vector<CorrelationId> seen;
+    runtime.subscribe([&seen](const ApiCallbackInfo &info) {
+        if (info.phase == ApiPhase::kEnter)
+            seen.push_back(info.correlation_id);
+    });
+    KernelDesc k;
+    k.name = "x";
+    k.grid = 8;
+    k.block = 128;
+    k.bytes_read = 1 << 20;
+    const CorrelationId c1 = runtime.launchKernel(0, 0, k);
+    const CorrelationId c2 = runtime.memcpyAsync(0, 0, 1 << 20);
+    EXPECT_EQ(seen, (std::vector<CorrelationId>{c1, c2}));
+    EXPECT_NE(c1, c2);
+}
+
+TEST(GpuRuntime, AuditInterceptionMatchesConfiguredFunctions)
+{
+    SimContext ctx;
+    ctx.addDevice(makeCustomAccelerator());
+    GpuRuntime runtime(ctx);
+    const AuditConfig config = AuditConfig::parse(
+        "libnpu_runtime_sim.so npuLaunchKernel kernel_launch\n");
+    int audit_hits = 0;
+    runtime.installAudit(config, [&audit_hits](const ApiCallbackInfo &) {
+        ++audit_hits;
+    });
+    KernelDesc k;
+    k.name = "x";
+    k.grid = 4;
+    k.block = 128;
+    k.bytes_read = 1 << 16;
+    runtime.launchKernel(0, 0, k);
+    runtime.memcpyAsync(0, 0, 1 << 16); // not in the config
+    EXPECT_EQ(audit_hits, 2); // enter + exit of the launch only
+}
+
+} // namespace
+} // namespace dc::sim

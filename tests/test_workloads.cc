@@ -1,0 +1,236 @@
+/** @file Integration tests: full workload runs through the harness. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/trace_profiler.h"
+#include "workloads/runner.h"
+
+namespace dc::workloads {
+namespace {
+
+RunConfig
+quickConfig(WorkloadId workload, ProfilerMode mode = ProfilerMode::kNone)
+{
+    RunConfig config;
+    config.workload = workload;
+    config.iterations = 3;
+    config.profiler = mode;
+    return config;
+}
+
+/** Every workload runs on every framework/platform combination. */
+class AllWorkloads : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllWorkloads, RunsOnAllFrameworksAndPlatforms)
+{
+    const auto workload = static_cast<WorkloadId>(GetParam());
+    for (FrameworkSel framework :
+         {FrameworkSel::kTorch, FrameworkSel::kJax}) {
+        for (PlatformSel platform :
+             {PlatformSel::kNvidiaA100, PlatformSel::kAmdMi250}) {
+            RunConfig config = quickConfig(workload);
+            config.framework = framework;
+            config.platform = platform;
+            const RunResult result = runWorkload(config);
+            EXPECT_GT(result.end_to_end_ns, 0) << workloadName(workload);
+            EXPECT_GT(result.gpu_kernel_time_ns, 0);
+            EXPECT_GT(result.kernel_count, 0u);
+            EXPECT_GT(result.op_dispatches, 0u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllWorkloads,
+                         ::testing::Range(0, kNumWorkloads));
+
+TEST(Runner, DeterministicAcrossRuns)
+{
+    const RunResult a = runWorkload(quickConfig(WorkloadId::kResnet));
+    const RunResult b = runWorkload(quickConfig(WorkloadId::kResnet));
+    EXPECT_EQ(a.end_to_end_ns, b.end_to_end_ns);
+    EXPECT_EQ(a.gpu_kernel_time_ns, b.gpu_kernel_time_ns);
+    EXPECT_EQ(a.kernel_count, b.kernel_count);
+    EXPECT_EQ(a.peak_host_bytes, b.peak_host_bytes);
+}
+
+TEST(Runner, ProfilerModesOrderOverhead)
+{
+    // NanoGPT is CPU-bound: overhead ordering must be visible.
+    const DurationNs base =
+        runWorkload(quickConfig(WorkloadId::kNanoGpt)).end_to_end_ns;
+    const DurationNs fwprof =
+        runWorkload(quickConfig(WorkloadId::kNanoGpt,
+                                ProfilerMode::kFrameworkProfiler))
+            .end_to_end_ns;
+    const DurationNs dc =
+        runWorkload(quickConfig(WorkloadId::kNanoGpt,
+                                ProfilerMode::kDeepContext))
+            .end_to_end_ns;
+    const DurationNs native =
+        runWorkload(quickConfig(WorkloadId::kNanoGpt,
+                                ProfilerMode::kDeepContextNative))
+            .end_to_end_ns;
+    EXPECT_LE(base, fwprof);
+    EXPECT_LT(fwprof, dc);
+    EXPECT_LT(dc, native);
+}
+
+TEST(Runner, DeepContextMemoryIsFlatAcrossIterations)
+{
+    RunConfig short_run = quickConfig(WorkloadId::kNanoGpt,
+                                      ProfilerMode::kDeepContext);
+    short_run.keep_profile = true;
+    RunConfig long_run = short_run;
+    long_run.iterations = 12;
+    const RunResult a = runWorkload(short_run);
+    const RunResult b = runWorkload(long_run);
+    // CCT size grows sub-linearly (ideally not at all) with iterations.
+    EXPECT_LT(b.profile->cct().memoryBytes(),
+              2 * a.profile->cct().memoryBytes());
+    EXPECT_EQ(a.profile->cct().nodeCount(),
+              b.profile->cct().nodeCount());
+}
+
+TEST(Runner, TraceProfilerMemoryGrowsWithIterations)
+{
+    RunConfig short_run = quickConfig(WorkloadId::kNanoGpt,
+                                      ProfilerMode::kFrameworkProfiler);
+    RunConfig long_run = short_run;
+    long_run.iterations = 6;
+    const RunResult a = runWorkload(short_run);
+    const RunResult b = runWorkload(long_run);
+    EXPECT_GT(b.trace_events, static_cast<std::uint64_t>(
+                                  1.8 * static_cast<double>(
+                                            a.trace_events)));
+    EXPECT_GT(b.trace_bytes, a.trace_bytes);
+}
+
+TEST(Runner, IndexSelectKnobShrinksGpuTime)
+{
+    RunConfig before = quickConfig(WorkloadId::kDlrmSmall);
+    RunConfig after = before;
+    after.knobs.use_index_select = true;
+    EXPECT_GT(runWorkload(before).gpu_kernel_time_ns,
+              runWorkload(after).gpu_kernel_time_ns);
+}
+
+TEST(Runner, ChannelsLastKnobRemovesConversions)
+{
+    RunConfig before = quickConfig(WorkloadId::kUnet);
+    RunConfig after = before;
+    after.knobs.channels_last = true;
+    const RunResult base = runWorkload(before);
+    const RunResult optimized = runWorkload(after);
+    EXPECT_GT(base.gpu_kernel_time_ns, optimized.gpu_kernel_time_ns);
+    // Conversions also launch extra kernels.
+    EXPECT_GT(base.kernel_count, optimized.kernel_count);
+}
+
+TEST(Runner, NormCtaFixHelpsOnlyAmd)
+{
+    RunConfig amd = quickConfig(WorkloadId::kUnet);
+    amd.platform = PlatformSel::kAmdMi250;
+    RunConfig amd_fixed = amd;
+    amd_fixed.knobs.norm_cta_fix = true;
+    EXPECT_GT(runWorkload(amd).gpu_kernel_time_ns,
+              runWorkload(amd_fixed).gpu_kernel_time_ns);
+
+    RunConfig nv = quickConfig(WorkloadId::kUnet);
+    RunConfig nv_fixed = nv;
+    nv_fixed.knobs.norm_cta_fix = true;
+    // On warp-32 devices the fix is a no-op.
+    EXPECT_EQ(runWorkload(nv).gpu_kernel_time_ns,
+              runWorkload(nv_fixed).gpu_kernel_time_ns);
+}
+
+TEST(Runner, JaxLaunchesFewerKernelsThanTorch)
+{
+    for (WorkloadId workload : {WorkloadId::kDlrmSmall, WorkloadId::kUnet,
+                                WorkloadId::kGnn, WorkloadId::kResnet}) {
+        RunConfig torch_cfg = quickConfig(workload);
+        RunConfig jax_cfg = torch_cfg;
+        jax_cfg.framework = FrameworkSel::kJax;
+        const RunResult torch_run = runWorkload(torch_cfg);
+        const RunResult jax_run = runWorkload(jax_cfg);
+        EXPECT_LT(jax_run.kernel_count, torch_run.kernel_count)
+            << workloadName(workload);
+        EXPECT_LT(jax_run.gpu_kernel_time_ns,
+                  torch_run.gpu_kernel_time_ns)
+            << workloadName(workload);
+    }
+}
+
+TEST(Runner, LoaderWorkersKnobChangesEndToEnd)
+{
+    RunConfig bad = quickConfig(WorkloadId::kUnet);
+    bad.cpu = sim::makeSmallAllocation();
+    bad.iterations = 5;
+    RunConfig good = bad;
+    good.knobs.data_loader_workers = 8;
+    EXPECT_GT(runWorkload(bad).end_to_end_ns,
+              runWorkload(good).end_to_end_ns);
+}
+
+TEST(Runner, ProfileContainsWorkloadContexts)
+{
+    RunConfig config = quickConfig(WorkloadId::kDlrmSmall,
+                                   ProfilerMode::kDeepContext);
+    config.keep_profile = true;
+    const RunResult result = runWorkload(config);
+    ASSERT_NE(result.profile, nullptr);
+    bool found_index = false;
+    bool found_backward = false;
+    result.profile->cct().visit([&](const prof::CctNode &node) {
+        if (node.frame().kind == dlmon::FrameKind::kOperator) {
+            found_index |= node.frame().name == "aten::index";
+            found_backward |= node.frame().name == "IndexBackward0";
+        }
+    });
+    EXPECT_TRUE(found_index);
+    EXPECT_TRUE(found_backward);
+    EXPECT_EQ(result.profile->metadata().at("vendor"), "Nvidia");
+}
+
+TEST(Runner, WorkloadMetadataHelpers)
+{
+    EXPECT_STREQ(workloadName(WorkloadId::kDlrmSmall), "DLRM-small");
+    EXPECT_STREQ(workloadDataset(WorkloadId::kUnet), "fastMRI");
+    EXPECT_TRUE(workloadIsInference(WorkloadId::kLlama3));
+    EXPECT_FALSE(workloadIsInference(WorkloadId::kResnet));
+    EXPECT_GT(workloadHostBaselineBytes(WorkloadId::kResnet), 0u);
+    EXPECT_STREQ(frameworkName(FrameworkSel::kJax), "JAX");
+    EXPECT_STREQ(platformName(PlatformSel::kAmdMi250), "AMD");
+    EXPECT_STREQ(profilerModeName(ProfilerMode::kDeepContextNative),
+                 "DeepContext-Native");
+}
+
+TEST(TraceProfiler, ExportOomAtDramLimit)
+{
+    sim::SimContext ctx;
+    ctx.addDevice(sim::makeA100());
+    sim::GpuRuntime runtime(ctx);
+    fw::TorchSession session(ctx, runtime, {});
+    baselines::TraceProfiler tracer(ctx, runtime, 0, &session, nullptr);
+
+    fw::Tensor x = session.input({1 << 16});
+    for (int i = 0; i < 50; ++i)
+        session.run(fw::ops::relu(session.opEnv(), x));
+    session.synchronize();
+    EXPECT_GT(tracer.eventCount(), 50u);
+
+    // Plenty of DRAM: export succeeds and yields JSON.
+    std::string json;
+    const auto ok = tracer.exportChromeTrace(1ull << 40, &json);
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(json.front(), '[');
+
+    // Tiny DRAM: export OOMs.
+    const auto oom = tracer.exportChromeTrace(1);
+    EXPECT_TRUE(oom.oom);
+    EXPECT_FALSE(oom.ok);
+}
+
+} // namespace
+} // namespace dc::workloads
