@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Throughput / latency bench of the profile warehouse.
+ *
+ * Seeds a pool of real profiles by running workloads under DeepContext
+ * (the existing workloads/ runner), then measures, at 1 / 8 / 64 stored
+ * runs:
+ *
+ *  - ingestion throughput (serialized profiles parsed and stored per
+ *    second, all worker threads active),
+ *  - query latency for top-k kernels, a metadata-filtered top-k, and a
+ *    full corpus merge (median of repeated runs).
+ *
+ * Wall-clock here is real host time (std::chrono), not simulator time:
+ * the warehouse is host-side infrastructure, so its cost is measured
+ * directly.
+ *
+ * Usage: bench_profile_service [--max-runs N]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "service/profile_store.h"
+#include "service/query_engine.h"
+#include "workloads/runner.h"
+
+using namespace dc;
+using namespace dc::service;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Run a few real workloads under DeepContext and keep the profiles. */
+std::vector<std::string>
+seedProfiles()
+{
+    using namespace dc::workloads;
+    std::vector<std::string> texts;
+    const std::pair<WorkloadId, FrameworkSel> configs[] = {
+        {WorkloadId::kResnet, FrameworkSel::kTorch},
+        {WorkloadId::kResnet, FrameworkSel::kJax},
+        {WorkloadId::kVit, FrameworkSel::kTorch},
+        {WorkloadId::kNanoGpt, FrameworkSel::kJax},
+    };
+    for (const auto &[workload, framework] : configs) {
+        RunConfig config;
+        config.workload = workload;
+        config.framework = framework;
+        config.profiler = ProfilerMode::kDeepContext;
+        config.iterations = 4;
+        config.keep_profile = true;
+        RunResult result = runWorkload(config);
+        texts.push_back(result.profile->serialize());
+    }
+    return texts;
+}
+
+/** Median latency in microseconds of @p reps calls to @p fn. */
+template <typename Fn>
+double
+medianLatencyUs(int reps, Fn &&fn)
+{
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        const Clock::time_point start = Clock::now();
+        fn();
+        samples.push_back(secondsSince(start) * 1e6);
+    }
+    return median(samples);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int max_runs = 64;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-runs") == 0 && i + 1 < argc)
+            max_runs = std::atoi(argv[++i]);
+    }
+
+    std::printf("profile warehouse bench "
+                "(ingestion + query over stored runs)\n\n");
+    const std::vector<std::string> pool = seedProfiles();
+    std::uint64_t pool_bytes = 0;
+    for (const std::string &text : pool)
+        pool_bytes += text.size();
+    std::printf("seeded %zu workload profiles, avg %s serialized\n\n",
+                pool.size(),
+                humanBytes(pool_bytes / pool.size()).c_str());
+
+    bench::printRow({"stored runs", "ingest time", "profiles/s",
+                     "top-k us", "filter us", "merge us"});
+    bench::printRule(6);
+
+    for (int runs : {1, 8, 64}) {
+        if (runs > max_runs)
+            break;
+        ProfileStore store;
+        const Clock::time_point start = Clock::now();
+        for (int i = 0; i < runs; ++i) {
+            store.ingestText(
+                "run-" + std::to_string(i),
+                pool[static_cast<std::size_t>(i) % pool.size()]);
+        }
+        store.waitIdle();
+        const double ingest_s = secondsSince(start);
+        if (store.stats().failed != 0) {
+            std::printf("unexpected ingestion failures: %llu\n",
+                        static_cast<unsigned long long>(
+                            store.stats().failed));
+            return 1;
+        }
+
+        QueryEngine engine(store);
+        QueryFilter torch;
+        torch.framework = "PyTorch";
+        const int reps = 20;
+        const double topk_us = medianLatencyUs(
+            reps, [&] { engine.topKernels(10); });
+        const double filter_us = medianLatencyUs(
+            reps, [&] { engine.topKernels(10, torch); });
+        const double merge_us =
+            medianLatencyUs(reps, [&] { engine.merged(); });
+
+        bench::printRow(
+            {std::to_string(runs),
+             strformat("%.1f ms", ingest_s * 1e3),
+             strformat("%.0f", static_cast<double>(runs) / ingest_s),
+             strformat("%.0f", topk_us), strformat("%.0f", filter_us),
+             strformat("%.0f", merge_us)});
+    }
+
+    std::printf("\nquery sanity: ");
+    {
+        ProfileStore store;
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            store.ingestText("run-" + std::to_string(i), pool[i]);
+        store.waitIdle();
+        QueryEngine engine(store);
+        const auto top = engine.topKernels(3);
+        for (const KernelAggregate &agg : top) {
+            std::printf("%s (%s over %zu runs)  ", agg.name.c_str(),
+                        humanTime(static_cast<std::int64_t>(agg.total))
+                            .c_str(),
+                        agg.runs);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

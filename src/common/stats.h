@@ -55,7 +55,13 @@ class RunningStat
         sum_ += other.sum_;
         min_ = std::min(min_, other.min_);
         max_ = std::max(max_, other.max_);
-        count_ += other.count_;
+        // Saturate instead of wrapping: a wrapped count would silently
+        // zero out mean()/min()/max()/variance() on a stat that still
+        // carries a huge sum.
+        count_ = count_ > std::numeric_limits<std::uint64_t>::max() -
+                              other.count_
+                     ? std::numeric_limits<std::uint64_t>::max()
+                     : count_ + other.count_;
     }
 
     std::uint64_t count() const { return count_; }
@@ -64,6 +70,20 @@ class RunningStat
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     double m2() const { return m2_; }
+
+    /**
+     * Non-mutating merge: the accumulator that would result from adding
+     * every sample of @p a and @p b. Commutative and associative (up to
+     * floating-point rounding), which is what lets the profile warehouse
+     * merge run metrics in any ingestion order.
+     */
+    static RunningStat
+    merged(const RunningStat &a, const RunningStat &b)
+    {
+        RunningStat out = a;
+        out.merge(b);
+        return out;
+    }
 
     /** Rebuild an accumulator from serialized raw fields. */
     static RunningStat
@@ -80,6 +100,56 @@ class RunningStat
             s.m2_ = m2;
         }
         return s;
+    }
+
+    /**
+     * Magnitude bound on sample values (and so on min/max/mean)
+     * enforced by consistent(). Real metrics (ns, bytes, counts,
+     * occupancy) sit many orders of magnitude below it; it exists so
+     * that parallel-Welford merges over any feasible corpus of
+     * accepted stats stay finite — finite-but-extreme fields like
+     * ±1e308 would overflow `delta * delta * n` to inf and poison
+     * every aggregate downstream.
+     */
+    static constexpr double kMaxAbsValue = 1e30;
+
+    /**
+     * Cross-field consistency: finite fields, values within
+     * kMaxAbsValue, mean within [min, max], |sum| and m2 within
+     * count-scaled bounds, non-negative m2, all-zero when empty.
+     *
+     * The profile parser, warehouse handoff validation, and merge
+     * entry points share this check so a hand-built stat (fromRaw is
+     * unguarded) meets the same bar as a parsed one. The count-scaled
+     * bounds carry slack (2x for sum, 8x for m2 vs. the tightest
+     * mathematical bounds) so that any merge of honestly-derived
+     * accepted stats is accepted again — sums add within count *
+     * value-bound, and merged m2 is leaf m2 plus a between-group term
+     * bounded by count * spread². Only adversarially inflated m2 near
+     * the cap can push deeply re-merged products over the bar, and
+     * those fail validate with a clear error rather than corrupting
+     * aggregates.
+     */
+    bool
+    consistent() const
+    {
+        if (!std::isfinite(sum_) || !std::isfinite(mean_) ||
+            !std::isfinite(m2_) || m2_ < 0.0) {
+            return false;
+        }
+        if (count_ == 0)
+            return sum_ == 0.0 && mean_ == 0.0 && m2_ == 0.0;
+        const double n = static_cast<double>(count_);
+        // Relative slack on the mean-in-range check absorbs the ulp of
+        // rounding Welford's running mean can stray past an endpoint.
+        const double slack =
+            1e-9 * (std::abs(min_) + std::abs(max_) + 1.0);
+        return std::isfinite(min_) && std::isfinite(max_) &&
+               min_ <= max_ && std::abs(min_) <= kMaxAbsValue &&
+               std::abs(max_) <= kMaxAbsValue &&
+               mean_ >= min_ - slack && mean_ <= max_ + slack &&
+               std::abs(sum_) <= 2.0 * n * kMaxAbsValue &&
+               m2_ <= 8.0 * n * kMaxAbsValue * kMaxAbsValue;
     }
 
     /** Population variance; 0 for fewer than two samples. */

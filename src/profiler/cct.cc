@@ -1,5 +1,7 @@
 #include "profiler/cct.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace dc::prof {
@@ -103,8 +105,20 @@ CctNode *
 Cct::insert(const dlmon::CallPath &path, std::size_t *created_nodes)
 {
     CctNode *node = root_.get();
+    // Live profiling must never abort the host application: paths
+    // beyond the depth cap are truncated (metrics then aggregate at the
+    // truncated leaf, so totals stay conserved).
+    std::size_t depth_budget = static_cast<std::size_t>(kMaxDepth);
+    if (path.size() > depth_budget && !depth_warned_) {
+        depth_warned_ = true;
+        DC_WARN("call path of ", path.size(),
+                " frames truncated to max depth ", kMaxDepth,
+                " (warned once per tree)");
+    }
     std::size_t created = 0;
     for (const dlmon::Frame &frame : path) {
+        if (depth_budget-- == 0)
+            break;
         bool was_created = false;
         node = node->child(frame, &was_created);
         if (was_created) {
@@ -122,6 +136,17 @@ CctNode *
 Cct::attachChild(CctNode *parent, const dlmon::Frame &frame)
 {
     DC_CHECK(parent != nullptr, "attach to null parent");
+    if (parent->depth() >= kMaxDepth) {
+        // Graceful degradation mirroring insert(): attribute to the
+        // parent rather than grow past the cap (or abort the host).
+        if (!depth_warned_) {
+            depth_warned_ = true;
+            DC_WARN("attach at max depth ", kMaxDepth,
+                    "; attributing to the parent node "
+                    "(warned once per tree)");
+        }
+        return parent;
+    }
     bool created = false;
     CctNode *node = parent->child(frame, &created);
     if (created) {
@@ -132,9 +157,63 @@ Cct::attachChild(CctNode *parent, const dlmon::Frame &frame)
 }
 
 std::size_t
+Cct::mergeFrom(const Cct &other, const std::vector<int> &metric_remap)
+{
+    DC_CHECK(&other != this,
+             "merge of a tree into itself would double every stat");
+    const std::size_t before = node_count_;
+
+    std::function<void(CctNode &, const CctNode &)> mergeInto =
+        [&](CctNode &dst, const CctNode &src) {
+            for (const auto &[metric_id, stat] : src.metrics()) {
+                int id = metric_id;
+                if (!metric_remap.empty()) {
+                    DC_CHECK(metric_id >= 0 &&
+                                 metric_id < static_cast<int>(
+                                                 metric_remap.size()),
+                             "unmapped metric id ", metric_id,
+                             " while merging CCTs");
+                    id = metric_remap[static_cast<std::size_t>(metric_id)];
+                }
+                const bool existed = dst.findMetric(id) != nullptr;
+                RunningStat &accumulator = dst.metric(id);
+                accumulator = RunningStat::merged(accumulator, stat);
+                if (!existed)
+                    charge(kMetricBytes);
+            }
+            src.forEachChild([&](const CctNode &src_child) {
+                CctNode *dst_child =
+                    attachChild(&dst, src_child.frame());
+                mergeInto(*dst_child, src_child);
+            });
+        };
+
+    mergeInto(*root_, other.root());
+    return node_count_ - before;
+}
+
+std::size_t
 Cct::addMetric(CctNode *node, int metric_id, double value, bool propagate)
 {
     DC_CHECK(node != nullptr, "metric on null node");
+    // Every stat in the tree stays finite and within RunningStat's
+    // magnitude bounds: one inf/NaN or absurdly large sample (a rate
+    // with a zero denominator, an overflowed sum) would otherwise be
+    // serialized, then rejected by the hardened parser — making a
+    // profile we saved unloadable — and would poison every aggregate
+    // it merges into. With samples capped here, every stat the tree
+    // can build (sums and Welford m2 over at most 2^64 samples) stays
+    // inside the bounds, so profiler output always round-trips and
+    // merges cleanly. Dropped with a warning, never an abort.
+    if (!std::isfinite(value) ||
+        std::abs(value) > RunningStat::kMaxAbsValue) {
+        if (!metric_warned_) {
+            metric_warned_ = true;
+            DC_WARN("dropping out-of-range sample for metric ",
+                    metric_id, " (warned once per tree)");
+        }
+        return 0;
+    }
     std::size_t updated = 0;
     for (CctNode *cur = node; cur != nullptr; cur = cur->parent()) {
         const bool existed = cur->findMetric(metric_id) != nullptr;

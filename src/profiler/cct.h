@@ -77,6 +77,17 @@ class Cct
 {
   public:
     /**
+     * Maximum node depth. Real unified call paths are tens of frames;
+     * the cap is an invariant because consumers of the tree —
+     * serialize, merge, visit — recurse once per level, so depth must
+     * stay bounded for the warehouse to be safe against stack
+     * overflow. Live insertion truncates over-deep paths with a
+     * warning (profiling must never abort the host application);
+     * profile parsing rejects files exceeding the cap outright.
+     */
+    static constexpr int kMaxDepth = 1000;
+
+    /**
      * @param tracker Optional host-memory tracker; node and metric
      *        creation is charged to the "profiler.cct" category so the
      *        Figure 6 memory-overhead comparison is structural.
@@ -109,11 +120,23 @@ class Cct
     /**
      * Add one metric sample at @p node; when @p propagate is set the
      * sample is also added to every ancestor up to the root (Figure 5's
-     * "propagate metrics").
-     * @return Number of nodes updated.
+     * "propagate metrics"). Non-finite samples are dropped with a
+     * warning so tree stats always serialize and merge cleanly.
+     * @return Number of nodes updated (0 for a dropped sample).
      */
     std::size_t addMetric(CctNode *node, int metric_id, double value,
                           bool propagate = true);
+
+    /**
+     * Structurally merge @p other into this tree: frames matching
+     * Frame::sameLocation unify, subtrees absent here are created, and
+     * per-node RunningStat accumulators are combined (parallel Welford).
+     * Metric ids of @p other are translated through @p metric_remap
+     * (index = other id) when non-empty; empty means ids already agree.
+     * @return Number of nodes created in this tree.
+     */
+    std::size_t mergeFrom(const Cct &other,
+                          const std::vector<int> &metric_remap = {});
 
     /** Total node count (including the root). */
     std::size_t nodeCount() const { return node_count_; }
@@ -139,6 +162,11 @@ class Cct
     HostMemoryTracker *tracker_;
     std::size_t node_count_ = 1;
     std::uint64_t memory_bytes_ = 0;
+    /// Depth-cap truncation and non-finite-sample drops are warned
+    /// once per tree: they fire on the profiling hot path, so
+    /// per-event logging would itself become the overhead.
+    bool depth_warned_ = false;
+    bool metric_warned_ = false;
 };
 
 } // namespace dc::prof

@@ -16,6 +16,16 @@ MetricRegistry::intern(const std::string &name)
     return id;
 }
 
+std::vector<int>
+MetricRegistry::mergeFrom(const MetricRegistry &other)
+{
+    std::vector<int> remap;
+    remap.reserve(other.names_.size());
+    for (const std::string &name : other.names_)
+        remap.push_back(intern(name));
+    return remap;
+}
+
 int
 MetricRegistry::find(const std::string &name) const
 {

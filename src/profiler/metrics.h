@@ -49,6 +49,14 @@ class MetricRegistry
     /** Name of an ID. */
     const std::string &name(int id) const;
 
+    /**
+     * Intern every metric of @p other into this registry.
+     * @return A map from @p other's ids to this registry's ids
+     *         (index = other id), for remapping per-node metrics when
+     *         merging CCTs from different runs.
+     */
+    std::vector<int> mergeFrom(const MetricRegistry &other);
+
     /** Number of metrics interned. */
     std::size_t size() const { return names_.size(); }
 

@@ -1,7 +1,11 @@
 #include "profiler/profile_db.h"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <type_traits>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -59,6 +63,39 @@ ProfileDb::ProfileDb(std::unique_ptr<Cct> cct, MetricRegistry metrics,
     DC_CHECK(cct_ != nullptr, "profile without a CCT");
 }
 
+bool
+ProfileDb::validate(std::string *error) const
+{
+    const int metric_count = static_cast<int>(metrics_.size());
+    std::function<bool(const CctNode &)> walk =
+        [&](const CctNode &node) -> bool {
+        for (const auto &[metric_id, stat] : node.metrics()) {
+            if (metric_id < 0 || metric_id >= metric_count) {
+                if (error != nullptr) {
+                    *error = "node metric id " +
+                             std::to_string(metric_id) +
+                             " outside the profile's metric registry";
+                }
+                return false;
+            }
+            if (!stat.consistent()) {
+                if (error != nullptr) {
+                    *error = "inconsistent stat for metric id " +
+                             std::to_string(metric_id);
+                }
+                return false;
+            }
+        }
+        bool ok = true;
+        node.forEachChild([&](const CctNode &child) {
+            if (ok)
+                ok = walk(child);
+        });
+        return ok;
+    };
+    return walk(cct_->root());
+}
+
 std::string
 ProfileDb::serialize() const
 {
@@ -106,78 +143,309 @@ ProfileDb::save(const std::string &path) const
     return text.size();
 }
 
+namespace {
+
+/**
+ * Strict numeric parsing for untrusted profile text: the whole field
+ * must be consumed, the value must fit, and floating-point values must
+ * be finite (an inf/nan stat would poison every aggregate it is merged
+ * into). Sets @p ok; never throws.
+ */
+template <typename T>
+T
+parseNumber(const std::string &field, bool *ok)
+{
+    T value{};
+    const char *begin = field.data();
+    const char *end = begin + field.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    *ok = ec == std::errc() && ptr == end && !field.empty();
+    if constexpr (std::is_floating_point_v<T>) {
+        if (!std::isfinite(value))
+            *ok = false;
+    }
+    return value;
+}
+
+/**
+ * Short excerpt of untrusted input for error messages: a multi-MB
+ * garbage line must not pin O(N) memory in the store's failure log.
+ */
+std::string
+excerpt(const std::string &s)
+{
+    constexpr std::size_t kMax = 64;
+    if (s.size() <= kMax)
+        return s;
+    return s.substr(0, kMax) +
+           strformat("...(%zu bytes)", s.size());
+}
+
+/** Parse context threaded through the record handlers. */
+struct Parser {
+    std::string error;
+    int line_no = 0;
+
+    bool
+    fail(const std::string &message)
+    {
+        error = strformat("line %d: ", line_no) + message;
+        return false;
+    }
+
+    template <typename T>
+    bool
+    number(const std::string &field, const char *what, T *out)
+    {
+        bool ok = false;
+        *out = parseNumber<T>(field, &ok);
+        if (!ok)
+            return fail(strformat("non-numeric %s '", what) +
+                        excerpt(field) + "'");
+        return true;
+    }
+};
+
+} // namespace
+
 std::unique_ptr<ProfileDb>
-ProfileDb::deserialize(const std::string &text)
+ProfileDb::tryDeserialize(const std::string &text, std::string *error)
 {
     std::istringstream in(text);
     std::string line;
-    std::getline(in, line);
-    DC_CHECK(line == kHeader, "bad profile header: ", line);
+    Parser p;
+
+    auto failed = [&]() -> std::unique_ptr<ProfileDb> {
+        if (error != nullptr)
+            *error = p.error;
+        return nullptr;
+    };
+
+    ++p.line_no;
+    if (!std::getline(in, line) || line != kHeader) {
+        p.fail("bad profile header '" + excerpt(line) + "'");
+        return failed();
+    }
 
     auto cct = std::make_unique<Cct>();
     MetricRegistry metrics;
     std::map<std::string, std::string> metadata;
     std::map<int, CctNode *> nodes;
+    std::set<const CctNode *> materialized;
 
     while (std::getline(in, line)) {
+        ++p.line_no;
         if (line.empty())
             continue;
         const std::vector<std::string> fields = split(line, '\t');
-        if (fields[0] == "meta" && fields.size() >= 3) {
-            metadata[decodeField(fields[1])] = decodeField(fields[2]);
-        } else if (fields[0] == "metric" && fields.size() >= 2) {
-            metrics.intern(decodeField(fields[1]));
-        } else if (fields[0] == "node" && fields.size() >= 10) {
-            const int id = std::stoi(fields[1]);
-            const int parent_id = std::stoi(fields[2]);
-
+        if (fields[0] == "meta") {
+            // Exactly 3 fields: the serializer escapes tabs, so extra
+            // fields mean corruption — dropping them would silently
+            // truncate the value.
+            if (fields.size() != 3) {
+                p.fail("malformed meta record");
+                return failed();
+            }
+            const std::string key = decodeField(fields[1]);
+            // Last-wins overwrite would silently misclassify the run
+            // (e.g. under the wrong framework) in warehouse filters.
+            if (metadata.count(key) != 0) {
+                p.fail("duplicate meta key '" + excerpt(key) + "'");
+                return failed();
+            }
+            metadata[key] = decodeField(fields[2]);
+        } else if (fields[0] == "metric") {
+            if (fields.size() != 2) {
+                p.fail("malformed metric record");
+                return failed();
+            }
+            const std::string name = decodeField(fields[1]);
+            // intern() dedups, so a repeated name would silently shift
+            // every later positional id onto the wrong metric.
+            if (metrics.find(name) >= 0) {
+                p.fail("duplicate metric name '" + excerpt(name) +
+                       "'");
+                return failed();
+            }
+            metrics.intern(name);
+        } else if (fields[0] == "node") {
+            if (fields.size() < 10) {
+                p.fail("truncated node record");
+                return failed();
+            }
+            int id = 0;
+            int parent_id = 0;
+            int kind = 0;
             dlmon::Frame frame;
-            frame.kind =
-                static_cast<dlmon::FrameKind>(std::stoi(fields[3]));
+            if (!p.number(fields[1], "node id", &id) ||
+                !p.number(fields[2], "parent id", &parent_id) ||
+                !p.number(fields[3], "frame kind", &kind) ||
+                !p.number(fields[6], "line", &frame.line) ||
+                !p.number(fields[7], "pc", &frame.pc) ||
+                !p.number(fields[9], "stall", &frame.stall)) {
+                return failed();
+            }
+            if (id < 0) {
+                p.fail(strformat("negative node id %d", id));
+                return failed();
+            }
+            if (nodes.count(id) != 0) {
+                p.fail(strformat("duplicate node id %d", id));
+                return failed();
+            }
+            if (kind < 0 ||
+                kind > static_cast<int>(dlmon::FrameKind::kInstruction)) {
+                p.fail(strformat("bad frame kind %d", kind));
+                return failed();
+            }
+            frame.kind = static_cast<dlmon::FrameKind>(kind);
             frame.file = decodeField(fields[4]);
             frame.function = decodeField(fields[5]);
-            frame.line = std::stoi(fields[6]);
-            frame.pc = std::stoull(fields[7]);
             frame.name = decodeField(fields[8]);
-            frame.stall = std::stoi(fields[9]);
 
             CctNode *node = nullptr;
             if (parent_id < 0) {
+                if (!nodes.empty()) {
+                    p.fail(strformat(
+                        "node %d: only the first node may be the root",
+                        id));
+                    return failed();
+                }
                 node = &cct->root();
             } else {
                 auto it = nodes.find(parent_id);
-                DC_CHECK(it != nodes.end(), "orphan node ", id);
+                if (it == nodes.end()) {
+                    p.fail(strformat(
+                        "node %d: dangling parent id %d", id,
+                        parent_id));
+                    return failed();
+                }
+                if (it->second->depth() >= Cct::kMaxDepth) {
+                    p.fail(strformat(
+                        "node %d: exceeds max depth %d", id,
+                        Cct::kMaxDepth));
+                    return failed();
+                }
                 node = cct->attachChild(it->second, frame);
+            }
+            // attachChild find-or-creates, so a sibling record whose
+            // frame unifies with an earlier one would silently alias
+            // that node and its metrics would clobber the original's.
+            // The serializer never emits such text; reject it.
+            if (!materialized.insert(node).second) {
+                p.fail(strformat(
+                    "node %d: duplicate sibling frame (same location "
+                    "as an earlier node)",
+                    id));
+                return failed();
             }
             nodes[id] = node;
 
+            std::set<int> metric_ids_seen;
             for (std::size_t i = 10; i < fields.size(); ++i) {
-                if (!startsWith(fields[i], "m:"))
-                    continue;
+                if (!startsWith(fields[i], "m:")) {
+                    p.fail("unrecognized node field '" +
+                           excerpt(fields[i]) + "'");
+                    return failed();
+                }
                 const std::vector<std::string> parts =
                     split(fields[i], ':');
-                if (parts.size() < 8)
-                    continue;
-                const int metric_id = std::stoi(parts[1]);
-                node->metric(metric_id) = RunningStat::fromRaw(
-                    std::stoull(parts[2]), std::stod(parts[3]),
-                    std::stod(parts[4]), std::stod(parts[5]),
-                    std::stod(parts[6]), std::stod(parts[7]));
+                // Exactly 8: a stray ':' would shift every later field
+                // one slot over and still parse as numbers — silently
+                // wrong stats rather than an error.
+                if (parts.size() != 8) {
+                    p.fail("malformed metric entry '" +
+                           excerpt(fields[i]) + "'");
+                    return failed();
+                }
+                int metric_id = 0;
+                std::uint64_t count = 0;
+                double sum = 0, min = 0, max = 0, mean = 0, m2 = 0;
+                if (!p.number(parts[1], "metric id", &metric_id) ||
+                    !p.number(parts[2], "metric count", &count) ||
+                    !p.number(parts[3], "metric sum", &sum) ||
+                    !p.number(parts[4], "metric min", &min) ||
+                    !p.number(parts[5], "metric max", &max) ||
+                    !p.number(parts[6], "metric mean", &mean) ||
+                    !p.number(parts[7], "metric m2", &m2)) {
+                    return failed();
+                }
+                if (metric_id < 0 ||
+                    metric_id >= static_cast<int>(metrics.size())) {
+                    p.fail(strformat(
+                        "node %d: metric id %d not in the metric table",
+                        id, metric_id));
+                    return failed();
+                }
+                // A repeated id would silently overwrite the earlier
+                // entry's stats.
+                if (!metric_ids_seen.insert(metric_id).second) {
+                    p.fail(strformat(
+                        "node %d: duplicate metric id %d", id,
+                        metric_id));
+                    return failed();
+                }
+                // Empty stats must be all-zero (what the serializer
+                // emits for count == 0); fromRaw drops these fields,
+                // so check the raw values before construction.
+                if (count == 0 && (sum != 0.0 || min != 0.0 ||
+                                   max != 0.0 || mean != 0.0 ||
+                                   m2 != 0.0)) {
+                    p.fail(strformat(
+                        "node %d: nonzero metric fields with count 0",
+                        id));
+                    return failed();
+                }
+                const RunningStat parsed = RunningStat::fromRaw(
+                    count, sum, min, max, mean, m2);
+                // Shared cross-field bar (negative m2 would make
+                // stddev NaN and merge additively poisons aggregates).
+                if (!parsed.consistent()) {
+                    p.fail(strformat(
+                        "node %d: inconsistent metric stat", id));
+                    return failed();
+                }
+                node->metric(metric_id) = parsed;
             }
         }
+        // Unknown record tags are skipped for forward compatibility.
     }
+    if (error != nullptr)
+        error->clear();
     return std::make_unique<ProfileDb>(std::move(cct), std::move(metrics),
                                        std::move(metadata));
 }
 
 std::unique_ptr<ProfileDb>
+ProfileDb::deserialize(const std::string &text)
+{
+    std::string error;
+    auto db = tryDeserialize(text, &error);
+    DC_CHECK(db != nullptr, "malformed profile: ", error);
+    return db;
+}
+
+std::unique_ptr<ProfileDb>
 ProfileDb::load(const std::string &path)
 {
+    std::string error;
+    auto db = tryLoad(path, &error);
+    DC_CHECK(db != nullptr, error);
+    return db;
+}
+
+std::unique_ptr<ProfileDb>
+ProfileDb::tryLoad(const std::string &path, std::string *error)
+{
     std::ifstream in(path, std::ios::binary);
-    DC_CHECK(in.good(), "cannot open ", path);
+    if (!in.good()) {
+        if (error != nullptr)
+            *error = "cannot open " + path;
+        return nullptr;
+    }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return deserialize(buffer.str());
+    return tryDeserialize(buffer.str(), error);
 }
 
 } // namespace dc::prof

@@ -34,17 +34,48 @@ class ProfileDb
         return metadata_;
     }
 
+    /**
+     * Check the invariants the parser enforces on untrusted input:
+     * every node metric id is covered by the metric registry and every
+     * stat is internally consistent (RunningStat::consistent). The
+     * warehouse handoff path and merge entry points call this so a
+     * hand-built profile meets the same bar as a parsed one. Walks at
+     * most to the first violation.
+     */
+    bool validate(std::string *error = nullptr) const;
+
     /** Serialize to the v1 text format. */
     std::string serialize() const;
 
     /** Write serialize() to @p path. Returns bytes written. */
     std::uint64_t save(const std::string &path) const;
 
-    /** Parse a serialized profile back into a ProfileDb. */
+    /**
+     * Parse a serialized profile back into a ProfileDb. Panics (with the
+     * parse error) on malformed input — for input you do not control,
+     * use tryDeserialize.
+     */
     static std::unique_ptr<ProfileDb> deserialize(const std::string &text);
 
-    /** Load from a file. */
+    /**
+     * Parse untrusted input: returns nullptr on malformed text (bad
+     * header, non-numeric fields, duplicate node ids, dangling parent
+     * ids, truncated records) with a description in @p error. Warehouse
+     * ingestion uses this so one corrupt file cannot take the service
+     * down.
+     */
+    static std::unique_ptr<ProfileDb>
+    tryDeserialize(const std::string &text, std::string *error = nullptr);
+
+    /** Load from a file. Panics on a missing or malformed file. */
     static std::unique_ptr<ProfileDb> load(const std::string &path);
+
+    /**
+     * Load an untrusted file: returns nullptr (with a description in
+     * @p error) when the file is unreadable or malformed.
+     */
+    static std::unique_ptr<ProfileDb>
+    tryLoad(const std::string &path, std::string *error = nullptr);
 
   private:
     std::unique_ptr<Cct> cct_;

@@ -1,0 +1,74 @@
+#include "service/cct_merger.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dc::service {
+
+CctMerger::CctMerger() : cct_(std::make_unique<prof::Cct>()) {}
+
+void
+CctMerger::add(const prof::ProfileDb &profile, const std::string &run_id)
+{
+    // An invalid profile (e.g. node metric ids not covered by its
+    // registry) would merge stats into the wrong metric: with an empty
+    // source registry the remap below is empty, which mergeFrom takes
+    // as "ids already agree".
+    std::string error;
+    DC_CHECK(profile.validate(&error), "unmergeable profile: ", error);
+    addPrevalidated(profile, run_id);
+}
+
+void
+CctMerger::addPrevalidated(const prof::ProfileDb &profile,
+                           const std::string &run_id)
+{
+    const std::vector<int> remap = metrics_.mergeFrom(profile.metrics());
+    cct_->mergeFrom(profile.cct(), remap);
+
+    for (const auto &[key, value] : profile.metadata()) {
+        auto it = metadata_.find(key);
+        if (it == metadata_.end() && run_ids_.empty())
+            metadata_[key] = value;
+        else if (it == metadata_.end() || it->second != value)
+            metadata_conflict_.insert(key);
+    }
+    // Keys present before but absent from this profile also conflict.
+    for (const auto &[key, value] : metadata_) {
+        (void)value;
+        if (profile.metadata().count(key) == 0)
+            metadata_conflict_.insert(key);
+    }
+    run_ids_.push_back(run_id);
+}
+
+std::unique_ptr<prof::ProfileDb>
+CctMerger::finish()
+{
+    for (const std::string &key : metadata_conflict_)
+        metadata_.erase(key);
+    std::sort(run_ids_.begin(), run_ids_.end());
+    metadata_["merged_runs"] = join(run_ids_, ",");
+    auto db = std::make_unique<prof::ProfileDb>(
+        std::move(cct_), std::move(metrics_), std::move(metadata_));
+    *this = CctMerger();
+    return db;
+}
+
+std::unique_ptr<prof::ProfileDb>
+CctMerger::mergeAll(const std::vector<const prof::ProfileDb *> &profiles,
+                    const std::vector<std::string> &run_ids)
+{
+    DC_CHECK(profiles.size() == run_ids.size(),
+             "mergeAll needs one run id per profile");
+    CctMerger merger;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        DC_CHECK(profiles[i] != nullptr, "null profile in mergeAll");
+        merger.add(*profiles[i], run_ids[i]);
+    }
+    return merger.finish();
+}
+
+} // namespace dc::service

@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * Structural merge of calling-context trees across runs.
+ *
+ * The warehouse stores one ProfileDb per run; fleet-level analysis wants
+ * one tree. CctMerger unifies frames under Frame::sameLocation (the same
+ * collapsing rule the profiler applies within a run, extended across
+ * runs), remaps metric ids through a combined MetricRegistry, and merges
+ * per-node RunningStat accumulators with the parallel-Welford combine —
+ * so the merged tree is exactly what a single profiler observing all the
+ * runs would have built. The operation is associative and commutative up
+ * to floating-point rounding, which lets ingestion merge in any order.
+ */
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "profiler/profile_db.h"
+
+namespace dc::service {
+
+/** Incremental multi-run CCT/profile merger. */
+class CctMerger
+{
+  public:
+    CctMerger();
+
+    /**
+     * Merge one run's profile into the accumulated result. Panics on a
+     * profile that fails ProfileDb::validate (its stats could silently
+     * land on the wrong metric otherwise).
+     * @param run_id Recorded into the result's "merged_runs" metadata.
+     */
+    void add(const prof::ProfileDb &profile, const std::string &run_id);
+
+    /**
+     * add() minus the validation walk, for profiles already validated
+     * at a trust boundary — the QueryEngine uses this for store-held
+     * profiles (every ingestion path validates), so read queries do
+     * not revalidate the corpus on every merge.
+     */
+    void addPrevalidated(const prof::ProfileDb &profile,
+                         const std::string &run_id);
+
+    /** Number of profiles merged so far. */
+    std::size_t runCount() const { return run_ids_.size(); }
+
+    /**
+     * Build the merged ProfileDb and reset the merger. Metadata keys
+     * whose values agreed across every input are kept; disagreeing keys
+     * are dropped; "merged_runs" holds a comma-joined sorted run-id list.
+     */
+    std::unique_ptr<prof::ProfileDb> finish();
+
+    /** One-shot convenience over add()+finish(). */
+    static std::unique_ptr<prof::ProfileDb>
+    mergeAll(const std::vector<const prof::ProfileDb *> &profiles,
+             const std::vector<std::string> &run_ids);
+
+  private:
+    std::unique_ptr<prof::Cct> cct_;
+    prof::MetricRegistry metrics_;
+    std::map<std::string, std::string> metadata_;
+    /// Keys that disagreed between inputs (dropped at finish()).
+    std::set<std::string> metadata_conflict_;
+    std::vector<std::string> run_ids_;
+};
+
+} // namespace dc::service

@@ -1,0 +1,315 @@
+#include "service/profile_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dc::service {
+
+namespace {
+
+std::size_t
+resolveWorkers(std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+ProfileStore::ProfileStore(Options options)
+{
+    DC_CHECK(options.shards > 0, "store needs at least one shard");
+    DC_CHECK(options.max_queue > 0, "store needs queue capacity");
+    DC_CHECK(options.max_queue_bytes > 0,
+             "store needs queue byte capacity");
+    max_queue_ = options.max_queue;
+    max_queue_bytes_ = options.max_queue_bytes;
+    shards_.reserve(options.shards);
+    for (std::size_t i = 0; i < options.shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+
+    const std::size_t workers = resolveWorkers(options.workers);
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ProfileStore::~ProfileStore()
+{
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        stopping_ = true;
+        queue_cv_.notify_all();
+        space_cv_.notify_all();
+        // Let producers blocked on backpressure finish their (rejected)
+        // calls before members are torn down. Calls *started* after
+        // destruction begins are caller UB, as for any C++ object.
+        idle_cv_.wait(lock,
+                      [this] { return active_producers_ == 0; });
+    }
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+ProfileStore::Shard &
+ProfileStore::shardFor(const std::string &run_id)
+{
+    return *shards_[std::hash<std::string>{}(run_id) % shards_.size()];
+}
+
+const ProfileStore::Shard &
+ProfileStore::shardFor(const std::string &run_id) const
+{
+    return *shards_[std::hash<std::string>{}(run_id) % shards_.size()];
+}
+
+void
+ProfileStore::ingest(std::string run_id,
+                     std::unique_ptr<prof::ProfileDb> profile)
+{
+    DC_CHECK(profile != nullptr, "ingest of null profile ", run_id);
+    Task task;
+    task.kind = Task::Kind::kProfile;
+    task.run_id = std::move(run_id);
+    task.profile = std::move(profile);
+    task.bytes = task.profile->cct().memoryBytes();
+    enqueue(std::move(task));
+}
+
+void
+ProfileStore::ingestText(std::string run_id, std::string text)
+{
+    Task task;
+    task.kind = Task::Kind::kText;
+    task.run_id = std::move(run_id);
+    task.payload = std::move(text);
+    task.bytes = task.payload.size();
+    enqueue(std::move(task));
+}
+
+void
+ProfileStore::ingestFile(std::string run_id, std::string path)
+{
+    Task task;
+    task.kind = Task::Kind::kFile;
+    task.run_id = std::move(run_id);
+    task.payload = std::move(path);
+    enqueue(std::move(task));
+}
+
+void
+ProfileStore::enqueue(Task task)
+{
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        ++active_producers_;
+        ++stats_.enqueued;
+        // Backpressure: block the producer until the workers catch up
+        // (or the store is shutting down). The byte bound is a
+        // high-water mark, so one oversized payload still gets through
+        // when the queue is otherwise empty.
+        space_cv_.wait(lock, [this] {
+            return stopping_ || (queue_.size() < max_queue_ &&
+                                 queued_bytes_ < max_queue_bytes_);
+        });
+        if (stopping_) {
+            // A producer racing shutdown gets its task rejected and
+            // recorded — never a process abort; the destructor is
+            // waiting on idle_cv_ for us to leave.
+            recordFailureLocked(task.run_id,
+                                "store is shutting down");
+            --active_producers_;
+            idle_cv_.notify_all();
+            return;
+        }
+        queued_bytes_ += task.bytes;
+        queue_.push_back(std::move(task));
+        // Notify while still counted as an active producer: once the
+        // count drops, the destructor may tear the CVs down.
+        queue_cv_.notify_one();
+        --active_producers_;
+    }
+}
+
+void
+ProfileStore::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            queued_bytes_ -= task.bytes;
+            ++active_workers_;
+        }
+        space_cv_.notify_one();
+        process(task);
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            --active_workers_;
+            if (queue_.empty() && active_workers_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+ProfileStore::process(Task &task)
+{
+    std::shared_ptr<const prof::ProfileDb> profile;
+    if (task.kind == Task::Kind::kProfile) {
+        // Text/file ingestion gets these checks from tryDeserialize,
+        // but ingest() accepts any caller-built ProfileDb — and an
+        // invalid one would corrupt or abort later merge queries.
+        std::string error;
+        if (!task.profile->validate(&error)) {
+            recordFailure(task.run_id, std::move(error));
+            return;
+        }
+        profile = std::move(task.profile);
+    } else {
+        std::string error;
+        auto parsed =
+            task.kind == Task::Kind::kFile
+                ? prof::ProfileDb::tryLoad(task.payload, &error)
+                : prof::ProfileDb::tryDeserialize(task.payload, &error);
+        if (parsed == nullptr) {
+            recordFailure(task.run_id, std::move(error));
+            return;
+        }
+        profile = std::move(parsed);
+    }
+
+    Shard &shard = shardFor(task.run_id);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const bool inserted =
+            shard.profiles.emplace(task.run_id, std::move(profile))
+                .second;
+        if (!inserted) {
+            recordFailure(task.run_id, "duplicate run id");
+            return;
+        }
+    }
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    ++stats_.ingested;
+}
+
+void
+ProfileStore::recordFailure(const std::string &run_id, std::string error)
+{
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    recordFailureLocked(run_id, std::move(error));
+}
+
+void
+ProfileStore::recordFailureLocked(const std::string &run_id,
+                                  std::string error)
+{
+    DC_WARN("ingestion of run '", run_id, "' failed: ", error);
+    ++stats_.failed;
+    // A long-lived store fed a misbehaving frontend must not grow its
+    // failure log without bound; stats_.failed keeps the exact total.
+    if (failures_.size() >= kMaxRecordedFailures)
+        failures_.erase(failures_.begin());
+    failures_.emplace_back(run_id, std::move(error));
+}
+
+void
+ProfileStore::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    // Also wait for producers inside enqueue(): a backpressured
+    // producer has already been counted in stats_.enqueued, so
+    // returning before its push would break the exact-totals contract.
+    idle_cv_.wait(lock, [this] {
+        return queue_.empty() && active_workers_ == 0 &&
+               active_producers_ == 0;
+    });
+}
+
+std::shared_ptr<const prof::ProfileDb>
+ProfileStore::get(const std::string &run_id) const
+{
+    const Shard &shard = shardFor(run_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.profiles.find(run_id);
+    return it == shard.profiles.end() ? nullptr : it->second;
+}
+
+bool
+ProfileStore::erase(const std::string &run_id)
+{
+    Shard &shard = shardFor(run_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.profiles.erase(run_id) > 0;
+}
+
+std::vector<std::string>
+ProfileStore::runIds() const
+{
+    std::vector<std::string> ids;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[run_id, profile] : shard->profiles) {
+            (void)profile;
+            ids.push_back(run_id);
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+std::vector<std::pair<std::string,
+                      std::shared_ptr<const prof::ProfileDb>>>
+ProfileStore::snapshot() const
+{
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const prof::ProfileDb>>>
+        entries;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        entries.insert(entries.end(), shard->profiles.begin(),
+                       shard->profiles.end());
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return entries;
+}
+
+std::size_t
+ProfileStore::size() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->profiles.size();
+    }
+    return total;
+}
+
+StoreStats
+ProfileStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return stats_;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ProfileStore::failures() const
+{
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return failures_;
+}
+
+} // namespace dc::service

@@ -1,0 +1,183 @@
+#pragma once
+
+/**
+ * @file
+ * The profile warehouse's storage tier: a sharded in-memory store of
+ * finished profiles keyed by run id, fed by a worker thread pool that
+ * drains an ingestion queue.
+ *
+ * Profiles arrive three ways: an in-process handoff of a ProfileDb (the
+ * path a resident Profiler uses), serialized text, or a file path read
+ * via ProfileDb::tryLoad (never the panicking load() — one corrupt file
+ * must not abort the service). Parsing happens on the workers, off the
+ * caller's thread, so a frontend can enqueue a fleet of runs and overlap the
+ * (CPU-bound) deserialization across cores. Shards keep lock contention
+ * flat as the corpus and the reader count grow; readers receive
+ * shared_ptr snapshots so queries never block ingestion of other runs.
+ *
+ * Malformed files are counted and recorded (run id + error) rather than
+ * panicking the process — warehouse input is untrusted.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "profiler/profile_db.h"
+
+namespace dc::service {
+
+/** Ingestion counters (queried after waitIdle() for exact totals). */
+struct StoreStats {
+    std::uint64_t enqueued = 0;  ///< Ingestion requests accepted.
+    std::uint64_t ingested = 0;  ///< Profiles stored successfully.
+    std::uint64_t failed = 0;    ///< Rejected (parse error, bad file,
+                                 ///< duplicate run id).
+};
+
+/**
+ * Sharded, concurrently-ingesting profile store.
+ *
+ * Destruction: ingest calls already in flight (including producers
+ * blocked on backpressure) complete safely — rejected and recorded —
+ * before teardown. Starting a new call on a store being destroyed is
+ * undefined behavior, as for any C++ object.
+ */
+class ProfileStore
+{
+  public:
+    struct Options {
+        /// Worker threads draining the ingestion queue; 0 = one per
+        /// available hardware thread (at least 1).
+        std::size_t workers = 0;
+        /// Shard count for the run-id keyed map.
+        std::size_t shards = 16;
+        /// Backpressure: enqueueing blocks while this many tasks are
+        /// pending, so a frontend outrunning the parsers cannot pile
+        /// the whole corpus's serialized text into memory.
+        std::size_t max_queue = 1024;
+        /// Backpressure high-water mark on queued payload bytes
+        /// (serialized text), since a task count alone would still let
+        /// 1024 large texts sit in memory at once.
+        std::uint64_t max_queue_bytes = 256ull << 20;
+    };
+
+    ProfileStore() : ProfileStore(Options{}) {}
+    explicit ProfileStore(Options options);
+    ~ProfileStore();
+
+    ProfileStore(const ProfileStore &) = delete;
+    ProfileStore &operator=(const ProfileStore &) = delete;
+
+    /** Queue an in-process profile handoff. */
+    void ingest(std::string run_id,
+                std::unique_ptr<prof::ProfileDb> profile);
+
+    /** Queue serialized profile text; parsed on a worker. */
+    void ingestText(std::string run_id, std::string text);
+
+    /** Queue a profile file; read and parsed on a worker. */
+    void ingestFile(std::string run_id, std::string path);
+
+    /**
+     * Block until every queued ingestion — including in-flight ingest
+     * calls blocked on backpressure — has been processed.
+     */
+    void waitIdle();
+
+    /** Snapshot of a stored profile; nullptr when absent. */
+    std::shared_ptr<const prof::ProfileDb>
+    get(const std::string &run_id) const;
+
+    /** Remove a run. @return Whether it was present. */
+    bool erase(const std::string &run_id);
+
+    /** Sorted ids of all stored runs. */
+    std::vector<std::string> runIds() const;
+
+    /**
+     * Consistent-per-shard snapshot of the whole store, sorted by run
+     * id. One lock acquisition per shard — the read path queries use
+     * instead of a get() per run.
+     */
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const prof::ProfileDb>>>
+    snapshot() const;
+
+    /** Number of stored runs. */
+    std::size_t size() const;
+
+    StoreStats stats() const;
+
+    /// Retained failure records; older entries are dropped beyond this
+    /// (stats().failed still counts every rejection).
+    static constexpr std::size_t kMaxRecordedFailures = 256;
+
+    /**
+     * Most recent ingestion failures (up to kMaxRecordedFailures), as
+     * (run id, error message).
+     */
+    std::vector<std::pair<std::string, std::string>> failures() const;
+
+  private:
+    /// One queued ingestion request; exactly one payload is active,
+    /// selected by `kind`.
+    struct Task {
+        enum class Kind { kProfile, kText, kFile } kind;
+        std::string run_id;
+        std::unique_ptr<prof::ProfileDb> profile;
+        std::string payload; ///< Serialized text or file path.
+        /// Memory the queued task pins (text size, or the handed-off
+        /// profile's tree estimate) — charged against max_queue_bytes.
+        std::uint64_t bytes = 0;
+    };
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::map<std::string, std::shared_ptr<const prof::ProfileDb>>
+            profiles;
+    };
+
+    Shard &shardFor(const std::string &run_id);
+    const Shard &shardFor(const std::string &run_id) const;
+
+    void enqueue(Task task);
+    void workerLoop();
+    void process(Task &task);
+    void recordFailure(const std::string &run_id, std::string error);
+    /// Requires queue_mutex_ held.
+    void recordFailureLocked(const std::string &run_id,
+                             std::string error);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    // Ingestion queue state.
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_; ///< Signals workers: work/stop.
+    std::condition_variable idle_cv_;  ///< Signals waiters: queue drained.
+    std::condition_variable space_cv_; ///< Signals producers: queue room.
+    std::deque<Task> queue_;
+    std::size_t max_queue_ = 1024;
+    std::uint64_t max_queue_bytes_ = 256ull << 20;
+    std::uint64_t queued_bytes_ = 0; ///< Payload bytes in queue_.
+    std::size_t active_workers_ = 0;   ///< Workers mid-task.
+    std::size_t active_producers_ = 0; ///< Threads inside enqueue();
+                                       ///< the destructor waits for
+                                       ///< them so an in-flight ingest
+                                       ///< call never touches a freed
+                                       ///< store.
+    bool stopping_ = false;
+    StoreStats stats_;
+    std::vector<std::pair<std::string, std::string>> failures_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace dc::service

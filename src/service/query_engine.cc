@@ -1,0 +1,165 @@
+#include "service/query_engine.h"
+
+#include <algorithm>
+
+#include "service/cct_merger.h"
+
+namespace dc::service {
+
+namespace {
+
+bool
+keyMatches(const std::map<std::string, std::string> &meta,
+           const std::string &key, const std::string &want)
+{
+    if (want.empty())
+        return true;
+    auto it = meta.find(key);
+    return it != meta.end() && it->second == want;
+}
+
+} // namespace
+
+bool
+QueryFilter::matches(const std::map<std::string, std::string> &meta) const
+{
+    if (!keyMatches(meta, "framework", framework) ||
+        !keyMatches(meta, "platform", platform) ||
+        !keyMatches(meta, "model", model)) {
+        return false;
+    }
+    for (const auto &[key, want] : metadata) {
+        // Literal match: empty values are not wildcards here.
+        auto it = meta.find(key);
+        if (it == meta.end() || it->second != want)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::pair<std::string,
+                      std::shared_ptr<const prof::ProfileDb>>>
+QueryEngine::select(const QueryFilter &filter) const
+{
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const prof::ProfileDb>>>
+        selected = store_.snapshot();
+    std::erase_if(selected, [&](const auto &entry) {
+        return !filter.matches(entry.second->metadata());
+    });
+    return selected;
+}
+
+std::vector<std::string>
+QueryEngine::runIds(const QueryFilter &filter) const
+{
+    std::vector<std::string> ids;
+    for (const auto &[run_id, profile] : select(filter)) {
+        (void)profile;
+        ids.push_back(run_id);
+    }
+    return ids;
+}
+
+std::vector<KernelAggregate>
+QueryEngine::topKernels(std::size_t k, const QueryFilter &filter,
+                        const std::string &metric) const
+{
+    std::map<std::string, KernelAggregate> by_name;
+    for (const auto &[run_id, profile] : select(filter)) {
+        (void)run_id;
+        const int metric_id = profile->metrics().find(metric);
+        if (metric_id < 0)
+            continue;
+        std::map<std::string, bool> seen_this_run;
+        profile->cct().visit([&](const prof::CctNode &node) {
+            if (node.frame().kind != dlmon::FrameKind::kKernel)
+                return;
+            const RunningStat *stat = node.findMetric(metric_id);
+            if (stat == nullptr || stat->count() == 0)
+                return;
+            KernelAggregate &agg = by_name[node.frame().name];
+            agg.name = node.frame().name;
+            agg.total += stat->sum();
+            agg.samples += stat->count();
+            if (!seen_this_run[node.frame().name]) {
+                seen_this_run[node.frame().name] = true;
+                ++agg.runs;
+            }
+        });
+    }
+
+    std::vector<KernelAggregate> ranked;
+    ranked.reserve(by_name.size());
+    for (auto &[name, agg] : by_name) {
+        (void)name;
+        ranked.push_back(std::move(agg));
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const KernelAggregate &a, const KernelAggregate &b) {
+                  if (a.total != b.total)
+                      return a.total > b.total;
+                  return a.name < b.name;
+              });
+    if (ranked.size() > k)
+        ranked.resize(k);
+    return ranked;
+}
+
+std::unique_ptr<prof::ProfileDb>
+QueryEngine::merged(const QueryFilter &filter) const
+{
+    CctMerger merger;
+    for (const auto &[run_id, profile] : select(filter))
+        merger.addPrevalidated(*profile, run_id);
+    return merger.finish();
+}
+
+std::optional<analysis::ProfileComparison>
+QueryEngine::diffRuns(const std::string &run_a,
+                      const std::string &run_b) const
+{
+    std::shared_ptr<const prof::ProfileDb> a = store_.get(run_a);
+    std::shared_ptr<const prof::ProfileDb> b = store_.get(run_b);
+    if (a == nullptr || b == nullptr)
+        return std::nullopt;
+    return analysis::compareProfiles(*a, *b);
+}
+
+std::optional<analysis::ProfileComparison>
+QueryEngine::diffAgainstCorpus(const std::string &run_id,
+                               const QueryFilter &filter) const
+{
+    std::shared_ptr<const prof::ProfileDb> run = store_.get(run_id);
+    if (run == nullptr)
+        return std::nullopt;
+    CctMerger merger;
+    for (const auto &[other_id, profile] : select(filter)) {
+        if (other_id != run_id)
+            merger.addPrevalidated(*profile, other_id);
+    }
+    // An empty corpus would produce a degenerate all-zero comparison
+    // indistinguishable from "the rest of the fleet ran in zero time".
+    if (merger.runCount() == 0)
+        return std::nullopt;
+    const std::unique_ptr<prof::ProfileDb> corpus = merger.finish();
+    return analysis::compareProfiles(*run, *corpus);
+}
+
+gui::FlameNode
+QueryEngine::flameGraph(const QueryFilter &filter,
+                        const gui::FlameGraphOptions &options) const
+{
+    const std::unique_ptr<prof::ProfileDb> db = merged(filter);
+    return gui::FlameGraph::topDown(*db, options);
+}
+
+std::string
+QueryEngine::flameGraphHtml(const std::string &title,
+                            const QueryFilter &filter,
+                            const gui::FlameGraphOptions &options) const
+{
+    return gui::FlameGraph::toHtml(flameGraph(filter, options), title);
+}
+
+} // namespace dc::service

@@ -1,0 +1,120 @@
+#pragma once
+
+/**
+ * @file
+ * The warehouse's analysis frontend: queries over the profiles held in a
+ * ProfileStore.
+ *
+ *  - top-k kernels by an aggregate metric across every (or a filtered
+ *    subset of) stored run,
+ *  - per-run vs. merged-corpus diff and run-vs-run diff (reusing
+ *    analyzer/diff),
+ *  - metadata filtering (framework / platform / model / arbitrary keys),
+ *  - flame-graph export of any query's merged profile through
+ *    gui/flamegraph.
+ *
+ * Queries take shared_ptr snapshots from the store, so they run
+ * concurrently with ingestion and always see whole profiles.
+ */
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyzer/diff.h"
+#include "gui/flamegraph.h"
+#include "profiler/profile_db.h"
+#include "service/profile_store.h"
+
+namespace dc::service {
+
+/** Metadata predicate; empty named fields match everything. */
+struct QueryFilter {
+    std::string framework; ///< Matches metadata "framework".
+    std::string platform;  ///< Matches metadata "platform".
+    std::string model;     ///< Matches metadata "model".
+    /// Additional exact-match metadata constraints. Unlike the named
+    /// fields, entries here are literal: an empty value matches only a
+    /// run whose metadata value is empty.
+    std::map<std::string, std::string> metadata;
+
+    /** True when @p meta satisfies every constraint. */
+    bool matches(const std::map<std::string, std::string> &meta) const;
+};
+
+/** One kernel's aggregate across the selected runs. */
+struct KernelAggregate {
+    std::string name;
+    double total = 0.0;        ///< Summed metric over all call paths/runs.
+    std::uint64_t samples = 0; ///< Aggregated sample count.
+    std::size_t runs = 0;      ///< Runs the kernel appeared in.
+
+    double mean() const
+    {
+        return samples > 0 ? total / static_cast<double>(samples) : 0.0;
+    }
+};
+
+/** Read-side query service over a ProfileStore. */
+class QueryEngine
+{
+  public:
+    explicit QueryEngine(const ProfileStore &store) : store_(store) {}
+
+    /** Sorted run ids matching @p filter. */
+    std::vector<std::string> runIds(const QueryFilter &filter = {}) const;
+
+    /**
+     * Top-@p k kernels by summed @p metric across the selected runs,
+     * sorted by total descending (ties broken by name so results are
+     * deterministic under any ingestion order).
+     */
+    std::vector<KernelAggregate>
+    topKernels(std::size_t k, const QueryFilter &filter = {},
+               const std::string &metric =
+                   prof::metric_names::kGpuTime) const;
+
+    /** Merged profile of every run matching @p filter (CctMerger). */
+    std::unique_ptr<prof::ProfileDb>
+    merged(const QueryFilter &filter = {}) const;
+
+    /**
+     * Diff two stored runs (analyzer/diff). Run ids come from callers
+     * (and can vanish under a concurrent erase), so an unknown id
+     * yields nullopt rather than taking the service down.
+     */
+    std::optional<analysis::ProfileComparison>
+    diffRuns(const std::string &run_a, const std::string &run_b) const;
+
+    /**
+     * Diff one run against the merged rest of the corpus — "how does
+     * this run deviate from the fleet". nullopt when @p run_id is
+     * unknown.
+     */
+    std::optional<analysis::ProfileComparison>
+    diffAgainstCorpus(const std::string &run_id,
+                      const QueryFilter &filter = {}) const;
+
+    /** Flame graph of the merged selection. */
+    gui::FlameNode
+    flameGraph(const QueryFilter &filter = {},
+               const gui::FlameGraphOptions &options = {}) const;
+
+    /** Self-contained HTML flame graph of the merged selection. */
+    std::string
+    flameGraphHtml(const std::string &title,
+                   const QueryFilter &filter = {},
+                   const gui::FlameGraphOptions &options = {}) const;
+
+  private:
+    /// Snapshot of (run id, profile) pairs matching a filter.
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const prof::ProfileDb>>>
+    select(const QueryFilter &filter) const;
+
+    const ProfileStore &store_;
+};
+
+} // namespace dc::service

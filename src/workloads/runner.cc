@@ -89,6 +89,17 @@ profilerConfigFor(const RunConfig &config)
     return pc;
 }
 
+/** Record the run's identity so warehouse queries can filter on it. */
+void
+stampMetadata(prof::Profiler &profiler, const RunConfig &config)
+{
+    profiler.setMetadata("framework", frameworkName(config.framework));
+    profiler.setMetadata("platform", platformName(config.platform));
+    profiler.setMetadata("model", workloadName(config.workload));
+    profiler.setMetadata("iterations",
+                         std::to_string(config.iterations));
+}
+
 /** Shared measurement collection at the end of a run. */
 void
 collectCommon(RunResult &result, sim::SimContext &ctx, int device)
@@ -141,6 +152,7 @@ runTorch(const RunConfig &config)
         monitor = dlmon::DlMonitor::init(options);
         profiler = std::make_unique<prof::Profiler>(
             *monitor, profilerConfigFor(config));
+        stampMetadata(*profiler, config);
     } else if (config.profiler == ProfilerMode::kFrameworkProfiler) {
         tracer = std::make_unique<baselines::TraceProfiler>(
             ctx, runtime, 0, &session, nullptr);
@@ -267,6 +279,7 @@ runJax(const RunConfig &config)
         monitor = dlmon::DlMonitor::init(options);
         profiler = std::make_unique<prof::Profiler>(
             *monitor, profilerConfigFor(config));
+        stampMetadata(*profiler, config);
     } else if (config.profiler == ProfilerMode::kFrameworkProfiler) {
         tracer = std::make_unique<baselines::TraceProfiler>(
             ctx, runtime, 0, nullptr, &session);

@@ -82,6 +82,38 @@ TEST_P(CctConservation, RootEqualsTotal)
 INSTANTIATE_TEST_SUITE_P(Seeds, CctConservation,
                          ::testing::Values(11, 22, 33, 44));
 
+TEST(Cct, OverDeepPathTruncatesInsteadOfAborting)
+{
+    Cct cct;
+    dlmon::CallPath path;
+    for (int i = 0; i < Cct::kMaxDepth + 50; ++i)
+        path.push_back(Frame::op("f" + std::to_string(i)));
+    CctNode *leaf = cct.insert(path);
+    EXPECT_EQ(leaf->depth(), Cct::kMaxDepth);
+    EXPECT_EQ(cct.nodeCount(),
+              static_cast<std::size_t>(Cct::kMaxDepth) + 1);
+    // Metrics still conserve at the truncated leaf.
+    cct.addMetric(leaf, 0, 5.0);
+    EXPECT_DOUBLE_EQ(cct.root().metric(0).sum(), 5.0);
+    // attachChild at the cap degrades to the parent, never aborts.
+    EXPECT_EQ(cct.attachChild(leaf, Frame::op("over")), leaf);
+}
+
+TEST(Cct, NonFiniteSamplesDroppedNotStored)
+{
+    Cct cct;
+    CctNode *leaf = cct.insert({Frame::op("x")});
+    cct.addMetric(leaf, 0, 10.0);
+    EXPECT_EQ(cct.addMetric(leaf, 0,
+                            std::numeric_limits<double>::infinity()),
+              0u);
+    EXPECT_EQ(cct.addMetric(leaf, 0,
+                            std::numeric_limits<double>::quiet_NaN()),
+              0u);
+    EXPECT_DOUBLE_EQ(cct.root().metric(0).sum(), 10.0);
+    EXPECT_EQ(cct.root().metric(0).count(), 1u);
+}
+
 TEST(Cct, MemoryChargedToTracker)
 {
     HostMemoryTracker tracker;
@@ -246,6 +278,199 @@ TEST(ProfileDb, SerializationRoundTrip)
     EXPECT_DOUBLE_EQ(stat->min(), 7.5);
     // Byte-identical re-serialization.
     EXPECT_EQ(loaded->serialize(), text);
+}
+
+TEST(ProfileDb, RoundTripMetadataWithTabsAndNewlines)
+{
+    auto cct = std::make_unique<Cct>();
+    cct->insert({Frame::op("a")});
+    ProfileDb db(std::move(cct), MetricRegistry{},
+                 {{"cmd\tline", "python\ttrain.py\n--fast\\mode"},
+                  {"note\n", "\\t is not a tab"}});
+    auto loaded = ProfileDb::deserialize(db.serialize());
+    EXPECT_EQ(loaded->metadata(), db.metadata());
+    EXPECT_EQ(loaded->serialize(), db.serialize());
+}
+
+TEST(ProfileDb, RoundTripEmptyCct)
+{
+    ProfileDb db(std::make_unique<Cct>(), MetricRegistry{}, {});
+    auto loaded = ProfileDb::deserialize(db.serialize());
+    EXPECT_EQ(loaded->cct().nodeCount(), 1u);
+    EXPECT_EQ(loaded->cct().root().childCount(), 0u);
+    EXPECT_EQ(loaded->serialize(), db.serialize());
+}
+
+TEST(ProfileDb, RoundTripMultiMetricNodes)
+{
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    const int gpu = metrics.intern("gpu_time_ns");
+    const int count = metrics.intern("kernel_count");
+    const int occ = metrics.intern("occupancy");
+    CctNode *leaf = cct->insert({Frame::op("x"), Frame::kernel("k")});
+    cct->addMetric(leaf, gpu, 100.0);
+    cct->addMetric(leaf, gpu, 300.0);
+    cct->addMetric(leaf, count, 2.0);
+    cct->addMetric(leaf, occ, 0.625, /*propagate=*/false);
+
+    ProfileDb db(std::move(cct), std::move(metrics), {});
+    auto loaded = ProfileDb::deserialize(db.serialize());
+    const CctNode *op = loaded->cct().root().findChild(Frame::op("x"));
+    ASSERT_NE(op, nullptr);
+    const CctNode *kernel = op->findChild(Frame::kernel("k"));
+    ASSERT_NE(kernel, nullptr);
+    EXPECT_EQ(kernel->metrics().size(), 3u);
+    EXPECT_DOUBLE_EQ(kernel->findMetric(gpu)->sum(), 400.0);
+    EXPECT_DOUBLE_EQ(kernel->findMetric(gpu)->min(), 100.0);
+    EXPECT_DOUBLE_EQ(kernel->findMetric(occ)->mean(), 0.625);
+    EXPECT_EQ(loaded->cct().root().findMetric(occ), nullptr);
+    EXPECT_EQ(loaded->serialize(), db.serialize());
+}
+
+/** Malformed inputs are rejected with a diagnostic, not UB. */
+class ProfileDbMalformed
+    : public ::testing::TestWithParam<std::pair<const char *, const char *>>
+{
+};
+
+TEST_P(ProfileDbMalformed, TryDeserializeRejects)
+{
+    const auto &[text, expected_error] = GetParam();
+    std::string error;
+    EXPECT_EQ(ProfileDb::tryDeserialize(text, &error), nullptr);
+    EXPECT_NE(error.find(expected_error), std::string::npos)
+        << "error was: " << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corrupt, ProfileDbMalformed,
+    ::testing::Values(
+        std::pair("not a profile", "bad profile header"),
+        std::pair("# deepcontext profile v1\nnode\t0\t-1\t1\tf\tg\tx\t0"
+                  "\tn\t-1\n",
+                  "non-numeric line"),
+        std::pair("# deepcontext profile v1\nnode\t0\t-1\t1\tf\tg\t0\t0"
+                  "\tn\t-1\nnode\t1\t7\t1\tf\tg\t0\t0\tn\t-1\n",
+                  "dangling parent id 7"),
+        std::pair("# deepcontext profile v1\nnode\t0\t-1\t1\tf\tg\t0\t0"
+                  "\tn\t-1\nnode\t0\t0\t1\tf\tg\t0\t0\tn\t-1\n",
+                  "duplicate node id 0"),
+        std::pair("# deepcontext profile v1\nnode\t0\t-1\t1\tf\tg\t0\t0"
+                  "\tn\t-1\nnode\t1\t-1\t1\tf\tg\t0\t0\tn\t-1\n",
+                  "only the first node may be the root"),
+        std::pair("# deepcontext profile v1\nnode\t0\t-1\t99\tf\tg\t0\t0"
+                  "\tn\t-1\n",
+                  "bad frame kind 99"),
+        std::pair("# deepcontext profile v1\nnode\t0\t-1\t1\tf\tg\t0\n",
+                  "truncated node record"),
+        std::pair("# deepcontext profile v1\nmeta\tkey\n",
+                  "malformed meta record"),
+        std::pair("# deepcontext profile v1\nmeta\tcmd\tpython\t--lr\n",
+                  "malformed meta record"),
+        std::pair("# deepcontext profile v1\nmetric\tgpu\textra\n",
+                  "malformed metric record"),
+        std::pair("# deepcontext profile v1\nnode\t0\t-1\t1\tf\tg\t0\t0"
+                  "\tn\t-1\tm:0:1:2:3:4:5:6\n",
+                  "metric id 0 not in the metric table"),
+        std::pair("# deepcontext profile v1\nmetric\tgpu\nnode\t0\t-1\t1"
+                  "\tf\tg\t0\t0\tn\t-1\tm:0:xx:2:3:4:5:6\n",
+                  "non-numeric metric count"),
+        std::pair("# deepcontext profile v1\nmetric\tgpu\nnode\t0\t-1\t1"
+                  "\tf\tg\t0\t0\tn\t-1\tm:0:5:1:23:3:4:5:6\n",
+                  "malformed metric entry"),
+        std::pair("# deepcontext profile v1\nmetric\tgpu\nnode\t0\t-1\t1"
+                  "\tf\tg\t0\t0\tn\t-1\tm:0:2:10:1:9:5:-1e300\n",
+                  "inconsistent metric stat"), // negative m2
+        std::pair("# deepcontext profile v1\nmetric\tgpu\nnode\t0\t-1\t1"
+                  "\tf\tg\t0\t0\tn\t-1\tm:0:2:10:9:1:5:0\n",
+                  "inconsistent metric stat"), // min > max
+        std::pair("# deepcontext profile v1\nmetric\tgpu\nnode\t0\t-1\t1"
+                  "\tf\tg\t0\t0\tn\t-1"
+                  "\tm:0:1:1e308:1e308:1e308:1e308:0\n",
+                  // Finite but extreme: would overflow a later
+                  // parallel-Welford merge to inf.
+                  "inconsistent metric stat"),
+        std::pair("# deepcontext profile v1\nmetric\tgpu\nnode\t0\t-1\t1"
+                  "\tf\tg\t0\t0\tn\t-1\tm:0:0:10:0:0:0:0\n",
+                  "nonzero metric fields with count 0"),
+        std::pair("# deepcontext profile v1\nmetric\tgpu\nnode\t0\t-1\t1"
+                  "\tf\tg\t0\t0\tn\t-1\tm:0:1:10:10:10:10:0"
+                  "\tm:0:1:99:99:99:99:0\n",
+                  "duplicate metric id 0"),
+        std::pair("# deepcontext profile v1\nmetric\tgpu\nmetric\tgpu\n"
+                  "metric\tmem\n",
+                  "duplicate metric name 'gpu'"),
+        std::pair("# deepcontext profile v1\nmeta\tframework\tPyTorch\n"
+                  "meta\tframework\tJAX\n",
+                  "duplicate meta key 'framework'")));
+
+TEST(ProfileDb, RejectsNonFiniteMetricValues)
+{
+    // An inf/nan stat would poison every fleet aggregate it merges into.
+    for (const char *bad : {"nan", "inf", "-inf"}) {
+        const std::string text =
+            std::string("# deepcontext profile v1\nmetric\tgpu\n"
+                        "node\t0\t-1\t1\tf\tg\t0\t0\tn\t-1\tm:0:1:") +
+            bad + ":0:0:0:0\n";
+        std::string error;
+        EXPECT_EQ(ProfileDb::tryDeserialize(text, &error), nullptr);
+        EXPECT_NE(error.find("non-numeric metric sum"),
+                  std::string::npos)
+            << "input " << bad << ", error was: " << error;
+    }
+}
+
+TEST(ProfileDb, RejectsAliasedSiblingFrames)
+{
+    // Two sibling records whose frames unify under sameLocation would
+    // map to one CctNode, and the second record's metrics would clobber
+    // the first's. The serializer never emits this; reject it.
+    const std::string text =
+        "# deepcontext profile v1\nmetric\tgpu\n"
+        "node\t0\t-1\t1\tf\tg\t0\t0\tn\t-1\n"
+        "node\t1\t0\t4\tf\tg\t0\t0\tk\t-1\tm:0:1:10:10:10:10:0\n"
+        "node\t2\t0\t4\tf\tg\t0\t0\tk\t-1\tm:0:1:99:99:99:99:0\n";
+    std::string error;
+    EXPECT_EQ(ProfileDb::tryDeserialize(text, &error), nullptr);
+    EXPECT_NE(error.find("duplicate sibling frame"), std::string::npos)
+        << "error was: " << error;
+}
+
+TEST(ProfileDb, RejectsAdversarialDepth)
+{
+    // A parent chain deeper than any real call path must be rejected at
+    // parse time: the tree consumers (merge/visit/serialize) recurse per
+    // level, so unbounded depth is a stack-overflow DoS on the service.
+    std::ostringstream text;
+    text << "# deepcontext profile v1\n";
+    text << "node\t0\t-1\t1\tf\tg\t0\t0\tn\t-1\n";
+    for (int id = 1; id <= 50'000; ++id) {
+        text << "node\t" << id << "\t" << (id - 1)
+             << "\t1\tf\tg\t0\t0\tn\t-1\n";
+    }
+    std::string error;
+    EXPECT_EQ(ProfileDb::tryDeserialize(text.str(), &error), nullptr);
+    EXPECT_NE(error.find("exceeds max depth"), std::string::npos)
+        << "error was: " << error;
+}
+
+TEST(ProfileDb, DeserializePanicsOnMalformedInput)
+{
+    EXPECT_DEATH(ProfileDb::deserialize("garbage"),
+                 "malformed profile: .*bad profile header");
+}
+
+TEST(ProfileDb, TryDeserializeAcceptsValidText)
+{
+    auto cct = std::make_unique<Cct>();
+    cct->insert({Frame::op("a")});
+    ProfileDb db(std::move(cct), MetricRegistry{}, {{"k", "v"}});
+    std::string error = "stale";
+    auto loaded = ProfileDb::tryDeserialize(db.serialize(), &error);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(loaded->metadata().at("k"), "v");
 }
 
 TEST(ProfileDb, SaveLoadFile)

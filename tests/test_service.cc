@@ -1,0 +1,643 @@
+/** @file Tests for the profile warehouse: store, CCT merge, queries. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "service/cct_merger.h"
+#include "service/profile_store.h"
+#include "service/query_engine.h"
+#include "workloads/runner.h"
+
+namespace dc::service {
+namespace {
+
+using dlmon::Frame;
+using prof::Cct;
+using prof::CctNode;
+using prof::MetricRegistry;
+using prof::ProfileDb;
+
+/**
+ * A small synthetic profile: python main -> op -> one of several
+ * kernels, with gpu_time_ns / kernel_count metrics and run metadata.
+ * @p salt varies which kernels appear and their timings.
+ */
+std::unique_ptr<ProfileDb>
+makeProfile(int salt, std::map<std::string, std::string> metadata = {})
+{
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    const int gpu = metrics.intern(prof::metric_names::kGpuTime);
+    const int count = metrics.intern(prof::metric_names::kKernelCount);
+
+    Rng rng(1000 + static_cast<std::uint64_t>(salt));
+    for (int i = 0; i < 3 + salt % 3; ++i) {
+        const std::string kernel =
+            "kernel_" + std::to_string((salt + i) % 5);
+        CctNode *leaf = cct->insert(
+            {Frame::python("train.py", "main", 10),
+             Frame::op("aten::op" + std::to_string(i % 2)),
+             Frame::kernel(kernel)});
+        for (int s = 0; s < 2; ++s) {
+            cct->addMetric(leaf, gpu, rng.uniform(10.0, 1000.0));
+            cct->addMetric(leaf, count, 1.0);
+        }
+    }
+    return std::make_unique<ProfileDb>(
+        std::move(cct), std::move(metrics), std::move(metadata));
+}
+
+double
+rootSum(const ProfileDb &db, const char *metric)
+{
+    const int id = db.metrics().find(metric);
+    if (id < 0)
+        return 0.0;
+    const RunningStat *stat = db.cct().root().findMetric(id);
+    return stat == nullptr ? 0.0 : stat->sum();
+}
+
+TEST(RunningStat, MergedEqualsCombinedSamples)
+{
+    RunningStat a;
+    RunningStat b;
+    RunningStat all;
+    for (double x : {1.0, 5.0, 9.0}) {
+        a.add(x);
+        all.add(x);
+    }
+    for (double x : {2.0, 4.0, 100.0, -3.0}) {
+        b.add(x);
+        all.add(x);
+    }
+    const RunningStat m = RunningStat::merged(a, b);
+    EXPECT_EQ(m.count(), all.count());
+    EXPECT_DOUBLE_EQ(m.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(m.min(), all.min());
+    EXPECT_DOUBLE_EQ(m.max(), all.max());
+    EXPECT_NEAR(m.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(m.stddev(), all.stddev(), 1e-9);
+    // Empty operands are identities.
+    EXPECT_EQ(RunningStat::merged(a, RunningStat{}).count(), a.count());
+    EXPECT_EQ(RunningStat::merged(RunningStat{}, b).sum(), b.sum());
+}
+
+TEST(CctMerger, MetricCountsAndSumsAdd)
+{
+    auto a = makeProfile(0);
+    auto b = makeProfile(1);
+    auto merged = CctMerger::mergeAll({a.get(), b.get()}, {"a", "b"});
+
+    const char *gpu = prof::metric_names::kGpuTime;
+    EXPECT_NEAR(rootSum(*merged, gpu),
+                rootSum(*a, gpu) + rootSum(*b, gpu), 1e-6);
+    const int id = merged->metrics().find(gpu);
+    EXPECT_EQ(merged->cct().root().findMetric(id)->count(),
+              a->cct().root().findMetric(a->metrics().find(gpu))->count() +
+                  b->cct()
+                      .root()
+                      .findMetric(b->metrics().find(gpu))
+                      ->count());
+    EXPECT_EQ(merged->metadata().at("merged_runs"), "a,b");
+}
+
+TEST(CctMerger, SharedPathsUnifyAcrossRuns)
+{
+    auto a = makeProfile(0);
+    auto b = makeProfile(0); // identical structure
+    auto merged = CctMerger::mergeAll({a.get(), b.get()}, {"a", "b"});
+    // Same frames collapse: no node duplication.
+    EXPECT_EQ(merged->cct().nodeCount(), a->cct().nodeCount());
+}
+
+TEST(CctMerger, DisjointSubtreesPreserved)
+{
+    auto cct_a = std::make_unique<Cct>();
+    MetricRegistry reg_a;
+    cct_a->addMetric(
+        cct_a->insert({Frame::op("left"), Frame::kernel("k_left")}),
+        reg_a.intern("gpu_time_ns"), 11.0);
+    ProfileDb a(std::move(cct_a), std::move(reg_a), {});
+
+    auto cct_b = std::make_unique<Cct>();
+    MetricRegistry reg_b;
+    cct_b->addMetric(
+        cct_b->insert({Frame::op("right"), Frame::kernel("k_right")}),
+        reg_b.intern("gpu_time_ns"), 7.0);
+    ProfileDb b(std::move(cct_b), std::move(reg_b), {});
+
+    auto merged = CctMerger::mergeAll({&a, &b}, {"a", "b"});
+    EXPECT_EQ(merged->cct().nodeCount(), 5u); // root + 2×(op+kernel)
+    const CctNode *left =
+        merged->cct().root().findChild(Frame::op("left"));
+    const CctNode *right =
+        merged->cct().root().findChild(Frame::op("right"));
+    ASSERT_NE(left, nullptr);
+    ASSERT_NE(right, nullptr);
+    const int gpu = merged->metrics().find("gpu_time_ns");
+    EXPECT_DOUBLE_EQ(left->findMetric(gpu)->sum(), 11.0);
+    EXPECT_DOUBLE_EQ(right->findMetric(gpu)->sum(), 7.0);
+    EXPECT_DOUBLE_EQ(merged->cct().root().findMetric(gpu)->sum(), 18.0);
+}
+
+/** Recursively compare structure and metric stats of two trees. */
+void
+expectSameTree(const CctNode &a, const CctNode &b)
+{
+    ASSERT_TRUE(a.frame().sameLocation(b.frame()))
+        << a.frame().label() << " vs " << b.frame().label();
+    ASSERT_EQ(a.metrics().size(), b.metrics().size());
+    for (const auto &[id, stat] : a.metrics()) {
+        const RunningStat *other = b.findMetric(id);
+        ASSERT_NE(other, nullptr);
+        EXPECT_EQ(stat.count(), other->count());
+        EXPECT_NEAR(stat.sum(), other->sum(), 1e-6);
+        EXPECT_NEAR(stat.m2(), other->m2(), 1e-3);
+    }
+    ASSERT_EQ(a.childCount(), b.childCount());
+    std::vector<const CctNode *> a_children;
+    std::vector<const CctNode *> b_children;
+    a.forEachChild(
+        [&](const CctNode &c) { a_children.push_back(&c); });
+    b.forEachChild(
+        [&](const CctNode &c) { b_children.push_back(&c); });
+    for (std::size_t i = 0; i < a_children.size(); ++i)
+        expectSameTree(*a_children[i], *b_children[i]);
+}
+
+TEST(Cct, SelfMergePanicsInsteadOfDoubling)
+{
+    Cct cct;
+    cct.addMetric(cct.insert({Frame::op("a")}), 0, 1.0);
+    EXPECT_DEATH(cct.mergeFrom(cct), "into itself");
+}
+
+TEST(CctMerger, RejectsProfileWithUncoveredMetricIds)
+{
+    // With an empty source registry the remap is empty — which
+    // mergeFrom reads as "ids agree" — so stats on such nodes would
+    // silently land on whatever metric holds that id in the combined
+    // registry. add() must refuse instead.
+    auto bad_cct = std::make_unique<Cct>();
+    bad_cct->addMetric(bad_cct->insert({Frame::kernel("k")}), 0, 5.0);
+    ProfileDb bad(std::move(bad_cct), MetricRegistry{}, {});
+    auto good = makeProfile(0);
+    EXPECT_DEATH(CctMerger::mergeAll({good.get(), &bad}, {"g", "b"}),
+                 "unmergeable profile");
+}
+
+TEST(CctMerger, MergeIsAssociative)
+{
+    // makeProfile interns metrics in one fixed order, so ids agree
+    // across runs and associativity can be checked at the tree level.
+    auto a = makeProfile(0);
+    auto b = makeProfile(1);
+    auto c = makeProfile(2);
+
+    // (A ⊕ B) ⊕ C
+    Cct left;
+    left.mergeFrom(a->cct());
+    left.mergeFrom(b->cct());
+    left.mergeFrom(c->cct());
+
+    // A ⊕ (B ⊕ C)
+    Cct bc;
+    bc.mergeFrom(b->cct());
+    bc.mergeFrom(c->cct());
+    Cct right;
+    right.mergeFrom(a->cct());
+    right.mergeFrom(bc);
+
+    EXPECT_EQ(left.nodeCount(), right.nodeCount());
+    expectSameTree(left.root(), right.root());
+}
+
+TEST(CctMerger, RemapsMetricIdsAcrossRegistries)
+{
+    // Same metric name interned under different ids in the two runs.
+    auto cct_a = std::make_unique<Cct>();
+    MetricRegistry reg_a;
+    reg_a.intern("kernel_count"); // id 0
+    const int gpu_a = reg_a.intern("gpu_time_ns"); // id 1
+    cct_a->addMetric(cct_a->insert({Frame::kernel("k")}), gpu_a, 5.0);
+    ProfileDb a(std::move(cct_a), std::move(reg_a), {});
+
+    auto cct_b = std::make_unique<Cct>();
+    MetricRegistry reg_b;
+    const int gpu_b = reg_b.intern("gpu_time_ns"); // id 0
+    cct_b->addMetric(cct_b->insert({Frame::kernel("k")}), gpu_b, 9.0);
+    ProfileDb b(std::move(cct_b), std::move(reg_b), {});
+
+    auto merged = CctMerger::mergeAll({&a, &b}, {"a", "b"});
+    const int gpu = merged->metrics().find("gpu_time_ns");
+    ASSERT_GE(gpu, 0);
+    const CctNode *k = merged->cct().root().findChild(Frame::kernel("k"));
+    ASSERT_NE(k, nullptr);
+    EXPECT_DOUBLE_EQ(k->findMetric(gpu)->sum(), 14.0);
+    EXPECT_EQ(k->findMetric(gpu)->count(), 2u);
+}
+
+TEST(CctMerger, MetadataAgreementKeptConflictsDropped)
+{
+    auto a = makeProfile(0, {{"framework", "PyTorch"},
+                             {"platform", "Nvidia"},
+                             {"host", "node-1"}});
+    auto b = makeProfile(1, {{"framework", "PyTorch"},
+                             {"platform", "AMD"}});
+    auto merged = CctMerger::mergeAll({a.get(), b.get()}, {"r2", "r1"});
+    EXPECT_EQ(merged->metadata().at("framework"), "PyTorch");
+    EXPECT_EQ(merged->metadata().count("platform"), 0u); // conflict
+    EXPECT_EQ(merged->metadata().count("host"), 0u);     // absent in b
+    EXPECT_EQ(merged->metadata().at("merged_runs"), "r1,r2");
+}
+
+TEST(ProfileStore, IngestAndGet)
+{
+    ProfileStore store;
+    store.ingest("run-0", makeProfile(0));
+    store.ingestText("run-1", makeProfile(1)->serialize());
+    store.waitIdle();
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_NE(store.get("run-0"), nullptr);
+    EXPECT_NE(store.get("run-1"), nullptr);
+    EXPECT_EQ(store.get("run-9"), nullptr);
+    EXPECT_EQ(store.runIds(),
+              (std::vector<std::string>{"run-0", "run-1"}));
+    EXPECT_EQ(store.stats().ingested, 2u);
+    EXPECT_EQ(store.stats().failed, 0u);
+    EXPECT_TRUE(store.erase("run-0"));
+    EXPECT_FALSE(store.erase("run-0"));
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ProfileStore, TinyQueueBackpressureLosesNothing)
+{
+    // With a 2-slot queue, the producer must block rather than drop or
+    // balloon; every task still lands.
+    ProfileStore::Options options;
+    options.workers = 2;
+    options.max_queue = 2;
+    ProfileStore store(options);
+    const std::string text = makeProfile(0)->serialize();
+    constexpr int kTasks = 50;
+    for (int i = 0; i < kTasks; ++i)
+        store.ingestText("run-" + std::to_string(i), text);
+    store.waitIdle();
+    EXPECT_EQ(store.size(), static_cast<std::size_t>(kTasks));
+    EXPECT_EQ(store.stats().ingested,
+              static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(store.stats().failed, 0u);
+
+    // Byte-based high-water mark: with a 1-byte bound every payload
+    // exceeds the mark, so producers serialize through one at a time —
+    // and still nothing is lost.
+    ProfileStore::Options byte_options;
+    byte_options.workers = 2;
+    byte_options.max_queue_bytes = 1;
+    ProfileStore byte_store(byte_options);
+    for (int i = 0; i < 10; ++i)
+        byte_store.ingestText("run-" + std::to_string(i), text);
+    byte_store.waitIdle();
+    EXPECT_EQ(byte_store.size(), 10u);
+    EXPECT_EQ(byte_store.stats().failed, 0u);
+}
+
+TEST(ProfileStore, ShutdownWithBlockedProducerCompletesSafely)
+{
+    // A producer inside an ingest call (possibly blocked on
+    // backpressure) when the store is destroyed must have that call
+    // rejected-or-completed and returned — never an abort or a touch
+    // of freed memory.
+    const std::string text = makeProfile(0)->serialize();
+    ProfileStore::Options options;
+    options.workers = 1;
+    options.max_queue = 1;
+    auto store = std::make_unique<ProfileStore>(options);
+    store->ingestText("a", text);
+    store->ingestText("b", text);
+    std::thread producer([&] { store->ingestText("c", text); });
+    // enqueued increments on entry to the call, so this observes the
+    // producer inside ingestText (queued, blocked, or rejected) before
+    // destruction begins.
+    while (store->stats().enqueued < 3)
+        std::this_thread::yield();
+    store.reset(); // destructor waits out the in-flight call
+    producer.join();
+}
+
+TEST(ProfileStore, IngestFileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/warehouse_run.dcp";
+    makeProfile(3)->save(path);
+    ProfileStore store;
+    store.ingestFile("from-disk", path);
+    store.ingestFile("missing", ::testing::TempDir() + "/nope.dcp");
+    store.waitIdle();
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().failed, 1u);
+    ASSERT_EQ(store.failures().size(), 1u);
+    EXPECT_EQ(store.failures()[0].first, "missing");
+}
+
+TEST(ProfileStore, HandoffWithUnregisteredMetricIdRejected)
+{
+    // An in-process ProfileDb whose nodes carry metric ids outside its
+    // registry would DC_CHECK-abort a later merge query's id remap; the
+    // store must reject it at ingestion instead.
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry reg;
+    reg.intern("gpu_time_ns"); // registry covers only id 0
+    cct->addMetric(cct->insert({Frame::kernel("k")}), 2, 5.0);
+    auto bad = std::make_unique<ProfileDb>(std::move(cct),
+                                           std::move(reg), std::map<std::string, std::string>{});
+
+    ProfileStore store;
+    store.ingest("bad", std::move(bad));
+    store.ingest("good", makeProfile(0));
+    store.waitIdle();
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().failed, 1u);
+    ASSERT_EQ(store.failures().size(), 1u);
+    EXPECT_NE(store.failures()[0].second.find(
+                  "outside the profile's metric registry"),
+              std::string::npos);
+
+    // Merge queries over the surviving corpus still answer.
+    QueryEngine engine(store);
+    EXPECT_EQ(engine.merged()->metadata().at("merged_runs"), "good");
+
+    // A handoff carrying a hand-built non-finite stat is rejected too:
+    // it would poison fleet aggregates and serialize into a file the
+    // parser refuses to load.
+    auto inf_cct = std::make_unique<Cct>();
+    MetricRegistry inf_reg;
+    const int gpu = inf_reg.intern("gpu_time_ns");
+    inf_cct->insert({Frame::kernel("k")})->metric(gpu) =
+        RunningStat::fromRaw(
+            1, std::numeric_limits<double>::infinity(), 0, 0, 0, 0);
+    store.ingest("inf",
+                 std::make_unique<ProfileDb>(
+                     std::move(inf_cct), std::move(inf_reg),
+                     std::map<std::string, std::string>{}));
+    store.waitIdle();
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().failed, 2u);
+}
+
+TEST(ProfileStore, MalformedAndDuplicateIngestionRejected)
+{
+    ProfileStore store;
+    store.ingestText("bad", "this is not a profile");
+    store.ingest("dup", makeProfile(0));
+    store.waitIdle();
+    store.ingest("dup", makeProfile(1));
+    store.waitIdle();
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().enqueued, 3u);
+    EXPECT_EQ(store.stats().ingested, 1u);
+    EXPECT_EQ(store.stats().failed, 2u);
+}
+
+/** Acceptance: concurrent ingestion of ≥8 runs answers queries
+ *  identically to a serial merge of the same profiles. */
+TEST(ProfileStore, ConcurrentIngestMatchesSerialMerge)
+{
+    constexpr int kRuns = 12;
+    std::vector<std::unique_ptr<ProfileDb>> originals;
+    std::vector<const ProfileDb *> pointers;
+    std::vector<std::string> run_ids;
+    for (int i = 0; i < kRuns; ++i) {
+        originals.push_back(makeProfile(i));
+        pointers.push_back(originals.back().get());
+        run_ids.push_back("run-" + std::to_string(i));
+    }
+
+    ProfileStore::Options options;
+    options.workers = 4;
+    options.shards = 4;
+    ProfileStore store(options);
+    // Enqueue serialized text from several frontend threads at once; the
+    // store's pool parses and inserts concurrently.
+    std::vector<std::thread> frontends;
+    for (int t = 0; t < 3; ++t) {
+        frontends.emplace_back([&, t] {
+            for (int i = t; i < kRuns; i += 3) {
+                store.ingestText(run_ids[static_cast<std::size_t>(i)],
+                                 originals[static_cast<std::size_t>(i)]
+                                     ->serialize());
+            }
+        });
+    }
+    for (std::thread &f : frontends)
+        f.join();
+    store.waitIdle();
+    ASSERT_EQ(store.size(), static_cast<std::size_t>(kRuns));
+
+    // Serial reference: merge in id order, aggregate kernels from the
+    // merged tree.
+    auto serial = CctMerger::mergeAll(pointers, run_ids);
+    std::map<std::string, double> serial_totals;
+    const int gpu = serial->metrics().find(prof::metric_names::kGpuTime);
+    serial->cct().visit([&](const CctNode &node) {
+        if (node.frame().kind == dlmon::FrameKind::kKernel)
+            serial_totals[node.frame().name] +=
+                node.findMetric(gpu)->sum();
+    });
+
+    QueryEngine engine(store);
+    const auto top = engine.topKernels(100);
+    ASSERT_EQ(top.size(), serial_totals.size());
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].total, top[i].total);
+    for (const KernelAggregate &agg : top) {
+        ASSERT_EQ(serial_totals.count(agg.name), 1u) << agg.name;
+        EXPECT_NEAR(agg.total, serial_totals[agg.name], 1e-6)
+            << agg.name;
+    }
+
+    // The merged profile the engine builds matches the serial merge.
+    auto engine_merged = engine.merged();
+    EXPECT_EQ(engine_merged->cct().nodeCount(),
+              serial->cct().nodeCount());
+    EXPECT_NEAR(rootSum(*engine_merged, prof::metric_names::kGpuTime),
+                rootSum(*serial, prof::metric_names::kGpuTime), 1e-6);
+    EXPECT_EQ(engine_merged->metadata().at("merged_runs"),
+              serial->metadata().at("merged_runs"));
+}
+
+TEST(QueryEngine, MetadataFilterSelectsRuns)
+{
+    ProfileStore store;
+    store.ingest("torch-nv", makeProfile(0, {{"framework", "PyTorch"},
+                                             {"platform", "Nvidia"},
+                                             {"model", "ResNet"}}));
+    store.ingest("torch-amd", makeProfile(1, {{"framework", "PyTorch"},
+                                              {"platform", "AMD"},
+                                              {"model", "ResNet"}}));
+    store.ingest("jax-nv", makeProfile(2, {{"framework", "JAX"},
+                                           {"platform", "Nvidia"},
+                                           {"model", "U-Net"}}));
+    store.waitIdle();
+
+    QueryEngine engine(store);
+    QueryFilter torch;
+    torch.framework = "PyTorch";
+    EXPECT_EQ(engine.runIds(torch),
+              (std::vector<std::string>{"torch-amd", "torch-nv"}));
+
+    QueryFilter nv;
+    nv.platform = "Nvidia";
+    EXPECT_EQ(engine.runIds(nv),
+              (std::vector<std::string>{"jax-nv", "torch-nv"}));
+
+    QueryFilter torch_nv;
+    torch_nv.framework = "PyTorch";
+    torch_nv.platform = "Nvidia";
+    EXPECT_EQ(engine.runIds(torch_nv),
+              (std::vector<std::string>{"torch-nv"}));
+
+    QueryFilter custom;
+    custom.metadata["model"] = "U-Net";
+    EXPECT_EQ(engine.runIds(custom),
+              (std::vector<std::string>{"jax-nv"}));
+
+    // Filtered top-k only aggregates the matching run.
+    const auto top_all = engine.topKernels(100);
+    const auto top_jax = engine.topKernels(100, custom);
+    double all_total = 0.0;
+    double jax_total = 0.0;
+    for (const auto &agg : top_all)
+        all_total += agg.total;
+    for (const auto &agg : top_jax)
+        jax_total += agg.total;
+    auto jax_profile = store.get("jax-nv");
+    EXPECT_NEAR(jax_total,
+                rootSum(*jax_profile, prof::metric_names::kGpuTime),
+                1e-6);
+    EXPECT_GT(all_total, jax_total);
+
+    // Filtered merge keeps the agreeing metadata.
+    auto merged = engine.merged(torch);
+    EXPECT_EQ(merged->metadata().at("framework"), "PyTorch");
+    EXPECT_EQ(merged->metadata().count("platform"), 0u);
+}
+
+TEST(QueryEngine, DiffRunsAndCorpus)
+{
+    ProfileStore store;
+    store.ingest("a", makeProfile(0));
+    store.ingest("b", makeProfile(1));
+    store.ingest("c", makeProfile(2));
+    store.waitIdle();
+
+    QueryEngine engine(store);
+    const auto diff = engine.diffRuns("a", "b");
+    ASSERT_TRUE(diff.has_value());
+    auto a = store.get("a");
+    auto b = store.get("b");
+    EXPECT_DOUBLE_EQ(diff->gpu_time_a,
+                     rootSum(*a, prof::metric_names::kGpuTime));
+    EXPECT_DOUBLE_EQ(diff->gpu_time_b,
+                     rootSum(*b, prof::metric_names::kGpuTime));
+    EXPECT_FALSE(diff->kernels.empty());
+
+    const auto corpus = engine.diffAgainstCorpus("a");
+    ASSERT_TRUE(corpus.has_value());
+    auto c = store.get("c");
+    EXPECT_NEAR(corpus->gpu_time_b,
+                rootSum(*b, prof::metric_names::kGpuTime) +
+                    rootSum(*c, prof::metric_names::kGpuTime),
+                1e-6);
+
+    // Caller-supplied ids can be stale or mistyped; the service must
+    // answer, not abort.
+    EXPECT_FALSE(engine.diffRuns("a", "typo").has_value());
+    EXPECT_FALSE(engine.diffRuns("typo", "b").has_value());
+    EXPECT_FALSE(engine.diffAgainstCorpus("typo").has_value());
+
+    // One-run store: no corpus to diff against — nullopt, not an
+    // all-zero comparison.
+    ProfileStore solo;
+    solo.ingest("only", makeProfile(0));
+    solo.waitIdle();
+    QueryEngine solo_engine(solo);
+    EXPECT_FALSE(solo_engine.diffAgainstCorpus("only").has_value());
+}
+
+TEST(QueryEngine, EmptyMetadataValueMatchesLiterally)
+{
+    ProfileStore store;
+    store.ingest("tagged", makeProfile(0, {{"commit", "abc123"}}));
+    store.ingest("untagged", makeProfile(1, {{"commit", ""}}));
+    store.ingest("missing", makeProfile(2, {}));
+    store.waitIdle();
+
+    QueryEngine engine(store);
+    QueryFilter empty_commit;
+    empty_commit.metadata["commit"] = "";
+    EXPECT_EQ(engine.runIds(empty_commit),
+              (std::vector<std::string>{"untagged"}));
+    QueryFilter tagged;
+    tagged.metadata["commit"] = "abc123";
+    EXPECT_EQ(engine.runIds(tagged),
+              (std::vector<std::string>{"tagged"}));
+}
+
+TEST(QueryEngine, FlameGraphExportOfQueryResult)
+{
+    ProfileStore store;
+    store.ingest("a", makeProfile(0));
+    store.ingest("b", makeProfile(1));
+    store.waitIdle();
+
+    QueryEngine engine(store);
+    const gui::FlameNode flame = engine.flameGraph();
+    EXPECT_GT(flame.value, 0.0);
+    EXPECT_FALSE(flame.children.empty());
+    auto merged = engine.merged();
+    EXPECT_NEAR(flame.value,
+                rootSum(*merged, prof::metric_names::kGpuTime), 1e-6);
+
+    const std::string html =
+        engine.flameGraphHtml("fleet view");
+    EXPECT_NE(html.find("fleet view"), std::string::npos);
+    EXPECT_NE(html.find("kernel_"), std::string::npos);
+}
+
+/** End-to-end: profiles produced by the workloads runner carry the
+ *  metadata the warehouse filters on. */
+TEST(QueryEngine, IngestsRunnerProfiles)
+{
+    using namespace dc::workloads;
+    ProfileStore store;
+    for (FrameworkSel framework :
+         {FrameworkSel::kTorch, FrameworkSel::kJax}) {
+        RunConfig config;
+        config.workload = WorkloadId::kResnet;
+        config.framework = framework;
+        config.profiler = ProfilerMode::kDeepContext;
+        config.iterations = 2;
+        config.keep_profile = true;
+        RunResult result = runWorkload(config);
+        ASSERT_NE(result.profile, nullptr);
+        store.ingest(std::string(frameworkName(framework)) + "-resnet",
+                     std::move(result.profile));
+    }
+    store.waitIdle();
+    ASSERT_EQ(store.size(), 2u);
+
+    QueryEngine engine(store);
+    QueryFilter torch;
+    torch.framework = "PyTorch";
+    EXPECT_EQ(engine.runIds(torch),
+              (std::vector<std::string>{"PyTorch-resnet"}));
+    QueryFilter model;
+    model.model = "ResNet";
+    EXPECT_EQ(engine.runIds(model).size(), 2u);
+    EXPECT_FALSE(engine.topKernels(5, model).empty());
+}
+
+} // namespace
+} // namespace dc::service
