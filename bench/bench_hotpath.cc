@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Hot-path bench: the per-event cost of context collection.
+ *
+ * DeepContext's overhead claim (Figure 6) rests on the per-event path
+ * being lean: assemble the unified call path (dlmonitor_callpath_get),
+ * insert it into the CCT, aggregate metrics. This bench measures that
+ * path directly:
+ *
+ *  - frames/sec through callpathGet + Cct::insert on a live DlMonitor
+ *    (the profiler's real event path),
+ *  - frames/sec of pure Cct::insert over a synthetic DL-shaped event
+ *    stream (deep shared python prefix, operator fan-out, kernel
+ *    leaves) — root-walk and, when available, leaf-cursor insertion,
+ *  - bytes/node of the built tree (Cct::memoryBytes / nodeCount),
+ *  - ProfileDb serialize / deserialize round-trip time and size.
+ *
+ * Wall-clock is real host time: this is host-side profiler
+ * infrastructure, so its cost is measured directly.
+ *
+ * Usage: bench_hotpath [--events N] [--json FILE]
+ *
+ * With --json the headline numbers are written to FILE (the CI
+ * workflow uploads BENCH_hotpath.json so the perf trajectory is
+ * machine-readable across commits).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/string_table.h"
+#include "common/strings.h"
+#include "dlmonitor/dlmonitor.h"
+#include "framework/ops/op_library.h"
+#include "profiler/profile_db.h"
+#include "profiler/profiler.h"
+
+using namespace dc;
+using dlmon::Frame;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Synthetic DL-shaped event stream: every path shares a deep python
+ * prefix, fans out over operators, and ends in a kernel leaf. Events
+ * have temporal locality (consecutive launches usually come from the
+ * same operator context), which is exactly what the leaf-cursor fast
+ * path exploits.
+ */
+struct EventStream {
+    /// Distinct context paths (owned); events reference them.
+    std::vector<dlmon::CallPath> contexts;
+    /// One entry per event: which context fired.
+    std::vector<const dlmon::CallPath *> events;
+    std::size_t total_frames = 0;
+};
+
+EventStream
+makeEventStream(std::size_t events_wanted)
+{
+    Rng rng(2024);
+    // Distinct contexts: python prefix variant x operator x kernel.
+    std::vector<dlmon::CallPath> contexts;
+    for (int variant = 0; variant < 8; ++variant) {
+        dlmon::CallPath prefix;
+        prefix.push_back(Frame::python("train.py", "main", 12));
+        prefix.push_back(Frame::python("train.py", "train_epoch", 48));
+        prefix.push_back(
+            Frame::python("train.py", "train_step", 61 + variant));
+        prefix.push_back(Frame::python("model.py", "forward", 30));
+        for (int d = 0; d < 4; ++d) {
+            prefix.push_back(Frame::python(
+                "module.py", "block_" + std::to_string(d),
+                100 + variant * 10 + d));
+        }
+        for (int op = 0; op < 6; ++op) {
+            dlmon::CallPath with_op = prefix;
+            with_op.push_back(
+                Frame::op("aten::op" + std::to_string(op)));
+            with_op.push_back(Frame::native(
+                0x4000 + static_cast<Pc>(variant * 64 + op)));
+            with_op.push_back(
+                Frame::gpuApi(0x9000 + static_cast<Pc>(op),
+                              "cudaLaunchKernel"));
+            for (int k = 0; k < 3; ++k) {
+                dlmon::CallPath full = with_op;
+                full.push_back(Frame::kernel(
+                    "kernel_" + std::to_string(op) + "_" +
+                    std::to_string(k)));
+                contexts.push_back(std::move(full));
+            }
+        }
+    }
+
+    EventStream stream;
+    stream.contexts = std::move(contexts);
+    stream.events.reserve(events_wanted);
+    std::size_t current = 0;
+    for (std::size_t i = 0; i < events_wanted; ++i) {
+        // 85% of events stay near the current context (same operator,
+        // next kernel); 15% jump to a random context.
+        if (rng.chance(0.15))
+            current = rng.below(stream.contexts.size());
+        else if (rng.chance(0.5))
+            current = (current + 1) % stream.contexts.size();
+        stream.events.push_back(&stream.contexts[current]);
+        stream.total_frames += stream.contexts[current].size();
+    }
+    return stream;
+}
+
+struct MonitorFixture {
+    sim::SimContext ctx;
+    sim::GpuRuntime runtime{ctx};
+    pyrt::PyInterpreter interp{ctx.libraries()};
+    std::unique_ptr<fw::TorchSession> torch;
+    std::unique_ptr<dlmon::DlMonitor> monitor;
+
+    MonitorFixture()
+    {
+        ctx.addDevice(sim::makeA100());
+        torch = std::make_unique<fw::TorchSession>(ctx, runtime,
+                                                   fw::TorchConfig{});
+        dlmon::DlMonitorOptions options;
+        options.ctx = &ctx;
+        options.runtime = &runtime;
+        options.interp = &interp;
+        options.torch = torch.get();
+        monitor = dlmon::DlMonitor::init(options);
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t events = 200'000;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc)
+            events = static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
+    std::printf("hot-path bench (per-event context collection cost)\n\n");
+    std::vector<std::pair<std::string, double>> json;
+
+    // ---- callpathGet + insert on a live monitor --------------------
+    double monitor_fps = 0.0;
+    {
+        MonitorFixture fx;
+        pyrt::PyScope py(fx.ctx.currentThread().pyStack(),
+                         fx.ctx.currentThread().nativeStack(), fx.interp,
+                         {"train.py", "train_step", 42});
+        fw::Tensor x = fx.torch->input({1 << 10});
+        // Warm the monitor's per-thread cache with one real operator.
+        fx.torch->run(fw::ops::relu(fx.torch->opEnv(), x));
+        fx.torch->synchronize();
+
+        const std::size_t reps = std::min<std::size_t>(events, 100'000);
+        prof::Cct cct;
+        std::size_t frames = 0;
+        // Pre-sized kernel leaves so the loop measures the hot path,
+        // not string construction.
+        const std::string kernels[4] = {"k0", "k1", "k2", "k3"};
+#ifdef DC_CCT_HAS_CURSOR
+        // The profiler's event loop: DLMonitor reports how much of the
+        // path came from its cached prefix (CallPathOrigin), and the
+        // CCT climbs from the previous leaf over that shared part.
+        dlmon::CallPath last_path;
+        dlmon::CallPathOrigin last_origin;
+        prof::CctNode *leaf = nullptr;
+        const Clock::time_point start = Clock::now();
+        for (std::size_t i = 0; i < reps; ++i) {
+            dlmon::CallPathOrigin origin;
+            dlmon::CallPath path = fx.monitor->callpathGet(
+                dlmon::kCallPathAll, &origin);
+            // Vary the leaf like alternating kernel launches would.
+            path.push_back(Frame::kernel(kernels[i % 4]));
+            frames += path.size();
+            const std::size_t shared =
+                leaf == nullptr
+                    ? 0
+                    : dlmon::sharedPrefixLength(
+                          last_path, last_origin, dlmon::kCallPathAll,
+                          path, origin, dlmon::kCallPathAll);
+            leaf = cct.insert(path, nullptr, leaf, shared);
+            last_path = std::move(path);
+            last_origin = origin;
+        }
+#else
+        const Clock::time_point start = Clock::now();
+        for (std::size_t i = 0; i < reps; ++i) {
+            dlmon::CallPath path = fx.monitor->callpathGet();
+            path.push_back(Frame::kernel(kernels[i % 4]));
+            frames += path.size();
+            cct.insert(path);
+        }
+#endif
+        const double s = secondsSince(start);
+        monitor_fps = static_cast<double>(frames) / s;
+        std::printf("monitor callpathGet+insert: %zu events, %zu frames "
+                    "in %.3f s -> %.2fM frames/s\n",
+                    reps, frames, s, monitor_fps / 1e6);
+    }
+
+    // ---- synthetic insert throughput -------------------------------
+    const EventStream stream = makeEventStream(events);
+    const std::size_t total_frames = stream.total_frames;
+
+    double root_fps = 0.0;
+    {
+        prof::Cct cct;
+        const Clock::time_point start = Clock::now();
+        for (const dlmon::CallPath *path : stream.events)
+            cct.insert(*path);
+        const double s = secondsSince(start);
+        root_fps = static_cast<double>(total_frames) / s;
+        std::printf("synthetic insert (root walk): %zu events, %zu "
+                    "frames in %.3f s -> %.2fM frames/s\n",
+                    stream.events.size(), total_frames, s,
+                    root_fps / 1e6);
+    }
+
+    double cursor_fps = 0.0;
+#ifdef DC_CCT_HAS_CURSOR
+    {
+        // Shared-prefix depths are precomputed outside the timed loop:
+        // in the live profiler they arrive for free from DLMonitor's
+        // CallPathOrigin (prefix epoch + length), not from an O(depth)
+        // re-comparison per event.
+        std::vector<std::size_t> shared_depths(stream.events.size(), 0);
+        for (std::size_t i = 1; i < stream.events.size(); ++i) {
+            const dlmon::CallPath &prev = *stream.events[i - 1];
+            const dlmon::CallPath &cur = *stream.events[i];
+            const std::size_t limit =
+                std::min(prev.size(), cur.size());
+            std::size_t shared = 0;
+            while (shared < limit &&
+                   prev[shared].sameLocation(cur[shared]))
+                ++shared;
+            shared_depths[i] = shared;
+        }
+
+        prof::Cct cct;
+        prof::CctNode *leaf = nullptr;
+        const Clock::time_point start = Clock::now();
+        for (std::size_t i = 0; i < stream.events.size(); ++i)
+            leaf = cct.insert(*stream.events[i], nullptr, leaf,
+                              shared_depths[i]);
+        const double s = secondsSince(start);
+        cursor_fps = static_cast<double>(total_frames) / s;
+        std::printf("synthetic insert (leaf cursor): %zu events in "
+                    "%.3f s -> %.2fM frames/s (%.2fx root walk)\n",
+                    stream.events.size(), s, cursor_fps / 1e6,
+                    cursor_fps / root_fps);
+    }
+#endif
+
+    // ---- bytes/node + profile round trip ---------------------------
+    double bytes_per_node = 0.0;
+    double serialize_ms = 0.0;
+    double deserialize_ms = 0.0;
+    std::uint64_t profile_bytes = 0;
+    {
+        auto cct = std::make_unique<prof::Cct>();
+        prof::MetricRegistry metrics;
+        const int gpu = metrics.intern(prof::metric_names::kGpuTime);
+        const int cnt = metrics.intern(prof::metric_names::kKernelCount);
+        Rng rng(7);
+        for (const dlmon::CallPath *path : stream.events) {
+            prof::CctNode *leaf = cct->insert(*path);
+            cct->addMetric(leaf, gpu, rng.uniform(1e3, 1e6));
+            cct->addMetric(leaf, cnt, 1.0);
+        }
+        bytes_per_node =
+            static_cast<double>(cct->memoryBytes()) /
+            static_cast<double>(cct->nodeCount());
+        // Names are interned once process-wide, not stored per node;
+        // report the shared table so the accounting is transparent
+        // (pre-PR bytes/node included per-node string copies).
+        std::printf("tree: %zu nodes, %s -> %.1f bytes/node "
+                    "(+ %s shared string-table text, all trees)\n",
+                    cct->nodeCount(),
+                    humanBytes(cct->memoryBytes()).c_str(),
+                    bytes_per_node,
+                    humanBytes(StringTable::global().textBytes())
+                        .c_str());
+
+        prof::ProfileDb db(std::move(cct), std::move(metrics),
+                           {{"framework", "bench"},
+                            {"platform", "hotpath"}});
+        Clock::time_point start = Clock::now();
+        const std::string text = db.serialize();
+        serialize_ms = secondsSince(start) * 1e3;
+        profile_bytes = text.size();
+
+        start = Clock::now();
+        auto loaded = prof::ProfileDb::tryDeserialize(text);
+        deserialize_ms = secondsSince(start) * 1e3;
+        if (loaded == nullptr ||
+            loaded->cct().nodeCount() != db.cct().nodeCount()) {
+            std::printf("FAIL: round trip lost nodes\n");
+            return 1;
+        }
+        std::printf("profile round trip: %s serialized in %.1f ms, "
+                    "parsed in %.1f ms\n",
+                    humanBytes(profile_bytes).c_str(), serialize_ms,
+                    deserialize_ms);
+    }
+
+    json.emplace_back("monitor_frames_per_sec", monitor_fps);
+    json.emplace_back("insert_frames_per_sec_root", root_fps);
+    json.emplace_back("insert_frames_per_sec_cursor", cursor_fps);
+    json.emplace_back("bytes_per_node", bytes_per_node);
+    json.emplace_back("string_table_text_bytes",
+                      static_cast<double>(
+                          StringTable::global().textBytes()));
+    json.emplace_back("serialize_ms", serialize_ms);
+    json.emplace_back("deserialize_ms", deserialize_ms);
+    json.emplace_back("profile_bytes",
+                      static_cast<double>(profile_bytes));
+    if (!json_path.empty()) {
+        if (!bench::writeJson(json_path, json))
+            return 1;
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

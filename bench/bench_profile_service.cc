@@ -15,7 +15,11 @@
  * the warehouse is host-side infrastructure, so its cost is measured
  * directly.
  *
- * Usage: bench_profile_service [--max-runs N]
+ * Usage: bench_profile_service [--max-runs N] [--json FILE]
+ *
+ * With --json the headline numbers are written to FILE as a flat JSON
+ * object (one key per stored-runs scale), so CI can archive the perf
+ * trajectory across commits.
  */
 
 #include <chrono>
@@ -88,10 +92,14 @@ int
 main(int argc, char **argv)
 {
     int max_runs = 64;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--max-runs") == 0 && i + 1 < argc)
             max_runs = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
     }
+    std::vector<std::pair<std::string, double>> json;
 
     std::printf("profile warehouse bench "
                 "(ingestion + query over stored runs)\n\n");
@@ -143,6 +151,13 @@ main(int argc, char **argv)
              strformat("%.0f", static_cast<double>(runs) / ingest_s),
              strformat("%.0f", topk_us), strformat("%.0f", filter_us),
              strformat("%.0f", merge_us)});
+
+        const std::string scale = std::to_string(runs);
+        json.emplace_back("ingest_profiles_per_sec_" + scale,
+                          static_cast<double>(runs) / ingest_s);
+        json.emplace_back("topk_us_" + scale, topk_us);
+        json.emplace_back("filter_us_" + scale, filter_us);
+        json.emplace_back("merge_us_" + scale, merge_us);
     }
 
     std::printf("\nquery sanity: ");
@@ -160,6 +175,12 @@ main(int argc, char **argv)
                         agg.runs);
         }
         std::printf("\n");
+    }
+
+    if (!json_path.empty()) {
+        if (!bench::writeJson(json_path, json))
+            return 1;
+        std::printf("wrote %s\n", json_path.c_str());
     }
     return 0;
 }

@@ -3,11 +3,13 @@
 /**
  * @file
  * Small shared helpers for the bench executables: fixed-width table
- * printing and overhead formatting.
+ * printing, overhead formatting, and machine-readable JSON emission.
  */
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"
@@ -39,6 +41,31 @@ ratioCell(double ratio, bool oom = false)
     if (oom)
         return "OOM(inf)";
     return strformat("%.2fx", ratio);
+}
+
+/**
+ * Write bench results as a flat JSON object of numeric fields, so CI
+ * can archive the perf trajectory across commits. Returns false (after
+ * printing a diagnostic) when the file cannot be written.
+ */
+inline bool
+writeJson(const std::string &path,
+          const std::vector<std::pair<std::string, double>> &fields)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out << ",";
+        out << "\n  \"" << jsonEscape(fields[i].first)
+            << "\": " << strformat("%.6g", fields[i].second);
+    }
+    out << "\n}\n";
+    return out.good();
 }
 
 } // namespace dc::bench

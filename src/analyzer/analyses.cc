@@ -51,8 +51,8 @@ KernelFusionAnalysis::run(const AnalysisContext &ctx) const
     std::vector<Issue> issues;
     ctx.bfs([&](const prof::CctNode &node) {
         // Apply at operator/Python frames that aggregate many kernels.
-        if (node.frame().kind != dlmon::FrameKind::kOperator &&
-            node.frame().kind != dlmon::FrameKind::kPython) {
+        if (node.kind() != dlmon::FrameKind::kOperator &&
+            node.kind() != dlmon::FrameKind::kPython) {
             return;
         }
         const std::uint64_t kernels =
@@ -144,7 +144,7 @@ ForwardBackwardAnalysis::run(const AnalysisContext &ctx) const
             "Backward abnormality: backward/forward GPU time = %.1fx",
             ratio);
         issue.suggestion =
-            op->frame().name == "aten::index"
+            op->name() == "aten::index"
                 ? "replace aten::index with aten::index_select (the "
                   "deterministic backward serializes duplicate indices)"
                 : "inspect the backward kernels of this operator";
@@ -167,8 +167,8 @@ StallAnalysis::run(const AnalysisContext &ctx) const
     std::map<std::string, const prof::CctNode *> biggest_by_name;
     for (const prof::CctNode *kernel : ctx.kernels()) {
         const double time = ctx.metricSum(*kernel, kGpuTime);
-        time_by_name[kernel->frame().name] += time;
-        const prof::CctNode *&best = biggest_by_name[kernel->frame().name];
+        time_by_name[kernel->name()] += time;
+        const prof::CctNode *&best = biggest_by_name[kernel->name()];
         if (best == nullptr || time > ctx.metricSum(*best, kGpuTime))
             best = kernel;
     }
@@ -184,10 +184,10 @@ StallAnalysis::run(const AnalysisContext &ctx) const
         std::map<std::string, double> by_reason;
         double total_samples = 0.0;
         for (const prof::CctNode *instance : ctx.kernels()) {
-            if (instance->frame().name != name)
+            if (instance->name() != name)
                 continue;
             instance->forEachChild([&](const prof::CctNode &child) {
-                if (child.frame().kind != dlmon::FrameKind::kInstruction)
+                if (child.kind() != dlmon::FrameKind::kInstruction)
                     return;
                 for (int r = 0; r < sim::kNumStallReasons; ++r) {
                     const auto reason = static_cast<sim::StallReason>(r);
@@ -265,7 +265,7 @@ CpuLatencyAnalysis::run(const AnalysisContext &ctx) const
         return issues;
 
     ctx.bfs([&](const prof::CctNode &node) {
-        if (node.frame().kind != dlmon::FrameKind::kPython)
+        if (node.kind() != dlmon::FrameKind::kPython)
             return;
         const double cpu = ctx.metricSum(node, kCpuTime);
         if (cpu / total_cpu < min_cpu_fraction_)
@@ -275,7 +275,7 @@ CpuLatencyAnalysis::run(const AnalysisContext &ctx) const
             return;
         // Flag the outermost frame showing the imbalance.
         if (node.parent() != nullptr &&
-            node.parent()->frame().kind == dlmon::FrameKind::kPython) {
+            node.parent()->kind() == dlmon::FrameKind::kPython) {
             const double parent_cpu =
                 ctx.metricSum(*node.parent(), kCpuTime);
             const double parent_gpu =
@@ -316,7 +316,7 @@ LayoutConversionAnalysis::run(const AnalysisContext &ctx) const
     double conversion_time = 0.0;
     std::vector<const prof::CctNode *> conv_kernels;
     for (const prof::CctNode *kernel : ctx.kernels()) {
-        const std::string &name = kernel->frame().name;
+        const std::string &name = kernel->name();
         if (contains(name, "nchwToNhwc") || contains(name, "nhwcToNchw") ||
             contains(name, "transposeNhwc") ||
             contains(name, "transposeNchw")) {

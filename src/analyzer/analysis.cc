@@ -21,7 +21,7 @@ severityName(Severity severity)
 std::string
 Issue::toString() const
 {
-    std::string where = node != nullptr ? node->frame().label() : "<...>";
+    std::string where = node != nullptr ? node->label() : "<...>";
     return strformat("[%s] %s: %s (at %s) -> %s",
                      severityName(severity), analysis.c_str(),
                      message.c_str(), where.c_str(), suggestion.c_str());
@@ -95,7 +95,7 @@ AnalysisContext::kernels() const
 {
     std::vector<const prof::CctNode *> out;
     bfs([&out](const prof::CctNode &node) {
-        if (node.frame().kind == dlmon::FrameKind::kKernel)
+        if (node.kind() == dlmon::FrameKind::kKernel)
             out.push_back(&node);
     });
     return out;
@@ -106,7 +106,7 @@ AnalysisContext::operators() const
 {
     std::vector<const prof::CctNode *> out;
     bfs([&out](const prof::CctNode &node) {
-        if (node.frame().kind == dlmon::FrameKind::kOperator &&
+        if (node.kind() == dlmon::FrameKind::kOperator &&
             node.parent() != nullptr) {
             out.push_back(&node);
         }
@@ -120,7 +120,7 @@ AnalysisContext::pathLabels(const prof::CctNode &node)
     std::vector<std::string> labels;
     for (const prof::CctNode *cur = &node; cur != nullptr;
          cur = cur->parent()) {
-        labels.push_back(cur->frame().label());
+        labels.push_back(cur->label());
     }
     std::reverse(labels.begin(), labels.end());
     return labels;
@@ -129,28 +129,28 @@ AnalysisContext::pathLabels(const prof::CctNode &node)
 bool
 AnalysisContext::isBackwardOperator(const prof::CctNode &node)
 {
-    if (node.frame().kind != dlmon::FrameKind::kOperator)
+    if (node.kind() != dlmon::FrameKind::kOperator)
         return false;
-    const std::string &name = node.frame().name;
+    const std::string &name = node.name();
     return contains(name, "Backward") || contains(name, "backward");
 }
 
 bool
 AnalysisContext::isLossFrame(const prof::CctNode &node)
 {
-    if (node.frame().kind != dlmon::FrameKind::kPython)
+    if (node.kind() != dlmon::FrameKind::kPython)
         return false;
-    return contains(node.frame().function, "loss");
+    return contains(node.name(), "loss");
 }
 
 bool
 AnalysisContext::isDataLoadingFrame(const prof::CctNode &node)
 {
-    if (node.frame().kind != dlmon::FrameKind::kPython)
+    if (node.kind() != dlmon::FrameKind::kPython)
         return false;
-    return contains(node.frame().function, "data_selection") ||
-           contains(node.frame().function, "_worker_loop") ||
-           contains(node.frame().file, "dataloader");
+    return contains(node.name(), "data_selection") ||
+           contains(node.name(), "_worker_loop") ||
+           contains(node.file(), "dataloader");
 }
 
 FrameMatcher

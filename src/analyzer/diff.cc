@@ -31,10 +31,10 @@ collectKernelTimes(const prof::ProfileDb &db,
             }
             return;
         }
-        if (node.frame().kind != dlmon::FrameKind::kKernel)
+        if (node.kind() != dlmon::FrameKind::kKernel)
             return;
         if (gpu_time >= 0 && node.findMetric(gpu_time) != nullptr)
-            times[node.frame().name] += node.findMetric(gpu_time)->sum();
+            times[node.name()] += node.findMetric(gpu_time)->sum();
     });
 }
 

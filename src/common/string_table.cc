@@ -1,0 +1,184 @@
+#include "common/string_table.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace dc {
+
+namespace {
+
+/// FNV-1a — the same family Frame::locationHash used, cheap and good
+/// enough for short identifiers.
+std::uint64_t
+hashText(std::string_view text)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+StringTable::StringTable()
+{
+    auto slab = std::make_unique<Slab>(1024);
+    slab_.store(slab.get(), std::memory_order_release);
+    slabs_.push_back(std::move(slab));
+    auto index = std::make_unique<IdIndex>(1024);
+    by_id_.store(index.get(), std::memory_order_release);
+    id_indexes_.push_back(std::move(index));
+    intern({}); // id 0 = ""
+}
+
+StringTable::~StringTable() = default;
+
+void
+StringTable::place(Slab &slab, const Entry *entry)
+{
+    std::size_t index = entry->hash & slab.mask;
+    while (slab.slots[index].load(std::memory_order_relaxed) != nullptr)
+        index = (index + 1) & slab.mask;
+    slab.slots[index].store(entry, std::memory_order_release);
+}
+
+StringTable::Id
+StringTable::intern(std::string_view text)
+{
+    const std::uint64_t hash = hashText(text);
+    // Lock-free hit path: probe the published slab. Entries are
+    // immutable and slabs are never freed, so a stale slab is merely
+    // incomplete — a miss falls through to the locked path, which
+    // probes the current slab again.
+    const Slab *slab = slab_.load(std::memory_order_acquire);
+    std::size_t index = hash & slab->mask;
+    while (true) {
+        const Entry *entry =
+            slab->slots[index].load(std::memory_order_acquire);
+        if (entry == nullptr)
+            break;
+        if (entry->hash == hash && entry->text == text)
+            return entry->id;
+        index = (index + 1) & slab->mask;
+    }
+    return internSlow(text, hash);
+}
+
+StringTable::Id
+StringTable::internSlow(std::string_view text, std::uint64_t hash)
+{
+    std::unique_lock lock(mutex_);
+    // Re-probe: another thread may have interned it since our read.
+    Slab *slab = slabs_.back().get();
+    std::size_t index = hash & slab->mask;
+    while (true) {
+        const Entry *entry =
+            slab->slots[index].load(std::memory_order_relaxed);
+        if (entry == nullptr)
+            break;
+        if (entry->hash == hash && entry->text == text)
+            return entry->id;
+        index = (index + 1) & slab->mask;
+    }
+
+    const Id id = static_cast<Id>(entries_.size());
+    entries_.push_back(Entry{hash, std::string(text), id});
+    const Entry *entry = &entries_.back();
+    text_bytes_ += text.size();
+
+    // Grow at 3/4 load so lock-free probes stay short. The new slab is
+    // fully populated before the release-publish; the old one stays
+    // alive for readers still probing it.
+    if ((entries_.size() + 1) * 4 >= (slab->mask + 1) * 3) {
+        auto grown = std::make_unique<Slab>((slab->mask + 1) * 2);
+        for (const Entry &existing : entries_)
+            place(*grown, &existing);
+        slab_.store(grown.get(), std::memory_order_release);
+        slabs_.push_back(std::move(grown));
+    } else {
+        place(*slab, entry);
+    }
+
+    // Publish into the direct id index (grown the same way).
+    IdIndex *id_index = id_indexes_.back().get();
+    if (id >= id_index->capacity) {
+        auto grown = std::make_unique<IdIndex>(id_index->capacity * 2);
+        for (const Entry &existing : entries_) {
+            grown->entries[existing.id].store(
+                &existing, std::memory_order_relaxed);
+        }
+        by_id_.store(grown.get(), std::memory_order_release);
+        id_indexes_.push_back(std::move(grown));
+    } else {
+        id_index->entries[id].store(entry, std::memory_order_release);
+    }
+    return id;
+}
+
+bool
+StringTable::find(std::string_view text, Id *id) const
+{
+    const std::uint64_t hash = hashText(text);
+    const Slab *slab = slab_.load(std::memory_order_acquire);
+    std::size_t index = hash & slab->mask;
+    while (true) {
+        const Entry *entry =
+            slab->slots[index].load(std::memory_order_acquire);
+        if (entry == nullptr)
+            return false;
+        if (entry->hash == hash && entry->text == text) {
+            if (id != nullptr)
+                *id = entry->id;
+            return true;
+        }
+        index = (index + 1) & slab->mask;
+    }
+}
+
+const std::string &
+StringTable::str(Id id) const
+{
+    // Fast path: the published index. A reader racing an index grow
+    // can see a stale generation; ids it legitimately holds were
+    // published with release before their intern() returned, so a
+    // stale miss only happens for very fresh ids — fall back to the
+    // authoritative locked view before declaring the id invalid.
+    const IdIndex *index = by_id_.load(std::memory_order_acquire);
+    if (id < index->capacity) {
+        const Entry *entry =
+            index->entries[id].load(std::memory_order_acquire);
+        if (entry != nullptr)
+            return entry->text;
+    }
+    std::shared_lock lock(mutex_);
+    DC_CHECK(id < entries_.size(), "string id ", id,
+             " was never interned (table has ", entries_.size(),
+             " entries)");
+    return entries_[id].text;
+}
+
+std::size_t
+StringTable::size() const
+{
+    std::shared_lock lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t
+StringTable::textBytes() const
+{
+    std::shared_lock lock(mutex_);
+    return text_bytes_;
+}
+
+StringTable &
+StringTable::global()
+{
+    static StringTable *table = new StringTable();
+    return *table;
+}
+
+} // namespace dc

@@ -1,0 +1,131 @@
+#pragma once
+
+/**
+ * @file
+ * Process-wide string interning for the profiling hot path.
+ *
+ * Call-path frames carry file, function, operator, and kernel names.
+ * Storing those as std::string per CCT node makes every child lookup a
+ * string hash + compare and every node a cache-hostile bag of heap
+ * blocks. The StringTable interns each distinct name once and hands out
+ * dense 32-bit ids; FrameKey (dlmonitor/callpath.h) and CctNode build
+ * on those ids, so frame equality on the per-event path is an integer
+ * compare and names are resolved back to text only at report time.
+ *
+ * Ids are stable for the table's lifetime and id 0 is always the empty
+ * string. The table is append-only — profiles reference a bounded set
+ * of code locations, so entries are never evicted.
+ *
+ * Concurrency: intern() sits on the per-event path of every profiled
+ * thread and of the warehouse's ingestion pool, so the hit path is
+ * lock-free — readers probe an atomically published open-addressed
+ * slab of immutable entries (one FNV hash + a short probe, no lock,
+ * no reference counting). Misses take a mutex, insert, and republish;
+ * superseded slabs are retired, not freed, so concurrent readers can
+ * keep probing them safely. Resolution (str/find/size) takes a shared
+ * lock; it runs at report time, not per event.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dc {
+
+/** Interns strings to dense, stable 32-bit ids. */
+class StringTable
+{
+  public:
+    using Id = std::uint32_t;
+
+    /** Id of the empty string (interned by the constructor). */
+    static constexpr Id kEmpty = 0;
+
+    StringTable();
+    ~StringTable();
+
+    StringTable(const StringTable &) = delete;
+    StringTable &operator=(const StringTable &) = delete;
+
+    /** Get-or-create the id of @p text. Lock-free when already known. */
+    Id intern(std::string_view text);
+
+    /** Id of @p text if already interned; false otherwise. */
+    bool find(std::string_view text, Id *id) const;
+
+    /**
+     * The interned string for @p id. The reference is stable for the
+     * table's lifetime (entries are never moved or evicted). Panics on
+     * an id the table never issued. Lock-free: report and analysis
+     * paths resolve every visited node's name through here, so it
+     * reads an atomically published id->entry index rather than
+     * contending with the ingestion pool's interns on a mutex.
+     */
+    const std::string &str(Id id) const;
+
+    /** Number of interned strings (>= 1: the empty string). */
+    std::size_t size() const;
+
+    /** Total bytes of interned text (diagnostic; excludes indexes). */
+    std::uint64_t textBytes() const;
+
+    /**
+     * The process-wide table every CCT and profile shares. A single
+     * table is what makes FrameKey ids comparable across trees — the
+     * warehouse merges CCTs from many runs by direct id equality.
+     */
+    static StringTable &global();
+
+  private:
+    /** One interned string; immutable once published into a slab. */
+    struct Entry {
+        std::uint64_t hash;
+        std::string text;
+        Id id;
+    };
+
+    /** Open-addressed probe array (linear probing, power-of-two). */
+    struct Slab {
+        explicit Slab(std::size_t capacity)
+            : mask(capacity - 1), slots(capacity)
+        {
+        }
+        std::size_t mask;
+        std::vector<std::atomic<const Entry *>> slots;
+    };
+
+    /** Direct id -> entry index (same publish discipline as Slab). */
+    struct IdIndex {
+        explicit IdIndex(std::size_t capacity)
+            : capacity(capacity), entries(capacity)
+        {
+        }
+        std::size_t capacity;
+        std::vector<std::atomic<const Entry *>> entries;
+    };
+
+    /** Insert into @p slab (must have a free slot). */
+    static void place(Slab &slab, const Entry *entry);
+
+    /** Miss path: insert under the writer lock. */
+    Id internSlow(std::string_view text, std::uint64_t hash);
+
+    std::atomic<const Slab *> slab_;
+    std::atomic<const IdIndex *> by_id_;
+    mutable std::shared_mutex mutex_;
+    /// id -> entry; deque keeps addresses stable so slab pointers and
+    /// str() references never dangle. Guarded by mutex_.
+    std::deque<Entry> entries_;
+    /// Every slab / index ever allocated (back() is the active one).
+    /// Old generations stay alive for concurrent readers.
+    std::vector<std::unique_ptr<Slab>> slabs_;
+    std::vector<std::unique_ptr<IdIndex>> id_indexes_;
+    std::uint64_t text_bytes_ = 0;
+};
+
+} // namespace dc

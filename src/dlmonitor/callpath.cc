@@ -173,6 +173,130 @@ Frame::label() const
     return "?";
 }
 
+namespace {
+
+/** SplitMix64 finalizer: strong avalanche for cheap POD hashing. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+FrameKey
+FrameKey::from(const Frame &frame, StringTable &table)
+{
+    FrameKey key;
+    key.kind = frame.kind;
+    switch (frame.kind) {
+      case FrameKind::kPython:
+        key.file_id = table.intern(frame.file);
+        key.name_id = table.intern(frame.function);
+        key.aux = frame.line;
+        break;
+      case FrameKind::kOperator:
+      case FrameKind::kKernel:
+        key.name_id = table.intern(frame.name);
+        break;
+      case FrameKind::kNative:
+      case FrameKind::kGpuApi:
+        key.pc = frame.pc;
+        if (!frame.name.empty())
+            key.name_id = table.intern(frame.name);
+        break;
+      case FrameKind::kInstruction:
+        key.pc = frame.pc;
+        key.aux = frame.stall;
+        break;
+    }
+    return key;
+}
+
+FrameKey
+FrameKey::locator(const Frame &frame, StringTable &table)
+{
+    FrameKey key;
+    key.kind = frame.kind;
+    switch (frame.kind) {
+      case FrameKind::kPython:
+        key.file_id = table.intern(frame.file);
+        key.aux = frame.line;
+        break;
+      case FrameKind::kOperator:
+      case FrameKind::kKernel:
+        key.name_id = table.intern(frame.name);
+        break;
+      case FrameKind::kNative:
+      case FrameKind::kGpuApi:
+        key.pc = frame.pc;
+        break;
+      case FrameKind::kInstruction:
+        key.pc = frame.pc;
+        key.aux = frame.stall;
+        break;
+    }
+    return key;
+}
+
+Frame
+FrameKey::toFrame(const StringTable &table) const
+{
+    Frame frame;
+    frame.kind = kind;
+    switch (kind) {
+      case FrameKind::kPython:
+        frame.file = table.str(file_id);
+        frame.function = table.str(name_id);
+        frame.line = aux;
+        break;
+      case FrameKind::kOperator:
+      case FrameKind::kKernel:
+      case FrameKind::kNative:
+      case FrameKind::kGpuApi:
+        frame.pc = pc;
+        frame.name = table.str(name_id);
+        break;
+      case FrameKind::kInstruction:
+        frame.pc = pc;
+        frame.stall = aux;
+        break;
+    }
+    return frame;
+}
+
+std::uint64_t
+FrameKey::hash() const
+{
+    std::uint64_t h = static_cast<std::uint64_t>(kind) * 0x9e3779b9ull;
+    switch (kind) {
+      case FrameKind::kPython:
+        h = mix64(h ^ (static_cast<std::uint64_t>(file_id) << 32 |
+                       static_cast<std::uint32_t>(aux)));
+        break;
+      case FrameKind::kOperator:
+      case FrameKind::kKernel:
+        h = mix64(h ^ name_id);
+        break;
+      case FrameKind::kNative:
+      case FrameKind::kGpuApi:
+        h = mix64(h ^ pc);
+        break;
+      case FrameKind::kInstruction:
+        h = mix64(h ^ pc) ^
+            mix64(static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(aux)) +
+                  0x9e3779b97f4a7c15ull);
+        break;
+    }
+    return h;
+}
+
 std::string
 toString(const CallPath &path)
 {

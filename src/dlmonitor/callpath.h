@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "common/string_table.h"
 #include "common/types.h"
 
 namespace dc::dlmon {
@@ -72,6 +74,77 @@ struct Frame {
     /** Short printable label ("train.py:42", "aten::conv2d", ...). */
     std::string label() const;
 };
+
+/**
+ * Compact canonical frame record for the profiling hot path.
+ *
+ * A FrameKey is the Frame with its strings interned through a
+ * StringTable: 24 bytes of POD, trivially copyable, with equality and
+ * hashing that follow exactly the Frame::sameLocation collapsing rules
+ * (display-only fields — a native frame's symbolized name, a python
+ * frame's function — do not participate). CCT nodes store FrameKeys and
+ * resolve text only at report time, so per-event child lookup is
+ * integer compares instead of string hashing.
+ *
+ * Field use per kind:
+ *  - kPython:      file_id + aux(line) locate; name_id(function) displays.
+ *  - kOperator:    name_id locates.
+ *  - kNative:      pc locates; name_id (symbolized) displays.
+ *  - kGpuApi:      pc locates; name_id displays.
+ *  - kKernel:      name_id locates.
+ *  - kInstruction: pc + aux(stall) locate.
+ */
+struct FrameKey {
+    Pc pc = 0;                    ///< Native / GPU API / instruction PC.
+    StringTable::Id file_id = 0;  ///< Python file.
+    StringTable::Id name_id = 0;  ///< Function / operator / kernel name.
+    std::int32_t aux = 0;         ///< Python line or instruction stall.
+    FrameKind kind = FrameKind::kNative;
+
+    /** Intern @p frame's strings and build its key. */
+    static FrameKey from(const Frame &frame,
+                         StringTable &table = StringTable::global());
+
+    /**
+     * Location-only key for child lookup: display-only strings (a
+     * python frame's function, a native/GPU-API frame's symbolized
+     * name) are left unresolved, skipping their interning cost on the
+     * hot path. Compares equal to the full key of any same-location
+     * frame; use from() when the key will be stored in a new node.
+     */
+    static FrameKey locator(const Frame &frame,
+                            StringTable &table = StringTable::global());
+
+    /** Materialize a full Frame (report paths only). */
+    Frame toFrame(const StringTable &table = StringTable::global()) const;
+
+    /** Location equality; agrees with Frame::sameLocation. */
+    bool operator==(const FrameKey &other) const
+    {
+        if (kind != other.kind)
+            return false;
+        switch (kind) {
+          case FrameKind::kPython:
+            return file_id == other.file_id && aux == other.aux;
+          case FrameKind::kOperator:
+          case FrameKind::kKernel:
+            return name_id == other.name_id;
+          case FrameKind::kNative:
+          case FrameKind::kGpuApi:
+            return pc == other.pc;
+          case FrameKind::kInstruction:
+            return pc == other.pc && aux == other.aux;
+        }
+        return false;
+    }
+
+    /** 64-bit hash over exactly the fields operator== compares. */
+    std::uint64_t hash() const;
+};
+
+static_assert(sizeof(FrameKey) <= 24, "FrameKey must stay compact");
+static_assert(std::is_trivially_copyable_v<FrameKey>,
+              "FrameKey must stay POD");
 
 /** A root-to-leaf call path. */
 using CallPath = std::vector<Frame>;

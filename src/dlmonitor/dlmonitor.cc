@@ -161,7 +161,12 @@ DlMonitor::attachGpu()
 DlMonitor::ThreadState &
 DlMonitor::state(ThreadId thread)
 {
-    return thread_state_[thread];
+    if (state_memo_ != nullptr && state_memo_thread_ == thread)
+        return *state_memo_;
+    ThreadState &ts = thread_state_[thread];
+    state_memo_thread_ = thread;
+    state_memo_ = &ts; // stable: unordered_map never moves elements
+    return ts;
 }
 
 std::size_t
@@ -264,11 +269,15 @@ DlMonitor::recordForwardContext(SequenceId seq, const CallPath &prefix)
 }
 
 CallPath
-DlMonitor::mergeFull(ThreadState &ts, unsigned flags)
+DlMonitor::mergeFull(ThreadState &ts, unsigned flags,
+                     CallPathOrigin *origin)
 {
     const bool want_python = flags & kCallPathPython;
     const bool want_framework = flags & kCallPathFramework;
     const bool want_kernel = flags & kCallPathGpuKernel;
+
+    if (origin != nullptr)
+        *origin = CallPathOrigin{};
 
     // Build leaf -> root, then reverse.
     std::vector<Frame> leaf_up;
@@ -295,6 +304,7 @@ DlMonitor::mergeFull(ThreadState &ts, unsigned flags)
         // (filtered to the sources this request asked for).
         if (options_.enable_callpath_cache && ts.cache_valid &&
             pc == ts.cache_anchor_pc) {
+            const std::size_t before_splice = leaf_up.size();
             for (auto it = ts.cached_prefix.rbegin();
                  it != ts.cached_prefix.rend(); ++it) {
                 if (it->kind == FrameKind::kPython && !want_python)
@@ -302,6 +312,17 @@ DlMonitor::mergeFull(ThreadState &ts, unsigned flags)
                 if (it->kind == FrameKind::kOperator && !want_framework)
                     continue;
                 leaf_up.push_back(*it);
+            }
+            if (origin != nullptr) {
+                // The spliced frames are root-most: after the reverse
+                // below they are the leading prefix of the result.
+                // Epochs are tagged by prefix source (cache splice =
+                // even, assoc fallback = odd): within one epoch both
+                // sources can be live with structurally different
+                // prefixes, and a consumer must never treat them as
+                // interchangeable.
+                origin->prefix_epoch = ts.prefix_epoch * 2;
+                origin->prefix_len = leaf_up.size() - before_splice;
             }
             ++stats_.cache_hits;
             spliced_cache = true;
@@ -342,9 +363,17 @@ DlMonitor::mergeFull(ThreadState &ts, unsigned flags)
     // recorded for this sequence number (Section 4.1 optimization).
     if (!reached_python && !spliced_cache && want_framework &&
         ts.assoc_valid) {
+        const std::size_t before_assoc = leaf_up.size();
         for (auto it = ts.assoc_prefix.rbegin();
              it != ts.assoc_prefix.rend(); ++it) {
             leaf_up.push_back(*it);
+        }
+        if (origin != nullptr) {
+            // Odd tag: the assoc prefix (python + operator frames
+            // only) is not the cached-splice prefix (which carries
+            // native frames too) — see the splice branch above.
+            origin->prefix_epoch = ts.prefix_epoch * 2 + 1;
+            origin->prefix_len = leaf_up.size() - before_assoc;
         }
     }
 
@@ -356,13 +385,13 @@ DlMonitor::mergeFull(ThreadState &ts, unsigned flags)
 }
 
 CallPath
-DlMonitor::callpathGet(unsigned flags)
+DlMonitor::callpathGet(unsigned flags, CallPathOrigin *origin)
 {
     ++stats_.callpath_requests;
     ThreadState &ts = state(ctx_->currentThreadId());
 
     if (flags & kCallPathNative)
-        return mergeFull(ts, flags);
+        return mergeFull(ts, flags, origin);
 
     // Cheap mode (native collection disabled): concatenate the cached
     // Python path, the shadow operator stack, the GPU API, and the
@@ -370,6 +399,12 @@ DlMonitor::callpathGet(unsigned flags)
     const bool want_python = flags & kCallPathPython;
     const bool want_framework = flags & kCallPathFramework;
     const bool want_kernel = flags & kCallPathGpuKernel;
+
+    // Everything up to (and including) the shadow operator frames is a
+    // deterministic function of state that bumps the prefix epoch when
+    // it changes — unless we fall back to a fresh python walk, which
+    // the epoch does not cover.
+    bool prefix_stable = true;
 
     CallPath out;
     if (want_framework && ts.assoc_valid) {
@@ -388,6 +423,7 @@ DlMonitor::callpathGet(unsigned flags)
         if (!from_cache) {
             std::vector<Frame> python = pythonFrames();
             out.insert(out.end(), python.begin(), python.end());
+            prefix_stable = false;
         }
     }
     if (want_framework) {
@@ -399,6 +435,15 @@ DlMonitor::callpathGet(unsigned flags)
                 out.push_back(Frame::op(op.name));
             }
         }
+    }
+    if (origin != nullptr) {
+        // Even tag (matching the splice branch of mergeFull is
+        // impossible anyway: cheap mode and native mode never share
+        // flags, which the consumer also compares). Within cheap mode
+        // the branch taken (assoc vs cached python) is a deterministic
+        // function of state the epoch covers, so one tag suffices.
+        origin->prefix_epoch = prefix_stable ? ts.prefix_epoch * 2 : 0;
+        origin->prefix_len = out.size();
     }
     if (ts.in_gpu_callback && !ts.current_api_name.empty())
         out.push_back(Frame::gpuApi(ts.current_api_pc,
@@ -457,6 +502,11 @@ DlMonitor::opBegin(ThreadState &ts, ShadowOp op)
 
     if (!is_backward && seq != 0)
         recordForwardContext(seq, prefix_py_ops);
+
+    // Cache, association, and shadow stack all changed shape: paths
+    // returned before this operator began share no guaranteed prefix
+    // with paths returned after.
+    bumpPrefixEpoch(ts);
 }
 
 void
@@ -467,6 +517,7 @@ DlMonitor::opEnd(ThreadState &ts)
     ts.cache_valid = false;
     if (ts.shadow_stack.empty())
         ts.assoc_valid = false;
+    bumpPrefixEpoch(ts);
 }
 
 void

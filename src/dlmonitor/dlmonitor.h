@@ -24,10 +24,12 @@
  * are implemented here.
  */
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -111,6 +113,54 @@ struct DlMonitorOptions {
     DurationNs roctracer_event_extra_ns = 2'600;
 };
 
+/**
+ * Provenance of a call path returned by callpathGet, for leaf-cursor
+ * CCT insertion (the profiler's fast path).
+ *
+ * The leading @p prefix_len frames of the returned path were copied
+ * verbatim from the thread's cached/associated prefix (and shadow
+ * operator stack) identified by @p prefix_epoch. Two paths obtained
+ * with the same flags and the same nonzero epoch are therefore
+ * guaranteed identical over the first min(prefix_len) frames — the
+ * consumer can skip re-matching them (Cct's leaf-cursor insert) with
+ * no frame comparisons at all. Epoch 0 means "no stable prefix"
+ * (cache disabled or a fresh python walk) and never matches.
+ *
+ * Epoch values encode the prefix *source* as well as its generation
+ * (cache splice vs backward-association fallback get distinct tags):
+ * within one generation both sources can be live with structurally
+ * different prefixes, and they must never compare equal.
+ */
+struct CallPathOrigin {
+    std::uint64_t prefix_epoch = 0;
+    std::size_t prefix_len = 0;
+};
+
+/**
+ * The leaf-cursor protocol's shared-prefix computation, in one place
+ * for every consumer (Profiler, benches): frames proven shared by a
+ * matching nonzero epoch + equal flags are skipped outright, then the
+ * short volatile tail is extended by direct sameLocation comparison.
+ * @return How many leading frames of @p cur equal @p prev.
+ */
+inline std::size_t
+sharedPrefixLength(const CallPath &prev, const CallPathOrigin &prev_origin,
+                   unsigned prev_flags, const CallPath &cur,
+                   const CallPathOrigin &cur_origin, unsigned cur_flags)
+{
+    const std::size_t limit = std::min(prev.size(), cur.size());
+    std::size_t shared = 0;
+    if (cur_origin.prefix_epoch != 0 &&
+        cur_origin.prefix_epoch == prev_origin.prefix_epoch &&
+        cur_flags == prev_flags) {
+        shared = std::min(
+            {cur_origin.prefix_len, prev_origin.prefix_len, limit});
+    }
+    while (shared < limit && cur[shared].sameLocation(prev[shared]))
+        ++shared;
+    return shared;
+}
+
 /** Aggregate statistics for tests and the caching ablation. */
 struct DlMonitorStats {
     std::uint64_t callpath_requests = 0;
@@ -144,8 +194,11 @@ class DlMonitor
     /**
      * dlmonitor_callpath_get: assemble the unified call path for the
      * current thread. @p flags selects the sources to integrate.
+     * @p origin (optional) reports how much of the result came from
+     * the thread's stable cached prefix — see CallPathOrigin.
      */
-    CallPath callpathGet(unsigned flags = kCallPathAll);
+    CallPath callpathGet(unsigned flags = kCallPathAll,
+                         CallPathOrigin *origin = nullptr);
 
     /** Stats (cache hit rates etc.). */
     const DlMonitorStats &stats() const { return stats_; }
@@ -183,6 +236,11 @@ class DlMonitor
         std::string current_api_name;
         std::string current_kernel;
         bool in_gpu_callback = false;
+        /// Identity of the cached/associated prefix + shadow stack as
+        /// seen by callpathGet; bumped (from the monitor-wide counter,
+        /// so values are unique across threads) whenever any of them
+        /// change. 0 only before the first operator event.
+        std::uint64_t prefix_epoch = 0;
     };
 
     ThreadState &state(ThreadId thread);
@@ -207,7 +265,14 @@ class DlMonitor
     void recordForwardContext(SequenceId seq, const CallPath &prefix);
 
     /** Full merge of the current thread's stacks (no cache). */
-    CallPath mergeFull(ThreadState &ts, unsigned flags);
+    CallPath mergeFull(ThreadState &ts, unsigned flags,
+                       CallPathOrigin *origin = nullptr);
+
+    /** Stamp a fresh prefix epoch on @p ts (its prefix changed). */
+    void bumpPrefixEpoch(ThreadState &ts)
+    {
+        ts.prefix_epoch = ++prefix_epoch_counter_;
+    }
 
     /** Python call path of the current thread as frames (leaf last). */
     std::vector<Frame> pythonFrames() const;
@@ -226,12 +291,23 @@ class DlMonitor
     std::vector<std::pair<int, GpuCallback>> gpu_callbacks_;
     int next_handle_ = 1;
 
-    std::map<ThreadId, ThreadState> thread_state_;
+    /// Per-thread state lives on the per-event hot path: every op and
+    /// GPU callback resolves it. unordered_map never invalidates
+    /// element addresses, so the one-entry memo below stays valid as
+    /// other threads register.
+    std::unordered_map<ThreadId, ThreadState> thread_state_;
+    /// One-entry (thread, state) memo: events arrive in long
+    /// same-thread bursts, so the common case skips even the hash.
+    ThreadId state_memo_thread_ = 0;
+    ThreadState *state_memo_ = nullptr;
+
+    /// Source of per-thread prefix epochs (unique across threads).
+    std::uint64_t prefix_epoch_counter_ = 0;
 
     /// seq -> forward (python + operator) prefix, for backward assoc.
     std::map<SequenceId, CallPath> forward_contexts_;
     /// pc -> display name memo (symbolization is pure; cache it).
-    std::map<Pc, std::string> symbol_memo_;
+    std::unordered_map<Pc, std::string> symbol_memo_;
     std::uint64_t forward_context_bytes_ = 0;
 
     // Adapter registrations to tear down on finalize.

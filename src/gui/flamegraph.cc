@@ -60,9 +60,9 @@ FlameGraph::topDown(const prof::ProfileDb &db,
     std::function<void(const prof::CctNode &, FlameNode &)> walk =
         [&](const prof::CctNode &node, FlameNode &out) {
             node.forEachChild([&](const prof::CctNode &child) {
-                const dlmon::Frame &frame = child.frame();
+                const dlmon::FrameKind kind = child.kind();
                 if (!options.include_instructions &&
-                    frame.kind == dlmon::FrameKind::kInstruction) {
+                    kind == dlmon::FrameKind::kInstruction) {
                     return;
                 }
                 const RunningStat *stat =
@@ -72,14 +72,14 @@ FlameGraph::topDown(const prof::ProfileDb &db,
                     return;
 
                 if (!options.include_native &&
-                    (frame.kind == dlmon::FrameKind::kNative)) {
+                    (kind == dlmon::FrameKind::kNative)) {
                     // Collapse: splice the child's children into out.
                     walk(child, out);
                     return;
                 }
 
                 FlameNode flame;
-                flame.label = frame.label();
+                flame.label = child.label();
                 flame.value = value;
                 auto color = colors.find(&child);
                 if (color != colors.end())
@@ -109,7 +109,7 @@ FlameGraph::bottomUp(const prof::ProfileDb &db,
 
     // Aggregate every kernel node by name; expand callers beneath.
     db.cct().visit([&](const prof::CctNode &node) {
-        if (node.frame().kind != dlmon::FrameKind::kKernel)
+        if (node.kind() != dlmon::FrameKind::kKernel)
             return;
         const RunningStat *stat =
             metric >= 0 ? node.findMetric(metric) : nullptr;
@@ -118,16 +118,17 @@ FlameGraph::bottomUp(const prof::ProfileDb &db,
             return;
 
         // Find or create the first-level node for this kernel name.
+        const std::string kernel_label = node.label();
         FlameNode *bucket = nullptr;
         for (FlameNode &child : root.children) {
-            if (child.label == node.frame().label()) {
+            if (child.label == kernel_label) {
                 bucket = &child;
                 break;
             }
         }
         if (bucket == nullptr) {
             FlameNode fresh;
-            fresh.label = node.frame().label();
+            fresh.label = kernel_label;
             auto color = colors.find(&node);
             if (color != colors.end())
                 fresh.color = color->second;
@@ -143,10 +144,10 @@ FlameGraph::bottomUp(const prof::ProfileDb &db,
              caller != nullptr && caller->parent() != nullptr;
              caller = caller->parent()) {
             if (!options.include_native &&
-                caller->frame().kind == dlmon::FrameKind::kNative) {
+                caller->kind() == dlmon::FrameKind::kNative) {
                 continue;
             }
-            const std::string label = caller->frame().label();
+            const std::string label = caller->label();
             FlameNode *next = nullptr;
             for (FlameNode &child : cursor->children) {
                 if (child.label == label) {

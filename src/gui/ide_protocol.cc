@@ -38,12 +38,13 @@ actionsForNode(const prof::CctNode &node, const sim::SourceMap *sources)
 
     if (!location) {
         // Fall back to the nearest Python ancestor so a click always
-        // lands somewhere useful.
+        // lands somewhere useful. kind()/file() resolve through the
+        // string table without materializing whole frames.
         for (const prof::CctNode *cur = node.parent(); cur != nullptr;
              cur = cur->parent()) {
-            if (cur->frame().kind == dlmon::FrameKind::kPython) {
-                location = sim::SourceLocation{cur->frame().file,
-                                               cur->frame().line};
+            if (cur->kind() == dlmon::FrameKind::kPython) {
+                location = sim::SourceLocation{cur->file(),
+                                               cur->line()};
                 break;
             }
         }

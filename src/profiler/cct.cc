@@ -1,89 +1,190 @@
 #include "profiler/cct.h"
 
+#include <algorithm>
 #include <cmath>
+#include <new>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace dc::prof {
 
 namespace {
 
-/// Approximate live bytes of one node (struct + bookkeeping).
-constexpr std::uint64_t kNodeBytes = 224;
-/// Approximate bytes of one metric accumulator.
-constexpr std::uint64_t kMetricBytes = 64;
-
-std::uint64_t
-frameBytes(const dlmon::Frame &frame)
-{
-    return kNodeBytes + frame.file.size() + frame.function.size() +
-           frame.name.size();
-}
+/// Live bytes charged per node: the arena slot plus one sibling link's
+/// share of bookkeeping. Strings live once in the process-wide
+/// StringTable, not per node.
+constexpr std::uint64_t kNodeBytes = sizeof(CctNode);
+/// Bytes charged per metric entry in a node's inline vector.
+constexpr std::uint64_t kMetricBytes = sizeof(CctNode::MetricEntry);
 
 } // namespace
 
-CctNode *
-CctNode::findChild(const dlmon::Frame &frame)
+// ------------------------------------------------------------- CctNode
+
+std::string
+CctNode::label() const
 {
-    auto it = children_.find(frame.locationHash());
-    if (it == children_.end())
+    switch (key_.kind) {
+      case dlmon::FrameKind::kPython:
+        return strformat("%s:%d (%s)", file().c_str(), key_.aux,
+                         name().c_str());
+      case dlmon::FrameKind::kNative:
+        return name().empty()
+                   ? strformat("pc:0x%llx",
+                               static_cast<unsigned long long>(key_.pc))
+                   : name();
+      case dlmon::FrameKind::kOperator:
+      case dlmon::FrameKind::kGpuApi:
+      case dlmon::FrameKind::kKernel:
+        return name();
+      case dlmon::FrameKind::kInstruction:
+        return strformat("pc+0x%llx",
+                         static_cast<unsigned long long>(key_.pc));
+    }
+    return "?";
+}
+
+CctNode *
+CctNode::findChild(const dlmon::FrameKey &key)
+{
+    if (slots_.empty()) {
+        for (CctNode *child = first_child_; child != nullptr;
+             child = child->next_sibling_) {
+            if (child->key_ == key)
+                return child;
+        }
         return nullptr;
-    for (const auto &child : it->second) {
-        if (child->frame().sameLocation(frame))
-            return child.get();
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t index = key.hash() & mask;
+    while (slots_[index] != nullptr) {
+        if (slots_[index]->key_ == key)
+            return slots_[index];
+        index = (index + 1) & mask;
     }
     return nullptr;
 }
 
 const CctNode *
-CctNode::findChild(const dlmon::Frame &frame) const
+CctNode::findChild(const dlmon::FrameKey &key) const
 {
-    return const_cast<CctNode *>(this)->findChild(frame);
+    return const_cast<CctNode *>(this)->findChild(key);
 }
 
 CctNode *
-CctNode::child(const dlmon::Frame &frame, bool *created)
+CctNode::findChild(const dlmon::Frame &frame)
 {
-    CctNode *existing = findChild(frame);
-    if (existing != nullptr) {
-        if (created != nullptr)
-            *created = false;
-        return existing;
+    // Pure lookup: the location-only key skips interning display
+    // strings into the process-global table.
+    return findChild(dlmon::FrameKey::locator(frame));
+}
+
+const CctNode *
+CctNode::findChild(const dlmon::Frame &frame) const
+{
+    return const_cast<CctNode *>(this)->findChild(
+        dlmon::FrameKey::locator(frame));
+}
+
+void
+CctNode::placeSlot(CctNode *child)
+{
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t index = child->key_.hash() & mask;
+    while (slots_[index] != nullptr)
+        index = (index + 1) & mask;
+    slots_[index] = child;
+}
+
+void
+CctNode::rebuildSlots(std::size_t capacity)
+{
+    slots_.assign(capacity, nullptr);
+    for (CctNode *child = first_child_; child != nullptr;
+         child = child->next_sibling_) {
+        placeSlot(child);
     }
-    auto node = std::make_unique<CctNode>(frame, this, depth_ + 1);
-    CctNode *raw = node.get();
-    children_[frame.locationHash()].push_back(std::move(node));
-    order_.push_back(raw);
-    if (created != nullptr)
-        *created = true;
-    return raw;
+}
+
+std::uint64_t
+CctNode::linkChild(CctNode *child)
+{
+    if (last_child_ != nullptr)
+        last_child_->next_sibling_ = child;
+    else
+        first_child_ = child;
+    last_child_ = child;
+    ++child_count_;
+
+    std::uint64_t table_bytes = 0;
+    if (!slots_.empty()) {
+        // Keep the load factor under 3/4 so probes stay short.
+        if (child_count_ * 4 >= slots_.size() * 3) {
+            const std::size_t grown = slots_.size() * 2;
+            table_bytes =
+                static_cast<std::uint64_t>(grown - slots_.size()) *
+                sizeof(CctNode *);
+            rebuildSlots(grown);
+        } else {
+            placeSlot(child);
+        }
+    } else if (child_count_ > kLinearScanMax) {
+        std::size_t capacity = 4;
+        while (child_count_ * 4 >= capacity * 3)
+            capacity *= 2;
+        table_bytes = static_cast<std::uint64_t>(capacity) *
+                      sizeof(CctNode *);
+        rebuildSlots(capacity);
+    }
+    return table_bytes;
+}
+
+RunningStat &
+CctNode::metric(int metric_id)
+{
+    auto it = std::lower_bound(
+        metrics_.begin(), metrics_.end(), metric_id,
+        [](const MetricEntry &entry, int id) { return entry.first < id; });
+    if (it == metrics_.end() || it->first != metric_id)
+        it = metrics_.emplace(it, metric_id, RunningStat{});
+    return it->second;
 }
 
 const RunningStat *
 CctNode::findMetric(int metric_id) const
 {
-    auto it = metrics_.find(metric_id);
-    return it == metrics_.end() ? nullptr : &it->second;
+    auto it = std::lower_bound(
+        metrics_.begin(), metrics_.end(), metric_id,
+        [](const MetricEntry &entry, int id) { return entry.first < id; });
+    return it == metrics_.end() || it->first != metric_id ? nullptr
+                                                          : &it->second;
 }
 
 void
 CctNode::forEachChild(const std::function<void(CctNode &)> &fn)
 {
-    for (CctNode *child : order_)
+    for (CctNode *child = first_child_; child != nullptr;
+         child = child->next_sibling_) {
         fn(*child);
+    }
 }
 
 void
 CctNode::forEachChild(const std::function<void(const CctNode &)> &fn) const
 {
-    for (const CctNode *child : order_)
+    for (const CctNode *child = first_child_; child != nullptr;
+         child = child->next_sibling_) {
         fn(*child);
+    }
 }
+
+// ----------------------------------------------------------------- Cct
 
 Cct::Cct(HostMemoryTracker *tracker) : tracker_(tracker)
 {
-    root_ = std::make_unique<CctNode>(dlmon::Frame::op("<root>"), nullptr,
-                                      0);
+    root_ = newNode(
+        dlmon::FrameKey::from(dlmon::Frame::op("<root>")), nullptr, 0);
     charge(kNodeBytes);
 }
 
@@ -91,6 +192,18 @@ Cct::~Cct()
 {
     if (tracker_ != nullptr && memory_bytes_ > 0)
         tracker_->release("profiler.cct", memory_bytes_);
+    // Destroy arena-constructed nodes explicitly; every chunk before
+    // the last is full.
+    for (std::size_t c = 0; c < arena_chunks_.size(); ++c) {
+        const std::size_t used = c + 1 < arena_chunks_.size()
+                                     ? kArenaChunkNodes
+                                     : arena_used_in_last_;
+        CctNode *nodes =
+            std::launder(reinterpret_cast<CctNode *>(
+                arena_chunks_[c].get()));
+        for (std::size_t i = 0; i < used; ++i)
+            nodes[i].~CctNode();
+    }
 }
 
 void
@@ -102,30 +215,71 @@ Cct::charge(std::uint64_t bytes)
 }
 
 CctNode *
-Cct::insert(const dlmon::CallPath &path, std::size_t *created_nodes)
+Cct::newNode(const dlmon::FrameKey &key, CctNode *parent, int depth)
 {
-    CctNode *node = root_.get();
-    // Live profiling must never abort the host application: paths
-    // beyond the depth cap are truncated (metrics then aggregate at the
-    // truncated leaf, so totals stay conserved).
-    std::size_t depth_budget = static_cast<std::size_t>(kMaxDepth);
-    if (path.size() > depth_budget && !depth_warned_) {
-        depth_warned_ = true;
-        DC_WARN("call path of ", path.size(),
-                " frames truncated to max depth ", kMaxDepth,
-                " (warned once per tree)");
+    if (arena_used_in_last_ == kArenaChunkNodes) {
+        arena_chunks_.push_back(std::make_unique<unsigned char[]>(
+            kArenaChunkNodes * sizeof(CctNode)));
+        arena_used_in_last_ = 0;
     }
+    unsigned char *slot = arena_chunks_.back().get() +
+                          arena_used_in_last_ * sizeof(CctNode);
+    ++arena_used_in_last_;
+    return new (slot) CctNode(key, parent, depth);
+}
+
+CctNode *
+Cct::createChild(CctNode *parent, const dlmon::FrameKey &key)
+{
+    CctNode *node = newNode(key, parent, parent->depth_ + 1);
+    const std::uint64_t table_bytes = parent->linkChild(node);
+    ++node_count_;
+    charge(kNodeBytes + table_bytes);
+    return node;
+}
+
+CctNode *
+Cct::childOf(CctNode *parent, const dlmon::FrameKey &key, bool *created)
+{
+    CctNode *existing = parent->findChild(key);
+    if (existing != nullptr) {
+        if (created != nullptr)
+            *created = false;
+        return existing;
+    }
+    if (created != nullptr)
+        *created = true;
+    return createChild(parent, key);
+}
+
+CctNode *
+Cct::descend(CctNode *node, const dlmon::CallPath &path,
+             std::size_t begin, std::size_t *created_nodes)
+{
     std::size_t created = 0;
-    for (const dlmon::Frame &frame : path) {
-        if (depth_budget-- == 0)
+    for (std::size_t i = begin; i < path.size(); ++i) {
+        // Live profiling must never abort the host application: paths
+        // beyond the depth cap are truncated (metrics then aggregate
+        // at the truncated leaf, so totals stay conserved).
+        if (node->depth() >= kMaxDepth) {
+            if (!depth_warned_) {
+                depth_warned_ = true;
+                DC_WARN("call path of ", path.size(),
+                        " frames truncated to max depth ", kMaxDepth,
+                        " (warned once per tree)");
+            }
             break;
-        bool was_created = false;
-        node = node->child(frame, &was_created);
-        if (was_created) {
-            ++created;
-            ++node_count_;
-            charge(frameBytes(frame));
         }
+        // Look up with a location-only key (no display-string
+        // interning); the full key is built only when a node is
+        // actually created.
+        CctNode *child =
+            node->findChild(dlmon::FrameKey::locator(path[i]));
+        if (child == nullptr) {
+            child = createChild(node, dlmon::FrameKey::from(path[i]));
+            ++created;
+        }
+        node = child;
     }
     if (created_nodes != nullptr)
         *created_nodes = created;
@@ -133,27 +287,65 @@ Cct::insert(const dlmon::CallPath &path, std::size_t *created_nodes)
 }
 
 CctNode *
+Cct::insert(const dlmon::CallPath &path, std::size_t *created_nodes)
+{
+    return descend(root_, path, 0, created_nodes);
+}
+
+CctNode *
+Cct::insert(const dlmon::CallPath &path, std::size_t *created_nodes,
+            CctNode *cursor_leaf, std::size_t shared_depth)
+{
+    if (cursor_leaf == nullptr)
+        return descend(root_, path, 0, created_nodes);
+    // The cursor contract (leaf of a previous insert into this tree,
+    // prefix same-location equal) is the caller's; clamping keeps a
+    // short new path or a depth-truncated cursor safe.
+    shared_depth = std::min(
+        {shared_depth, path.size(),
+         static_cast<std::size_t>(cursor_leaf->depth())});
+    CctNode *node = cursor_leaf;
+    while (static_cast<std::size_t>(node->depth()) > shared_depth)
+        node = node->parent_;
+    return descend(node, path, shared_depth, created_nodes);
+}
+
+CctNode *
+Cct::atDepthCap(CctNode *parent)
+{
+    // Graceful degradation mirroring insert(): attribute to the
+    // parent rather than grow past the cap (or abort the host).
+    if (!depth_warned_) {
+        depth_warned_ = true;
+        DC_WARN("attach at max depth ", kMaxDepth,
+                "; attributing to the parent node "
+                "(warned once per tree)");
+    }
+    return parent;
+}
+
+CctNode *
 Cct::attachChild(CctNode *parent, const dlmon::Frame &frame)
 {
     DC_CHECK(parent != nullptr, "attach to null parent");
-    if (parent->depth() >= kMaxDepth) {
-        // Graceful degradation mirroring insert(): attribute to the
-        // parent rather than grow past the cap (or abort the host).
-        if (!depth_warned_) {
-            depth_warned_ = true;
-            DC_WARN("attach at max depth ", kMaxDepth,
-                    "; attributing to the parent node "
-                    "(warned once per tree)");
-        }
-        return parent;
-    }
-    bool created = false;
-    CctNode *node = parent->child(frame, &created);
-    if (created) {
-        ++node_count_;
-        charge(frameBytes(frame));
-    }
-    return node;
+    if (parent->depth() >= kMaxDepth)
+        return atDepthCap(parent);
+    // One probe with the cheap location-only key; the full key (with
+    // display strings interned) is built only for an actual creation.
+    CctNode *existing =
+        parent->findChild(dlmon::FrameKey::locator(frame));
+    if (existing != nullptr)
+        return existing;
+    return createChild(parent, dlmon::FrameKey::from(frame));
+}
+
+CctNode *
+Cct::attachChild(CctNode *parent, const dlmon::FrameKey &key)
+{
+    DC_CHECK(parent != nullptr, "attach to null parent");
+    if (parent->depth() >= kMaxDepth)
+        return atDepthCap(parent);
+    return childOf(parent, key, nullptr);
 }
 
 std::size_t
@@ -182,8 +374,9 @@ Cct::mergeFrom(const Cct &other, const std::vector<int> &metric_remap)
                     charge(kMetricBytes);
             }
             src.forEachChild([&](const CctNode &src_child) {
-                CctNode *dst_child =
-                    attachChild(&dst, src_child.frame());
+                // Both trees intern through the process-wide table, so
+                // keys unify by direct POD equality — no string work.
+                CctNode *dst_child = attachChild(&dst, src_child.key());
                 mergeInto(*dst_child, src_child);
             });
         };

@@ -11,66 +11,165 @@
  * the root so every ancestor holds inclusive values — this online
  * aggregation is why DeepContext's profile size stays flat no matter how
  * long the workload runs.
+ *
+ * Hot-path layout (the paper's overhead claim depends on this):
+ *
+ *  - Nodes store a compact POD FrameKey (strings interned through the
+ *    process-wide StringTable; resolved back to text only at report
+ *    time), so child matching is integer compares.
+ *  - Nodes are bump-allocated from a per-tree arena and linked into
+ *    their parent's intrusive sibling chain — no per-child unique_ptr,
+ *    no per-bucket heap vectors.
+ *  - Small fan-out is matched by scanning the sibling chain; parents
+ *    with many children (merged warehouse trees, instruction fan-out)
+ *    get an open-addressed pointer table keyed by FrameKey::hash.
+ *  - Per-node metrics live in a small id-sorted inline vector instead
+ *    of a std::map.
+ *  - insert() has a leaf-cursor fast path: given the previous event's
+ *    leaf and the length of the shared prefix, only the changed suffix
+ *    is walked — the common case for consecutive events from the same
+ *    operator context (DLMonitor's call-path cache supplies exactly
+ *    that locality).
  */
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/memory_tracker.h"
 #include "common/stats.h"
+#include "common/string_table.h"
 #include "dlmonitor/callpath.h"
 
 namespace dc::prof {
+
+class Cct;
 
 /** One calling-context-tree node. */
 class CctNode
 {
   public:
-    CctNode(dlmon::Frame frame, CctNode *parent, int depth)
-        : frame_(std::move(frame)), parent_(parent), depth_(depth)
+    /** One (metric id, accumulator) entry; metrics() is sorted by id. */
+    using MetricEntry = std::pair<int, RunningStat>;
+
+    CctNode(const dlmon::FrameKey &key, CctNode *parent, int depth)
+        : key_(key), parent_(parent), depth_(depth)
     {
     }
 
-    const dlmon::Frame &frame() const { return frame_; }
+    /** The node's compact location key. */
+    const dlmon::FrameKey &key() const { return key_; }
+
+    /** Frame layer without materializing the frame. */
+    dlmon::FrameKind kind() const { return key_.kind; }
+
+    /**
+     * Materialized frame with strings resolved through the global
+     * StringTable — report/analysis paths only; returns by value.
+     */
+    dlmon::Frame frame() const
+    {
+        return key_.toFrame(StringTable::global());
+    }
+
+    /**
+     * Display name resolved through the global table: operator/kernel
+     * /GPU-API name, symbolized native name, or a python frame's
+     * function. The reference is stable (table entries never move).
+     */
+    const std::string &name() const
+    {
+        return StringTable::global().str(key_.name_id);
+    }
+
+    /** Python frame's file (empty for other kinds); stable ref. */
+    const std::string &file() const
+    {
+        return StringTable::global().str(key_.file_id);
+    }
+
+    /** Python frame's line number (0 for other kinds). */
+    int line() const
+    {
+        return key_.kind == dlmon::FrameKind::kPython ? key_.aux : 0;
+    }
+
+    /**
+     * Short printable label ("train.py:42", "aten::conv2d", ...).
+     * Matches Frame::label() without materializing a Frame — report
+     * traversals call this once per visited node.
+     */
+    std::string label() const;
+
     CctNode *parent() { return parent_; }
     const CctNode *parent() const { return parent_; }
     int depth() const { return depth_; }
 
-    /** Find a child matching @p frame; nullptr if absent. */
+    /** Find a child matching @p key; nullptr if absent. */
+    CctNode *findChild(const dlmon::FrameKey &key);
+    const CctNode *findChild(const dlmon::FrameKey &key) const;
+
+    /** Convenience overloads interning @p frame first. */
     CctNode *findChild(const dlmon::Frame &frame);
     const CctNode *findChild(const dlmon::Frame &frame) const;
 
-    /** Find-or-create a child. @p created reports whether it was new. */
-    CctNode *child(const dlmon::Frame &frame, bool *created);
-
-    /** Metric accumulator (creating it if needed). */
-    RunningStat &metric(int metric_id) { return metrics_[metric_id]; }
+    /**
+     * Metric accumulator (creating it if needed). The reference is
+     * invalidated by a later metric() call that inserts a new id on
+     * this node (entries live in an inline vector, not a node-based
+     * map) — use it immediately, don't hold it across insertions.
+     */
+    RunningStat &metric(int metric_id);
 
     /** Metric accumulator or nullptr. */
     const RunningStat *findMetric(int metric_id) const;
 
-    const std::map<int, RunningStat> &metrics() const { return metrics_; }
+    /** Metric entries, ascending by id. */
+    const std::vector<MetricEntry> &metrics() const { return metrics_; }
 
     /** Visit children in deterministic (insertion) order. */
     void forEachChild(const std::function<void(CctNode &)> &fn);
     void forEachChild(const std::function<void(const CctNode &)> &fn) const;
 
-    std::size_t childCount() const { return order_.size(); }
+    std::size_t childCount() const { return child_count_; }
 
   private:
-    dlmon::Frame frame_;
+    friend class Cct;
+
+    /// Sibling chains beyond this length get the open-addressed table.
+    static constexpr std::uint32_t kLinearScanMax = 8;
+
+    /**
+     * Append @p child (caller guarantees no same-location sibling
+     * exists). @return Bytes newly allocated for the child table, for
+     * the tree's memory accounting.
+     */
+    std::uint64_t linkChild(CctNode *child);
+
+    /** Insert into slots_ (must have a free slot). */
+    void placeSlot(CctNode *child);
+
+    /** (Re)build slots_ at @p capacity (power of two). */
+    void rebuildSlots(std::size_t capacity);
+
+    dlmon::FrameKey key_;
     CctNode *parent_;
-    int depth_;
-    std::map<int, RunningStat> metrics_;
-    /// Hash buckets; collisions resolved by Frame::sameLocation.
-    std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<CctNode>>>
-        children_;
-    /// Deterministic iteration order (pointers into children_).
-    std::vector<CctNode *> order_;
+    CctNode *first_child_ = nullptr;
+    CctNode *last_child_ = nullptr;
+    CctNode *next_sibling_ = nullptr;
+    std::uint32_t child_count_ = 0;
+    std::int32_t depth_;
+    /// Sorted by metric id; profiles carry tens of metrics at most, so
+    /// a flat vector beats a node-based map on both memory and lookup.
+    std::vector<MetricEntry> metrics_;
+    /// Open-addressed child index (linear probing, power-of-two size);
+    /// empty while the sibling chain is short enough to scan.
+    std::vector<CctNode *> slots_;
 };
+
+/// bench_hotpath probes this to exercise the cursor insert overload.
+#define DC_CCT_HAS_CURSOR 1
 
 /** The tree. */
 class Cct
@@ -111,11 +210,29 @@ class Cct
                     std::size_t *created_nodes = nullptr);
 
     /**
+     * Leaf-cursor fast path: @p cursor_leaf is the leaf a previous
+     * insert into THIS tree returned, and the first @p shared_depth
+     * frames of @p path are same-location equal to that leaf's
+     * root-to-leaf path. Only the changed suffix is walked — ancestors
+     * are reached by climbing from the cursor, with no child lookups
+     * or string interning for the shared prefix. @p shared_depth is
+     * clamped to both the cursor's depth and the path length; a null
+     * cursor falls back to the root walk. Produces a tree identical to
+     * root-walk insertion.
+     */
+    CctNode *insert(const dlmon::CallPath &path,
+                    std::size_t *created_nodes, CctNode *cursor_leaf,
+                    std::size_t shared_depth);
+
+    /**
      * Find-or-create a direct child of @p parent with the tree's
      * bookkeeping (node count, memory accounting). Used by loaders and
      * by the instruction-frame extension.
      */
     CctNode *attachChild(CctNode *parent, const dlmon::Frame &frame);
+
+    /** attachChild for an already-interned key (merge, v2 parser). */
+    CctNode *attachChild(CctNode *parent, const dlmon::FrameKey &key);
 
     /**
      * Add one metric sample at @p node; when @p propagate is set the
@@ -129,10 +246,12 @@ class Cct
 
     /**
      * Structurally merge @p other into this tree: frames matching
-     * Frame::sameLocation unify, subtrees absent here are created, and
-     * per-node RunningStat accumulators are combined (parallel Welford).
-     * Metric ids of @p other are translated through @p metric_remap
-     * (index = other id) when non-empty; empty means ids already agree.
+     * Frame::sameLocation unify (by direct FrameKey equality — both
+     * trees intern through the process-wide StringTable), subtrees
+     * absent here are created, and per-node RunningStat accumulators
+     * are combined (parallel Welford). Metric ids of @p other are
+     * translated through @p metric_remap (index = other id) when
+     * non-empty; empty means ids already agree.
      * @return Number of nodes created in this tree.
      */
     std::size_t mergeFrom(const Cct &other,
@@ -141,7 +260,12 @@ class Cct
     /** Total node count (including the root). */
     std::size_t nodeCount() const { return node_count_; }
 
-    /** Estimated live bytes of the tree. */
+    /**
+     * Estimated live bytes of the tree: arena nodes, child tables,
+     * and metric entries. Name text is NOT included — names live once
+     * in the process-wide StringTable (see StringTable::textBytes()
+     * for that shared, append-only pool), not per tree.
+     */
     std::uint64_t memoryBytes() const { return memory_bytes_; }
 
     /** Pre-order traversal. */
@@ -156,9 +280,34 @@ class Cct
     void detachTracker();
 
   private:
+    /// Nodes per arena chunk; chunks are allocated on demand and nodes
+    /// never move, so parent/child/cursor pointers stay valid for the
+    /// tree's lifetime.
+    static constexpr std::size_t kArenaChunkNodes = 256;
+
     void charge(std::uint64_t bytes);
 
-    std::unique_ptr<CctNode> root_;
+    /** Arena-construct a node (no linking). */
+    CctNode *newNode(const dlmon::FrameKey &key, CctNode *parent,
+                     int depth);
+
+    /** Construct + link a child (caller checked it does not exist). */
+    CctNode *createChild(CctNode *parent, const dlmon::FrameKey &key);
+
+    /** Depth-cap degradation shared by the attach paths. */
+    CctNode *atDepthCap(CctNode *parent);
+
+    /** Find-or-create one child (attach/merge paths). */
+    CctNode *childOf(CctNode *parent, const dlmon::FrameKey &key,
+                     bool *created);
+
+    /** Insert path[begin..] below @p node (depth-capped). */
+    CctNode *descend(CctNode *node, const dlmon::CallPath &path,
+                     std::size_t begin, std::size_t *created_nodes);
+
+    std::vector<std::unique_ptr<unsigned char[]>> arena_chunks_;
+    std::size_t arena_used_in_last_ = kArenaChunkNodes;
+    CctNode *root_ = nullptr;
     HostMemoryTracker *tracker_;
     std::size_t node_count_ = 1;
     std::uint64_t memory_bytes_ = 0;

@@ -6,6 +6,8 @@
 #include <set>
 #include <sstream>
 #include <type_traits>
+#include <unordered_map>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -14,7 +16,8 @@ namespace dc::prof {
 
 namespace {
 
-constexpr const char *kHeader = "# deepcontext profile v1";
+constexpr const char *kHeaderV1 = "# deepcontext profile v1";
+constexpr const char *kHeaderV2 = "# deepcontext profile v2";
 
 std::string
 encodeField(const std::string &s)
@@ -96,16 +99,85 @@ ProfileDb::validate(std::string *error) const
     return walk(cct_->root());
 }
 
+namespace {
+
+/**
+ * The v1 node record's (file, function, name, line, pc, stall) fields
+ * reconstructed from a compact FrameKey. file/function/name are string
+ * ids; unused per-kind slots are the empty string / zero, matching what
+ * the v1 serializer wrote for the equivalent Frame.
+ */
+struct WireFrame {
+    StringTable::Id file = StringTable::kEmpty;
+    StringTable::Id function = StringTable::kEmpty;
+    StringTable::Id name = StringTable::kEmpty;
+    int line = 0;
+    Pc pc = 0;
+    int stall = -1;
+};
+
+WireFrame
+wireFrame(const dlmon::FrameKey &key)
+{
+    WireFrame wire;
+    switch (key.kind) {
+      case dlmon::FrameKind::kPython:
+        wire.file = key.file_id;
+        wire.function = key.name_id;
+        wire.line = key.aux;
+        break;
+      case dlmon::FrameKind::kOperator:
+      case dlmon::FrameKind::kKernel:
+        wire.name = key.name_id;
+        break;
+      case dlmon::FrameKind::kNative:
+      case dlmon::FrameKind::kGpuApi:
+        wire.name = key.name_id;
+        wire.pc = key.pc;
+        break;
+      case dlmon::FrameKind::kInstruction:
+        wire.pc = key.pc;
+        wire.stall = key.aux;
+        break;
+    }
+    return wire;
+}
+
+} // namespace
+
 std::string
 ProfileDb::serialize() const
 {
     std::ostringstream out;
-    out << kHeader << "\n";
+    out << kHeaderV2 << "\n";
     for (const auto &[key, value] : metadata_)
         out << "meta\t" << encodeField(key) << "\t" << encodeField(value)
             << "\n";
     for (const std::string &name : metrics_.allNames())
         out << "metric\t" << encodeField(name) << "\n";
+
+    // String-table section: each distinct name is written once per
+    // profile (not once per node). Local ids are assigned in pre-order
+    // first-use order, so equal trees serialize byte-identically.
+    const StringTable &table = StringTable::global();
+    std::unordered_map<StringTable::Id, int> local_ids;
+    std::vector<StringTable::Id> local_strings;
+    auto localId = [&](StringTable::Id global_id) {
+        auto [it, inserted] =
+            local_ids.emplace(global_id,
+                              static_cast<int>(local_strings.size()));
+        if (inserted)
+            local_strings.push_back(global_id);
+        return it->second;
+    };
+    cct_->visit([&](const CctNode &node) {
+        const WireFrame wire = wireFrame(node.key());
+        localId(wire.file);
+        localId(wire.function);
+        localId(wire.name);
+    });
+    for (const StringTable::Id global_id : local_strings)
+        out << "str\t" << encodeField(table.str(global_id)) << "\n";
 
     // Nodes in pre-order; ids assigned on the fly.
     int next_id = 0;
@@ -115,11 +187,12 @@ ProfileDb::serialize() const
         ids[&node] = id;
         const int parent =
             node.parent() == nullptr ? -1 : ids[node.parent()];
-        const dlmon::Frame &f = node.frame();
+        const WireFrame wire = wireFrame(node.key());
         out << "node\t" << id << "\t" << parent << "\t"
-            << static_cast<int>(f.kind) << "\t" << encodeField(f.file)
-            << "\t" << encodeField(f.function) << "\t" << f.line << "\t"
-            << f.pc << "\t" << encodeField(f.name) << "\t" << f.stall;
+            << static_cast<int>(node.kind()) << "\t"
+            << local_ids[wire.file] << "\t" << local_ids[wire.function]
+            << "\t" << wire.line << "\t" << wire.pc << "\t"
+            << local_ids[wire.name] << "\t" << wire.stall;
         for (const auto &[metric_id, stat] : node.metrics()) {
             out << "\tm:" << metric_id << ":" << stat.count() << ":"
                 << strformat("%.17g:%.17g:%.17g:%.17g:%.17g", stat.sum(),
@@ -222,23 +295,59 @@ ProfileDb::tryDeserialize(const std::string &text, std::string *error)
     };
 
     ++p.line_no;
-    if (!std::getline(in, line) || line != kHeader) {
+    bool v2 = false;
+    if (!std::getline(in, line) ||
+        (line != kHeaderV1 && line != kHeaderV2)) {
         p.fail("bad profile header '" + excerpt(line) + "'");
         return failed();
     }
+    v2 = line == kHeaderV2;
 
     auto cct = std::make_unique<Cct>();
     MetricRegistry metrics;
     std::map<std::string, std::string> metadata;
     std::map<int, CctNode *> nodes;
     std::set<const CctNode *> materialized;
+    /// v2 string-table section, interned lazily: the process-global
+    /// StringTable is append-only, so eagerly interning an untrusted
+    /// file's whole section would let a malformed (and then rejected)
+    /// profile grow the table permanently. Only strings a node record
+    /// actually references are interned — the same exposure as the v1
+    /// path, which interns per materialized node.
+    std::vector<std::string> string_texts;
+    std::vector<StringTable::Id> string_ids; // 0 = not yet interned
+    auto resolveSid = [&](int sid) {
+        StringTable::Id &id =
+            string_ids[static_cast<std::size_t>(sid)];
+        if (id == 0 &&
+            !string_texts[static_cast<std::size_t>(sid)].empty()) {
+            id = StringTable::global().intern(
+                string_texts[static_cast<std::size_t>(sid)]);
+        }
+        return id;
+    };
 
     while (std::getline(in, line)) {
         ++p.line_no;
         if (line.empty())
             continue;
         const std::vector<std::string> fields = split(line, '\t');
-        if (fields[0] == "meta") {
+        if (v2 && fields[0] == "str") {
+            // One name per record, in local-id order; names are
+            // interned once per profile here, not once per node.
+            if (fields.size() != 2) {
+                p.fail("malformed str record");
+                return failed();
+            }
+            if (!nodes.empty()) {
+                // Nodes reference sids by index; a table growing under
+                // them would mean the writer was corrupt.
+                p.fail("str record after the first node record");
+                return failed();
+            }
+            string_texts.push_back(decodeField(fields[1]));
+            string_ids.push_back(StringTable::kEmpty);
+        } else if (fields[0] == "meta") {
             // Exactly 3 fields: the serializer escapes tabs, so extra
             // fields mean corruption — dropping them would silently
             // truncate the value.
@@ -276,13 +385,15 @@ ProfileDb::tryDeserialize(const std::string &text, std::string *error)
             int id = 0;
             int parent_id = 0;
             int kind = 0;
-            dlmon::Frame frame;
+            int line = 0;
+            Pc pc = 0;
+            int stall = -1;
             if (!p.number(fields[1], "node id", &id) ||
                 !p.number(fields[2], "parent id", &parent_id) ||
                 !p.number(fields[3], "frame kind", &kind) ||
-                !p.number(fields[6], "line", &frame.line) ||
-                !p.number(fields[7], "pc", &frame.pc) ||
-                !p.number(fields[9], "stall", &frame.stall)) {
+                !p.number(fields[6], "line", &line) ||
+                !p.number(fields[7], "pc", &pc) ||
+                !p.number(fields[9], "stall", &stall)) {
                 return failed();
             }
             if (id < 0) {
@@ -298,10 +409,64 @@ ProfileDb::tryDeserialize(const std::string &text, std::string *error)
                 p.fail(strformat("bad frame kind %d", kind));
                 return failed();
             }
-            frame.kind = static_cast<dlmon::FrameKind>(kind);
-            frame.file = decodeField(fields[4]);
-            frame.function = decodeField(fields[5]);
-            frame.name = decodeField(fields[8]);
+
+            dlmon::FrameKey key;
+            key.kind = static_cast<dlmon::FrameKind>(kind);
+            if (v2) {
+                // v2: the file/function/name fields are indexes into
+                // the profile's string-table section.
+                int file_sid = 0;
+                int func_sid = 0;
+                int name_sid = 0;
+                if (!p.number(fields[4], "file string id", &file_sid) ||
+                    !p.number(fields[5], "function string id",
+                              &func_sid) ||
+                    !p.number(fields[8], "name string id", &name_sid)) {
+                    return failed();
+                }
+                const int table_size =
+                    static_cast<int>(string_texts.size());
+                if (file_sid < 0 || file_sid >= table_size ||
+                    func_sid < 0 || func_sid >= table_size ||
+                    name_sid < 0 || name_sid >= table_size) {
+                    p.fail(strformat(
+                        "node %d: string id outside the %d-entry "
+                        "string table",
+                        id, table_size));
+                    return failed();
+                }
+                switch (key.kind) {
+                  case dlmon::FrameKind::kPython:
+                    key.file_id = resolveSid(file_sid);
+                    key.name_id = resolveSid(func_sid);
+                    key.aux = line;
+                    break;
+                  case dlmon::FrameKind::kOperator:
+                  case dlmon::FrameKind::kKernel:
+                    key.name_id = resolveSid(name_sid);
+                    break;
+                  case dlmon::FrameKind::kNative:
+                  case dlmon::FrameKind::kGpuApi:
+                    key.pc = pc;
+                    key.name_id = resolveSid(name_sid);
+                    break;
+                  case dlmon::FrameKind::kInstruction:
+                    key.pc = pc;
+                    key.aux = stall;
+                    break;
+                }
+            } else {
+                // v1: names inline in every node record.
+                dlmon::Frame frame;
+                frame.kind = key.kind;
+                frame.file = decodeField(fields[4]);
+                frame.function = decodeField(fields[5]);
+                frame.line = line;
+                frame.pc = pc;
+                frame.name = decodeField(fields[8]);
+                frame.stall = stall;
+                key = dlmon::FrameKey::from(frame);
+            }
 
             CctNode *node = nullptr;
             if (parent_id < 0) {
@@ -326,7 +491,7 @@ ProfileDb::tryDeserialize(const std::string &text, std::string *error)
                         Cct::kMaxDepth));
                     return failed();
                 }
-                node = cct->attachChild(it->second, frame);
+                node = cct->attachChild(it->second, key);
             }
             // attachChild find-or-creates, so a sibling record whose
             // frame unifies with an earlier one would silently alias

@@ -8,6 +8,12 @@
  * Because metrics were aggregated online, the database is proportional
  * to the number of *distinct contexts*, not to the number of events —
  * the disk-size half of the paper's memory/disk claim.
+ *
+ * The current format (v2) carries a string-table section: each
+ * file/function/operator/kernel name is written and parsed once per
+ * profile, and node records reference names by id — both smaller on
+ * disk and cheaper to ingest than the v1 format's per-node inline
+ * strings. v1 files still load through tryDeserialize.
  */
 
 #include <map>
@@ -44,7 +50,7 @@ class ProfileDb
      */
     bool validate(std::string *error = nullptr) const;
 
-    /** Serialize to the v1 text format. */
+    /** Serialize to the v2 text format (string-table section). */
     std::string serialize() const;
 
     /** Write serialize() to @p path. Returns bytes written. */

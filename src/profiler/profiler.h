@@ -52,7 +52,10 @@ struct ProfilerConfig {
     DurationNs cpu_sample_period_ns = 4'000'000; // 250 Hz
 
     // Virtual-time costs of the profiler's own work.
-    DurationNs cct_insert_hit_ns = 60;    ///< Per existing frame.
+    /// Per existing frame the insert actually walked; frames skipped
+    /// by the leaf-cursor fast path (shared, epoch-verified prefixes)
+    /// are not billed — see Profiler::chargeInsert.
+    DurationNs cct_insert_hit_ns = 60;
     DurationNs cct_insert_miss_ns = 450;  ///< Per created node.
     DurationNs metric_update_ns = 35;     ///< Per node on the propagation
                                           ///< path (frame unification +
@@ -100,7 +103,7 @@ class Profiler
   private:
     unsigned pathFlags() const;
     CctNode *insertCurrentPath(unsigned flags);
-    void chargeInsert(std::size_t path_len, std::size_t created);
+    void chargeInsert(std::size_t walked_frames, std::size_t created);
     void addMetricCharged(CctNode *node, int metric_id, double value);
 
     void onFrameworkEvent(const dlmon::OpCallbackInfo &info);
@@ -142,8 +145,18 @@ class Profiler
 
     std::unordered_map<CorrelationId, CctNode *> correlation_;
     /// Per-thread stack of (node, begin wall time) for op timing.
-    std::map<ThreadId, std::vector<std::pair<CctNode *, TimeNs>>>
+    std::unordered_map<ThreadId, std::vector<std::pair<CctNode *, TimeNs>>>
         open_ops_;
+
+    /// Leaf-cursor state: the previous event's path, its provenance,
+    /// and its leaf. Each insert walks only the suffix that changed
+    /// since the last event (consecutive events share deep prefixes —
+    /// the same locality DLMonitor's call-path cache exploits, and its
+    /// prefix epoch proves the sharing without frame comparisons).
+    dlmon::CallPath last_path_;
+    dlmon::CallPathOrigin last_origin_;
+    unsigned last_flags_ = 0;
+    CctNode *last_leaf_ = nullptr;
 
     std::unique_ptr<sim::SignalSampler> cpu_sampler_;
     std::unique_ptr<sim::SignalSampler> real_sampler_;

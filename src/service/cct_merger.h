@@ -7,7 +7,9 @@
  * The warehouse stores one ProfileDb per run; fleet-level analysis wants
  * one tree. CctMerger unifies frames under Frame::sameLocation (the same
  * collapsing rule the profiler applies within a run, extended across
- * runs), remaps metric ids through a combined MetricRegistry, and merges
+ * runs — realized as direct FrameKey equality, since every tree interns
+ * names through the process-wide StringTable), remaps metric ids
+ * through a combined MetricRegistry, and merges
  * per-node RunningStat accumulators with the parallel-Welford combine —
  * so the merged tree is exactly what a single profiler observing all the
  * runs would have built. The operation is associative and commutative up

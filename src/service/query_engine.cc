@@ -73,17 +73,20 @@ QueryEngine::topKernels(std::size_t k, const QueryFilter &filter,
             continue;
         std::map<std::string, bool> seen_this_run;
         profile->cct().visit([&](const prof::CctNode &node) {
-            if (node.frame().kind != dlmon::FrameKind::kKernel)
+            if (node.kind() != dlmon::FrameKind::kKernel)
                 return;
             const RunningStat *stat = node.findMetric(metric_id);
             if (stat == nullptr || stat->count() == 0)
                 return;
-            KernelAggregate &agg = by_name[node.frame().name];
-            agg.name = node.frame().name;
+            // name() resolves through the string table without
+            // materializing a Frame — visit() touches every node.
+            const std::string &name = node.name();
+            KernelAggregate &agg = by_name[name];
+            agg.name = name;
             agg.total += stat->sum();
             agg.samples += stat->count();
-            if (!seen_this_run[node.frame().name]) {
-                seen_this_run[node.frame().name] = true;
+            if (!seen_this_run[name]) {
+                seen_this_run[name] = true;
                 ++agg.runs;
             }
         });

@@ -40,8 +40,8 @@ syntheticProfile()
     cct->addMetric(hot, grid, 16.0, false);
 
     // Instruction child with constant-miss stalls.
-    bool created = false;
-    CctNode *inst = hot->child(Frame::instruction(0x40, 4), &created);
+    CctNode *inst =
+        cct->attachChild(hot, Frame::instruction(0x40, 4));
     cct->addMetric(inst, stall_total, 20.0);
     cct->addMetric(inst, stall_const, 16.0, false);
     cct->addMetric(inst, stall_none, 4.0, false);

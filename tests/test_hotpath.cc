@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Tests for the hot-path data layout: StringTable interning, FrameKey
+ * equality/hash agreement with Frame::sameLocation/locationHash, flat
+ * CCT child indexing under hash collisions, leaf-cursor insertion
+ * equivalence, and the v2 profile format (string-table section) plus
+ * v1 backward compatibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "common/string_table.h"
+#include "profiler/profile_db.h"
+
+namespace dc::prof {
+namespace {
+
+using dlmon::Frame;
+using dlmon::FrameKey;
+using dlmon::FrameKind;
+
+// ------------------------------------------------------- StringTable
+
+TEST(StringTable, InternIsStableAndDeduplicates)
+{
+    StringTable table;
+    EXPECT_EQ(table.intern(""), StringTable::kEmpty);
+    const StringTable::Id a = table.intern("aten::conv2d");
+    const StringTable::Id b = table.intern("train.py");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(table.intern("aten::conv2d"), a);
+    EXPECT_EQ(table.str(a), "aten::conv2d");
+    EXPECT_EQ(table.str(StringTable::kEmpty), "");
+    StringTable::Id found = 0;
+    EXPECT_TRUE(table.find("train.py", &found));
+    EXPECT_EQ(found, b);
+    EXPECT_FALSE(table.find("missing", nullptr));
+    EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(StringTable, SurvivesGrowthAcrossManyStrings)
+{
+    StringTable table;
+    std::vector<StringTable::Id> ids;
+    for (int i = 0; i < 5000; ++i)
+        ids.push_back(table.intern("str_" + std::to_string(i)));
+    // References handed out before growth stay valid; ids stay stable.
+    for (int i = 0; i < 5000; ++i) {
+        EXPECT_EQ(table.str(ids[static_cast<std::size_t>(i)]),
+                  "str_" + std::to_string(i));
+        EXPECT_EQ(table.intern("str_" + std::to_string(i)),
+                  ids[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(StringTable, ConcurrentInterningAgrees)
+{
+    // The warehouse's ingestion pool interns from many threads; every
+    // thread must observe one id per distinct string.
+    StringTable table;
+    constexpr int kThreads = 8;
+    constexpr int kStrings = 500;
+    std::vector<std::vector<StringTable::Id>> per_thread(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&table, &per_thread, t] {
+            auto &ids = per_thread[static_cast<std::size_t>(t)];
+            for (int i = 0; i < kStrings; ++i)
+                ids.push_back(table.intern("s" + std::to_string(i)));
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(per_thread[static_cast<std::size_t>(t)],
+                  per_thread[0]);
+    EXPECT_EQ(table.size(), 1u + kStrings); // + the empty string
+}
+
+// ---------------------------------------------------------- FrameKey
+
+/** One representative frame per kind plus same/different locations. */
+std::vector<Frame>
+frameZoo()
+{
+    return {
+        Frame::python("train.py", "main", 10),
+        Frame::python("train.py", "other_fn", 10), // same location
+        Frame::python("train.py", "main", 11),
+        Frame::python("model.py", "main", 10),
+        Frame::op("aten::conv2d"),
+        Frame::op("aten::relu"),
+        Frame::native(0x1000),
+        Frame::native(0x2000),
+        Frame::gpuApi(0x9000, "cudaLaunchKernel"),
+        Frame::gpuApi(0x9008, "cudaMemcpy"),
+        Frame::kernel("gemm"),
+        Frame::kernel("elementwise"),
+        Frame::instruction(0x40, 2),
+        Frame::instruction(0x40, 3),
+        Frame::instruction(0x48, 2),
+    };
+}
+
+TEST(FrameKey, EqualityAgreesWithSameLocationAcrossAllKinds)
+{
+    const std::vector<Frame> zoo = frameZoo();
+    for (const Frame &a : zoo) {
+        for (const Frame &b : zoo) {
+            const FrameKey ka = FrameKey::from(a);
+            const FrameKey kb = FrameKey::from(b);
+            EXPECT_EQ(a.sameLocation(b), ka == kb)
+                << a.label() << " vs " << b.label();
+            // Location-only lookup keys match full keys the same way.
+            EXPECT_EQ(a.sameLocation(b), FrameKey::locator(a) == kb)
+                << a.label() << " vs " << b.label();
+        }
+    }
+}
+
+TEST(FrameKey, HashAgreesWithEquality)
+{
+    const std::vector<Frame> zoo = frameZoo();
+    for (const Frame &a : zoo) {
+        for (const Frame &b : zoo) {
+            const FrameKey ka = FrameKey::from(a);
+            const FrameKey kb = FrameKey::from(b);
+            if (ka == kb) {
+                // Mirrors the Frame invariant: sameLocation frames
+                // share locationHash; equal keys share hash().
+                EXPECT_TRUE(a.sameLocation(b));
+                EXPECT_EQ(a.locationHash(), b.locationHash());
+                EXPECT_EQ(ka.hash(), kb.hash());
+            }
+        }
+    }
+}
+
+TEST(FrameKey, RoundTripsThroughFrame)
+{
+    for (const Frame &frame : frameZoo()) {
+        const Frame back = FrameKey::from(frame).toFrame();
+        EXPECT_TRUE(frame.sameLocation(back)) << frame.label();
+        EXPECT_EQ(frame.label(), back.label());
+    }
+}
+
+TEST(FrameKey, StaysCompact)
+{
+    EXPECT_LE(sizeof(FrameKey), 24u);
+}
+
+// ------------------------------------------------- flat child lookup
+
+TEST(Cct, HashCollidingFramesStayDistinctNodes)
+{
+    // Find instruction frames whose FrameKey hashes collide modulo a
+    // small power of two — guaranteed same-bucket collisions in the
+    // open-addressed child table at (at least) its initial capacity.
+    const FrameKey probe =
+        FrameKey::from(Frame::instruction(0x1000, 0));
+    const std::size_t mask = 63;
+    const std::uint64_t want = probe.hash() & mask;
+    std::vector<Frame> colliding = {Frame::instruction(0x1000, 0)};
+    for (Pc pc = 0x1001; colliding.size() < 24; ++pc) {
+        const Frame frame = Frame::instruction(pc, 0);
+        if ((FrameKey::from(frame).hash() & mask) == want)
+            colliding.push_back(frame);
+    }
+
+    Cct cct;
+    CctNode *parent = cct.insert({Frame::kernel("k")});
+    std::vector<CctNode *> nodes;
+    for (const Frame &frame : colliding)
+        nodes.push_back(cct.attachChild(parent, frame));
+    // Every colliding frame produced its own node...
+    EXPECT_EQ(parent->childCount(), colliding.size());
+    for (std::size_t i = 0; i < colliding.size(); ++i) {
+        // ...and stays findable despite probe chains.
+        EXPECT_EQ(parent->findChild(colliding[i]), nodes[i]);
+        EXPECT_EQ(cct.attachChild(parent, colliding[i]), nodes[i]);
+    }
+}
+
+TEST(Cct, LargeFanOutStaysFindableThroughTableGrowth)
+{
+    // Crosses the linear-scan threshold and several table rehashes
+    // (instruction fan-out under one kernel is the realistic case).
+    Cct cct;
+    CctNode *parent = cct.insert({Frame::kernel("k")});
+    constexpr int kChildren = 2000;
+    for (int i = 0; i < kChildren; ++i)
+        cct.attachChild(parent, Frame::instruction(
+                                    0x100 + static_cast<Pc>(i), i % 7));
+    EXPECT_EQ(parent->childCount(),
+              static_cast<std::size_t>(kChildren));
+    EXPECT_EQ(cct.nodeCount(), 2u + kChildren);
+    for (int i = 0; i < kChildren; ++i) {
+        const CctNode *child = parent->findChild(Frame::instruction(
+            0x100 + static_cast<Pc>(i), i % 7));
+        ASSERT_NE(child, nullptr);
+        EXPECT_EQ(child->key().pc, 0x100 + static_cast<Pc>(i));
+    }
+    // Insertion order is preserved by the sibling chain.
+    int index = 0;
+    parent->forEachChild([&](const CctNode &child) {
+        EXPECT_EQ(child.key().pc, 0x100 + static_cast<Pc>(index));
+        ++index;
+    });
+    EXPECT_EQ(index, kChildren);
+}
+
+// ------------------------------------------------ leaf-cursor insert
+
+/** Structural equality of two trees (keys, order, metrics count). */
+void
+expectSameTree(const CctNode &a, const CctNode &b)
+{
+    EXPECT_TRUE(a.key() == b.key()) << a.label() << " vs " << b.label();
+    ASSERT_EQ(a.childCount(), b.childCount()) << "under " << a.label();
+    std::vector<const CctNode *> children_a;
+    std::vector<const CctNode *> children_b;
+    a.forEachChild([&](const CctNode &c) { children_a.push_back(&c); });
+    b.forEachChild([&](const CctNode &c) { children_b.push_back(&c); });
+    for (std::size_t i = 0; i < children_a.size(); ++i)
+        expectSameTree(*children_a[i], *children_b[i]);
+}
+
+TEST(Cct, CursorInsertionBuildsIdenticalTree)
+{
+    Rng rng(99);
+    std::vector<dlmon::CallPath> paths;
+    for (int i = 0; i < 500; ++i) {
+        dlmon::CallPath path;
+        const int depth = 1 + static_cast<int>(rng.below(8));
+        for (int d = 0; d < depth; ++d) {
+            switch (rng.below(3)) {
+              case 0:
+                path.push_back(Frame::python(
+                    "f" + std::to_string(rng.below(3)) + ".py", "fn",
+                    static_cast<int>(rng.below(4))));
+                break;
+              case 1:
+                path.push_back(
+                    Frame::op("op" + std::to_string(rng.below(4))));
+                break;
+              default:
+                path.push_back(Frame::kernel(
+                    "k" + std::to_string(rng.below(4))));
+                break;
+            }
+        }
+        paths.push_back(std::move(path));
+    }
+
+    Cct root_walk;
+    Cct cursor_walk;
+    CctNode *leaf = nullptr;
+    const dlmon::CallPath *prev = nullptr;
+    std::size_t created_root_total = 0;
+    std::size_t created_cursor_total = 0;
+    for (const dlmon::CallPath &path : paths) {
+        std::size_t created = 0;
+        root_walk.insert(path, &created);
+        created_root_total += created;
+
+        std::size_t shared = 0;
+        if (prev != nullptr) {
+            const std::size_t limit =
+                std::min(prev->size(), path.size());
+            while (shared < limit &&
+                   (*prev)[shared].sameLocation(path[shared]))
+                ++shared;
+        }
+        leaf = cursor_walk.insert(path, &created, leaf, shared);
+        created_cursor_total += created;
+        prev = &path;
+
+        // The cursor leaf is always the same node a root walk finds.
+        EXPECT_EQ(cursor_walk.insert(path), leaf);
+    }
+    EXPECT_EQ(root_walk.nodeCount(), cursor_walk.nodeCount());
+    EXPECT_EQ(created_root_total, created_cursor_total);
+    expectSameTree(root_walk.root(), cursor_walk.root());
+}
+
+TEST(Cct, CursorClampsSharedDepthToCursorDepth)
+{
+    // A depth-truncated cursor can sit shallower than the genuinely
+    // shared prefix (its path was cut at kMaxDepth); shared_depth is
+    // clamped to the cursor's depth and the rest is re-walked.
+    Cct cct;
+    CctNode *leaf =
+        cct.insert({Frame::op("a"), Frame::op("b"), Frame::op("c")});
+    std::size_t created = 0;
+    CctNode *deeper = cct.insert(
+        {Frame::op("a"), Frame::op("b"), Frame::op("c"),
+         Frame::op("d")},
+        &created, leaf, /*shared_depth=*/4);
+    EXPECT_EQ(created, 1u);
+    EXPECT_EQ(deeper->depth(), 4);
+    EXPECT_EQ(deeper->parent(), leaf);
+    EXPECT_EQ(deeper, cct.insert({Frame::op("a"), Frame::op("b"),
+                                  Frame::op("c"), Frame::op("d")}));
+    // A null cursor falls back to the root walk.
+    EXPECT_EQ(leaf, cct.insert({Frame::op("a"), Frame::op("b"),
+                                Frame::op("c")},
+                               nullptr, nullptr, 3));
+}
+
+TEST(Cct, CursorRespectsDepthCapLikeRootWalk)
+{
+    dlmon::CallPath deep;
+    for (int i = 0; i < Cct::kMaxDepth + 50; ++i)
+        deep.push_back(Frame::op("f" + std::to_string(i)));
+
+    Cct cct;
+    CctNode *leaf = cct.insert(deep);
+    EXPECT_EQ(leaf->depth(), Cct::kMaxDepth);
+    // Re-inserting via the cursor with a fully shared prefix stays at
+    // the truncated leaf and creates nothing.
+    std::size_t created = 0;
+    CctNode *again = cct.insert(deep, &created, leaf, deep.size());
+    EXPECT_EQ(created, 0u);
+    EXPECT_EQ(again, leaf);
+}
+
+// ------------------------------------------------- profile format v2
+
+TEST(ProfileDb, V2SerializesStringTableSection)
+{
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    const int gpu = metrics.intern("gpu_time_ns");
+    // The same names repeat across many nodes; v2 writes each once.
+    for (int i = 0; i < 50; ++i) {
+        CctNode *leaf = cct->insert(
+            {Frame::python("train.py", "main", i),
+             Frame::op("aten::conv2d"),
+             Frame::kernel("very_long_kernel_name_" +
+                           std::to_string(i % 2))});
+        cct->addMetric(leaf, gpu, 10.0 + i);
+    }
+    ProfileDb db(std::move(cct), std::move(metrics), {});
+    const std::string text = db.serialize();
+    EXPECT_NE(text.find("# deepcontext profile v2"), std::string::npos);
+    // "aten::conv2d" appears exactly once (its str record).
+    std::size_t occurrences = 0;
+    for (std::size_t pos = text.find("aten::conv2d");
+         pos != std::string::npos;
+         pos = text.find("aten::conv2d", pos + 1)) {
+        ++occurrences;
+    }
+    EXPECT_EQ(occurrences, 1u);
+
+    auto loaded = ProfileDb::deserialize(text);
+    EXPECT_EQ(loaded->cct().nodeCount(), db.cct().nodeCount());
+    expectSameTree(loaded->cct().root(), db.cct().root());
+    EXPECT_EQ(loaded->serialize(), text);
+}
+
+TEST(ProfileDb, V1TextStillLoads)
+{
+    // A v1 profile as the pre-string-table serializer wrote it: names
+    // inline in every node record.
+    const std::string v1 =
+        "# deepcontext profile v1\n"
+        "meta\tframework\tPyTorch\n"
+        "metric\tgpu_time_ns\n"
+        "node\t0\t-1\t1\t\t\t0\t0\t<root>\t-1\n"
+        "node\t1\t0\t0\ttrain.py\tmain\t7\t0\t\t-1\n"
+        "node\t2\t1\t1\t\t\t0\t0\taten::relu\t-1\n"
+        "node\t3\t2\t4\t\t\t0\t0\tk_fast\t-1"
+        "\tm:0:2:30:10:20:15:50\n"
+        "node\t4\t2\t5\t\t\t0\t64\t\t3\n";
+    std::string error;
+    auto db = ProfileDb::tryDeserialize(v1, &error);
+    ASSERT_NE(db, nullptr) << error;
+    EXPECT_EQ(db->cct().nodeCount(), 5u);
+    EXPECT_EQ(db->metadata().at("framework"), "PyTorch");
+
+    const CctNode *python =
+        db->cct().root().findChild(Frame::python("train.py", "main", 7));
+    ASSERT_NE(python, nullptr);
+    EXPECT_EQ(python->name(), "main");
+    EXPECT_EQ(python->file(), "train.py");
+    const CctNode *op = python->findChild(Frame::op("aten::relu"));
+    ASSERT_NE(op, nullptr);
+    const CctNode *kernel = op->findChild(Frame::kernel("k_fast"));
+    ASSERT_NE(kernel, nullptr);
+    const RunningStat *stat = kernel->findMetric(0);
+    ASSERT_NE(stat, nullptr);
+    EXPECT_DOUBLE_EQ(stat->sum(), 30.0);
+    const CctNode *inst = op->findChild(Frame::instruction(64, 3));
+    ASSERT_NE(inst, nullptr);
+
+    // Loading v1 and re-serializing upgrades to v2, losslessly.
+    auto upgraded = ProfileDb::deserialize(db->serialize());
+    expectSameTree(upgraded->cct().root(), db->cct().root());
+}
+
+TEST(ProfileDb, V2RejectsCorruptStringReferences)
+{
+    const std::pair<const char *, const char *> cases[] = {
+        {"# deepcontext profile v2\nstr\t\n"
+         "node\t0\t-1\t1\t0\t0\t0\t0\t9\t-1\n",
+         "string id outside"},
+        {"# deepcontext profile v2\nstr\t\n"
+         "node\t0\t-1\t1\t0\t0\t0\t0\t-2\t-1\n",
+         "string id outside"},
+        {"# deepcontext profile v2\n"
+         "node\t0\t-1\t1\tx\t0\t0\t0\t0\t-1\n",
+         "non-numeric file string id"},
+        {"# deepcontext profile v2\nstr\ta\tb\n", "malformed str record"},
+        {"# deepcontext profile v2\nstr\t\n"
+         "node\t0\t-1\t1\t0\t0\t0\t0\t0\t-1\n"
+         "str\tlate\n"
+         "node\t1\t0\t1\t1\t0\t0\t0\t1\t-1\n",
+         "str record after the first node record"},
+    };
+    for (const auto &[text, expected] : cases) {
+        std::string error;
+        EXPECT_EQ(ProfileDb::tryDeserialize(text, &error), nullptr)
+            << text;
+        EXPECT_NE(error.find(expected), std::string::npos)
+            << "error was: " << error;
+    }
+}
+
+TEST(ProfileDb, V2RoundTripPreservesAllFrameKinds)
+{
+    auto cct = std::make_unique<Cct>();
+    Frame native = Frame::native(0x7f01);
+    native.name = "libtorch.so!at::native::add";
+    CctNode *api = cct->insert(
+        {Frame::python("a.py", "fn", 3), Frame::op("aten::add"), native,
+         Frame::gpuApi(0x9100, "cudaLaunchKernel"),
+         Frame::kernel("vectorized_add")});
+    cct->attachChild(api, Frame::instruction(0x11, 2));
+
+    ProfileDb db(std::move(cct), MetricRegistry{}, {});
+    auto loaded = ProfileDb::deserialize(db.serialize());
+    EXPECT_EQ(loaded->cct().nodeCount(), db.cct().nodeCount());
+    expectSameTree(loaded->cct().root(), db.cct().root());
+    // Display strings survive: the symbolized native name resolves.
+    bool found_native = false;
+    loaded->cct().visit([&](const CctNode &node) {
+        if (node.kind() == FrameKind::kNative) {
+            found_native = true;
+            EXPECT_EQ(node.name(), "libtorch.so!at::native::add");
+        }
+    });
+    EXPECT_TRUE(found_native);
+}
+
+} // namespace
+} // namespace dc::prof
