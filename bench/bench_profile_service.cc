@@ -1,6 +1,7 @@
 /**
  * @file
- * Throughput / latency bench of the profile warehouse.
+ * Throughput / latency bench of the profile warehouse and its
+ * query-serving fast path.
  *
  * Seeds a pool of real profiles by running workloads under DeepContext
  * (the existing workloads/ runner), then measures, at 1 / 8 / 64 stored
@@ -8,8 +9,15 @@
  *
  *  - ingestion throughput (serialized profiles parsed and stored per
  *    second, all worker threads active),
- *  - query latency for top-k kernels, a metadata-filtered top-k, and a
- *    full corpus merge (median of repeated runs).
+ *  - query latency for top-k kernels and the merged corpus, contrasting
+ *    the pre-corpus-view behavior (re-aggregate / re-merge the corpus
+ *    on every call) with the materialized-view fast path (cached,
+ *    cold-rebuild, and incremental-refresh scenarios),
+ *  - cold full-merge wall time: the pre-PR merge kernel
+ *    (std::function-recursive, re-implemented here against the public
+ *    CCT API) vs. the current serial fold vs. the parallel tree
+ *    reduction,
+ *  - query latency while ingestion runs concurrently (64-run scale).
  *
  * Wall-clock here is real host time (std::chrono), not simulator time:
  * the warehouse is host-side infrastructure, so its cost is measured
@@ -18,18 +26,24 @@
  * Usage: bench_profile_service [--max-runs N] [--json FILE]
  *
  * With --json the headline numbers are written to FILE as a flat JSON
- * object (one key per stored-runs scale), so CI can archive the perf
- * trajectory across commits.
+ * object (one key per scenario x stored-runs scale); CI regenerates it
+ * per commit and gates the speedup keys against the checked-in
+ * BENCH_query.json baseline (scripts/compare_bench.py).
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <map>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/stats.h"
 #include "common/strings.h"
+#include "service/cct_merger.h"
 #include "service/profile_store.h"
 #include "service/query_engine.h"
 #include "workloads/runner.h"
@@ -86,6 +100,119 @@ medianLatencyUs(int reps, Fn &&fn)
     return median(samples);
 }
 
+using Snapshot =
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const prof::ProfileDb>>>;
+
+/**
+ * The pre-corpus-view topKernels: walk every stored run's tree on
+ * every query, aggregating through heap-string maps. Kept here as the
+ * measured baseline the cached view is compared against.
+ */
+std::vector<KernelAggregate>
+legacyTopKernels(const Snapshot &snapshot, std::size_t k,
+                 const std::string &metric)
+{
+    std::map<std::string, KernelAggregate> by_name;
+    for (const auto &[run_id, profile] : snapshot) {
+        (void)run_id;
+        const int metric_id = profile->metrics().find(metric);
+        if (metric_id < 0)
+            continue;
+        std::map<std::string, bool> seen_this_run;
+        profile->cct().visit([&](const prof::CctNode &node) {
+            if (node.kind() != dlmon::FrameKind::kKernel)
+                return;
+            const RunningStat *stat = node.findMetric(metric_id);
+            if (stat == nullptr || stat->count() == 0)
+                return;
+            const std::string &name = node.name();
+            KernelAggregate &agg = by_name[name];
+            agg.name = name;
+            agg.total += stat->sum();
+            agg.samples += stat->count();
+            if (!seen_this_run[name]) {
+                seen_this_run[name] = true;
+                ++agg.runs;
+            }
+        });
+    }
+    std::vector<KernelAggregate> ranked;
+    ranked.reserve(by_name.size());
+    for (auto &[name, agg] : by_name) {
+        (void)name;
+        ranked.push_back(std::move(agg));
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const KernelAggregate &a, const KernelAggregate &b) {
+                  if (a.total != b.total)
+                      return a.total > b.total;
+                  return a.name < b.name;
+              });
+    if (ranked.size() > k)
+        ranked.resize(k);
+    return ranked;
+}
+
+/**
+ * The pre-PR CCT merge kernel, faithfully re-created against the
+ * public API: std::function recursion with a std::function-wrapped
+ * child visit per node and attachChild per child — what every cold
+ * merge paid before the direct-walk kernel. Returns the node count so
+ * the work cannot be optimized away.
+ */
+std::size_t
+preprMergeAll(const Snapshot &snapshot)
+{
+    prof::Cct cct;
+    prof::MetricRegistry metrics;
+    for (const auto &[run_id, profile] : snapshot) {
+        (void)run_id;
+        const std::vector<int> remap =
+            metrics.mergeFrom(profile->metrics());
+        std::function<void(prof::CctNode &, const prof::CctNode &)>
+            mergeInto = [&](prof::CctNode &dst,
+                            const prof::CctNode &src) {
+                for (const auto &[metric_id, stat] : src.metrics()) {
+                    const int id =
+                        remap.empty()
+                            ? metric_id
+                            : remap[static_cast<std::size_t>(
+                                  metric_id)];
+                    // The pre-PR kernel probed for existence (memory
+                    // accounting) before the separate get-or-create
+                    // lookup: two binary searches per entry.
+                    const bool existed =
+                        dst.findMetric(id) != nullptr;
+                    RunningStat &acc = dst.metric(id);
+                    acc = RunningStat::merged(acc, stat);
+                    (void)existed;
+                }
+                src.forEachChild([&](const prof::CctNode &child) {
+                    prof::CctNode *dst_child =
+                        cct.attachChild(&dst, child.key());
+                    mergeInto(*dst_child, child);
+                });
+            };
+        mergeInto(cct.root(), profile->cct().root());
+    }
+    return cct.nodeCount();
+}
+
+/** (profiles, run_ids) arrays for the CctMerger entry points. */
+void
+splitSnapshot(const Snapshot &snapshot,
+              std::vector<const prof::ProfileDb *> *profiles,
+              std::vector<std::string> *run_ids)
+{
+    profiles->clear();
+    run_ids->clear();
+    for (const auto &[run_id, profile] : snapshot) {
+        profiles->push_back(profile.get());
+        run_ids->push_back(run_id);
+    }
+}
+
 } // namespace
 
 int
@@ -102,18 +229,23 @@ main(int argc, char **argv)
     std::vector<std::pair<std::string, double>> json;
 
     std::printf("profile warehouse bench "
-                "(ingestion + query over stored runs)\n\n");
+                "(ingestion + query fast path over stored runs)\n\n");
     const std::vector<std::string> pool = seedProfiles();
     std::uint64_t pool_bytes = 0;
     for (const std::string &text : pool)
         pool_bytes += text.size();
-    std::printf("seeded %zu workload profiles, avg %s serialized\n\n",
+    std::printf("seeded %zu workload profiles, avg %s serialized\n",
                 pool.size(),
                 humanBytes(pool_bytes / pool.size()).c_str());
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("%u hardware thread(s) for parallel reduction\n\n",
+                hw > 0 ? hw : 1);
 
-    bench::printRow({"stored runs", "ingest time", "profiles/s",
-                     "top-k us", "filter us", "merge us"});
-    bench::printRule(6);
+    bench::printRow({"stored runs", "ingest/s", "topk legacy",
+                     "topk cached", "topk cold", "merge pre-PR",
+                     "merge serial", "merge parallel"},
+                    13);
+    bench::printRule(8, 13);
 
     for (int runs : {1, 8, 64}) {
         if (runs > max_runs)
@@ -134,30 +266,138 @@ main(int argc, char **argv)
             return 1;
         }
 
+        const Snapshot snapshot = store.snapshot();
+        std::vector<const prof::ProfileDb *> profiles;
+        std::vector<std::string> run_ids;
+        splitSnapshot(snapshot, &profiles, &run_ids);
+
         QueryEngine engine(store);
         QueryFilter torch;
         torch.framework = "PyTorch";
         const int reps = 20;
-        const double topk_us = medianLatencyUs(
-            reps, [&] { engine.topKernels(10); });
-        const double filter_us = medianLatencyUs(
-            reps, [&] { engine.topKernels(10, torch); });
-        const double merge_us =
+        const int merge_reps = 5;
+
+        // Pre-view baseline: every call re-walks the whole corpus.
+        const double legacy_topk_us = medianLatencyUs(reps, [&] {
+            legacyTopKernels(snapshot, 10,
+                             prof::metric_names::kGpuTime);
+        });
+        // Fast path, warm: repeated queries over an unchanged corpus.
+        engine.topKernels(10); // materialize once
+        const double cached_topk_us =
+            medianLatencyUs(reps, [&] { engine.topKernels(10); });
+        const double cached_filter_us =
+            medianLatencyUs(reps, [&] { engine.topKernels(10, torch); });
+        // Fast path, cold: first touch pays the parallel rebuild.
+        const double cold_topk_us = medianLatencyUs(merge_reps, [&] {
+            engine.corpusView().invalidateAll();
+            engine.topKernels(10);
+        });
+
+        // Cold-merge wall time: pre-PR kernel vs serial fold vs
+        // parallel tree reduction (all from-scratch merges).
+        const double prepr_merge_us = medianLatencyUs(
+            merge_reps, [&] { preprMergeAll(snapshot); });
+        const double serial_merge_us = medianLatencyUs(merge_reps, [&] {
+            CctMerger::mergeAllPrevalidated(profiles, run_ids,
+                                            /*workers=*/1);
+        });
+        const double parallel_merge_us =
+            medianLatencyUs(merge_reps, [&] {
+                CctMerger::mergeAllPrevalidated(profiles, run_ids,
+                                                /*workers=*/0,
+                                                /*grain=*/4);
+            });
+        // Warm merged(): hand out the cached view's shared_ptr.
+        engine.merged();
+        const double cached_merge_us =
             medianLatencyUs(reps, [&] { engine.merged(); });
 
         bench::printRow(
             {std::to_string(runs),
-             strformat("%.1f ms", ingest_s * 1e3),
              strformat("%.0f", static_cast<double>(runs) / ingest_s),
-             strformat("%.0f", topk_us), strformat("%.0f", filter_us),
-             strformat("%.0f", merge_us)});
+             strformat("%.0f us", legacy_topk_us),
+             strformat("%.1f us", cached_topk_us),
+             strformat("%.0f us", cold_topk_us),
+             strformat("%.0f us", prepr_merge_us),
+             strformat("%.0f us", serial_merge_us),
+             strformat("%.0f us", parallel_merge_us)},
+            13);
 
         const std::string scale = std::to_string(runs);
         json.emplace_back("ingest_profiles_per_sec_" + scale,
                           static_cast<double>(runs) / ingest_s);
-        json.emplace_back("topk_us_" + scale, topk_us);
-        json.emplace_back("filter_us_" + scale, filter_us);
-        json.emplace_back("merge_us_" + scale, merge_us);
+        json.emplace_back("legacy_topk_us_" + scale, legacy_topk_us);
+        json.emplace_back("cached_topk_us_" + scale, cached_topk_us);
+        json.emplace_back("cached_filter_topk_us_" + scale,
+                          cached_filter_us);
+        json.emplace_back("cold_topk_us_" + scale, cold_topk_us);
+        json.emplace_back("prepr_merge_us_" + scale, prepr_merge_us);
+        json.emplace_back("serial_merge_us_" + scale, serial_merge_us);
+        json.emplace_back("parallel_merge_us_" + scale,
+                          parallel_merge_us);
+        json.emplace_back("cached_merge_us_" + scale, cached_merge_us);
+        json.emplace_back("cached_topk_speedup_" + scale,
+                          legacy_topk_us / cached_topk_us);
+        json.emplace_back("cold_merge_speedup_" + scale,
+                          prepr_merge_us / parallel_merge_us);
+        json.emplace_back("reduction_vs_serial_speedup_" + scale,
+                          serial_merge_us / parallel_merge_us);
+
+        if (runs < 64 || 64 > max_runs)
+            continue;
+
+        // Incremental refresh: one new run lands, the next query folds
+        // just that run onto the cached view.
+        int next_run = runs;
+        const double incremental_topk_us =
+            medianLatencyUs(10, [&] {
+                store.ingestText(
+                    "run-" + std::to_string(next_run),
+                    pool[static_cast<std::size_t>(next_run) %
+                         pool.size()]);
+                ++next_run;
+                store.waitIdle();
+                engine.topKernels(10);
+            });
+        json.emplace_back("incremental_topk_us_64",
+                          incremental_topk_us);
+
+        // Queries racing live ingestion (and periodic erases).
+        std::atomic<bool> done{false};
+        std::thread ingester([&] {
+            for (int i = 0; i < 16; ++i) {
+                store.ingestText(
+                    "live-" + std::to_string(i),
+                    pool[static_cast<std::size_t>(i) % pool.size()]);
+            }
+            store.waitIdle();
+            done.store(true);
+        });
+        std::vector<double> concurrent_samples;
+        while (!done.load()) {
+            const Clock::time_point qstart = Clock::now();
+            engine.topKernels(10);
+            concurrent_samples.push_back(secondsSince(qstart) * 1e6);
+        }
+        ingester.join();
+        const double concurrent_topk_us = median(concurrent_samples);
+        json.emplace_back("concurrent_ingest_topk_us_64",
+                          concurrent_topk_us);
+
+        std::printf(
+            "\n64-run scenarios: incremental refresh %.0f us/query, "
+            "%zu queries during live ingestion at %.0f us median\n",
+            incremental_topk_us, concurrent_samples.size(),
+            concurrent_topk_us);
+        const auto view_stats = engine.corpusView().stats();
+        std::printf("view cache: %llu hits, %llu incremental, "
+                    "%llu rebuilds\n",
+                    static_cast<unsigned long long>(view_stats.hits),
+                    static_cast<unsigned long long>(
+                        view_stats.incremental),
+                    static_cast<unsigned long long>(
+                        view_stats.rebuilds));
     }
 
     std::printf("\nquery sanity: ");
@@ -175,6 +415,24 @@ main(int argc, char **argv)
                         agg.runs);
         }
         std::printf("\n");
+
+        // The fast path must agree with the legacy aggregation.
+        const auto legacy =
+            legacyTopKernels(store.snapshot(), 3,
+                             prof::metric_names::kGpuTime);
+        if (legacy.size() != top.size())
+            return 1;
+        for (std::size_t i = 0; i < top.size(); ++i) {
+            const double tolerance =
+                1e-9 * std::abs(top[i].total) + 1e-6;
+            if (legacy[i].name != top[i].name ||
+                std::abs(legacy[i].total - top[i].total) > tolerance ||
+                legacy[i].runs != top[i].runs) {
+                std::printf("fast-path mismatch vs legacy at #%zu\n",
+                            i);
+                return 1;
+            }
+        }
     }
 
     if (!json_path.empty()) {

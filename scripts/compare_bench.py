@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench JSON against a checked-in baseline.
+
+Usage: compare_bench.py BASELINE.json FRESH.json
+           [--speedup-tolerance 0.5] [--latency-tolerance 4.0]
+
+Both files are flat JSON objects of numeric scenario keys (plus
+optional string keys such as "description", which are ignored), as
+written by `bench_profile_service --json`.
+
+Two families of gates, both deliberately loose — CI machines differ
+wildly from the machine that produced the baseline, so this catches
+collapses of the fast path, not single-digit-percent drift:
+
+- "*_speedup" keys are ratios measured within one process on one
+  machine, so they transfer across hosts. The fresh ratio must be at
+  least baseline * (1 - speedup_tolerance). A missing key fails: a
+  renamed or dropped scenario must update the baseline consciously.
+
+- "*_us" / "*_per_sec" keys are absolute and host-dependent; they only
+  fail on catastrophe (worse than latency_tolerance x the baseline).
+
+Exit code 0 when every gate holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def numeric_items(obj):
+    return {
+        key: float(value)
+        for key, value in obj.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--speedup-tolerance", type=float, default=0.5,
+                        help="allowed relative shortfall on *_speedup "
+                             "keys (0.5 = fresh may be half the "
+                             "baseline ratio)")
+    parser.add_argument("--latency-tolerance", type=float, default=4.0,
+                        help="allowed multiple of baseline on *_us "
+                             "keys / divisor on *_per_sec keys")
+    args = parser.parse_args()
+
+    with open(args.baseline) as handle:
+        baseline = numeric_items(json.load(handle))
+    with open(args.fresh) as handle:
+        fresh = numeric_items(json.load(handle))
+
+    failures = []
+    rows = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh results")
+            continue
+        got = fresh[key]
+        verdict = "ok"
+        if key.endswith("_speedup") or "_speedup_" in key:
+            floor = base * (1.0 - args.speedup_tolerance)
+            if got < floor:
+                verdict = f"FAIL (< {floor:.2f})"
+                failures.append(
+                    f"{key}: speedup {got:.2f} fell below "
+                    f"{floor:.2f} (baseline {base:.2f})")
+        elif key.endswith("_us"):
+            ceiling = base * args.latency_tolerance
+            if got > ceiling:
+                verdict = f"FAIL (> {ceiling:.0f})"
+                failures.append(
+                    f"{key}: latency {got:.0f}us exceeds "
+                    f"{ceiling:.0f}us ({args.latency_tolerance}x "
+                    f"baseline {base:.0f}us)")
+        elif key.endswith("_per_sec"):
+            floor = base / args.latency_tolerance
+            if got < floor:
+                verdict = f"FAIL (< {floor:.0f})"
+                failures.append(
+                    f"{key}: throughput {got:.0f}/s fell below "
+                    f"{floor:.0f}/s (baseline {base:.0f}/s)")
+        rows.append((key, base, got, verdict))
+
+    width = max(len(key) for key, *_ in rows) if rows else 0
+    for key, base, got, verdict in rows:
+        print(f"{key:<{width}}  baseline {base:>12.3f}  "
+              f"fresh {got:>12.3f}  {verdict}")
+
+    if failures:
+        print("\nbench gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed ({len(rows)} keys).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

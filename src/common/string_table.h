@@ -37,6 +37,22 @@
 
 namespace dc {
 
+/**
+ * SplitMix64 finalizer: strong avalanche for cheap POD hashing. The
+ * one mixing kernel shared by FrameKey::hash and the id-keyed
+ * aggregation tables.
+ */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
 /** Interns strings to dense, stable 32-bit ids. */
 class StringTable
 {
@@ -126,6 +142,123 @@ class StringTable
     std::vector<std::unique_ptr<Slab>> slabs_;
     std::vector<std::unique_ptr<IdIndex>> id_indexes_;
     std::uint64_t text_bytes_ = 0;
+};
+
+/**
+ * Open-addressed map keyed by 64-bit packed interned-id keys —
+ * aggregation support for readers that group by StringTable id (e.g.
+ * per-kernel metric totals keyed by (name id, metric id)) instead of
+ * `std::map<std::string, ...>` with heap-string keys. Linear probing
+ * over a power-of-two flat slot array: lookups are one multiply-mix
+ * plus a short probe with no string hashing, no per-node allocation,
+ * and the whole table copies with one vector copy (the corpus view's
+ * incremental refresh copies the base index and folds in new runs).
+ *
+ * Key 0xFFFF...F is reserved as the empty marker; packed
+ * (id, small-int) keys cannot collide with it in practice (it would
+ * take the 2^32-th interned string). Not thread-safe; views publish
+ * tables immutably after building.
+ */
+template <typename Value>
+class FlatIdTable
+{
+  public:
+    static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+    /** Pack an interned id and a small non-negative int into a key. */
+    static std::uint64_t
+    pack(StringTable::Id id, int low)
+    {
+        return (static_cast<std::uint64_t>(id) << 32) |
+               static_cast<std::uint32_t>(low);
+    }
+    static StringTable::Id
+    packedId(std::uint64_t key)
+    {
+        return static_cast<StringTable::Id>(key >> 32);
+    }
+    static int
+    packedLow(std::uint64_t key)
+    {
+        return static_cast<int>(static_cast<std::uint32_t>(key));
+    }
+
+    /** Get-or-create the value for @p key (default-constructed). */
+    Value &
+    slot(std::uint64_t key)
+    {
+        if ((used_ + 1) * 4 >= slots_.size() * 3)
+            grow();
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t index = mix(key) & mask;
+        while (slots_[index].key != kEmptyKey) {
+            if (slots_[index].key == key)
+                return slots_[index].value;
+            index = (index + 1) & mask;
+        }
+        slots_[index].key = key;
+        ++used_;
+        return slots_[index].value;
+    }
+
+    /** Value for @p key, or nullptr. */
+    const Value *
+    find(std::uint64_t key) const
+    {
+        if (slots_.empty())
+            return nullptr;
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t index = mix(key) & mask;
+        while (slots_[index].key != kEmptyKey) {
+            if (slots_[index].key == key)
+                return &slots_[index].value;
+            index = (index + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    /** Visit every (key, value); iteration order is unspecified. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &slot : slots_) {
+            if (slot.key != kEmptyKey)
+                fn(slot.key, slot.value);
+        }
+    }
+
+    std::size_t size() const { return used_; }
+    bool empty() const { return used_ == 0; }
+
+  private:
+    struct Slot {
+        std::uint64_t key = kEmptyKey;
+        Value value{};
+    };
+
+    /// Packed keys are structured (id in the high half), so spread
+    /// them with the shared finalizer before masking.
+    static std::uint64_t mix(std::uint64_t x) { return mix64(x); }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+        const std::size_t mask = slots_.size() - 1;
+        for (const Slot &slot : old) {
+            if (slot.key == kEmptyKey)
+                continue;
+            std::size_t index = mix(slot.key) & mask;
+            while (slots_[index].key != kEmptyKey)
+                index = (index + 1) & mask;
+            slots_[index] = slot;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t used_ = 0;
 };
 
 } // namespace dc

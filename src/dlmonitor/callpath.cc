@@ -173,21 +173,7 @@ Frame::label() const
     return "?";
 }
 
-namespace {
-
-/** SplitMix64 finalizer: strong avalanche for cheap POD hashing. */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ull;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebull;
-    x ^= x >> 31;
-    return x;
-}
-
-} // namespace
+// FrameKey::hash mixes with the shared mix64 (common/string_table.h).
 
 FrameKey
 FrameKey::from(const Frame &frame, StringTable &table)

@@ -348,41 +348,167 @@ Cct::attachChild(CctNode *parent, const dlmon::FrameKey &key)
     return childOf(parent, key, nullptr);
 }
 
+namespace {
+
+/// Translate a source metric id through a remap table (empty = ids
+/// already agree). Shared by the merge and clone kernels.
+int
+remapMetricId(int metric_id, const std::vector<int> &remap)
+{
+    if (remap.empty())
+        return metric_id;
+    DC_CHECK(metric_id >= 0 &&
+                 metric_id < static_cast<int>(remap.size()),
+             "unmapped metric id ", metric_id, " while merging CCTs");
+    return remap[static_cast<std::size_t>(metric_id)];
+}
+
+} // namespace
+
+void
+Cct::copyMetrics(CctNode &dst, const CctNode &src,
+                 const std::vector<int> &remap)
+{
+    dst.metrics_ = src.metrics_;
+    if (!remap.empty()) {
+        for (CctNode::MetricEntry &entry : dst.metrics_)
+            entry.first = remapMetricId(entry.first, remap);
+        // A remap can permute ids; metrics() promises ascending order.
+        std::sort(dst.metrics_.begin(), dst.metrics_.end(),
+                  [](const CctNode::MetricEntry &a,
+                     const CctNode::MetricEntry &b) {
+                      return a.first < b.first;
+                  });
+    }
+    charge(kMetricBytes * dst.metrics_.size());
+}
+
+void
+Cct::cloneInto(CctNode *dst, const CctNode &src,
+               const std::vector<int> &remap)
+{
+    copyMetrics(*dst, src, remap);
+    for (const CctNode *child = src.first_child_; child != nullptr;
+         child = child->next_sibling_) {
+        if (dst->depth() >= kMaxDepth) {
+            // Mirror attachChild's degradation: aggregate at the cap.
+            mergeNode(*atDepthCap(dst), *child, remap);
+            continue;
+        }
+        // Every Cct keeps same-key children unified (insert, attach,
+        // merge, and the parser all dedup), so under a just-created
+        // node the copy needs no child probes.
+        cloneInto(createChild(dst, child->key_), *child, remap);
+    }
+}
+
+void
+Cct::mergeNode(CctNode &dst, const CctNode &src,
+               const std::vector<int> &remap)
+{
+    if (remap.empty()) {
+        // Both metric vectors are sorted by id, so combine them with
+        // one paired walk instead of a binary search per entry — on a
+        // warehouse merge nearly every source id already exists in the
+        // destination, making this a straight zip. This is the hottest
+        // loop of a cold corpus merge.
+        auto dst_it = dst.metrics_.begin();
+        for (const CctNode::MetricEntry &entry : src.metrics_) {
+            while (dst_it != dst.metrics_.end() &&
+                   dst_it->first < entry.first) {
+                ++dst_it;
+            }
+            if (dst_it != dst.metrics_.end() &&
+                dst_it->first == entry.first) {
+                dst_it->second.merge(entry.second);
+                ++dst_it;
+            } else {
+                // Merge into an absent accumulator = copy the entry.
+                dst_it = dst.metrics_.insert(dst_it, entry);
+                ++dst_it;
+                charge(kMetricBytes);
+            }
+        }
+    } else {
+        for (const auto &[metric_id, stat] : src.metrics_) {
+            const int id = remapMetricId(metric_id, remap);
+            const std::size_t before = dst.metrics_.size();
+            dst.metric(id).merge(stat);
+            if (dst.metrics_.size() != before)
+                charge(kMetricBytes);
+        }
+    }
+    if (dst.depth() >= kMaxDepth) {
+        // Mirror attachChild's degradation: aggregate the whole
+        // over-deep subtree at the cap.
+        for (const CctNode *child = src.first_child_; child != nullptr;
+             child = child->next_sibling_) {
+            mergeNode(*atDepthCap(&dst), *child, remap);
+        }
+        return;
+    }
+    // Runs that share structure (one model, many executions — the
+    // warehouse's common corpus) list children in the same order,
+    // because merged children preserve source insertion order. Walk
+    // the two sibling chains in lockstep and match by one POD key
+    // compare; only a divergence pays the hashed child probe.
+    CctNode *hint = dst.first_child_;
+    for (const CctNode *child = src.first_child_; child != nullptr;
+         child = child->next_sibling_) {
+        CctNode *dst_child = nullptr;
+        if (hint != nullptr && hint->key_ == child->key_) {
+            dst_child = hint;
+            hint = hint->next_sibling_;
+        } else {
+            // Both trees intern through the process-wide table, so
+            // keys unify by direct POD equality — no string work.
+            bool created = false;
+            dst_child = childOf(&dst, child->key_, &created);
+            hint = dst_child->next_sibling_;
+            if (created) {
+                cloneInto(dst_child, *child, remap);
+                continue;
+            }
+        }
+        mergeNode(*dst_child, *child, remap);
+    }
+}
+
 std::size_t
 Cct::mergeFrom(const Cct &other, const std::vector<int> &metric_remap)
 {
     DC_CHECK(&other != this,
              "merge of a tree into itself would double every stat");
     const std::size_t before = node_count_;
-
-    std::function<void(CctNode &, const CctNode &)> mergeInto =
-        [&](CctNode &dst, const CctNode &src) {
-            for (const auto &[metric_id, stat] : src.metrics()) {
-                int id = metric_id;
-                if (!metric_remap.empty()) {
-                    DC_CHECK(metric_id >= 0 &&
-                                 metric_id < static_cast<int>(
-                                                 metric_remap.size()),
-                             "unmapped metric id ", metric_id,
-                             " while merging CCTs");
-                    id = metric_remap[static_cast<std::size_t>(metric_id)];
-                }
-                const bool existed = dst.findMetric(id) != nullptr;
-                RunningStat &accumulator = dst.metric(id);
-                accumulator = RunningStat::merged(accumulator, stat);
-                if (!existed)
-                    charge(kMetricBytes);
-            }
-            src.forEachChild([&](const CctNode &src_child) {
-                // Both trees intern through the process-wide table, so
-                // keys unify by direct POD equality — no string work.
-                CctNode *dst_child = attachChild(&dst, src_child.key());
-                mergeInto(*dst_child, src_child);
-            });
-        };
-
-    mergeInto(*root_, other.root());
+    // Registries that interned the same metrics in the same order (the
+    // common case for runs produced by one pipeline) yield an identity
+    // remap; detecting it once here routes the whole walk through the
+    // no-remap fast paths.
+    bool identity = true;
+    for (std::size_t i = 0; i < metric_remap.size(); ++i) {
+        if (metric_remap[i] != static_cast<int>(i)) {
+            identity = false;
+            break;
+        }
+    }
+    static const std::vector<int> kNoRemap;
+    mergeNode(*root_, other.root(), identity ? kNoRemap : metric_remap);
     return node_count_ - before;
+}
+
+std::unique_ptr<Cct>
+Cct::clone() const
+{
+    auto copy = std::make_unique<Cct>();
+    // Roots share the same "<root>" key by construction; copy metrics
+    // and block-copy the children (no probes: the copy is empty).
+    copy->copyMetrics(*copy->root_, *root_, {});
+    for (const CctNode *child = root_->first_child_; child != nullptr;
+         child = child->next_sibling_) {
+        copy->cloneInto(copy->createChild(copy->root_, child->key_),
+                        *child, {});
+    }
+    return copy;
 }
 
 std::size_t

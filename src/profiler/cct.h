@@ -132,6 +132,15 @@ class CctNode
     void forEachChild(const std::function<void(CctNode &)> &fn);
     void forEachChild(const std::function<void(const CctNode &)> &fn) const;
 
+    /**
+     * Direct read-only child-chain iteration for traversal-heavy
+     * consumers (warehouse merges, view index builds): no std::function
+     * wrapper per visited node. Children are in insertion order;
+     * iterate `for (c = firstChild(); c; c = c->nextSibling())`.
+     */
+    const CctNode *firstChild() const { return first_child_; }
+    const CctNode *nextSibling() const { return next_sibling_; }
+
     std::size_t childCount() const { return child_count_; }
 
   private:
@@ -252,10 +261,26 @@ class Cct
      * are combined (parallel Welford). Metric ids of @p other are
      * translated through @p metric_remap (index = other id) when
      * non-empty; empty means ids already agree.
+     *
+     * This is the warehouse's merge kernel: the walk recurses directly
+     * over the intrusive child chains (no per-node std::function
+     * dispatch), and a source subtree with no destination counterpart
+     * is block-copied without child probes — the partial trees of a
+     * parallel reduction hit that path on their first runs.
      * @return Number of nodes created in this tree.
      */
     std::size_t mergeFrom(const Cct &other,
                           const std::vector<int> &metric_remap = {});
+
+    /**
+     * Deep copy: identical structure, child insertion order, metric
+     * ids, and stats (node identity is per-tree; parent/cursor pointers
+     * do not transfer). The incremental corpus-view refresh clones the
+     * cached merged tree and merges only newly-ingested runs into the
+     * copy instead of re-merging the corpus. Not attached to a memory
+     * tracker; memoryBytes() is re-accounted on the copy.
+     */
+    std::unique_ptr<Cct> clone() const;
 
     /** Total node count (including the root). */
     std::size_t nodeCount() const { return node_count_; }
@@ -300,6 +325,21 @@ class Cct
     /** Find-or-create one child (attach/merge paths). */
     CctNode *childOf(CctNode *parent, const dlmon::FrameKey &key,
                      bool *created);
+
+    /** Copy @p src's metrics onto @p dst (ids through @p remap). */
+    void copyMetrics(CctNode &dst, const CctNode &src,
+                     const std::vector<int> &remap);
+
+    /** Merge kernel: combine @p src (and its subtree) into @p dst. */
+    void mergeNode(CctNode &dst, const CctNode &src,
+                   const std::vector<int> &remap);
+
+    /**
+     * Block-copy @p src's children under @p dst, which was just
+     * created from src's key and has no children of its own.
+     */
+    void cloneInto(CctNode *dst, const CctNode &src,
+                   const std::vector<int> &remap);
 
     /** Insert path[begin..] below @p node (depth-capped). */
     CctNode *descend(CctNode *node, const dlmon::CallPath &path,

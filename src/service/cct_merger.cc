@@ -1,11 +1,47 @@
 #include "service/cct_merger.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace dc::service {
+
+void
+intersectMetadataWith(std::map<std::string, std::string> &agreed,
+                      const std::map<std::string, std::string> &meta)
+{
+    for (auto it = agreed.begin(); it != agreed.end();) {
+        auto found = meta.find(it->first);
+        if (found == meta.end() || found->second != it->second)
+            it = agreed.erase(it);
+        else
+            ++it;
+    }
+}
+
+namespace {
+
+/**
+ * Metadata agreement across profiles, matching CctMerger::finish():
+ * pure intersection, so it composes across partial merges in any
+ * grouping — the parallel reduction computes it flat instead.
+ */
+std::map<std::string, std::string>
+intersectMetadata(const std::vector<const prof::ProfileDb *> &profiles)
+{
+    std::map<std::string, std::string> agreed;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        if (i == 0)
+            agreed = profiles[i]->metadata();
+        else
+            intersectMetadataWith(agreed, profiles[i]->metadata());
+    }
+    return agreed;
+}
+
+} // namespace
 
 CctMerger::CctMerger() : cct_(std::make_unique<prof::Cct>()) {}
 
@@ -69,6 +105,93 @@ CctMerger::mergeAll(const std::vector<const prof::ProfileDb *> &profiles,
         merger.add(*profiles[i], run_ids[i]);
     }
     return merger.finish();
+}
+
+std::unique_ptr<prof::ProfileDb>
+CctMerger::mergeAllPrevalidated(
+    const std::vector<const prof::ProfileDb *> &profiles,
+    const std::vector<std::string> &run_ids, std::size_t workers,
+    std::size_t grain)
+{
+    DC_CHECK(profiles.size() == run_ids.size(),
+             "mergeAllPrevalidated needs one run id per profile");
+    for (const prof::ProfileDb *profile : profiles)
+        DC_CHECK(profile != nullptr,
+                 "null profile in mergeAllPrevalidated");
+    if (workers == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 0 ? hw : 1;
+    }
+    grain = std::max<std::size_t>(grain, 1);
+
+    const std::size_t n = profiles.size();
+    if (workers <= 1 || n < 2 * grain) {
+        CctMerger merger;
+        for (std::size_t i = 0; i < n; ++i)
+            merger.addPrevalidated(*profiles[i], run_ids[i]);
+        return merger.finish();
+    }
+
+    /// One worker's fold of a contiguous run chunk.
+    struct Partial {
+        std::unique_ptr<prof::Cct> cct;
+        prof::MetricRegistry metrics;
+    };
+    const std::size_t chunks =
+        std::min(workers, (n + grain - 1) / grain);
+    std::vector<Partial> partials(chunks);
+
+    // Phase 1: fold each chunk into a partial CCT, one thread each.
+    // The first merge into an empty partial hits Cct::mergeFrom's
+    // block-copy path, so per-chunk cost is dominated by the colliding
+    // merges — the work the reduction spreads across cores.
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(chunks);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            pool.emplace_back([&, c] {
+                Partial &partial = partials[c];
+                partial.cct = std::make_unique<prof::Cct>();
+                const std::size_t begin = c * n / chunks;
+                const std::size_t end = (c + 1) * n / chunks;
+                for (std::size_t i = begin; i < end; ++i) {
+                    const std::vector<int> remap =
+                        partial.metrics.mergeFrom(
+                            profiles[i]->metrics());
+                    partial.cct->mergeFrom(profiles[i]->cct(), remap);
+                }
+            });
+        }
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    // Phase 2: pairwise tree reduction — log2(chunks) rounds, each
+    // merging disjoint partial pairs concurrently.
+    for (std::size_t step = 1; step < chunks; step *= 2) {
+        std::vector<std::thread> pool;
+        for (std::size_t i = 0; i + step < chunks; i += 2 * step) {
+            pool.emplace_back([&, i] {
+                Partial &dst = partials[i];
+                Partial &src = partials[i + step];
+                const std::vector<int> remap =
+                    dst.metrics.mergeFrom(src.metrics);
+                dst.cct->mergeFrom(*src.cct, remap);
+                src.cct.reset();
+            });
+        }
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    std::map<std::string, std::string> metadata =
+        intersectMetadata(profiles);
+    std::vector<std::string> sorted_ids = run_ids;
+    std::sort(sorted_ids.begin(), sorted_ids.end());
+    metadata["merged_runs"] = join(sorted_ids, ",");
+    return std::make_unique<prof::ProfileDb>(
+        std::move(partials[0].cct), std::move(partials[0].metrics),
+        std::move(metadata));
 }
 
 } // namespace dc::service

@@ -26,6 +26,17 @@
 
 namespace dc::service {
 
+/**
+ * Fold one profile's metadata into a running agreement intersection:
+ * a key survives iff every folded profile carried it with one value —
+ * exactly CctMerger::finish()'s rule, factored out so the parallel
+ * reduction and the corpus view's incremental refresh share it. Seed
+ * @p agreed with the first profile's metadata, then fold the rest.
+ */
+void intersectMetadataWith(
+    std::map<std::string, std::string> &agreed,
+    const std::map<std::string, std::string> &meta);
+
 /** Incremental multi-run CCT/profile merger. */
 class CctMerger
 {
@@ -63,6 +74,27 @@ class CctMerger
     static std::unique_ptr<prof::ProfileDb>
     mergeAll(const std::vector<const prof::ProfileDb *> &profiles,
              const std::vector<std::string> &run_ids);
+
+    /**
+     * Merge pre-validated profiles (warehouse trust boundary — every
+     * store ingestion path validates) with a parallel tree reduction:
+     * the run list is split into contiguous chunks, each chunk is
+     * folded into a partial CCT on its own worker thread, and partials
+     * are merged pairwise in parallel rounds until one remains. The
+     * merge is associative and commutative up to floating-point
+     * rounding, so the result is equivalent to the serial fold —
+     * structure and counts identical, double-typed stats equal up to
+     * rounding; metric ids and child insertion order may differ
+     * (resolve metrics by name when comparing).
+     *
+     * @param workers Worker cap; 0 = one per available hardware thread.
+     * @param grain   Minimum runs per chunk; below 2*grain the serial
+     *                fold is used (thread spin-up would dominate).
+     */
+    static std::unique_ptr<prof::ProfileDb> mergeAllPrevalidated(
+        const std::vector<const prof::ProfileDb *> &profiles,
+        const std::vector<std::string> &run_ids, std::size_t workers = 0,
+        std::size_t grain = 4);
 
   private:
     std::unique_ptr<prof::Cct> cct_;

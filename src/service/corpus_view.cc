@@ -1,0 +1,283 @@
+#include "service/corpus_view.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "service/cct_merger.h"
+
+namespace dc::service {
+
+namespace {
+
+/**
+ * Metric-id translation from a run's registry into the view's merged
+ * registry (index = run id). Every run metric is present in the view
+ * registry by construction — the view registry was built by merging
+ * the runs' registries.
+ */
+std::vector<int>
+remapInto(const prof::MetricRegistry &view_metrics,
+          const prof::MetricRegistry &run_metrics)
+{
+    std::vector<int> remap;
+    remap.reserve(run_metrics.size());
+    for (const std::string &name : run_metrics.allNames()) {
+        const int id = view_metrics.find(name);
+        DC_CHECK(id >= 0, "view registry is missing run metric '", name,
+                 "' — view and run set are out of sync");
+        remap.push_back(id);
+    }
+    return remap;
+}
+
+/// Escaped key/value append for signature(): separators cannot be
+/// forged from user metadata values.
+void
+appendSigField(std::string &sig, const std::string &text)
+{
+    for (char c : text) {
+        if (c == '\\' || c == '\x1e' || c == '\x1f')
+            sig.push_back('\\');
+        sig.push_back(c);
+    }
+    sig.push_back('\x1f');
+}
+
+} // namespace
+
+CorpusView::CorpusView(const ProfileStore &store, Options options)
+    : store_(store), options_(options)
+{
+    DC_CHECK(options_.max_views > 0, "view cache needs capacity");
+}
+
+std::string
+CorpusView::signature(const QueryFilter &filter,
+                      const std::string &exclude_run)
+{
+    std::string sig;
+    appendSigField(sig, filter.framework);
+    appendSigField(sig, filter.platform);
+    appendSigField(sig, filter.model);
+    for (const auto &[key, value] : filter.metadata) { // sorted (map)
+        appendSigField(sig, key);
+        appendSigField(sig, value);
+    }
+    sig.push_back('\x1e');
+    appendSigField(sig, exclude_run);
+    return sig;
+}
+
+std::shared_ptr<CorpusView::Entry>
+CorpusView::entryFor(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        it = entries_.emplace(key, std::make_shared<Entry>()).first;
+    it->second->last_used = ++use_counter_;
+    // LRU eviction beyond capacity (never the entry just requested).
+    // A builder still holding an evicted entry's shared_ptr finishes
+    // harmlessly on the orphan; its result is simply rebuilt next time.
+    while (entries_.size() > options_.max_views) {
+        auto victim = entries_.end();
+        for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
+            if (cur == it)
+                continue;
+            if (victim == entries_.end() ||
+                cur->second->last_used < victim->second->last_used) {
+                victim = cur;
+            }
+        }
+        if (victim == entries_.end())
+            break;
+        entries_.erase(victim);
+        ++stats_.evictions;
+    }
+    return it->second;
+}
+
+std::shared_ptr<const CorpusView::View>
+CorpusView::acquire(const QueryFilter &filter,
+                    const std::string &exclude_run) const
+{
+    const std::shared_ptr<Entry> entry =
+        entryFor(signature(filter, exclude_run));
+    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+
+    // Read the digest before snapshotting: runs published after this
+    // read are deliberately left for the next acquire, which will see
+    // a larger generation and refresh incrementally.
+    const ProfileStore::Generation generation = store_.generation();
+    if (entry->view != nullptr && entry->generation == generation) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.hits;
+        return entry->view;
+    }
+
+    const bool can_refresh =
+        entry->view != nullptr && !entry->view->run_ids.empty() &&
+        entry->generation.erased == generation.erased &&
+        generation.ingested >= entry->generation.ingested;
+    if (can_refresh) {
+        auto fresh = store_.snapshotRange(entry->generation.ingested,
+                                          generation.ingested);
+        std::erase_if(fresh, [&](const auto &run) {
+            return run.first == exclude_run ||
+                   !filter.matches(run.second->metadata());
+        });
+        if (fresh.empty()) {
+            // Generation moved but nothing new matches this view —
+            // record the new digest so the next acquire is a pure hit.
+            entry->generation = generation;
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.hits;
+            return entry->view;
+        }
+        entry->view = buildIncremental(*entry->view, fresh);
+        entry->generation = generation;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.incremental;
+        return entry->view;
+    }
+
+    entry->view = buildFull(filter, exclude_run, generation);
+    entry->generation = generation;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.rebuilds;
+    }
+    return entry->view;
+}
+
+std::shared_ptr<const CorpusView::View>
+CorpusView::buildFull(const QueryFilter &filter,
+                      const std::string &exclude_run,
+                      const ProfileStore::Generation &generation) const
+{
+    auto selected = store_.snapshotRange(0, generation.ingested);
+    std::erase_if(selected, [&](const auto &run) {
+        return run.first == exclude_run ||
+               !filter.matches(run.second->metadata());
+    });
+
+    std::vector<const prof::ProfileDb *> profiles;
+    std::vector<std::string> run_ids;
+    profiles.reserve(selected.size());
+    run_ids.reserve(selected.size());
+    for (const auto &[run_id, profile] : selected) {
+        profiles.push_back(profile.get());
+        run_ids.push_back(run_id);
+    }
+
+    auto view = std::make_shared<View>();
+    view->db = CctMerger::mergeAllPrevalidated(
+        profiles, run_ids, options_.merge_workers, options_.merge_grain);
+    view->run_ids = std::move(run_ids);
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        indexRun(view->kernels, *selected[i].second,
+                 view->db->metrics(),
+                 static_cast<std::uint32_t>(i + 1));
+    }
+    return view;
+}
+
+std::shared_ptr<const CorpusView::View>
+CorpusView::buildIncremental(
+    const View &base,
+    const std::vector<std::pair<
+        std::string, std::shared_ptr<const prof::ProfileDb>>> &fresh)
+    const
+{
+    // Clone the materialized prefix, then fold only the new runs onto
+    // it — the merge is associative/commutative, so this equals a
+    // from-scratch merge of the whole selection (up to FP rounding).
+    std::unique_ptr<prof::Cct> cct = base.db->cct().clone();
+    prof::MetricRegistry metrics = base.db->metrics();
+    std::map<std::string, std::string> metadata = base.db->metadata();
+    metadata.erase("merged_runs"); // recomputed below
+
+    for (const auto &[run_id, profile] : fresh) {
+        (void)run_id;
+        const std::vector<int> remap =
+            metrics.mergeFrom(profile->metrics());
+        cct->mergeFrom(profile->cct(), remap);
+        intersectMetadataWith(metadata, profile->metadata());
+    }
+
+    auto view = std::make_shared<View>();
+    view->run_ids = base.run_ids;
+    for (const auto &[run_id, profile] : fresh) {
+        (void)profile;
+        view->run_ids.push_back(run_id);
+    }
+    std::sort(view->run_ids.begin(), view->run_ids.end());
+    metadata["merged_runs"] = join(view->run_ids, ",");
+    view->db = std::make_shared<prof::ProfileDb>(
+        std::move(cct), std::move(metrics), std::move(metadata));
+
+    view->kernels = base.kernels; // one flat vector copy
+    std::uint32_t run_mark =
+        static_cast<std::uint32_t>(base.run_ids.size());
+    for (const auto &[run_id, profile] : fresh) {
+        (void)run_id;
+        indexRun(view->kernels, *profile, view->db->metrics(),
+                 ++run_mark);
+    }
+    return view;
+}
+
+void
+CorpusView::indexRun(FlatIdTable<KernelStat> &kernels,
+                     const prof::ProfileDb &run,
+                     const prof::MetricRegistry &view_metrics,
+                     std::uint32_t run_mark)
+{
+    const std::vector<int> remap =
+        remapInto(view_metrics, run.metrics());
+
+    // Direct child-chain recursion: this walks every node of every
+    // selected run on (re)build, so no per-node std::function.
+    const auto walk = [&](const auto &self,
+                          const prof::CctNode &node) -> void {
+        if (node.kind() == dlmon::FrameKind::kKernel) {
+            for (const auto &[metric_id, stat] : node.metrics()) {
+                if (stat.count() == 0)
+                    continue;
+                const std::uint64_t key = FlatIdTable<KernelStat>::pack(
+                    node.key().name_id,
+                    remap[static_cast<std::size_t>(metric_id)]);
+                KernelStat &agg = kernels.slot(key);
+                agg.total += stat.sum();
+                agg.samples += stat.count();
+                if (agg.last_run_mark != run_mark) {
+                    agg.last_run_mark = run_mark;
+                    ++agg.runs;
+                }
+            }
+        }
+        for (const prof::CctNode *child = node.firstChild();
+             child != nullptr; child = child->nextSibling()) {
+            self(self, *child);
+        }
+    };
+    walk(walk, run.cct().root());
+}
+
+void
+CorpusView::invalidateAll() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+CorpusView::Stats
+CorpusView::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace dc::service

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/string_table.h"
 
 namespace dc::service {
 
@@ -27,6 +28,7 @@ ProfileStore::ProfileStore(Options options)
              "store needs queue byte capacity");
     max_queue_ = options.max_queue;
     max_queue_bytes_ = options.max_queue_bytes;
+    max_interned_bytes_ = options.max_interned_bytes;
     shards_.reserve(options.shards);
     for (std::size_t i = 0; i < options.shards; ++i)
         shards_.push_back(std::make_unique<Shard>());
@@ -176,31 +178,92 @@ ProfileStore::process(Task &task)
         }
         profile = std::move(task.profile);
     } else {
+        // Parsing interns every name into the process-wide, append-only
+        // StringTable; measure the growth it causes and charge it
+        // against the store's interned-name budget. (A handed-off
+        // ProfileDb interned its names when it was built, long before
+        // ingest — nothing left to measure on that path.)
+        const std::uint64_t interned_before =
+            StringTable::global().textBytes();
         std::string error;
         auto parsed =
             task.kind == Task::Kind::kFile
                 ? prof::ProfileDb::tryLoad(task.payload, &error)
                 : prof::ProfileDb::tryDeserialize(task.payload, &error);
+        const std::uint64_t interned_delta =
+            StringTable::global().textBytes() - interned_before;
+        bool over_budget = false;
+        std::uint64_t interned_total = 0;
+        if (interned_delta > 0) {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            stats_.interned_bytes += interned_delta;
+            interned_total = stats_.interned_bytes;
+            over_budget = max_interned_bytes_ != 0 &&
+                          stats_.interned_bytes > max_interned_bytes_;
+        }
+        // A parse failure is reported as such even when its partial
+        // interning also saturated the budget — the parse error is
+        // what the operator needs to debug the producer.
         if (parsed == nullptr) {
             recordFailure(task.run_id, std::move(error));
+            return;
+        }
+        if (over_budget) {
+            // The table already grew (append-only; it cannot be
+            // undone), so the budget gates acceptance: profiles that
+            // keep introducing new names are refused, while ones made
+            // of known names still ingest at zero growth.
+            recordFailure(task.run_id,
+                          "interned-name budget exceeded (" +
+                              std::to_string(interned_total) + " of " +
+                              std::to_string(max_interned_bytes_) +
+                              " bytes of new name text)");
             return;
         }
         profile = std::move(parsed);
     }
 
+    const std::uint64_t seq = beginPublish();
     Shard &shard = shardFor(task.run_id);
+    bool inserted = false;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
-        const bool inserted =
-            shard.profiles.emplace(task.run_id, std::move(profile))
-                .second;
-        if (!inserted) {
-            recordFailure(task.run_id, "duplicate run id");
-            return;
-        }
+        inserted = shard.profiles
+                       .emplace(task.run_id,
+                                Stored{std::move(profile), seq})
+                       .second;
+    }
+    endPublish(seq);
+    if (!inserted) {
+        recordFailure(task.run_id, "duplicate run id");
+        return;
     }
     std::lock_guard<std::mutex> lock(queue_mutex_);
     ++stats_.ingested;
+}
+
+std::uint64_t
+ProfileStore::beginPublish()
+{
+    std::lock_guard<std::mutex> lock(gen_mutex_);
+    const std::uint64_t seq = ++last_seq_;
+    in_flight_.insert(seq);
+    return seq;
+}
+
+void
+ProfileStore::endPublish(std::uint64_t seq)
+{
+    std::lock_guard<std::mutex> lock(gen_mutex_);
+    in_flight_.erase(seq);
+    floor_ = in_flight_.empty() ? last_seq_ : *in_flight_.begin() - 1;
+}
+
+ProfileStore::Generation
+ProfileStore::generation() const
+{
+    std::lock_guard<std::mutex> lock(gen_mutex_);
+    return Generation{floor_, erased_};
 }
 
 void
@@ -242,15 +305,26 @@ ProfileStore::get(const std::string &run_id) const
     const Shard &shard = shardFor(run_id);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.profiles.find(run_id);
-    return it == shard.profiles.end() ? nullptr : it->second;
+    return it == shard.profiles.end() ? nullptr : it->second.profile;
 }
 
 bool
 ProfileStore::erase(const std::string &run_id)
 {
     Shard &shard = shardFor(run_id);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    return shard.profiles.erase(run_id) > 0;
+    bool erased = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        erased = shard.profiles.erase(run_id) > 0;
+    }
+    if (erased) {
+        // Merged stats are not invertible (min/max), so cached views
+        // cannot subtract a run; bumping the erase generation tells
+        // them to rebuild from scratch.
+        std::lock_guard<std::mutex> lock(gen_mutex_);
+        ++erased_;
+    }
+    return erased;
 }
 
 std::vector<std::string>
@@ -259,13 +333,51 @@ ProfileStore::runIds() const
     std::vector<std::string> ids;
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
-        for (const auto &[run_id, profile] : shard->profiles) {
-            (void)profile;
+        for (const auto &[run_id, stored] : shard->profiles) {
+            (void)stored;
             ids.push_back(run_id);
         }
     }
     std::sort(ids.begin(), ids.end());
     return ids;
+}
+
+std::vector<std::string>
+ProfileStore::runIdsMatching(
+    const std::function<bool(const std::string &,
+                             const prof::ProfileDb &)> &pred) const
+{
+    std::vector<std::string> ids;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[run_id, stored] : shard->profiles) {
+            if (pred(run_id, *stored.profile))
+                ids.push_back(run_id);
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+std::vector<std::pair<std::string,
+                      std::shared_ptr<const prof::ProfileDb>>>
+ProfileStore::snapshotRange(std::uint64_t after, std::uint64_t upto) const
+{
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const prof::ProfileDb>>>
+        entries;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[run_id, stored] : shard->profiles) {
+            if (stored.seq > after && stored.seq <= upto)
+                entries.emplace_back(run_id, stored.profile);
+        }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return entries;
 }
 
 std::vector<std::pair<std::string,
@@ -277,8 +389,8 @@ ProfileStore::snapshot() const
         entries;
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
-        entries.insert(entries.end(), shard->profiles.begin(),
-                       shard->profiles.end());
+        for (const auto &[run_id, stored] : shard->profiles)
+            entries.emplace_back(run_id, stored.profile);
     }
     std::sort(entries.begin(), entries.end(),
               [](const auto &a, const auto &b) {

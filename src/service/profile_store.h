@@ -22,9 +22,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -39,7 +41,15 @@ struct StoreStats {
     std::uint64_t enqueued = 0;  ///< Ingestion requests accepted.
     std::uint64_t ingested = 0;  ///< Profiles stored successfully.
     std::uint64_t failed = 0;    ///< Rejected (parse error, bad file,
-                                 ///< duplicate run id).
+                                 ///< duplicate run id, interned-name
+                                 ///< budget).
+    /// Process-wide StringTable text growth observed across this
+    /// store's parse ingestions (charged against
+    /// Options::max_interned_bytes). Attribution is approximate under
+    /// concurrency — growth caused by a neighboring worker's parse can
+    /// land on whichever task observed it — but the total tracks the
+    /// table's real growth while this store ingests.
+    std::uint64_t interned_bytes = 0;
 };
 
 /**
@@ -67,6 +77,30 @@ class ProfileStore
         /// (serialized text), since a task count alone would still let
         /// 1024 large texts sit in memory at once.
         std::uint64_t max_queue_bytes = 256ull << 20;
+        /// Budget on process-wide StringTable text growth attributed to
+        /// this store's parse ingestion (0 = unlimited). The global
+        /// table is append-only, so a fleet of runs with
+        /// high-cardinality generated kernel names (JIT- or
+        /// shape-specialized) grows it for the process lifetime; once
+        /// cumulative growth exceeds this budget, further
+        /// growth-causing profiles are rejected (recorded as failures)
+        /// while profiles made of already-known names keep ingesting.
+        std::uint64_t max_interned_bytes = 1ull << 30;
+    };
+
+    /**
+     * Monotonic corpus version. `ingested` is a publication low-water
+     * mark: every profile published with sequence <= ingested is
+     * visible to snapshotRange(); later publications may still be in
+     * flight. `erased` counts erase() calls that removed a run.
+     * Readers (the corpus-view cache) compare digests to detect
+     * "corpus unchanged since last query" without snapshotting, and
+     * use `ingested` deltas to fetch only newly-published runs.
+     */
+    struct Generation {
+        std::uint64_t ingested = 0;
+        std::uint64_t erased = 0;
+        bool operator==(const Generation &) const = default;
     };
 
     ProfileStore() : ProfileStore(Options{}) {}
@@ -101,6 +135,32 @@ class ProfileStore
 
     /** Sorted ids of all stored runs. */
     std::vector<std::string> runIds() const;
+
+    /**
+     * Sorted ids of runs whose (id, profile) satisfy @p pred — the
+     * lightweight id-listing path. @p pred runs under the shard lock
+     * against the stored profile (immutable), so listing ids never
+     * copies a shared_ptr per run just to drop it; keep predicates
+     * cheap (metadata checks).
+     */
+    std::vector<std::string> runIdsMatching(
+        const std::function<bool(const std::string &,
+                                 const prof::ProfileDb &)> &pred) const;
+
+    /** Current corpus version digest (cheap; no snapshotting). */
+    Generation generation() const;
+
+    /**
+     * Snapshot of runs published with sequence in (@p after, @p upto],
+     * sorted by run id. With `after = 0` and `upto =
+     * generation().ingested` this is a stable full-corpus cut; the
+     * corpus-view cache passes its previous generation as @p after to
+     * fetch only runs ingested since. Publications beyond @p upto (or
+     * still in flight) are excluded and picked up by a later range.
+     */
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const prof::ProfileDb>>>
+    snapshotRange(std::uint64_t after, std::uint64_t upto) const;
 
     /**
      * Consistent-per-shard snapshot of the whole store, sorted by run
@@ -139,10 +199,16 @@ class ProfileStore
         std::uint64_t bytes = 0;
     };
 
+    /// One stored run plus the publication sequence it became visible
+    /// at (for generation()-based incremental reads).
+    struct Stored {
+        std::shared_ptr<const prof::ProfileDb> profile;
+        std::uint64_t seq = 0;
+    };
+
     struct Shard {
         mutable std::mutex mutex;
-        std::map<std::string, std::shared_ptr<const prof::ProfileDb>>
-            profiles;
+        std::map<std::string, Stored> profiles;
     };
 
     Shard &shardFor(const std::string &run_id);
@@ -156,7 +222,26 @@ class ProfileStore
     void recordFailureLocked(const std::string &run_id,
                              std::string error);
 
+    /**
+     * Allocate a publication sequence number and mark it in flight.
+     * The pair brackets the shard-map insert so generation().ingested
+     * (the low-water mark over completed publications) never moves past
+     * a sequence whose insert has not happened — without it, a reader
+     * could observe sequence 7 published, cache "seen through 7", and
+     * permanently miss a sequence-6 insert still in flight on another
+     * worker.
+     */
+    std::uint64_t beginPublish();
+    void endPublish(std::uint64_t seq);
+
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    // Corpus-version state (publication sequences, erase count).
+    mutable std::mutex gen_mutex_;
+    std::uint64_t last_seq_ = 0;  ///< Highest sequence handed out.
+    std::uint64_t floor_ = 0;     ///< Low-water mark: all <= published.
+    std::uint64_t erased_ = 0;    ///< Successful erase() count.
+    std::set<std::uint64_t> in_flight_;
 
     // Ingestion queue state.
     mutable std::mutex queue_mutex_;
@@ -166,6 +251,7 @@ class ProfileStore
     std::deque<Task> queue_;
     std::size_t max_queue_ = 1024;
     std::uint64_t max_queue_bytes_ = 256ull << 20;
+    std::uint64_t max_interned_bytes_ = 1ull << 30;
     std::uint64_t queued_bytes_ = 0; ///< Payload bytes in queue_.
     std::size_t active_workers_ = 0;   ///< Workers mid-task.
     std::size_t active_producers_ = 0; ///< Threads inside enqueue();

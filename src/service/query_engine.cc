@@ -6,116 +6,85 @@
 
 namespace dc::service {
 
-namespace {
-
-bool
-keyMatches(const std::map<std::string, std::string> &meta,
-           const std::string &key, const std::string &want)
-{
-    if (want.empty())
-        return true;
-    auto it = meta.find(key);
-    return it != meta.end() && it->second == want;
-}
-
-} // namespace
-
-bool
-QueryFilter::matches(const std::map<std::string, std::string> &meta) const
-{
-    if (!keyMatches(meta, "framework", framework) ||
-        !keyMatches(meta, "platform", platform) ||
-        !keyMatches(meta, "model", model)) {
-        return false;
-    }
-    for (const auto &[key, want] : metadata) {
-        // Literal match: empty values are not wildcards here.
-        auto it = meta.find(key);
-        if (it == meta.end() || it->second != want)
-            return false;
-    }
-    return true;
-}
-
-std::vector<std::pair<std::string,
-                      std::shared_ptr<const prof::ProfileDb>>>
-QueryEngine::select(const QueryFilter &filter) const
-{
-    std::vector<std::pair<std::string,
-                          std::shared_ptr<const prof::ProfileDb>>>
-        selected = store_.snapshot();
-    std::erase_if(selected, [&](const auto &entry) {
-        return !filter.matches(entry.second->metadata());
-    });
-    return selected;
-}
-
 std::vector<std::string>
 QueryEngine::runIds(const QueryFilter &filter) const
 {
-    std::vector<std::string> ids;
-    for (const auto &[run_id, profile] : select(filter)) {
-        (void)profile;
-        ids.push_back(run_id);
-    }
-    return ids;
+    return store_.runIdsMatching(
+        [&](const std::string &run_id, const prof::ProfileDb &profile) {
+            (void)run_id;
+            return filter.matches(profile.metadata());
+        });
 }
 
 std::vector<KernelAggregate>
 QueryEngine::topKernels(std::size_t k, const QueryFilter &filter,
                         const std::string &metric) const
 {
-    std::map<std::string, KernelAggregate> by_name;
-    for (const auto &[run_id, profile] : select(filter)) {
-        (void)run_id;
-        const int metric_id = profile->metrics().find(metric);
-        if (metric_id < 0)
-            continue;
-        std::map<std::string, bool> seen_this_run;
-        profile->cct().visit([&](const prof::CctNode &node) {
-            if (node.kind() != dlmon::FrameKind::kKernel)
-                return;
-            const RunningStat *stat = node.findMetric(metric_id);
-            if (stat == nullptr || stat->count() == 0)
-                return;
-            // name() resolves through the string table without
-            // materializing a Frame — visit() touches every node.
-            const std::string &name = node.name();
-            KernelAggregate &agg = by_name[name];
-            agg.name = name;
-            agg.total += stat->sum();
-            agg.samples += stat->count();
-            if (!seen_this_run[name]) {
-                seen_this_run[name] = true;
-                ++agg.runs;
-            }
-        });
-    }
+    const std::shared_ptr<const CorpusView::View> view =
+        view_.acquire(filter);
+    const int metric_id = view->db->metrics().find(metric);
+    if (metric_id < 0 || k == 0)
+        return {};
+
+    // Bounded k-heap over the view's flat interned-id table: no string
+    // keys, no per-query tree walk. `better` orders by (total desc,
+    // name asc); the heap keeps the worst kept candidate on top so a
+    // corpus of K kernels costs O(K log k).
+    struct Candidate {
+        double total;
+        std::uint64_t samples;
+        std::uint32_t runs;
+        StringTable::Id name_id;
+    };
+    const auto better = [](const Candidate &a, const Candidate &b) {
+        if (a.total != b.total)
+            return a.total > b.total;
+        return StringTable::global().str(a.name_id) <
+               StringTable::global().str(b.name_id);
+    };
+
+    std::vector<Candidate> heap;
+    heap.reserve(k + 1);
+    view->kernels.forEach([&](std::uint64_t key,
+                              const CorpusView::KernelStat &stat) {
+        if (FlatIdTable<CorpusView::KernelStat>::packedLow(key) !=
+            metric_id) {
+            return;
+        }
+        const Candidate candidate{
+            stat.total, stat.samples, stat.runs,
+            FlatIdTable<CorpusView::KernelStat>::packedId(key)};
+        if (heap.size() < k) {
+            heap.push_back(candidate);
+            std::push_heap(heap.begin(), heap.end(), better);
+            return;
+        }
+        if (better(candidate, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), better);
+            heap.back() = candidate;
+            std::push_heap(heap.begin(), heap.end(), better);
+        }
+    });
+    // sort_heap with `better`-as-less yields best-first directly.
+    std::sort_heap(heap.begin(), heap.end(), better);
 
     std::vector<KernelAggregate> ranked;
-    ranked.reserve(by_name.size());
-    for (auto &[name, agg] : by_name) {
-        (void)name;
+    ranked.reserve(heap.size());
+    for (const Candidate &candidate : heap) {
+        KernelAggregate agg;
+        agg.name = StringTable::global().str(candidate.name_id);
+        agg.total = candidate.total;
+        agg.samples = candidate.samples;
+        agg.runs = candidate.runs;
         ranked.push_back(std::move(agg));
     }
-    std::sort(ranked.begin(), ranked.end(),
-              [](const KernelAggregate &a, const KernelAggregate &b) {
-                  if (a.total != b.total)
-                      return a.total > b.total;
-                  return a.name < b.name;
-              });
-    if (ranked.size() > k)
-        ranked.resize(k);
     return ranked;
 }
 
-std::unique_ptr<prof::ProfileDb>
+std::shared_ptr<const prof::ProfileDb>
 QueryEngine::merged(const QueryFilter &filter) const
 {
-    CctMerger merger;
-    for (const auto &[run_id, profile] : select(filter))
-        merger.addPrevalidated(*profile, run_id);
-    return merger.finish();
+    return view_.acquire(filter)->db;
 }
 
 std::optional<analysis::ProfileComparison>
@@ -136,24 +105,20 @@ QueryEngine::diffAgainstCorpus(const std::string &run_id,
     std::shared_ptr<const prof::ProfileDb> run = store_.get(run_id);
     if (run == nullptr)
         return std::nullopt;
-    CctMerger merger;
-    for (const auto &[other_id, profile] : select(filter)) {
-        if (other_id != run_id)
-            merger.addPrevalidated(*profile, other_id);
-    }
+    const std::shared_ptr<const CorpusView::View> corpus =
+        view_.acquire(filter, run_id);
     // An empty corpus would produce a degenerate all-zero comparison
     // indistinguishable from "the rest of the fleet ran in zero time".
-    if (merger.runCount() == 0)
+    if (corpus->run_ids.empty())
         return std::nullopt;
-    const std::unique_ptr<prof::ProfileDb> corpus = merger.finish();
-    return analysis::compareProfiles(*run, *corpus);
+    return analysis::compareProfiles(*run, *corpus->db);
 }
 
 gui::FlameNode
 QueryEngine::flameGraph(const QueryFilter &filter,
                         const gui::FlameGraphOptions &options) const
 {
-    const std::unique_ptr<prof::ProfileDb> db = merged(filter);
+    const std::shared_ptr<const prof::ProfileDb> db = merged(filter);
     return gui::FlameGraph::topDown(*db, options);
 }
 

@@ -13,11 +13,17 @@
  *  - flame-graph export of any query's merged profile through
  *    gui/flamegraph.
  *
- * Queries take shared_ptr snapshots from the store, so they run
- * concurrently with ingestion and always see whole profiles.
+ * Queries are served through the engine's CorpusView cache: the merged
+ * selection and its id-keyed kernel aggregates are materialized once
+ * per filter signature, invalidated by the store's generation digest,
+ * refreshed incrementally when only new runs arrived, and rebuilt with
+ * a parallel tree reduction when they cannot be (first touch, erase,
+ * eviction). Repeated queries over a stable corpus touch no profile —
+ * top-k is a scan of a flat interned-id table with a bounded k-heap,
+ * and merged()/flame queries reuse the cached merged tree. Everything
+ * stays safe to call concurrently with ingestion.
  */
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -26,23 +32,11 @@
 #include "analyzer/diff.h"
 #include "gui/flamegraph.h"
 #include "profiler/profile_db.h"
+#include "service/corpus_view.h"
 #include "service/profile_store.h"
+#include "service/query_filter.h"
 
 namespace dc::service {
-
-/** Metadata predicate; empty named fields match everything. */
-struct QueryFilter {
-    std::string framework; ///< Matches metadata "framework".
-    std::string platform;  ///< Matches metadata "platform".
-    std::string model;     ///< Matches metadata "model".
-    /// Additional exact-match metadata constraints. Unlike the named
-    /// fields, entries here are literal: an empty value matches only a
-    /// run whose metadata value is empty.
-    std::map<std::string, std::string> metadata;
-
-    /** True when @p meta satisfies every constraint. */
-    bool matches(const std::map<std::string, std::string> &meta) const;
-};
 
 /** One kernel's aggregate across the selected runs. */
 struct KernelAggregate {
@@ -61,23 +55,44 @@ struct KernelAggregate {
 class QueryEngine
 {
   public:
-    explicit QueryEngine(const ProfileStore &store) : store_(store) {}
+    struct Options {
+        /// Materialized-view cache behavior (capacity, merge workers).
+        CorpusView::Options view;
+    };
 
-    /** Sorted run ids matching @p filter. */
+    explicit QueryEngine(const ProfileStore &store)
+        : QueryEngine(store, Options{})
+    {
+    }
+    QueryEngine(const ProfileStore &store, Options options)
+        : store_(store), view_(store, options.view)
+    {
+    }
+
+    /**
+     * Sorted run ids matching @p filter — via the store's lightweight
+     * id-listing path, no per-run shared_ptr snapshots.
+     */
     std::vector<std::string> runIds(const QueryFilter &filter = {}) const;
 
     /**
      * Top-@p k kernels by summed @p metric across the selected runs,
      * sorted by total descending (ties broken by name so results are
-     * deterministic under any ingestion order).
+     * deterministic under any ingestion order; totals are exact up to
+     * the FP rounding freedom CctMerger documents).
      */
     std::vector<KernelAggregate>
     topKernels(std::size_t k, const QueryFilter &filter = {},
                const std::string &metric =
                    prof::metric_names::kGpuTime) const;
 
-    /** Merged profile of every run matching @p filter (CctMerger). */
-    std::unique_ptr<prof::ProfileDb>
+    /**
+     * Merged profile of every run matching @p filter — the cached
+     * materialized view's tree, shared with concurrent readers (hence
+     * const). Holding the pointer keeps that view's merge alive
+     * regardless of later ingestion.
+     */
+    std::shared_ptr<const prof::ProfileDb>
     merged(const QueryFilter &filter = {}) const;
 
     /**
@@ -91,7 +106,9 @@ class QueryEngine
     /**
      * Diff one run against the merged rest of the corpus — "how does
      * this run deviate from the fleet". nullopt when @p run_id is
-     * unknown.
+     * unknown. The corpus-minus-run merge is a cached view of its own
+     * (keyed by filter + excluded id), so repeated fleet diffs of the
+     * same run don't re-merge.
      */
     std::optional<analysis::ProfileComparison>
     diffAgainstCorpus(const std::string &run_id,
@@ -108,13 +125,13 @@ class QueryEngine
                    const QueryFilter &filter = {},
                    const gui::FlameGraphOptions &options = {}) const;
 
-  private:
-    /// Snapshot of (run id, profile) pairs matching a filter.
-    std::vector<std::pair<std::string,
-                          std::shared_ptr<const prof::ProfileDb>>>
-    select(const QueryFilter &filter) const;
+    /** The engine's view cache (stats, explicit invalidation). */
+    const CorpusView &corpusView() const { return view_; }
 
+  private:
     const ProfileStore &store_;
+    /// Mutable: queries are logically const but maintain the cache.
+    mutable CorpusView view_;
 };
 
 } // namespace dc::service

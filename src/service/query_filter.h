@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Run-selection predicate shared by the query frontend and the
+ * materialized corpus-view cache (which keys cached views by the
+ * filter's canonical signature).
+ */
+
+#include <map>
+#include <string>
+
+namespace dc::service {
+
+/** Metadata predicate; empty named fields match everything. */
+struct QueryFilter {
+    std::string framework; ///< Matches metadata "framework".
+    std::string platform;  ///< Matches metadata "platform".
+    std::string model;     ///< Matches metadata "model".
+    /// Additional exact-match metadata constraints. Unlike the named
+    /// fields, entries here are literal: an empty value matches only a
+    /// run whose metadata value is empty.
+    std::map<std::string, std::string> metadata;
+
+    /** True when @p meta satisfies every constraint. */
+    bool
+    matches(const std::map<std::string, std::string> &meta) const
+    {
+        const auto named = [&](const char *key,
+                               const std::string &want) {
+            if (want.empty())
+                return true;
+            auto it = meta.find(key);
+            return it != meta.end() && it->second == want;
+        };
+        if (!named("framework", framework) ||
+            !named("platform", platform) || !named("model", model)) {
+            return false;
+        }
+        for (const auto &[key, want] : metadata) {
+            // Literal match: empty values are not wildcards here.
+            auto it = meta.find(key);
+            if (it == meta.end() || it->second != want)
+                return false;
+        }
+        return true;
+    }
+};
+
+} // namespace dc::service

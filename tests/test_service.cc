@@ -386,6 +386,91 @@ TEST(ProfileStore, HandoffWithUnregisteredMetricIdRejected)
     EXPECT_EQ(store.stats().failed, 2u);
 }
 
+TEST(ProfileStore, InternedNameBudgetGatesHighCardinalityNames)
+{
+    // High-cardinality generated kernel names (JIT/shape-specialized)
+    // grow the process-wide, append-only StringTable forever; the
+    // store charges that growth against max_interned_bytes instead of
+    // letting it silently blow past memory limits.
+    ProfileStore::Options options;
+    options.workers = 1;
+    options.max_interned_bytes = 1; // any new-name growth trips it
+    ProfileStore store(options);
+
+    // Building a profile in-process interns its names immediately, so
+    // serialize with marker names and rewrite them (same length) in
+    // the text: the rewritten names exist only in the serialized form,
+    // like a fleet profile arriving from another machine would.
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry reg;
+    const int gpu = reg.intern(prof::metric_names::kGpuTime);
+    for (int i = 0; i < 8; ++i) {
+        cct->addMetric(
+            cct->insert({Frame::op("budget_op"),
+                         Frame::kernel(
+                             "budget_jit_kernel_AAAA_shape_" +
+                             std::to_string(i))}),
+            gpu, 5.0);
+    }
+    std::string text =
+        ProfileDb(std::move(cct), std::move(reg), {}).serialize();
+    for (std::size_t at = text.find("AAAA"); at != std::string::npos;
+         at = text.find("AAAA", at)) {
+        text.replace(at, 4, "BBBB");
+    }
+
+    store.ingestText("jit-run-0", text);
+    store.waitIdle();
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.stats().failed, 1u);
+    EXPECT_GT(store.stats().interned_bytes, 0u);
+    ASSERT_EQ(store.failures().size(), 1u);
+    EXPECT_NE(store.failures()[0].second.find("interned-name budget"),
+              std::string::npos);
+
+    // The same names again cause zero growth — still ingestible, so a
+    // saturated budget only blocks profiles that keep minting names.
+    store.ingestText("jit-run-1", text);
+    store.waitIdle();
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().failed, 1u);
+
+    // A malformed profile with the budget saturated is reported as a
+    // parse failure (what the operator must debug), not as a budget
+    // rejection.
+    store.ingestText("garbled", "this is not a profile");
+    store.waitIdle();
+    EXPECT_EQ(store.stats().failed, 2u);
+    ASSERT_EQ(store.failures().size(), 2u);
+    EXPECT_EQ(store.failures()[1].first, "garbled");
+    EXPECT_EQ(store.failures()[1].second.find("interned-name budget"),
+              std::string::npos);
+}
+
+TEST(ProfileStore, RunIdsMatchingListsWithoutSnapshots)
+{
+    ProfileStore store;
+    store.ingest("torch-a", makeProfile(0, {{"framework", "PyTorch"}}));
+    store.ingest("jax-a", makeProfile(1, {{"framework", "JAX"}}));
+    store.ingest("torch-b", makeProfile(2, {{"framework", "PyTorch"}}));
+    store.waitIdle();
+
+    const auto torch_ids = store.runIdsMatching(
+        [](const std::string &run_id, const prof::ProfileDb &profile) {
+            (void)run_id;
+            auto it = profile.metadata().find("framework");
+            return it != profile.metadata().end() &&
+                   it->second == "PyTorch";
+        });
+    EXPECT_EQ(torch_ids,
+              (std::vector<std::string>{"torch-a", "torch-b"}));
+    const auto none = store.runIdsMatching(
+        [](const std::string &, const prof::ProfileDb &) {
+            return false;
+        });
+    EXPECT_TRUE(none.empty());
+}
+
 TEST(ProfileStore, MalformedAndDuplicateIngestionRejected)
 {
     ProfileStore store;
