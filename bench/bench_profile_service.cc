@@ -213,6 +213,111 @@ splitSnapshot(const Snapshot &snapshot,
     }
 }
 
+/**
+ * A serialized profile whose kernel names are unique to @p tag —
+ * JIT/shape-specialized style name cardinality, the workload that
+ * saturates an interned-name budget.
+ */
+std::string
+uniqueNameProfileText(const std::string &tag)
+{
+    auto cct = std::make_unique<prof::Cct>();
+    prof::MetricRegistry metrics;
+    const int gpu = metrics.intern(prof::metric_names::kGpuTime);
+    for (int i = 0; i < 16; ++i) {
+        prof::CctNode *leaf = cct->insert(
+            {dlmon::Frame::python("train.py", "main", 10),
+             dlmon::Frame::op("aten::op" + std::to_string(i % 2)),
+             dlmon::Frame::kernel(
+                 strformat("jit_kernel_%s_shape_%03d_fused_variant",
+                           tag.c_str(), i))});
+        cct->addMetric(leaf, gpu, 100.0 + i);
+    }
+    return prof::ProfileDb(std::move(cct), std::move(metrics), {})
+        .serialize();
+}
+
+/**
+ * Per-corpus name-table lifecycle: fill a store to its interned-name
+ * budget with unique-name runs, erase the corpus, reclaim the text
+ * with compactNames(), and ingest a fresh equal-size batch that only
+ * fits because the budget was freed. Emits the reclaim volume, the
+ * compaction pause, and the post-compaction re-ingest throughput.
+ */
+void
+benchCompactionLifecycle(
+    std::vector<std::pair<std::string, double>> *json)
+{
+    constexpr int kBatch = 24;
+    std::vector<std::string> first;
+    std::vector<std::string> second;
+    for (int i = 0; i < kBatch; ++i) {
+        first.push_back(
+            uniqueNameProfileText("a" + std::to_string(i)));
+        second.push_back(
+            uniqueNameProfileText("b" + std::to_string(i)));
+    }
+
+    // Budget = exactly one batch of unique names.
+    std::uint64_t batch_bytes = 0;
+    {
+        ProfileStore probe;
+        for (int i = 0; i < kBatch; ++i)
+            probe.ingestText("p-" + std::to_string(i),
+                             first[static_cast<std::size_t>(i)]);
+        probe.waitIdle();
+        batch_bytes = probe.names()->textBytes();
+    }
+
+    ProfileStore::Options options;
+    options.max_interned_bytes = batch_bytes;
+    ProfileStore store(options);
+    for (int i = 0; i < kBatch; ++i)
+        store.ingestText("first-" + std::to_string(i),
+                         first[static_cast<std::size_t>(i)]);
+    store.waitIdle();
+    // Saturated: fresh names no longer fit.
+    store.ingestText("over", second[0]);
+    store.waitIdle();
+    const bool saturated = store.stats().failed == 1;
+
+    for (const std::string &run_id : store.runIds())
+        store.erase(run_id);
+    const Clock::time_point compact_start = Clock::now();
+    const std::uint64_t reclaimed = store.compactNames();
+    const double compact_us = secondsSince(compact_start) * 1e6;
+
+    const Clock::time_point reingest_start = Clock::now();
+    for (int i = 0; i < kBatch; ++i)
+        store.ingestText("second-" + std::to_string(i),
+                         second[static_cast<std::size_t>(i)]);
+    store.waitIdle();
+    const double reingest_s = secondsSince(reingest_start);
+    const bool recovered =
+        store.size() == static_cast<std::size_t>(kBatch) &&
+        store.stats().failed == 1;
+
+    std::printf("\ncompaction lifecycle (%d unique-name runs per "
+                "batch, %s budget): %s reclaimed in %.0f us, "
+                "re-ingest %.0f runs/s, saturation %s, recovery %s\n",
+                kBatch, humanBytes(batch_bytes).c_str(),
+                humanBytes(reclaimed).c_str(), compact_us,
+                static_cast<double>(kBatch) / reingest_s,
+                saturated ? "ok" : "MISSED",
+                recovered ? "ok" : "FAILED");
+
+    json->emplace_back("compact_reclaimed_bytes",
+                       static_cast<double>(reclaimed));
+    json->emplace_back("compact_us", compact_us);
+    json->emplace_back("post_compact_reingest_per_sec",
+                       static_cast<double>(kBatch) / reingest_s);
+    // Budget recovery as a 0/1 gate-visible flag: 1 = the saturated
+    // store rejected fresh names, then accepted an equal-size batch
+    // after erase+compact.
+    json->emplace_back("compact_budget_recovered",
+                       saturated && recovered ? 1.0 : 0.0);
+}
+
 } // namespace
 
 int
@@ -399,6 +504,8 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         view_stats.rebuilds));
     }
+
+    benchCompactionLifecycle(&json);
 
     std::printf("\nquery sanity: ");
     {

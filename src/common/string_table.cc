@@ -21,7 +21,30 @@ hashText(std::string_view text)
     return h;
 }
 
+/**
+ * Hash stored into reclaimed entries. Stale probes in retired slabs
+ * compare hash first, then text: a dead entry's text is empty, so the
+ * only probe its (hash, text) pair could still satisfy is the empty
+ * string's — and 0 is not hashText("") — making resurrection of a
+ * reclaimed id through an old slab impossible.
+ */
+constexpr std::uint64_t kDeadHash = 0;
+
+/// Innermost growth meters, per thread (see StringTable::GrowthMeter).
+thread_local StringTable::GrowthMeter *tl_meter = nullptr;
+
 } // namespace
+
+StringTable::GrowthMeter::GrowthMeter(const StringTable &table)
+    : table_(&table), prev_(tl_meter)
+{
+    tl_meter = this;
+}
+
+StringTable::GrowthMeter::~GrowthMeter()
+{
+    tl_meter = prev_;
+}
 
 StringTable::StringTable()
 {
@@ -84,22 +107,61 @@ StringTable::internSlow(std::string_view text, std::uint64_t hash)
         index = (index + 1) & slab->mask;
     }
 
-    const Id id = static_cast<Id>(entries_.size());
-    entries_.push_back(Entry{hash, std::string(text), id});
-    const Entry *entry = &entries_.back();
+    // Recycle a reclaimed id when one is free. Ids enter free_ids_
+    // only via a slab rebuild inside compact() — performed while
+    // interning is quiesced — so the Entry is unreachable from the
+    // active slab (and no probe can still be walking an older one):
+    // rewriting it here cannot race a probe, and the publish below
+    // release-stores the pointer only after the fields are complete.
+    const Entry *entry = nullptr;
+    Id id = 0;
+    if (!free_ids_.empty()) {
+        id = free_ids_.back();
+        free_ids_.pop_back();
+        Entry &slot = entries_[id];
+        slot.hash = hash;
+        slot.text = std::string(text);
+        slot.refs.store(0, std::memory_order_relaxed);
+        slot.dead = false;
+        entry = &slot;
+    } else {
+        id = static_cast<Id>(entries_.size());
+        entries_.emplace_back(hash, std::string(text), id);
+        entry = &entries_.back();
+    }
+    ++live_;
     text_bytes_ += text.size();
+    // Growth is charged to the creating thread's meter, under the same
+    // lock that creates the entry — exact per-thread attribution no
+    // matter how parses interleave.
+    for (GrowthMeter *meter = tl_meter; meter != nullptr;
+         meter = meter->prev_) {
+        if (meter->table_ == this) {
+            meter->bytes_ += text.size();
+            break;
+        }
+    }
 
-    // Grow at 3/4 load so lock-free probes stay short. The new slab is
-    // fully populated before the release-publish; the old one stays
-    // alive for readers still probing it.
-    if ((entries_.size() + 1) * 4 >= (slab->mask + 1) * 3) {
-        auto grown = std::make_unique<Slab>((slab->mask + 1) * 2);
-        for (const Entry &existing : entries_)
-            place(*grown, &existing);
+    // Grow at 3/4 load — counting compact()'s tombstones, which
+    // occupy probe slots until a rebuild — so lock-free probes stay
+    // short. The new slab is fully populated (live entries only)
+    // before the release-publish; the old one stays alive for readers
+    // still probing it.
+    if ((slab_used_ + 1) * 4 >= (slab->mask + 1) * 3) {
+        std::size_t capacity = (slab->mask + 1) * 2;
+        while ((live_ + 1) * 4 >= capacity * 3)
+            capacity *= 2;
+        auto grown = std::make_unique<Slab>(capacity);
+        for (const Entry &existing : entries_) {
+            if (!existing.dead)
+                place(*grown, &existing);
+        }
         slab_.store(grown.get(), std::memory_order_release);
         slabs_.push_back(std::move(grown));
+        slab_used_ = live_;
     } else {
         place(*slab, entry);
+        ++slab_used_;
     }
 
     // Publish into the direct id index (grown the same way).
@@ -107,8 +169,10 @@ StringTable::internSlow(std::string_view text, std::uint64_t hash)
     if (id >= id_index->capacity) {
         auto grown = std::make_unique<IdIndex>(id_index->capacity * 2);
         for (const Entry &existing : entries_) {
-            grown->entries[existing.id].store(
-                &existing, std::memory_order_relaxed);
+            if (!existing.dead) {
+                grown->entries[existing.id].store(
+                    &existing, std::memory_order_relaxed);
+            }
         }
         by_id_.store(grown.get(), std::memory_order_release);
         id_indexes_.push_back(std::move(grown));
@@ -138,6 +202,15 @@ StringTable::find(std::string_view text, Id *id) const
     }
 }
 
+const StringTable::Entry *
+StringTable::entryFor(Id id) const
+{
+    const IdIndex *index = by_id_.load(std::memory_order_acquire);
+    if (id >= index->capacity)
+        return nullptr;
+    return index->entries[id].load(std::memory_order_acquire);
+}
+
 const std::string &
 StringTable::str(Id id) const
 {
@@ -146,18 +219,141 @@ StringTable::str(Id id) const
     // published with release before their intern() returned, so a
     // stale miss only happens for very fresh ids — fall back to the
     // authoritative locked view before declaring the id invalid.
-    const IdIndex *index = by_id_.load(std::memory_order_acquire);
-    if (id < index->capacity) {
-        const Entry *entry =
-            index->entries[id].load(std::memory_order_acquire);
-        if (entry != nullptr)
-            return entry->text;
-    }
+    if (const Entry *entry = entryFor(id))
+        return entry->text;
     std::shared_lock lock(mutex_);
     DC_CHECK(id < entries_.size(), "string id ", id,
              " was never interned (table has ", entries_.size(),
              " entries)");
+    DC_CHECK(!entries_[id].dead, "string id ", id,
+             " was reclaimed by compact() — a caller resolved a name "
+             "it held no reference to");
     return entries_[id].text;
+}
+
+void
+StringTable::retain(Id id)
+{
+    if (id == kEmpty)
+        return;
+    if (const Entry *entry = entryFor(id)) {
+        entry->refs.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    std::shared_lock lock(mutex_);
+    DC_CHECK(id < entries_.size(), "retain of string id ", id,
+             " that was never interned");
+    // Fail fast like str(): a stale retain of a reclaimed id would
+    // otherwise inflate whatever name recycles the id next.
+    DC_CHECK(!entries_[id].dead, "retain of string id ", id,
+             " that compact() already reclaimed");
+    entries_[id].refs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+StringTable::release(Id id)
+{
+    if (id == kEmpty)
+        return;
+    if (const Entry *entry = entryFor(id)) {
+        const std::uint32_t prev =
+            entry->refs.fetch_sub(1, std::memory_order_relaxed);
+        DC_CHECK(prev != 0, "release of unreferenced string id ", id);
+        return;
+    }
+    std::shared_lock lock(mutex_);
+    DC_CHECK(id < entries_.size(), "release of string id ", id,
+             " that was never interned");
+    DC_CHECK(!entries_[id].dead, "release of string id ", id,
+             " that compact() already reclaimed");
+    const std::uint32_t prev =
+        entries_[id].refs.fetch_sub(1, std::memory_order_relaxed);
+    DC_CHECK(prev != 0, "release of unreferenced string id ", id);
+}
+
+std::uint32_t
+StringTable::refCount(Id id) const
+{
+    if (const Entry *entry = entryFor(id))
+        return entry->refs.load(std::memory_order_relaxed);
+    std::shared_lock lock(mutex_);
+    DC_CHECK(id < entries_.size(), "refCount of string id ", id,
+             " that was never interned");
+    DC_CHECK(!entries_[id].dead, "refCount of string id ", id,
+             " that compact() already reclaimed");
+    return entries_[id].refs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+StringTable::compact()
+{
+    std::unique_lock lock(mutex_);
+    std::uint64_t reclaimed = 0;
+    IdIndex *index = id_indexes_.back().get();
+    for (Entry &entry : entries_) {
+        if (entry.id == kEmpty || entry.dead ||
+            entry.refs.load(std::memory_order_relaxed) != 0) {
+            continue;
+        }
+        reclaimed += entry.text.size();
+        text_bytes_ -= entry.text.size();
+        std::string().swap(entry.text); // actually free the heap text
+        // Tombstone in place (interning is quiesced, so no probe is
+        // reading these fields): the sentinel hash plus the emptied
+        // text can satisfy no probe, in this or any retired slab, so
+        // the id cannot resurrect — without allocating a replacement
+        // slab per compaction. Probe chains through the tombstone stay
+        // intact for live entries.
+        entry.hash = kDeadHash;
+        entry.dead = true;
+        // Null the live id index so stale resolutions of this id fall
+        // through to the locked path and fail fast. The atomic store
+        // is safe against concurrent str()/retain() of *live* ids;
+        // retired index generations keep their (stable) entry
+        // pointers, which stay correct even across id recycling —
+        // entries are keyed by id, and recycling rewrites the same
+        // Entry in place.
+        index->entries[entry.id].store(nullptr,
+                                       std::memory_order_release);
+        pending_free_ids_.push_back(entry.id);
+        --live_;
+    }
+    if (reclaimed == 0)
+        return 0;
+
+    // Rebuild the probe slab only once dead entries crowd a quarter
+    // of it — amortized against churn like ordinary growth, so
+    // periodic compaction cannot grow table metadata without bound.
+    // Only a rebuild performed *here*, with interning quiesced, makes
+    // dead entries unreachable from every slab a probe can touch, so
+    // this is also the sole point where reclaimed ids graduate to
+    // reusable (internSlow's grow-time rebuilds race concurrent
+    // probes of the superseded slab and must not promote).
+    // Tombstones still in the slab and pending ids largely name the
+    // same entries (they diverge only when a grow-time rebuild already
+    // dropped the tombstones without being allowed to promote the
+    // ids), so trigger on whichever criterion trips — not their sum,
+    // which would double-count and rebuild at an eighth.
+    Slab *active = slabs_.back().get();
+    const std::size_t capacity = active->mask + 1;
+    if ((slab_used_ - live_) * 4 >= capacity ||
+        pending_free_ids_.size() * 4 >= capacity) {
+        std::size_t fresh_capacity = 1024;
+        while ((live_ + 1) * 4 >= fresh_capacity * 3)
+            fresh_capacity *= 2;
+        auto slab = std::make_unique<Slab>(fresh_capacity);
+        for (const Entry &entry : entries_) {
+            if (!entry.dead)
+                place(*slab, &entry);
+        }
+        slab_.store(slab.get(), std::memory_order_release);
+        slabs_.push_back(std::move(slab));
+        slab_used_ = live_;
+        free_ids_.insert(free_ids_.end(), pending_free_ids_.begin(),
+                         pending_free_ids_.end());
+        pending_free_ids_.clear();
+    }
+    return reclaimed;
 }
 
 std::size_t
@@ -165,6 +361,13 @@ StringTable::size() const
 {
     std::shared_lock lock(mutex_);
     return entries_.size();
+}
+
+std::size_t
+StringTable::liveSize() const
+{
+    std::shared_lock lock(mutex_);
+    return live_;
 }
 
 std::uint64_t
@@ -179,6 +382,18 @@ StringTable::global()
 {
     static StringTable *table = new StringTable();
     return *table;
+}
+
+const std::shared_ptr<StringTable> &
+StringTable::globalShared()
+{
+    // Non-owning: the global table is deliberately leaked (profiled
+    // threads may intern during static destruction), so the shared
+    // handle must never delete it.
+    static const std::shared_ptr<StringTable> *handle =
+        new std::shared_ptr<StringTable>(&global(),
+                                         [](StringTable *) {});
+    return *handle;
 }
 
 } // namespace dc

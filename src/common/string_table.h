@@ -2,7 +2,8 @@
 
 /**
  * @file
- * Process-wide string interning for the profiling hot path.
+ * String interning for the profiling hot path and the warehouse's
+ * per-corpus name tables.
  *
  * Call-path frames carry file, function, operator, and kernel names.
  * Storing those as std::string per CCT node makes every child lookup a
@@ -12,9 +13,20 @@
  * on those ids, so frame equality on the per-event path is an integer
  * compare and names are resolved back to text only at report time.
  *
- * Ids are stable for the table's lifetime and id 0 is always the empty
- * string. The table is append-only — profiles reference a bounded set
- * of code locations, so entries are never evicted.
+ * Ids are stable while they are live and id 0 is always the empty
+ * string. Tables are instantiable: the profiler's hot path shares the
+ * process-wide global() table, while each ProfileStore owns a private
+ * table so a long-lived warehouse can account for — and, via
+ * refcounted reclamation, actually release — the name text its corpus
+ * pins:
+ *
+ *  - retain()/release() count references per entry (CCT nodes retain
+ *    the names their keys use; tree destruction releases them).
+ *  - compact() frees the text of zero-reference entries, recycles
+ *    their ids through a free list, and reports the bytes reclaimed.
+ *  - A GrowthMeter attributes intern() growth to the thread that
+ *    caused it, so concurrent ingestion workers charge their own
+ *    profiles exactly instead of observing each other's growth.
  *
  * Concurrency: intern() sits on the per-event path of every profiled
  * thread and of the warehouse's ingestion pool, so the hit path is
@@ -22,8 +34,12 @@
  * slab of immutable entries (one FNV hash + a short probe, no lock,
  * no reference counting). Misses take a mutex, insert, and republish;
  * superseded slabs are retired, not freed, so concurrent readers can
- * keep probing them safely. Resolution (str/find/size) takes a shared
- * lock; it runs at report time, not per event.
+ * keep probing them safely. str() of a live id and retain()/release()
+ * are lock-free and safe against a concurrent compact(); compact()
+ * itself must not overlap intern()/find() on the same table (it
+ * scrubs dead entries that stale probes could still be reading) — the
+ * ProfileStore enforces this with a shared/exclusive guard around its
+ * parse workers. The global() table is never compacted.
  */
 
 #include <atomic>
@@ -62,11 +78,47 @@ class StringTable
     /** Id of the empty string (interned by the constructor). */
     static constexpr Id kEmpty = 0;
 
+    /**
+     * An id no table ever issues (it would take 2^32 - 1 interned
+     * strings). Location-only lookup keys use it for names the table
+     * has never seen: such a key compares unequal to every stored key,
+     * making "unknown name" a guaranteed lookup miss.
+     */
+    static constexpr Id kUnknown = 0xffffffffu;
+
     StringTable();
     ~StringTable();
 
     StringTable(const StringTable &) = delete;
     StringTable &operator=(const StringTable &) = delete;
+
+    /**
+     * Attributes the intern() text growth a thread causes in one table
+     * to that thread, exactly: only entries *created* by the metering
+     * thread are counted, under the same lock that creates them, so
+     * two workers parsing concurrently can never observe (and
+     * double-charge) each other's growth. Scoped and nestable;
+     * thread-local, so it costs the hot path one TLS load per miss and
+     * nothing on hits.
+     */
+    class GrowthMeter
+    {
+      public:
+        explicit GrowthMeter(const StringTable &table);
+        ~GrowthMeter();
+
+        GrowthMeter(const GrowthMeter &) = delete;
+        GrowthMeter &operator=(const GrowthMeter &) = delete;
+
+        /** Bytes of text this thread interned into the table so far. */
+        std::uint64_t bytes() const { return bytes_; }
+
+      private:
+        friend class StringTable;
+        const StringTable *table_;
+        GrowthMeter *prev_; ///< Enclosing meter (nesting).
+        std::uint64_t bytes_ = 0;
+    };
 
     /** Get-or-create the id of @p text. Lock-free when already known. */
     Id intern(std::string_view text);
@@ -75,37 +127,92 @@ class StringTable
     bool find(std::string_view text, Id *id) const;
 
     /**
-     * The interned string for @p id. The reference is stable for the
-     * table's lifetime (entries are never moved or evicted). Panics on
-     * an id the table never issued. Lock-free: report and analysis
-     * paths resolve every visited node's name through here, so it
-     * reads an atomically published id->entry index rather than
-     * contending with the ingestion pool's interns on a mutex.
+     * The interned string for @p id. The reference is stable while the
+     * id is live (retained, or never reclaimed — the global table
+     * never compacts). Panics on an id the table never issued or has
+     * reclaimed. Lock-free: report and analysis paths resolve every
+     * visited node's name through here, so it reads an atomically
+     * published id->entry index rather than contending with the
+     * ingestion pool's interns on a mutex.
      */
     const std::string &str(Id id) const;
 
-    /** Number of interned strings (>= 1: the empty string). */
+    /**
+     * Add one reference to @p id (no-op for the empty string). Every
+     * CCT node retains the ids its key stores, so an entry's count is
+     * "CCT nodes anywhere that resolve through it"; compact() frees
+     * only entries whose count is zero. Lock-free.
+     */
+    void retain(Id id);
+
+    /** Drop one reference to @p id (panics on underflow). Lock-free. */
+    void release(Id id);
+
+    /** Current reference count of @p id (tests/diagnostics). */
+    std::uint32_t refCount(Id id) const;
+
+    /**
+     * Reclaim every zero-reference entry: its text is freed (counted
+     * out of textBytes()) and its id is recycled for future interns.
+     * Dead entries are scrubbed in place — their id-index slots are
+     * nulled and their slab slots tombstoned (a sentinel hash that can
+     * match no probe), so reclaimed names cannot resurrect with their
+     * old ids, and table metadata does not grow per compaction: a
+     * fresh probe slab is built only when dead entries accumulate past
+     * a quarter of the slab (amortized like normal growth). Ids become
+     * reusable at that rebuild — the quiesced rebuild is what
+     * guarantees no concurrent probe can still reach the entry a later
+     * intern rewrites.
+     *
+     * @return Bytes of text reclaimed.
+     *
+     * Must not overlap intern()/find() on this table (callers quiesce
+     * interning; the ProfileStore's compactNames() wraps this with its
+     * ingestion guard). str()/retain()/release() of live ids remain
+     * safe concurrently.
+     */
+    std::uint64_t compact();
+
+    /** Number of ids ever issued (>= 1: the empty string). */
     std::size_t size() const;
 
-    /** Total bytes of interned text (diagnostic; excludes indexes). */
+    /** Number of live (non-reclaimed) entries. */
+    std::size_t liveSize() const;
+
+    /** Total bytes of live interned text (excludes indexes). */
     std::uint64_t textBytes() const;
 
     /**
-     * The process-wide table every CCT and profile shares. A single
-     * table is what makes FrameKey ids comparable across trees — the
-     * warehouse merges CCTs from many runs by direct id equality.
+     * The process-wide table the profiler's hot path and every
+     * default-constructed CCT share. A single table is what makes
+     * FrameKey ids comparable across trees — the warehouse merges CCTs
+     * from many runs by direct id equality. Never compacted.
      */
     static StringTable &global();
 
+    /** global() as a non-owning shared handle (what Cct stores). */
+    static const std::shared_ptr<StringTable> &globalShared();
+
   private:
-    /** One interned string; immutable once published into a slab. */
+    /**
+     * One interned string. Immutable once published into a slab,
+     * except: `refs` (atomic), and the dead-entry scrubbing compact()
+     * performs under its quiesced-interning contract.
+     */
     struct Entry {
+        Entry(std::uint64_t hash, std::string text, Id id)
+            : hash(hash), text(std::move(text)), id(id)
+        {
+        }
         std::uint64_t hash;
         std::string text;
         Id id;
+        mutable std::atomic<std::uint32_t> refs{0};
+        /// Reclaimed by compact(); awaiting id reuse. Guarded by mutex_.
+        bool dead = false;
     };
 
-    /** Open-addressed probe array (linear probing, power-of-two). */
+    /// Open-addressed probe array (linear probing, power-of-two).
     struct Slab {
         explicit Slab(std::size_t capacity)
             : mask(capacity - 1), slots(capacity)
@@ -128,6 +235,9 @@ class StringTable
     /** Insert into @p slab (must have a free slot). */
     static void place(Slab &slab, const Entry *entry);
 
+    /** Lock-free id -> entry via the published index; null on miss. */
+    const Entry *entryFor(Id id) const;
+
     /** Miss path: insert under the writer lock. */
     Id internSlow(std::string_view text, std::uint64_t hash);
 
@@ -141,6 +251,21 @@ class StringTable
     /// Old generations stay alive for concurrent readers.
     std::vector<std::unique_ptr<Slab>> slabs_;
     std::vector<std::unique_ptr<IdIndex>> id_indexes_;
+    /// Ids safe to recycle: their entries were excluded from the
+    /// active probe slab by a rebuild performed inside compact() —
+    /// i.e. while interning was quiesced — so no lock-free probe can
+    /// still reach them when internSlow() rewrites the Entry in place.
+    std::vector<Id> free_ids_;
+    /// Ids reclaimed by a compact() that did not rebuild the slab:
+    /// their tombstoned entries are still published (probe chains stay
+    /// intact through them), so reuse waits for the next quiesced
+    /// rebuild, which promotes them into free_ids_.
+    std::vector<Id> pending_free_ids_;
+    std::size_t live_ = 0;       ///< Non-dead entry count.
+    /// Occupied slots in the active slab (live + tombstoned); the
+    /// grow/rebuild decisions use this so tombstones cannot silently
+    /// degrade probe chains.
+    std::size_t slab_used_ = 0;
     std::uint64_t text_bytes_ = 0;
 };
 

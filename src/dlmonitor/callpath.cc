@@ -205,18 +205,25 @@ FrameKey::from(const Frame &frame, StringTable &table)
 }
 
 FrameKey
-FrameKey::locator(const Frame &frame, StringTable &table)
+FrameKey::locator(const Frame &frame, const StringTable &table)
 {
+    // Lookups must not grow the table: find() instead of intern(),
+    // with kUnknown (never issued) standing in for absent names so
+    // the resulting key is a guaranteed mismatch.
+    const auto lookup = [&table](const std::string &text) {
+        StringTable::Id id = StringTable::kUnknown;
+        return table.find(text, &id) ? id : StringTable::kUnknown;
+    };
     FrameKey key;
     key.kind = frame.kind;
     switch (frame.kind) {
       case FrameKind::kPython:
-        key.file_id = table.intern(frame.file);
+        key.file_id = lookup(frame.file);
         key.aux = frame.line;
         break;
       case FrameKind::kOperator:
       case FrameKind::kKernel:
-        key.name_id = table.intern(frame.name);
+        key.name_id = lookup(frame.name);
         break;
       case FrameKind::kNative:
       case FrameKind::kGpuApi:

@@ -109,11 +109,16 @@ struct FrameKey {
      * Location-only key for child lookup: display-only strings (a
      * python frame's function, a native/GPU-API frame's symbolized
      * name) are left unresolved, skipping their interning cost on the
-     * hot path. Compares equal to the full key of any same-location
-     * frame; use from() when the key will be stored in a new node.
+     * hot path, and location names are *looked up*, never interned —
+     * a name @p table has never seen gets StringTable::kUnknown,
+     * which matches no stored key, so probing for a frame cannot grow
+     * the table. Compares equal to the full key of any same-location
+     * frame already in the table; use from() when the key will be
+     * stored in a new node.
      */
     static FrameKey locator(const Frame &frame,
-                            StringTable &table = StringTable::global());
+                            const StringTable &table =
+                                StringTable::global());
 
     /** Materialize a full Frame (report paths only). */
     Frame toFrame(const StringTable &table = StringTable::global()) const;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <unordered_map>
 
 #include "common/strings.h"
 
@@ -96,6 +99,88 @@ FlameGraph::topDown(const prof::ProfileDb &db,
     return root;
 }
 
+namespace {
+
+/**
+ * Build-time shadow of a FlameNode for bottomUp: stable heap nodes
+ * (FlameNode children vectors reallocate as siblings append, so an
+ * index into them would dangle) with a per-parent sibling index keyed
+ * by interned label id. Sibling matching used to be a linear label
+ * scan per visited node — quadratic on wide kernel sets (a merged
+ * fleet tree easily holds thousands of distinct kernels under one
+ * bottom-up root); the hash lookup makes it O(1).
+ */
+struct BottomUpNode {
+    std::uint32_t label = 0; ///< Builder-local interned label id.
+    double value = 0.0;
+    std::string color;
+    std::vector<std::unique_ptr<BottomUpNode>> children;
+    std::unordered_map<std::uint32_t, BottomUpNode *> index;
+
+    BottomUpNode *
+    childFor(std::uint32_t label_id)
+    {
+        auto [it, fresh] = index.emplace(label_id, nullptr);
+        if (fresh) {
+            auto child = std::make_unique<BottomUpNode>();
+            child->label = label_id;
+            it->second = child.get();
+            children.push_back(std::move(child));
+        }
+        return it->second;
+    }
+};
+
+/**
+ * Interns CCT-node labels to dense builder-local ids, memoized per
+ * node: matching by int id is exactly matching by label text (ids are
+ * handed out per distinct text), and each visited node renders its
+ * label string once no matter how many caller chains it appears in.
+ */
+class LabelInterner
+{
+  public:
+    std::uint32_t
+    idOf(const prof::CctNode &node)
+    {
+        auto [nit, fresh_node] = by_node_.emplace(&node, 0);
+        if (fresh_node) {
+            auto [it, fresh] = ids_.emplace(
+                node.label(), static_cast<std::uint32_t>(texts_.size()));
+            if (fresh)
+                texts_.push_back(it->first);
+            nit->second = it->second;
+        }
+        return nit->second;
+    }
+
+    const std::string &text(std::uint32_t id) const { return texts_[id]; }
+
+  private:
+    std::unordered_map<const prof::CctNode *, std::uint32_t> by_node_;
+    std::unordered_map<std::string, std::uint32_t> ids_;
+    std::vector<std::string> texts_;
+};
+
+/** Convert the shadow tree into the public FlameNode form. */
+FlameNode
+materializeBottomUp(const BottomUpNode &node, const LabelInterner &labels,
+                    const char *label_override)
+{
+    FlameNode out;
+    out.label = label_override != nullptr ? label_override
+                                          : labels.text(node.label);
+    out.value = node.value;
+    out.color = node.color;
+    out.children.reserve(node.children.size());
+    for (const auto &child : node.children)
+        out.children.push_back(
+            materializeBottomUp(*child, labels, nullptr));
+    return out;
+}
+
+} // namespace
+
 FlameNode
 FlameGraph::bottomUp(const prof::ProfileDb &db,
                      const FlameGraphOptions &options,
@@ -104,8 +189,8 @@ FlameGraph::bottomUp(const prof::ProfileDb &db,
     const int metric = db.metrics().find(options.metric);
     const auto colors = issueColors(issues);
 
-    FlameNode root;
-    root.label = "<root>";
+    LabelInterner labels;
+    BottomUpNode root;
 
     // Aggregate every kernel node by name; expand callers beneath.
     db.cct().visit([&](const prof::CctNode &node) {
@@ -118,28 +203,17 @@ FlameGraph::bottomUp(const prof::ProfileDb &db,
             return;
 
         // Find or create the first-level node for this kernel name.
-        const std::string kernel_label = node.label();
-        FlameNode *bucket = nullptr;
-        for (FlameNode &child : root.children) {
-            if (child.label == kernel_label) {
-                bucket = &child;
-                break;
-            }
-        }
-        if (bucket == nullptr) {
-            FlameNode fresh;
-            fresh.label = kernel_label;
+        BottomUpNode *bucket = root.childFor(labels.idOf(node));
+        if (bucket->value == 0.0) {
             auto color = colors.find(&node);
             if (color != colors.end())
-                fresh.color = color->second;
-            root.children.push_back(std::move(fresh));
-            bucket = &root.children.back();
+                bucket->color = color->second;
         }
         bucket->value += value;
         root.value += value;
 
         // Walk callers leaf->root, creating a chain under the bucket.
-        FlameNode *cursor = bucket;
+        BottomUpNode *cursor = bucket;
         for (const prof::CctNode *caller = node.parent();
              caller != nullptr && caller->parent() != nullptr;
              caller = caller->parent()) {
@@ -147,30 +221,18 @@ FlameGraph::bottomUp(const prof::ProfileDb &db,
                 caller->kind() == dlmon::FrameKind::kNative) {
                 continue;
             }
-            const std::string label = caller->label();
-            FlameNode *next = nullptr;
-            for (FlameNode &child : cursor->children) {
-                if (child.label == label) {
-                    next = &child;
-                    break;
-                }
-            }
-            if (next == nullptr) {
-                FlameNode fresh;
-                fresh.label = label;
-                cursor->children.push_back(std::move(fresh));
-                next = &cursor->children.back();
-            }
+            BottomUpNode *next = cursor->childFor(labels.idOf(*caller));
             next->value += value;
             cursor = next;
         }
     });
 
     std::sort(root.children.begin(), root.children.end(),
-              [](const FlameNode &a, const FlameNode &b) {
-                  return a.value > b.value;
+              [](const std::unique_ptr<BottomUpNode> &a,
+                 const std::unique_ptr<BottomUpNode> &b) {
+                  return a->value > b->value;
               });
-    return root;
+    return materializeBottomUp(root, labels, "<root>");
 }
 
 std::string

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <new>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -12,15 +14,110 @@ namespace dc::prof {
 namespace {
 
 /// Live bytes charged per node: the arena slot plus one sibling link's
-/// share of bookkeeping. Strings live once in the process-wide
-/// StringTable, not per node.
+/// share of bookkeeping. Strings live once in the tree's StringTable,
+/// not per node.
 constexpr std::uint64_t kNodeBytes = sizeof(CctNode);
 /// Bytes charged per metric entry in a node's inline vector.
 constexpr std::uint64_t kMetricBytes = sizeof(CctNode::MetricEntry);
 
+/**
+ * Arena chunk geometry. Chunks are allocated aligned to their own
+ * (power-of-two) size, so a node recovers its chunk — and through the
+ * header, the owning tree's string table — by masking its address:
+ * report paths resolve names per node without an 8-byte table pointer
+ * in every node.
+ */
+constexpr std::size_t kChunkBytes = 1 << 15;
+/// Node slots start here; padded so they stay cache-line aligned.
+constexpr std::size_t kChunkHeaderBytes = 64;
+constexpr std::size_t kChunkNodes =
+    (kChunkBytes - kChunkHeaderBytes) / sizeof(CctNode);
+
+struct ChunkHeader {
+    StringTable *names;
+};
+static_assert(sizeof(ChunkHeader) <= kChunkHeaderBytes);
+static_assert(kChunkHeaderBytes % alignof(CctNode) == 0);
+static_assert(kChunkNodes > 0);
+
+CctNode *
+chunkNodes(unsigned char *chunk)
+{
+    return std::launder(
+        reinterpret_cast<CctNode *>(chunk + kChunkHeaderBytes));
+}
+
 } // namespace
 
+/**
+ * Lazily-built src-table → dst-table id mapping for merging trees that
+ * intern through different StringTables (a handed-off profile rebound
+ * onto a store's corpus table, or partial merges across corpora). Each
+ * distinct source id pays one str() + intern() once; every further
+ * occurrence is a hash-map hit.
+ */
+class NameTranslator
+{
+  public:
+    NameTranslator(const StringTable &src, StringTable &dst)
+        : src_(src), dst_(dst)
+    {
+    }
+
+    dlmon::FrameKey
+    key(const dlmon::FrameKey &key)
+    {
+        dlmon::FrameKey out = key;
+        out.file_id = map(key.file_id);
+        out.name_id = map(key.name_id);
+        return out;
+    }
+
+  private:
+    StringTable::Id
+    map(StringTable::Id id)
+    {
+        if (id == StringTable::kEmpty)
+            return id;
+        auto [it, fresh] = cache_.emplace(id, StringTable::kEmpty);
+        if (fresh)
+            it->second = dst_.intern(src_.str(id));
+        return it->second;
+    }
+
+    const StringTable &src_;
+    StringTable &dst_;
+    std::unordered_map<StringTable::Id, StringTable::Id> cache_;
+};
+
 // ------------------------------------------------------------- CctNode
+
+StringTable &
+CctNode::names() const
+{
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(this) &
+        ~static_cast<std::uintptr_t>(kChunkBytes - 1);
+    return *reinterpret_cast<const ChunkHeader *>(base)->names;
+}
+
+dlmon::Frame
+CctNode::frame() const
+{
+    return key_.toFrame(names());
+}
+
+const std::string &
+CctNode::name() const
+{
+    return names().str(key_.name_id);
+}
+
+const std::string &
+CctNode::file() const
+{
+    return names().str(key_.file_id);
+}
 
 std::string
 CctNode::label() const
@@ -75,16 +172,16 @@ CctNode::findChild(const dlmon::FrameKey &key) const
 CctNode *
 CctNode::findChild(const dlmon::Frame &frame)
 {
-    // Pure lookup: the location-only key skips interning display
-    // strings into the process-global table.
-    return findChild(dlmon::FrameKey::locator(frame));
+    // Pure lookup: the location-only key resolves through the owning
+    // tree's table without interning anything into it.
+    return findChild(dlmon::FrameKey::locator(frame, names()));
 }
 
 const CctNode *
 CctNode::findChild(const dlmon::Frame &frame) const
 {
     return const_cast<CctNode *>(this)->findChild(
-        dlmon::FrameKey::locator(frame));
+        dlmon::FrameKey::locator(frame, names()));
 }
 
 void
@@ -181,10 +278,19 @@ CctNode::forEachChild(const std::function<void(const CctNode &)> &fn) const
 
 // ----------------------------------------------------------------- Cct
 
-Cct::Cct(HostMemoryTracker *tracker) : tracker_(tracker)
+Cct::Cct(HostMemoryTracker *tracker)
+    : Cct(StringTable::globalShared(), tracker)
+{
+}
+
+Cct::Cct(std::shared_ptr<StringTable> names, HostMemoryTracker *tracker)
+    : table_(names != nullptr ? std::move(names)
+                              : StringTable::globalShared()),
+      tracker_(tracker)
 {
     root_ = newNode(
-        dlmon::FrameKey::from(dlmon::Frame::op("<root>")), nullptr, 0);
+        dlmon::FrameKey::from(dlmon::Frame::op("<root>"), *table_),
+        nullptr, 0);
     charge(kNodeBytes);
 }
 
@@ -192,17 +298,22 @@ Cct::~Cct()
 {
     if (tracker_ != nullptr && memory_bytes_ > 0)
         tracker_->release("profiler.cct", memory_bytes_);
-    // Destroy arena-constructed nodes explicitly; every chunk before
-    // the last is full.
+    // Destroy arena-constructed nodes explicitly — releasing each
+    // node's name references so the table's reclamation sees exactly
+    // the live trees — then free the chunks. Every chunk before the
+    // last is full.
     for (std::size_t c = 0; c < arena_chunks_.size(); ++c) {
         const std::size_t used = c + 1 < arena_chunks_.size()
-                                     ? kArenaChunkNodes
+                                     ? kChunkNodes
                                      : arena_used_in_last_;
-        CctNode *nodes =
-            std::launder(reinterpret_cast<CctNode *>(
-                arena_chunks_[c].get()));
-        for (std::size_t i = 0; i < used; ++i)
+        CctNode *nodes = chunkNodes(arena_chunks_[c]);
+        for (std::size_t i = 0; i < used; ++i) {
+            table_->release(nodes[i].key_.file_id);
+            table_->release(nodes[i].key_.name_id);
             nodes[i].~CctNode();
+        }
+        ::operator delete(arena_chunks_[c],
+                          std::align_val_t{kChunkBytes});
     }
 }
 
@@ -217,14 +328,20 @@ Cct::charge(std::uint64_t bytes)
 CctNode *
 Cct::newNode(const dlmon::FrameKey &key, CctNode *parent, int depth)
 {
-    if (arena_used_in_last_ == kArenaChunkNodes) {
-        arena_chunks_.push_back(std::make_unique<unsigned char[]>(
-            kArenaChunkNodes * sizeof(CctNode)));
+    if (arena_chunks_.empty() || arena_used_in_last_ == kChunkNodes) {
+        unsigned char *chunk = static_cast<unsigned char *>(
+            ::operator new(kChunkBytes, std::align_val_t{kChunkBytes}));
+        new (chunk) ChunkHeader{table_.get()};
+        arena_chunks_.push_back(chunk);
         arena_used_in_last_ = 0;
     }
-    unsigned char *slot = arena_chunks_.back().get() +
-                          arena_used_in_last_ * sizeof(CctNode);
+    CctNode *slot =
+        chunkNodes(arena_chunks_.back()) + arena_used_in_last_;
     ++arena_used_in_last_;
+    // The node references these names until the tree dies; the matching
+    // releases are in ~Cct.
+    table_->retain(key.file_id);
+    table_->retain(key.name_id);
     return new (slot) CctNode(key, parent, depth);
 }
 
@@ -270,13 +387,13 @@ Cct::descend(CctNode *node, const dlmon::CallPath &path,
             }
             break;
         }
-        // Look up with a location-only key (no display-string
-        // interning); the full key is built only when a node is
-        // actually created.
-        CctNode *child =
-            node->findChild(dlmon::FrameKey::locator(path[i]));
+        // Look up with a location-only key (no interning); the full
+        // key is built only when a node is actually created.
+        CctNode *child = node->findChild(
+            dlmon::FrameKey::locator(path[i], *table_));
         if (child == nullptr) {
-            child = createChild(node, dlmon::FrameKey::from(path[i]));
+            child = createChild(
+                node, dlmon::FrameKey::from(path[i], *table_));
             ++created;
         }
         node = child;
@@ -332,11 +449,11 @@ Cct::attachChild(CctNode *parent, const dlmon::Frame &frame)
         return atDepthCap(parent);
     // One probe with the cheap location-only key; the full key (with
     // display strings interned) is built only for an actual creation.
-    CctNode *existing =
-        parent->findChild(dlmon::FrameKey::locator(frame));
+    CctNode *existing = parent->findChild(
+        dlmon::FrameKey::locator(frame, *table_));
     if (existing != nullptr)
         return existing;
-    return createChild(parent, dlmon::FrameKey::from(frame));
+    return createChild(parent, dlmon::FrameKey::from(frame, *table_));
 }
 
 CctNode *
@@ -385,26 +502,28 @@ Cct::copyMetrics(CctNode &dst, const CctNode &src,
 
 void
 Cct::cloneInto(CctNode *dst, const CctNode &src,
-               const std::vector<int> &remap)
+               const std::vector<int> &remap, NameTranslator *names)
 {
     copyMetrics(*dst, src, remap);
     for (const CctNode *child = src.first_child_; child != nullptr;
          child = child->next_sibling_) {
         if (dst->depth() >= kMaxDepth) {
             // Mirror attachChild's degradation: aggregate at the cap.
-            mergeNode(*atDepthCap(dst), *child, remap);
+            mergeNode(*atDepthCap(dst), *child, remap, names);
             continue;
         }
         // Every Cct keeps same-key children unified (insert, attach,
         // merge, and the parser all dedup), so under a just-created
         // node the copy needs no child probes.
-        cloneInto(createChild(dst, child->key_), *child, remap);
+        const dlmon::FrameKey key =
+            names != nullptr ? names->key(child->key_) : child->key_;
+        cloneInto(createChild(dst, key), *child, remap, names);
     }
 }
 
 void
 Cct::mergeNode(CctNode &dst, const CctNode &src,
-               const std::vector<int> &remap)
+               const std::vector<int> &remap, NameTranslator *names)
 {
     if (remap.empty()) {
         // Both metric vectors are sorted by id, so combine them with
@@ -443,7 +562,7 @@ Cct::mergeNode(CctNode &dst, const CctNode &src,
         // over-deep subtree at the cap.
         for (const CctNode *child = src.first_child_; child != nullptr;
              child = child->next_sibling_) {
-            mergeNode(*atDepthCap(&dst), *child, remap);
+            mergeNode(*atDepthCap(&dst), *child, remap, names);
         }
         return;
     }
@@ -451,26 +570,28 @@ Cct::mergeNode(CctNode &dst, const CctNode &src,
     // warehouse's common corpus) list children in the same order,
     // because merged children preserve source insertion order. Walk
     // the two sibling chains in lockstep and match by one POD key
-    // compare; only a divergence pays the hashed child probe.
+    // compare; only a divergence pays the hashed child probe. Keys of
+    // a foreign-table source are translated into this tree's table
+    // first, so cross-corpus merges still unify by id equality.
     CctNode *hint = dst.first_child_;
     for (const CctNode *child = src.first_child_; child != nullptr;
          child = child->next_sibling_) {
+        const dlmon::FrameKey key =
+            names != nullptr ? names->key(child->key_) : child->key_;
         CctNode *dst_child = nullptr;
-        if (hint != nullptr && hint->key_ == child->key_) {
+        if (hint != nullptr && hint->key_ == key) {
             dst_child = hint;
             hint = hint->next_sibling_;
         } else {
-            // Both trees intern through the process-wide table, so
-            // keys unify by direct POD equality — no string work.
             bool created = false;
-            dst_child = childOf(&dst, child->key_, &created);
+            dst_child = childOf(&dst, key, &created);
             hint = dst_child->next_sibling_;
             if (created) {
-                cloneInto(dst_child, *child, remap);
+                cloneInto(dst_child, *child, remap, names);
                 continue;
             }
         }
-        mergeNode(*dst_child, *child, remap);
+        mergeNode(*dst_child, *child, remap, names);
     }
 }
 
@@ -492,21 +613,28 @@ Cct::mergeFrom(const Cct &other, const std::vector<int> &metric_remap)
         }
     }
     static const std::vector<int> kNoRemap;
-    mergeNode(*root_, other.root(), identity ? kNoRemap : metric_remap);
+    // Same-table merges (every within-store merge) unify by direct id
+    // equality; a foreign-table source gets a per-merge translator.
+    NameTranslator translator(other.names(), *table_);
+    NameTranslator *names =
+        other.table_.get() == table_.get() ? nullptr : &translator;
+    mergeNode(*root_, other.root(), identity ? kNoRemap : metric_remap,
+              names);
     return node_count_ - before;
 }
 
 std::unique_ptr<Cct>
 Cct::clone() const
 {
-    auto copy = std::make_unique<Cct>();
+    auto copy = std::make_unique<Cct>(table_);
     // Roots share the same "<root>" key by construction; copy metrics
-    // and block-copy the children (no probes: the copy is empty).
+    // and block-copy the children (no probes: the copy is empty, and
+    // both trees share a table so keys transfer untranslated).
     copy->copyMetrics(*copy->root_, *root_, {});
     for (const CctNode *child = root_->first_child_; child != nullptr;
          child = child->next_sibling_) {
         copy->cloneInto(copy->createChild(copy->root_, child->key_),
-                        *child, {});
+                        *child, {}, nullptr);
     }
     return copy;
 }

@@ -14,12 +14,16 @@
  *
  * Hot-path layout (the paper's overhead claim depends on this):
  *
- *  - Nodes store a compact POD FrameKey (strings interned through the
- *    process-wide StringTable; resolved back to text only at report
- *    time), so child matching is integer compares.
- *  - Nodes are bump-allocated from a per-tree arena and linked into
- *    their parent's intrusive sibling chain — no per-child unique_ptr,
- *    no per-bucket heap vectors.
+ *  - Nodes store a compact POD FrameKey (strings interned through a
+ *    StringTable; resolved back to text only at report time), so child
+ *    matching is integer compares.
+ *  - Nodes are bump-allocated from a per-tree arena of chunk-size-
+ *    aligned chunks and linked into their parent's intrusive sibling
+ *    chain — no per-child unique_ptr, no per-bucket heap vectors. Each
+ *    chunk's header records the tree's string table, so any node can
+ *    recover the table that issued its ids with one pointer mask
+ *    (CctNode::names()) and report paths resolve names correctly no
+ *    matter which table the tree was built on, at zero bytes per node.
  *  - Small fan-out is matched by scanning the sibling chain; parents
  *    with many children (merged warehouse trees, instruction fan-out)
  *    get an open-addressed pointer table keyed by FrameKey::hash.
@@ -30,6 +34,14 @@
  *    is walked — the common case for consecutive events from the same
  *    operator context (DLMonitor's call-path cache supplies exactly
  *    that locality).
+ *
+ * Name ownership: a tree holds a shared reference to its StringTable
+ * (the process-wide global() by default; a store-owned table for
+ * warehouse trees) and retains every name id its nodes store, so the
+ * table's refcounted reclamation (StringTable::compact) can free a
+ * name's text exactly when no tree references it any more. Merging
+ * trees built on *different* tables translates source ids into the
+ * destination table transparently.
  */
 
 #include <functional>
@@ -45,6 +57,7 @@
 namespace dc::prof {
 
 class Cct;
+class NameTranslator;
 
 /** One calling-context-tree node. */
 class CctNode
@@ -53,11 +66,6 @@ class CctNode
     /** One (metric id, accumulator) entry; metrics() is sorted by id. */
     using MetricEntry = std::pair<int, RunningStat>;
 
-    CctNode(const dlmon::FrameKey &key, CctNode *parent, int depth)
-        : key_(key), parent_(parent), depth_(depth)
-    {
-    }
-
     /** The node's compact location key. */
     const dlmon::FrameKey &key() const { return key_; }
 
@@ -65,29 +73,29 @@ class CctNode
     dlmon::FrameKind kind() const { return key_.kind; }
 
     /**
-     * Materialized frame with strings resolved through the global
-     * StringTable — report/analysis paths only; returns by value.
+     * The string table this node's ids resolve through: the owning
+     * tree's table, recovered from the arena chunk header (every node
+     * is arena-allocated, so masking the node's address yields its
+     * chunk).
      */
-    dlmon::Frame frame() const
-    {
-        return key_.toFrame(StringTable::global());
-    }
+    StringTable &names() const;
 
     /**
-     * Display name resolved through the global table: operator/kernel
-     * /GPU-API name, symbolized native name, or a python frame's
-     * function. The reference is stable (table entries never move).
+     * Materialized frame with strings resolved through the owning
+     * tree's table — report/analysis paths only; returns by value.
      */
-    const std::string &name() const
-    {
-        return StringTable::global().str(key_.name_id);
-    }
+    dlmon::Frame frame() const;
+
+    /**
+     * Display name resolved through the owning tree's table: operator/
+     * kernel/GPU-API name, symbolized native name, or a python frame's
+     * function. The reference is stable while the tree lives (the tree
+     * retains its names).
+     */
+    const std::string &name() const;
 
     /** Python frame's file (empty for other kinds); stable ref. */
-    const std::string &file() const
-    {
-        return StringTable::global().str(key_.file_id);
-    }
+    const std::string &file() const;
 
     /** Python frame's line number (0 for other kinds). */
     int line() const
@@ -110,7 +118,7 @@ class CctNode
     CctNode *findChild(const dlmon::FrameKey &key);
     const CctNode *findChild(const dlmon::FrameKey &key) const;
 
-    /** Convenience overloads interning @p frame first. */
+    /** Convenience overloads resolving @p frame through names(). */
     CctNode *findChild(const dlmon::Frame &frame);
     const CctNode *findChild(const dlmon::Frame &frame) const;
 
@@ -145,6 +153,15 @@ class CctNode
 
   private:
     friend class Cct;
+
+    /// Arena-only: names() recovers the owning table by masking the
+    /// node's address down to its arena chunk, so a node constructed
+    /// anywhere else would resolve garbage — only Cct::newNode may
+    /// build nodes.
+    CctNode(const dlmon::FrameKey &key, CctNode *parent, int depth)
+        : key_(key), parent_(parent), depth_(depth)
+    {
+    }
 
     /// Sibling chains beyond this length get the open-addressed table.
     static constexpr std::uint32_t kLinearScanMax = 8;
@@ -201,10 +218,29 @@ class Cct
      *        Figure 6 memory-overhead comparison is structural.
      */
     explicit Cct(HostMemoryTracker *tracker = nullptr);
+
+    /**
+     * A tree interning through @p names instead of the global table —
+     * the warehouse's per-corpus form (null falls back to the global
+     * table). The tree retains each name its nodes reference and
+     * releases them on destruction, feeding the table's refcounted
+     * reclamation.
+     */
+    explicit Cct(std::shared_ptr<StringTable> names,
+                 HostMemoryTracker *tracker = nullptr);
     ~Cct();
 
     Cct(const Cct &) = delete;
     Cct &operator=(const Cct &) = delete;
+
+    /** The table this tree's FrameKey ids resolve through. */
+    StringTable &names() const { return *table_; }
+
+    /** names() as the shared handle (for trees derived from this one). */
+    const std::shared_ptr<StringTable> &namesShared() const
+    {
+        return table_;
+    }
 
     CctNode &root() { return *root_; }
     const CctNode &root() const { return *root_; }
@@ -240,7 +276,10 @@ class Cct
      */
     CctNode *attachChild(CctNode *parent, const dlmon::Frame &frame);
 
-    /** attachChild for an already-interned key (merge, v2 parser). */
+    /**
+     * attachChild for an already-interned key (merge, v2 parser). The
+     * key's ids must have been issued by this tree's table.
+     */
     CctNode *attachChild(CctNode *parent, const dlmon::FrameKey &key);
 
     /**
@@ -255,8 +294,9 @@ class Cct
 
     /**
      * Structurally merge @p other into this tree: frames matching
-     * Frame::sameLocation unify (by direct FrameKey equality — both
-     * trees intern through the process-wide StringTable), subtrees
+     * Frame::sameLocation unify (by direct FrameKey equality when both
+     * trees share a string table; when they do not, @p other's name
+     * ids are translated into this tree's table on the fly), subtrees
      * absent here are created, and per-node RunningStat accumulators
      * are combined (parallel Welford). Metric ids of @p other are
      * translated through @p metric_remap (index = other id) when
@@ -274,11 +314,12 @@ class Cct
 
     /**
      * Deep copy: identical structure, child insertion order, metric
-     * ids, and stats (node identity is per-tree; parent/cursor pointers
-     * do not transfer). The incremental corpus-view refresh clones the
-     * cached merged tree and merges only newly-ingested runs into the
-     * copy instead of re-merging the corpus. Not attached to a memory
-     * tracker; memoryBytes() is re-accounted on the copy.
+     * ids, stats, and string table (node identity is per-tree; parent/
+     * cursor pointers do not transfer). The incremental corpus-view
+     * refresh clones the cached merged tree and merges only
+     * newly-ingested runs into the copy instead of re-merging the
+     * corpus. Not attached to a memory tracker; memoryBytes() is
+     * re-accounted on the copy.
      */
     std::unique_ptr<Cct> clone() const;
 
@@ -288,8 +329,8 @@ class Cct
     /**
      * Estimated live bytes of the tree: arena nodes, child tables,
      * and metric entries. Name text is NOT included — names live once
-     * in the process-wide StringTable (see StringTable::textBytes()
-     * for that shared, append-only pool), not per tree.
+     * in the tree's StringTable (see StringTable::textBytes() for that
+     * shared pool), not per tree.
      */
     std::uint64_t memoryBytes() const { return memory_bytes_; }
 
@@ -305,14 +346,9 @@ class Cct
     void detachTracker();
 
   private:
-    /// Nodes per arena chunk; chunks are allocated on demand and nodes
-    /// never move, so parent/child/cursor pointers stay valid for the
-    /// tree's lifetime.
-    static constexpr std::size_t kArenaChunkNodes = 256;
-
     void charge(std::uint64_t bytes);
 
-    /** Arena-construct a node (no linking). */
+    /** Arena-construct a node (no linking); retains the key's names. */
     CctNode *newNode(const dlmon::FrameKey &key, CctNode *parent,
                      int depth);
 
@@ -330,23 +366,32 @@ class Cct
     void copyMetrics(CctNode &dst, const CctNode &src,
                      const std::vector<int> &remap);
 
-    /** Merge kernel: combine @p src (and its subtree) into @p dst. */
+    /**
+     * Merge kernel: combine @p src (and its subtree) into @p dst.
+     * @p names translates src name ids into this tree's table (null
+     * when both trees share a table — the hot case).
+     */
     void mergeNode(CctNode &dst, const CctNode &src,
-                   const std::vector<int> &remap);
+                   const std::vector<int> &remap, NameTranslator *names);
 
     /**
      * Block-copy @p src's children under @p dst, which was just
-     * created from src's key and has no children of its own.
+     * created from src's (translated) key and has no children of its
+     * own.
      */
     void cloneInto(CctNode *dst, const CctNode &src,
-                   const std::vector<int> &remap);
+                   const std::vector<int> &remap, NameTranslator *names);
 
     /** Insert path[begin..] below @p node (depth-capped). */
     CctNode *descend(CctNode *node, const dlmon::CallPath &path,
                      std::size_t begin, std::size_t *created_nodes);
 
-    std::vector<std::unique_ptr<unsigned char[]>> arena_chunks_;
-    std::size_t arena_used_in_last_ = kArenaChunkNodes;
+    std::shared_ptr<StringTable> table_;
+    /// Chunk-size-aligned arena chunks (ChunkHeader + node slots);
+    /// nodes never move, so parent/child/cursor pointers and the
+    /// address-mask table recovery stay valid for the tree's lifetime.
+    std::vector<unsigned char *> arena_chunks_;
+    std::size_t arena_used_in_last_ = 0;
     CctNode *root_ = nullptr;
     HostMemoryTracker *tracker_;
     std::size_t node_count_ = 1;

@@ -66,6 +66,20 @@ ProfileDb::ProfileDb(std::unique_ptr<Cct> cct, MetricRegistry metrics,
     DC_CHECK(cct_ != nullptr, "profile without a CCT");
 }
 
+void
+ProfileDb::rebindNames(const std::shared_ptr<StringTable> &names)
+{
+    DC_CHECK(names != nullptr, "rebind to a null string table");
+    if (&cct_->names() == names.get())
+        return;
+    // A structural merge into an empty tree on the target table is a
+    // one-pass translated block copy (Cct::mergeFrom's cross-table
+    // path); metric ids are registry-local, so they transfer as-is.
+    auto rebound = std::make_unique<Cct>(names);
+    rebound->mergeFrom(*cct_);
+    cct_ = std::move(rebound);
+}
+
 bool
 ProfileDb::validate(std::string *error) const
 {
@@ -158,8 +172,9 @@ ProfileDb::serialize() const
 
     // String-table section: each distinct name is written once per
     // profile (not once per node). Local ids are assigned in pre-order
-    // first-use order, so equal trees serialize byte-identically.
-    const StringTable &table = StringTable::global();
+    // first-use order, so equal trees serialize byte-identically —
+    // regardless of which table (global or per-corpus) issued the ids.
+    const StringTable &table = cct_->names();
     std::unordered_map<StringTable::Id, int> local_ids;
     std::vector<StringTable::Id> local_strings;
     auto localId = [&](StringTable::Id global_id) {
@@ -282,7 +297,8 @@ struct Parser {
 } // namespace
 
 std::unique_ptr<ProfileDb>
-ProfileDb::tryDeserialize(const std::string &text, std::string *error)
+ProfileDb::tryDeserialize(const std::string &text, std::string *error,
+                          std::shared_ptr<StringTable> names)
 {
     std::istringstream in(text);
     std::string line;
@@ -303,17 +319,17 @@ ProfileDb::tryDeserialize(const std::string &text, std::string *error)
     }
     v2 = line == kHeaderV2;
 
-    auto cct = std::make_unique<Cct>();
+    auto cct = std::make_unique<Cct>(std::move(names));
     MetricRegistry metrics;
     std::map<std::string, std::string> metadata;
     std::map<int, CctNode *> nodes;
     std::set<const CctNode *> materialized;
-    /// v2 string-table section, interned lazily: the process-global
-    /// StringTable is append-only, so eagerly interning an untrusted
-    /// file's whole section would let a malformed (and then rejected)
-    /// profile grow the table permanently. Only strings a node record
-    /// actually references are interned — the same exposure as the v1
-    /// path, which interns per materialized node.
+    /// v2 string-table section, interned lazily: interning an
+    /// untrusted file's whole section eagerly would let a malformed
+    /// (and then rejected) profile grow the destination table — which
+    /// a store can only undo with a later compaction. Only strings a
+    /// node record actually references are interned — the same
+    /// exposure as the v1 path, which interns per materialized node.
     std::vector<std::string> string_texts;
     std::vector<StringTable::Id> string_ids; // 0 = not yet interned
     auto resolveSid = [&](int sid) {
@@ -321,7 +337,7 @@ ProfileDb::tryDeserialize(const std::string &text, std::string *error)
             string_ids[static_cast<std::size_t>(sid)];
         if (id == 0 &&
             !string_texts[static_cast<std::size_t>(sid)].empty()) {
-            id = StringTable::global().intern(
+            id = cct->names().intern(
                 string_texts[static_cast<std::size_t>(sid)]);
         }
         return id;
@@ -465,7 +481,7 @@ ProfileDb::tryDeserialize(const std::string &text, std::string *error)
                 frame.pc = pc;
                 frame.name = decodeField(fields[8]);
                 frame.stall = stall;
-                key = dlmon::FrameKey::from(frame);
+                key = dlmon::FrameKey::from(frame, cct->names());
             }
 
             CctNode *node = nullptr;
@@ -600,7 +616,8 @@ ProfileDb::load(const std::string &path)
 }
 
 std::unique_ptr<ProfileDb>
-ProfileDb::tryLoad(const std::string &path, std::string *error)
+ProfileDb::tryLoad(const std::string &path, std::string *error,
+                   std::shared_ptr<StringTable> names)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in.good()) {
@@ -610,7 +627,7 @@ ProfileDb::tryLoad(const std::string &path, std::string *error)
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return tryDeserialize(buffer.str(), error);
+    return tryDeserialize(buffer.str(), error, std::move(names));
 }
 
 } // namespace dc::prof

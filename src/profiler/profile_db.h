@@ -34,6 +34,18 @@ class ProfileDb
 
     const Cct &cct() const { return *cct_; }
     Cct &cct() { return *cct_; }
+
+    /** The string table the profile's names resolve through. */
+    StringTable &names() const { return cct_->names(); }
+
+    /**
+     * Rebuild the CCT so its names intern through @p names (no-op when
+     * they already do). The warehouse rebinds handed-off profiles onto
+     * its per-corpus table at ingestion, so every stored tree shares
+     * one table and merges unify frames by direct id equality.
+     */
+    void rebindNames(const std::shared_ptr<StringTable> &names);
+
     const MetricRegistry &metrics() const { return metrics_; }
     const std::map<std::string, std::string> &metadata() const
     {
@@ -68,20 +80,25 @@ class ProfileDb
      * header, non-numeric fields, duplicate node ids, dangling parent
      * ids, truncated records) with a description in @p error. Warehouse
      * ingestion uses this so one corrupt file cannot take the service
-     * down.
+     * down. Names intern into @p names (null = the process-wide global
+     * table); the warehouse passes its per-corpus table so ingestion
+     * charges — and can later reclaim — exactly the text it caused.
      */
     static std::unique_ptr<ProfileDb>
-    tryDeserialize(const std::string &text, std::string *error = nullptr);
+    tryDeserialize(const std::string &text, std::string *error = nullptr,
+                   std::shared_ptr<StringTable> names = nullptr);
 
     /** Load from a file. Panics on a missing or malformed file. */
     static std::unique_ptr<ProfileDb> load(const std::string &path);
 
     /**
      * Load an untrusted file: returns nullptr (with a description in
-     * @p error) when the file is unreadable or malformed.
+     * @p error) when the file is unreadable or malformed. Names intern
+     * into @p names (null = the global table), as for tryDeserialize.
      */
     static std::unique_ptr<ProfileDb>
-    tryLoad(const std::string &path, std::string *error = nullptr);
+    tryLoad(const std::string &path, std::string *error = nullptr,
+            std::shared_ptr<StringTable> names = nullptr);
 
   private:
     std::unique_ptr<Cct> cct_;

@@ -43,7 +43,7 @@ intersectMetadata(const std::vector<const prof::ProfileDb *> &profiles)
 
 } // namespace
 
-CctMerger::CctMerger() : cct_(std::make_unique<prof::Cct>()) {}
+CctMerger::CctMerger() = default;
 
 void
 CctMerger::add(const prof::ProfileDb &profile, const std::string &run_id)
@@ -61,6 +61,8 @@ void
 CctMerger::addPrevalidated(const prof::ProfileDb &profile,
                            const std::string &run_id)
 {
+    if (cct_ == nullptr)
+        cct_ = std::make_unique<prof::Cct>(profile.cct().namesShared());
     const std::vector<int> remap = metrics_.mergeFrom(profile.metrics());
     cct_->mergeFrom(profile.cct(), remap);
 
@@ -85,6 +87,8 @@ CctMerger::finish()
 {
     for (const std::string &key : metadata_conflict_)
         metadata_.erase(key);
+    if (cct_ == nullptr) // nothing merged: an empty global-table tree
+        cct_ = std::make_unique<prof::Cct>();
     std::sort(run_ids_.begin(), run_ids_.end());
     metadata_["merged_runs"] = join(run_ids_, ",");
     auto db = std::make_unique<prof::ProfileDb>(
@@ -151,9 +155,13 @@ CctMerger::mergeAllPrevalidated(
         for (std::size_t c = 0; c < chunks; ++c) {
             pool.emplace_back([&, c] {
                 Partial &partial = partials[c];
-                partial.cct = std::make_unique<prof::Cct>();
                 const std::size_t begin = c * n / chunks;
                 const std::size_t end = (c + 1) * n / chunks;
+                // Adopt the chunk's first profile's table: within one
+                // store every profile shares it, so the whole
+                // reduction merges by direct id equality.
+                partial.cct = std::make_unique<prof::Cct>(
+                    profiles[begin]->cct().namesShared());
                 for (std::size_t i = begin; i < end; ++i) {
                     const std::vector<int> remap =
                         partial.metrics.mergeFrom(

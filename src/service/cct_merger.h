@@ -97,6 +97,12 @@ class CctMerger
         std::size_t grain = 4);
 
   private:
+    /// The accumulator tree, created on the first add() so it adopts
+    /// that profile's string table — within-store merges then unify
+    /// frames by direct id equality with no translation; a later
+    /// foreign-table profile goes through mergeFrom's translating
+    /// path. finish() on an empty merger falls back to the global
+    /// table.
     std::unique_ptr<prof::Cct> cct_;
     prof::MetricRegistry metrics_;
     std::map<std::string, std::string> metadata_;

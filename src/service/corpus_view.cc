@@ -120,6 +120,7 @@ CorpusView::acquire(const QueryFilter &filter,
     const bool can_refresh =
         entry->view != nullptr && !entry->view->run_ids.empty() &&
         entry->generation.erased == generation.erased &&
+        entry->generation.compacted == generation.compacted &&
         generation.ingested >= entry->generation.ingested;
     if (can_refresh) {
         auto fresh = store_.snapshotRange(entry->generation.ingested,
@@ -157,6 +158,9 @@ CorpusView::buildFull(const QueryFilter &filter,
                       const std::string &exclude_run,
                       const ProfileStore::Generation &generation) const
 {
+    // The merge interns (at least "<root>") into the store's table;
+    // hold the guard its compactNames() quiesces interning with.
+    const auto intern_guard = store_.internGuard();
     auto selected = store_.snapshotRange(0, generation.ingested);
     std::erase_if(selected, [&](const auto &run) {
         return run.first == exclude_run ||
@@ -194,6 +198,7 @@ CorpusView::buildIncremental(
     // Clone the materialized prefix, then fold only the new runs onto
     // it — the merge is associative/commutative, so this equals a
     // from-scratch merge of the whole selection (up to FP rounding).
+    const auto intern_guard = store_.internGuard();
     std::unique_ptr<prof::Cct> cct = base.db->cct().clone();
     prof::MetricRegistry metrics = base.db->metrics();
     std::map<std::string, std::string> metadata = base.db->metadata();

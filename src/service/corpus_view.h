@@ -52,6 +52,10 @@
 #include "service/profile_store.h"
 #include "service/query_filter.h"
 
+namespace dc::gui {
+struct FlameNode;
+} // namespace dc::gui
+
 namespace dc::service {
 
 /** Materialized-view cache over a ProfileStore. */
@@ -84,7 +88,11 @@ class CorpusView
         std::uint32_t last_run_mark = 0;
     };
 
-    /** One materialized selection; immutable once published. */
+    /**
+     * One materialized selection; immutable once published, except the
+     * internally-synchronized flame cache (filled lazily by the
+     * QueryEngine's flame-graph exports).
+     */
     struct View {
         /// Merged profile of the selection (CctMerger semantics:
         /// agreeing metadata kept, "merged_runs" sorted id list).
@@ -94,6 +102,16 @@ class CorpusView
         /// Per-(kernel name id, metric id) aggregates over the
         /// selection — metric ids are db->metrics() ids.
         FlatIdTable<KernelStat> kernels;
+        /// Rendered flame graphs keyed by a FlameGraphOptions
+        /// signature, built once per (view, options): repeated GUI
+        /// exports of an unchanged corpus skip the FlameNode rebuild.
+        /// Invalidation rides the view lifecycle — any generation or
+        /// compaction change replaces the whole view. Guarded by
+        /// flame_mutex.
+        mutable std::mutex flame_mutex;
+        mutable std::map<std::string,
+                         std::shared_ptr<const gui::FlameNode>>
+            flame_cache;
     };
 
     /** Cache behavior counters (testing and bench visibility). */

@@ -29,6 +29,8 @@ ProfileStore::ProfileStore(Options options)
     max_queue_ = options.max_queue;
     max_queue_bytes_ = options.max_queue_bytes;
     max_interned_bytes_ = options.max_interned_bytes;
+    table_ = options.names != nullptr ? std::move(options.names)
+                                      : std::make_shared<StringTable>();
     shards_.reserve(options.shards);
     for (std::size_t i = 0; i < options.shards; ++i)
         shards_.push_back(std::make_unique<Shard>());
@@ -167,6 +169,9 @@ void
 ProfileStore::process(Task &task)
 {
     std::shared_ptr<const prof::ProfileDb> profile;
+    std::uint64_t interned_delta = 0;
+    bool over_budget = false;
+    std::uint64_t table_bytes = 0;
     if (task.kind == Task::Kind::kProfile) {
         // Text/file ingestion gets these checks from tryDeserialize,
         // but ingest() accepts any caller-built ProfileDb — and an
@@ -176,51 +181,81 @@ ProfileStore::process(Task &task)
             recordFailure(task.run_id, std::move(error));
             return;
         }
+        {
+            // A handed-off profile was built on some other table
+            // (normally the global one); rebind it onto the store's
+            // table so every stored tree is id-compatible. The rebind
+            // interns into names() — metered and budgeted exactly like
+            // a parse, under the guard compactNames() quiesces.
+            auto guard = internGuard();
+            StringTable::GrowthMeter meter(*table_);
+            task.profile->rebindNames(table_);
+            interned_delta = meter.bytes();
+            table_bytes = table_->textBytes();
+            over_budget = interned_delta > 0 &&
+                          max_interned_bytes_ != 0 &&
+                          table_bytes > max_interned_bytes_;
+        }
         profile = std::move(task.profile);
     } else {
-        // Parsing interns every name into the process-wide, append-only
-        // StringTable; measure the growth it causes and charge it
-        // against the store's interned-name budget. (A handed-off
-        // ProfileDb interned its names when it was built, long before
-        // ingest — nothing left to measure on that path.)
-        const std::uint64_t interned_before =
-            StringTable::global().textBytes();
+        // Parsing interns every name into the store's table; the
+        // worker's meter counts exactly the entries this parse
+        // creates — inside the owning table, under its insert lock —
+        // so concurrent workers can never double-charge each other's
+        // growth (the pre-per-corpus implementation diffed global
+        // textBytes() around the parse and did exactly that).
         std::string error;
-        auto parsed =
-            task.kind == Task::Kind::kFile
-                ? prof::ProfileDb::tryLoad(task.payload, &error)
-                : prof::ProfileDb::tryDeserialize(task.payload, &error);
-        const std::uint64_t interned_delta =
-            StringTable::global().textBytes() - interned_before;
-        bool over_budget = false;
-        std::uint64_t interned_total = 0;
-        if (interned_delta > 0) {
-            std::lock_guard<std::mutex> lock(queue_mutex_);
-            stats_.interned_bytes += interned_delta;
-            interned_total = stats_.interned_bytes;
-            over_budget = max_interned_bytes_ != 0 &&
-                          stats_.interned_bytes > max_interned_bytes_;
+        std::unique_ptr<prof::ProfileDb> parsed;
+        {
+            auto guard = internGuard();
+            StringTable::GrowthMeter meter(*table_);
+            parsed = task.kind == Task::Kind::kFile
+                         ? prof::ProfileDb::tryLoad(task.payload,
+                                                    &error, table_)
+                         : prof::ProfileDb::tryDeserialize(
+                               task.payload, &error, table_);
+            interned_delta = meter.bytes();
+            // The budget decision is re-derived from the owning
+            // table's exact accounting: growth that lands the table
+            // exactly on the budget still fits (>, not >=), and text
+            // reclaimed by compactNames() frees budget for future
+            // profiles automatically.
+            table_bytes = table_->textBytes();
+            over_budget = interned_delta > 0 &&
+                          max_interned_bytes_ != 0 &&
+                          table_bytes > max_interned_bytes_;
         }
         // A parse failure is reported as such even when its partial
         // interning also saturated the budget — the parse error is
-        // what the operator needs to debug the producer.
+        // what the operator needs to debug the producer. (The partial
+        // growth is still charged below.)
         if (parsed == nullptr) {
+            if (interned_delta > 0) {
+                std::lock_guard<std::mutex> lock(queue_mutex_);
+                stats_.interned_bytes += interned_delta;
+            }
             recordFailure(task.run_id, std::move(error));
             return;
         }
-        if (over_budget) {
-            // The table already grew (append-only; it cannot be
-            // undone), so the budget gates acceptance: profiles that
-            // keep introducing new names are refused, while ones made
-            // of known names still ingest at zero growth.
-            recordFailure(task.run_id,
-                          "interned-name budget exceeded (" +
-                              std::to_string(interned_total) + " of " +
-                              std::to_string(max_interned_bytes_) +
-                              " bytes of new name text)");
-            return;
-        }
         profile = std::move(parsed);
+    }
+    if (interned_delta > 0) {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        stats_.interned_bytes += interned_delta;
+    }
+    if (over_budget) {
+        // The growth already happened (interning is get-or-create),
+        // so the budget gates acceptance: profiles that keep
+        // introducing new names are refused — their text becomes
+        // unreferenced once the rejected tree dies, and a later
+        // compactNames() reclaims it — while ones made of known names
+        // still ingest at zero growth.
+        recordFailure(task.run_id,
+                      "interned-name budget exceeded (" +
+                          std::to_string(table_bytes) + " of " +
+                          std::to_string(max_interned_bytes_) +
+                          " bytes of name text)");
+        return;
     }
 
     const std::uint64_t seq = beginPublish();
@@ -263,7 +298,37 @@ ProfileStore::Generation
 ProfileStore::generation() const
 {
     std::lock_guard<std::mutex> lock(gen_mutex_);
-    return Generation{floor_, erased_};
+    return Generation{floor_, erased_, compacted_};
+}
+
+std::uint64_t
+ProfileStore::compactNames()
+{
+    std::uint64_t reclaimed = 0;
+    {
+        // Exclude every interning path (parse workers, guarded view
+        // builds) while the table scrubs dead entries; readers of live
+        // names are unaffected.
+        std::unique_lock<std::shared_mutex> quiesce(table_mutex_);
+        reclaimed = table_->compact();
+    }
+    {
+        // Bump the compaction epoch unconditionally — including when
+        // nothing was reclaimed because cached corpus views still pin
+        // the text (their trees retain every name they resolve).
+        // Views are dropped lazily, at their next acquire(): the bump
+        // guarantees that acquire rebuilds (releasing the old tree's
+        // references), so the compact → query → compact sequence
+        // always converges instead of stalling on a view nobody
+        // re-queried. Callers wanting one-shot reclamation can drop
+        // the views first (CorpusView::invalidateAll).
+        std::lock_guard<std::mutex> lock(gen_mutex_);
+        ++compacted_;
+    }
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    ++stats_.compactions;
+    stats_.reclaimed_bytes += reclaimed;
+    return reclaimed;
 }
 
 void

@@ -27,11 +27,13 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/string_table.h"
 #include "profiler/profile_db.h"
 
 namespace dc::service {
@@ -43,13 +45,16 @@ struct StoreStats {
     std::uint64_t failed = 0;    ///< Rejected (parse error, bad file,
                                  ///< duplicate run id, interned-name
                                  ///< budget).
-    /// Process-wide StringTable text growth observed across this
-    /// store's parse ingestions (charged against
-    /// Options::max_interned_bytes). Attribution is approximate under
-    /// concurrency — growth caused by a neighboring worker's parse can
-    /// land on whichever task observed it — but the total tracks the
-    /// table's real growth while this store ingests.
+    /// Name-text growth of the store's own StringTable caused by this
+    /// store's ingestion (parses and handoff rebinds). Exact: each
+    /// worker meters the entries *it* creates inside the owning table
+    /// (StringTable::GrowthMeter), so concurrent parses can never
+    /// observe — and double-charge — each other's growth.
     std::uint64_t interned_bytes = 0;
+    /// Total name text reclaimed by compactNames().
+    std::uint64_t reclaimed_bytes = 0;
+    /// compactNames() calls (including no-op ones).
+    std::uint64_t compactions = 0;
 };
 
 /**
@@ -77,15 +82,23 @@ class ProfileStore
         /// (serialized text), since a task count alone would still let
         /// 1024 large texts sit in memory at once.
         std::uint64_t max_queue_bytes = 256ull << 20;
-        /// Budget on process-wide StringTable text growth attributed to
-        /// this store's parse ingestion (0 = unlimited). The global
-        /// table is append-only, so a fleet of runs with
-        /// high-cardinality generated kernel names (JIT- or
-        /// shape-specialized) grows it for the process lifetime; once
-        /// cumulative growth exceeds this budget, further
+        /// Budget on the store's name-table text (0 = unlimited). A
+        /// fleet of runs with high-cardinality generated kernel names
+        /// (JIT- or shape-specialized) grows the table without bound;
+        /// once names() holds more than this many bytes, further
         /// growth-causing profiles are rejected (recorded as failures)
         /// while profiles made of already-known names keep ingesting.
+        /// The decision reads the owning table's exact accounting, so
+        /// a profile whose growth lands the table exactly on the
+        /// budget still fits, and compactNames() frees budget back.
         std::uint64_t max_interned_bytes = 1ull << 30;
+        /// Name table the store's profiles intern into; null = the
+        /// store creates a private table (the normal case: exact
+        /// accounting and reclamation per corpus). Sharing one table
+        /// across stores makes their trees id-compatible, but then
+        /// compactNames() callers must quiesce every sharer's
+        /// ingestion themselves.
+        std::shared_ptr<StringTable> names;
     };
 
     /**
@@ -93,6 +106,9 @@ class ProfileStore
      * mark: every profile published with sequence <= ingested is
      * visible to snapshotRange(); later publications may still be in
      * flight. `erased` counts erase() calls that removed a run.
+     * `compacted` counts compactNames() passes that reclaimed text —
+     * cached views are invalidated across a compaction so stale views
+     * (whose trees pin reclaimable names) get dropped and rebuilt.
      * Readers (the corpus-view cache) compare digests to detect
      * "corpus unchanged since last query" without snapshotting, and
      * use `ingested` deltas to fetch only newly-published runs.
@@ -100,6 +116,7 @@ class ProfileStore
     struct Generation {
         std::uint64_t ingested = 0;
         std::uint64_t erased = 0;
+        std::uint64_t compacted = 0;
         bool operator==(const Generation &) const = default;
     };
 
@@ -132,6 +149,40 @@ class ProfileStore
 
     /** Remove a run. @return Whether it was present. */
     bool erase(const std::string &run_id);
+
+    /**
+     * The store's name table: every stored profile's tree interns
+     * through it, so their FrameKeys unify by direct id equality.
+     */
+    const std::shared_ptr<StringTable> &names() const { return table_; }
+
+    /**
+     * Shared guard every code path that interns into names() must hold
+     * (the parse workers and view builders do); compactNames()
+     * excludes holders while it reclaims. Reads (str of live ids,
+     * retain/release) need no guard.
+     */
+    std::shared_lock<std::shared_mutex> internGuard() const
+    {
+        return std::shared_lock<std::shared_mutex>(table_mutex_);
+    }
+
+    /**
+     * Reclaim name text no live tree references any more — the text of
+     * runs that were erased (and whose reader snapshots have been
+     * dropped), of rejected parses, and of evicted views. Quiesces the
+     * store's own interning (parse workers and guarded view builds)
+     * for the duration, bumps the generation's compaction epoch, and
+     * returns the bytes freed back to the interned-name budget.
+     *
+     * Cached corpus views pin the names their merged trees resolve, so
+     * text they cover is reclaimed only after they are dropped: either
+     * explicitly (CorpusView::invalidateAll) before compacting, or by
+     * re-acquiring after this call — the epoch bump forces that
+     * acquire to rebuild, so compact → query → compact always
+     * converges.
+     */
+    std::uint64_t compactNames();
 
     /** Sorted ids of all stored runs. */
     std::vector<std::string> runIds() const;
@@ -236,11 +287,17 @@ class ProfileStore
 
     std::vector<std::unique_ptr<Shard>> shards_;
 
+    /// The per-corpus name table (see Options::names).
+    std::shared_ptr<StringTable> table_;
+    /// Shared by interning paths, exclusive for compactNames().
+    mutable std::shared_mutex table_mutex_;
+
     // Corpus-version state (publication sequences, erase count).
     mutable std::mutex gen_mutex_;
     std::uint64_t last_seq_ = 0;  ///< Highest sequence handed out.
     std::uint64_t floor_ = 0;     ///< Low-water mark: all <= published.
     std::uint64_t erased_ = 0;    ///< Successful erase() count.
+    std::uint64_t compacted_ = 0; ///< Reclaiming compactNames() count.
     std::set<std::uint64_t> in_flight_;
 
     // Ingestion queue state.

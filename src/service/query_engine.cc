@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/strings.h"
 #include "service/cct_merger.h"
 
 namespace dc::service {
@@ -36,11 +37,13 @@ QueryEngine::topKernels(std::size_t k, const QueryFilter &filter,
         std::uint32_t runs;
         StringTable::Id name_id;
     };
-    const auto better = [](const Candidate &a, const Candidate &b) {
+    // Ids in the view's aggregate table were issued by the store's
+    // per-corpus name table; resolve ties and result names through it.
+    const StringTable &names = view->db->names();
+    const auto better = [&names](const Candidate &a, const Candidate &b) {
         if (a.total != b.total)
             return a.total > b.total;
-        return StringTable::global().str(a.name_id) <
-               StringTable::global().str(b.name_id);
+        return names.str(a.name_id) < names.str(b.name_id);
     };
 
     std::vector<Candidate> heap;
@@ -72,7 +75,7 @@ QueryEngine::topKernels(std::size_t k, const QueryFilter &filter,
     ranked.reserve(heap.size());
     for (const Candidate &candidate : heap) {
         KernelAggregate agg;
-        agg.name = StringTable::global().str(candidate.name_id);
+        agg.name = names.str(candidate.name_id);
         agg.total = candidate.total;
         agg.samples = candidate.samples;
         agg.runs = candidate.runs;
@@ -114,12 +117,38 @@ QueryEngine::diffAgainstCorpus(const std::string &run_id,
     return analysis::compareProfiles(*run, *corpus->db);
 }
 
-gui::FlameNode
+namespace {
+
+/// Cache key for a view's flame cache: every FlameGraphOptions field
+/// that affects the rendering.
+std::string
+flameSignature(const gui::FlameGraphOptions &options)
+{
+    return strformat("%s|%d|%d|%.17g", options.metric.c_str(),
+                     options.include_native ? 1 : 0,
+                     options.include_instructions ? 1 : 0,
+                     options.min_fraction);
+}
+
+} // namespace
+
+std::shared_ptr<const gui::FlameNode>
 QueryEngine::flameGraph(const QueryFilter &filter,
                         const gui::FlameGraphOptions &options) const
 {
-    const std::shared_ptr<const prof::ProfileDb> db = merged(filter);
-    return gui::FlameGraph::topDown(*db, options);
+    const std::shared_ptr<const CorpusView::View> view =
+        view_.acquire(filter);
+    const std::string key = flameSignature(options);
+    // Serialize builders per view: concurrent exporters of the same
+    // fresh view build once and share the node tree.
+    std::lock_guard<std::mutex> lock(view->flame_mutex);
+    auto it = view->flame_cache.find(key);
+    if (it != view->flame_cache.end())
+        return it->second;
+    auto flame = std::make_shared<gui::FlameNode>(
+        gui::FlameGraph::topDown(*view->db, options));
+    view->flame_cache.emplace(key, flame);
+    return flame;
 }
 
 std::string
@@ -127,7 +156,7 @@ QueryEngine::flameGraphHtml(const std::string &title,
                             const QueryFilter &filter,
                             const gui::FlameGraphOptions &options) const
 {
-    return gui::FlameGraph::toHtml(flameGraph(filter, options), title);
+    return gui::FlameGraph::toHtml(*flameGraph(filter, options), title);
 }
 
 } // namespace dc::service

@@ -114,8 +114,14 @@ class QueryEngine
     diffAgainstCorpus(const std::string &run_id,
                       const QueryFilter &filter = {}) const;
 
-    /** Flame graph of the merged selection. */
-    gui::FlameNode
+    /**
+     * Flame graph of the merged selection. Served from the view's
+     * flame cache: repeated exports of an unchanged corpus (same
+     * filter, same options) return the same shared rendering without
+     * rebuilding a FlameNode tree; any ingest/erase/compaction
+     * replaces the view and with it the cache.
+     */
+    std::shared_ptr<const gui::FlameNode>
     flameGraph(const QueryFilter &filter = {},
                const gui::FlameGraphOptions &options = {}) const;
 

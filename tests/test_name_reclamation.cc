@@ -1,0 +1,618 @@
+/**
+ * @file
+ * Tests for per-corpus string tables: refcounted reclamation
+ * (StringTable::retain/release/compact), exact interned-budget
+ * accounting under concurrent ingestion (the PR-3 misattribution
+ * regression), budget-boundary behavior, erase→compact→re-ingest
+ * budget recovery, query correctness across compaction, the
+ * view-attached flame-graph cache, and the hash-indexed bottom-up
+ * flame builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/string_table.h"
+#include "gui/flamegraph.h"
+#include "service/cct_merger.h"
+#include "service/profile_store.h"
+#include "service/query_engine.h"
+
+namespace dc::service {
+namespace {
+
+using dlmon::Frame;
+using prof::Cct;
+using prof::CctNode;
+using prof::MetricRegistry;
+using prof::ProfileDb;
+
+/**
+ * A synthetic profile whose kernel names carry @p tag, so batches of
+ * distinct tags exercise name growth and batches of one tag exercise
+ * dedup. Built on the global table (like any in-process profile) and
+ * usually shipped as serialized text.
+ */
+std::unique_ptr<ProfileDb>
+makeTaggedProfile(const std::string &tag, int kernels = 4,
+                  std::map<std::string, std::string> metadata = {})
+{
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    const int gpu = metrics.intern(prof::metric_names::kGpuTime);
+    Rng rng(7000 + static_cast<std::uint64_t>(tag.size()));
+    for (int i = 0; i < kernels; ++i) {
+        CctNode *leaf = cct->insert(
+            {Frame::python("train.py", "main", 10),
+             Frame::op("aten::op" + std::to_string(i % 2)),
+             Frame::kernel("kern_" + tag + "_" + std::to_string(i))});
+        cct->addMetric(leaf, gpu, rng.uniform(10.0, 1000.0));
+    }
+    return std::make_unique<ProfileDb>(std::move(cct),
+                                       std::move(metrics),
+                                       std::move(metadata));
+}
+
+// ------------------------------------------------------- StringTable
+
+TEST(StringTableReclaim, CompactFreesOnlyUnreferencedEntries)
+{
+    StringTable table;
+    const StringTable::Id held = table.intern("held_name");
+    const StringTable::Id loose = table.intern("loose_name_longer");
+    table.retain(held);
+    EXPECT_EQ(table.refCount(held), 1u);
+    EXPECT_EQ(table.refCount(loose), 0u);
+    const std::uint64_t before = table.textBytes();
+    EXPECT_EQ(before, std::string("held_name").size() +
+                          std::string("loose_name_longer").size());
+
+    // Only the unreferenced entry is reclaimed; the held one keeps its
+    // id, text, and (stable) reference.
+    const std::string &held_text = table.str(held);
+    EXPECT_EQ(table.compact(), std::string("loose_name_longer").size());
+    EXPECT_EQ(table.textBytes(), std::string("held_name").size());
+    EXPECT_EQ(table.liveSize(), 2u); // "" + held
+    EXPECT_EQ(&table.str(held), &held_text);
+    EXPECT_EQ(table.str(held), "held_name");
+    // The reclaimed text is no longer findable.
+    EXPECT_FALSE(table.find("loose_name_longer", nullptr));
+    // Releasing the held name makes it reclaimable on the next pass.
+    table.release(held);
+    EXPECT_EQ(table.compact(), std::string("held_name").size());
+    EXPECT_FALSE(table.find("held_name", nullptr));
+
+    // A compact with nothing unreferenced reports zero.
+    EXPECT_EQ(table.compact(), 0u);
+    (void)loose;
+}
+
+TEST(StringTableReclaim, IdsRecycleAfterQuiescedSlabRebuild)
+{
+    // Ids graduate to reusable only at a compact() whose dead volume
+    // trips the slab rebuild (a quarter of the 1024-slot slab) — the
+    // quiesced rebuild is what makes in-place Entry reuse race-free
+    // against lock-free probes. Below the threshold new interns mint
+    // fresh ids; past it, reclaimed ids come back.
+    StringTable table;
+    std::vector<StringTable::Id> ids;
+    for (int i = 0; i < 400; ++i)
+        ids.push_back(table.intern("bulk_name_" + std::to_string(i)));
+    EXPECT_GT(table.compact(), 0u); // 400 dead >= 1024/4: rebuild
+    EXPECT_EQ(table.liveSize(), 1u);
+    // The next interns reuse reclaimed ids instead of minting new
+    // ones, so the id space (and entry deque) stays bounded.
+    const std::size_t issued_before = table.size();
+    const StringTable::Id recycled = table.intern("recycled_name");
+    EXPECT_EQ(table.size(), issued_before);
+    EXPECT_LE(recycled, ids.back());
+    EXPECT_EQ(table.str(recycled), "recycled_name");
+    StringTable::Id found = 0;
+    EXPECT_TRUE(table.find("recycled_name", &found));
+    EXPECT_EQ(found, recycled);
+}
+
+TEST(StringTableReclaim, GrowthMeterChargesOnlyTheCreatingThread)
+{
+    StringTable table;
+    // Two threads intern an identical sequence of names concurrently:
+    // each name is created exactly once, by exactly one thread, so the
+    // meters' sum must equal the table's growth — never double it.
+    constexpr int kNames = 400;
+    std::uint64_t metered[2] = {0, 0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&table, &metered, t] {
+            StringTable::GrowthMeter meter(table);
+            for (int i = 0; i < kNames; ++i)
+                table.intern("shared_name_" + std::to_string(i));
+            metered[t] = meter.bytes();
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(metered[0] + metered[1], table.textBytes());
+
+    // A meter on table A ignores growth in table B.
+    StringTable other;
+    StringTable::GrowthMeter meter(table);
+    other.intern("elsewhere");
+    EXPECT_EQ(meter.bytes(), 0u);
+}
+
+TEST(StringTableReclaim, FrameLookupsDoNotGrowTheTable)
+{
+    auto table = std::make_shared<StringTable>();
+    Cct cct(table);
+    cct.insert({Frame::op("known_op"), Frame::kernel("known_kernel")});
+    const std::size_t size = table->size();
+    // Probing for frames the tree (and table) has never seen must not
+    // intern their names — lookups are now find()-based.
+    EXPECT_EQ(cct.root().findChild(Frame::op("never_seen_op")), nullptr);
+    EXPECT_EQ(cct.root().findChild(
+                  Frame::python("never_seen.py", "f", 1)),
+              nullptr);
+    EXPECT_EQ(table->size(), size);
+    // Known frames still resolve.
+    EXPECT_NE(cct.root().findChild(Frame::op("known_op")), nullptr);
+}
+
+TEST(StringTableReclaim, TreesRetainTheirNamesUntilDestroyed)
+{
+    auto table = std::make_shared<StringTable>();
+    {
+        Cct cct(table);
+        cct.insert({Frame::op("tree_op"), Frame::kernel("tree_kernel")});
+        StringTable::Id id = 0;
+        ASSERT_TRUE(table->find("tree_kernel", &id));
+        EXPECT_GT(table->refCount(id), 0u);
+        // Alive tree: nothing reclaimable.
+        EXPECT_EQ(table->compact(), 0u);
+        EXPECT_TRUE(table->find("tree_kernel", nullptr));
+    }
+    // Tree gone: every name it pinned reclaims (including "<root>").
+    EXPECT_GT(table->compact(), 0u);
+    EXPECT_FALSE(table->find("tree_kernel", nullptr));
+    EXPECT_EQ(table->textBytes(), 0u);
+}
+
+// ------------------------------------------------------ ProfileStore
+
+/** Regression (PR-3 bug): two workers overlapping on one table each
+ *  observed the other's textBytes() growth and double-counted it into
+ *  interned_bytes. With per-thread metering inside the owning table,
+ *  the stat must equal the table's growth exactly, under any
+ *  interleaving. */
+TEST(ProfileStore, InternedBytesExactUnderConcurrentIngestion)
+{
+    ProfileStore::Options options;
+    options.workers = 4;
+    ProfileStore store(options);
+    // Identical-name profiles from many frontend threads: every worker
+    // parses the same names concurrently, the historical worst case
+    // for before/after-delta attribution.
+    const std::string text = makeTaggedProfile("same")->serialize();
+    constexpr int kRuns = 48;
+    std::vector<std::thread> frontends;
+    for (int t = 0; t < 4; ++t) {
+        frontends.emplace_back([&store, &text, t] {
+            for (int i = t; i < kRuns; i += 4)
+                store.ingestText("run-" + std::to_string(i), text);
+        });
+    }
+    for (std::thread &frontend : frontends)
+        frontend.join();
+    store.waitIdle();
+    EXPECT_EQ(store.size(), static_cast<std::size_t>(kRuns));
+    EXPECT_EQ(store.stats().failed, 0u);
+    // The store's own (fresh) table grew only through these parses, so
+    // exact accounting means the two numbers agree to the byte.
+    EXPECT_EQ(store.stats().interned_bytes,
+              store.names()->textBytes());
+    EXPECT_GT(store.stats().interned_bytes, 0u);
+}
+
+TEST(ProfileStore, BudgetBoundaryAdmitsExactFit)
+{
+    const std::string text = makeTaggedProfile("boundary")->serialize();
+    // Probe the exact text-growth one parse of this profile causes on
+    // a fresh store table (includes the parser tree's "<root>").
+    std::uint64_t exact = 0;
+    {
+        ProfileStore probe;
+        probe.ingestText("probe", text);
+        probe.waitIdle();
+        ASSERT_EQ(probe.stats().failed, 0u);
+        exact = probe.names()->textBytes();
+        EXPECT_EQ(probe.stats().interned_bytes, exact);
+    }
+    ASSERT_GT(exact, 1u);
+
+    // A budget the profile lands on *exactly* admits it — the decision
+    // is ">" against the owning table's accounting, so boundary fits
+    // are not rejected (they were under the misattributing delta sum).
+    ProfileStore::Options fits;
+    fits.workers = 1;
+    fits.max_interned_bytes = exact;
+    ProfileStore fit_store(fits);
+    fit_store.ingestText("fits", text);
+    fit_store.waitIdle();
+    EXPECT_EQ(fit_store.size(), 1u);
+    EXPECT_EQ(fit_store.stats().failed, 0u);
+
+    // One byte less and the same profile is over budget.
+    ProfileStore::Options tight;
+    tight.workers = 1;
+    tight.max_interned_bytes = exact - 1;
+    ProfileStore tight_store(tight);
+    tight_store.ingestText("tight", text);
+    tight_store.waitIdle();
+    EXPECT_EQ(tight_store.size(), 0u);
+    EXPECT_EQ(tight_store.stats().failed, 1u);
+    ASSERT_EQ(tight_store.failures().size(), 1u);
+    EXPECT_NE(tight_store.failures()[0].second.find(
+                  "interned-name budget"),
+              std::string::npos);
+}
+
+/** Acceptance: a store saturated to its interned budget, erased and
+ *  compacted, ingests a fresh equal-size batch without rejection. */
+TEST(ProfileStore, EraseCompactReingestRecoversBudget)
+{
+    constexpr int kBatch = 6;
+    const auto batchTexts = [](const std::string &batch_tag) {
+        std::vector<std::string> texts;
+        for (int i = 0; i < kBatch; ++i) {
+            texts.push_back(
+                makeTaggedProfile(batch_tag + std::to_string(i), 6)
+                    ->serialize());
+        }
+        return texts;
+    };
+    const std::vector<std::string> first = batchTexts("alpha");
+    const std::vector<std::string> second = batchTexts("omega");
+
+    // Size the budget to hold exactly one batch.
+    std::uint64_t batch_bytes = 0;
+    {
+        ProfileStore probe;
+        for (int i = 0; i < kBatch; ++i)
+            probe.ingestText("p-" + std::to_string(i),
+                             first[static_cast<std::size_t>(i)]);
+        probe.waitIdle();
+        ASSERT_EQ(probe.stats().failed, 0u);
+        batch_bytes = probe.names()->textBytes();
+    }
+
+    ProfileStore::Options options;
+    options.workers = 2;
+    options.max_interned_bytes = batch_bytes;
+    ProfileStore store(options);
+    for (int i = 0; i < kBatch; ++i)
+        store.ingestText("first-" + std::to_string(i),
+                         first[static_cast<std::size_t>(i)]);
+    store.waitIdle();
+    EXPECT_EQ(store.size(), static_cast<std::size_t>(kBatch));
+    EXPECT_EQ(store.stats().failed, 0u);
+
+    // Saturated: a batch of brand-new names is rejected...
+    store.ingestText("over", second[0]);
+    store.waitIdle();
+    EXPECT_EQ(store.stats().failed, 1u);
+
+    // ...until the old runs are erased and their text compacted away.
+    for (const std::string &run_id : store.runIds())
+        EXPECT_TRUE(store.erase(run_id));
+    const std::uint64_t reclaimed = store.compactNames();
+    EXPECT_GT(reclaimed, 0u);
+    EXPECT_EQ(store.stats().reclaimed_bytes, reclaimed);
+    EXPECT_EQ(store.names()->textBytes(), 0u);
+    EXPECT_GT(store.generation().compacted, 0u);
+
+    for (int i = 0; i < kBatch; ++i)
+        store.ingestText("second-" + std::to_string(i),
+                         second[static_cast<std::size_t>(i)]);
+    store.waitIdle();
+    EXPECT_EQ(store.size(), static_cast<std::size_t>(kBatch));
+    EXPECT_EQ(store.stats().failed, 1u); // only the pre-compact reject
+    EXPECT_LE(store.names()->textBytes(), batch_bytes);
+
+    // Control: without erase+compact the second batch cannot fit.
+    ProfileStore control(options);
+    for (int i = 0; i < kBatch; ++i)
+        control.ingestText("first-" + std::to_string(i),
+                           first[static_cast<std::size_t>(i)]);
+    control.waitIdle();
+    for (int i = 0; i < kBatch; ++i)
+        control.ingestText("second-" + std::to_string(i),
+                           second[static_cast<std::size_t>(i)]);
+    control.waitIdle();
+    EXPECT_GT(control.stats().failed, 0u);
+}
+
+TEST(ProfileStore, SharedNamesSurviveCompactionWhileReferenced)
+{
+    ProfileStore store;
+    // Two runs share kernel names (same tag); a third brings unique
+    // ones.
+    store.ingestText("shared-a", makeTaggedProfile("dup")->serialize());
+    store.ingestText("shared-b", makeTaggedProfile("dup")->serialize());
+    store.ingestText("unique", makeTaggedProfile("solo")->serialize());
+    store.waitIdle();
+    ASSERT_EQ(store.size(), 3u);
+
+    StringTable::Id shared_id = 0;
+    ASSERT_TRUE(store.names()->find("kern_dup_0", &shared_id));
+    ASSERT_TRUE(store.names()->find("kern_solo_0", nullptr));
+
+    // Erase one sharer and the unique run; compact. The shared name
+    // must survive (its other run still references it), the unique
+    // ones must go.
+    EXPECT_TRUE(store.erase("shared-a"));
+    EXPECT_TRUE(store.erase("unique"));
+    EXPECT_GT(store.compactNames(), 0u);
+    EXPECT_TRUE(store.names()->find("kern_dup_0", nullptr));
+    EXPECT_FALSE(store.names()->find("kern_solo_0", nullptr));
+    EXPECT_EQ(store.names()->str(shared_id), "kern_dup_0");
+
+    // The surviving run still answers queries with correct names.
+    QueryEngine engine(store);
+    const auto top = engine.topKernels(100);
+    ASSERT_FALSE(top.empty());
+    for (const KernelAggregate &agg : top)
+        EXPECT_EQ(agg.name.rfind("kern_dup_", 0), 0u) << agg.name;
+}
+
+TEST(ProfileStore, HandoffProfilesRebindOntoTheStoreTable)
+{
+    ProfileStore store;
+    // In-process handoff: built on the global table, rebound onto the
+    // store's private table at ingestion (and charged to the budget).
+    store.ingest("inproc", makeTaggedProfile("handoff"));
+    store.waitIdle();
+    ASSERT_EQ(store.size(), 1u);
+    EXPECT_GT(store.stats().interned_bytes, 0u);
+    EXPECT_EQ(store.stats().interned_bytes, store.names()->textBytes());
+
+    const auto profile = store.get("inproc");
+    ASSERT_NE(profile, nullptr);
+    EXPECT_EQ(&profile->names(), store.names().get());
+    // Names resolve to the same text through the store table.
+    bool found_kernel = false;
+    profile->cct().visit([&](const CctNode &node) {
+        if (node.kind() == dlmon::FrameKind::kKernel &&
+            node.name() == "kern_handoff_0") {
+            found_kernel = true;
+        }
+    });
+    EXPECT_TRUE(found_kernel);
+    // And the store's table can find them (they were interned there).
+    EXPECT_TRUE(store.names()->find("kern_handoff_0", nullptr));
+}
+
+// ------------------------------------------- views across compaction
+
+TEST(CorpusView, LiveViewsStayCorrectAcrossCompaction)
+{
+    ProfileStore store;
+    store.ingestText("a", makeTaggedProfile("viewa")->serialize());
+    store.ingestText("b", makeTaggedProfile("viewb")->serialize());
+    store.waitIdle();
+
+    QueryEngine engine(store);
+    auto merged_before = engine.merged();
+    const auto flame_before = engine.flameGraph();
+    const auto top_before = engine.topKernels(100);
+    ASSERT_FALSE(top_before.empty());
+
+    // Erase a run and compact while the old view is still held. The
+    // merged tree retains every name it resolves, so nothing the held
+    // view can reach was reclaimed.
+    EXPECT_TRUE(store.erase("a"));
+    (void)store.compactNames();
+    std::size_t visited = 0;
+    merged_before->cct().visit([&](const CctNode &node) {
+        ++visited;
+        if (node.kind() == dlmon::FrameKind::kKernel) {
+            EXPECT_EQ(node.name().rfind("kern_view", 0), 0u)
+                << node.name();
+        }
+    });
+    EXPECT_GT(visited, 1u);
+    EXPECT_GT(flame_before->value, 0.0);
+
+    // Fresh queries see the compaction epoch, rebuild, and match a
+    // from-scratch merge of the surviving corpus.
+    const auto merged_after = engine.merged();
+    EXPECT_NE(merged_after.get(), merged_before.get());
+    const auto snapshot = store.snapshot();
+    std::vector<const ProfileDb *> profiles;
+    std::vector<std::string> run_ids;
+    for (const auto &[run_id, profile] : snapshot) {
+        profiles.push_back(profile.get());
+        run_ids.push_back(run_id);
+    }
+    const auto scratch = CctMerger::mergeAll(profiles, run_ids);
+    EXPECT_EQ(merged_after->cct().nodeCount(),
+              scratch->cct().nodeCount());
+    for (const KernelAggregate &agg : engine.topKernels(100))
+        EXPECT_EQ(agg.name.rfind("kern_viewb_", 0), 0u) << agg.name;
+
+    // Dropping the old view's tree and compacting again reclaims the
+    // erased run's (now fully unreferenced) unique names. flame_before
+    // pins nothing table-related — FlameNodes copy their label text.
+    merged_before.reset();
+    EXPECT_GT(store.compactNames(), 0u);
+    EXPECT_FALSE(store.names()->find("kern_viewa_0", nullptr));
+    EXPECT_TRUE(store.names()->find("kern_viewb_0", nullptr));
+}
+
+TEST(QueryEngine, FlameGraphCacheMatchesFreshConversionAndInvalidates)
+{
+    ProfileStore store;
+    store.ingestText("r0", makeTaggedProfile("flame0")->serialize());
+    store.ingestText("r1", makeTaggedProfile("flame1")->serialize());
+    store.waitIdle();
+
+    QueryEngine engine(store);
+    const auto cached = engine.flameGraph();
+    // Same view + same options → literally the same rendering.
+    EXPECT_EQ(engine.flameGraph().get(), cached.get());
+    // Distinct options render (and cache) separately.
+    gui::FlameGraphOptions no_native;
+    no_native.include_native = false;
+    EXPECT_NE(engine.flameGraph({}, no_native).get(), cached.get());
+    EXPECT_EQ(engine.flameGraph({}, no_native).get(),
+              engine.flameGraph({}, no_native).get());
+
+    // Equivalence with a fresh conversion of the same merged tree.
+    const auto fresh =
+        gui::FlameGraph::topDown(*engine.merged(), {});
+    std::function<void(const gui::FlameNode &, const gui::FlameNode &)>
+        expectSame = [&](const gui::FlameNode &a,
+                         const gui::FlameNode &b) {
+            EXPECT_EQ(a.label, b.label);
+            EXPECT_DOUBLE_EQ(a.value, b.value);
+            ASSERT_EQ(a.children.size(), b.children.size());
+            for (std::size_t i = 0; i < a.children.size(); ++i)
+                expectSame(a.children[i], b.children[i]);
+        };
+    expectSame(*cached, fresh);
+
+    // New data invalidates: the next export is a new rendering that
+    // includes the new run.
+    store.ingestText("r2", makeTaggedProfile("flame2")->serialize());
+    store.waitIdle();
+    const auto refreshed = engine.flameGraph();
+    EXPECT_NE(refreshed.get(), cached.get());
+    EXPECT_GT(refreshed->value, cached->value);
+}
+
+// ------------------------------------------------- bottom-up builder
+
+TEST(FlameGraph, BottomUpWideFanoutIsFastAndCorrect)
+{
+    // A merged-fleet-shaped tree: thousands of distinct kernels under
+    // a handful of operator contexts. The old builder's linear label
+    // scan per visited kernel made this quadratic in the kernel count.
+    constexpr int kKernels = 8000;
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    const int gpu = metrics.intern(prof::metric_names::kGpuTime);
+    double total = 0.0;
+    for (int i = 0; i < kKernels; ++i) {
+        CctNode *leaf = cct->insert(
+            {Frame::python("train.py", "main", 10),
+             Frame::op("aten::op" + std::to_string(i % 4)),
+             Frame::kernel("wide_kernel_" + std::to_string(i))});
+        const double value = 1.0 + i % 7;
+        cct->addMetric(leaf, gpu, value);
+        total += value;
+    }
+    // One kernel recurs under a second context: its bucket aggregates.
+    CctNode *dup = cct->insert({Frame::python("train.py", "main", 10),
+                                Frame::op("aten::other"),
+                                Frame::kernel("wide_kernel_0")});
+    cct->addMetric(dup, gpu, 5.0);
+    total += 5.0;
+    ProfileDb db(std::move(cct), std::move(metrics), {});
+
+    const auto start = std::chrono::steady_clock::now();
+    const gui::FlameNode flame = gui::FlameGraph::bottomUp(db, {});
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    EXPECT_EQ(flame.children.size(),
+              static_cast<std::size_t>(kKernels)); // one bucket per name
+    EXPECT_NEAR(flame.value, total, 1e-6);
+    // Buckets are sorted by value, and the duplicated kernel
+    // aggregated across its two contexts.
+    for (std::size_t i = 1; i < flame.children.size(); ++i)
+        EXPECT_GE(flame.children[i - 1].value, flame.children[i].value);
+    double dup_total = 0.0;
+    std::size_t dup_callers = 0;
+    for (const gui::FlameNode &bucket : flame.children) {
+        if (bucket.label == "wide_kernel_0") {
+            dup_total = bucket.value;
+            dup_callers = bucket.children.size();
+        }
+    }
+    EXPECT_DOUBLE_EQ(dup_total, 1.0 + 5.0);
+    EXPECT_EQ(dup_callers, 2u); // two distinct operator callers
+    // Loose wall bound: the quadratic label scan took multiple seconds
+    // here even in release builds; the indexed builder is millisecond
+    // scale. Generous headroom for sanitizer/debug runs.
+    EXPECT_LT(seconds, 10.0);
+}
+
+// --------------------------------------------------- stress (TSan)
+
+/** Acceptance: ingestion, queries, erases, and compaction racing each
+ *  other are ASan/TSan clean and converge. */
+TEST(ProfileStore, ConcurrentIngestQueryCompactIsRaceFree)
+{
+    ProfileStore::Options options;
+    options.workers = 2;
+    options.shards = 4;
+    ProfileStore store(options);
+    for (int i = 0; i < 4; ++i) {
+        store.ingestText("seed-" + std::to_string(i),
+                         makeTaggedProfile("seed")->serialize());
+    }
+    store.waitIdle();
+
+    QueryEngine engine(store);
+    std::atomic<bool> stop{false};
+    std::thread churner([&] {
+        for (int i = 0; i < 20; ++i) {
+            store.ingestText(
+                "live-" + std::to_string(i),
+                makeTaggedProfile(i % 2 ? "seed"
+                                        : "uniq" + std::to_string(i))
+                    ->serialize());
+            if (i % 5 == 4) {
+                store.waitIdle();
+                store.erase("live-" + std::to_string(i - 2));
+                store.compactNames();
+            }
+        }
+        store.waitIdle();
+        store.compactNames();
+        stop.store(true);
+    });
+
+    std::vector<std::thread> queriers;
+    for (int t = 0; t < 2; ++t) {
+        queriers.emplace_back([&] {
+            while (!stop.load()) {
+                const auto top = engine.topKernels(5);
+                if (!top.empty()) {
+                    EXPECT_GT(top.front().total, 0.0);
+                }
+                const auto merged = engine.merged();
+                EXPECT_NE(merged, nullptr);
+                const auto flame = engine.flameGraph();
+                EXPECT_NE(flame, nullptr);
+            }
+        });
+    }
+    churner.join();
+    for (std::thread &querier : queriers)
+        querier.join();
+
+    // Quiesced: accounting is still exact and queries still answer.
+    EXPECT_EQ(store.stats().interned_bytes -
+                  store.stats().reclaimed_bytes,
+              store.names()->textBytes());
+    EXPECT_FALSE(engine.topKernels(3).empty());
+}
+
+} // namespace
+} // namespace dc::service

@@ -678,12 +678,16 @@ TEST(QueryEngine, FlameGraphExportOfQueryResult)
     store.waitIdle();
 
     QueryEngine engine(store);
-    const gui::FlameNode flame = engine.flameGraph();
-    EXPECT_GT(flame.value, 0.0);
-    EXPECT_FALSE(flame.children.empty());
+    const std::shared_ptr<const gui::FlameNode> flame =
+        engine.flameGraph();
+    EXPECT_GT(flame->value, 0.0);
+    EXPECT_FALSE(flame->children.empty());
     auto merged = engine.merged();
-    EXPECT_NEAR(flame.value,
+    EXPECT_NEAR(flame->value,
                 rootSum(*merged, prof::metric_names::kGpuTime), 1e-6);
+    // Repeated exports of the unchanged corpus share one rendering
+    // (the view-attached flame cache).
+    EXPECT_EQ(engine.flameGraph().get(), flame.get());
 
     const std::string html =
         engine.flameGraphHtml("fleet view");
