@@ -17,7 +17,10 @@
  *    (std::function-recursive, re-implemented here against the public
  *    CCT API) vs. the current serial fold vs. the parallel tree
  *    reduction,
- *  - query latency while ingestion runs concurrently (64-run scale).
+ *  - query latency while ingestion runs concurrently (64-run scale),
+ *  - durability: run-log append latency, durable-vs-in-memory ingest
+ *    throughput, cold-start recovery throughput, and post-recovery
+ *    query equivalence through a torn final record.
  *
  * Wall-clock here is real host time (std::chrono), not simulator time:
  * the warehouse is host-side infrastructure, so its cost is measured
@@ -33,19 +36,25 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench_util.h"
+#include "common/fs.h"
 #include "common/stats.h"
 #include "common/strings.h"
 #include "service/cct_merger.h"
 #include "service/profile_store.h"
 #include "service/query_engine.h"
+#include "service/warehouse_log.h"
 #include "workloads/runner.h"
 
 using namespace dc;
@@ -318,6 +327,140 @@ benchCompactionLifecycle(
                        saturated && recovered ? 1.0 : 0.0);
 }
 
+/** Delete every file in @p dir, then the directory itself. */
+void
+removeTree(const std::string &dir)
+{
+    std::vector<std::string> entries;
+    if (listDir(dir, &entries)) {
+        for (const std::string &entry : entries)
+            removeFile(dir + "/" + entry);
+    }
+    ::rmdir(dir.c_str());
+}
+
+/**
+ * Cold-start durability scenarios: what the run log costs during
+ * ingestion (per-record append latency, end-to-end durable ingest
+ * throughput) and what a restart buys (recovery throughput, plus a
+ * gate-visible flag that a recovered corpus — behind a torn final
+ * record — answers queries identically to the pre-restart store).
+ */
+void
+benchDurability(const std::vector<std::string> &pool,
+                std::vector<std::pair<std::string, double>> *json)
+{
+    constexpr int kRuns = 32;
+    const std::string dir =
+        strformat("/tmp/dc_bench_warehouse_log_%d", ::getpid());
+    const std::string append_dir = dir + "-append";
+    removeTree(dir);
+    removeTree(append_dir);
+
+    // In-memory ingest baseline at the same scale.
+    double memory_s = 0.0;
+    {
+        ProfileStore store;
+        const Clock::time_point start = Clock::now();
+        for (int i = 0; i < kRuns; ++i) {
+            store.ingestText(
+                "run-" + std::to_string(i),
+                pool[static_cast<std::size_t>(i) % pool.size()]);
+        }
+        store.waitIdle();
+        memory_s = secondsSince(start);
+    }
+
+    // Durable ingest: every accepted run is fsync-appended to the log.
+    ProfileStore::Options durable;
+    durable.data_dir = dir;
+    std::vector<KernelAggregate> pre_top;
+    double durable_s = 0.0;
+    {
+        ProfileStore store(durable);
+        const Clock::time_point start = Clock::now();
+        for (int i = 0; i < kRuns; ++i) {
+            store.ingestText(
+                "run-" + std::to_string(i),
+                pool[static_cast<std::size_t>(i) % pool.size()]);
+        }
+        store.waitIdle();
+        durable_s = secondsSince(start);
+        QueryEngine engine(store);
+        pre_top = engine.topKernels(10);
+    }
+
+    // Per-record append cost, measured on the log alone.
+    double append_us = 0.0;
+    {
+        WarehouseLog log;
+        if (!log.open({.dir = append_dir}) ||
+            !log.replay([](WarehouseLog::Record) {})) {
+            std::printf("durability bench: cannot open %s\n",
+                        append_dir.c_str());
+            return;
+        }
+        int i = 0;
+        append_us = medianLatencyUs(40, [&] {
+            log.appendRun(
+                "append-" + std::to_string(i),
+                pool[static_cast<std::size_t>(i) % pool.size()]);
+            ++i;
+        });
+    }
+
+    // Simulate a crash mid-append, then restart on the data directory.
+    {
+        std::vector<std::string> entries;
+        listDir(dir, &entries);
+        std::string last_segment;
+        for (const std::string &entry : entries) {
+            if (startsWith(entry, "segment-"))
+                last_segment = dir + "/" + entry;
+        }
+        std::ofstream out(last_segment,
+                          std::ios::binary | std::ios::app);
+        out << "rec\trun\t6\t999999\t0000000000000000\ntorn-h";
+    }
+    const Clock::time_point recover_start = Clock::now();
+    ProfileStore recovered(durable);
+    const double recover_s = secondsSince(recover_start);
+    const ProfileStore::RecoveryStats recovery = recovered.recovery();
+    QueryEngine engine(recovered);
+    const auto post_top = engine.topKernels(10);
+    bool equivalent =
+        recovery.runs == static_cast<std::uint64_t>(kRuns) &&
+        recovery.torn_tail && post_top.size() == pre_top.size();
+    for (std::size_t i = 0; equivalent && i < post_top.size(); ++i) {
+        equivalent = post_top[i].name == pre_top[i].name &&
+                     std::abs(post_top[i].total - pre_top[i].total) <=
+                         1e-9 * std::abs(pre_top[i].total) + 1e-6 &&
+                     post_top[i].runs == pre_top[i].runs;
+    }
+
+    removeTree(dir);
+    removeTree(append_dir);
+
+    std::printf(
+        "\ndurability (%d runs, fsync log): append %.0f us/record, "
+        "durable ingest %.0f runs/s (in-memory %.0f), recovery %.0f "
+        "runs/s, torn-tail restart equivalence %s\n",
+        kRuns, append_us, static_cast<double>(kRuns) / durable_s,
+        static_cast<double>(kRuns) / memory_s,
+        static_cast<double>(kRuns) / recover_s,
+        equivalent ? "ok" : "FAILED");
+
+    json->emplace_back("append_overhead_us", append_us);
+    json->emplace_back("durable_ingest_per_sec",
+                       static_cast<double>(kRuns) / durable_s);
+    json->emplace_back("recover_per_sec",
+                       static_cast<double>(kRuns) / recover_s);
+    // 0/1 gate-visible flag: the restarted store (recovering through a
+    // torn final record) recovered every run and answered topKernels
+    // identically to the pre-restart store.
+    json->emplace_back("recovery_equiv", equivalent ? 1.0 : 0.0);
+}
+
 } // namespace
 
 int
@@ -506,6 +649,7 @@ main(int argc, char **argv)
     }
 
     benchCompactionLifecycle(&json);
+    benchDurability(pool, &json);
 
     std::printf("\nquery sanity: ");
     {

@@ -20,6 +20,18 @@ collapses of the fast path, not single-digit-percent drift:
 - "*_us" / "*_per_sec" keys are absolute and host-dependent; they only
   fail on catastrophe (worse than latency_tolerance x the baseline).
 
+- "*_equiv" / "*_recovered" keys are 0/1 correctness flags (e.g. "the
+  restarted store answered queries identically"); the fresh value must
+  be at least the baseline's, so a flag that was 1 failing to 0 fails
+  the build with no tolerance.
+
+A gated-suffix key present in the fresh JSON but missing from the
+baseline also fails: otherwise a newly added scenario is silently never
+gated (every key above would look green while the new one regresses
+freely). Add new keys to the checked-in baseline in the same change
+that adds the scenario, or pass --allow-new-keys to downgrade the
+failure to a loud warning (local experiments only — CI must gate).
+
 Exit code 0 when every gate holds, 1 otherwise.
 """
 
@@ -47,6 +59,10 @@ def main():
     parser.add_argument("--latency-tolerance", type=float, default=4.0,
                         help="allowed multiple of baseline on *_us "
                              "keys / divisor on *_per_sec keys")
+    parser.add_argument("--allow-new-keys", action="store_true",
+                        help="only warn (loudly) about gated-suffix "
+                             "keys missing from the baseline instead "
+                             "of failing")
     args = parser.parse_args()
 
     with open(args.baseline) as handle:
@@ -85,7 +101,29 @@ def main():
                 failures.append(
                     f"{key}: throughput {got:.0f}/s fell below "
                     f"{floor:.0f}/s (baseline {base:.0f}/s)")
+        elif key.endswith(("_equiv", "_recovered")):
+            if got < base:
+                verdict = f"FAIL (< {base:g})"
+                failures.append(
+                    f"{key}: correctness flag fell from {base:g} "
+                    f"to {got:g}")
         rows.append((key, base, got, verdict))
+
+    def gated(key):
+        return (key.endswith(("_speedup", "_us", "_per_sec",
+                              "_equiv", "_recovered"))
+                or "_speedup_" in key)
+
+    # Keys only the fresh run knows are exactly the ones no gate above
+    # ever saw — a new scenario must land in the baseline to be gated.
+    fresh_only = sorted(k for k in fresh if k not in baseline and gated(k))
+    for key in fresh_only:
+        message = (f"{key}: fresh value {fresh[key]:.3f} has no "
+                   f"baseline entry — ungated; add it to the baseline")
+        if args.allow_new_keys:
+            print(f"WARNING: {message}", file=sys.stderr)
+        else:
+            failures.append(message)
 
     width = max(len(key) for key, *_ in rows) if rows else 0
     for key, base, got, verdict in rows:

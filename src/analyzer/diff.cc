@@ -87,8 +87,14 @@ ProfileComparison::toString(const std::string &label_a,
                      static_cast<unsigned long long>(kernel_launches_b));
     out += strformat("%-34s %14zu %14zu\n", "distinct contexts",
                      contexts_a, contexts_b);
-    out += strformat("speedup (%s / %s): %.2fx\n", label_a.c_str(),
-                     label_b.c_str(), speedup());
+    if (hasSpeedup()) {
+        out += strformat("speedup (%s / %s): %.2fx\n", label_a.c_str(),
+                         label_b.c_str(), speedup());
+    } else {
+        out += strformat("speedup (%s / %s): n/a (no GPU time in %s)\n",
+                         label_a.c_str(), label_b.c_str(),
+                         label_b.c_str());
+    }
     out += "top kernel deltas:\n";
     for (std::size_t i = 0; i < std::min(top_n, kernels.size()); ++i) {
         const DiffEntry &entry = kernels[i];

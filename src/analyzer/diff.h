@@ -7,6 +7,8 @@
  * per-kernel deltas between two profiles.
  */
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -34,11 +36,23 @@ struct ProfileComparison {
     /// Per-kernel-name GPU time, sorted by |delta| descending.
     std::vector<DiffEntry> kernels;
 
-    /** a/b speed ratio (how much faster b is than a). */
+    /**
+     * a/b speed ratio (how much faster b is than a). NaN — rendered as
+     * "n/a" by toString() — when profile b recorded no GPU time: a CPU-
+     * only or empty run has no defined ratio, and the old 0.0 return
+     * made "b measured nothing" indistinguishable from "b is
+     * infinitely slower" ("0.00x") in every report comparing against
+     * such a run. Check with hasSpeedup().
+     */
     double speedup() const
     {
-        return gpu_time_b > 0.0 ? gpu_time_a / gpu_time_b : 0.0;
+        return gpu_time_b > 0.0
+                   ? gpu_time_a / gpu_time_b
+                   : std::numeric_limits<double>::quiet_NaN();
     }
+
+    /** Whether speedup() is a defined ratio. */
+    bool hasSpeedup() const { return !std::isnan(speedup()); }
 
     /** Render a small table. */
     std::string toString(const std::string &label_a,

@@ -1,0 +1,207 @@
+#include "common/fs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace dc {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &what,
+         const std::string &path)
+{
+    if (error != nullptr)
+        *error = what + " " + path + ": " + std::strerror(errno);
+}
+
+/** Directory part of @p path ("." when there is no separator). */
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+bool
+syncDir(const std::string &dir, std::string *error)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        setError(error, "cannot open directory", dir);
+        return false;
+    }
+    // Some filesystems refuse fsync on directories (EINVAL); the
+    // rename is still ordered after the temp file's own fsync there,
+    // so treat only real I/O errors as failure.
+    const bool ok = ::fsync(fd) == 0 || errno == EINVAL;
+    if (!ok)
+        setError(error, "cannot fsync directory", dir);
+    ::close(fd);
+    return ok;
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &contents,
+                std::string *error)
+{
+    // Unique per process *and* per call: concurrent writers targeting
+    // the same destination must not share a temp file.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        setError(error, "cannot create", tmp);
+        return false;
+    }
+    const char *data = contents.data();
+    std::size_t remaining = contents.size();
+    while (remaining > 0) {
+        const ::ssize_t wrote = ::write(fd, data, remaining);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "cannot write", tmp);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        data += wrote;
+        remaining -= static_cast<std::size_t>(wrote);
+    }
+    if (::fsync(fd) != 0) {
+        setError(error, "cannot fsync", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setError(error, "cannot close", tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "cannot rename into", path);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return syncDir(dirOf(path), error);
+}
+
+bool
+readFile(const std::string &path, std::string *out, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        if (error != nullptr)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        if (error != nullptr)
+            *error = "cannot read " + path;
+        return false;
+    }
+    *out = buffer.str();
+    return true;
+}
+
+bool
+ensureDir(const std::string &path, std::string *error)
+{
+    if (path.empty()) {
+        if (error != nullptr)
+            *error = "empty directory path";
+        return false;
+    }
+    // Create each prefix in turn (mkdir -p).
+    for (std::size_t at = 1; at <= path.size(); ++at) {
+        if (at != path.size() && path[at] != '/')
+            continue;
+        const std::string prefix = path.substr(0, at);
+        if (::mkdir(prefix.c_str(), 0755) == 0 || errno == EEXIST)
+            continue;
+        setError(error, "cannot create directory", prefix);
+        return false;
+    }
+    struct ::stat st {};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        if (error != nullptr)
+            *error = path + " exists but is not a directory";
+        return false;
+    }
+    return true;
+}
+
+bool
+pathExists(const std::string &path)
+{
+    struct ::stat st {};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+bool
+fileSize(const std::string &path, std::uint64_t *size, std::string *error)
+{
+    struct ::stat st {};
+    if (::stat(path.c_str(), &st) != 0) {
+        setError(error, "cannot stat", path);
+        return false;
+    }
+    *size = static_cast<std::uint64_t>(st.st_size);
+    return true;
+}
+
+bool
+removeFile(const std::string &path, std::string *error)
+{
+    if (::unlink(path.c_str()) != 0) {
+        setError(error, "cannot remove", path);
+        return false;
+    }
+    return true;
+}
+
+bool
+listDir(const std::string &dir, std::vector<std::string> *names,
+        std::string *error)
+{
+    ::DIR *handle = ::opendir(dir.c_str());
+    if (handle == nullptr) {
+        setError(error, "cannot open directory", dir);
+        return false;
+    }
+    names->clear();
+    while (const struct ::dirent *entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name != "." && name != "..")
+            names->push_back(name);
+    }
+    ::closedir(handle);
+    std::sort(names->begin(), names->end());
+    return true;
+}
+
+} // namespace dc

@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Crash-safe filesystem helpers for the warehouse's durable artifacts.
+ *
+ * A profile or log segment written in place is torn by any crash that
+ * lands mid-write: the file exists, parses up to an arbitrary byte, and
+ * silently misrepresents the run. Every whole-file write therefore goes
+ * through atomicWriteFile(): the bytes land in a temp file in the
+ * *target's* directory (rename is only atomic within one filesystem),
+ * are flushed to disk, and are renamed over the destination — readers
+ * observe either the old file or the complete new one, never a prefix.
+ *
+ * All helpers report failure through a bool + error string instead of
+ * panicking: output paths are operator-supplied and as untrusted as
+ * warehouse input.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dc {
+
+/**
+ * Atomically replace @p path with @p contents: write to a uniquely
+ * named temp file next to it, fsync, rename over @p path, and fsync
+ * the directory so the rename itself survives a power cut. On failure
+ * the temp file is removed, @p path is untouched (the old content, if
+ * any, remains intact), and @p error describes the failing step.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &contents,
+                     std::string *error = nullptr);
+
+/** Read a whole file into @p out. */
+bool readFile(const std::string &path, std::string *out,
+              std::string *error = nullptr);
+
+/**
+ * Create @p path (and missing parents) as a directory; succeeds when it
+ * already exists as one.
+ */
+bool ensureDir(const std::string &path, std::string *error = nullptr);
+
+/** Whether @p path exists (any file type). */
+bool pathExists(const std::string &path);
+
+/** Size of the file at @p path; false when it cannot be stat'ed. */
+bool fileSize(const std::string &path, std::uint64_t *size,
+              std::string *error = nullptr);
+
+/** Remove the file at @p path (not a directory). */
+bool removeFile(const std::string &path, std::string *error = nullptr);
+
+/**
+ * fsync the directory at @p dir so renames/creations inside it are on
+ * disk (a file created and fsynced can still vanish in a power cut if
+ * its directory entry was never persisted).
+ */
+bool syncDir(const std::string &dir, std::string *error = nullptr);
+
+/**
+ * Names (not full paths) of the directory entries of @p dir, sorted;
+ * "." and ".." excluded.
+ */
+bool listDir(const std::string &dir, std::vector<std::string> *names,
+             std::string *error = nullptr);
+
+} // namespace dc

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -222,12 +223,16 @@ ProfileDb::serialize() const
 }
 
 std::uint64_t
-ProfileDb::save(const std::string &path) const
+ProfileDb::save(const std::string &path, std::string *error) const
 {
     const std::string text = serialize();
-    std::ofstream out(path, std::ios::binary);
-    DC_CHECK(out.good(), "cannot open ", path, " for writing");
-    out << text;
+    std::string write_error;
+    if (!atomicWriteFile(path, text, &write_error)) {
+        DC_WARN("profile save failed: ", write_error);
+        if (error != nullptr)
+            *error = std::move(write_error);
+        return 0;
+    }
     return text.size();
 }
 

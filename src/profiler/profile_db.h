@@ -65,8 +65,17 @@ class ProfileDb
     /** Serialize to the v2 text format (string-table section). */
     std::string serialize() const;
 
-    /** Write serialize() to @p path. Returns bytes written. */
-    std::uint64_t save(const std::string &path) const;
+    /**
+     * Write serialize() to @p path atomically: the bytes land in a
+     * temp file next to the target, are flushed, and are renamed into
+     * place — a crash mid-save can never leave a truncated profile
+     * where a complete one (or nothing) was expected. Returns the
+     * bytes written, or 0 with a description in @p error when the path
+     * is unwritable — never a panic; output paths are as untrusted as
+     * warehouse inputs.
+     */
+    std::uint64_t save(const std::string &path,
+                       std::string *error = nullptr) const;
 
     /**
      * Parse a serialized profile back into a ProfileDb. Panics (with the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fs.h"
 #include "common/logging.h"
 #include "common/string_table.h"
 
@@ -35,10 +36,133 @@ ProfileStore::ProfileStore(Options options)
     for (std::size_t i = 0; i < options.shards; ++i)
         shards_.push_back(std::make_unique<Shard>());
 
+    // Recover before the workers start: replay is single-threaded, so
+    // it can insert and meter interning without the concurrent-path
+    // guards.
+    if (!options.data_dir.empty())
+        openAndReplayLog(options);
+
     const std::size_t workers = resolveWorkers(options.workers);
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ProfileStore::openAndReplayLog(const Options &options)
+{
+    auto log = std::make_unique<WarehouseLog>();
+    WarehouseLog::Options log_options;
+    log_options.dir = options.data_dir;
+    log_options.max_segment_bytes = options.log_segment_bytes;
+    log_options.sync = options.log_sync;
+    log_options.auto_compact_min_dead_bytes =
+        options.log_compact_min_dead_bytes;
+    std::string error;
+    if (!log->open(std::move(log_options), &error)) {
+        // An unopenable data directory degrades the store to
+        // memory-only — the service keeps answering queries and
+        // ingesting; it just is not durable, which logHealthy()
+        // surfaces. Output paths are as untrusted as inputs.
+        DC_WARN("profile store: data dir unusable, running "
+                "in-memory: ",
+                error);
+        log_error_ = std::move(error);
+        return;
+    }
+    WarehouseLog::ReplayStats replay_stats;
+    const bool ok = log->replay(
+        [this](WarehouseLog::Record record) {
+            if (record.kind == WarehouseLog::Record::Kind::kErase) {
+                Shard &shard = shardFor(record.run_id);
+                if (shard.profiles.erase(record.run_id) > 0) {
+                    ++recovery_.tombstones;
+                    --stats_.recovered;
+                }
+                return;
+            }
+            applyRecovered(record.run_id, record.text);
+        },
+        &replay_stats, &error);
+    if (!ok) {
+        DC_WARN("profile store: log replay failed, running "
+                "in-memory: ",
+                error);
+        // Roll the partial replay back: serving whatever subset
+        // happened to precede the failing segment — while recovery()
+        // reports nothing recovered — would be a silently partial
+        // corpus, and re-ingesting the lost runs would trip duplicate
+        // rejections. An explicitly empty, non-durable store is the
+        // honest degraded mode. (Any names the dropped records
+        // interned stay in the table, unreferenced, as after any
+        // rejected parse.)
+        for (auto &shard : shards_)
+            shard->profiles.clear();
+        stats_ = StoreStats{};
+        failures_.clear();
+        recovery_ = RecoveryStats{};
+        last_seq_ = 0;
+        floor_ = 0;
+        log_error_ = std::move(error);
+        return;
+    }
+    recovery_.attempted = true;
+    recovery_.runs = stats_.recovered;
+    recovery_.corrupt_records = replay_stats.corrupt_records;
+    recovery_.torn_tail = replay_stats.torn_tail;
+    log_ = std::move(log);
+}
+
+void
+ProfileStore::applyRecovered(const std::string &run_id,
+                             const std::string &text)
+{
+    // The same parse -> meter -> budget path a live ingest takes, so a
+    // recovered corpus lands with the same name table contents and the
+    // same budget accounting the pre-restart store had for its live
+    // runs.
+    std::string error;
+    std::unique_ptr<prof::ProfileDb> parsed;
+    std::uint64_t interned_delta = 0;
+    std::uint64_t table_bytes = 0;
+    {
+        StringTable::GrowthMeter meter(*table_);
+        parsed = prof::ProfileDb::tryDeserialize(text, &error, table_);
+        interned_delta = meter.bytes();
+        table_bytes = table_->textBytes();
+    }
+    stats_.interned_bytes += interned_delta;
+    if (parsed == nullptr) {
+        // Self-written records should always parse; a record that no
+        // longer does (e.g. budget shrank, disk corruption the
+        // checksum happened to miss) is recorded, not fatal.
+        ++recovery_.rejected;
+        recordFailureLocked(run_id, "log replay: " + error);
+        return;
+    }
+    if (interned_delta > 0 && max_interned_bytes_ != 0 &&
+        table_bytes > max_interned_bytes_) {
+        ++recovery_.rejected;
+        recordFailureLocked(run_id,
+                            "log replay: interned-name budget "
+                            "exceeded (" +
+                                std::to_string(table_bytes) + " of " +
+                                std::to_string(max_interned_bytes_) +
+                                " bytes of name text)");
+        return;
+    }
+    const std::uint64_t seq = ++last_seq_;
+    floor_ = last_seq_;
+    Shard &shard = shardFor(run_id);
+    // Last-wins: a compaction-overlap replay can stream the same run
+    // twice (identical content); the replacement keeps the corpus
+    // exact and the recovered count honest.
+    const bool inserted =
+        shard.profiles
+            .insert_or_assign(run_id, Stored{std::move(parsed), seq})
+            .second;
+    if (inserted)
+        ++stats_.recovered;
 }
 
 ProfileStore::~ProfileStore()
@@ -258,23 +382,117 @@ ProfileStore::process(Task &task)
         return;
     }
 
+    // Durable stores append the run's serialized text to the log. Text
+    // ingests reuse the already-serialized payload verbatim; handoffs
+    // and files serialize the accepted profile (v2) — composed before
+    // the shard lock, which only has to cover the append itself.
+    std::string log_text;
+    if (log_ != nullptr) {
+        log_text = task.kind == Task::Kind::kText
+                       ? std::move(task.payload)
+                       : profile->serialize();
+    }
+
     const std::uint64_t seq = beginPublish();
     Shard &shard = shardFor(task.run_id);
     bool inserted = false;
+    std::uint64_t ticket = 0;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         inserted = shard.profiles
-                       .emplace(task.run_id,
-                                Stored{std::move(profile), seq})
+                       .emplace(task.run_id, Stored{profile, seq})
                        .second;
+        // The log's record order for a run id must match the shard's
+        // insert/erase order — otherwise a concurrent erase could
+        // write its tombstone between our insert and our append and
+        // replay would resurrect the erased run. Taking the ticket
+        // under the shard lock pins our log position (an O(1) counter
+        // bump, never I/O); the write+fsync happens below, after the
+        // lock is released, so readers of this shard never stall
+        // behind log I/O.
+        if (inserted && log_ != nullptr)
+            ticket = takeLogTicket();
     }
     endPublish(seq);
     if (!inserted) {
         recordFailure(task.run_id, "duplicate run id");
         return;
     }
+    if (log_ != nullptr) {
+        awaitLogTurn(ticket);
+        std::string append_error;
+        const bool append_ok =
+            log_->appendRun(task.run_id, log_text, &append_error);
+        finishLogTurn();
+        noteAppend(append_ok, std::move(append_error));
+    }
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++stats_.ingested;
+    }
+    if (log_ != nullptr)
+        maybeAutoCompactLog();
+}
+
+std::uint64_t
+ProfileStore::takeLogTicket()
+{
+    std::lock_guard<std::mutex> lock(log_ticket_mutex_);
+    return log_next_ticket_++;
+}
+
+void
+ProfileStore::awaitLogTurn(std::uint64_t ticket)
+{
+    std::unique_lock<std::mutex> lock(log_ticket_mutex_);
+    log_ticket_cv_.wait(
+        lock, [&] { return log_now_serving_ == ticket; });
+}
+
+void
+ProfileStore::finishLogTurn()
+{
+    {
+        std::lock_guard<std::mutex> lock(log_ticket_mutex_);
+        ++log_now_serving_;
+    }
+    log_ticket_cv_.notify_all();
+}
+
+void
+ProfileStore::noteAppend(bool ok, std::string error)
+{
+    if (ok) {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++stats_.log_appends;
+        // A past failure (disk briefly full) does not taint a log
+        // that is appending again — logHealthy() reports the
+        // *current* state.
+        log_error_.clear();
+        return;
+    }
+    DC_WARN("run log append failed (run kept in memory only): ",
+            error);
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    ++stats_.ingested;
+    ++stats_.log_append_failures;
+    log_error_ = std::move(error);
+}
+
+void
+ProfileStore::maybeAutoCompactLog()
+{
+    std::string error;
+    const std::uint64_t folded = log_->maybeAutoCompact(&error);
+    if (!error.empty()) {
+        DC_WARN("run log auto-compaction failed: ", error);
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        log_error_ = std::move(error);
+        return;
+    }
+    if (folded > 0) {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++stats_.log_compactions;
+    }
 }
 
 std::uint64_t
@@ -325,10 +543,57 @@ ProfileStore::compactNames()
         std::lock_guard<std::mutex> lock(gen_mutex_);
         ++compacted_;
     }
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    ++stats_.compactions;
-    stats_.reclaimed_bytes += reclaimed;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++stats_.compactions;
+        stats_.reclaimed_bytes += reclaimed;
+    }
+    // Name compaction marks the corpus's "shed dead state" point — the
+    // log folds its dead records (tombstones, superseded appends) away
+    // at the same moment.
+    compactLog();
     return reclaimed;
+}
+
+std::uint64_t
+ProfileStore::compactLog()
+{
+    if (log_ == nullptr)
+        return 0;
+    std::string error;
+    const std::uint64_t folded = log_->compact(&error);
+    if (!error.empty()) {
+        DC_WARN("run log compaction failed: ", error);
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        log_error_ = std::move(error);
+        return 0;
+    }
+    if (folded > 0) {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++stats_.log_compactions;
+    }
+    return folded;
+}
+
+bool
+ProfileStore::logHealthy() const
+{
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return log_ != nullptr && log_error_.empty();
+}
+
+std::string
+ProfileStore::logError() const
+{
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return log_error_;
+}
+
+ProfileStore::RecoveryStats
+ProfileStore::recovery() const
+{
+    // Written only by the constructor, immutable afterwards.
+    return recovery_;
 }
 
 void
@@ -377,10 +642,58 @@ bool
 ProfileStore::erase(const std::string &run_id)
 {
     Shard &shard = shardFor(run_id);
+    std::uint64_t ticket = 0;
+    std::uint64_t found_seq = 0;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.profiles.find(run_id);
+        if (it == shard.profiles.end())
+            return false;
+        if (log_ == nullptr) {
+            shard.profiles.erase(it);
+            std::lock_guard<std::mutex> gen(gen_mutex_);
+            ++erased_;
+            return true;
+        }
+        // Durable path: pin the tombstone's log position now (so no
+        // other operation on this run can slip a record between our
+        // observation and our tombstone), remember which incarnation
+        // we saw, and do the actual append outside the shard lock.
+        ticket = takeLogTicket();
+        found_seq = it->second.seq;
+    }
+
+    awaitLogTurn(ticket);
+    std::string append_error;
+    const bool tombstoned = log_->appendErase(run_id, &append_error);
+    finishLogTurn();
+    if (!tombstoned) {
+        // Tombstone-before-remove, and only remove if the tombstone
+        // is durable: an erase the log could not record must fail —
+        // otherwise the run disappears from the serving corpus now
+        // and silently resurrects at the next restart. (The run was
+        // never removed, so the corpus and log still agree.)
+        noteAppend(false, std::move(append_error));
+        return false;
+    }
+    noteAppend(true, {});
+
     bool erased = false;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
-        erased = shard.profiles.erase(run_id) > 0;
+        auto it = shard.profiles.find(run_id);
+        // Remove only the incarnation we tombstoned: if the id was
+        // re-ingested meanwhile, that newer publish also appended a
+        // run record *after* our tombstone (its ticket is later), so
+        // last-wins replay keeps it — exactly the state we leave in
+        // memory by not erasing it. A racing erase that already
+        // removed our incarnation wrote its own (harmless, duplicate)
+        // tombstone; we report false, it reports true.
+        if (it != shard.profiles.end() &&
+            it->second.seq == found_seq) {
+            shard.profiles.erase(it);
+            erased = true;
+        }
     }
     if (erased) {
         // Merged stats are not invertible (min/max), so cached views
@@ -389,6 +702,7 @@ ProfileStore::erase(const std::string &run_id)
         std::lock_guard<std::mutex> lock(gen_mutex_);
         ++erased_;
     }
+    maybeAutoCompactLog();
     return erased;
 }
 

@@ -17,6 +17,13 @@
  *
  * Malformed files are counted and recorded (run id + error) rather than
  * panicking the process — warehouse input is untrusted.
+ *
+ * With Options::data_dir set the store is durable: accepted runs are
+ * appended to a checksummed segment log (warehouse_log.h), erases
+ * append tombstones, and construction replays the log — rebinding
+ * recovered profiles onto the per-corpus StringTable and restoring the
+ * budget accounting — so CorpusView/QueryEngine serve a recovered
+ * corpus unchanged after a restart or crash.
  */
 
 #include <condition_variable>
@@ -35,16 +42,31 @@
 
 #include "common/string_table.h"
 #include "profiler/profile_db.h"
+#include "service/warehouse_log.h"
 
 namespace dc::service {
 
 /** Ingestion counters (queried after waitIdle() for exact totals). */
 struct StoreStats {
     std::uint64_t enqueued = 0;  ///< Ingestion requests accepted.
-    std::uint64_t ingested = 0;  ///< Profiles stored successfully.
+    std::uint64_t ingested = 0;  ///< Profiles stored successfully
+                                 ///< this lifetime (excludes runs
+                                 ///< recovered from the log).
     std::uint64_t failed = 0;    ///< Rejected (parse error, bad file,
                                  ///< duplicate run id, interned-name
                                  ///< budget).
+    /// Runs restored by log replay at construction.
+    std::uint64_t recovered = 0;
+    /// Run/tombstone records durably appended to the log.
+    std::uint64_t log_appends = 0;
+    /// Appends that failed (disk full, unwritable dir). A failed
+    /// ingest append keeps the run served from memory (it just is
+    /// not durable); a failed erase tombstone makes the erase()
+    /// itself fail so the corpus and the log never disagree. The
+    /// error is warned and the last one kept in logError().
+    std::uint64_t log_append_failures = 0;
+    /// Log compactions that folded dead records away.
+    std::uint64_t log_compactions = 0;
     /// Name-text growth of the store's own StringTable caused by this
     /// store's ingestion (parses and handoff rebinds). Exact: each
     /// worker meters the entries *it* creates inside the owning table
@@ -99,6 +121,37 @@ class ProfileStore
         /// compactNames() callers must quiesce every sharer's
         /// ingestion themselves.
         std::shared_ptr<StringTable> names;
+        /// Directory for the store's durable run log; empty = a
+        /// volatile in-memory store (the default). When set, every
+        /// successful ingest appends the run's serialized text to a
+        /// checksummed segment log, erases append tombstones, and
+        /// construction replays the log — so the corpus survives a
+        /// service restart, tolerating a torn final record from a
+        /// crash. An unopenable or unwritable directory degrades the
+        /// store to memory-only with a warning (see logHealthy()),
+        /// never an abort.
+        std::string data_dir;
+        /// Segment rollover threshold for the run log.
+        std::uint64_t log_segment_bytes = 64ull << 20;
+        /// fsync each log append (durable against host failure, not
+        /// just process crash).
+        bool log_sync = true;
+        /// Auto-compaction floor: the log folds dead records (erase
+        /// tombstones, superseded appends, corrupt skips) away once
+        /// they exceed this many bytes and outweigh the live ones.
+        std::uint64_t log_compact_min_dead_bytes = 8ull << 20;
+    };
+
+    /** What log replay recovered at construction. */
+    struct RecoveryStats {
+        bool attempted = false; ///< data_dir was set and the log opened.
+        std::uint64_t runs = 0; ///< Runs restored into the corpus.
+        std::uint64_t tombstones = 0;    ///< Erase records applied.
+        std::uint64_t rejected = 0;      ///< Replayed records whose
+                                         ///< profile no longer parses
+                                         ///< or fits the budget.
+        std::uint64_t corrupt_records = 0; ///< Checksum/framing skips.
+        bool torn_tail = false; ///< Final record was torn (dropped).
     };
 
     /**
@@ -147,7 +200,14 @@ class ProfileStore
     std::shared_ptr<const prof::ProfileDb>
     get(const std::string &run_id) const;
 
-    /** Remove a run. @return Whether it was present. */
+    /**
+     * Remove a run. @return Whether it was removed. On a durable
+     * store the erase tombstone is appended first and the run is
+     * removed only when that append succeeds — an erase the log
+     * cannot record returns false (and counts a log_append_failure)
+     * rather than serving a deletion that would silently resurrect
+     * at the next restart.
+     */
     bool erase(const std::string &run_id);
 
     /**
@@ -183,6 +243,26 @@ class ProfileStore
      * converges.
      */
     std::uint64_t compactNames();
+
+    /**
+     * Fold dead records out of the run log now (no-op without a log or
+     * dead bytes). compactNames() triggers this too, and erases/appends
+     * trigger it automatically past Options::log_compact_min_dead_bytes.
+     * @return Log bytes folded away.
+     */
+    std::uint64_t compactLog();
+
+    /** Whether the run log is open and the last append succeeded. */
+    bool logHealthy() const;
+
+    /** Last log/recovery error ("" when healthy). */
+    std::string logError() const;
+
+    /** What log replay recovered at construction. */
+    RecoveryStats recovery() const;
+
+    /** The run log (null for an in-memory store) — diagnostics/tests. */
+    const WarehouseLog *log() const { return log_.get(); }
 
     /** Sorted ids of all stored runs. */
     std::vector<std::string> runIds() const;
@@ -273,6 +353,25 @@ class ProfileStore
     void recordFailureLocked(const std::string &run_id,
                              std::string error);
 
+    /// Open the log on Options::data_dir and replay it into the
+    /// shards (constructor only, before the workers start). On any
+    /// failure the store degrades to memory-only with the error kept
+    /// in log_error_.
+    void openAndReplayLog(const Options &options);
+    /// Apply one replayed run record (constructor only).
+    void applyRecovered(const std::string &run_id, const std::string &text);
+    /// Count an append outcome and remember the error (any thread).
+    void noteAppend(bool ok, std::string error);
+    /// Fold the log when dead bytes crossed the configured floor —
+    /// called after appends/erases, i.e. at least at every rollover.
+    void maybeAutoCompactLog();
+    /// Reserve the next log position (call under the shard mutex).
+    std::uint64_t takeLogTicket();
+    /// Block until @p ticket's turn to append (no shard lock held).
+    void awaitLogTurn(std::uint64_t ticket);
+    /// Release the turn so the next ticket can append.
+    void finishLogTurn();
+
     /**
      * Allocate a publication sequence number and mark it in flight.
      * The pair brackets the shard-map insert so generation().ingested
@@ -286,6 +385,23 @@ class ProfileStore
     void endPublish(std::uint64_t seq);
 
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    /// The durable run log (null = in-memory store).
+    std::unique_ptr<WarehouseLog> log_;
+    /// Log-append ordering tickets. A ticket is taken *under* the
+    /// owning shard's mutex (an O(1) counter bump that never blocks
+    /// on I/O), which pins the record's log position relative to
+    /// every other operation on that shard's runs; the append itself
+    /// — write, fsync, possibly waiting out a whole-log compaction —
+    /// runs strictly in ticket order but outside any shard lock, so
+    /// readers never stall behind log I/O.
+    std::mutex log_ticket_mutex_;
+    std::condition_variable log_ticket_cv_;
+    std::uint64_t log_next_ticket_ = 0;
+    std::uint64_t log_now_serving_ = 0;
+    /// Last log open/replay/append error. Guarded by queue_mutex_.
+    std::string log_error_;
+    RecoveryStats recovery_; ///< Written by the constructor only.
 
     /// The per-corpus name table (see Options::names).
     std::shared_ptr<StringTable> table_;

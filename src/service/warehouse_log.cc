@@ -1,0 +1,535 @@
+#include "service/warehouse_log.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/fs.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dc::service {
+
+namespace {
+
+constexpr const char *kSegmentPrefix = "segment-";
+constexpr const char *kSegmentSuffix = ".dclog";
+
+/**
+ * FNV-1a 64 over the header metadata (kind + both length fields, as
+ * written) plus run id plus payload. Covering the header matters: a
+ * bit-flip that turns "run" into "del" (same length, framing intact)
+ * or compensating length corruption would otherwise checksum
+ * identically and replay as a valid — wrong — record.
+ */
+std::uint64_t
+recordChecksum(const std::string &meta, const std::string &run_id,
+               const std::string &text)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    const auto fold = [&hash](const std::string &s) {
+        for (const unsigned char c : s) {
+            hash ^= c;
+            hash *= 1099511628211ull;
+        }
+    };
+    fold(meta);
+    fold(run_id);
+    fold(text);
+    return hash;
+}
+
+/** The checksummed header middle: `<run|del>\t<id_len>\t<payload_len>`. */
+std::string
+recordMeta(WarehouseLog::Record::Kind kind, std::size_t id_len,
+           std::size_t payload_len)
+{
+    return strformat("%s\t%zu\t%zu",
+                     kind == WarehouseLog::Record::Kind::kRun ? "run"
+                                                              : "del",
+                     id_len, payload_len);
+}
+
+/** Whole-field numeric parse (no trailing garbage). */
+template <typename T>
+bool
+parseField(const std::string &field, T *out, int base = 10)
+{
+    const char *begin = field.data();
+    const char *end = begin + field.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, *out, base);
+    return ec == std::errc() && ptr == end && !field.empty();
+}
+
+std::string
+frameRecord(WarehouseLog::Record::Kind kind, const std::string &run_id,
+            const std::string &text)
+{
+    const std::string meta =
+        recordMeta(kind, run_id.size(), text.size());
+    std::string frame = "rec\t" + meta +
+                        strformat("\t%016llx\n",
+                                  static_cast<unsigned long long>(
+                                      recordChecksum(meta, run_id,
+                                                     text)));
+    frame += run_id;
+    frame += text;
+    frame += '\n';
+    return frame;
+}
+
+bool
+writeAll(int fd, const std::string &data, std::string *error)
+{
+    const char *at = data.data();
+    std::size_t remaining = data.size();
+    while (remaining > 0) {
+        const ::ssize_t wrote = ::write(fd, at, remaining);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error != nullptr)
+                *error = std::string("log write failed: ") +
+                         std::strerror(errno);
+            return false;
+        }
+        at += wrote;
+        remaining -= static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+} // namespace
+
+WarehouseLog::~WarehouseLog()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closeActiveLocked();
+}
+
+std::string
+WarehouseLog::segmentPath(std::uint64_t index) const
+{
+    return dir_ + "/" +
+           strformat("%s%06llu%s", kSegmentPrefix,
+                     static_cast<unsigned long long>(index),
+                     kSegmentSuffix);
+}
+
+bool
+WarehouseLog::open(Options options, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (opened_) {
+        if (error != nullptr)
+            *error = "log already open on " + dir_;
+        return false;
+    }
+    if (!ensureDir(options.dir, error))
+        return false;
+    std::vector<std::string> names;
+    if (!listDir(options.dir, &names, error))
+        return false;
+
+    segments_.clear();
+    for (const std::string &name : names) {
+        // A crashed compaction can leave a temp file behind; it was
+        // never renamed into place, so its contents are dead.
+        if (contains(name, ".tmp.")) {
+            removeFile(options.dir + "/" + name);
+            continue;
+        }
+        if (!startsWith(name, kSegmentPrefix) ||
+            !endsWith(name, kSegmentSuffix)) {
+            continue;
+        }
+        const std::string digits = name.substr(
+            std::strlen(kSegmentPrefix),
+            name.size() - std::strlen(kSegmentPrefix) -
+                std::strlen(kSegmentSuffix));
+        std::uint64_t index = 0;
+        if (parseField(digits, &index))
+            segments_.push_back(index);
+    }
+    std::sort(segments_.begin(), segments_.end());
+    active_index_ = segments_.empty() ? 1 : segments_.back();
+    options_ = std::move(options);
+    dir_ = options_.dir;
+    opened_ = true;
+    return true;
+}
+
+std::size_t
+WarehouseLog::parseSegment(
+    const std::string &data,
+    const std::function<void(Record, std::uint64_t)> &cb,
+    ReplayStats *stats)
+{
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const std::size_t nl = data.find('\n', pos);
+        if (nl == std::string::npos)
+            break; // incomplete header: torn tail
+        const std::vector<std::string> fields =
+            split(data.substr(pos, nl - pos), '\t');
+        std::uint64_t id_len = 0;
+        std::uint64_t payload_len = 0;
+        std::uint64_t checksum = 0;
+        if (fields.size() != 5 || fields[0] != "rec" ||
+            (fields[1] != "run" && fields[1] != "del") ||
+            !parseField(fields[2], &id_len) ||
+            !parseField(fields[3], &payload_len) ||
+            !parseField(fields[4], &checksum, 16)) {
+            break; // malformed header: cannot resync past it
+        }
+        const std::size_t body = nl + 1;
+        if (id_len > data.size() || payload_len > data.size() ||
+            body + id_len + payload_len + 1 > data.size()) {
+            break; // declared body extends past the file: torn tail
+        }
+        const std::size_t end = body + id_len + payload_len + 1;
+        if (data[end - 1] != '\n')
+            break; // header lied about the lengths: cannot resync
+        Record record;
+        record.kind = fields[1] == "run" ? Record::Kind::kRun
+                                         : Record::Kind::kErase;
+        record.run_id = data.substr(body, id_len);
+        record.text = data.substr(body + id_len, payload_len);
+        // Reconstructed from the raw field bytes (the writer always
+        // emits canonical numbers), so header corruption the framing
+        // happened to survive still fails the checksum.
+        const std::string meta =
+            fields[1] + "\t" + fields[2] + "\t" + fields[3];
+        if (recordChecksum(meta, record.run_id, record.text) !=
+            checksum) {
+            // Framing is intact, the payload is not: skip exactly this
+            // record. Its bytes are dead weight until compaction.
+            if (stats != nullptr) {
+                ++stats->corrupt_records;
+                stats->skipped_bytes += end - pos;
+            }
+            pos = end;
+            continue;
+        }
+        if (stats != nullptr) {
+            if (record.kind == Record::Kind::kRun)
+                ++stats->run_records;
+            else
+                ++stats->erase_records;
+        }
+        cb(std::move(record), end - pos);
+        pos = end;
+    }
+    return pos;
+}
+
+void
+WarehouseLog::accountRecord(const Record &record,
+                            std::uint64_t frame_bytes)
+{
+    auto it = live_.find(record.run_id);
+    if (record.kind == Record::Kind::kRun) {
+        if (it != live_.end()) {
+            // Superseded append (compaction-overlap replay).
+            dead_bytes_ += it->second;
+            live_bytes_ -= it->second;
+            it->second = frame_bytes;
+        } else {
+            live_.emplace(record.run_id, frame_bytes);
+        }
+        live_bytes_ += frame_bytes;
+    } else {
+        if (it != live_.end()) {
+            dead_bytes_ += it->second + frame_bytes;
+            live_bytes_ -= it->second;
+            live_.erase(it);
+        } else {
+            dead_bytes_ += frame_bytes;
+        }
+    }
+}
+
+bool
+WarehouseLog::replay(const std::function<void(Record)> &cb,
+                     ReplayStats *stats, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!opened_ || replayed_) {
+        if (error != nullptr)
+            *error = !opened_ ? "log not open"
+                              : "log already replayed";
+        return false;
+    }
+    ReplayStats local;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const bool final_segment = i + 1 == segments_.size();
+        const std::string path = segmentPath(segments_[i]);
+        std::string data;
+        if (!readFile(path, &data, error))
+            return false;
+        ++local.segments;
+        const std::uint64_t skipped_before = local.skipped_bytes;
+        const std::size_t stop = parseSegment(
+            data,
+            [&](Record record, std::uint64_t frame_bytes) {
+                accountRecord(record, frame_bytes);
+                cb(std::move(record));
+            },
+            &local);
+        // Checksum-corrupt records stay on disk until compaction.
+        dead_bytes_ += local.skipped_bytes - skipped_before;
+        if (stop >= data.size())
+            continue;
+        if (final_segment) {
+            // Crash-mid-append artifact: drop the torn record so the
+            // next append starts on a clean frame boundary.
+            local.torn_tail = true;
+            if (::truncate(path.c_str(),
+                           static_cast<::off_t>(stop)) != 0) {
+                if (error != nullptr) {
+                    *error = "cannot truncate torn tail of " + path +
+                             ": " + std::strerror(errno);
+                }
+                return false;
+            }
+            DC_WARN("warehouse log ", path, ": dropped torn tail (",
+                    data.size() - stop, " bytes)");
+        } else {
+            // Framing breakage inside an older segment: everything up
+            // to the breakage was applied; the rest of this segment is
+            // skipped and later segments still replay.
+            ++local.corrupt_records;
+            local.skipped_bytes += data.size() - stop;
+            dead_bytes_ += data.size() - stop;
+            DC_WARN("warehouse log ", path, ": skipped ",
+                    data.size() - stop,
+                    " unparseable bytes mid-log");
+        }
+    }
+    replayed_ = true;
+    if (stats != nullptr)
+        *stats = local;
+    return true;
+}
+
+bool
+WarehouseLog::openActiveLocked(std::string *error)
+{
+    const std::string path = segmentPath(active_index_);
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+        if (error != nullptr) {
+            *error = "cannot open log segment " + path + ": " +
+                     std::strerror(errno);
+        }
+        return false;
+    }
+    struct ::stat st {};
+    active_bytes_ = ::fstat(fd_, &st) == 0
+                        ? static_cast<std::uint64_t>(st.st_size)
+                        : 0;
+    if (segments_.empty() || segments_.back() != active_index_) {
+        segments_.push_back(active_index_);
+        // A freshly created file can vanish in a power cut if its
+        // directory entry was never persisted — record fsyncs alone
+        // would then protect bytes in a file that no longer exists.
+        if (options_.sync)
+            syncDir(dir_);
+    }
+    return true;
+}
+
+void
+WarehouseLog::closeActiveLocked()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+WarehouseLog::appendLocked(Record::Kind kind, const std::string &run_id,
+                           const std::string &text, std::string *error)
+{
+    if (!replayed_) {
+        if (error != nullptr)
+            *error = "log not replayed before append";
+        return false;
+    }
+    if (fd_ < 0 && !openActiveLocked(error))
+        return false;
+    if (active_bytes_ >= options_.max_segment_bytes &&
+        active_bytes_ > 0) {
+        closeActiveLocked();
+        ++active_index_;
+        if (!openActiveLocked(error))
+            return false;
+    }
+    const std::string frame = frameRecord(kind, run_id, text);
+    std::string write_error;
+    bool ok = writeAll(fd_, frame, &write_error);
+    if (ok && options_.sync && ::fsync(fd_) != 0) {
+        ok = false;
+        write_error =
+            std::string("log fsync failed: ") + std::strerror(errno);
+    }
+    if (!ok) {
+        // A partial frame may be on disk (e.g. disk full mid-write).
+        // Replay cannot resync past torn bytes, so later successful
+        // appends would be silently stranded behind them — cut the
+        // segment back to the last good frame boundary; if even that
+        // fails, abandon this segment for a fresh one (replay then
+        // treats the torn remainder as mid-log corruption in a
+        // non-final segment and keeps reading the later segments).
+        if (::ftruncate(fd_, static_cast<::off_t>(active_bytes_)) !=
+            0) {
+            closeActiveLocked();
+            ++active_index_;
+        }
+        if (error != nullptr)
+            *error = std::move(write_error);
+        return false;
+    }
+    active_bytes_ += frame.size();
+    Record record;
+    record.kind = kind;
+    record.run_id = run_id;
+    accountRecord(record, frame.size());
+    return true;
+}
+
+bool
+WarehouseLog::appendRun(const std::string &run_id,
+                        const std::string &text, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appendLocked(Record::Kind::kRun, run_id, text, error);
+}
+
+bool
+WarehouseLog::appendErase(const std::string &run_id, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appendLocked(Record::Kind::kErase, run_id, {}, error);
+}
+
+std::uint64_t
+WarehouseLog::compactLocked(std::string *error)
+{
+    if (dead_bytes_ == 0 || segments_.empty())
+        return 0;
+    closeActiveLocked();
+
+    // Fold the log from the log itself: replay the segments in memory
+    // and keep each run's latest non-tombstoned record. Reading from
+    // disk (rather than asking the store for its corpus) means
+    // compaction cannot race an insert that was already logged.
+    std::vector<Record> order;
+    std::map<std::string, std::size_t> index;
+    std::uint64_t old_total = 0;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        std::string data;
+        if (!readFile(segmentPath(segments_[i]), &data, error))
+            return 0; // old segments untouched
+        old_total += data.size();
+        parseSegment(data,
+                     [&](Record record, std::uint64_t) {
+                         auto it = index.find(record.run_id);
+                         if (record.kind == Record::Kind::kErase) {
+                             if (it != index.end()) {
+                                 order[it->second].run_id.clear();
+                                 order[it->second].text.clear();
+                                 order[it->second].kind =
+                                     Record::Kind::kErase;
+                                 index.erase(it);
+                             }
+                             return;
+                         }
+                         if (it != index.end()) {
+                             order[it->second] = record;
+                             return;
+                         }
+                         index.emplace(record.run_id, order.size());
+                         order.push_back(std::move(record));
+                     },
+                     nullptr);
+    }
+
+    std::string buffer;
+    std::map<std::string, std::uint64_t> new_live;
+    std::uint64_t new_live_bytes = 0;
+    for (const Record &record : order) {
+        if (record.kind != Record::Kind::kRun)
+            continue;
+        const std::string frame = frameRecord(
+            Record::Kind::kRun, record.run_id, record.text);
+        new_live.emplace(record.run_id, frame.size());
+        new_live_bytes += frame.size();
+        buffer += frame;
+    }
+    const std::uint64_t new_index = segments_.back() + 1;
+    if (!atomicWriteFile(segmentPath(new_index), buffer, error))
+        return 0; // old segments untouched
+    // From here the compacted segment is durable; a crash before the
+    // deletes below replays old + compacted, which last-wins-folds to
+    // the same corpus.
+    for (const std::uint64_t idx : segments_) {
+        std::string remove_error;
+        if (!removeFile(segmentPath(idx), &remove_error))
+            DC_WARN("log compaction: ", remove_error);
+    }
+    segments_ = {new_index};
+    active_index_ = new_index;
+    active_bytes_ = buffer.size();
+    live_ = std::move(new_live);
+    live_bytes_ = new_live_bytes;
+    dead_bytes_ = 0;
+    return old_total > buffer.size() ? old_total - buffer.size() : 0;
+}
+
+std::uint64_t
+WarehouseLog::compact(std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compactLocked(error);
+}
+
+std::uint64_t
+WarehouseLog::maybeAutoCompact(std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_bytes_ < options_.auto_compact_min_dead_bytes ||
+        dead_bytes_ < live_bytes_) {
+        return 0;
+    }
+    return compactLocked(error);
+}
+
+std::uint64_t
+WarehouseLog::liveBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return live_bytes_;
+}
+
+std::uint64_t
+WarehouseLog::deadBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dead_bytes_;
+}
+
+std::size_t
+WarehouseLog::segmentCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return segments_.size();
+}
+
+} // namespace dc::service

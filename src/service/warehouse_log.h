@@ -1,0 +1,201 @@
+#pragma once
+
+/**
+ * @file
+ * The warehouse's durable run log: an append-only, checksummed segment
+ * log that makes a ProfileStore's corpus survive process restarts.
+ *
+ * Every successful ingest appends one framed record carrying the run id
+ * and the run's serialized profile text; every erase appends a
+ * tombstone. On construction the store replays the segments in order
+ * and rebuilds the corpus; a crash mid-append leaves a torn final
+ * record, which replay detects (length + checksum framing) and drops —
+ * every complete preceding record is recovered.
+ *
+ * Frame format (one record, all bytes verbatim — no escaping needed
+ * because the header carries explicit lengths):
+ *
+ *     rec\t<run|del>\t<id_len>\t<payload_len>\t<fnv1a64 hex>\n
+ *     <run_id bytes><payload bytes>\n
+ *
+ * The checksum (FNV-1a 64) covers the header metadata — kind and both
+ * length fields, as written — plus run id plus payload, so a record
+ * that frames correctly but was bit-flipped on disk (including a
+ * same-length kind or length corruption) is skipped (counted as
+ * corrupt) instead of poisoning the corpus.
+ *
+ * Segments (`segment-NNNNNN.dclog`) roll over at a size threshold so no
+ * single file grows without bound. Tombstones and superseded appends
+ * accumulate as dead bytes; compact() folds them away by replaying the
+ * log into a single fresh segment (written atomically via temp +
+ * rename, so a crash mid-compaction leaves the old segments intact)
+ * and deleting the old ones. Replay applies records last-wins per run
+ * id, which makes a crash between the compacted segment's rename and
+ * the old segments' deletion harmless: the overlap replays to the same
+ * corpus.
+ *
+ * Concurrency: appends, compaction, and the stats accessors are
+ * internally serialized; replay() must complete before the first
+ * append (the ProfileStore replays in its constructor, before its
+ * worker pool starts). All failures are reported through bool + error
+ * strings — an unwritable or corrupt data directory must degrade the
+ * service, never abort it.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dc::service {
+
+/** Append-only segment log of (run id, serialized profile) records. */
+class WarehouseLog
+{
+  public:
+    struct Options {
+        /// Directory holding the segment files (created if missing).
+        std::string dir;
+        /// Rollover threshold: an append that finds the active segment
+        /// at or past this size starts a new segment first.
+        std::uint64_t max_segment_bytes = 64ull << 20;
+        /// fsync each appended record: durable against OS/power
+        /// failure, not just process crash. Off, records still hit the
+        /// kernel on every append (process-crash-safe) but may be lost
+        /// by a host failure.
+        bool sync = true;
+        /// Auto-compaction floor (maybeAutoCompact): fold dead records
+        /// away once they exceed this many bytes and outweigh the live
+        /// ones.
+        std::uint64_t auto_compact_min_dead_bytes = 8ull << 20;
+    };
+
+    /** One replayed record. */
+    struct Record {
+        enum class Kind { kRun, kErase } kind = Kind::kRun;
+        std::string run_id;
+        std::string text; ///< Serialized profile (kRun only).
+    };
+
+    /** What replay() found. */
+    struct ReplayStats {
+        std::uint64_t run_records = 0;   ///< Run appends streamed.
+        std::uint64_t erase_records = 0; ///< Tombstones streamed.
+        /// Fully-framed records whose checksum did not match — skipped.
+        std::uint64_t corrupt_records = 0;
+        /// Bytes of unparseable segment interior skipped (framing
+        /// breakage in a non-final segment; checksum-failed payloads).
+        std::uint64_t skipped_bytes = 0;
+        /// The final segment ended mid-record — the crash-mid-append
+        /// signature. The torn bytes are truncated away so the next
+        /// append starts on a clean frame boundary.
+        bool torn_tail = false;
+        std::uint64_t segments = 0; ///< Segment files read.
+    };
+
+    WarehouseLog() = default;
+    ~WarehouseLog();
+
+    WarehouseLog(const WarehouseLog &) = delete;
+    WarehouseLog &operator=(const WarehouseLog &) = delete;
+
+    /**
+     * Bind to @p options.dir: create it if needed, scan the existing
+     * segments, and clean up temp files a crashed compaction left
+     * behind. Call replay() next — appends are refused until the
+     * existing records have been streamed.
+     */
+    bool open(Options options, std::string *error = nullptr);
+
+    /**
+     * Stream every surviving record, oldest first, into @p cb. The
+     * caller applies them in order with last-wins semantics per run id
+     * (a later append for the same id replaces, a tombstone removes).
+     * Returns false only on an I/O error reading a segment; torn tails
+     * and corrupt records are reported through @p stats, not failure.
+     */
+    bool replay(const std::function<void(Record)> &cb,
+                ReplayStats *stats = nullptr,
+                std::string *error = nullptr);
+
+    /** Append a run record. */
+    bool appendRun(const std::string &run_id, const std::string &text,
+                   std::string *error = nullptr);
+
+    /** Append an erase tombstone for @p run_id. */
+    bool appendErase(const std::string &run_id,
+                     std::string *error = nullptr);
+
+    /**
+     * Fold dead records away: replay the current segments, write every
+     * surviving record into one fresh segment (atomic temp + rename),
+     * and delete the old segments. Appends block for the duration.
+     * @return Bytes of dead record data folded away (0 when there was
+     * nothing dead or on failure — failure leaves the old segments
+     * fully intact and is reported through @p error).
+     */
+    std::uint64_t compact(std::string *error = nullptr);
+
+    /**
+     * compact() when dead bytes have crossed the configured floor and
+     * outweigh the live ones. Cheap when there is nothing to do; the
+     * store calls this after erase tombstones and ingest appends, so
+     * the check runs at least as often as segments roll over.
+     */
+    std::uint64_t maybeAutoCompact(std::string *error = nullptr);
+
+    /** Bytes of live (latest, non-tombstoned) record frames. */
+    std::uint64_t liveBytes() const;
+
+    /** Bytes of dead record frames (tombstoned, superseded, torn). */
+    std::uint64_t deadBytes() const;
+
+    /** Number of segment files. */
+    std::size_t segmentCount() const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    /// Requires mutex_ held.
+    bool appendLocked(Record::Kind kind, const std::string &run_id,
+                      const std::string &text, std::string *error);
+    bool openActiveLocked(std::string *error);
+    void closeActiveLocked();
+    std::uint64_t compactLocked(std::string *error);
+    std::string segmentPath(std::uint64_t index) const;
+
+    /**
+     * Parse @p data (one segment's bytes) record by record into @p cb
+     * (record, frame bytes). Pure: no member state is touched, so both
+     * replay and compaction can parse. Stops at the first record it
+     * cannot frame and returns that byte offset; the caller decides
+     * whether the leftover is a torn tail (final segment) or mid-log
+     * corruption.
+     */
+    static std::size_t
+    parseSegment(const std::string &data,
+                 const std::function<void(Record, std::uint64_t)> &cb,
+                 ReplayStats *stats);
+
+    /// Accounts one streamed record into live_/dead_ (last-wins).
+    void accountRecord(const Record &record, std::uint64_t frame_bytes);
+
+    mutable std::mutex mutex_;
+    Options options_;
+    std::string dir_;
+    bool opened_ = false;
+    bool replayed_ = false;
+    std::vector<std::uint64_t> segments_; ///< Sorted segment indices.
+    std::uint64_t active_index_ = 1;
+    std::uint64_t active_bytes_ = 0;
+    int fd_ = -1;
+
+    /// run id -> frame bytes of its latest live record.
+    std::map<std::string, std::uint64_t> live_;
+    std::uint64_t live_bytes_ = 0;
+    std::uint64_t dead_bytes_ = 0;
+};
+
+} // namespace dc::service

@@ -187,9 +187,41 @@ TEST(Diff, ComparesProfiles)
     auto b = syntheticProfile();
     const ProfileComparison cmp = compareProfiles(*a, *b);
     EXPECT_DOUBLE_EQ(cmp.speedup(), 1.0);
+    EXPECT_TRUE(cmp.hasSpeedup());
     EXPECT_EQ(cmp.kernel_launches_a, cmp.kernel_launches_b);
     EXPECT_FALSE(cmp.kernels.empty());
     EXPECT_FALSE(cmp.toString("A", "B").empty());
+}
+
+TEST(Diff, ZeroGpuTimeRendersAsNotApplicableNotZeroSpeedup)
+{
+    // Comparing against a CPU-only (or empty) run: no GPU time in b
+    // means no defined ratio. The old 0.0 sentinel rendered as
+    // "0.00x" — reporting "b measured nothing" as "b is infinitely
+    // slower".
+    auto a = syntheticProfile();
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    const int cpu = metrics.intern("cpu_time_ns");
+    cct->addMetric(
+        cct->insert({Frame::python("train.py", "train_step", 10)}),
+        cpu, 1'000.0);
+    ProfileDb cpu_only(std::move(cct), std::move(metrics),
+                       std::map<std::string, std::string>{});
+
+    const ProfileComparison cmp = compareProfiles(*a, cpu_only);
+    EXPECT_FALSE(cmp.hasSpeedup());
+    EXPECT_TRUE(std::isnan(cmp.speedup()));
+    const std::string report = cmp.toString("gpu", "cpu-only");
+    EXPECT_NE(report.find("n/a"), std::string::npos);
+    EXPECT_EQ(report.find("0.00x"), std::string::npos);
+
+    // The defined direction still renders a ratio.
+    const ProfileComparison reverse = compareProfiles(cpu_only, *a);
+    EXPECT_TRUE(reverse.hasSpeedup());
+    EXPECT_DOUBLE_EQ(reverse.speedup(), 0.0);
+    EXPECT_NE(reverse.toString("cpu-only", "gpu").find("0.00x"),
+              std::string::npos);
 }
 
 TEST(FlameGraph, TopDownValuesAreInclusive)
