@@ -25,6 +25,15 @@ collapses of the fast path, not single-digit-percent drift:
   be at least the baseline's, so a flag that was 1 failing to 0 fails
   the build with no tolerance.
 
+- "*_overhead_pct" keys are within-process percentages (instrumented
+  vs. disabled telemetry), so like speedups they transfer across
+  hosts. The fresh value is gated against an absolute ceiling
+  (--overhead-cap, default 3.0), not against the baseline: the budget
+  is a contract, not a trajectory. On failure the report includes
+  every companion absolute key sharing the key's prefix (e.g.
+  telemetry_ingest_on_per_sec / _off_per_sec), so the log shows the
+  underlying numbers, not just the ratio.
+
 A gated-suffix key present in the fresh JSON but missing from the
 baseline also fails: otherwise a newly added scenario is silently never
 gated (every key above would look green while the new one regresses
@@ -59,6 +68,9 @@ def main():
     parser.add_argument("--latency-tolerance", type=float, default=4.0,
                         help="allowed multiple of baseline on *_us "
                              "keys / divisor on *_per_sec keys")
+    parser.add_argument("--overhead-cap", type=float, default=3.0,
+                        help="absolute ceiling (percent) for "
+                             "*_overhead_pct keys")
     parser.add_argument("--allow-new-keys", action="store_true",
                         help="only warn (loudly) about gated-suffix "
                              "keys missing from the baseline instead "
@@ -107,11 +119,25 @@ def main():
                 failures.append(
                     f"{key}: correctness flag fell from {base:g} "
                     f"to {got:g}")
+        elif key.endswith("_overhead_pct"):
+            if got > args.overhead_cap:
+                verdict = f"FAIL (> {args.overhead_cap:g}%)"
+                # The percentage alone is useless in a CI log; show
+                # the absolute measurements it was computed from.
+                prefix = key[:-len("overhead_pct")]
+                companions = ", ".join(
+                    f"{k}={fresh[k]:.3f}"
+                    for k in sorted(fresh)
+                    if k.startswith(prefix) and k != key)
+                failures.append(
+                    f"{key}: telemetry overhead {got:.2f}% exceeds "
+                    f"the {args.overhead_cap:g}% budget"
+                    + (f" ({companions})" if companions else ""))
         rows.append((key, base, got, verdict))
 
     def gated(key):
         return (key.endswith(("_speedup", "_us", "_per_sec",
-                              "_equiv", "_recovered"))
+                              "_equiv", "_recovered", "_overhead_pct"))
                 or "_speedup_" in key)
 
     # Keys only the fresh run knows are exactly the ones no gate above

@@ -1,13 +1,17 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace dc {
 
 namespace {
 
-LogLevel g_threshold = LogLevel::kWarn;
+/// -1 = not yet latched from DC_LOG_LEVEL.
+std::atomic<int> g_threshold{-1};
 
 const char *
 levelName(LogLevel level)
@@ -21,18 +25,91 @@ levelName(LogLevel level)
     return "?";
 }
 
+int
+initialThreshold()
+{
+    LogLevel level = LogLevel::kWarn;
+    if (const char *env = std::getenv("DC_LOG_LEVEL")) {
+        if (!parseLogLevel(env, level)) {
+            std::fprintf(stderr,
+                         "[WARN] ignoring unknown DC_LOG_LEVEL '%s'\n",
+                         env);
+            level = LogLevel::kWarn;
+        }
+    }
+    int expected = -1;
+    g_threshold.compare_exchange_strong(expected,
+                                        static_cast<int>(level),
+                                        std::memory_order_relaxed);
+    return g_threshold.load(std::memory_order_relaxed);
+}
+
 } // namespace
 
 LogLevel
 logThreshold()
 {
-    return g_threshold;
+    int value = g_threshold.load(std::memory_order_relaxed);
+    if (value < 0)
+        value = initialThreshold();
+    return static_cast<LogLevel>(value);
 }
 
 void
 setLogThreshold(LogLevel level)
 {
-    g_threshold = level;
+    g_threshold.store(static_cast<int>(level),
+                      std::memory_order_relaxed);
+}
+
+bool
+parseLogLevel(const std::string &text, LogLevel &out)
+{
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (lower == "debug") {
+        out = LogLevel::kDebug;
+    } else if (lower == "info") {
+        out = LogLevel::kInfo;
+    } else if (lower == "warn" || lower == "warning") {
+        out = LogLevel::kWarn;
+    } else if (lower == "error") {
+        out = LogLevel::kError;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::string
+quoteLogValue(const std::string &value)
+{
+    bool bare = !value.empty();
+    for (char c : value) {
+        const unsigned char uc = static_cast<unsigned char>(c);
+        if (std::isspace(uc) || c == '"' || c == '=' || c == '\\' ||
+            uc < 0x20) {
+            bare = false;
+            break;
+        }
+    }
+    if (bare)
+        return value;
+    std::string quoted = "\"";
+    for (char c : value) {
+        switch (c) {
+          case '"': quoted += "\\\""; break;
+          case '\\': quoted += "\\\\"; break;
+          case '\n': quoted += "\\n"; break;
+          case '\t': quoted += "\\t"; break;
+          default: quoted.push_back(c);
+        }
+    }
+    quoted.push_back('"');
+    return quoted;
 }
 
 void

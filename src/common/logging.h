@@ -23,11 +23,28 @@ enum class LogLevel {
     kError,
 };
 
-/** Global log threshold; messages below it are suppressed. */
+/**
+ * Global log threshold; messages below it are suppressed. First call
+ * latches the initial value from the DC_LOG_LEVEL env var
+ * (debug/info/warn/error, case-insensitive; default warn).
+ */
 LogLevel logThreshold();
 
-/** Set the global log threshold. */
+/** Set the global log threshold (overrides DC_LOG_LEVEL). */
 void setLogThreshold(LogLevel level);
+
+/**
+ * Parse a log-level name ("debug", "info", "warn"/"warning",
+ * "error", case-insensitive) into @p out. False on unknown names.
+ */
+bool parseLogLevel(const std::string &text, LogLevel &out);
+
+/**
+ * Quote a structured-field value for logfmt output: returned verbatim
+ * when it is a bare token, double-quoted with backslash escapes when it
+ * contains spaces, quotes, '=' or control characters.
+ */
+std::string quoteLogValue(const std::string &value);
 
 /** Emit a log line (used by the macros below). */
 void logMessage(LogLevel level, const char *file, int line,
@@ -54,6 +71,21 @@ concat(Args &&...args)
 }
 
 } // namespace detail
+
+/**
+ * One structured "key=value" field for a log line, value quoted per
+ * quoteLogValue() so entries stay grep- and logfmt-parser-friendly:
+ *
+ *   DC_WARN("slow operation ", logField("site", name),
+ *           " ", logField("duration_ns", dur));
+ */
+template <typename T>
+std::string
+logField(const std::string &key, T &&value)
+{
+    return key + "=" +
+           quoteLogValue(detail::concat(std::forward<T>(value)));
+}
 
 } // namespace dc
 

@@ -1,0 +1,178 @@
+#pragma once
+
+/**
+ * @file
+ * Process metrics for the warehouse itself: named monotonic counters
+ * and fixed-bucket log-scale latency histograms, written lock-free from
+ * any thread and swept into a consistent snapshot on demand.
+ *
+ * Design (the hot path is ingestion workers and query threads — the
+ * things being measured must not contend with each other):
+ *
+ *  - Every writing thread owns a private slab of relaxed atomics; a
+ *    counter add or histogram record touches only the caller's slab
+ *    (one relaxed fetch_add), so writers never share a cache line and
+ *    never take a lock. Thread exit returns the slab to a free list —
+ *    its accumulated totals survive (counters are cumulative across
+ *    the process) and a later thread adopts and continues it.
+ *
+ *  - snapshot() sums the slabs with relaxed loads under the registry
+ *    mutex (which only writers *registering new metrics* ever take on
+ *    their slow path). Concurrent writes may or may not be included —
+ *    each counter is monotonically fresh, which is what an exported
+ *    metrics page needs; exact totals require quiescing the writers
+ *    first, as the tests do.
+ *
+ *  - Histograms use log₂ octaves split into 4 sub-buckets (≤12.5%
+ *    relative error, 256 buckets covering the full uint64 range, values
+ *    0..7 exact), so p50/p95/p99 are derivable from any snapshot
+ *    without storing samples.
+ *
+ * Handles (Counter / Histogram) are cheap value types registered once
+ * and kept in static or member storage; a default-constructed handle is
+ * a safe no-op. The global() registry is the one the warehouse's
+ * instrumentation writes to; tests may build private registries.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dc::obs {
+
+namespace detail {
+struct RegistryState;
+} // namespace detail
+
+/** Limits of one thread slab (DC_CHECK'd at registration). */
+inline constexpr std::size_t kMaxCounters = 128;
+inline constexpr std::size_t kMaxHistograms = 48;
+/// Histogram shape: log₂ octaves × 4 sub-buckets (2 bits).
+inline constexpr int kHistSubBits = 2;
+inline constexpr std::size_t kHistBuckets = 256;
+
+/** Bucket index for @p value (monotonic in value; 0..7 map exactly). */
+std::size_t histBucket(std::uint64_t value);
+/** Inclusive lower bound of bucket @p index. */
+std::uint64_t histBucketLower(std::size_t index);
+/** Representative (midpoint) value of bucket @p index. */
+std::uint64_t histBucketMid(std::size_t index);
+
+/** Lock-free monotonic counter handle. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p n (relaxed, per-thread slab; no-op on a null handle). */
+    void add(std::uint64_t n = 1) const;
+
+  private:
+    friend class MetricsRegistry;
+    Counter(std::shared_ptr<detail::RegistryState> state,
+            std::uint32_t id)
+        : state_(std::move(state)), id_(id)
+    {
+    }
+    std::shared_ptr<detail::RegistryState> state_;
+    std::uint32_t id_ = 0;
+};
+
+/** Lock-free log-scale histogram handle. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Record one observation (no-op on a null handle). */
+    void record(std::uint64_t value) const;
+
+  private:
+    friend class MetricsRegistry;
+    Histogram(std::shared_ptr<detail::RegistryState> state,
+              std::uint32_t id)
+        : state_(std::move(state)), id_(id)
+    {
+    }
+    std::shared_ptr<detail::RegistryState> state_;
+    std::uint32_t id_ = 0;
+};
+
+/** One histogram's merged view at snapshot time. */
+struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    /// Quantile estimates from the merged buckets (bucket midpoints;
+    /// ≤12.5% relative error). 0 when count == 0.
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+
+    double mean() const
+    {
+        return count > 0 ? static_cast<double>(sum) /
+                               static_cast<double>(count)
+                         : 0.0;
+    }
+};
+
+/** A consistent-enough sweep of every registered metric. */
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<HistogramSnapshot> histograms;
+
+    /** Counter value by name; 0 when absent. */
+    std::uint64_t counter(const std::string &name) const;
+    /** Histogram by name; nullptr when absent. */
+    const HistogramSnapshot *histogram(const std::string &name) const;
+
+    /**
+     * Flat JSON object: {"counters": {...}, "histograms": {name:
+     * {count, sum, max, mean, p50, p95, p99}, ...}} — the exporter the
+     * bench dumps and a future server endpoint will serve.
+     */
+    std::string toJson() const;
+};
+
+/** Registry of named counters and histograms. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The registry the warehouse's instrumentation writes to. */
+    static MetricsRegistry &global();
+
+    /** Get-or-register the counter named @p name. */
+    Counter counter(const std::string &name);
+
+    /** Get-or-register the histogram named @p name. */
+    Histogram histogram(const std::string &name);
+
+    /** Sweep every slab into a snapshot (relaxed loads, no writer
+     * locks taken — see the file comment for the consistency model). */
+    MetricsSnapshot snapshot() const;
+
+    /** snapshot().toJson() convenience. */
+    std::string toJson() const;
+
+    /**
+     * Zero every counter and histogram bucket across all slabs (names
+     * stay registered). For tests and bench phase isolation only —
+     * racing writers may leave residue; quiesce them first.
+     */
+    void reset();
+
+  private:
+    std::shared_ptr<detail::RegistryState> state_;
+};
+
+} // namespace dc::obs

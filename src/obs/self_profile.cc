@@ -1,0 +1,85 @@
+#include "obs/self_profile.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dlmonitor/callpath.h"
+#include "profiler/metrics.h"
+
+namespace dc::obs {
+
+namespace {
+
+/// Parent chains are bounded by real nesting depth (a handful of
+/// frames); the cap only guards against a corrupt ring.
+constexpr std::size_t kMaxChain = 128;
+
+} // namespace
+
+std::unique_ptr<prof::ProfileDb>
+selfProfile(const std::vector<SpanRecord> &spans,
+            std::map<std::string, std::string> extra_metadata)
+{
+    std::unordered_map<std::uint64_t, const SpanRecord *> by_id;
+    by_id.reserve(spans.size());
+    for (const SpanRecord &span : spans)
+        by_id.emplace(span.span_id, &span);
+
+    // Direct-children wall time per span, for self-time computation.
+    std::unordered_map<std::uint64_t, std::uint64_t> child_ns;
+    for (const SpanRecord &span : spans) {
+        if (span.parent_id != 0 && by_id.count(span.parent_id)) {
+            child_ns[span.parent_id] +=
+                span.end_ns - span.start_ns;
+        }
+    }
+
+    auto cct = std::make_unique<prof::Cct>();
+    prof::MetricRegistry metrics;
+    const int real_time =
+        metrics.intern(prof::metric_names::kRealTime);
+    const int span_count = metrics.intern("span_count");
+
+    for (const SpanRecord &span : spans) {
+        // Reconstruct the site chain leaf-to-root, then reverse.
+        dlmon::CallPath path;
+        const SpanRecord *node = &span;
+        while (node != nullptr && path.size() < kMaxChain) {
+            path.push_back(dlmon::Frame::kernel(
+                node->name ? node->name : "?"));
+            if (node->parent_id == 0)
+                break;
+            auto it = by_id.find(node->parent_id);
+            node = it != by_id.end() ? it->second : nullptr;
+        }
+        std::reverse(path.begin(), path.end());
+
+        prof::CctNode *leaf = cct->insert(path);
+        const std::uint64_t duration = span.end_ns - span.start_ns;
+        std::uint64_t owned = 0;
+        auto it = child_ns.find(span.span_id);
+        if (it != child_ns.end())
+            owned = it->second;
+        const std::uint64_t self =
+            duration > owned ? duration - owned : 0;
+        // Self time with propagation: ancestors and the root
+        // accumulate inclusive totals without double counting.
+        cct->addMetric(leaf, real_time,
+                       static_cast<double>(self), true);
+        cct->addMetric(leaf, span_count, 1.0, false);
+    }
+
+    std::map<std::string, std::string> metadata = {
+        {"framework", "deepcontext"},
+        {"platform", "self"},
+        {"model", "warehouse"},
+        {"source", "obs.self_profile"},
+    };
+    for (auto &[key, value] : extra_metadata)
+        metadata[key] = std::move(value);
+
+    return std::make_unique<prof::ProfileDb>(
+        std::move(cct), std::move(metrics), std::move(metadata));
+}
+
+} // namespace dc::obs

@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Dogfooding exporter: turn the warehouse's own trace spans into a
+ * ProfileDb, so its behavior is queryable through the very machinery
+ * it provides — topKernels over instrumentation sites, flame graphs of
+ * ingest vs. query time, diffs between two bench runs.
+ *
+ * Every span becomes a kernel frame named after its site; parent links
+ * reconstruct the call path (a span whose parent has been overwritten
+ * in the ring becomes a root). Wall time is added as the span's *self*
+ * time with ancestor propagation, so interior and root nodes hold
+ * correct inclusive "real_time_ns" values without double counting;
+ * "span_count" counts samples per exact context.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace_span.h"
+#include "profiler/profile_db.h"
+
+namespace dc::obs {
+
+/**
+ * Build a profile from @p spans (typically
+ * TraceBuffer::global().snapshot()). @p extra_metadata is merged over
+ * the defaults (framework/platform/model/source keys are pre-set so
+ * corpus QueryFilters match). The result passes ProfileDb::validate and
+ * round-trips through serialize/tryDeserialize like any other profile.
+ */
+std::unique_ptr<prof::ProfileDb>
+selfProfile(const std::vector<SpanRecord> &spans,
+            std::map<std::string, std::string> extra_metadata = {});
+
+} // namespace dc::obs

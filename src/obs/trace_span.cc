@@ -1,0 +1,343 @@
+#include "obs/trace_span.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dc::obs {
+
+namespace detail {
+
+/**
+ * One thread's span state: the bounded record ring plus the sampling
+ * and nesting bookkeeping only the owner touches. The mutex guards
+ * just the ring contents (owner pushes vs. snapshot/clear readers);
+ * spans are sampled, so this lock is far off the hot path.
+ */
+struct ThreadRing {
+    std::mutex mutex;
+    std::array<SpanRecord, kSpanRingCapacity> records;
+    std::uint64_t pushed = 0; ///< Total records ever pushed.
+
+    // Owner-thread-only state (no lock).
+    std::uint64_t sample_seq = 0;
+    std::uint64_t next_span_seq = 0;
+    std::vector<std::uint64_t> open_spans;
+    std::uint32_t tid = 0;
+
+    /** Append @p record; true when it overwrote an older one. */
+    bool push(const SpanRecord &record)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        records[pushed % kSpanRingCapacity] = record;
+        ++pushed;
+        return pushed > kSpanRingCapacity;
+    }
+};
+
+namespace {
+
+struct TraceState {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<ThreadRing>> rings;
+    std::vector<ThreadRing *> free_rings;
+};
+
+TraceState &
+traceState()
+{
+    static TraceState *state = new TraceState();
+    return *state;
+}
+
+std::mutex g_site_mutex;
+
+/** Returns the thread's ring to the free list on thread exit; the
+ * accumulated records stay visible until an adopting thread wraps
+ * past them. */
+struct RingHandle {
+    ThreadRing *ring = nullptr;
+    ~RingHandle()
+    {
+        if (ring == nullptr)
+            return;
+        TraceState &state = traceState();
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.free_rings.push_back(ring);
+    }
+};
+
+thread_local RingHandle t_ring;
+
+ThreadRing &
+localRing()
+{
+    if (t_ring.ring != nullptr)
+        return *t_ring.ring;
+    TraceState &state = traceState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.free_rings.empty()) {
+        t_ring.ring = state.free_rings.back();
+        state.free_rings.pop_back();
+    } else {
+        state.rings.push_back(std::make_unique<ThreadRing>());
+        t_ring.ring = state.rings.back().get();
+        t_ring.ring->tid =
+            static_cast<std::uint32_t>(state.rings.size() - 1);
+    }
+    return *t_ring.ring;
+}
+
+std::atomic<std::uint64_t> g_default_slow_ns{0}; ///< 0 = unlatched.
+
+constexpr std::uint64_t kDefaultSlowNs = 50'000'000; // 50 ms
+
+/** Slow-op log rate limiter: ~10 lines per second, benign races. */
+struct SlowLogLimiter {
+    std::atomic<std::uint64_t> window_start_ns{0};
+    std::atomic<std::uint64_t> window_count{0};
+
+    bool allow(std::uint64_t now)
+    {
+        constexpr std::uint64_t kWindowNs = 1'000'000'000;
+        constexpr std::uint64_t kMaxPerWindow = 10;
+        std::uint64_t start =
+            window_start_ns.load(std::memory_order_relaxed);
+        if (now - start >= kWindowNs) {
+            window_start_ns.store(now, std::memory_order_relaxed);
+            window_count.store(0, std::memory_order_relaxed);
+        }
+        return window_count.fetch_add(1, std::memory_order_relaxed) <
+               kMaxPerWindow;
+    }
+};
+
+SlowLogLimiter g_slow_limiter;
+
+struct SlowLogCounters {
+    Counter emitted;
+    Counter suppressed;
+    Counter dropped_spans;
+    std::atomic<int> inited{0};
+};
+
+SlowLogCounters g_slow_counters;
+
+SlowLogCounters &
+slowLogCounters()
+{
+    if (g_slow_counters.inited.load(std::memory_order_acquire) == 0) {
+        std::lock_guard<std::mutex> lock(g_site_mutex);
+        if (g_slow_counters.inited.load(std::memory_order_relaxed) ==
+            0) {
+            MetricsRegistry &reg = MetricsRegistry::global();
+            g_slow_counters.emitted =
+                reg.counter("obs.slowlog.emitted");
+            g_slow_counters.suppressed =
+                reg.counter("obs.slowlog.suppressed");
+            g_slow_counters.dropped_spans =
+                reg.counter("obs.spans.dropped");
+            g_slow_counters.inited.store(1,
+                                         std::memory_order_release);
+        }
+    }
+    return g_slow_counters;
+}
+
+} // namespace
+} // namespace detail
+
+std::uint64_t
+defaultSlowNs()
+{
+    std::uint64_t value = detail::g_default_slow_ns.load(
+        std::memory_order_relaxed);
+    if (value != 0)
+        return value;
+    value = detail::kDefaultSlowNs;
+    if (const char *env = std::getenv("DC_OBS_SLOW_NS")) {
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            value = parsed;
+    }
+    detail::g_default_slow_ns.store(value,
+                                    std::memory_order_relaxed);
+    return value;
+}
+
+void
+setDefaultSlowNs(std::uint64_t ns)
+{
+    detail::g_default_slow_ns.store(ns ? ns : detail::kDefaultSlowNs,
+                                    std::memory_order_relaxed);
+}
+
+void
+SpanSite::ensureInit()
+{
+    if (inited.load(std::memory_order_acquire) != 0)
+        return;
+    std::lock_guard<std::mutex> lock(detail::g_site_mutex);
+    if (inited.load(std::memory_order_relaxed) != 0)
+        return;
+    MetricsRegistry &reg = MetricsRegistry::global();
+    count = reg.counter(std::string(name) + ".count");
+    latency = reg.histogram(std::string(name) + ".ns");
+    inited.store(1, std::memory_order_release);
+}
+
+ObsSpan::ObsSpan(SpanSite &site, std::uint64_t arg)
+{
+    if (!enabled())
+        return;
+    site.ensureInit();
+    site.count.add();
+    detail::ThreadRing &ring = detail::localRing();
+    const std::uint64_t mask = (1ull << site.sample_shift) - 1;
+    if ((ring.sample_seq++ & mask) != 0)
+        return;
+    site_ = &site;
+    ring_ = &ring;
+    arg_ = arg;
+    span_id_ = (static_cast<std::uint64_t>(ring.tid + 1) << 40) |
+               (++ring.next_span_seq);
+    parent_id_ = ring.open_spans.empty() ? 0 : ring.open_spans.back();
+    ring.open_spans.push_back(span_id_);
+    start_ns_ = nowNs();
+}
+
+ObsSpan::~ObsSpan()
+{
+    if (site_ != nullptr)
+        finish();
+}
+
+void
+ObsSpan::finish()
+{
+    const std::uint64_t end = nowNs();
+    const std::uint64_t duration =
+        end > start_ns_ ? end - start_ns_ : 0;
+    site_->latency.record(duration);
+
+    detail::ThreadRing &ring = *ring_;
+    // RAII spans nest LIFO per thread, so ours is the innermost.
+    DC_CHECK(!ring.open_spans.empty() &&
+                 ring.open_spans.back() == span_id_,
+             "span stack corrupted at site '", site_->name, "'");
+    ring.open_spans.pop_back();
+
+    SpanRecord record;
+    record.name = site_->name;
+    record.span_id = span_id_;
+    record.parent_id = parent_id_;
+    record.start_ns = start_ns_;
+    record.end_ns = end;
+    record.arg = arg_;
+    record.tid = ring.tid;
+    if (ring.push(record))
+        detail::slowLogCounters().dropped_spans.add();
+
+    const std::uint64_t threshold =
+        site_->slow_ns != 0 ? site_->slow_ns : defaultSlowNs();
+    if (duration >= threshold) {
+        detail::SlowLogCounters &counters =
+            detail::slowLogCounters();
+        if (detail::g_slow_limiter.allow(end)) {
+            counters.emitted.add();
+            DC_WARN("slow operation ",
+                    logField("site", site_->name), " ",
+                    logField("duration_ns", duration), " ",
+                    logField("span_id", span_id_), " ",
+                    logField("parent_id", parent_id_), " ",
+                    logField("arg", arg_), " ",
+                    logField("tid", ring.tid));
+        } else {
+            counters.suppressed.add();
+        }
+    }
+    site_ = nullptr;
+}
+
+TraceBuffer &
+TraceBuffer::global()
+{
+    static TraceBuffer *buffer = new TraceBuffer();
+    return *buffer;
+}
+
+std::vector<SpanRecord>
+TraceBuffer::snapshot() const
+{
+    std::vector<SpanRecord> out;
+    detail::TraceState &state = detail::traceState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (const auto &ring : state.rings) {
+        std::lock_guard<std::mutex> ring_lock(ring->mutex);
+        const std::uint64_t live =
+            std::min<std::uint64_t>(ring->pushed, kSpanRingCapacity);
+        const std::uint64_t first = ring->pushed - live;
+        for (std::uint64_t i = 0; i < live; ++i) {
+            out.push_back(
+                ring->records[(first + i) % kSpanRingCapacity]);
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+TraceBuffer::dropped() const
+{
+    detail::TraceState &state = detail::traceState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    std::uint64_t dropped = 0;
+    for (const auto &ring : state.rings) {
+        std::lock_guard<std::mutex> ring_lock(ring->mutex);
+        if (ring->pushed > kSpanRingCapacity)
+            dropped += ring->pushed - kSpanRingCapacity;
+    }
+    return dropped;
+}
+
+void
+TraceBuffer::clear()
+{
+    detail::TraceState &state = detail::traceState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (const auto &ring : state.rings) {
+        std::lock_guard<std::mutex> ring_lock(ring->mutex);
+        ring->pushed = 0;
+    }
+}
+
+std::string
+toChromeTrace(const std::vector<SpanRecord> &spans)
+{
+    std::string out = "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const SpanRecord &span = spans[i];
+        out += i ? ",\n  " : "\n  ";
+        out += strformat(
+            "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+            "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+            "\"args\": {\"span_id\": %llu, \"parent_id\": %llu, "
+            "\"arg\": %llu}}",
+            jsonEscape(span.name ? span.name : "?").c_str(),
+            span.tid, static_cast<double>(span.start_ns) / 1e3,
+            static_cast<double>(span.end_ns - span.start_ns) / 1e3,
+            static_cast<unsigned long long>(span.span_id),
+            static_cast<unsigned long long>(span.parent_id),
+            static_cast<unsigned long long>(span.arg));
+    }
+    out += spans.empty() ? "]}\n" : "\n]}\n";
+    return out;
+}
+
+} // namespace dc::obs

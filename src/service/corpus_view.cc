@@ -5,11 +5,23 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/trace_span.h"
 #include "service/cct_merger.h"
 
 namespace dc::service {
 
 namespace {
+
+obs::SpanSite s_rebuild_span{"view.rebuild"};
+obs::SpanSite s_refresh_span{"view.refresh"};
+
+obs::Counter &
+viewHitCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("view.hit");
+    return counter;
+}
 
 /**
  * Metric-id translation from a run's registry into the view's merged
@@ -112,6 +124,7 @@ CorpusView::acquire(const QueryFilter &filter,
     // a larger generation and refresh incrementally.
     const ProfileStore::Generation generation = store_.generation();
     if (entry->view != nullptr && entry->generation == generation) {
+        viewHitCounter().add();
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.hits;
         return entry->view;
@@ -133,6 +146,7 @@ CorpusView::acquire(const QueryFilter &filter,
             // Generation moved but nothing new matches this view —
             // record the new digest so the next acquire is a pure hit.
             entry->generation = generation;
+            viewHitCounter().add();
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.hits;
             return entry->view;
@@ -158,6 +172,7 @@ CorpusView::buildFull(const QueryFilter &filter,
                       const std::string &exclude_run,
                       const ProfileStore::Generation &generation) const
 {
+    obs::ObsSpan span(s_rebuild_span, generation.ingested);
     // The merge interns (at least "<root>") into the store's table;
     // hold the guard its compactNames() quiesces interning with.
     const auto intern_guard = store_.internGuard();
@@ -195,6 +210,7 @@ CorpusView::buildIncremental(
         std::string, std::shared_ptr<const prof::ProfileDb>>> &fresh)
     const
 {
+    obs::ObsSpan span(s_refresh_span, fresh.size());
     // Clone the materialized prefix, then fold only the new runs onto
     // it — the merge is associative/commutative, so this equals a
     // from-scratch merge of the whole selection (up to FP rounding).

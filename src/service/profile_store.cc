@@ -5,6 +5,7 @@
 #include "common/fs.h"
 #include "common/logging.h"
 #include "common/string_table.h"
+#include "obs/trace_span.h"
 
 namespace dc::service {
 
@@ -17,6 +18,34 @@ resolveWorkers(std::size_t requested)
         return requested;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
+}
+
+obs::SpanSite s_ingest_span{"warehouse.ingest"};
+obs::SpanSite s_erase_span{"warehouse.erase"};
+obs::SpanSite s_recover_span{"warehouse.recover"};
+
+obs::Counter &
+ingestAcceptedCounter()
+{
+    static obs::Counter counter = obs::MetricsRegistry::global().counter(
+        "warehouse.ingest.accepted");
+    return counter;
+}
+
+obs::Counter &
+ingestFailedCounter()
+{
+    static obs::Counter counter = obs::MetricsRegistry::global().counter(
+        "warehouse.ingest.failed");
+    return counter;
+}
+
+obs::Counter &
+recoveredCounter()
+{
+    static obs::Counter counter = obs::MetricsRegistry::global().counter(
+        "warehouse.ingest.recovered");
+    return counter;
 }
 
 } // namespace
@@ -51,6 +80,7 @@ ProfileStore::ProfileStore(Options options)
 void
 ProfileStore::openAndReplayLog(const Options &options)
 {
+    obs::ObsSpan span(s_recover_span);
     auto log = std::make_unique<WarehouseLog>();
     WarehouseLog::Options log_options;
     log_options.dir = options.data_dir;
@@ -110,6 +140,8 @@ ProfileStore::openAndReplayLog(const Options &options)
     recovery_.runs = stats_.recovered;
     recovery_.corrupt_records = replay_stats.corrupt_records;
     recovery_.torn_tail = replay_stats.torn_tail;
+    recoveredCounter().add(recovery_.runs);
+    span.setArg(recovery_.runs);
     log_ = std::move(log);
 }
 
@@ -292,6 +324,7 @@ ProfileStore::workerLoop()
 void
 ProfileStore::process(Task &task)
 {
+    obs::ObsSpan span(s_ingest_span, task.bytes);
     std::shared_ptr<const prof::ProfileDb> profile;
     std::uint64_t interned_delta = 0;
     bool over_budget = false;
@@ -430,6 +463,7 @@ ProfileStore::process(Task &task)
         std::lock_guard<std::mutex> lock(queue_mutex_);
         ++stats_.ingested;
     }
+    ingestAcceptedCounter().add();
     if (log_ != nullptr)
         maybeAutoCompactLog();
 }
@@ -476,6 +510,7 @@ ProfileStore::noteAppend(bool ok, std::string error)
     std::lock_guard<std::mutex> lock(queue_mutex_);
     ++stats_.log_append_failures;
     log_error_ = std::move(error);
+    log_last_error_ns_ = obs::nowNs();
 }
 
 void
@@ -609,6 +644,7 @@ ProfileStore::recordFailureLocked(const std::string &run_id,
 {
     DC_WARN("ingestion of run '", run_id, "' failed: ", error);
     ++stats_.failed;
+    ingestFailedCounter().add();
     // A long-lived store fed a misbehaving frontend must not grow its
     // failure log without bound; stats_.failed keeps the exact total.
     if (failures_.size() >= kMaxRecordedFailures)
@@ -641,6 +677,7 @@ ProfileStore::get(const std::string &run_id) const
 bool
 ProfileStore::erase(const std::string &run_id)
 {
+    obs::ObsSpan span(s_erase_span);
     Shard &shard = shardFor(run_id);
     std::uint64_t ticket = 0;
     std::uint64_t found_seq = 0;
@@ -792,8 +829,20 @@ ProfileStore::size() const
 StoreStats
 ProfileStore::stats() const
 {
+    // Read the log's own counter before taking queue_mutex_ (the log
+    // serializes internally; no reason to nest the locks).
+    const std::uint64_t fsyncs =
+        log_ != nullptr ? log_->fsyncCount() : 0;
+    const std::uint64_t now = obs::nowNs();
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    return stats_;
+    StoreStats stats = stats_;
+    stats.log_fsyncs = fsyncs;
+    if (log_last_error_ns_ != 0) {
+        // Clamp to >= 1 so "just failed" cannot alias "never failed".
+        stats.log_last_error_age_ns =
+            now > log_last_error_ns_ ? now - log_last_error_ns_ : 1;
+    }
+    return stats;
 }
 
 std::vector<std::pair<std::string, std::string>>

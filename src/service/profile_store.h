@@ -67,6 +67,15 @@ struct StoreStats {
     std::uint64_t log_append_failures = 0;
     /// Log compactions that folded dead records away.
     std::uint64_t log_compactions = 0;
+    /// Record fsyncs the log completed (0 with log_sync off or no
+    /// log). With appends > 0 and fsyncs == 0 the corpus is only
+    /// process-crash-safe, not power-failure-safe.
+    std::uint64_t log_fsyncs = 0;
+    /// Nanoseconds since the most recent append failure, or 0 when no
+    /// append has ever failed. A small value means the store is
+    /// actively degraded to memory-only; a large one records a past
+    /// incident that has not recurred.
+    std::uint64_t log_last_error_age_ns = 0;
     /// Name-text growth of the store's own StringTable caused by this
     /// store's ingestion (parses and handoff rebinds). Exact: each
     /// worker meters the entries *it* creates inside the owning table
@@ -401,6 +410,9 @@ class ProfileStore
     std::uint64_t log_now_serving_ = 0;
     /// Last log open/replay/append error. Guarded by queue_mutex_.
     std::string log_error_;
+    /// obs::nowNs() of the last failed append (0 = never). Guarded by
+    /// queue_mutex_; stats() reports it as an age.
+    std::uint64_t log_last_error_ns_ = 0;
     RecoveryStats recovery_; ///< Written by the constructor only.
 
     /// The per-corpus name table (see Options::names).

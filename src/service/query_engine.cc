@@ -3,9 +3,22 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/trace_span.h"
 #include "service/cct_merger.h"
 
 namespace dc::service {
+
+namespace {
+
+/// Query sites sample 1 in 16 spans: the cached paths run in
+/// microseconds, so timing every call would eat the overhead budget;
+/// the .count counters stay exact regardless.
+obs::SpanSite s_topk_span{"query.topk", 4};
+obs::SpanSite s_merged_span{"query.merged", 4};
+obs::SpanSite s_diff_span{"query.diff", 4};
+obs::SpanSite s_flame_span{"query.flame", 4};
+
+} // namespace
 
 std::vector<std::string>
 QueryEngine::runIds(const QueryFilter &filter) const
@@ -21,6 +34,7 @@ std::vector<KernelAggregate>
 QueryEngine::topKernels(std::size_t k, const QueryFilter &filter,
                         const std::string &metric) const
 {
+    obs::ObsSpan span(s_topk_span, k);
     const std::shared_ptr<const CorpusView::View> view =
         view_.acquire(filter);
     const int metric_id = view->db->metrics().find(metric);
@@ -87,6 +101,7 @@ QueryEngine::topKernels(std::size_t k, const QueryFilter &filter,
 std::shared_ptr<const prof::ProfileDb>
 QueryEngine::merged(const QueryFilter &filter) const
 {
+    obs::ObsSpan span(s_merged_span);
     return view_.acquire(filter)->db;
 }
 
@@ -94,6 +109,7 @@ std::optional<analysis::ProfileComparison>
 QueryEngine::diffRuns(const std::string &run_a,
                       const std::string &run_b) const
 {
+    obs::ObsSpan span(s_diff_span);
     std::shared_ptr<const prof::ProfileDb> a = store_.get(run_a);
     std::shared_ptr<const prof::ProfileDb> b = store_.get(run_b);
     if (a == nullptr || b == nullptr)
@@ -105,6 +121,7 @@ std::optional<analysis::ProfileComparison>
 QueryEngine::diffAgainstCorpus(const std::string &run_id,
                                const QueryFilter &filter) const
 {
+    obs::ObsSpan span(s_diff_span);
     std::shared_ptr<const prof::ProfileDb> run = store_.get(run_id);
     if (run == nullptr)
         return std::nullopt;
@@ -136,6 +153,7 @@ std::shared_ptr<const gui::FlameNode>
 QueryEngine::flameGraph(const QueryFilter &filter,
                         const gui::FlameGraphOptions &options) const
 {
+    obs::ObsSpan span(s_flame_span);
     const std::shared_ptr<const CorpusView::View> view =
         view_.acquire(filter);
     const std::string key = flameSignature(options);

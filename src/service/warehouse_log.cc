@@ -12,6 +12,7 @@
 #include "common/fs.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/trace_span.h"
 
 namespace dc::service {
 
@@ -19,6 +20,25 @@ namespace {
 
 constexpr const char *kSegmentPrefix = "segment-";
 constexpr const char *kSegmentSuffix = ".dclog";
+
+obs::SpanSite s_append_span{"wal.append"};
+obs::SpanSite s_compact_span{"wal.compact"};
+
+obs::Counter &
+appendFailedCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("wal.append.failed");
+    return counter;
+}
+
+obs::Counter &
+fsyncCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("wal.fsync.count");
+    return counter;
+}
 
 /**
  * FNV-1a 64 over the header metadata (kind + both length fields, as
@@ -362,24 +382,35 @@ WarehouseLog::appendLocked(Record::Kind kind, const std::string &run_id,
             *error = "log not replayed before append";
         return false;
     }
-    if (fd_ < 0 && !openActiveLocked(error))
+    if (fd_ < 0 && !openActiveLocked(error)) {
+        appendFailedCounter().add();
         return false;
+    }
     if (active_bytes_ >= options_.max_segment_bytes &&
         active_bytes_ > 0) {
         closeActiveLocked();
         ++active_index_;
-        if (!openActiveLocked(error))
+        if (!openActiveLocked(error)) {
+            appendFailedCounter().add();
             return false;
+        }
     }
     const std::string frame = frameRecord(kind, run_id, text);
+    obs::ObsSpan span(s_append_span, frame.size());
     std::string write_error;
     bool ok = writeAll(fd_, frame, &write_error);
-    if (ok && options_.sync && ::fsync(fd_) != 0) {
-        ok = false;
-        write_error =
-            std::string("log fsync failed: ") + std::strerror(errno);
+    if (ok && options_.sync) {
+        if (::fsync(fd_) != 0) {
+            ok = false;
+            write_error = std::string("log fsync failed: ") +
+                          std::strerror(errno);
+        } else {
+            ++fsync_count_;
+            fsyncCounter().add();
+        }
     }
     if (!ok) {
+        appendFailedCounter().add();
         // A partial frame may be on disk (e.g. disk full mid-write).
         // Replay cannot resync past torn bytes, so later successful
         // appends would be silently stranded behind them — cut the
@@ -424,6 +455,7 @@ WarehouseLog::compactLocked(std::string *error)
 {
     if (dead_bytes_ == 0 || segments_.empty())
         return 0;
+    obs::ObsSpan span(s_compact_span, dead_bytes_);
     closeActiveLocked();
 
     // Fold the log from the log itself: replay the segments in memory
@@ -523,6 +555,13 @@ WarehouseLog::deadBytes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return dead_bytes_;
+}
+
+std::uint64_t
+WarehouseLog::fsyncCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fsync_count_;
 }
 
 std::size_t

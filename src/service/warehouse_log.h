@@ -155,6 +155,9 @@ class WarehouseLog
     /** Number of segment files. */
     std::size_t segmentCount() const;
 
+    /** Record fsyncs completed (0 when Options::sync is off). */
+    std::uint64_t fsyncCount() const;
+
     const std::string &dir() const { return dir_; }
 
   private:
@@ -196,6 +199,7 @@ class WarehouseLog
     std::map<std::string, std::uint64_t> live_;
     std::uint64_t live_bytes_ = 0;
     std::uint64_t dead_bytes_ = 0;
+    std::uint64_t fsync_count_ = 0;
 };
 
 } // namespace dc::service
