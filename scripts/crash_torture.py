@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Drive the crash-torture sweep with a configurable kill budget.
+
+Usage: crash_torture.py [--build-dir build] [--hits N] [--repeat N]
+
+Wraps `dc_tests --gtest_filter='CrashTorture.*'`: each repeat runs the
+full sweep (every registered crash point, killed at hit counts
+1..hits), recovering the warehouse after each kill and asserting exact
+query equivalence against an in-memory reference corpus. The per-site
+hit budget is passed to the harness via DC_CRASH_TORTURE_HITS.
+
+Exit status is nonzero as soon as any sweep fails, so CI can gate on
+it directly. Meant to run under sanitizers too — point --build-dir at
+an ASan/TSan tree.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="crash-torture sweep driver")
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree holding dc_tests")
+    parser.add_argument("--hits", type=int, default=2,
+                        help="kill each crash point at hit counts "
+                             "1..HITS (default 2)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="full-sweep repetitions (default 1)")
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "dc_tests")
+    if not os.path.exists(binary):
+        print(f"crash_torture: no test binary at {binary} "
+              f"(build the tree first)", file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    env["DC_CRASH_TORTURE_HITS"] = str(args.hits)
+    for i in range(args.repeat):
+        print(f"crash_torture: sweep {i + 1}/{args.repeat} "
+              f"(hits budget {args.hits})", flush=True)
+        result = subprocess.run(
+            [binary, "--gtest_filter=CrashTorture.*",
+             "--gtest_brief=1"],
+            env=env)
+        if result.returncode != 0:
+            print(f"crash_torture: sweep {i + 1} FAILED "
+                  f"(exit {result.returncode})", file=sys.stderr)
+            return 1
+    print(f"crash_torture: {args.repeat} sweep(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

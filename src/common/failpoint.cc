@@ -1,0 +1,356 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/metrics_registry.h"
+
+namespace dc::failpoint {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+std::atomic<int> g_env_state{0};
+} // namespace detail
+
+namespace {
+
+obs::Counter &
+firedCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("failpoint.fired");
+    return counter;
+}
+
+enum class Trigger { kAlways, kHit, kEvery, kOneshot };
+
+struct Config {
+    Action action = Action::kError;
+    std::uint64_t arg = 0;
+    int error_errno = EIO;
+    bool kill_after = false;
+    Trigger trigger = Trigger::kAlways;
+    std::uint64_t trigger_n = 0;
+    std::uint64_t hits = 0; ///< Evaluations seen while armed.
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, Config> armed;
+    /// Cumulative fires per site; survives clear() so a test can
+    /// disarm and still assert the fault ran.
+    std::map<std::string, std::uint64_t> fired;
+    std::vector<const char *> sites;
+};
+
+Registry &
+registry()
+{
+    // Leaked intentionally: Site statics in other TUs register during
+    // static init and sites evaluate up to process death (including
+    // from kill actions) — destruction order must never matter.
+    static Registry *r = new Registry();
+    return *r;
+}
+
+bool
+parseErrno(const std::string &name, int *out)
+{
+    static const std::map<std::string, int> known = {
+        {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EDQUOT", EDQUOT},
+        {"EROFS", EROFS},   {"EACCES", EACCES}, {"EBADF", EBADF},
+        {"ENOENT", ENOENT},
+    };
+    const auto it = known.find(name);
+    if (it == known.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+/** Parse `action[(arg)]`, e.g. `torn(12)`, `error(ENOSPC)`, `kill`. */
+bool
+parseAction(const std::string &text, Config *config, std::string *error)
+{
+    std::string head = text;
+    std::string arg;
+    const std::size_t paren = text.find('(');
+    if (paren != std::string::npos) {
+        if (text.back() != ')') {
+            if (error != nullptr)
+                *error = "unbalanced '(' in failpoint action: " + text;
+            return false;
+        }
+        head = text.substr(0, paren);
+        arg = text.substr(paren + 1, text.size() - paren - 2);
+    }
+    const auto numericArg = [&](std::uint64_t *out) {
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long value =
+            std::strtoull(arg.c_str(), &end, 10);
+        if (arg.empty() || errno != 0 || end != arg.data() + arg.size()) {
+            if (error != nullptr)
+                *error = "bad numeric argument in failpoint action: " +
+                         text;
+            return false;
+        }
+        *out = value;
+        return true;
+    };
+    if (head == "error") {
+        config->action = Action::kError;
+        config->error_errno = EIO;
+        if (!arg.empty() && !parseErrno(arg, &config->error_errno)) {
+            if (error != nullptr)
+                *error = "unknown errno name in failpoint action: " +
+                         text;
+            return false;
+        }
+        return true;
+    }
+    if (head == "enospc") {
+        config->action = Action::kError;
+        config->error_errno = ENOSPC;
+        return true;
+    }
+    if (head == "torn" || head == "torn-kill") {
+        config->action = Action::kShortWrite;
+        config->error_errno = ENOSPC;
+        config->kill_after = head == "torn-kill";
+        return numericArg(&config->arg);
+    }
+    if (head == "delay") {
+        config->action = Action::kDelay;
+        return numericArg(&config->arg);
+    }
+    if (head == "kill") {
+        config->action = Action::kKill;
+        return true;
+    }
+    if (error != nullptr)
+        *error = "unknown failpoint action: " + text;
+    return false;
+}
+
+bool
+parseSpec(const std::string &spec, Config *config, std::string *error)
+{
+    const std::size_t colon = spec.find(':');
+    if (!parseAction(trim(spec.substr(0, colon)), config, error))
+        return false;
+    if (colon == std::string::npos)
+        return true;
+    const std::string trigger = trim(spec.substr(colon + 1));
+    const auto numberAfter = [&](const char *prefix,
+                                 std::uint64_t *out) {
+        const std::string digits = trigger.substr(std::strlen(prefix));
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long value =
+            std::strtoull(digits.c_str(), &end, 10);
+        if (digits.empty() || errno != 0 ||
+            end != digits.data() + digits.size() || value == 0) {
+            if (error != nullptr)
+                *error = "bad failpoint trigger: " + trigger;
+            return false;
+        }
+        *out = value;
+        return true;
+    };
+    if (trigger == "oneshot") {
+        config->trigger = Trigger::kOneshot;
+        return true;
+    }
+    if (startsWith(trigger, "hit=")) {
+        config->trigger = Trigger::kHit;
+        return numberAfter("hit=", &config->trigger_n);
+    }
+    if (startsWith(trigger, "every=")) {
+        config->trigger = Trigger::kEvery;
+        return numberAfter("every=", &config->trigger_n);
+    }
+    if (error != nullptr)
+        *error = "unknown failpoint trigger: " + trigger;
+    return false;
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerSite(const char *name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.sites.push_back(name);
+}
+
+void
+latchEnv()
+{
+    Registry &r = registry();
+    std::string spec;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        if (g_env_state.load(std::memory_order_relaxed) != 0)
+            return; // another thread latched first
+        g_env_state.store(1, std::memory_order_relaxed);
+        if (const char *env = std::getenv("DC_FAILPOINTS"))
+            spec = env;
+    }
+    // Arm outside the registry lock: configure() re-enters set().
+    std::string error;
+    if (!spec.empty() && !configure(spec, &error))
+        DC_WARN("DC_FAILPOINTS ignored: ", error);
+}
+
+Eval
+evalSlow(const char *name)
+{
+    Eval eval;
+    bool fired = false;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        const auto it = r.armed.find(name);
+        if (it == r.armed.end())
+            return eval;
+        Config &config = it->second;
+        ++config.hits;
+        switch (config.trigger) {
+        case Trigger::kAlways:
+            fired = true;
+            break;
+        case Trigger::kHit:
+            fired = config.hits == config.trigger_n;
+            break;
+        case Trigger::kEvery:
+            fired = config.hits % config.trigger_n == 0;
+            break;
+        case Trigger::kOneshot:
+            fired = config.hits == 1;
+            break;
+        }
+        if (!fired)
+            return eval;
+        eval.action = config.action;
+        eval.arg = config.arg;
+        eval.error_errno = config.error_errno;
+        eval.kill_after = config.kill_after;
+        ++r.fired[name];
+    }
+    firedCounter().add();
+    if (eval.action == Action::kDelay) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(eval.arg));
+        return {}; // the site proceeds normally after the stall
+    }
+    if (eval.action == Action::kKill)
+        killNow(name);
+    return eval;
+}
+
+} // namespace detail
+
+bool
+set(const std::string &name, const std::string &spec, std::string *error)
+{
+    Config config;
+    if (!parseSpec(spec, &config, error))
+        return false;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const bool fresh = r.armed.insert_or_assign(name, config).second;
+    if (fresh)
+        detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+clear(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.armed.erase(name) > 0)
+        detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+clearAll()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    detail::g_armed.fetch_sub(static_cast<int>(r.armed.size()),
+                              std::memory_order_relaxed);
+    r.armed.clear();
+    r.fired.clear();
+}
+
+bool
+configure(const std::string &list, std::string *error)
+{
+    for (const std::string &entry : split(list, ';')) {
+        const std::string item = trim(entry);
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            if (error != nullptr)
+                *error = "failpoint entry missing '=': " + item;
+            return false;
+        }
+        if (!set(trim(item.substr(0, eq)), trim(item.substr(eq + 1)),
+                 error)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+fireCount(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.fired.find(name);
+    return it == r.fired.end() ? 0 : it->second;
+}
+
+std::vector<std::string>
+registeredSites()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names(r.sites.begin(), r.sites.end());
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+void
+killNow(const char *site)
+{
+    // Write directly — the logger may buffer, and we are about to die.
+    const std::string line =
+        std::string("failpoint '") + site + "': killing process\n";
+    [[maybe_unused]] const ::ssize_t ignored =
+        ::write(STDERR_FILENO, line.data(), line.size());
+    ::kill(::getpid(), SIGKILL);
+    for (;;)
+        ::pause();
+}
+
+} // namespace dc::failpoint

@@ -1,0 +1,163 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic fault injection for the warehouse's I/O edges.
+ *
+ * A failpoint is a named site compiled into production code (fs.cc's
+ * atomic-write steps, the run log's write/fsync edges, the store's
+ * crash points) that normally costs two relaxed atomic loads and does
+ * nothing. Tests — and operators reproducing a field incident — arm a
+ * site by name with an *action* and a *trigger policy*, and the site
+ * then fails exactly the way the real world would: an errno return, a
+ * torn (short) write, a failed fsync, ENOSPC, a delay, or a hard
+ * SIGKILL of the process mid-operation.
+ *
+ * Actions (the `spec` grammar, also accepted from the DC_FAILPOINTS
+ * environment variable as `site=spec;site=spec;...`):
+ *
+ *     error            fail with EIO
+ *     error(ENUM)      fail with a named errno (EIO, ENOSPC, EDQUOT,
+ *                      EROFS, ENOSPC as `enospc` shorthand below)
+ *     enospc           fail with ENOSPC (disk full)
+ *     torn(N)          write only the first N bytes, then fail with EIO
+ *                      — the crash-mid-write disk state, process alive
+ *     torn-kill(N)     write only the first N bytes, then SIGKILL —
+ *                      the crash-mid-write disk state, process dead
+ *     delay(MS)        sleep MS milliseconds, then continue normally
+ *                      (widens race windows; the site succeeds)
+ *     kill             SIGKILL the process at the site
+ *
+ * Trigger policies select *which* evaluation fires (default: all):
+ *
+ *     spec:hit=N       only the Nth evaluation of the site (1-based)
+ *     spec:every=K     every Kth evaluation
+ *     spec:oneshot     the first evaluation only
+ *
+ * Sites register themselves via namespace-scope `Site` statics, so the
+ * crash-torture harness can enumerate every registered crash point
+ * (registeredSites()) and sweep a kill through each one. Evaluation
+ * when nothing is armed is two relaxed loads (env-latch check + armed
+ * count); compiling with -DDC_FAILPOINTS_DISABLED removes evaluation
+ * bodies outright, as -DDC_OBS_DISABLED does for telemetry.
+ *
+ * Every fire increments the `failpoint.fired` metric (obs registry) and
+ * a per-site counter readable via fireCount() — tests assert the fault
+ * they configured actually ran through the edge under test.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dc::failpoint {
+
+/** What a fired failpoint asks its site to do. */
+enum class Action {
+    kNone,       ///< Did not fire: proceed normally.
+    kError,      ///< Fail the operation with `error_errno`.
+    kShortWrite, ///< Write only `arg` bytes, then fail (or die).
+    kDelay,      ///< Handled inside eval (sleeps, returns kNone).
+    kKill,       ///< Handled inside eval (never returns).
+};
+
+/** The result of evaluating a site. */
+struct Eval {
+    Action action = Action::kNone;
+    /// kShortWrite: bytes to let through. kDelay: milliseconds.
+    std::uint64_t arg = 0;
+    /// errno to fail with (kError, and kShortWrite after the partial
+    /// write when `kill_after` is false).
+    int error_errno = 0;
+    /// kShortWrite: SIGKILL after the partial bytes land instead of
+    /// returning an error (torn-kill).
+    bool kill_after = false;
+
+    bool fired() const { return action != Action::kNone; }
+};
+
+namespace detail {
+/// Number of currently-armed failpoints; 0 short-circuits every eval.
+extern std::atomic<int> g_armed;
+/// 0 = DC_FAILPOINTS not yet latched, 1 = latched.
+extern std::atomic<int> g_env_state;
+Eval evalSlow(const char *name);
+void registerSite(const char *name);
+void latchEnv();
+} // namespace detail
+
+/**
+ * A named failpoint site. Declare one at namespace scope next to the
+ * code it guards and call eval() at the fault edge:
+ *
+ *     failpoint::Site s_fp_write{"wal.append.write"};
+ *     ...
+ *     const failpoint::Eval fp = s_fp_write.eval();
+ *     if (fp.action == failpoint::Action::kError) { errno = ...; fail }
+ */
+class Site
+{
+  public:
+    explicit Site(const char *name) : name_(name)
+    {
+#ifndef DC_FAILPOINTS_DISABLED
+        detail::registerSite(name);
+#endif
+    }
+
+    const char *name() const { return name_; }
+
+    /** Evaluate the site; kNone when unarmed (the common case). */
+    Eval eval()
+    {
+#ifdef DC_FAILPOINTS_DISABLED
+        return {};
+#else
+        if (detail::g_env_state.load(std::memory_order_relaxed) == 0)
+            detail::latchEnv();
+        if (detail::g_armed.load(std::memory_order_relaxed) == 0)
+            return {};
+        return detail::evalSlow(name_);
+#endif
+    }
+
+  private:
+    const char *name_;
+};
+
+/**
+ * Arm @p name with @p spec (grammar above). Arming does not require
+ * the site to be registered — a typo'd name simply never fires, which
+ * configure() reports as armed-but-unknown in its error when strict.
+ * @return Whether the spec parsed.
+ */
+bool set(const std::string &name, const std::string &spec,
+         std::string *error = nullptr);
+
+/** Disarm @p name (no-op when not armed). */
+void clear(const std::string &name);
+
+/** Disarm everything (test teardown). */
+void clearAll();
+
+/**
+ * Parse and arm a `site=spec;site=spec` list (the DC_FAILPOINTS
+ * format). Stops at the first malformed entry.
+ */
+bool configure(const std::string &list, std::string *error = nullptr);
+
+/** Times @p name has fired (survives clear(); reset by clearAll()). */
+std::uint64_t fireCount(const std::string &name);
+
+/** Names of every registered site, sorted (the crash-point sweep). */
+std::vector<std::string> registeredSites();
+
+/**
+ * SIGKILL this process now — what a `kill` action does at its site.
+ * Exposed for sites that must die *after* cooperating with a partial
+ * write (torn-kill). Never returns.
+ */
+[[noreturn]] void killNow(const char *site);
+
+} // namespace dc::failpoint

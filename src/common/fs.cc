@@ -13,9 +13,20 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "common/failpoint.h"
+
 namespace dc {
 
 namespace {
+
+// Fault edges of the atomic whole-file write — one per step whose
+// failure leaves a distinct disk state (no temp file / torn temp /
+// unsynced temp / temp never renamed / rename not persisted).
+failpoint::Site s_fp_create{"fs.atomic.create"};
+failpoint::Site s_fp_write{"fs.atomic.write"};
+failpoint::Site s_fp_fsync{"fs.atomic.fsync"};
+failpoint::Site s_fp_rename{"fs.atomic.rename"};
+failpoint::Site s_fp_dirsync{"fs.atomic.dirsync"};
 
 void
 setError(std::string *error, const std::string &what,
@@ -68,14 +79,25 @@ atomicWriteFile(const std::string &path, const std::string &contents,
         path + ".tmp." + std::to_string(::getpid()) + "." +
         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 
+    const failpoint::Eval fp_create = s_fp_create.eval();
+    if (fp_create.fired()) {
+        errno = fp_create.error_errno;
+        setError(error, "cannot create", tmp);
+        return false;
+    }
     const int fd =
         ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
     if (fd < 0) {
         setError(error, "cannot create", tmp);
         return false;
     }
+    const failpoint::Eval fp_write = s_fp_write.eval();
     const char *data = contents.data();
     std::size_t remaining = contents.size();
+    if (fp_write.action == failpoint::Action::kShortWrite)
+        remaining = std::min<std::size_t>(remaining, fp_write.arg);
+    else if (fp_write.action == failpoint::Action::kError)
+        remaining = 0; // injected failure before any byte lands
     while (remaining > 0) {
         const ::ssize_t wrote = ::write(fd, data, remaining);
         if (wrote < 0) {
@@ -89,7 +111,22 @@ atomicWriteFile(const std::string &path, const std::string &contents,
         data += wrote;
         remaining -= static_cast<std::size_t>(wrote);
     }
-    if (::fsync(fd) != 0) {
+    if (fp_write.fired()) {
+        // The partial bytes are on disk: die there (torn-kill) or
+        // report the injected write error, leaving the torn temp for
+        // the caller's cleanup path to handle.
+        if (fp_write.kill_after)
+            failpoint::killNow(s_fp_write.name());
+        errno = fp_write.error_errno;
+        setError(error, "cannot write", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    const failpoint::Eval fp_fsync = s_fp_fsync.eval();
+    if (fp_fsync.fired() || ::fsync(fd) != 0) {
+        if (fp_fsync.fired())
+            errno = fp_fsync.error_errno;
         setError(error, "cannot fsync", tmp);
         ::close(fd);
         ::unlink(tmp.c_str());
@@ -100,9 +137,25 @@ atomicWriteFile(const std::string &path, const std::string &contents,
         ::unlink(tmp.c_str());
         return false;
     }
+    const failpoint::Eval fp_rename = s_fp_rename.eval();
+    if (fp_rename.fired()) {
+        // Injected rename failure: unlike the real-failure branch
+        // below, keep the temp file — this models a crash between the
+        // temp write and the rename, the state the open()-time orphan
+        // sweep exists for.
+        errno = fp_rename.error_errno;
+        setError(error, "cannot rename into", path);
+        return false;
+    }
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
         setError(error, "cannot rename into", path);
         ::unlink(tmp.c_str());
+        return false;
+    }
+    const failpoint::Eval fp_dirsync = s_fp_dirsync.eval();
+    if (fp_dirsync.fired()) {
+        errno = fp_dirsync.error_errno;
+        setError(error, "cannot fsync directory", dirOf(path));
         return false;
     }
     return syncDir(dirOf(path), error);

@@ -1,7 +1,9 @@
 #include "service/profile_store.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/failpoint.h"
 #include "common/fs.h"
 #include "common/logging.h"
 #include "common/string_table.h"
@@ -23,6 +25,20 @@ resolveWorkers(std::size_t requested)
 obs::SpanSite s_ingest_span{"warehouse.ingest"};
 obs::SpanSite s_erase_span{"warehouse.erase"};
 obs::SpanSite s_recover_span{"warehouse.recover"};
+obs::SpanSite s_checkpoint_span{"warehouse.checkpoint"};
+
+// Crash points the torture harness sweeps — each marks a distinct
+// recoverable state between a memory update and its durability:
+//   published   run visible in memory, nothing in the log yet
+//   appended    run record written, group-commit fsync pending
+//   synced      run durable, ack not yet returned
+//   tombstoned  erase tombstone durable, run still in memory
+//   cut         checkpoint cut + snapshot taken, nothing committed
+failpoint::Site s_fp_published{"store.ingest.published"};
+failpoint::Site s_fp_appended{"store.ingest.appended"};
+failpoint::Site s_fp_synced{"store.ingest.synced"};
+failpoint::Site s_fp_tombstoned{"store.erase.tombstoned"};
+failpoint::Site s_fp_ckpt_cut{"store.checkpoint.cut"};
 
 obs::Counter &
 ingestAcceptedCounter()
@@ -48,6 +64,22 @@ recoveredCounter()
     return counter;
 }
 
+obs::Counter &
+degradedCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("wal.degraded");
+    return counter;
+}
+
+obs::Counter &
+reattachedCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("wal.reattached");
+    return counter;
+}
+
 } // namespace
 
 ProfileStore::ProfileStore(Options options)
@@ -59,6 +91,11 @@ ProfileStore::ProfileStore(Options options)
     max_queue_ = options.max_queue;
     max_queue_bytes_ = options.max_queue_bytes;
     max_interned_bytes_ = options.max_interned_bytes;
+    log_checkpoint_bytes_ = options.log_checkpoint_bytes;
+    reattach_min_backoff_ms_ =
+        std::max<std::uint64_t>(1, options.log_reattach_min_backoff_ms);
+    reattach_max_backoff_ms_ = std::max(
+        reattach_min_backoff_ms_, options.log_reattach_max_backoff_ms);
     table_ = options.names != nullptr ? std::move(options.names)
                                       : std::make_shared<StringTable>();
     shards_.reserve(options.shards);
@@ -75,6 +112,8 @@ ProfileStore::ProfileStore(Options options)
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    if (log_ != nullptr)
+        reattach_thread_ = std::thread([this] { reattachLoop(); });
 }
 
 void
@@ -139,6 +178,7 @@ ProfileStore::openAndReplayLog(const Options &options)
     recovery_.attempted = true;
     recovery_.runs = stats_.recovered;
     recovery_.corrupt_records = replay_stats.corrupt_records;
+    recovery_.checkpoint_records = replay_stats.checkpoint_records;
     recovery_.torn_tail = replay_stats.torn_tail;
     recoveredCounter().add(recovery_.runs);
     span.setArg(recovery_.runs);
@@ -212,6 +252,14 @@ ProfileStore::~ProfileStore()
     }
     for (std::thread &worker : workers_)
         worker.join();
+    if (reattach_thread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(reattach_mutex_);
+            reattach_stop_ = true;
+        }
+        reattach_cv_.notify_all();
+        reattach_thread_.join();
+    }
 }
 
 ProfileStore::Shard &
@@ -426,6 +474,13 @@ ProfileStore::process(Task &task)
                        : profile->serialize();
     }
 
+    // The durable gate (shared) brackets the whole publish + log
+    // region so a checkpoint cut (exclusive) never observes a run
+    // that is in memory but still on its way into the log.
+    std::shared_lock<std::shared_mutex> gate(durable_gate_,
+                                             std::defer_lock);
+    if (log_ != nullptr)
+        gate.lock();
     const std::uint64_t seq = beginPublish();
     Shard &shard = shardFor(task.run_id);
     bool inserted = false;
@@ -440,9 +495,9 @@ ProfileStore::process(Task &task)
         // write its tombstone between our insert and our append and
         // replay would resurrect the erased run. Taking the ticket
         // under the shard lock pins our log position (an O(1) counter
-        // bump, never I/O); the write+fsync happens below, after the
-        // lock is released, so readers of this shard never stall
-        // behind log I/O.
+        // bump, never I/O); the write happens below, after the lock
+        // is released, so readers of this shard never stall behind
+        // log I/O.
         if (inserted && log_ != nullptr)
             ticket = takeLogTicket();
     }
@@ -452,20 +507,35 @@ ProfileStore::process(Task &task)
         return;
     }
     if (log_ != nullptr) {
+        s_fp_published.eval();
         awaitLogTurn(ticket);
         std::string append_error;
-        const bool append_ok =
-            log_->appendRun(task.run_id, log_text, &append_error);
+        std::uint64_t commit_seq = 0;
+        bool append_ok = log_->appendRunAsync(
+            task.run_id, log_text, &commit_seq, &append_error);
+        if (append_ok)
+            s_fp_appended.eval();
+        // Release the log turn *before* waiting for durability: the
+        // next ticket can write its record while our group-commit
+        // fsync is in flight — that batching is where the
+        // fsync-per-append tax goes away.
         finishLogTurn();
-        noteAppend(append_ok, std::move(append_error));
+        if (append_ok)
+            append_ok = log_->sync(commit_seq, &append_error);
+        if (append_ok)
+            s_fp_synced.eval();
+        noteAppend(append_ok, task.run_id, std::move(append_error));
+        gate.unlock();
     }
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         ++stats_.ingested;
     }
     ingestAcceptedCounter().add();
-    if (log_ != nullptr)
+    if (log_ != nullptr) {
         maybeAutoCompactLog();
+        maybeAutoCheckpoint();
+    }
 }
 
 std::uint64_t
@@ -494,21 +564,50 @@ ProfileStore::finishLogTurn()
 }
 
 void
-ProfileStore::noteAppend(bool ok, std::string error)
+ProfileStore::noteAppend(bool ok, const std::string &run_id,
+                         std::string error)
 {
     if (ok) {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         ++stats_.log_appends;
         // A past failure (disk briefly full) does not taint a log
-        // that is appending again — logHealthy() reports the
-        // *current* state.
-        log_error_.clear();
+        // that is appending again — but the store stays degraded
+        // while runs the failure left unlogged are waiting for the
+        // re-attach pass to re-append them.
+        if (unlogged_.empty())
+            log_error_.clear();
         return;
     }
     DC_WARN("run log append failed (run kept in memory only): ",
             error);
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    ++stats_.log_append_failures;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++stats_.log_append_failures;
+        noteLogErrorLocked(std::move(error));
+        // The record may be partially or even fully on disk (a failed
+        // group fsync does not un-write it); re-appending the run's
+        // current text later folds away any such remnant last-wins.
+        // An erase whose tombstone failed this way lands here too:
+        // the tombstone bytes may survive to replay, so the run must
+        // be re-appended *after* them to stay in the corpus.
+        if (!run_id.empty())
+            unlogged_.insert(run_id);
+    }
+    // Wake the re-attach supervisor (it backs off on repeat failures).
+    {
+        std::lock_guard<std::mutex> lock(reattach_mutex_);
+        reattach_kick_ = true;
+    }
+    reattach_cv_.notify_all();
+}
+
+void
+ProfileStore::noteLogErrorLocked(std::string error)
+{
+    if (log_error_.empty() && unlogged_.empty()) {
+        ++stats_.log_degraded;
+        degradedCounter().add();
+    }
     log_error_ = std::move(error);
     log_last_error_ns_ = obs::nowNs();
 }
@@ -611,10 +710,202 @@ ProfileStore::compactLog()
 }
 
 bool
+ProfileStore::checkpoint(std::string *error)
+{
+    std::lock_guard<std::mutex> single(checkpoint_mutex_);
+    return checkpointHeld(error);
+}
+
+bool
+ProfileStore::checkpointHeld(std::string *error)
+{
+    if (log_ == nullptr) {
+        if (error != nullptr)
+            *error = "store has no run log";
+        return false;
+    }
+    obs::ObsSpan span(s_checkpoint_span);
+    std::string ckpt_error;
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const prof::ProfileDb>>>
+        snap;
+    std::uint64_t cut = 0;
+    {
+        // Exclusive gate just for the cut + snapshot: with every
+        // ingest/erase either fully published-and-logged or not
+        // started, the shard snapshot and the cut index describe the
+        // same corpus. Serialization happens after release, so
+        // ingestion stalls only for the cut itself.
+        std::unique_lock<std::shared_mutex> gate(durable_gate_);
+        cut = log_->beginCheckpointCut(&ckpt_error);
+        if (cut != 0)
+            snap = snapshot();
+    }
+    if (cut == 0) {
+        DC_WARN("checkpoint cut failed: ", ckpt_error);
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        noteLogErrorLocked(ckpt_error);
+        if (error != nullptr)
+            *error = std::move(ckpt_error);
+        return false;
+    }
+    s_fp_ckpt_cut.eval();
+    std::string frames;
+    for (const auto &[run_id, profile] : snap)
+        frames += WarehouseLog::frameRun(run_id, profile->serialize());
+    span.setArg(frames.size());
+    if (!log_->commitCheckpoint(cut, frames, &ckpt_error)) {
+        DC_WARN("checkpoint commit failed (log history kept): ",
+                ckpt_error);
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        noteLogErrorLocked(ckpt_error);
+        if (error != nullptr)
+            *error = std::move(ckpt_error);
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++stats_.log_checkpoints;
+        // A checkpoint that committed proves the disk writes again;
+        // clear a stale checkpoint/compaction error the same way a
+        // successful append does.
+        if (unlogged_.empty())
+            log_error_.clear();
+    }
+    return true;
+}
+
+void
+ProfileStore::maybeAutoCheckpoint()
+{
+    if (log_ == nullptr || log_checkpoint_bytes_ == 0 ||
+        log_->tailBytes() < log_checkpoint_bytes_) {
+        return;
+    }
+    // One runner at a time; everyone else's trigger re-fires on their
+    // next append if the tail is still long.
+    std::unique_lock<std::mutex> single(checkpoint_mutex_,
+                                        std::try_to_lock);
+    if (!single.owns_lock())
+        return;
+    std::string error;
+    checkpointHeld(&error); // failure already warned + recorded
+}
+
+bool
+ProfileStore::tryReattachNow()
+{
+    return attemptReattach() && logHealthy();
+}
+
+bool
+ProfileStore::attemptReattach()
+{
+    if (log_ == nullptr)
+        return false;
+    std::vector<std::string> pending;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (unlogged_.empty())
+            return true; // nothing to re-append; an error (if any)
+                         // clears with the next successful append
+        pending.assign(unlogged_.begin(), unlogged_.end());
+    }
+    for (const std::string &run_id : pending) {
+        // Same protocol as a live ingest: gate (shared) around a
+        // ticket taken under the shard lock, so the re-append cannot
+        // interleave with a concurrent erase's tombstone or with a
+        // checkpoint cut.
+        std::shared_lock<std::shared_mutex> gate(durable_gate_);
+        Shard &shard = shardFor(run_id);
+        std::shared_ptr<const prof::ProfileDb> profile;
+        std::uint64_t ticket = 0;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto it = shard.profiles.find(run_id);
+            if (it != shard.profiles.end()) {
+                profile = it->second.profile;
+                ticket = takeLogTicket();
+            }
+        }
+        if (profile == nullptr) {
+            // Erased (durably) since the failure: any remnant of the
+            // failed append precedes the tombstone, so there is
+            // nothing left to make durable.
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            unlogged_.erase(run_id);
+            continue;
+        }
+        const std::string text = profile->serialize();
+        awaitLogTurn(ticket);
+        std::string error;
+        std::uint64_t commit_seq = 0;
+        bool ok =
+            log_->appendRunAsync(run_id, text, &commit_seq, &error);
+        finishLogTurn();
+        if (ok)
+            ok = log_->sync(commit_seq, &error);
+        gate.unlock();
+        if (!ok) {
+            // Still failing; stay degraded and let the backoff grow.
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            ++stats_.log_append_failures;
+            noteLogErrorLocked(std::move(error));
+            return false;
+        }
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++stats_.log_appends;
+        unlogged_.erase(run_id);
+    }
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (!unlogged_.empty())
+            return false; // new failures raced in behind us
+        log_error_.clear();
+        ++stats_.log_reattached;
+    }
+    reattachedCounter().add();
+    DC_INFORM("run log re-attached: durable mode restored (",
+              pending.size(), " runs re-appended)");
+    return true;
+}
+
+void
+ProfileStore::reattachLoop()
+{
+    std::uint64_t backoff_ms = reattach_min_backoff_ms_;
+    std::unique_lock<std::mutex> lock(reattach_mutex_);
+    for (;;) {
+        reattach_cv_.wait(lock, [this] {
+            return reattach_stop_ || reattach_kick_;
+        });
+        if (reattach_stop_)
+            return;
+        reattach_kick_ = false;
+        lock.unlock();
+        bool recovered = attemptReattach();
+        lock.lock();
+        while (!recovered && !reattach_stop_) {
+            reattach_cv_.wait_for(
+                lock, std::chrono::milliseconds(backoff_ms));
+            if (reattach_stop_)
+                return;
+            reattach_kick_ = false;
+            backoff_ms =
+                std::min(backoff_ms * 2, reattach_max_backoff_ms_);
+            lock.unlock();
+            recovered = attemptReattach();
+            lock.lock();
+        }
+        backoff_ms = reattach_min_backoff_ms_;
+    }
+}
+
+bool
 ProfileStore::logHealthy() const
 {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    return log_ != nullptr && log_error_.empty();
+    return log_ != nullptr && log_error_.empty() && unlogged_.empty();
 }
 
 std::string
@@ -679,6 +970,10 @@ ProfileStore::erase(const std::string &run_id)
 {
     obs::ObsSpan span(s_erase_span);
     Shard &shard = shardFor(run_id);
+    std::shared_lock<std::shared_mutex> gate(durable_gate_,
+                                             std::defer_lock);
+    if (log_ != nullptr)
+        gate.lock();
     std::uint64_t ticket = 0;
     std::uint64_t found_seq = 0;
     {
@@ -702,18 +997,26 @@ ProfileStore::erase(const std::string &run_id)
 
     awaitLogTurn(ticket);
     std::string append_error;
-    const bool tombstoned = log_->appendErase(run_id, &append_error);
+    std::uint64_t commit_seq = 0;
+    bool tombstoned =
+        log_->appendEraseAsync(run_id, &commit_seq, &append_error);
     finishLogTurn();
+    if (tombstoned)
+        tombstoned = log_->sync(commit_seq, &append_error);
     if (!tombstoned) {
         // Tombstone-before-remove, and only remove if the tombstone
         // is durable: an erase the log could not record must fail —
         // otherwise the run disappears from the serving corpus now
         // and silently resurrects at the next restart. (The run was
-        // never removed, so the corpus and log still agree.)
-        noteAppend(false, std::move(append_error));
+        // never removed, so the corpus and log still agree — and
+        // because the tombstone bytes may nonetheless have reached
+        // the disk, noteAppend marks the run unlogged so re-attach
+        // re-appends it after them.)
+        noteAppend(false, run_id, std::move(append_error));
         return false;
     }
-    noteAppend(true, {});
+    noteAppend(true, run_id, {});
+    s_fp_tombstoned.eval();
 
     bool erased = false;
     {
@@ -739,7 +1042,9 @@ ProfileStore::erase(const std::string &run_id)
         std::lock_guard<std::mutex> lock(gen_mutex_);
         ++erased_;
     }
+    gate.unlock();
     maybeAutoCompactLog();
+    maybeAutoCheckpoint();
     return erased;
 }
 
@@ -837,6 +1142,7 @@ ProfileStore::stats() const
     std::lock_guard<std::mutex> lock(queue_mutex_);
     StoreStats stats = stats_;
     stats.log_fsyncs = fsyncs;
+    stats.log_unlogged_runs = unlogged_.size();
     if (log_last_error_ns_ != 0) {
         // Clamp to >= 1 so "just failed" cannot alias "never failed".
         stats.log_last_error_age_ns =

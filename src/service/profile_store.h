@@ -23,7 +23,15 @@
  * append tombstones, and construction replays the log — rebinding
  * recovered profiles onto the per-corpus StringTable and restoring the
  * budget accounting — so CorpusView/QueryEngine serve a recovered
- * corpus unchanged after a restart or crash.
+ * corpus unchanged after a restart or crash. Appends group-commit:
+ * each operation writes its record, releases the log turn, and then
+ * waits on its commit sequence, so one leader fsync retires every
+ * record queued while the previous fsync was in flight. Snapshot
+ * checkpoints (checkpoint(), auto-triggered by
+ * Options::log_checkpoint_bytes) retire the log's history so recovery
+ * replays O(corpus) records, and a store degraded to memory-only by a
+ * transient disk error re-attaches in the background — re-appending
+ * the affected runs — instead of staying silently non-durable.
  */
 
 #include <condition_variable>
@@ -69,8 +77,22 @@ struct StoreStats {
     std::uint64_t log_compactions = 0;
     /// Record fsyncs the log completed (0 with log_sync off or no
     /// log). With appends > 0 and fsyncs == 0 the corpus is only
-    /// process-crash-safe, not power-failure-safe.
+    /// process-crash-safe, not power-failure-safe. Group commit makes
+    /// this grow sublinearly in log_appends under concurrent ingest.
     std::uint64_t log_fsyncs = 0;
+    /// Snapshot checkpoints committed (checkpoint() calls plus the
+    /// automatic ones Options::log_checkpoint_bytes triggers).
+    std::uint64_t log_checkpoints = 0;
+    /// Healthy -> degraded transitions: an append/fsync/checkpoint
+    /// failure made the store memory-only until re-attach.
+    std::uint64_t log_degraded = 0;
+    /// Successful re-attaches: every unlogged run re-appended durably
+    /// and the log error cleared (see tryReattachNow()).
+    std::uint64_t log_reattached = 0;
+    /// Runs currently served from memory whose log record is not
+    /// known durable (their append or group-commit fsync failed).
+    /// The re-attach path drains this back to 0.
+    std::uint64_t log_unlogged_runs = 0;
     /// Nanoseconds since the most recent append failure, or 0 when no
     /// append has ever failed. A small value means the store is
     /// actively degraded to memory-only; a large one records a past
@@ -149,6 +171,19 @@ class ProfileStore
         /// tombstones, superseded appends, corrupt skips) away once
         /// they exceed this many bytes and outweigh the live ones.
         std::uint64_t log_compact_min_dead_bytes = 8ull << 20;
+        /// Snapshot-checkpoint trigger: once the log's replay tail
+        /// (segment bytes past the newest checkpoint) exceeds this,
+        /// the store writes a fresh checkpoint so recovery stays
+        /// O(corpus) no matter how much append/erase churn the log
+        /// has absorbed. 0 disables the trigger (checkpoint() still
+        /// works on demand).
+        std::uint64_t log_checkpoint_bytes = 256ull << 20;
+        /// Re-attach backoff bounds: a store degraded by a transient
+        /// append/fsync failure retries in the background, doubling
+        /// the wait from min to max between attempts, and rejoins
+        /// durable mode on success.
+        std::uint64_t log_reattach_min_backoff_ms = 100;
+        std::uint64_t log_reattach_max_backoff_ms = 10'000;
     };
 
     /** What log replay recovered at construction. */
@@ -160,6 +195,9 @@ class ProfileStore
                                          ///< profile no longer parses
                                          ///< or fits the budget.
         std::uint64_t corrupt_records = 0; ///< Checksum/framing skips.
+        /// Runs streamed from the snapshot checkpoint (the rest came
+        /// from the segment tail past its cut).
+        std::uint64_t checkpoint_records = 0;
         bool torn_tail = false; ///< Final record was torn (dropped).
     };
 
@@ -261,7 +299,33 @@ class ProfileStore
      */
     std::uint64_t compactLog();
 
-    /** Whether the run log is open and the last append succeeded. */
+    /**
+     * Write a snapshot checkpoint of the whole corpus now: cut the
+     * log (holding ingest/erase off just for the cut + shard
+     * snapshot), serialize every stored run into checkpoint frames,
+     * and commit them atomically — retiring the segments before the
+     * cut so replay is O(corpus), not O(history). Failure leaves the
+     * old checkpoint + segments fully authoritative and marks the
+     * store degraded (logHealthy()). Options::log_checkpoint_bytes
+     * triggers this automatically as the post-checkpoint tail grows.
+     */
+    bool checkpoint(std::string *error = nullptr);
+
+    /**
+     * One synchronous re-attach attempt: re-append every unlogged run
+     * (rejected or torn by a past append/fsync failure) and clear the
+     * log error once the log takes them all durably again. The
+     * background re-attach thread does the same with capped
+     * exponential backoff after every degradation; this entry point
+     * lets tests and operators force the attempt.
+     * @return Whether the store is fully durable (logHealthy()) now.
+     */
+    bool tryReattachNow();
+
+    /**
+     * Whether the run log is open, drained (no unlogged runs), and
+     * the last append/checkpoint succeeded.
+     */
     bool logHealthy() const;
 
     /** Last log/recovery error ("" when healthy). */
@@ -370,10 +434,29 @@ class ProfileStore
     /// Apply one replayed run record (constructor only).
     void applyRecovered(const std::string &run_id, const std::string &text);
     /// Count an append outcome and remember the error (any thread).
-    void noteAppend(bool ok, std::string error);
+    /// A failure with a non-empty @p run_id marks that run unlogged —
+    /// its record's durability is unknown — and kicks the re-attach
+    /// thread.
+    void noteAppend(bool ok, const std::string &run_id,
+                    std::string error);
+    /// Record a log failure: degraded-transition accounting plus the
+    /// error itself. Requires queue_mutex_ held.
+    void noteLogErrorLocked(std::string error);
     /// Fold the log when dead bytes crossed the configured floor —
     /// called after appends/erases, i.e. at least at every rollover.
     void maybeAutoCompactLog();
+    /// checkpoint() when the post-checkpoint tail outgrew
+    /// Options::log_checkpoint_bytes; skips when another checkpoint
+    /// is already running.
+    void maybeAutoCheckpoint();
+    /// checkpoint() body; requires checkpoint_mutex_ held.
+    bool checkpointHeld(std::string *error);
+    /// The background re-attach loop (capped exponential backoff).
+    void reattachLoop();
+    /// One re-attach pass: re-append unlogged runs, clear the error
+    /// when the log is fully caught up. @return Whether nothing is
+    /// (left) degraded.
+    bool attemptReattach();
     /// Reserve the next log position (call under the shard mutex).
     std::uint64_t takeLogTicket();
     /// Block until @p ticket's turn to append (no shard lock held).
@@ -413,7 +496,31 @@ class ProfileStore
     /// obs::nowNs() of the last failed append (0 = never). Guarded by
     /// queue_mutex_; stats() reports it as an age.
     std::uint64_t log_last_error_ns_ = 0;
+    /// Runs whose log record is not known durable (append or fsync
+    /// failed after they were published to memory). Guarded by
+    /// queue_mutex_; drained by attemptReattach().
+    std::set<std::string> unlogged_;
     RecoveryStats recovery_; ///< Written by the constructor only.
+
+    /// Ingest/erase hold this shared from before their log ticket
+    /// through their group-commit sync; a checkpoint cut holds it
+    /// exclusive while it cuts the log and snapshots the shards, so
+    /// no operation is ever caught between its shard update and its
+    /// log record. Lock order: durable_gate_ before shard mutexes.
+    mutable std::shared_mutex durable_gate_;
+    /// Single-runner guard for checkpoint(); auto-checkpoints
+    /// try-lock it and skip when one is already underway.
+    std::mutex checkpoint_mutex_;
+    std::uint64_t log_checkpoint_bytes_ = 0;
+
+    // Re-attach supervisor (started only for durable stores).
+    std::thread reattach_thread_;
+    std::mutex reattach_mutex_;
+    std::condition_variable reattach_cv_;
+    bool reattach_stop_ = false;
+    bool reattach_kick_ = false;
+    std::uint64_t reattach_min_backoff_ms_ = 100;
+    std::uint64_t reattach_max_backoff_ms_ = 10'000;
 
     /// The per-corpus name table (see Options::names).
     std::shared_ptr<StringTable> table_;

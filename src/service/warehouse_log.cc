@@ -9,6 +9,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/failpoint.h"
 #include "common/fs.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -20,9 +21,21 @@ namespace {
 
 constexpr const char *kSegmentPrefix = "segment-";
 constexpr const char *kSegmentSuffix = ".dclog";
+constexpr const char *kCheckpointPrefix = "checkpoint-";
+constexpr const char *kCheckpointSuffix = ".dcck";
 
 obs::SpanSite s_append_span{"wal.append"};
 obs::SpanSite s_compact_span{"wal.compact"};
+
+// Fault edges the crash-torture harness sweeps. The write and fsync
+// sites cooperate with error/torn actions below; every site doubles as
+// a kill point (the eval itself dies).
+failpoint::Site s_fp_wal_open{"wal.open"};
+failpoint::Site s_fp_wal_write{"wal.append.write"};
+failpoint::Site s_fp_wal_fsync{"wal.append.fsync"};
+failpoint::Site s_fp_ckpt_write{"wal.checkpoint.write"};
+failpoint::Site s_fp_ckpt_commit{"wal.checkpoint.commit"};
+failpoint::Site s_fp_ckpt_truncate{"wal.checkpoint.truncate"};
 
 obs::Counter &
 appendFailedCounter()
@@ -37,6 +50,14 @@ fsyncCounter()
 {
     static obs::Counter counter =
         obs::MetricsRegistry::global().counter("wal.fsync.count");
+    return counter;
+}
+
+obs::Counter &
+checkpointCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("wal.checkpoint.count");
     return counter;
 }
 
@@ -104,10 +125,9 @@ frameRecord(WarehouseLog::Record::Kind kind, const std::string &run_id,
 }
 
 bool
-writeAll(int fd, const std::string &data, std::string *error)
+writeAll(int fd, const char *at, std::size_t remaining,
+         std::string *error)
 {
-    const char *at = data.data();
-    std::size_t remaining = data.size();
     while (remaining > 0) {
         const ::ssize_t wrote = ::write(fd, at, remaining);
         if (wrote < 0) {
@@ -128,7 +148,10 @@ writeAll(int fd, const std::string &data, std::string *error)
 
 WarehouseLog::~WarehouseLog()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    // One last flush so a clean shutdown leaves nothing only in the
+    // page cache; failures here have no waiter left to report to.
+    flushActiveLocked(lock);
     closeActiveLocked();
 }
 
@@ -141,6 +164,21 @@ WarehouseLog::segmentPath(std::uint64_t index) const
                      kSegmentSuffix);
 }
 
+std::string
+WarehouseLog::checkpointPath(std::uint64_t index) const
+{
+    return dir_ + "/" +
+           strformat("%s%06llu%s", kCheckpointPrefix,
+                     static_cast<unsigned long long>(index),
+                     kCheckpointSuffix);
+}
+
+std::string
+WarehouseLog::frameRun(const std::string &run_id, const std::string &text)
+{
+    return frameRecord(Record::Kind::kRun, run_id, text);
+}
+
 bool
 WarehouseLog::open(Options options, std::string *error)
 {
@@ -150,6 +188,14 @@ WarehouseLog::open(Options options, std::string *error)
             *error = "log already open on " + dir_;
         return false;
     }
+    const failpoint::Eval fp = s_fp_wal_open.eval();
+    if (fp.fired()) {
+        errno = fp.error_errno;
+        if (error != nullptr)
+            *error = "cannot open log dir " + options.dir + ": " +
+                     std::strerror(errno);
+        return false;
+    }
     if (!ensureDir(options.dir, error))
         return false;
     std::vector<std::string> names;
@@ -157,27 +203,62 @@ WarehouseLog::open(Options options, std::string *error)
         return false;
 
     segments_.clear();
+    std::vector<std::uint64_t> checkpoints;
     for (const std::string &name : names) {
-        // A crashed compaction can leave a temp file behind; it was
-        // never renamed into place, so its contents are dead.
+        // A crashed atomic write (compaction, checkpoint, profile
+        // save into the data dir) can leave a temp file behind; it
+        // was never renamed into place, so its contents are dead.
         if (contains(name, ".tmp.")) {
             removeFile(options.dir + "/" + name);
             continue;
         }
-        if (!startsWith(name, kSegmentPrefix) ||
-            !endsWith(name, kSegmentSuffix)) {
-            continue;
-        }
-        const std::string digits = name.substr(
-            std::strlen(kSegmentPrefix),
-            name.size() - std::strlen(kSegmentPrefix) -
-                std::strlen(kSegmentSuffix));
+        const auto indexOf = [&name](const char *prefix,
+                                     const char *suffix,
+                                     std::uint64_t *out) {
+            if (!startsWith(name, prefix) || !endsWith(name, suffix))
+                return false;
+            const std::string digits = name.substr(
+                std::strlen(prefix), name.size() - std::strlen(prefix) -
+                                         std::strlen(suffix));
+            return parseField(digits, out);
+        };
         std::uint64_t index = 0;
-        if (parseField(digits, &index))
+        if (indexOf(kSegmentPrefix, kSegmentSuffix, &index))
             segments_.push_back(index);
+        else if (indexOf(kCheckpointPrefix, kCheckpointSuffix, &index))
+            checkpoints.push_back(index);
     }
     std::sort(segments_.begin(), segments_.end());
-    active_index_ = segments_.empty() ? 1 : segments_.back();
+    std::sort(checkpoints.begin(), checkpoints.end());
+    checkpoint_index_ = checkpoints.empty() ? 0 : checkpoints.back();
+
+    // Sweep files the newest checkpoint superseded — a crash between
+    // its rename and the old files' deletion leaves both behind; the
+    // overlap would replay to the same corpus, but carrying it
+    // forward grows the dir without bound.
+    for (const std::uint64_t ck : checkpoints) {
+        if (ck != checkpoint_index_) {
+            removeFile(options.dir + "/" +
+                       strformat("%s%06llu%s", kCheckpointPrefix,
+                                 static_cast<unsigned long long>(ck),
+                                 kCheckpointSuffix));
+        }
+    }
+    std::vector<std::uint64_t> keep;
+    for (const std::uint64_t seg : segments_) {
+        if (seg < checkpoint_index_) {
+            removeFile(options.dir + "/" +
+                       strformat("%s%06llu%s", kSegmentPrefix,
+                                 static_cast<unsigned long long>(seg),
+                                 kSegmentSuffix));
+        } else {
+            keep.push_back(seg);
+        }
+    }
+    segments_ = std::move(keep);
+    active_index_ =
+        segments_.empty() ? std::max<std::uint64_t>(checkpoint_index_, 1)
+                          : segments_.back();
     options_ = std::move(options);
     dir_ = options_.dir;
     opened_ = true;
@@ -286,6 +367,36 @@ WarehouseLog::replay(const std::function<void(Record)> &cb,
         return false;
     }
     ReplayStats local;
+    if (checkpoint_index_ != 0) {
+        const std::string path = checkpointPath(checkpoint_index_);
+        std::string data;
+        if (!readFile(path, &data, error))
+            return false;
+        ReplayStats from_checkpoint;
+        const std::size_t stop = parseSegment(
+            data,
+            [&](Record record, std::uint64_t frame_bytes) {
+                accountRecord(record, frame_bytes);
+                cb(std::move(record));
+            },
+            &from_checkpoint);
+        if (stop < data.size()) {
+            // Checkpoints land via atomic temp + rename, so a short
+            // parse is disk corruption, not a torn write: the
+            // remainder is skipped (runs only in that remainder are
+            // lost — their segments were retired at the cut).
+            ++from_checkpoint.corrupt_records;
+            from_checkpoint.skipped_bytes += data.size() - stop;
+            DC_WARN("warehouse checkpoint ", path, ": skipped ",
+                    data.size() - stop, " unparseable bytes");
+        }
+        local.run_records += from_checkpoint.run_records;
+        local.erase_records += from_checkpoint.erase_records;
+        local.corrupt_records += from_checkpoint.corrupt_records;
+        local.skipped_bytes += from_checkpoint.skipped_bytes;
+        local.checkpoint_records = from_checkpoint.run_records;
+        dead_bytes_ += from_checkpoint.skipped_bytes;
+    }
     for (std::size_t i = 0; i < segments_.size(); ++i) {
         const bool final_segment = i + 1 == segments_.size();
         const std::string path = segmentPath(segments_[i]);
@@ -303,8 +414,10 @@ WarehouseLog::replay(const std::function<void(Record)> &cb,
             &local);
         // Checksum-corrupt records stay on disk until compaction.
         dead_bytes_ += local.skipped_bytes - skipped_before;
-        if (stop >= data.size())
+        if (stop >= data.size()) {
+            tail_bytes_ += data.size();
             continue;
+        }
         if (final_segment) {
             // Crash-mid-append artifact: drop the torn record so the
             // next append starts on a clean frame boundary.
@@ -317,6 +430,7 @@ WarehouseLog::replay(const std::function<void(Record)> &cb,
                 }
                 return false;
             }
+            tail_bytes_ += stop;
             DC_WARN("warehouse log ", path, ": dropped torn tail (",
                     data.size() - stop, " bytes)");
         } else {
@@ -326,6 +440,7 @@ WarehouseLog::replay(const std::function<void(Record)> &cb,
             ++local.corrupt_records;
             local.skipped_bytes += data.size() - stop;
             dead_bytes_ += data.size() - stop;
+            tail_bytes_ += data.size();
             DC_WARN("warehouse log ", path, ": skipped ",
                     data.size() - stop,
                     " unparseable bytes mid-log");
@@ -373,41 +488,93 @@ WarehouseLog::closeActiveLocked()
     }
 }
 
+void
+WarehouseLog::drainSyncLocked(std::unique_lock<std::mutex> &lock)
+{
+    sync_cv_.wait(lock, [this] { return !sync_in_flight_; });
+}
+
+void
+WarehouseLog::flushActiveLocked(std::unique_lock<std::mutex> &lock)
+{
+    drainSyncLocked(lock);
+    if (!options_.sync || fd_ < 0 || durable_seq_ >= written_seq_)
+        return;
+    // Inline fsync *under* the lock: callers are about to close fd_,
+    // so holding appends off for the duration is the point.
+    const std::uint64_t target = written_seq_;
+    const failpoint::Eval fp = s_fp_wal_fsync.eval();
+    if (fp.fired())
+        errno = fp.error_errno;
+    if (!fp.fired() && ::fsync(fd_) == 0) {
+        durable_seq_ = std::max(durable_seq_, target);
+        ++fsync_count_;
+        fsyncCounter().add();
+    } else {
+        failed_upto_ = std::max(failed_upto_, target);
+        last_sync_error_ =
+            std::string("log fsync failed: ") + std::strerror(errno);
+    }
+    sync_cv_.notify_all();
+}
+
 bool
-WarehouseLog::appendLocked(Record::Kind kind, const std::string &run_id,
-                           const std::string &text, std::string *error)
+WarehouseLog::appendRecordLocked(std::unique_lock<std::mutex> &lock,
+                                 Record::Kind kind,
+                                 const std::string &run_id,
+                                 const std::string &text,
+                                 std::uint64_t *seq, std::string *error)
 {
     if (!replayed_) {
         if (error != nullptr)
             *error = "log not replayed before append";
         return false;
     }
-    if (fd_ < 0 && !openActiveLocked(error)) {
-        appendFailedCounter().add();
-        return false;
-    }
-    if (active_bytes_ >= options_.max_segment_bytes &&
-        active_bytes_ > 0) {
+    for (;;) {
+        if (fd_ < 0) {
+            if (!openActiveLocked(error)) {
+                appendFailedCounter().add();
+                return false;
+            }
+        }
+        if (active_bytes_ < options_.max_segment_bytes ||
+            active_bytes_ == 0) {
+            break;
+        }
+        // Roll over. Flushing first resolves sync() waiters on the
+        // outgoing segment (an fsync after close is impossible); the
+        // flush may drop the lock to drain an in-flight group fsync,
+        // so re-evaluate everything afterwards.
+        const std::uint64_t rolling_from = active_index_;
+        flushActiveLocked(lock);
+        if (active_index_ != rolling_from || fd_ < 0)
+            continue; // another appender rolled while we waited
         closeActiveLocked();
         ++active_index_;
-        if (!openActiveLocked(error)) {
-            appendFailedCounter().add();
-            return false;
-        }
     }
     const std::string frame = frameRecord(kind, run_id, text);
     obs::ObsSpan span(s_append_span, frame.size());
     std::string write_error;
-    bool ok = writeAll(fd_, frame, &write_error);
-    if (ok && options_.sync) {
-        if (::fsync(fd_) != 0) {
-            ok = false;
-            write_error = std::string("log fsync failed: ") +
-                          std::strerror(errno);
-        } else {
-            ++fsync_count_;
-            fsyncCounter().add();
-        }
+    bool ok;
+    const failpoint::Eval fp = s_fp_wal_write.eval();
+    if (fp.action == failpoint::Action::kError) {
+        ok = false;
+        write_error = std::string("log write failed: ") +
+                      std::strerror(fp.error_errno);
+    } else if (fp.action == failpoint::Action::kShortWrite) {
+        // Land the partial frame for real — the exact disk state a
+        // crash mid-write leaves — then die there or report the
+        // injected error.
+        const std::size_t torn =
+            std::min<std::size_t>(fp.arg, frame.size());
+        writeAll(fd_, frame.data(), torn, &write_error);
+        if (fp.kill_after)
+            failpoint::killNow(s_fp_wal_write.name());
+        ok = false;
+        write_error = std::string("log write failed: ") +
+                      std::strerror(fp.error_errno);
+    } else {
+        ok = writeAll(fd_, frame.data(), frame.size(), &write_error);
     }
     if (!ok) {
         appendFailedCounter().add();
@@ -420,6 +587,7 @@ WarehouseLog::appendLocked(Record::Kind kind, const std::string &run_id,
         // non-final segment and keeps reading the later segments).
         if (::ftruncate(fd_, static_cast<::off_t>(active_bytes_)) !=
             0) {
+            flushActiveLocked(lock);
             closeActiveLocked();
             ++active_index_;
         }
@@ -428,6 +596,10 @@ WarehouseLog::appendLocked(Record::Kind kind, const std::string &run_id,
         return false;
     }
     active_bytes_ += frame.size();
+    tail_bytes_ += frame.size();
+    ++written_seq_;
+    if (seq != nullptr)
+        *seq = written_seq_;
     Record record;
     record.kind = kind;
     record.run_id = run_id;
@@ -436,39 +608,232 @@ WarehouseLog::appendLocked(Record::Kind kind, const std::string &run_id,
 }
 
 bool
+WarehouseLog::sync(std::uint64_t seq, std::string *error)
+{
+    if (seq == 0)
+        return true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!options_.sync)
+        return true;
+    for (;;) {
+        // Failure check first: after a failed fsync the kernel may
+        // have dropped the dirty pages, so a later successful fsync
+        // must not retroactively bless records the failure covered —
+        // their waiters get the error and the store re-appends them.
+        if (failed_upto_ >= seq) {
+            if (error != nullptr)
+                *error = last_sync_error_;
+            return false;
+        }
+        if (durable_seq_ >= seq)
+            return true;
+        if (!sync_in_flight_) {
+            // Become the leader: one fsync covers every record
+            // written so far — including appends that landed while
+            // the previous leader's fsync was in flight.
+            sync_in_flight_ = true;
+            const std::uint64_t target = written_seq_;
+            const int fd = fd_;
+            lock.unlock();
+            const failpoint::Eval fp = s_fp_wal_fsync.eval();
+            int rc = 0;
+            if (fp.fired()) {
+                rc = -1;
+                errno = fp.error_errno;
+            } else if (fd >= 0) {
+                rc = ::fsync(fd);
+            }
+            const int saved_errno = errno;
+            lock.lock();
+            sync_in_flight_ = false;
+            if (rc == 0) {
+                durable_seq_ = std::max(durable_seq_, target);
+                ++fsync_count_;
+                fsyncCounter().add();
+            } else {
+                failed_upto_ = std::max(failed_upto_, target);
+                last_sync_error_ =
+                    std::string("log fsync failed: ") +
+                    std::strerror(saved_errno);
+            }
+            sync_cv_.notify_all();
+        } else {
+            sync_cv_.wait(lock);
+        }
+    }
+}
+
+bool
 WarehouseLog::appendRun(const std::string &run_id,
                         const std::string &text, std::string *error)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return appendLocked(Record::Kind::kRun, run_id, text, error);
+    std::uint64_t seq = 0;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!appendRecordLocked(lock, Record::Kind::kRun, run_id, text,
+                                &seq, error)) {
+            return false;
+        }
+    }
+    return sync(seq, error);
 }
 
 bool
 WarehouseLog::appendErase(const std::string &run_id, std::string *error)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return appendLocked(Record::Kind::kErase, run_id, {}, error);
+    std::uint64_t seq = 0;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!appendRecordLocked(lock, Record::Kind::kErase, run_id, {},
+                                &seq, error)) {
+            return false;
+        }
+    }
+    return sync(seq, error);
+}
+
+bool
+WarehouseLog::appendRunAsync(const std::string &run_id,
+                             const std::string &text, std::uint64_t *seq,
+                             std::string *error)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return appendRecordLocked(lock, Record::Kind::kRun, run_id, text,
+                              seq, error);
+}
+
+bool
+WarehouseLog::appendEraseAsync(const std::string &run_id,
+                               std::uint64_t *seq, std::string *error)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return appendRecordLocked(lock, Record::Kind::kErase, run_id, {},
+                              seq, error);
 }
 
 std::uint64_t
-WarehouseLog::compactLocked(std::string *error)
+WarehouseLog::beginCheckpointCut(std::string *error)
 {
-    if (dead_bytes_ == 0 || segments_.empty())
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!replayed_) {
+        if (error != nullptr)
+            *error = "log not replayed before checkpoint";
         return 0;
+    }
+    // Records already written must not be lost if the checkpoint is
+    // never committed: flush them, then roll so the cut index covers
+    // exactly the segments whose effects the caller's snapshot holds.
+    flushActiveLocked(lock);
+    if (active_bytes_ > 0) {
+        closeActiveLocked();
+        ++active_index_;
+    }
+    return active_index_;
+}
+
+bool
+WarehouseLog::commitCheckpoint(std::uint64_t C, const std::string &frames,
+                               std::string *error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!replayed_ || C == 0) {
+            if (error != nullptr)
+                *error = "bad checkpoint cut";
+            return false;
+        }
+    }
+    const failpoint::Eval fp = s_fp_ckpt_write.eval();
+    if (fp.fired()) {
+        errno = fp.error_errno;
+        if (error != nullptr)
+            *error = std::string("checkpoint write failed: ") +
+                     std::strerror(errno);
+        return false;
+    }
+    const std::string path = checkpointPath(C);
+    if (!atomicWriteFile(path, frames, error))
+        return false; // old checkpoint + segments stay authoritative
+    s_fp_ckpt_commit.eval(); // kill: both generations on disk
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (C <= checkpoint_index_) {
+        // A concurrent compaction checkpointed past our cut while the
+        // snapshot was being serialized; its file already covers
+        // everything ours does. Drop ours (open() would sweep it as
+        // stale anyway).
+        lock.unlock();
+        removeFile(path);
+        return true;
+    }
+    adoptCheckpointLocked(C);
+    checkpointCounter().add();
+    return true;
+}
+
+void
+WarehouseLog::adoptCheckpointLocked(std::uint64_t C)
+{
+    if (checkpoint_index_ != 0 && checkpoint_index_ != C) {
+        s_fp_ckpt_truncate.eval(); // kill: old checkpoint survives
+        std::string remove_error;
+        if (!removeFile(checkpointPath(checkpoint_index_),
+                        &remove_error)) {
+            DC_WARN("checkpoint adopt: ", remove_error);
+        }
+    }
+    std::vector<std::uint64_t> keep;
+    for (const std::uint64_t idx : segments_) {
+        if (idx >= C) {
+            keep.push_back(idx);
+            continue;
+        }
+        s_fp_ckpt_truncate.eval(); // kill: mid-truncation
+        std::string remove_error;
+        if (!removeFile(segmentPath(idx), &remove_error))
+            DC_WARN("checkpoint adopt: ", remove_error);
+    }
+    segments_ = std::move(keep);
+    checkpoint_index_ = C;
+    if (active_index_ < C)
+        active_index_ = C;
+    // Only the surviving tail still burdens replay.
+    std::uint64_t tail = 0;
+    for (const std::uint64_t idx : segments_) {
+        std::uint64_t size = 0;
+        if (fileSize(segmentPath(idx), &size))
+            tail += size;
+    }
+    tail_bytes_ = tail;
+    // Dead bytes predating the cut are gone with their segments; any
+    // dead weight in the surviving tail is under-counted until future
+    // records re-account it — which only delays auto-compaction,
+    // never corrupts replay.
+    dead_bytes_ = 0;
+}
+
+std::uint64_t
+WarehouseLog::compactLocked(std::unique_lock<std::mutex> &lock,
+                            std::string *error)
+{
+    if (dead_bytes_ == 0 ||
+        (segments_.empty() && checkpoint_index_ == 0)) {
+        return 0;
+    }
     obs::ObsSpan span(s_compact_span, dead_bytes_);
+    flushActiveLocked(lock);
     closeActiveLocked();
 
-    // Fold the log from the log itself: replay the segments in memory
-    // and keep each run's latest non-tombstoned record. Reading from
-    // disk (rather than asking the store for its corpus) means
-    // compaction cannot race an insert that was already logged.
+    // Fold the log from the log itself: replay checkpoint + segments
+    // in memory and keep each run's latest non-tombstoned record.
+    // Reading from disk (rather than asking the store for its corpus)
+    // means compaction cannot race an insert that was already logged.
     std::vector<Record> order;
     std::map<std::string, std::size_t> index;
     std::uint64_t old_total = 0;
-    for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const auto foldFile = [&](const std::string &path) {
         std::string data;
-        if (!readFile(segmentPath(segments_[i]), &data, error))
-            return 0; // old segments untouched
+        if (!readFile(path, &data, error))
+            return false;
         old_total += data.size();
         parseSegment(data,
                      [&](Record record, std::uint64_t) {
@@ -491,6 +856,15 @@ WarehouseLog::compactLocked(std::string *error)
                          order.push_back(std::move(record));
                      },
                      nullptr);
+        return true;
+    };
+    if (checkpoint_index_ != 0 &&
+        !foldFile(checkpointPath(checkpoint_index_))) {
+        return 0; // old files untouched
+    }
+    for (const std::uint64_t idx : segments_) {
+        if (!foldFile(segmentPath(idx)))
+            return 0; // old files untouched
     }
 
     std::string buffer;
@@ -505,42 +879,51 @@ WarehouseLog::compactLocked(std::string *error)
         new_live_bytes += frame.size();
         buffer += frame;
     }
-    const std::uint64_t new_index = segments_.back() + 1;
-    if (!atomicWriteFile(segmentPath(new_index), buffer, error))
-        return 0; // old segments untouched
-    // From here the compacted segment is durable; a crash before the
-    // deletes below replays old + compacted, which last-wins-folds to
-    // the same corpus.
-    for (const std::uint64_t idx : segments_) {
-        std::string remove_error;
-        if (!removeFile(segmentPath(idx), &remove_error))
-            DC_WARN("log compaction: ", remove_error);
+    const std::uint64_t C = active_index_ + 1;
+    const failpoint::Eval fp = s_fp_ckpt_write.eval();
+    if (fp.fired()) {
+        errno = fp.error_errno;
+        if (error != nullptr)
+            *error = std::string("checkpoint write failed: ") +
+                     std::strerror(errno);
+        return 0;
     }
-    segments_ = {new_index};
-    active_index_ = new_index;
-    active_bytes_ = buffer.size();
+    if (!atomicWriteFile(checkpointPath(C), buffer, error))
+        return 0; // old files untouched
+    s_fp_ckpt_commit.eval(); // kill: both generations on disk
+    // From here the fresh checkpoint is durable; a crash before the
+    // deletes below replays old + new, which last-wins-folds to the
+    // same corpus.
+    adoptCheckpointLocked(C);
+    active_index_ = C;
+    active_bytes_ = 0;
     live_ = std::move(new_live);
     live_bytes_ = new_live_bytes;
     dead_bytes_ = 0;
+    // Every written record was either folded into the fsynced
+    // checkpoint or superseded by one that was — all durable now.
+    durable_seq_ = std::max(durable_seq_, written_seq_);
+    checkpointCounter().add();
+    sync_cv_.notify_all();
     return old_total > buffer.size() ? old_total - buffer.size() : 0;
 }
 
 std::uint64_t
 WarehouseLog::compact(std::string *error)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return compactLocked(error);
+    std::unique_lock<std::mutex> lock(mutex_);
+    return compactLocked(lock, error);
 }
 
 std::uint64_t
 WarehouseLog::maybeAutoCompact(std::string *error)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (dead_bytes_ < options_.auto_compact_min_dead_bytes ||
         dead_bytes_ < live_bytes_) {
         return 0;
     }
-    return compactLocked(error);
+    return compactLocked(lock, error);
 }
 
 std::uint64_t
@@ -569,6 +952,20 @@ WarehouseLog::segmentCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return segments_.size();
+}
+
+std::uint64_t
+WarehouseLog::checkpointIndex() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return checkpoint_index_;
+}
+
+std::uint64_t
+WarehouseLog::tailBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tail_bytes_;
 }
 
 } // namespace dc::service

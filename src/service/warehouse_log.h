@@ -3,14 +3,16 @@
 /**
  * @file
  * The warehouse's durable run log: an append-only, checksummed segment
- * log that makes a ProfileStore's corpus survive process restarts.
+ * log plus snapshot checkpoints that together make a ProfileStore's
+ * corpus survive process restarts in O(corpus) recovery time.
  *
  * Every successful ingest appends one framed record carrying the run id
  * and the run's serialized profile text; every erase appends a
- * tombstone. On construction the store replays the segments in order
- * and rebuilds the corpus; a crash mid-append leaves a torn final
- * record, which replay detects (length + checksum framing) and drops —
- * every complete preceding record is recovered.
+ * tombstone. On construction the store replays the newest checkpoint
+ * (if any) and then the segments past it, rebuilding the corpus; a
+ * crash mid-append leaves a torn final record, which replay detects
+ * (length + checksum framing) and drops — every complete preceding
+ * record is recovered.
  *
  * Frame format (one record, all bytes verbatim — no escaping needed
  * because the header carries explicit lengths):
@@ -24,24 +26,54 @@
  * same-length kind or length corruption) is skipped (counted as
  * corrupt) instead of poisoning the corpus.
  *
- * Segments (`segment-NNNNNN.dclog`) roll over at a size threshold so no
- * single file grows without bound. Tombstones and superseded appends
- * accumulate as dead bytes; compact() folds them away by replaying the
- * log into a single fresh segment (written atomically via temp +
- * rename, so a crash mid-compaction leaves the old segments intact)
- * and deleting the old ones. Replay applies records last-wins per run
- * id, which makes a crash between the compacted segment's rename and
- * the old segments' deletion harmless: the overlap replays to the same
- * corpus.
+ * Group commit: appends are split into a write step (appendRunAsync /
+ * appendEraseAsync — frame lands in the active segment, a commit
+ * sequence number comes back) and a durability step (sync(seq) —
+ * returns once every record up to seq is fsynced). The first waiter
+ * that finds no fsync in flight becomes the leader and issues one
+ * fsync covering *every* record written so far; waiters that queued
+ * while that fsync was in flight are covered by the next leader's
+ * single fsync. Under concurrent ingestion one fsync therefore
+ * retires a whole batch of appends — the fsync-per-append durability
+ * tax amortizes away while every ack still waits for its own record
+ * to be on disk. appendRun/appendErase keep the one-call
+ * write-then-sync behavior.
  *
- * Concurrency: appends, compaction, and the stats accessors are
- * internally serialized; replay() must complete before the first
- * append (the ProfileStore replays in its constructor, before its
- * worker pool starts). All failures are reported through bool + error
- * strings — an unwritable or corrupt data directory must degrade the
- * service, never abort it.
+ * Checkpoints (`checkpoint-NNNNNN.dcck`): a checkpoint with cut index
+ * C is an atomically-written (temp + fsync + rename) file of run
+ * records that captures the entire live corpus as of the moment the
+ * log rolled to segment C; it covers — and retires — every segment
+ * with index < C. Replay parses the newest checkpoint first, then the
+ * segments >= C, so recovery cost is proportional to the corpus, not
+ * to the append/erase history. beginCheckpointCut() rolls the active
+ * segment and returns C; the store snapshots its shards (while
+ * holding off ingest/erase), serializes them into frames (frameRun),
+ * and hands them to commitCheckpoint(), which writes the file and
+ * deletes the retired segments and the previous checkpoint. A crash
+ * anywhere in between is harmless: before the rename the old
+ * checkpoint + full segment chain still replay; after it, replaying
+ * the new checkpoint plus any not-yet-deleted old files folds to the
+ * same corpus (last-wins per run id), and open() sweeps the stale
+ * files away.
+ *
+ * compact() is checkpoint-from-log: it folds the current checkpoint +
+ * segments (read back from disk, so it cannot race an insert that was
+ * already logged) into a fresh checkpoint, dropping tombstones and
+ * superseded appends. maybeAutoCompact() triggers it once dead bytes
+ * cross a floor and outweigh live ones.
+ *
+ * Concurrency: appends, syncs, checkpointing, compaction, and the
+ * stats accessors are internally serialized (the group-commit fsync
+ * itself runs outside the lock); replay() must complete before the
+ * first append (the ProfileStore replays in its constructor, before
+ * its worker pool starts). All failures are reported through bool +
+ * error strings — an unwritable or corrupt data directory must
+ * degrade the service, never abort it. Fault edges (write, fsync,
+ * checkpoint write/commit/truncate, open) carry named failpoints
+ * (common/failpoint.h) that the crash-torture harness sweeps.
  */
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -61,10 +93,10 @@ class WarehouseLog
         /// Rollover threshold: an append that finds the active segment
         /// at or past this size starts a new segment first.
         std::uint64_t max_segment_bytes = 64ull << 20;
-        /// fsync each appended record: durable against OS/power
-        /// failure, not just process crash. Off, records still hit the
-        /// kernel on every append (process-crash-safe) but may be lost
-        /// by a host failure.
+        /// fsync appended records (via sync(), group-committed):
+        /// durable against OS/power failure, not just process crash.
+        /// Off, records still hit the kernel on every append
+        /// (process-crash-safe) but may be lost by a host failure.
         bool sync = true;
         /// Auto-compaction floor (maybeAutoCompact): fold dead records
         /// away once they exceed this many bytes and outweigh the live
@@ -81,8 +113,13 @@ class WarehouseLog
 
     /** What replay() found. */
     struct ReplayStats {
-        std::uint64_t run_records = 0;   ///< Run appends streamed.
+        std::uint64_t run_records = 0;   ///< Run appends streamed
+                                         ///< (checkpoint + segments).
         std::uint64_t erase_records = 0; ///< Tombstones streamed.
+        /// Run records streamed from the checkpoint file alone — a
+        /// large value with few segment records is the O(corpus)
+        /// recovery shape checkpoints exist for.
+        std::uint64_t checkpoint_records = 0;
         /// Fully-framed records whose checksum did not match — skipped.
         std::uint64_t corrupt_records = 0;
         /// Bytes of unparseable segment interior skipped (framing
@@ -103,38 +140,90 @@ class WarehouseLog
 
     /**
      * Bind to @p options.dir: create it if needed, scan the existing
-     * segments, and clean up temp files a crashed compaction left
-     * behind. Call replay() next — appends are refused until the
-     * existing records have been streamed.
+     * checkpoint + segments, and sweep stale files — temp files a
+     * crashed atomic write left behind, checkpoints superseded by a
+     * newer one, segments retired by the newest checkpoint whose
+     * deletion a crash interrupted. Call replay() next — appends are
+     * refused until the existing records have been streamed.
      */
     bool open(Options options, std::string *error = nullptr);
 
     /**
-     * Stream every surviving record, oldest first, into @p cb. The
+     * Stream every surviving record — the newest checkpoint's first,
+     * then the segments past its cut, oldest first — into @p cb. The
      * caller applies them in order with last-wins semantics per run id
      * (a later append for the same id replaces, a tombstone removes).
-     * Returns false only on an I/O error reading a segment; torn tails
+     * Returns false only on an I/O error reading a file; torn tails
      * and corrupt records are reported through @p stats, not failure.
      */
     bool replay(const std::function<void(Record)> &cb,
                 ReplayStats *stats = nullptr,
                 std::string *error = nullptr);
 
-    /** Append a run record. */
+    /** Append a run record and sync() it (one-call durability). */
     bool appendRun(const std::string &run_id, const std::string &text,
                    std::string *error = nullptr);
 
-    /** Append an erase tombstone for @p run_id. */
+    /** Append an erase tombstone for @p run_id and sync() it. */
     bool appendErase(const std::string &run_id,
                      std::string *error = nullptr);
 
     /**
-     * Fold dead records away: replay the current segments, write every
-     * surviving record into one fresh segment (atomic temp + rename),
-     * and delete the old segments. Appends block for the duration.
-     * @return Bytes of dead record data folded away (0 when there was
-     * nothing dead or on failure — failure leaves the old segments
-     * fully intact and is reported through @p error).
+     * Write a run record without waiting for durability. On success
+     * @p seq receives the record's commit sequence — pass it to
+     * sync() to wait for (group-committed) durability.
+     */
+    bool appendRunAsync(const std::string &run_id,
+                        const std::string &text, std::uint64_t *seq,
+                        std::string *error = nullptr);
+
+    /** Write an erase tombstone without waiting for durability. */
+    bool appendEraseAsync(const std::string &run_id, std::uint64_t *seq,
+                          std::string *error = nullptr);
+
+    /**
+     * Block until every record with commit sequence <= @p seq is
+     * durable (group commit: one leader fsync covers every waiter
+     * that queued while the previous fsync was in flight). Returns
+     * immediately when Options::sync is off, when @p seq is 0, or
+     * when the records are already durable. On an fsync failure every
+     * waiter whose record the failed fsync covered gets the error —
+     * such records may or may not be on disk; the store re-appends
+     * them on re-attach (replay folds duplicates last-wins).
+     */
+    bool sync(std::uint64_t seq, std::string *error = nullptr);
+
+    /**
+     * Start a checkpoint: flush and roll the active segment, and
+     * return the cut index C — the new checkpoint will cover every
+     * segment with index < C. The caller must snapshot its corpus
+     * *after* this returns (and before allowing further mutations it
+     * wants covered) and then call commitCheckpoint(C, frames).
+     * @return C, or 0 on failure.
+     */
+    std::uint64_t beginCheckpointCut(std::string *error = nullptr);
+
+    /**
+     * Atomically write the checkpoint file for cut @p C from @p frames
+     * (concatenated frameRun() records), then delete the previous
+     * checkpoint and every segment with index < C. Failure before the
+     * atomic rename leaves the old checkpoint + segments fully
+     * authoritative.
+     */
+    bool commitCheckpoint(std::uint64_t C, const std::string &frames,
+                          std::string *error = nullptr);
+
+    /** Frame one run record — checkpoint frames are built from these. */
+    static std::string frameRun(const std::string &run_id,
+                                const std::string &text);
+
+    /**
+     * Fold dead records away: replay the checkpoint + segments from
+     * disk, write every surviving run into a fresh checkpoint (atomic
+     * temp + rename), and delete the old files. Appends block for the
+     * duration. @return Bytes of dead record data folded away (0 when
+     * there was nothing dead or on failure — failure leaves the old
+     * files fully intact and is reported through @p error).
      */
     std::uint64_t compact(std::string *error = nullptr);
 
@@ -152,22 +241,46 @@ class WarehouseLog
     /** Bytes of dead record frames (tombstoned, superseded, torn). */
     std::uint64_t deadBytes() const;
 
-    /** Number of segment files. */
+    /** Number of segment files (excludes the checkpoint). */
     std::size_t segmentCount() const;
 
-    /** Record fsyncs completed (0 when Options::sync is off). */
+    /** Cut index of the current checkpoint (0 = none). */
+    std::uint64_t checkpointIndex() const;
+
+    /**
+     * Bytes of segment data replay would have to parse past the
+     * checkpoint — the store's checkpoint-trigger metric: once the
+     * tail outgrows a threshold, a fresh checkpoint caps recovery
+     * back to O(corpus).
+     */
+    std::uint64_t tailBytes() const;
+
+    /** fsyncs completed (0 when Options::sync is off). */
     std::uint64_t fsyncCount() const;
 
     const std::string &dir() const { return dir_; }
 
   private:
-    /// Requires mutex_ held.
-    bool appendLocked(Record::Kind kind, const std::string &run_id,
-                      const std::string &text, std::string *error);
+    /// All require mutex_ held (unique_lock where they may wait).
+    bool appendRecordLocked(std::unique_lock<std::mutex> &lock,
+                            Record::Kind kind, const std::string &run_id,
+                            const std::string &text, std::uint64_t *seq,
+                            std::string *error);
     bool openActiveLocked(std::string *error);
     void closeActiveLocked();
-    std::uint64_t compactLocked(std::string *error);
+    /// Wait out an in-flight group-commit fsync (it holds fd_).
+    void drainSyncLocked(std::unique_lock<std::mutex> &lock);
+    /// drainSync + fsync any written-but-unsynced records so fd_ can
+    /// be closed without stranding sync() waiters. A flush failure
+    /// fails those waiters (failed_upto_), never the caller.
+    void flushActiveLocked(std::unique_lock<std::mutex> &lock);
+    /// Adopt checkpoint @p C: delete the previous checkpoint and the
+    /// segments it retires, and reset the tail accounting.
+    void adoptCheckpointLocked(std::uint64_t C);
+    std::uint64_t compactLocked(std::unique_lock<std::mutex> &lock,
+                                std::string *error);
     std::string segmentPath(std::uint64_t index) const;
+    std::string checkpointPath(std::uint64_t index) const;
 
     /**
      * Parse @p data (one segment's bytes) record by record into @p cb
@@ -193,12 +306,26 @@ class WarehouseLog
     std::vector<std::uint64_t> segments_; ///< Sorted segment indices.
     std::uint64_t active_index_ = 1;
     std::uint64_t active_bytes_ = 0;
+    std::uint64_t checkpoint_index_ = 0; ///< 0 = no checkpoint.
     int fd_ = -1;
+
+    // Group-commit state. Commit sequences count successful record
+    // writes; durable_seq_ trails written_seq_ until a leader fsync
+    // catches it up. failed_upto_ poisons the range a failed fsync
+    // covered so its waiters see the error.
+    std::condition_variable sync_cv_;
+    std::uint64_t written_seq_ = 0;
+    std::uint64_t durable_seq_ = 0;
+    std::uint64_t failed_upto_ = 0;
+    bool sync_in_flight_ = false;
+    std::string last_sync_error_;
 
     /// run id -> frame bytes of its latest live record.
     std::map<std::string, std::uint64_t> live_;
     std::uint64_t live_bytes_ = 0;
     std::uint64_t dead_bytes_ = 0;
+    /// Segment bytes past the checkpoint (replay's parse burden).
+    std::uint64_t tail_bytes_ = 0;
     std::uint64_t fsync_count_ = 0;
 };
 

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Crash-torture harness: fork+exec a child warehouse process that runs
+ * a deterministic ingest/erase/checkpoint/compact workload with a
+ * kill-mode failpoint armed at one crash point, let the failpoint
+ * SIGKILL it mid-operation, then recover the store from the surviving
+ * directory and assert *exact* query equivalence against an in-memory
+ * reference built from the operations the child acknowledged.
+ *
+ * The child is this same test binary re-executed with
+ * --gtest_filter=CrashTortureChild.Workload (exec, not fork-and-
+ * continue: the parent has live worker threads, and forking them into
+ * a child that keeps running is undefined-behavior bingo). The child
+ * appends one fsynced ack line per completed operation, so the parent
+ * knows the exact prefix P that finished: the recovered corpus must
+ * equal model(P) or model(P+1) — the single in-flight operation either
+ * became durable or it didn't, never anything else.
+ *
+ * The sweep (CrashTorture.SweepAllCrashPoints) iterates every
+ * registered kill site x hit counts. DC_CRASH_TORTURE_HITS bounds the
+ * hits per site (default 2); scripts/crash_torture.py drives wider
+ * budgets in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/failpoint.h"
+#include "common/fs.h"
+#include "common/rng.h"
+#include "service/profile_store.h"
+#include "service/query_engine.h"
+#include "service/warehouse_log.h"
+
+namespace dc {
+namespace {
+
+using dlmon::Frame;
+using prof::Cct;
+using prof::CctNode;
+using prof::MetricRegistry;
+using prof::ProfileDb;
+using service::ProfileStore;
+using service::QueryEngine;
+
+/** Deterministic profile: same (id, salt) always yields equal bytes. */
+std::unique_ptr<ProfileDb>
+makeProfile(int salt)
+{
+    auto cct = std::make_unique<Cct>();
+    MetricRegistry metrics;
+    const int gpu = metrics.intern(prof::metric_names::kGpuTime);
+    const int count = metrics.intern(prof::metric_names::kKernelCount);
+    Rng rng(7000 + static_cast<std::uint64_t>(salt));
+    for (int i = 0; i < 3 + salt % 3; ++i) {
+        CctNode *leaf = cct->insert(
+            {Frame::python("train.py", "step", 42),
+             Frame::op("aten::mm"),
+             Frame::kernel("kernel_" + std::to_string((salt + i) % 5))});
+        cct->addMetric(leaf, gpu, rng.uniform(10.0, 1000.0));
+        cct->addMetric(leaf, count, 1.0);
+    }
+    return std::make_unique<ProfileDb>(std::move(cct),
+                                       std::move(metrics),
+                                       std::map<std::string, std::string>{});
+}
+
+/** One step of the shared child workload. */
+struct Op {
+    enum Kind { kIngest, kErase, kCheckpoint, kCompact } kind;
+    std::string id; ///< Run id for kIngest/kErase.
+    int salt = 0;   ///< Profile recipe for kIngest.
+};
+
+/**
+ * The deterministic operation list both sides agree on. Ingests
+ * overwrite (run-2 twice), erases create tombstones, and explicit
+ * checkpoint/compact steps exercise the retirement paths while the
+ * armed failpoint can fire anywhere inside them.
+ */
+std::vector<Op>
+workloadOps()
+{
+    std::vector<Op> ops;
+    for (int i = 0; i < 6; ++i)
+        ops.push_back({Op::kIngest, "run-" + std::to_string(i), i});
+    ops.push_back({Op::kErase, "run-1", 0});
+    ops.push_back({Op::kErase, "run-2", 0});
+    ops.push_back({Op::kIngest, "run-2", 12}); // tombstone then rebirth
+    ops.push_back({Op::kCheckpoint, "", 0});
+    ops.push_back({Op::kIngest, "run-6", 6});
+    ops.push_back({Op::kErase, "run-3", 0});
+    ops.push_back({Op::kCompact, "", 0});
+    ops.push_back({Op::kIngest, "run-7", 7});
+    ops.push_back({Op::kIngest, "run-8", 8});
+    return ops;
+}
+
+/** Corpus state after the first @p count ops: id -> salt. */
+std::map<std::string, int>
+modelAfter(std::size_t count)
+{
+    const std::vector<Op> ops = workloadOps();
+    std::map<std::string, int> state;
+    for (std::size_t i = 0; i < count && i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        if (op.kind == Op::kIngest)
+            state[op.id] = op.salt;
+        else if (op.kind == Op::kErase)
+            state.erase(op.id);
+    }
+    return state;
+}
+
+ProfileStore::Options
+tortureOptions(const std::string &dir)
+{
+    ProfileStore::Options options;
+    options.workers = 1; // deterministic op completion order
+    options.data_dir = dir;
+    // Tiny segments force rollovers mid-workload; auto-compaction off
+    // (the workload compacts explicitly so the op list stays the
+    // ground truth for what ran).
+    options.log_segment_bytes = 2000;
+    options.log_compact_min_dead_bytes = 1ull << 40;
+    options.log_checkpoint_bytes = 0;
+    // A kill-armed child must not half-recover via background retries.
+    options.log_reattach_min_backoff_ms = 60'000;
+    options.log_reattach_max_backoff_ms = 60'000;
+    return options;
+}
+
+/**
+ * The child body. Not run directly as a test: the parent execs this
+ * binary with --gtest_filter=CrashTortureChild.Workload and the
+ * torture directory/failpoint spec in the environment. Without
+ * DC_TORTURE_DIR it skips (so a plain `ctest` run ignores it).
+ */
+TEST(CrashTortureChild, Workload)
+{
+    const char *dir = std::getenv("DC_TORTURE_DIR");
+    const char *ack_path = std::getenv("DC_TORTURE_ACKS");
+    if (dir == nullptr || ack_path == nullptr)
+        GTEST_SKIP() << "torture child only runs under the harness";
+
+    ProfileStore store(tortureOptions(dir));
+    std::ofstream acks(ack_path, std::ios::app | std::ios::binary);
+    int ack_fd = ::open(ack_path, O_WRONLY);
+    ASSERT_GE(ack_fd, 0);
+    std::size_t index = 0;
+    for (const Op &op : workloadOps()) {
+        switch (op.kind) {
+        case Op::kIngest:
+            store.ingest(op.id, makeProfile(op.salt));
+            store.waitIdle();
+            break;
+        case Op::kErase:
+            store.erase(op.id);
+            break;
+        case Op::kCheckpoint:
+            store.checkpoint();
+            break;
+        case Op::kCompact:
+            if (store.log() != nullptr)
+                const_cast<service::WarehouseLog *>(store.log())
+                    ->compact();
+            break;
+        }
+        // Ack only a *completed* op, and make the ack itself durable
+        // before moving on — the parent's model trusts this file.
+        acks << index++ << "\n";
+        acks.flush();
+        ::fsync(ack_fd);
+    }
+    ::close(ack_fd);
+    // Reaching here means the armed failpoint never fired (hit count
+    // beyond this workload's traffic at that site). Exit cleanly
+    // without running the store destructor's full shutdown under an
+    // armed failpoint registry.
+    acks.close();
+    std::_Exit(0);
+}
+
+/** Parent-side result of one child run. */
+struct ChildRun {
+    bool killed = false;   ///< Child died by signal (the armed kill).
+    int acked = 0;         ///< Completed ops per the fsynced ack file.
+    bool exec_failed = false;
+};
+
+ChildRun
+runChild(const std::string &dir, const std::string &ack_path,
+         const std::string &failpoints, const std::string &self_exe)
+{
+    ChildRun result;
+    { std::ofstream truncate(ack_path, std::ios::trunc); }
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::setenv("DC_TORTURE_DIR", dir.c_str(), 1);
+        ::setenv("DC_TORTURE_ACKS", ack_path.c_str(), 1);
+        ::setenv("DC_FAILPOINTS", failpoints.c_str(), 1);
+        // Quiet child gtest output; the parent asserts on outcomes.
+        const char *argv[] = {self_exe.c_str(),
+                              "--gtest_filter=CrashTortureChild.Workload",
+                              "--gtest_brief=1", nullptr};
+        ::execv(self_exe.c_str(), const_cast<char **>(argv));
+        ::_exit(127);
+    }
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    if (WIFSIGNALED(status)) {
+        result.killed = true;
+        EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    } else {
+        result.exec_failed = WEXITSTATUS(status) == 127;
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+    }
+    std::ifstream acks(ack_path);
+    std::string line;
+    while (std::getline(acks, line))
+        if (!line.empty())
+            ++result.acked;
+    return result;
+}
+
+void
+expectSameFlame(const gui::FlameNode &a, const gui::FlameNode &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_NEAR(a.value, b.value, 1e-6);
+    ASSERT_EQ(a.children.size(), b.children.size());
+    for (std::size_t i = 0; i < a.children.size(); ++i)
+        expectSameFlame(a.children[i], b.children[i]);
+}
+
+/** Recovered store must exactly match the reference corpus @p model. */
+void
+expectEquivalent(const std::map<std::string, int> &model,
+                 const std::string &context)
+{
+    // Fresh recovery from the torture directory...
+    ProfileStore recovered(tortureOptions(
+        std::string(std::getenv("DC_TORTURE_DIR"))));
+    SCOPED_TRACE(context);
+    ASSERT_TRUE(recovered.logHealthy()) << recovered.logError();
+
+    // ...versus an in-memory reference rebuilt from the model.
+    ProfileStore::Options mem;
+    mem.workers = 1;
+    ProfileStore reference(mem);
+    for (const auto &[id, salt] : model)
+        reference.ingest(id, makeProfile(salt));
+    reference.waitIdle();
+
+    std::vector<std::string> want_ids;
+    for (const auto &[id, salt] : model)
+        want_ids.push_back(id);
+    EXPECT_EQ(recovered.runIds(), want_ids);
+
+    QueryEngine rq(recovered);
+    QueryEngine mq(reference);
+    const auto rtop = rq.topKernels(32);
+    const auto mtop = mq.topKernels(32);
+    ASSERT_EQ(rtop.size(), mtop.size());
+    for (std::size_t i = 0; i < rtop.size(); ++i) {
+        EXPECT_EQ(rtop[i].name, mtop[i].name);
+        EXPECT_DOUBLE_EQ(rtop[i].total, mtop[i].total);
+    }
+    const auto rmerged = rq.merged();
+    const auto mmerged = mq.merged();
+    ASSERT_NE(rmerged, nullptr);
+    ASSERT_NE(mmerged, nullptr);
+    EXPECT_EQ(rmerged->cct().nodeCount(), mmerged->cct().nodeCount());
+    expectSameFlame(*rq.flameGraph(), *mq.flameGraph());
+
+    // Recovery must leave the store fully writable.
+    ProfileStore reopened(tortureOptions(
+        std::string(std::getenv("DC_TORTURE_DIR"))));
+    reopened.ingest("post-recovery", makeProfile(99));
+    reopened.waitIdle();
+    EXPECT_NE(reopened.get("post-recovery"), nullptr);
+    EXPECT_TRUE(reopened.logHealthy()) << reopened.logError();
+    EXPECT_TRUE(reopened.erase("post-recovery"));
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::vector<std::string> entries;
+    if (listDir(dir, &entries)) {
+        for (const std::string &entry : entries)
+            removeFile(dir + "/" + entry);
+    }
+    EXPECT_TRUE(ensureDir(dir));
+    return dir;
+}
+
+/**
+ * Kill the child at @p site (hit @p hit), recover, assert equivalence.
+ * Returns false when the failpoint never fired (site saw fewer than
+ * @p hit evaluations in this workload) — the sweep stops raising hits
+ * for that site then.
+ */
+bool
+tortureOnce(const std::string &site, const std::string &action, int hit,
+            const std::string &self_exe)
+{
+    const std::string dir = freshDir("crash_torture");
+    const std::string ack_path =
+        ::testing::TempDir() + "/crash_torture.acks";
+    ::setenv("DC_TORTURE_DIR", dir.c_str(), 1);
+
+    std::ostringstream spec;
+    spec << site << "=" << action << ":hit=" << hit;
+    const ChildRun child =
+        runChild(dir, ack_path, spec.str(), self_exe);
+    EXPECT_FALSE(child.exec_failed) << "could not re-exec " << self_exe;
+
+    const std::size_t total = workloadOps().size();
+    EXPECT_LE(static_cast<std::size_t>(child.acked), total) << spec.str();
+    if (!child.killed) {
+        // Armed point was past this workload's traffic: full run.
+        EXPECT_EQ(static_cast<std::size_t>(child.acked), total);
+        expectEquivalent(modelAfter(total), spec.str() + " (no fire)");
+        return false;
+    }
+
+    // Killed mid-op P: the corpus is model(P) or model(P+1).
+    const std::size_t p = static_cast<std::size_t>(child.acked);
+    const std::map<std::string, int> before = modelAfter(p);
+    const std::map<std::string, int> after = modelAfter(p + 1);
+    ProfileStore probe(tortureOptions(dir));
+    std::map<std::string, int> got;
+    for (const std::string &id : probe.runIds())
+        got[id] = -1;
+    std::map<std::string, int> want;
+    auto keysOf = [](const std::map<std::string, int> &m) {
+        std::map<std::string, int> keys;
+        for (const auto &[id, salt] : m)
+            keys[id] = -1;
+        return keys;
+    };
+    if (got == keysOf(after))
+        want = after;
+    else
+        want = before;
+    EXPECT_EQ(got, keysOf(want))
+        << spec.str() << ": recovered corpus is neither model(" << p
+        << ") nor model(" << p + 1 << ")";
+    expectEquivalent(want, spec.str() + " after " +
+                               std::to_string(p) + " acked ops");
+    return true;
+}
+
+int
+sweepHitBudget()
+{
+    const char *env = std::getenv("DC_CRASH_TORTURE_HITS");
+    if (env == nullptr)
+        return 2;
+    const int hits = std::atoi(env);
+    return hits > 0 ? hits : 2;
+}
+
+/**
+ * The sweep: every registered crash point, killed at increasing hit
+ * counts, must recover to an equivalent corpus. Sites outside this
+ * workload's traffic simply never fire (the run completes and full
+ * equivalence is still asserted).
+ */
+TEST(CrashTorture, SweepAllCrashPoints)
+{
+    char self[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+    ASSERT_GT(n, 0);
+    self[n] = '\0';
+    const std::string self_exe(self);
+
+    struct Point {
+        const char *site;
+        const char *action;
+    };
+    const std::vector<Point> points = {
+        // Store-level crash points: between publication, append,
+        // fsync, tombstone, and checkpoint cut/commit.
+        {"store.ingest.published", "kill"},
+        {"store.ingest.appended", "kill"},
+        {"store.ingest.synced", "kill"},
+        {"store.erase.tombstoned", "kill"},
+        {"store.checkpoint.cut", "kill"},
+        // Log-level: torn frame then death, death inside fsync,
+        // checkpoint write/commit/truncation.
+        {"wal.append.write", "torn-kill(7)"},
+        {"wal.append.fsync", "kill"},
+        {"wal.checkpoint.write", "kill"},
+        {"wal.checkpoint.commit", "kill"},
+        {"wal.checkpoint.truncate", "kill"},
+        // fs-level: death around the atomic-rename commit point.
+        {"fs.atomic.fsync", "kill"},
+        {"fs.atomic.rename", "kill"},
+    };
+    const int max_hits = sweepHitBudget();
+    int fired = 0;
+    for (const Point &point : points) {
+        for (int hit = 1; hit <= max_hits; ++hit) {
+            if (!tortureOnce(point.site, point.action, hit, self_exe))
+                break; // site exhausted for this workload
+            ++fired;
+        }
+        if (::testing::Test::HasFatalFailure())
+            break;
+    }
+    // The sweep is vacuous if nothing ever fired.
+    EXPECT_GT(fired, 0);
+    ::unsetenv("DC_TORTURE_DIR");
+}
+
+} // namespace
+} // namespace dc

@@ -214,6 +214,76 @@ TEST(WarehouseLog, AppendReplayRoundTripWithHostileRunIds)
     EXPECT_GT(reader.deadBytes(), 0u);
 }
 
+TEST(WarehouseLog, GroupCommitOneFsyncCoversABatch)
+{
+    const std::string dir = freshDir("wlog_group_commit");
+    WarehouseLog log;
+    ASSERT_TRUE(log.open({.dir = dir}));
+    ASSERT_TRUE(log.replay([](WarehouseLog::Record) {}));
+    std::uint64_t last = 0;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(log.appendRunAsync("run-" + std::to_string(i),
+                                       "payload", &last));
+    }
+    // Writes alone do not fsync; one sync() retires the whole batch.
+    EXPECT_EQ(log.fsyncCount(), 0u);
+    ASSERT_TRUE(log.sync(last));
+    EXPECT_EQ(log.fsyncCount(), 1u);
+    // Earlier sequences are already durable: no further fsync.
+    ASSERT_TRUE(log.sync(1));
+    EXPECT_EQ(log.fsyncCount(), 1u);
+
+    WarehouseLog reader;
+    ASSERT_TRUE(reader.open({.dir = dir}));
+    std::size_t replayed = 0;
+    ASSERT_TRUE(
+        reader.replay([&](WarehouseLog::Record) { ++replayed; }));
+    EXPECT_EQ(replayed, 8u);
+}
+
+TEST(WarehouseLog, CheckpointRetiresSegmentsAndReplaysFirst)
+{
+    const std::string dir = freshDir("wlog_checkpoint");
+    WarehouseLog log;
+    ASSERT_TRUE(log.open({.dir = dir}));
+    ASSERT_TRUE(log.replay([](WarehouseLog::Record) {}));
+    ASSERT_TRUE(log.appendRun("a", "one"));
+    ASSERT_TRUE(log.appendRun("b", "two"));
+    EXPECT_GT(log.tailBytes(), 0u);
+
+    const std::uint64_t cut = log.beginCheckpointCut();
+    ASSERT_GT(cut, 0u);
+    const std::string frames = WarehouseLog::frameRun("a", "one") +
+                               WarehouseLog::frameRun("b", "two");
+    ASSERT_TRUE(log.commitCheckpoint(cut, frames));
+    EXPECT_EQ(log.segmentCount(), 0u);
+    EXPECT_EQ(log.checkpointIndex(), cut);
+    EXPECT_EQ(log.tailBytes(), 0u);
+
+    // Post-cut records land in segments past the cut and replay after
+    // the checkpoint (last-wins), so the tombstone below sticks.
+    ASSERT_TRUE(log.appendRun("c", "three"));
+    ASSERT_TRUE(log.appendErase("a"));
+
+    WarehouseLog reader;
+    ASSERT_TRUE(reader.open({.dir = dir}));
+    std::vector<WarehouseLog::Record> records;
+    WarehouseLog::ReplayStats stats;
+    ASSERT_TRUE(reader.replay(
+        [&](WarehouseLog::Record record) {
+            records.push_back(std::move(record));
+        },
+        &stats));
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[0].run_id, "a"); // checkpoint frames first
+    EXPECT_EQ(records[1].run_id, "b");
+    EXPECT_EQ(records[2].run_id, "c");
+    EXPECT_EQ(records[3].kind, WarehouseLog::Record::Kind::kErase);
+    EXPECT_EQ(stats.checkpoint_records, 2u);
+    EXPECT_EQ(stats.run_records, 3u);
+    EXPECT_EQ(stats.erase_records, 1u);
+}
+
 TEST(WarehouseLog, AppendBeforeReplayRefused)
 {
     const std::string dir = freshDir("wlog_order");
@@ -433,15 +503,18 @@ TEST(StoreRecovery, CompactionFoldsDeadRecordsAndSurvivesRestart)
         for (int i = 1; i < 4; ++i)
             store.erase("run-" + std::to_string(i));
         // Three of four runs tombstoned: dead outweighs live, so the
-        // erase-triggered auto-compaction folded them away.
+        // erase-triggered auto-compaction folded them away — into a
+        // snapshot checkpoint that retires every segment.
         ASSERT_NE(store.log(), nullptr);
         EXPECT_EQ(store.log()->deadBytes(), 0u);
         EXPECT_GE(store.stats().log_compactions, 1u);
-        EXPECT_EQ(store.log()->segmentCount(), 1u);
+        EXPECT_EQ(store.log()->segmentCount(), 0u);
+        EXPECT_GT(store.log()->checkpointIndex(), 0u);
     }
     {
         ProfileStore store(options);
         EXPECT_EQ(store.recovery().runs, 1u);
+        EXPECT_EQ(store.recovery().checkpoint_records, 1u);
         EXPECT_EQ(store.runIds(), (std::vector<std::string>{"run-0"}));
     }
 
@@ -492,6 +565,62 @@ TEST(StoreRecovery, UnwritableDataDirDegradesToMemoryOnly)
     store.waitIdle();
     EXPECT_EQ(store.size(), 1u);
     EXPECT_EQ(store.stats().log_appends, 0u);
+}
+
+TEST(StoreRecovery, StoreCheckpointRetiresHistoryAndRecoveryIsExact)
+{
+    const std::string dir = freshDir("store_checkpoint");
+    ProfileStore::Options options;
+    options.workers = 1;
+    options.data_dir = dir;
+    options.log_checkpoint_bytes = 0; // manual checkpoints only
+    {
+        ProfileStore store(options);
+        for (int i = 0; i < 5; ++i)
+            store.ingest("run-" + std::to_string(i), makeProfile(i));
+        store.waitIdle();
+        EXPECT_TRUE(store.erase("run-1"));
+        ASSERT_TRUE(store.checkpoint());
+        EXPECT_EQ(store.stats().log_checkpoints, 1u);
+        ASSERT_NE(store.log(), nullptr);
+        EXPECT_EQ(store.log()->segmentCount(), 0u);
+        EXPECT_EQ(store.log()->tailBytes(), 0u);
+        EXPECT_GT(store.log()->checkpointIndex(), 0u);
+        // Post-checkpoint churn lands in the tail past the cut.
+        store.ingest("run-5", makeProfile(5));
+        store.waitIdle();
+        EXPECT_TRUE(store.erase("run-2"));
+        EXPECT_GT(store.log()->tailBytes(), 0u);
+    }
+    ProfileStore store(options);
+    EXPECT_TRUE(store.logHealthy());
+    EXPECT_EQ(store.recovery().checkpoint_records, 4u);
+    EXPECT_EQ(store.recovery().runs, 4u);
+    EXPECT_EQ(store.runIds(), (std::vector<std::string>{
+                                  "run-0", "run-3", "run-4", "run-5"}));
+}
+
+TEST(StoreRecovery, AutoCheckpointKeepsRecoveryFlatUnderChurn)
+{
+    const std::string dir = freshDir("store_auto_checkpoint");
+    ProfileStore::Options options;
+    options.workers = 1;
+    options.data_dir = dir;
+    options.log_checkpoint_bytes = 1; // every append outgrows the tail
+    {
+        ProfileStore store(options);
+        for (int i = 0; i < 6; ++i)
+            store.ingest("run-" + std::to_string(i), makeProfile(i));
+        store.waitIdle();
+        EXPECT_GE(store.stats().log_checkpoints, 1u);
+        ASSERT_NE(store.log(), nullptr);
+        EXPECT_EQ(store.log()->tailBytes(), 0u);
+    }
+    ProfileStore store(options);
+    // Replay parsed the corpus snapshot, not the append history.
+    EXPECT_EQ(store.recovery().runs, 6u);
+    EXPECT_EQ(store.recovery().checkpoint_records, 6u);
+    EXPECT_TRUE(store.logHealthy());
 }
 
 TEST(StoreRecovery, ConcurrentDurableIngestAndEraseRecoverConsistently)
