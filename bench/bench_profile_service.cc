@@ -59,11 +59,14 @@
 #include <unistd.h>
 
 #include "bench_util.h"
+#include "common/failpoint.h"
 #include "common/fs.h"
 #include "common/stats.h"
 #include "common/strings.h"
 #include "obs/metrics_registry.h"
 #include "obs/self_profile.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "obs/trace_span.h"
 #include "service/cct_merger.h"
 #include "service/profile_store.h"
@@ -721,6 +724,153 @@ benchTelemetryOverhead(const std::vector<std::string> &pool,
 }
 
 /**
+ * Wire front-end scenarios: the cost of putting the warehouse behind
+ * its socket protocol, and the overload contract under forced
+ * saturation.
+ *
+ *  - server_qps / server_p50_us / server_p99_us: a loopback client
+ *    issuing cached topKernels calls through the full path — framing,
+ *    checksums, epoll, worker dispatch, response flush. Against
+ *    cached_topk_us the delta is the protocol tax.
+ *  - server_shed_correct: with one deliberately stalled worker
+ *    (srv.exec delay failpoint) and a tiny admission watermark, a
+ *    pipelined burst must get exactly one response per request —
+ *    served or an explicit OVERLOADED, with at least one of each and
+ *    nothing dropped or invented. 1.0 = the contract held.
+ */
+void
+benchWireServer(const std::vector<std::string> &pool,
+                std::vector<std::pair<std::string, double>> *json)
+{
+    std::printf("\nwire server (loopback):\n");
+
+    double qps = 0.0, p50 = 0.0, p99 = 0.0;
+    {
+        ProfileStore store;
+        for (std::size_t i = 0; i < pool.size() && i < 16; ++i)
+            store.ingestText("run-" + std::to_string(i), pool[i]);
+        store.waitIdle();
+        QueryEngine engine(store);
+        server::WireServer server(store, engine);
+        std::string error;
+        if (!server.start(&error)) {
+            std::printf("cannot start bench server: %s\n",
+                        error.c_str());
+            return;
+        }
+        server::WireClient client;
+        if (!client.connect("127.0.0.1", server.port(), &error)) {
+            std::printf("cannot connect bench client: %s\n",
+                        error.c_str());
+            return;
+        }
+        (void)engine.topKernels(16); // warm the materialized view
+
+        constexpr int kWarmup = 50, kRequests = 500;
+        std::vector<server::KernelRow> rows;
+        for (int i = 0; i < kWarmup; ++i)
+            (void)client.topKernels(16, prof::metric_names::kGpuTime,
+                                    {}, &rows);
+        std::vector<double> samples_us;
+        samples_us.reserve(kRequests);
+        const auto start = Clock::now();
+        for (int i = 0; i < kRequests; ++i) {
+            const auto t0 = Clock::now();
+            const server::WireClient::Result result = client.topKernels(
+                16, prof::metric_names::kGpuTime, {}, &rows);
+            if (!result.ok ||
+                result.status != server::Status::kOk) {
+                std::printf("bench request failed: %s\n",
+                            result.error.c_str());
+                return;
+            }
+            samples_us.push_back(
+                std::chrono::duration<double, std::micro>(
+                    Clock::now() - t0)
+                    .count());
+        }
+        const double elapsed_s =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        qps = static_cast<double>(kRequests) / elapsed_s;
+        std::sort(samples_us.begin(), samples_us.end());
+        p50 = samples_us[samples_us.size() / 2];
+        p99 = samples_us[samples_us.size() * 99 / 100];
+        server.drain();
+        server.stop();
+    }
+
+    // Forced overload: stall the only worker, flood past the
+    // watermark, require the shed contract to hold exactly.
+    bool shed_correct = false;
+    {
+        ProfileStore store;
+        QueryEngine engine(store);
+        server::ServerOptions options;
+        options.workers = 1;
+        options.max_pending = 4;
+        server::WireServer server(store, engine, options);
+        std::string error;
+        if (server.start(&error) &&
+            failpoint::set("srv.exec", "delay(100)")) {
+            server::WireClient client;
+            if (client.connect("127.0.0.1", server.port(), &error)) {
+                constexpr int kBurst = 24;
+                bool sane = true;
+                std::vector<std::uint64_t> ids;
+                for (int i = 0; i < kBurst; ++i) {
+                    std::uint64_t id = 0;
+                    sane = sane && client.send(server::Opcode::kPing, 0,
+                                               "overload", 0, &id);
+                    ids.push_back(id);
+                }
+                int ok = 0, shed = 0, other = 0;
+                for (int i = 0; sane && i < kBurst; ++i) {
+                    server::Frame frame;
+                    if (!client.recv(&frame, 30'000, &error)) {
+                        sane = false;
+                        break;
+                    }
+                    const auto it = std::find(ids.begin(), ids.end(),
+                                              frame.request_id);
+                    if (it == ids.end()) {
+                        sane = false; // invented response
+                        break;
+                    }
+                    ids.erase(it);
+                    if (frame.status() == server::Status::kOk)
+                        ++ok;
+                    else if (frame.status() ==
+                             server::Status::kOverloaded)
+                        ++shed;
+                    else
+                        ++other;
+                }
+                shed_correct = sane && ids.empty() && other == 0 &&
+                               ok >= 1 && shed >= 1 &&
+                               ok + shed == kBurst;
+                const std::uint64_t server_shed = server.stats().shed;
+                shed_correct =
+                    shed_correct &&
+                    server_shed == static_cast<std::uint64_t>(shed);
+                std::printf("overload burst: %d served, %d shed "
+                            "(contract %s)\n",
+                            ok, shed, shed_correct ? "held" : "BROKEN");
+            }
+        }
+        failpoint::clearAll();
+        server.drain();
+        server.stop();
+    }
+
+    std::printf("server topk: %.0f qps, p50 %.1f us, p99 %.1f us\n",
+                qps, p50, p99);
+    json->emplace_back("server_qps", qps);
+    json->emplace_back("server_p50_us", p50);
+    json->emplace_back("server_p99_us", p99);
+    json->emplace_back("server_shed_correct", shed_correct ? 1.0 : 0.0);
+}
+
+/**
  * Dogfood the span rings: convert everything this process traced so
  * far into a ProfileDb, prove it survives the same handoff as any
  * tenant profile (validate + serialize/tryDeserialize + warehouse
@@ -993,6 +1143,7 @@ main(int argc, char **argv)
     benchDurability(pool, &json);
     benchGroupCommitAndCheckpoint(pool, &json);
     benchTelemetryOverhead(pool, &json);
+    benchWireServer(pool, &json);
 
     std::printf("\nquery sanity: ");
     {

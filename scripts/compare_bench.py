@@ -17,13 +17,15 @@ collapses of the fast path, not single-digit-percent drift:
   least baseline * (1 - speedup_tolerance). A missing key fails: a
   renamed or dropped scenario must update the baseline consciously.
 
-- "*_us" / "*_per_sec" keys are absolute and host-dependent; they only
-  fail on catastrophe (worse than latency_tolerance x the baseline).
+- "*_us" / "*_per_sec" / "*_qps" keys are absolute and
+  host-dependent; they only fail on catastrophe (worse than
+  latency_tolerance x the baseline).
 
-- "*_equiv" / "*_recovered" keys are 0/1 correctness flags (e.g. "the
-  restarted store answered queries identically"); the fresh value must
-  be at least the baseline's, so a flag that was 1 failing to 0 fails
-  the build with no tolerance.
+- "*_equiv" / "*_recovered" / "*_correct" keys are 0/1 correctness
+  flags (e.g. "the restarted store answered queries identically", "the
+  overloaded server shed with explicit statuses and lost nothing");
+  the fresh value must be at least the baseline's, so a flag that was
+  1 failing to 0 fails the build with no tolerance.
 
 - "*_overhead_pct" keys are within-process percentages (instrumented
   vs. disabled telemetry), so like speedups they transfer across
@@ -106,14 +108,14 @@ def main():
                     f"{key}: latency {got:.0f}us exceeds "
                     f"{ceiling:.0f}us ({args.latency_tolerance}x "
                     f"baseline {base:.0f}us)")
-        elif key.endswith("_per_sec"):
+        elif key.endswith(("_per_sec", "_qps")):
             floor = base / args.latency_tolerance
             if got < floor:
                 verdict = f"FAIL (< {floor:.0f})"
                 failures.append(
                     f"{key}: throughput {got:.0f}/s fell below "
                     f"{floor:.0f}/s (baseline {base:.0f}/s)")
-        elif key.endswith(("_equiv", "_recovered")):
+        elif key.endswith(("_equiv", "_recovered", "_correct")):
             if got < base:
                 verdict = f"FAIL (< {base:g})"
                 failures.append(
@@ -136,8 +138,9 @@ def main():
         rows.append((key, base, got, verdict))
 
     def gated(key):
-        return (key.endswith(("_speedup", "_us", "_per_sec",
-                              "_equiv", "_recovered", "_overhead_pct"))
+        return (key.endswith(("_speedup", "_us", "_per_sec", "_qps",
+                              "_equiv", "_recovered", "_correct",
+                              "_overhead_pct"))
                 or "_speedup_" in key)
 
     # Keys only the fresh run knows are exactly the ones no gate above

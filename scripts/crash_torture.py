@@ -2,12 +2,21 @@
 """Drive the crash-torture sweep with a configurable kill budget.
 
 Usage: crash_torture.py [--build-dir build] [--hits N] [--repeat N]
+                        [--server]
 
 Wraps `dc_tests --gtest_filter='CrashTorture.*'`: each repeat runs the
 full sweep (every registered crash point, killed at hit counts
 1..hits), recovering the warehouse after each kill and asserting exact
 query equivalence against an in-memory reference corpus. The per-site
 hit budget is passed to the harness via DC_CRASH_TORTURE_HITS.
+
+With --server the sweep targets the wire front end instead
+(ServerCrashTorture.*): a child process serving the framed protocol
+over a durable store is SIGKILLed mid-ingest-stream, restarted on the
+same directory, and held to the durable-ack contract — every kOk
+response to a kFlagDurable ingest must survive, with exact query
+equivalence against a reference corpus rebuilt from what recovery
+reports.
 
 Exit status is nonzero as soon as any sweep fails, so CI can gate on
 it directly. Meant to run under sanitizers too — point --build-dir at
@@ -27,9 +36,13 @@ def main() -> int:
                         help="CMake build tree holding dc_tests")
     parser.add_argument("--hits", type=int, default=2,
                         help="kill each crash point at hit counts "
-                             "1..HITS (default 2)")
+                             "1..HITS (default 2; store sweep only)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="full-sweep repetitions (default 1)")
+    parser.add_argument("--server", action="store_true",
+                        help="torture the wire front end "
+                             "(ServerCrashTorture.*) instead of the "
+                             "store-level crash points")
     args = parser.parse_args()
 
     binary = os.path.join(args.build_dir, "dc_tests")
@@ -38,20 +51,23 @@ def main() -> int:
               f"(build the tree first)", file=sys.stderr)
         return 2
 
+    gtest_filter = ("ServerCrashTorture.*" if args.server
+                    else "CrashTorture.*")
+    label = "server sweep" if args.server else "sweep"
     env = dict(os.environ)
     env["DC_CRASH_TORTURE_HITS"] = str(args.hits)
     for i in range(args.repeat):
-        print(f"crash_torture: sweep {i + 1}/{args.repeat} "
+        print(f"crash_torture: {label} {i + 1}/{args.repeat} "
               f"(hits budget {args.hits})", flush=True)
         result = subprocess.run(
-            [binary, "--gtest_filter=CrashTorture.*",
+            [binary, f"--gtest_filter={gtest_filter}",
              "--gtest_brief=1"],
             env=env)
         if result.returncode != 0:
-            print(f"crash_torture: sweep {i + 1} FAILED "
+            print(f"crash_torture: {label} {i + 1} FAILED "
                   f"(exit {result.returncode})", file=sys.stderr)
             return 1
-    print(f"crash_torture: {args.repeat} sweep(s) passed")
+    print(f"crash_torture: {args.repeat} {label}(s) passed")
     return 0
 
 

@@ -4,8 +4,6 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #include <dirent.h>
 #include <fcntl.h>
@@ -48,12 +46,54 @@ dirOf(const std::string &path)
     return path.substr(0, slash);
 }
 
+/// EINTR retry bound for the syscall wrappers below. A signal storm
+/// (profiling timers, a debugger, the crash-torture harness's own
+/// SIGKILL racing a handler) retries a durability-critical syscall a
+/// few times; past the bound the EINTR is surfaced as the error it is
+/// rather than spinning forever.
+constexpr int kMaxEintrRetries = 16;
+
+/** ::open with bounded EINTR retry. */
+int
+openRetry(const char *path, int flags, ::mode_t mode = 0)
+{
+    for (int attempt = 0;; ++attempt) {
+        const int fd = ::open(path, flags, mode);
+        if (fd >= 0 || errno != EINTR || attempt >= kMaxEintrRetries)
+            return fd;
+    }
+}
+
+/** ::fsync with bounded EINTR retry. */
+int
+fsyncRetry(int fd)
+{
+    for (int attempt = 0;; ++attempt) {
+        const int rc = ::fsync(fd);
+        if (rc == 0 || errno != EINTR || attempt >= kMaxEintrRetries)
+            return rc;
+    }
+}
+
+/**
+ * ::close treating EINTR as success. On Linux the descriptor is
+ * closed even when close() reports EINTR, so retrying could close an
+ * unrelated descriptor that reused the number — the one retry loop
+ * that must NOT exist.
+ */
+int
+closeFd(int fd)
+{
+    const int rc = ::close(fd);
+    return (rc != 0 && errno == EINTR) ? 0 : rc;
+}
+
 } // namespace
 
 bool
 syncDir(const std::string &dir, std::string *error)
 {
-    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    const int fd = openRetry(dir.c_str(), O_RDONLY | O_DIRECTORY);
     if (fd < 0) {
         setError(error, "cannot open directory", dir);
         return false;
@@ -61,10 +101,10 @@ syncDir(const std::string &dir, std::string *error)
     // Some filesystems refuse fsync on directories (EINVAL); the
     // rename is still ordered after the temp file's own fsync there,
     // so treat only real I/O errors as failure.
-    const bool ok = ::fsync(fd) == 0 || errno == EINVAL;
+    const bool ok = fsyncRetry(fd) == 0 || errno == EINVAL;
     if (!ok)
         setError(error, "cannot fsync directory", dir);
-    ::close(fd);
+    closeFd(fd);
     return ok;
 }
 
@@ -86,7 +126,7 @@ atomicWriteFile(const std::string &path, const std::string &contents,
         return false;
     }
     const int fd =
-        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+        openRetry(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
     if (fd < 0) {
         setError(error, "cannot create", tmp);
         return false;
@@ -98,13 +138,14 @@ atomicWriteFile(const std::string &path, const std::string &contents,
         remaining = std::min<std::size_t>(remaining, fp_write.arg);
     else if (fp_write.action == failpoint::Action::kError)
         remaining = 0; // injected failure before any byte lands
+    int eintr_budget = kMaxEintrRetries;
     while (remaining > 0) {
         const ::ssize_t wrote = ::write(fd, data, remaining);
         if (wrote < 0) {
-            if (errno == EINTR)
+            if (errno == EINTR && eintr_budget-- > 0)
                 continue;
             setError(error, "cannot write", tmp);
-            ::close(fd);
+            closeFd(fd);
             ::unlink(tmp.c_str());
             return false;
         }
@@ -119,20 +160,20 @@ atomicWriteFile(const std::string &path, const std::string &contents,
             failpoint::killNow(s_fp_write.name());
         errno = fp_write.error_errno;
         setError(error, "cannot write", tmp);
-        ::close(fd);
+        closeFd(fd);
         ::unlink(tmp.c_str());
         return false;
     }
     const failpoint::Eval fp_fsync = s_fp_fsync.eval();
-    if (fp_fsync.fired() || ::fsync(fd) != 0) {
+    if (fp_fsync.fired() || fsyncRetry(fd) != 0) {
         if (fp_fsync.fired())
             errno = fp_fsync.error_errno;
         setError(error, "cannot fsync", tmp);
-        ::close(fd);
+        closeFd(fd);
         ::unlink(tmp.c_str());
         return false;
     }
-    if (::close(fd) != 0) {
+    if (closeFd(fd) != 0) {
         setError(error, "cannot close", tmp);
         ::unlink(tmp.c_str());
         return false;
@@ -164,20 +205,31 @@ atomicWriteFile(const std::string &path, const std::string &contents,
 bool
 readFile(const std::string &path, std::string *out, std::string *error)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.good()) {
-        if (error != nullptr)
-            *error = "cannot open " + path;
+    // Raw read loop (not iostreams): EINTR is retried with the same
+    // bounded budget the write side uses, instead of surfacing as an
+    // opaque stream badbit.
+    const int fd = openRetry(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        setError(error, "cannot open", path);
         return false;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    if (in.bad()) {
-        if (error != nullptr)
-            *error = "cannot read " + path;
-        return false;
+    out->clear();
+    char chunk[64 * 1024];
+    int eintr_budget = kMaxEintrRetries;
+    for (;;) {
+        const ::ssize_t got = ::read(fd, chunk, sizeof(chunk));
+        if (got == 0)
+            break;
+        if (got < 0) {
+            if (errno == EINTR && eintr_budget-- > 0)
+                continue;
+            setError(error, "cannot read", path);
+            closeFd(fd);
+            return false;
+        }
+        out->append(chunk, static_cast<std::size_t>(got));
     }
-    *out = buffer.str();
+    closeFd(fd);
     return true;
 }
 

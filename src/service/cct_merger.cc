@@ -1,6 +1,7 @@
 #include "service/cct_merger.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 #include "common/logging.h"
@@ -115,7 +116,7 @@ std::unique_ptr<prof::ProfileDb>
 CctMerger::mergeAllPrevalidated(
     const std::vector<const prof::ProfileDb *> &profiles,
     const std::vector<std::string> &run_ids, std::size_t workers,
-    std::size_t grain)
+    std::size_t grain, const Deadline *deadline)
 {
     DC_CHECK(profiles.size() == run_ids.size(),
              "mergeAllPrevalidated needs one run id per profile");
@@ -131,8 +132,11 @@ CctMerger::mergeAllPrevalidated(
     const std::size_t n = profiles.size();
     if (workers <= 1 || n < 2 * grain) {
         CctMerger merger;
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (deadline != nullptr && deadline->expired())
+                return nullptr;
             merger.addPrevalidated(*profiles[i], run_ids[i]);
+        }
         return merger.finish();
     }
 
@@ -144,6 +148,10 @@ CctMerger::mergeAllPrevalidated(
     const std::size_t chunks =
         std::min(workers, (n + grain - 1) / grain);
     std::vector<Partial> partials(chunks);
+    // Cooperative cancellation across the fan-out: every fold loop
+    // polls the shared flag so one expired deadline stops all chunks
+    // within a run's worth of work each.
+    std::atomic<bool> aborted{false};
 
     // Phase 1: fold each chunk into a partial CCT, one thread each.
     // The first merge into an empty partial hits Cct::mergeFrom's
@@ -163,6 +171,13 @@ CctMerger::mergeAllPrevalidated(
                 partial.cct = std::make_unique<prof::Cct>(
                     profiles[begin]->cct().namesShared());
                 for (std::size_t i = begin; i < end; ++i) {
+                    if (aborted.load(std::memory_order_relaxed))
+                        return;
+                    if (deadline != nullptr && deadline->expired()) {
+                        aborted.store(true,
+                                      std::memory_order_relaxed);
+                        return;
+                    }
                     const std::vector<int> remap =
                         partial.metrics.mergeFrom(
                             profiles[i]->metrics());
@@ -174,9 +189,14 @@ CctMerger::mergeAllPrevalidated(
             thread.join();
     }
 
+    if (aborted.load())
+        return nullptr;
+
     // Phase 2: pairwise tree reduction — log2(chunks) rounds, each
     // merging disjoint partial pairs concurrently.
     for (std::size_t step = 1; step < chunks; step *= 2) {
+        if (deadline != nullptr && deadline->expired())
+            return nullptr;
         std::vector<std::thread> pool;
         for (std::size_t i = 0; i + step < chunks; i += 2 * step) {
             pool.emplace_back([&, i] {

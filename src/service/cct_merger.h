@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "profiler/profile_db.h"
+#include "service/deadline.h"
 
 namespace dc::service {
 
@@ -90,11 +91,17 @@ class CctMerger
      * @param workers Worker cap; 0 = one per available hardware thread.
      * @param grain   Minimum runs per chunk; below 2*grain the serial
      *                fold is used (thread spin-up would dominate).
+     * @param deadline Optional cancellation token, passed explicitly
+     *                because the reduction's worker threads do not
+     *                inherit the caller's thread-local ScopedDeadline.
+     *                Polled at run granularity; once expired the merge
+     *                is abandoned and nullptr returned (callers must
+     *                treat null as "no result", never cache it).
      */
     static std::unique_ptr<prof::ProfileDb> mergeAllPrevalidated(
         const std::vector<const prof::ProfileDb *> &profiles,
         const std::vector<std::string> &run_ids, std::size_t workers = 0,
-        std::size_t grain = 4);
+        std::size_t grain = 4, const Deadline *deadline = nullptr);
 
   private:
     /// The accumulator tree, created on the first add() so it adopts

@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "obs/trace_span.h"
 #include "service/cct_merger.h"
+#include "service/deadline.h"
 
 namespace dc::service {
 
@@ -151,14 +152,24 @@ CorpusView::acquire(const QueryFilter &filter,
             ++stats_.hits;
             return entry->view;
         }
-        entry->view = buildIncremental(*entry->view, fresh);
+        auto refreshed = buildIncremental(*entry->view, fresh);
+        if (refreshed == nullptr)
+            return nullptr; // deadline expired; stale view kept as-is
+        entry->view = std::move(refreshed);
         entry->generation = generation;
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.incremental;
         return entry->view;
     }
 
-    entry->view = buildFull(filter, exclude_run, generation);
+    auto built = buildFull(filter, exclude_run, generation);
+    if (built == nullptr) {
+        // Deadline expired mid-build. The entry keeps whatever it had
+        // (possibly nothing); the abandoned partial is never cached,
+        // so a later acquire rebuilds from a clean slate.
+        return nullptr;
+    }
+    entry->view = std::move(built);
     entry->generation = generation;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -191,11 +202,20 @@ CorpusView::buildFull(const QueryFilter &filter,
         run_ids.push_back(run_id);
     }
 
+    // The caller's deadline token (unset outside a server request).
+    // The parallel reduction's workers cannot see the thread-local, so
+    // it crosses by pointer; the index loop below polls it directly.
+    const Deadline deadline = ScopedDeadline::current();
     auto view = std::make_shared<View>();
     view->db = CctMerger::mergeAllPrevalidated(
-        profiles, run_ids, options_.merge_workers, options_.merge_grain);
+        profiles, run_ids, options_.merge_workers, options_.merge_grain,
+        deadline.valid() ? &deadline : nullptr);
+    if (view->db == nullptr)
+        return nullptr; // merge abandoned at the deadline
     view->run_ids = std::move(run_ids);
     for (std::size_t i = 0; i < selected.size(); ++i) {
+        if (deadline.expired())
+            return nullptr;
         indexRun(view->kernels, *selected[i].second,
                  view->db->metrics(),
                  static_cast<std::uint32_t>(i + 1));
@@ -220,8 +240,11 @@ CorpusView::buildIncremental(
     std::map<std::string, std::string> metadata = base.db->metadata();
     metadata.erase("merged_runs"); // recomputed below
 
+    const Deadline deadline = ScopedDeadline::current();
     for (const auto &[run_id, profile] : fresh) {
         (void)run_id;
+        if (deadline.expired())
+            return nullptr; // abandoned; caller keeps the stale view
         const std::vector<int> remap =
             metrics.mergeFrom(profile->metrics());
         cct->mergeFrom(profile->cct(), remap);
@@ -244,6 +267,8 @@ CorpusView::buildIncremental(
         static_cast<std::uint32_t>(base.run_ids.size());
     for (const auto &[run_id, profile] : fresh) {
         (void)run_id;
+        if (deadline.expired())
+            return nullptr;
         indexRun(view->kernels, *profile, view->db->metrics(),
                  ++run_mark);
     }

@@ -138,6 +138,12 @@ class CorpusView
      * acquires of the same signature serialize on the entry (one
      * build, everyone shares it) while distinct signatures proceed
      * independently.
+     *
+     * Honors the calling thread's ScopedDeadline (deadline.h): a
+     * rebuild or refresh that outlives the deadline is abandoned and
+     * acquire returns nullptr — the partial result is never cached,
+     * and any previously cached view stays untouched for callers
+     * without a deadline. Cache hits never return null.
      */
     std::shared_ptr<const View>
     acquire(const QueryFilter &filter,

@@ -607,6 +607,7 @@ ProfileStore::noteLogErrorLocked(std::string error)
     if (log_error_.empty() && unlogged_.empty()) {
         ++stats_.log_degraded;
         degradedCounter().add();
+        degraded_since_ns_ = obs::nowNs();
     }
     log_error_ = std::move(error);
     log_last_error_ns_ = obs::nowNs();
@@ -810,6 +811,7 @@ ProfileStore::attemptReattach()
             return true; // nothing to re-append; an error (if any)
                          // clears with the next successful append
         pending.assign(unlogged_.begin(), unlogged_.end());
+        ++reattach_attempts_;
     }
     for (const std::string &run_id : pending) {
         // Same protocol as a live ingest: gate (shared) around a
@@ -862,6 +864,7 @@ ProfileStore::attemptReattach()
         if (!unlogged_.empty())
             return false; // new failures raced in behind us
         log_error_.clear();
+        degraded_since_ns_ = 0; // episode over
         ++stats_.log_reattached;
     }
     reattachedCounter().add();
@@ -886,6 +889,10 @@ ProfileStore::reattachLoop()
         bool recovered = attemptReattach();
         lock.lock();
         while (!recovered && !reattach_stop_) {
+            // Publish the schedule for stats() before sleeping on it.
+            reattach_backoff_now_ms_ = backoff_ms;
+            reattach_next_retry_ns_ =
+                obs::nowNs() + backoff_ms * 1'000'000ull;
             reattach_cv_.wait_for(
                 lock, std::chrono::milliseconds(backoff_ms));
             if (reattach_stop_)
@@ -898,6 +905,8 @@ ProfileStore::reattachLoop()
             lock.lock();
         }
         backoff_ms = reattach_min_backoff_ms_;
+        reattach_backoff_now_ms_ = 0;
+        reattach_next_retry_ns_ = 0;
     }
 }
 
@@ -1139,6 +1148,14 @@ ProfileStore::stats() const
     const std::uint64_t fsyncs =
         log_ != nullptr ? log_->fsyncCount() : 0;
     const std::uint64_t now = obs::nowNs();
+    // Supervisor schedule first (reattach_mutex_ and queue_mutex_ are
+    // never nested; take them in sequence).
+    std::uint64_t backoff_ms, next_retry_ns;
+    {
+        std::lock_guard<std::mutex> lock(reattach_mutex_);
+        backoff_ms = reattach_backoff_now_ms_;
+        next_retry_ns = reattach_next_retry_ns_;
+    }
     std::lock_guard<std::mutex> lock(queue_mutex_);
     StoreStats stats = stats_;
     stats.log_fsyncs = fsyncs;
@@ -1148,6 +1165,23 @@ ProfileStore::stats() const
         stats.log_last_error_age_ns =
             now > log_last_error_ns_ ? now - log_last_error_ns_ : 1;
     }
+    if (!log_error_.empty() || !unlogged_.empty()) {
+        // Currently degraded: report the episode age. A degradation
+        // that bypassed the transition hook still reads as "just now".
+        stats.log_degraded_since_ns =
+            degraded_since_ns_ != 0 && now > degraded_since_ns_
+                ? now - degraded_since_ns_
+                : 1;
+        // The supervisor schedule is only meaningful mid-episode; a
+        // recovered store reads 0 even if the background thread has
+        // not yet woken to notice it has nothing to do.
+        stats.log_reattach_backoff_ms = backoff_ms;
+        if (next_retry_ns != 0) {
+            stats.log_reattach_next_retry_ns =
+                next_retry_ns > now ? next_retry_ns - now : 1;
+        }
+    }
+    stats.log_reattach_attempts = reattach_attempts_;
     return stats;
 }
 

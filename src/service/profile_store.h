@@ -98,6 +98,20 @@ struct StoreStats {
     /// actively degraded to memory-only; a large one records a past
     /// incident that has not recurred.
     std::uint64_t log_last_error_age_ns = 0;
+    // Re-attach supervisor state — enough for a remote stats endpoint
+    // to tell a healthy store from one mid-backoff:
+    /// Nanoseconds the store has been in its *current* degraded
+    /// episode (0 = not degraded; clamped >= 1 while degraded).
+    std::uint64_t log_degraded_since_ns = 0;
+    /// Lifetime re-attach attempts that found unlogged runs to
+    /// re-append (successful or not; includes tryReattachNow()).
+    std::uint64_t log_reattach_attempts = 0;
+    /// The supervisor's current backoff wait (ms); 0 when it is not
+    /// backing off (healthy, or first attempt still pending).
+    std::uint64_t log_reattach_backoff_ms = 0;
+    /// Nanoseconds until the next scheduled background retry (clamped
+    /// >= 1 when overdue); 0 when none is scheduled.
+    std::uint64_t log_reattach_next_retry_ns = 0;
     /// Name-text growth of the store's own StringTable caused by this
     /// store's ingestion (parses and handoff rebinds). Exact: each
     /// worker meters the entries *it* creates inside the owning table
@@ -496,6 +510,11 @@ class ProfileStore
     /// obs::nowNs() of the last failed append (0 = never). Guarded by
     /// queue_mutex_; stats() reports it as an age.
     std::uint64_t log_last_error_ns_ = 0;
+    /// obs::nowNs() when the current degraded episode began (0 = not
+    /// degraded). Guarded by queue_mutex_; cleared on re-attach.
+    std::uint64_t degraded_since_ns_ = 0;
+    /// Re-attach attempts that had work to do. Guarded by queue_mutex_.
+    std::uint64_t reattach_attempts_ = 0;
     /// Runs whose log record is not known durable (append or fsync
     /// failed after they were published to memory). Guarded by
     /// queue_mutex_; drained by attemptReattach().
@@ -515,12 +534,17 @@ class ProfileStore
 
     // Re-attach supervisor (started only for durable stores).
     std::thread reattach_thread_;
-    std::mutex reattach_mutex_;
+    mutable std::mutex reattach_mutex_; ///< stats() reads the schedule.
     std::condition_variable reattach_cv_;
     bool reattach_stop_ = false;
     bool reattach_kick_ = false;
     std::uint64_t reattach_min_backoff_ms_ = 100;
     std::uint64_t reattach_max_backoff_ms_ = 10'000;
+    /// Supervisor schedule, for stats(): the backoff currently in
+    /// force and the absolute obs::nowNs() of the next retry (both 0
+    /// when not backing off). Guarded by reattach_mutex_.
+    std::uint64_t reattach_backoff_now_ms_ = 0;
+    std::uint64_t reattach_next_retry_ns_ = 0;
 
     /// The per-corpus name table (see Options::names).
     std::shared_ptr<StringTable> table_;

@@ -37,6 +37,8 @@ QueryEngine::topKernels(std::size_t k, const QueryFilter &filter,
     obs::ObsSpan span(s_topk_span, k);
     const std::shared_ptr<const CorpusView::View> view =
         view_.acquire(filter);
+    if (view == nullptr) // rebuild abandoned at the caller's deadline
+        return {};
     const int metric_id = view->db->metrics().find(metric);
     if (metric_id < 0 || k == 0)
         return {};
@@ -102,7 +104,11 @@ std::shared_ptr<const prof::ProfileDb>
 QueryEngine::merged(const QueryFilter &filter) const
 {
     obs::ObsSpan span(s_merged_span);
-    return view_.acquire(filter)->db;
+    const std::shared_ptr<const CorpusView::View> view =
+        view_.acquire(filter);
+    // Null only when the calling thread's deadline expired mid-build
+    // (deadline.h); plain callers always get a view.
+    return view != nullptr ? view->db : nullptr;
 }
 
 std::optional<analysis::ProfileComparison>
@@ -127,6 +133,8 @@ QueryEngine::diffAgainstCorpus(const std::string &run_id,
         return std::nullopt;
     const std::shared_ptr<const CorpusView::View> corpus =
         view_.acquire(filter, run_id);
+    if (corpus == nullptr) // deadline expired mid-rebuild
+        return std::nullopt;
     // An empty corpus would produce a degenerate all-zero comparison
     // indistinguishable from "the rest of the fleet ran in zero time".
     if (corpus->run_ids.empty())
@@ -156,6 +164,8 @@ QueryEngine::flameGraph(const QueryFilter &filter,
     obs::ObsSpan span(s_flame_span);
     const std::shared_ptr<const CorpusView::View> view =
         view_.acquire(filter);
+    if (view == nullptr) // deadline expired mid-rebuild
+        return nullptr;
     const std::string key = flameSignature(options);
     // Serialize builders per view: concurrent exporters of the same
     // fresh view build once and share the node tree.
@@ -174,7 +184,11 @@ QueryEngine::flameGraphHtml(const std::string &title,
                             const QueryFilter &filter,
                             const gui::FlameGraphOptions &options) const
 {
-    return gui::FlameGraph::toHtml(*flameGraph(filter, options), title);
+    const std::shared_ptr<const gui::FlameNode> flame =
+        flameGraph(filter, options);
+    if (flame == nullptr) // deadline expired mid-rebuild
+        return {};
+    return gui::FlameGraph::toHtml(*flame, title);
 }
 
 } // namespace dc::service
