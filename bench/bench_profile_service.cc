@@ -58,6 +58,7 @@
 
 #include <unistd.h>
 
+#include "analyzer/diff.h"
 #include "bench_util.h"
 #include "common/failpoint.h"
 #include "common/fs.h"
@@ -72,6 +73,7 @@
 #include "service/profile_store.h"
 #include "service/query_engine.h"
 #include "service/warehouse_log.h"
+#include "service/warehouse_manager.h"
 #include "workloads/runner.h"
 
 using namespace dc;
@@ -871,6 +873,203 @@ benchWireServer(const std::vector<std::string> &pool,
 }
 
 /**
+ * Multi-corpus warehouse: two durable corpora (the PyTorch- and
+ * JAX-seeded halves of the pool) under one WarehouseManager.
+ * Measures the federated cross-corpus diff over the wire (scatter
+ * over cached per-corpus views + cross-table gather + framing), the
+ * cold corpus open (WAL replay on first touch), the LRU close/reopen
+ * contract under max_open, and exact equivalence of the federated
+ * diff against a manual pairwise merge of each corpus's runs.
+ */
+void
+benchWarehouseFederation(const std::vector<std::string> &pool,
+                         std::vector<std::pair<std::string, double>> *json)
+{
+    std::printf("\nmulti-corpus warehouse (federation over two "
+                "corpora):\n");
+
+    const std::string root =
+        "/tmp/dc_bench_warehouse." + std::to_string(::getpid());
+    WarehouseManager::Options manager_options;
+    manager_options.root_dir = root;
+    manager_options.store.workers = 2;
+
+    double federated_diff_us = 0.0, open_us = 0.0;
+    bool equiv = true, lru_correct = true;
+    {
+        WarehouseManager manager(manager_options);
+        CorpusHandle torch = manager.create("pytorch");
+        CorpusHandle jax = manager.create("jax");
+        if (torch == nullptr || jax == nullptr) {
+            std::printf("cannot create bench corpora\n");
+            return;
+        }
+        // seedProfiles() alternates PyTorch/JAX workloads; split the
+        // pool so the corpora carry distinct framework metadata.
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            Corpus &corpus = (i % 2 == 0) ? *torch : *jax;
+            for (int rep = 0; rep < 4; ++rep)
+                corpus.store.ingestText("run-" + std::to_string(i) +
+                                            "-" + std::to_string(rep),
+                                        pool[i]);
+        }
+        manager.waitIdle();
+
+        // Federated diff over the wire, per-corpus views warm.
+        server::WireServer server(manager);
+        server::WireClient client;
+        std::string error;
+        if (!server.start(&error) ||
+            !client.connect("127.0.0.1", server.port(), &error)) {
+            std::printf("cannot serve bench manager: %s\n",
+                        error.c_str());
+            return;
+        }
+        (void)client.federatedDiff({"pytorch"}, {"jax"});
+        federated_diff_us = medianLatencyUs(20, [&] {
+            const server::WireClient::Result result =
+                client.federatedDiff({"pytorch"}, {"jax"});
+            if (!result.ok || result.status != server::Status::kOk)
+                equiv = false;
+        });
+        server.drain();
+        server.stop();
+
+        // Equivalence: the federated diff must match a manual
+        // pairwise merge of each corpus's stored runs, field for
+        // field (kernels compared as name -> value maps: the sort is
+        // by |delta|, which ties arbitrarily).
+        const std::optional<analysis::ProfileComparison> federated =
+            manager.federatedDiff({"pytorch"}, {"jax"}, {}, &error);
+        const auto manualMerged = [](Corpus &corpus) {
+            const Snapshot snapshot = corpus.store.snapshot();
+            std::vector<const prof::ProfileDb *> profiles;
+            std::vector<std::string> run_ids;
+            splitSnapshot(snapshot, &profiles, &run_ids);
+            return CctMerger::mergeAllPrevalidated(profiles, run_ids);
+        };
+        const std::unique_ptr<prof::ProfileDb> manual_a =
+            manualMerged(*torch);
+        const std::unique_ptr<prof::ProfileDb> manual_b =
+            manualMerged(*jax);
+        if (!federated.has_value() || manual_a == nullptr ||
+            manual_b == nullptr) {
+            equiv = false;
+        } else {
+            const analysis::ProfileComparison manual =
+                analysis::compareProfiles(*manual_a, *manual_b);
+            const auto near = [](double x, double y) {
+                return std::fabs(x - y) <=
+                       1e-9 * std::max({1.0, std::fabs(x),
+                                        std::fabs(y)});
+            };
+            const auto byName =
+                [](const std::vector<analysis::DiffEntry> &kernels) {
+                    std::map<std::string, std::pair<double, double>>
+                        out;
+                    for (const analysis::DiffEntry &entry : kernels)
+                        out[entry.name] = {entry.value_a,
+                                           entry.value_b};
+                    return out;
+                };
+            equiv = equiv &&
+                    near(federated->gpu_time_a, manual.gpu_time_a) &&
+                    near(federated->gpu_time_b, manual.gpu_time_b) &&
+                    federated->kernel_launches_a ==
+                        manual.kernel_launches_a &&
+                    federated->kernel_launches_b ==
+                        manual.kernel_launches_b &&
+                    federated->contexts_a == manual.contexts_a &&
+                    federated->contexts_b == manual.contexts_b;
+            const auto fed_kernels = byName(federated->kernels);
+            const auto manual_kernels = byName(manual.kernels);
+            equiv =
+                equiv && fed_kernels.size() == manual_kernels.size();
+            if (equiv) {
+                for (const auto &[name, values] : manual_kernels) {
+                    const auto it = fed_kernels.find(name);
+                    if (it == fed_kernels.end() ||
+                        !near(it->second.first, values.first) ||
+                        !near(it->second.second, values.second)) {
+                        equiv = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Cold open: close a corpus, then time open() — the WAL
+        // replay plus registry insert (and, after a close, the wait
+        // for the retired incarnation to finish destructing).
+        torch.reset();
+        jax.reset();
+        manager.close("pytorch");
+        std::vector<double> open_samples;
+        for (int i = 0; i < 5; ++i) {
+            const Clock::time_point t0 = Clock::now();
+            CorpusHandle handle = manager.open("pytorch", &error);
+            open_samples.push_back(secondsSince(t0) * 1e6);
+            if (handle == nullptr) {
+                std::printf("cold open failed: %s\n", error.c_str());
+                equiv = false;
+                break;
+            }
+            handle.reset();
+            manager.close("pytorch");
+        }
+        open_us = open_samples.empty() ? 0.0 : median(open_samples);
+    }
+
+    // LRU contract: a max_open=2 manager over the same root must
+    // close the coldest corpus when a third one is created, and the
+    // closed corpus must reopen with its runs intact.
+    {
+        WarehouseManager::Options lru_options = manager_options;
+        lru_options.max_open = 2;
+        WarehouseManager manager(lru_options);
+        std::string error;
+        CorpusHandle torch = manager.open("pytorch", &error);
+        CorpusHandle jax = manager.open("jax", &error);
+        lru_correct = torch != nullptr && jax != nullptr;
+        torch.reset();
+        jax.reset();
+        CorpusHandle scratch = manager.create("scratch", &error);
+        lru_correct = lru_correct && scratch != nullptr &&
+                      !manager.isOpen("pytorch") &&
+                      manager.isOpen("jax") &&
+                      manager.stats().lru_closed >= 1;
+        CorpusHandle again = manager.open("pytorch", &error);
+        lru_correct =
+            lru_correct && again != nullptr && again->store.size() > 0;
+        again.reset();
+        scratch.reset();
+        manager.drop("scratch", &error);
+    }
+
+    // Scrub the bench root.
+    {
+        WarehouseManager manager(manager_options);
+        std::string error;
+        for (const std::string &id : manager.corpusIds())
+            manager.drop(id, &error);
+    }
+    ::rmdir(root.c_str());
+
+    std::printf("federated diff (wire): %.0f us median, cold corpus "
+                "open: %.0f us median\n",
+                federated_diff_us, open_us);
+    std::printf("federated == manual pairwise merge: %s, LRU "
+                "close/reopen contract: %s\n",
+                equiv ? "yes" : "NO",
+                lru_correct ? "held" : "BROKEN");
+    json->emplace_back("federated_diff_us", federated_diff_us);
+    json->emplace_back("corpus_open_us", open_us);
+    json->emplace_back("federated_equiv", equiv ? 1.0 : 0.0);
+    json->emplace_back("manager_lru_close_correct",
+                       lru_correct ? 1.0 : 0.0);
+}
+
+/**
  * Dogfood the span rings: convert everything this process traced so
  * far into a ProfileDb, prove it survives the same handoff as any
  * tenant profile (validate + serialize/tryDeserialize + warehouse
@@ -1144,6 +1343,7 @@ main(int argc, char **argv)
     benchGroupCommitAndCheckpoint(pool, &json);
     benchTelemetryOverhead(pool, &json);
     benchWireServer(pool, &json);
+    benchWarehouseFederation(pool, &json);
 
     std::printf("\nquery sanity: ");
     {

@@ -1,10 +1,15 @@
 #!/usr/bin/env python3
-"""Gate a fresh bench JSON against a checked-in baseline.
+"""Gate fresh bench JSONs against checked-in baselines.
 
-Usage: compare_bench.py BASELINE.json FRESH.json
+Usage: compare_bench.py BASELINE.json FRESH.json [BASELINE2.json FRESH2.json ...]
            [--speedup-tolerance 0.5] [--latency-tolerance 4.0]
 
-Both files are flat JSON objects of numeric scenario keys (plus
+Arguments are baseline/fresh *pairs*: one invocation gates any number
+of them (CI passes every benchmark's pair at once) and the report at
+the end lists every failed gate across all pairs — a regression in the
+first pair does not mask one in the second.
+
+Each file is a flat JSON object of numeric scenario keys (plus
 optional string keys such as "description", which are ignored), as
 written by `bench_profile_service --json`.
 
@@ -43,7 +48,7 @@ freely). Add new keys to the checked-in baseline in the same change
 that adds the scenario, or pass --allow-new-keys to downgrade the
 failure to a loud warning (local experiments only — CI must gate).
 
-Exit code 0 when every gate holds, 1 otherwise.
+Exit code 0 when every gate of every pair holds, 1 otherwise.
 """
 
 import argparse
@@ -59,29 +64,18 @@ def numeric_items(obj):
     }
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
-    parser.add_argument("--speedup-tolerance", type=float, default=0.5,
-                        help="allowed relative shortfall on *_speedup "
-                             "keys (0.5 = fresh may be half the "
-                             "baseline ratio)")
-    parser.add_argument("--latency-tolerance", type=float, default=4.0,
-                        help="allowed multiple of baseline on *_us "
-                             "keys / divisor on *_per_sec keys")
-    parser.add_argument("--overhead-cap", type=float, default=3.0,
-                        help="absolute ceiling (percent) for "
-                             "*_overhead_pct keys")
-    parser.add_argument("--allow-new-keys", action="store_true",
-                        help="only warn (loudly) about gated-suffix "
-                             "keys missing from the baseline instead "
-                             "of failing")
-    args = parser.parse_args()
+def gated(key):
+    return (key.endswith(("_speedup", "_us", "_per_sec", "_qps",
+                          "_equiv", "_recovered", "_correct",
+                          "_overhead_pct"))
+            or "_speedup_" in key)
 
-    with open(args.baseline) as handle:
+
+def compare_pair(baseline_path, fresh_path, args, label):
+    """Gate one baseline/fresh pair; return its failure messages."""
+    with open(baseline_path) as handle:
         baseline = numeric_items(json.load(handle))
-    with open(args.fresh) as handle:
+    with open(fresh_path) as handle:
         fresh = numeric_items(json.load(handle))
 
     failures = []
@@ -137,12 +131,6 @@ def main():
                     + (f" ({companions})" if companions else ""))
         rows.append((key, base, got, verdict))
 
-    def gated(key):
-        return (key.endswith(("_speedup", "_us", "_per_sec", "_qps",
-                              "_equiv", "_recovered", "_correct",
-                              "_overhead_pct"))
-                or "_speedup_" in key)
-
     # Keys only the fresh run knows are exactly the ones no gate above
     # ever saw — a new scenario must land in the baseline to be gated.
     fresh_only = sorted(k for k in fresh if k not in baseline and gated(k))
@@ -154,17 +142,66 @@ def main():
         else:
             failures.append(message)
 
+    if label:
+        print(f"== {label}")
     width = max(len(key) for key, *_ in rows) if rows else 0
     for key, base, got, verdict in rows:
         print(f"{key:<{width}}  baseline {base:>12.3f}  "
               f"fresh {got:>12.3f}  {verdict}")
 
+    if label:
+        return [f"[{label}] {failure}" for failure in failures], len(rows)
+    return failures, len(rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("pairs", nargs="+", metavar="BASELINE FRESH",
+                        help="one or more baseline/fresh JSON pairs")
+    parser.add_argument("--speedup-tolerance", type=float, default=0.5,
+                        help="allowed relative shortfall on *_speedup "
+                             "keys (0.5 = fresh may be half the "
+                             "baseline ratio)")
+    parser.add_argument("--latency-tolerance", type=float, default=4.0,
+                        help="allowed multiple of baseline on *_us "
+                             "keys / divisor on *_per_sec keys")
+    parser.add_argument("--overhead-cap", type=float, default=3.0,
+                        help="absolute ceiling (percent) for "
+                             "*_overhead_pct keys")
+    parser.add_argument("--allow-new-keys", action="store_true",
+                        help="only warn (loudly) about gated-suffix "
+                             "keys missing from the baseline instead "
+                             "of failing")
+    args = parser.parse_args()
+
+    if len(args.pairs) % 2 != 0:
+        parser.error("arguments must be BASELINE FRESH pairs "
+                     f"(got {len(args.pairs)} paths)")
+    pairs = [(args.pairs[i], args.pairs[i + 1])
+             for i in range(0, len(args.pairs), 2)]
+
+    # Every pair is compared even after a failure: the final report
+    # carries every broken gate across every pair in one run.
+    failures = []
+    keys = 0
+    for index, (baseline_path, fresh_path) in enumerate(pairs):
+        label = (f"{baseline_path} vs {fresh_path}"
+                 if len(pairs) > 1 else "")
+        if index > 0:
+            print()
+        pair_failures, pair_keys = compare_pair(
+            baseline_path, fresh_path, args, label)
+        failures.extend(pair_failures)
+        keys += pair_keys
+
     if failures:
-        print("\nbench gate FAILED:", file=sys.stderr)
+        print(f"\nbench gate FAILED ({len(failures)} failure(s) "
+              f"across {len(pairs)} pair(s)):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\nbench gate passed ({len(rows)} keys).")
+    print(f"\nbench gate passed ({keys} keys across "
+          f"{len(pairs)} pair(s)).")
     return 0
 
 

@@ -2,7 +2,7 @@
 """Drive the crash-torture sweep with a configurable kill budget.
 
 Usage: crash_torture.py [--build-dir build] [--hits N] [--repeat N]
-                        [--server]
+                        [--server | --multi-corpus]
 
 Wraps `dc_tests --gtest_filter='CrashTorture.*'`: each repeat runs the
 full sweep (every registered crash point, killed at hit counts
@@ -17,6 +17,13 @@ same directory, and held to the durable-ack contract — every kOk
 response to a kFlagDurable ingest must survive, with exact query
 equivalence against a reference corpus rebuilt from what recovery
 reports.
+
+With --multi-corpus the sweep targets the multi-corpus warehouse
+(WarehouseCrashTorture.*): a WarehouseManager-backed server ingesting
+into two corpora concurrently is SIGKILLed mid-stream, the manager is
+rebuilt on the same root, and every durably-acked run must be
+recovered in its own corpus — per-corpus exact query equivalence plus
+a federated query agreeing with the per-corpus references.
 
 Exit status is nonzero as soon as any sweep fails, so CI can gate on
 it directly. Meant to run under sanitizers too — point --build-dir at
@@ -39,10 +46,15 @@ def main() -> int:
                              "1..HITS (default 2; store sweep only)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="full-sweep repetitions (default 1)")
-    parser.add_argument("--server", action="store_true",
-                        help="torture the wire front end "
-                             "(ServerCrashTorture.*) instead of the "
-                             "store-level crash points")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--server", action="store_true",
+                      help="torture the wire front end "
+                           "(ServerCrashTorture.*) instead of the "
+                           "store-level crash points")
+    mode.add_argument("--multi-corpus", action="store_true",
+                      help="torture the multi-corpus warehouse "
+                           "(WarehouseCrashTorture.*): SIGKILL while "
+                           "two corpora ingest, per-corpus recovery")
     args = parser.parse_args()
 
     binary = os.path.join(args.build_dir, "dc_tests")
@@ -51,9 +63,13 @@ def main() -> int:
               f"(build the tree first)", file=sys.stderr)
         return 2
 
-    gtest_filter = ("ServerCrashTorture.*" if args.server
-                    else "CrashTorture.*")
-    label = "server sweep" if args.server else "sweep"
+    if args.server:
+        gtest_filter, label = "ServerCrashTorture.*", "server sweep"
+    elif args.multi_corpus:
+        gtest_filter, label = ("WarehouseCrashTorture.*",
+                               "multi-corpus sweep")
+    else:
+        gtest_filter, label = "CrashTorture.*", "sweep"
     env = dict(os.environ)
     env["DC_CRASH_TORTURE_HITS"] = str(args.hits)
     for i in range(args.repeat):

@@ -28,7 +28,8 @@ WireClient::~WireClient()
 
 WireClient::WireClient(WireClient &&other) noexcept
     : fd_(other.fd_), next_id_(other.next_id_),
-      inbuf_(std::move(other.inbuf_))
+      inbuf_(std::move(other.inbuf_)),
+      corpus_(std::move(other.corpus_))
 {
     other.fd_ = -1;
 }
@@ -41,6 +42,7 @@ WireClient::operator=(WireClient &&other) noexcept
         fd_ = other.fd_;
         next_id_ = other.next_id_;
         inbuf_ = std::move(other.inbuf_);
+        corpus_ = std::move(other.corpus_);
         other.fd_ = -1;
     }
     return *this;
@@ -119,6 +121,13 @@ WireClient::send(Opcode opcode, std::uint16_t flags,
     const std::uint64_t id = next_id_++;
     if (request_id != nullptr)
         *request_id = id;
+    // v2 frames scope single-corpus opcodes to the client's corpus;
+    // ping and the corpus/federated opcodes carry unscoped payloads.
+    std::string scoped;
+    if (opcode >= Opcode::kIngest && opcode <= Opcode::kStats) {
+        scoped = encodeCorpusScoped(corpus_, payload);
+        payload = scoped;
+    }
     return sendRaw(encodeFrame(static_cast<std::uint8_t>(opcode), flags,
                                id, deadline_ms, payload));
 }
@@ -271,6 +280,97 @@ WireClient::Result
 WireClient::stats()
 {
     return call(Opcode::kStats, 0, "");
+}
+
+WireClient::Result
+WireClient::corpusCreate(const std::string &corpus_id)
+{
+    return call(Opcode::kCorpusCreate, 0,
+                encodeCorpusRequest(corpus_id));
+}
+
+WireClient::Result
+WireClient::corpusOpen(const std::string &corpus_id)
+{
+    return call(Opcode::kCorpusOpen, 0, encodeCorpusRequest(corpus_id));
+}
+
+WireClient::Result
+WireClient::corpusClose(const std::string &corpus_id)
+{
+    return call(Opcode::kCorpusClose, 0,
+                encodeCorpusRequest(corpus_id));
+}
+
+WireClient::Result
+WireClient::corpusDrop(const std::string &corpus_id)
+{
+    return call(Opcode::kCorpusDrop, 0, encodeCorpusRequest(corpus_id));
+}
+
+WireClient::Result
+WireClient::corpusList(std::vector<CorpusInfo> *corpora)
+{
+    Result result = call(Opcode::kCorpusList, 0, "");
+    if (result.ok && result.status == Status::kOk &&
+        !decodeCorpusList(result.payload, corpora)) {
+        result.ok = false;
+        result.error = "bad corpus-list payload";
+    }
+    return result;
+}
+
+WireClient::Result
+WireClient::federatedTopKernels(const std::vector<std::string> &corpora,
+                                std::uint32_t k,
+                                const std::string &metric,
+                                const service::QueryFilter &filter,
+                                std::vector<KernelRow> *rows,
+                                std::uint32_t deadline_ms)
+{
+    Result result = call(
+        Opcode::kFederatedTopKernels, 0,
+        encodeFederatedTopKernelsRequest(corpora, k, metric, filter),
+        deadline_ms);
+    if (result.ok && result.status == Status::kOk &&
+        !decodeKernelRows(result.payload, rows)) {
+        result.ok = false;
+        result.error = "bad kernel-rows payload";
+    }
+    return result;
+}
+
+WireClient::Result
+WireClient::federatedMerged(const std::vector<std::string> &corpora,
+                            const service::QueryFilter &filter,
+                            std::uint32_t deadline_ms)
+{
+    return call(Opcode::kFederatedMerged, 0,
+                encodeFederatedMergedRequest(corpora, filter),
+                deadline_ms);
+}
+
+WireClient::Result
+WireClient::federatedDiff(const std::vector<std::string> &corpora_a,
+                          const std::vector<std::string> &corpora_b,
+                          const service::QueryFilter &filter,
+                          std::uint32_t deadline_ms)
+{
+    return call(
+        Opcode::kFederatedDiff, 0,
+        encodeFederatedDiffRequest(corpora_a, corpora_b, filter),
+        deadline_ms);
+}
+
+WireClient::Result
+WireClient::federatedFlame(const std::vector<std::string> &corpora,
+                           const std::string &metric,
+                           const service::QueryFilter &filter,
+                           std::uint32_t deadline_ms)
+{
+    return call(Opcode::kFederatedFlame, 0,
+                encodeFederatedFlameRequest(corpora, metric, filter),
+                deadline_ms);
 }
 
 } // namespace dc::server

@@ -19,6 +19,15 @@
  *    overload tests use this to stack requests past the server's
  *    admission watermark and count the OVERLOADED sheds.
  *
+ * **Corpus addressing (wire v2).** The client speaks v2: every
+ * single-corpus request (ingest..stats) is scoped to the corpus set
+ * with setCorpus() — the default empty id addresses the server's
+ * default corpus, so callers that never mention corpora behave exactly
+ * as under v1. Corpus lifecycle and federated queries get their own
+ * conveniences below. send() applies the scoping too (the payload
+ * argument is the *opcode* payload; the corpus prefix is added
+ * internally), so pipelined callers inherit it for free.
+ *
  * Not thread-safe; one WireClient per thread (connections are cheap).
  */
 
@@ -59,6 +68,16 @@ class WireClient
     bool connected() const { return fd_ >= 0; }
 
     /**
+     * Scope subsequent single-corpus requests to @p corpus_id
+     * ("" = the server's default corpus). Takes effect on the next
+     * request; in-flight pipelined frames keep their original scope.
+     */
+    void setCorpus(std::string corpus_id) {
+        corpus_ = std::move(corpus_id);
+    }
+    const std::string &corpus() const { return corpus_; }
+
+    /**
      * One request/response exchange. With @p deadline_ms > 0 the
      * deadline rides the frame header (the server's cancellation
      * token) and bounds the local wait at deadline_ms + grace.
@@ -88,10 +107,39 @@ class WireClient
     /** Result payload: key=value lines. */
     Result stats();
 
+    // --------------------------------------- corpus lifecycle (v2)
+    Result corpusCreate(const std::string &corpus_id);
+    Result corpusOpen(const std::string &corpus_id);
+    Result corpusClose(const std::string &corpus_id);
+    Result corpusDrop(const std::string &corpus_id);
+    Result corpusList(std::vector<CorpusInfo> *corpora);
+
+    // --------------------------------------- federated queries (v2)
+    Result federatedTopKernels(const std::vector<std::string> &corpora,
+                               std::uint32_t k,
+                               const std::string &metric,
+                               const service::QueryFilter &filter,
+                               std::vector<KernelRow> *rows,
+                               std::uint32_t deadline_ms = 0);
+    /** Result payload: the federated merged profile, serialized. */
+    Result federatedMerged(const std::vector<std::string> &corpora,
+                           const service::QueryFilter &filter = {},
+                           std::uint32_t deadline_ms = 0);
+    Result federatedDiff(const std::vector<std::string> &corpora_a,
+                         const std::vector<std::string> &corpora_b,
+                         const service::QueryFilter &filter = {},
+                         std::uint32_t deadline_ms = 0);
+    Result federatedFlame(const std::vector<std::string> &corpora,
+                          const std::string &metric = "",
+                          const service::QueryFilter &filter = {},
+                          std::uint32_t deadline_ms = 0);
+
     // ------------------------------------------------ raw pipelining
     /**
      * Queue one request frame without waiting for its response.
      * @p request_id (optional out) receives the id to match replies.
+     * @p payload is the opcode payload; single-corpus opcodes get the
+     * corpus prefix (setCorpus) added here.
      */
     bool send(Opcode opcode, std::uint16_t flags,
               std::string_view payload, std::uint32_t deadline_ms = 0,
@@ -113,6 +161,7 @@ class WireClient
     int fd_ = -1;
     std::uint64_t next_id_ = 1;
     std::string inbuf_;
+    std::string corpus_; ///< "" = the server's default corpus.
 };
 
 } // namespace dc::server

@@ -93,7 +93,16 @@ bool
 validOpcode(std::uint8_t kind)
 {
     return kind >= static_cast<std::uint8_t>(Opcode::kPing) &&
-           kind <= static_cast<std::uint8_t>(Opcode::kStats);
+           kind <= static_cast<std::uint8_t>(Opcode::kFederatedFlame);
+}
+
+void
+clampOptions(ServerOptions &options)
+{
+    options.workers = std::max<std::size_t>(options.workers, 1);
+    options.max_conn_pending =
+        std::max<std::size_t>(options.max_conn_pending, 1);
+    options.max_pending = std::max<std::size_t>(options.max_pending, 1);
 }
 
 } // namespace
@@ -101,13 +110,16 @@ validOpcode(std::uint8_t kind)
 WireServer::WireServer(service::ProfileStore &store,
                        const service::QueryEngine &engine,
                        ServerOptions options)
-    : store_(store), engine_(engine), options_(std::move(options))
+    : store_(&store), engine_(&engine), options_(std::move(options))
 {
-    options_.workers = std::max<std::size_t>(options_.workers, 1);
-    options_.max_conn_pending =
-        std::max<std::size_t>(options_.max_conn_pending, 1);
-    options_.max_pending =
-        std::max<std::size_t>(options_.max_pending, 1);
+    clampOptions(options_);
+}
+
+WireServer::WireServer(service::WarehouseManager &manager,
+                       ServerOptions options)
+    : manager_(&manager), options_(std::move(options))
+{
+    clampOptions(options_);
 }
 
 WireServer::~WireServer()
@@ -227,9 +239,12 @@ WireServer::drain()
             lock.lock();
         }
     }
-    // Every acked ingest is already on the store's queue (or done);
-    // drain it so the WAL holds them all before the process exits.
-    store_.waitIdle();
+    // Every acked ingest is already on its store's queue (or done);
+    // drain so the WALs hold them all before the process exits.
+    if (manager_ != nullptr)
+        manager_->waitIdle();
+    else
+        store_->waitIdle();
     // Give unflushed outboxes a chance to reach their peers.
     while (std::chrono::steady_clock::now() < deadline) {
         if (flushed_all_.load())
@@ -574,32 +589,90 @@ WireServer::workerLoop()
 }
 
 Status
+WireServer::resolveTarget(const std::string &corpus_id, Target *target,
+                          std::string *payload)
+{
+    if (manager_ == nullptr) {
+        // Single-corpus server: the one store answers to the default
+        // corpus name (and to no name at all).
+        if (!corpus_id.empty() &&
+            corpus_id != options_.default_corpus) {
+            *payload = "unknown corpus '" + corpus_id +
+                       "' (single-corpus server)";
+            return Status::kNotFound;
+        }
+        target->store = store_;
+        target->engine = engine_;
+        return Status::kOk;
+    }
+    const std::string &id =
+        corpus_id.empty() ? options_.default_corpus : corpus_id;
+    std::string error;
+    service::CorpusHandle handle = manager_->open(id, &error);
+    if (handle == nullptr && id == options_.default_corpus) {
+        // v1 peers know nothing of corpora; the default one springs
+        // into being on first touch so they keep working unchanged.
+        handle = manager_->create(id, &error);
+        if (handle == nullptr) // lost a create race
+            handle = manager_->open(id, &error);
+    }
+    if (handle == nullptr) {
+        *payload = error.empty() ? "unknown corpus" : error;
+        return Status::kNotFound;
+    }
+    target->store = &handle->store;
+    target->engine = &handle->engine;
+    target->handle = std::move(handle);
+    return Status::kOk;
+}
+
+Status
 WireServer::execute(const Work &work, std::string *payload)
 {
     // delay(ms) sleeps inside eval(); other actions are meaningless
     // here and deliberately ignored.
     (void)s_fp_exec.eval();
     const Frame &frame = work.frame;
-    switch (frame.opcode()) {
-    case Opcode::kPing:
-        *payload = frame.payload;
+    if (frame.opcode() == Opcode::kPing) {
+        *payload = frame.payload; // raw in every version
         return Status::kOk;
+    }
+    if (frame.kind >= static_cast<std::uint8_t>(Opcode::kCorpusCreate))
+        return executeManager(work, payload);
+
+    // Single-corpus opcodes: strip the v2 corpus prefix (v1 frames
+    // address the default corpus with their whole payload) and pin
+    // the target corpus for the request's duration.
+    std::string corpus_id;
+    std::string_view op_payload;
+    if (!splitCorpusScoped(frame, &corpus_id, &op_payload)) {
+        *payload = "bad corpus prefix";
+        return Status::kBadRequest;
+    }
+    Target target;
+    const Status resolved = resolveTarget(corpus_id, &target, payload);
+    if (resolved != Status::kOk)
+        return resolved;
+    service::ProfileStore &store = *target.store;
+    const service::QueryEngine &engine = *target.engine;
+
+    switch (frame.opcode()) {
     case Opcode::kIngest:
-        return executeIngest(frame, payload);
+        return executeIngest(target, op_payload, frame.flags, payload);
     case Opcode::kErase: {
-        WireReader reader(frame.payload);
+        WireReader reader(op_payload);
         const std::string run_id = reader.str();
         if (!reader.done() || run_id.empty()) {
             *payload = "bad erase payload";
             return Status::kBadRequest;
         }
-        return store_.erase(run_id) ? Status::kOk : Status::kNotFound;
+        return store.erase(run_id) ? Status::kOk : Status::kNotFound;
     }
     case Opcode::kTopKernels: {
         std::uint32_t k = 0;
         std::string metric;
         service::QueryFilter filter;
-        if (!decodeTopKernelsRequest(frame.payload, &k, &metric,
+        if (!decodeTopKernelsRequest(op_payload, &k, &metric,
                                      &filter)) {
             *payload = "bad topKernels payload";
             return Status::kBadRequest;
@@ -607,7 +680,7 @@ WireServer::execute(const Work &work, std::string *payload)
         if (metric.empty())
             metric = prof::metric_names::kGpuTime;
         const std::vector<service::KernelAggregate> top =
-            engine_.topKernels(k, filter, metric);
+            engine.topKernels(k, filter, metric);
         std::vector<KernelRow> rows;
         rows.reserve(top.size());
         for (const service::KernelAggregate &agg : top) {
@@ -619,14 +692,14 @@ WireServer::execute(const Work &work, std::string *payload)
         return Status::kOk;
     }
     case Opcode::kMerged: {
-        WireReader reader(frame.payload);
+        WireReader reader(op_payload);
         const service::QueryFilter filter = readFilter(reader);
         if (!reader.done()) {
             *payload = "bad merged payload";
             return Status::kBadRequest;
         }
         const std::shared_ptr<const prof::ProfileDb> merged =
-            engine_.merged(filter);
+            engine.merged(filter);
         if (merged == nullptr) {
             // The only null path is a deadline-abandoned rebuild; the
             // caller maps it below via the post-execute deadline check.
@@ -639,16 +712,15 @@ WireServer::execute(const Work &work, std::string *payload)
     case Opcode::kDiff: {
         std::string run_a, run_b;
         service::QueryFilter filter;
-        if (!decodeDiffRequest(frame.payload, &run_a, &run_b,
-                               &filter)) {
+        if (!decodeDiffRequest(op_payload, &run_a, &run_b, &filter)) {
             *payload = "bad diff payload";
             return Status::kBadRequest;
         }
         std::optional<analysis::ProfileComparison> diff;
         if (run_b.empty())
-            diff = engine_.diffAgainstCorpus(run_a, filter);
+            diff = engine.diffAgainstCorpus(run_a, filter);
         else
-            diff = engine_.diffRuns(run_a, run_b);
+            diff = engine.diffRuns(run_a, run_b);
         if (!diff.has_value()) {
             if (work.deadline.expired())
                 return Status::kDeadlineExceeded;
@@ -662,7 +734,7 @@ WireServer::execute(const Work &work, std::string *payload)
     case Opcode::kFlameGraph: {
         std::string metric;
         service::QueryFilter filter;
-        if (!decodeFlameRequest(frame.payload, &metric, &filter)) {
+        if (!decodeFlameRequest(op_payload, &metric, &filter)) {
             *payload = "bad flame payload";
             return Status::kBadRequest;
         }
@@ -670,7 +742,7 @@ WireServer::execute(const Work &work, std::string *payload)
         if (!metric.empty())
             options.metric = metric;
         const std::shared_ptr<const gui::FlameNode> flame =
-            engine_.flameGraph(filter, options);
+            engine.flameGraph(filter, options);
         if (flame == nullptr) {
             *payload = "flame rebuild abandoned";
             return Status::kDeadlineExceeded;
@@ -679,64 +751,244 @@ WireServer::execute(const Work &work, std::string *payload)
         return Status::kOk;
     }
     case Opcode::kStats:
-        *payload = statsPayload();
+        *payload = statsPayload(target);
         return Status::kOk;
+    default:
+        break;
     }
     *payload = "unknown opcode";
     return Status::kBadRequest;
 }
 
 Status
-WireServer::executeIngest(const Frame &frame, std::string *payload)
+WireServer::executeManager(const Work &work, std::string *payload)
 {
+    if (manager_ == nullptr) {
+        *payload = "corpus operations need a multi-corpus server";
+        return Status::kBadRequest;
+    }
+    const Frame &frame = work.frame;
+    std::string error;
+    // Map a failed federated query: a deadline expiry is reported as
+    // such (the post-execute check would catch it anyway); anything
+    // else is an unknown corpus.
+    const auto failed = [&]() {
+        if (work.deadline.expired())
+            return Status::kDeadlineExceeded;
+        *payload = error.empty() ? "federated query failed" : error;
+        return Status::kNotFound;
+    };
+    switch (frame.opcode()) {
+    case Opcode::kCorpusCreate: {
+        std::string id;
+        if (!decodeCorpusRequest(frame.payload, &id)) {
+            *payload = "bad corpus payload";
+            return Status::kBadRequest;
+        }
+        if (manager_->create(id, &error) == nullptr) {
+            *payload = error;
+            return Status::kError;
+        }
+        return Status::kOk;
+    }
+    case Opcode::kCorpusOpen: {
+        std::string id;
+        if (!decodeCorpusRequest(frame.payload, &id)) {
+            *payload = "bad corpus payload";
+            return Status::kBadRequest;
+        }
+        if (manager_->open(id, &error) == nullptr) {
+            *payload = error;
+            return Status::kNotFound;
+        }
+        return Status::kOk;
+    }
+    case Opcode::kCorpusClose: {
+        std::string id;
+        if (!decodeCorpusRequest(frame.payload, &id)) {
+            *payload = "bad corpus payload";
+            return Status::kBadRequest;
+        }
+        if (!manager_->close(id)) {
+            *payload = "corpus '" + id + "' is not open";
+            return Status::kNotFound;
+        }
+        return Status::kOk;
+    }
+    case Opcode::kCorpusDrop: {
+        std::string id;
+        if (!decodeCorpusRequest(frame.payload, &id)) {
+            *payload = "bad corpus payload";
+            return Status::kBadRequest;
+        }
+        if (!manager_->drop(id, &error)) {
+            *payload = error;
+            return Status::kNotFound;
+        }
+        return Status::kOk;
+    }
+    case Opcode::kCorpusList: {
+        std::vector<CorpusInfo> infos;
+        for (const std::string &id : manager_->corpusIds()) {
+            CorpusInfo info;
+            info.id = id;
+            info.open = manager_->isOpen(id);
+            if (info.open) {
+                // Listing must not page in cold corpora; run counts
+                // come from the open ones only.
+                const service::CorpusHandle handle = manager_->open(id);
+                if (handle != nullptr)
+                    info.runs = handle->store.size();
+            }
+            infos.push_back(std::move(info));
+        }
+        *payload = encodeCorpusList(infos);
+        return Status::kOk;
+    }
+    case Opcode::kFederatedTopKernels: {
+        std::vector<std::string> corpora;
+        std::uint32_t k = 0;
+        std::string metric;
+        service::QueryFilter filter;
+        if (!decodeFederatedTopKernelsRequest(frame.payload, &corpora,
+                                              &k, &metric, &filter)) {
+            *payload = "bad federated topKernels payload";
+            return Status::kBadRequest;
+        }
+        if (metric.empty())
+            metric = prof::metric_names::kGpuTime;
+        const std::optional<std::vector<service::KernelAggregate>> top =
+            manager_->federatedTopKernels(corpora, k, filter, metric,
+                                          &error);
+        if (!top.has_value())
+            return failed();
+        std::vector<KernelRow> rows;
+        rows.reserve(top->size());
+        for (const service::KernelAggregate &agg : *top) {
+            rows.push_back(KernelRow{agg.name, agg.total, agg.samples,
+                                     static_cast<std::uint32_t>(
+                                         agg.runs)});
+        }
+        *payload = encodeKernelRows(rows);
+        return Status::kOk;
+    }
+    case Opcode::kFederatedMerged: {
+        std::vector<std::string> corpora;
+        service::QueryFilter filter;
+        if (!decodeFederatedMergedRequest(frame.payload, &corpora,
+                                          &filter)) {
+            *payload = "bad federated merged payload";
+            return Status::kBadRequest;
+        }
+        const std::shared_ptr<const prof::ProfileDb> merged =
+            manager_->federatedMerged(corpora, filter, &error);
+        if (merged == nullptr)
+            return failed();
+        *payload = merged->serialize();
+        return Status::kOk;
+    }
+    case Opcode::kFederatedDiff: {
+        std::vector<std::string> corpora_a, corpora_b;
+        service::QueryFilter filter;
+        if (!decodeFederatedDiffRequest(frame.payload, &corpora_a,
+                                        &corpora_b, &filter)) {
+            *payload = "bad federated diff payload";
+            return Status::kBadRequest;
+        }
+        const std::optional<analysis::ProfileComparison> diff =
+            manager_->federatedDiff(corpora_a, corpora_b, filter,
+                                    &error);
+        if (!diff.has_value())
+            return failed();
+        const auto label = [](const std::vector<std::string> &ids) {
+            std::string out;
+            for (const std::string &id : ids)
+                out += (out.empty() ? "" : "+") + id;
+            return out;
+        };
+        *payload = diff->toString(label(corpora_a), label(corpora_b));
+        return Status::kOk;
+    }
+    case Opcode::kFederatedFlame: {
+        std::vector<std::string> corpora;
+        std::string metric;
+        service::QueryFilter filter;
+        if (!decodeFederatedFlameRequest(frame.payload, &corpora,
+                                         &metric, &filter)) {
+            *payload = "bad federated flame payload";
+            return Status::kBadRequest;
+        }
+        gui::FlameGraphOptions options;
+        if (!metric.empty())
+            options.metric = metric;
+        std::string html = manager_->federatedFlameHtml(
+            "federated warehouse", corpora, filter, options, &error);
+        if (html.empty())
+            return failed();
+        *payload = std::move(html);
+        return Status::kOk;
+    }
+    default:
+        break;
+    }
+    *payload = "unknown opcode";
+    return Status::kBadRequest;
+}
+
+Status
+WireServer::executeIngest(const Target &target,
+                          std::string_view op_payload,
+                          std::uint16_t flags, std::string *payload)
+{
+    service::ProfileStore &store = *target.store;
     std::string run_id, text;
-    if (!decodeIngestRequest(frame.payload, &run_id, &text)) {
+    if (!decodeIngestRequest(op_payload, &run_id, &text)) {
         *payload = "bad ingest payload";
         return Status::kBadRequest;
     }
-    const bool durable = (frame.flags & kFlagDurable) != 0;
-    store_.ingestText(run_id, std::move(text));
+    const bool durable = (flags & kFlagDurable) != 0;
+    store.ingestText(run_id, std::move(text));
     if (!durable)
         return Status::kOk; // accepted: queued on the store's pool
     // Durable ack: the run must be stored, and on a durable store the
     // log must be healthy (no unlogged runs, last append succeeded) —
     // only then is "acked" a promise a restart will keep.
-    store_.waitIdle();
-    if (store_.get(run_id) == nullptr) {
+    store.waitIdle();
+    if (store.get(run_id) == nullptr) {
         *payload = "ingest rejected";
-        for (const auto &[id, why] : store_.failures()) {
+        for (const auto &[id, why] : store.failures()) {
             if (id == run_id)
                 *payload = "ingest rejected: " + why;
         }
         return Status::kError;
     }
-    if (store_.log() != nullptr && !store_.logHealthy()) {
-        *payload = "stored but not durable: " + store_.logError();
+    if (store.log() != nullptr && !store.logHealthy()) {
+        *payload = "stored but not durable: " + store.logError();
         return Status::kError;
     }
     return Status::kOk;
 }
 
 std::string
-WireServer::statsPayload()
+WireServer::statsPayload(const Target &target)
 {
-    const service::StoreStats store = store_.stats();
+    const service::StoreStats store = target.store->stats();
     const service::CorpusView::Stats view =
-        engine_.corpusView().stats();
+        target.engine->corpusView().stats();
     ServerStats server = stats();
     std::string out;
-    const auto put = [&out](const char *key, std::uint64_t value) {
+    const auto put = [&out](std::string_view key, std::uint64_t value) {
         out += key;
         out += '=';
         out += std::to_string(value);
         out += '\n';
     };
-    put("store.runs", store_.size());
+    put("store.runs", target.store->size());
     put("store.ingested", store.ingested);
     put("store.failed", store.failed);
     put("store.recovered", store.recovered);
     put("store.interned_bytes", store.interned_bytes);
-    put("store.log_healthy", store_.logHealthy() ? 1 : 0);
+    put("store.log_healthy", target.store->logHealthy() ? 1 : 0);
     put("store.log_appends", store.log_appends);
     put("store.log_append_failures", store.log_append_failures);
     put("store.log_fsyncs", store.log_fsyncs);
@@ -767,6 +1019,33 @@ WireServer::statsPayload()
     put("server.closed_stalled", server.closed_stalled);
     put("server.bytes_in", server.bytes_in);
     put("server.bytes_out", server.bytes_out);
+    if (manager_ != nullptr) {
+        // Manager-level counters, then one labeled line set per open
+        // corpus — the per-corpus breakdown obs counters cannot carry
+        // (the registry's name set is fixed; corpus ids are not).
+        const service::ManagerStats mgr = manager_->stats();
+        put("manager.open_corpora", mgr.open_corpora);
+        put("manager.open_interned_bytes", mgr.open_interned_bytes);
+        put("manager.created", mgr.created);
+        put("manager.opened", mgr.opened);
+        put("manager.closed", mgr.closed);
+        put("manager.lru_closed", mgr.lru_closed);
+        put("manager.dropped", mgr.dropped);
+        put("manager.drain_waits", mgr.drain_waits);
+        put("manager.federated", mgr.federated);
+        for (const std::string &id : manager_->corpusIds()) {
+            const bool open = manager_->isOpen(id);
+            put("corpus." + id + ".open", open ? 1 : 0);
+            if (!open)
+                continue; // don't page in cold corpora for stats
+            const service::CorpusHandle handle = manager_->open(id);
+            if (handle == nullptr)
+                continue;
+            put("corpus." + id + ".runs", handle->store.size());
+            put("corpus." + id + ".interned_bytes",
+                handle->store.stats().interned_bytes);
+        }
+    }
     return out;
 }
 

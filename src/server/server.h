@@ -43,6 +43,17 @@
  * down. Failpoint sites srv.accept / srv.read / srv.write /
  * srv.frame.decode cover every socket edge so the fault-injection
  * machinery can torture connections deterministically.
+ *
+ * **Serving modes.** A server fronts either one store + engine (the
+ * legacy single-corpus constructor) or a WarehouseManager (the
+ * multi-corpus constructor). In manager mode every single-corpus
+ * request is routed by its v2 corpus prefix — a v1 frame (or an empty
+ * corpus id) addresses ServerOptions::default_corpus, auto-created on
+ * first touch so old clients keep working — and the corpus-lifecycle
+ * and federated opcodes come alive. A request holds its corpus's
+ * refcounted handle for the duration of execution, so a concurrent
+ * close/LRU-evict/drop drains behind in-flight queries instead of
+ * racing them.
  */
 
 #include <atomic>
@@ -60,6 +71,7 @@
 #include "service/deadline.h"
 #include "service/profile_store.h"
 #include "service/query_engine.h"
+#include "service/warehouse_manager.h"
 
 namespace dc::server {
 
@@ -91,6 +103,10 @@ struct ServerOptions {
     /// drain(): how long to wait for in-flight requests and unflushed
     /// outboxes before giving up and shedding them.
     std::uint64_t drain_timeout_ms = 5'000;
+    /// Corpus a request without a corpus id (v1 frames, empty v2
+    /// prefix) addresses. In manager mode it is created on first
+    /// touch; in single-corpus mode it aliases the one store.
+    std::string default_corpus = "default";
 };
 
 /** Monotonic server counters (see also the server.* obs metrics). */
@@ -115,12 +131,22 @@ class WireServer
 {
   public:
     /**
-     * @p store is the mutation target (ingest/erase); @p engine the
-     * query frontend over it. Both must outlive the server.
+     * Single-corpus server: @p store is the mutation target
+     * (ingest/erase); @p engine the query frontend over it. Both must
+     * outlive the server. Corpus-lifecycle and federated opcodes
+     * answer BAD_REQUEST in this mode.
      */
     WireServer(service::ProfileStore &store,
                const service::QueryEngine &engine,
                ServerOptions options = {});
+    /**
+     * Multi-corpus server over @p manager (must outlive the server):
+     * requests route by their corpus prefix, lifecycle + federated
+     * opcodes are served, and ServerOptions::default_corpus is
+     * auto-created for v1 peers.
+     */
+    explicit WireServer(service::WarehouseManager &manager,
+                        ServerOptions options = {});
     ~WireServer(); ///< drain() + stop().
 
     WireServer(const WireServer &) = delete;
@@ -192,13 +218,32 @@ class WireServer
     /// Arm/disarm EPOLLOUT for @p conn (I/O thread).
     void updateEpoll(const std::shared_ptr<Conn> &conn);
 
+    /// The store/engine one request executes against. `handle` pins a
+    /// managed corpus for the request's duration: a concurrent
+    /// close/evict/drop waits for it to drop (warehouse_manager.h).
+    struct Target {
+        service::ProfileStore *store = nullptr;
+        const service::QueryEngine *engine = nullptr;
+        service::CorpusHandle handle;
+    };
+
+    /// Map a request's corpus id to its target ("" = default corpus).
+    Status resolveTarget(const std::string &corpus_id, Target *target,
+                         std::string *payload);
+
     /// Execute one admitted request; fills status + response payload.
     Status execute(const Work &work, std::string *payload);
-    Status executeIngest(const Frame &frame, std::string *payload);
-    std::string statsPayload();
+    Status executeIngest(const Target &target,
+                         std::string_view op_payload,
+                         std::uint16_t flags, std::string *payload);
+    /// Corpus-lifecycle and federated opcodes (manager mode only).
+    Status executeManager(const Work &work, std::string *payload);
+    std::string statsPayload(const Target &target);
 
-    service::ProfileStore &store_;
-    const service::QueryEngine &engine_;
+    /// Exactly one of manager_ or (store_, engine_) is set.
+    service::WarehouseManager *manager_ = nullptr;
+    service::ProfileStore *store_ = nullptr;
+    const service::QueryEngine *engine_ = nullptr;
     ServerOptions options_;
 
     int listen_fd_ = -1;

@@ -98,12 +98,12 @@ wireChecksum(std::string_view header_no_sum, std::string_view payload)
 std::string
 encodeFrame(std::uint8_t kind, std::uint16_t flags,
             std::uint64_t request_id, std::uint32_t deadline_ms,
-            std::string_view payload)
+            std::string_view payload, std::uint8_t version)
 {
     std::string frame;
     frame.reserve(kFrameHeaderSize + payload.size());
     putU32(frame, kWireMagic);
-    frame.push_back(static_cast<char>(kWireVersion));
+    frame.push_back(static_cast<char>(version));
     frame.push_back(static_cast<char>(kind));
     putU16(frame, flags);
     putU64(frame, request_id);
@@ -131,9 +131,11 @@ decodeFrame(std::string_view buf, std::uint64_t max_payload, Frame *out,
     // not after feeding us a header's worth.
     if (buf.size() >= 4 && getU32(buf.data()) != kWireMagic)
         return bad("bad magic");
-    if (buf.size() >= 5 &&
-        static_cast<std::uint8_t>(buf[4]) != kWireVersion)
-        return bad("unsupported version");
+    if (buf.size() >= 5) {
+        const std::uint8_t version = static_cast<std::uint8_t>(buf[4]);
+        if (version < kMinWireVersion || version > kWireVersion)
+            return bad("unsupported version");
+    }
     if (buf.size() < kFrameHeaderSize)
         return DecodeResult::kNeedMore;
 
@@ -152,6 +154,7 @@ decodeFrame(std::string_view buf, std::uint64_t max_payload, Frame *out,
     if (wireChecksum(header_no_sum, payload) != want_sum)
         return bad("checksum mismatch");
 
+    out->version = static_cast<std::uint8_t>(buf[4]);
     out->kind = static_cast<std::uint8_t>(buf[5]);
     out->flags = getU16(buf.data() + 6);
     out->request_id = getU64(buf.data() + 8);
@@ -384,6 +387,205 @@ decodeFlameRequest(std::string_view payload, std::string *metric,
     *metric = reader.str();
     *filter = readFilter(reader);
     return reader.done();
+}
+
+namespace {
+
+void
+writeCorpusIds(WireWriter &writer, const std::vector<std::string> &ids)
+{
+    writer.u32(static_cast<std::uint32_t>(ids.size()));
+    for (const std::string &id : ids)
+        writer.str(id);
+}
+
+std::vector<std::string>
+readCorpusIds(WireReader &reader)
+{
+    std::vector<std::string> ids;
+    const std::uint32_t count = reader.u32();
+    for (std::uint32_t i = 0; i < count && reader.ok(); ++i)
+        ids.push_back(reader.str());
+    return ids;
+}
+
+} // namespace
+
+std::string
+encodeCorpusScoped(const std::string &corpus_id,
+                   std::string_view op_payload)
+{
+    WireWriter writer;
+    writer.str(corpus_id);
+    std::string out = writer.take();
+    out.append(op_payload.data(), op_payload.size());
+    return out;
+}
+
+bool
+splitCorpusScoped(const Frame &frame, std::string *corpus_id,
+                  std::string_view *op_payload)
+{
+    if (frame.version < 2) {
+        // v1 peers predate corpus addressing: whole payload, default
+        // corpus.
+        corpus_id->clear();
+        *op_payload = frame.payload;
+        return true;
+    }
+    if (frame.payload.size() < 4)
+        return false;
+    const std::uint32_t len = getU32(frame.payload.data());
+    if (len > frame.payload.size() - 4)
+        return false;
+    corpus_id->assign(frame.payload.data() + 4, len);
+    *op_payload = std::string_view(frame.payload).substr(4 + len);
+    return true;
+}
+
+std::string
+encodeCorpusRequest(const std::string &corpus_id)
+{
+    WireWriter writer;
+    writer.str(corpus_id);
+    return writer.take();
+}
+
+bool
+decodeCorpusRequest(std::string_view payload, std::string *corpus_id)
+{
+    WireReader reader(payload);
+    *corpus_id = reader.str();
+    return reader.done() && !corpus_id->empty();
+}
+
+std::string
+encodeCorpusList(const std::vector<CorpusInfo> &corpora)
+{
+    WireWriter writer;
+    writer.u32(static_cast<std::uint32_t>(corpora.size()));
+    for (const CorpusInfo &info : corpora) {
+        writer.str(info.id);
+        writer.u32(info.open ? 1 : 0);
+        writer.u64(info.runs);
+    }
+    return writer.take();
+}
+
+bool
+decodeCorpusList(std::string_view payload,
+                 std::vector<CorpusInfo> *corpora)
+{
+    WireReader reader(payload);
+    const std::uint32_t count = reader.u32();
+    corpora->clear();
+    for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
+        CorpusInfo info;
+        info.id = reader.str();
+        info.open = reader.u32() != 0;
+        info.runs = reader.u64();
+        corpora->push_back(std::move(info));
+    }
+    return reader.done();
+}
+
+std::string
+encodeFederatedTopKernelsRequest(const std::vector<std::string> &corpora,
+                                 std::uint32_t k,
+                                 const std::string &metric,
+                                 const service::QueryFilter &filter)
+{
+    WireWriter writer;
+    writeCorpusIds(writer, corpora);
+    writer.u32(k);
+    writer.str(metric);
+    writeFilter(writer, filter);
+    return writer.take();
+}
+
+bool
+decodeFederatedTopKernelsRequest(std::string_view payload,
+                                 std::vector<std::string> *corpora,
+                                 std::uint32_t *k, std::string *metric,
+                                 service::QueryFilter *filter)
+{
+    WireReader reader(payload);
+    *corpora = readCorpusIds(reader);
+    *k = reader.u32();
+    *metric = reader.str();
+    *filter = readFilter(reader);
+    return reader.done() && !corpora->empty();
+}
+
+std::string
+encodeFederatedMergedRequest(const std::vector<std::string> &corpora,
+                             const service::QueryFilter &filter)
+{
+    WireWriter writer;
+    writeCorpusIds(writer, corpora);
+    writeFilter(writer, filter);
+    return writer.take();
+}
+
+bool
+decodeFederatedMergedRequest(std::string_view payload,
+                             std::vector<std::string> *corpora,
+                             service::QueryFilter *filter)
+{
+    WireReader reader(payload);
+    *corpora = readCorpusIds(reader);
+    *filter = readFilter(reader);
+    return reader.done() && !corpora->empty();
+}
+
+std::string
+encodeFederatedDiffRequest(const std::vector<std::string> &corpora_a,
+                           const std::vector<std::string> &corpora_b,
+                           const service::QueryFilter &filter)
+{
+    WireWriter writer;
+    writeCorpusIds(writer, corpora_a);
+    writeCorpusIds(writer, corpora_b);
+    writeFilter(writer, filter);
+    return writer.take();
+}
+
+bool
+decodeFederatedDiffRequest(std::string_view payload,
+                           std::vector<std::string> *corpora_a,
+                           std::vector<std::string> *corpora_b,
+                           service::QueryFilter *filter)
+{
+    WireReader reader(payload);
+    *corpora_a = readCorpusIds(reader);
+    *corpora_b = readCorpusIds(reader);
+    *filter = readFilter(reader);
+    return reader.done() && !corpora_a->empty() && !corpora_b->empty();
+}
+
+std::string
+encodeFederatedFlameRequest(const std::vector<std::string> &corpora,
+                            const std::string &metric,
+                            const service::QueryFilter &filter)
+{
+    WireWriter writer;
+    writeCorpusIds(writer, corpora);
+    writer.str(metric);
+    writeFilter(writer, filter);
+    return writer.take();
+}
+
+bool
+decodeFederatedFlameRequest(std::string_view payload,
+                            std::vector<std::string> *corpora,
+                            std::string *metric,
+                            service::QueryFilter *filter)
+{
+    WireReader reader(payload);
+    *corpora = readCorpusIds(reader);
+    *metric = reader.str();
+    *filter = readFilter(reader);
+    return reader.done() && !corpora->empty();
 }
 
 } // namespace dc::server

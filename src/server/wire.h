@@ -8,7 +8,7 @@
  *
  *     offset  size  field
  *     0       4     magic        0xDC50F11E, little-endian
- *     4       1     version      1
+ *     4       1     version      1 or 2 (see below)
  *     5       1     kind         request Opcode or response Status
  *     6       2     flags        Opcode-specific bits (kFlagDurable)
  *     8       8     request_id   caller-chosen, echoed in the response
@@ -35,6 +35,20 @@
  * truncated payload reader) is rejected and the connection is expected
  * to be dropped — after a framing error the stream offset can no
  * longer be trusted.
+ *
+ * **Version 2 — corpus addressing.** The warehouse serves many corpora
+ * (service/warehouse_manager.h); v2 threads the corpus id through the
+ * protocol while staying backward-compatible with v1 peers:
+ *
+ *  - A v2 frame carrying a single-corpus opcode (kIngest..kStats)
+ *    prefixes its payload with one length-prefixed corpus-id string
+ *    (encodeCorpusScoped / splitCorpusScoped); an empty id means the
+ *    server's default corpus. kPing payloads stay raw.
+ *  - A v1 frame is still accepted and addresses the default corpus —
+ *    old clients keep working unchanged.
+ *  - New opcodes (corpus lifecycle kCorpusCreate..kCorpusList and the
+ *    federated queries kFederatedTopKernels..kFederatedFlame) carry
+ *    version-independent payloads encoded by the codecs below.
  */
 
 #include <cstdint>
@@ -47,7 +61,9 @@
 namespace dc::server {
 
 inline constexpr std::uint32_t kWireMagic = 0xDC50F11Eu;
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+/// Oldest version still accepted (v1 = single-corpus payloads).
+inline constexpr std::uint8_t kMinWireVersion = 1;
 inline constexpr std::size_t kFrameHeaderSize = 32;
 /// Default receiver-side payload bound (see decodeFrame).
 inline constexpr std::uint64_t kDefaultMaxPayload = 64ull << 20;
@@ -62,6 +78,17 @@ enum class Opcode : std::uint8_t {
     kDiff = 6,       ///< run_a, run_b ("" = vs corpus), filter -> text.
     kFlameGraph = 7, ///< filter, metric -> self-contained HTML.
     kStats = 8,      ///< "" -> key=value lines.
+    // v2 corpus lifecycle (payload: one corpus-id string).
+    kCorpusCreate = 9,  ///< Create + open a corpus.
+    kCorpusOpen = 10,   ///< Open (replay) an existing corpus.
+    kCorpusClose = 11,  ///< Remove from the open set (data survives).
+    kCorpusDrop = 12,   ///< Delete the corpus and its data.
+    kCorpusList = 13,   ///< "" -> CorpusInfo rows.
+    // v2 federated queries spanning a set of corpora.
+    kFederatedTopKernels = 14, ///< ids, k, metric, filter -> rows.
+    kFederatedMerged = 15,     ///< ids, filter -> serialized profile.
+    kFederatedDiff = 16,       ///< ids_a, ids_b, filter -> text.
+    kFederatedFlame = 17,      ///< ids, metric, filter -> HTML.
 };
 
 /** Response kinds. Values disjoint from Opcode so a reflected or
@@ -88,6 +115,9 @@ std::uint64_t wireChecksum(std::string_view header_no_sum,
 
 /** One decoded frame. */
 struct Frame {
+    /// Protocol version the sender spoke (kMinWireVersion..
+    /// kWireVersion); v1 single-corpus payloads carry no corpus id.
+    std::uint8_t version = kWireVersion;
     std::uint8_t kind = 0;
     std::uint16_t flags = 0;
     std::uint64_t request_id = 0;
@@ -102,7 +132,8 @@ struct Frame {
 std::string encodeFrame(std::uint8_t kind, std::uint16_t flags,
                         std::uint64_t request_id,
                         std::uint32_t deadline_ms,
-                        std::string_view payload);
+                        std::string_view payload,
+                        std::uint8_t version = kWireVersion);
 
 /** decodeFrame outcome. */
 enum class DecodeResult {
@@ -207,5 +238,75 @@ std::string encodeFlameRequest(const std::string &metric,
                                const service::QueryFilter &filter);
 bool decodeFlameRequest(std::string_view payload, std::string *metric,
                         service::QueryFilter *filter);
+
+// ------------------------------------------- v2 corpus addressing
+
+/**
+ * Prefix @p op_payload with the corpus id a v2 single-corpus frame
+ * (kIngest..kStats) addresses ("" = the server's default corpus).
+ */
+std::string encodeCorpusScoped(const std::string &corpus_id,
+                               std::string_view op_payload);
+
+/**
+ * Split a single-corpus frame's payload into the addressed corpus and
+ * the opcode payload. v1 frames address the default corpus ("") with
+ * their whole payload; v2 frames carry the encodeCorpusScoped prefix.
+ * False = malformed prefix (treat as a bad request).
+ */
+bool splitCorpusScoped(const Frame &frame, std::string *corpus_id,
+                       std::string_view *op_payload);
+
+/** Corpus lifecycle request (create/open/close/drop): one id. */
+std::string encodeCorpusRequest(const std::string &corpus_id);
+bool decodeCorpusRequest(std::string_view payload,
+                         std::string *corpus_id);
+
+/** One corpus as listed by kCorpusList. */
+struct CorpusInfo {
+    std::string id;
+    bool open = false;        ///< Currently open in the manager.
+    std::uint64_t runs = 0;   ///< Stored runs (0 when cold/unknown).
+};
+
+std::string encodeCorpusList(const std::vector<CorpusInfo> &corpora);
+bool decodeCorpusList(std::string_view payload,
+                      std::vector<CorpusInfo> *corpora);
+
+std::string
+encodeFederatedTopKernelsRequest(const std::vector<std::string> &corpora,
+                                 std::uint32_t k,
+                                 const std::string &metric,
+                                 const service::QueryFilter &filter);
+bool decodeFederatedTopKernelsRequest(std::string_view payload,
+                                      std::vector<std::string> *corpora,
+                                      std::uint32_t *k,
+                                      std::string *metric,
+                                      service::QueryFilter *filter);
+
+std::string
+encodeFederatedMergedRequest(const std::vector<std::string> &corpora,
+                             const service::QueryFilter &filter);
+bool decodeFederatedMergedRequest(std::string_view payload,
+                                  std::vector<std::string> *corpora,
+                                  service::QueryFilter *filter);
+
+std::string
+encodeFederatedDiffRequest(const std::vector<std::string> &corpora_a,
+                           const std::vector<std::string> &corpora_b,
+                           const service::QueryFilter &filter);
+bool decodeFederatedDiffRequest(std::string_view payload,
+                                std::vector<std::string> *corpora_a,
+                                std::vector<std::string> *corpora_b,
+                                service::QueryFilter *filter);
+
+std::string
+encodeFederatedFlameRequest(const std::vector<std::string> &corpora,
+                            const std::string &metric,
+                            const service::QueryFilter &filter);
+bool decodeFederatedFlameRequest(std::string_view payload,
+                                 std::vector<std::string> *corpora,
+                                 std::string *metric,
+                                 service::QueryFilter *filter);
 
 } // namespace dc::server

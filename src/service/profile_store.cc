@@ -260,6 +260,15 @@ ProfileStore::~ProfileStore()
         reattach_cv_.notify_all();
         reattach_thread_.join();
     }
+    // Drain guarded view builders: a cold CorpusView rebuild entered
+    // before destruction began holds internGuard() (table_mutex_
+    // shared) while it merges into this store's table. Excluding it
+    // here — and likewise any straggler inside the durable gate —
+    // sequences that work strictly before member teardown, so a store
+    // closed mid-rebuild (the WarehouseManager's lazy close) drains
+    // cleanly instead of freeing the table under the builder.
+    { std::unique_lock<std::shared_mutex> drain(table_mutex_); }
+    { std::unique_lock<std::shared_mutex> gate(durable_gate_); }
 }
 
 ProfileStore::Shard &

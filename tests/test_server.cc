@@ -165,7 +165,7 @@ TEST(WireFrame, BadVersionFailsAtFiveBytes)
 {
     std::string bytes = server::encodeFrame(
         static_cast<std::uint8_t>(Opcode::kPing), 0, 9, 0, "abc");
-    bytes[4] = 2; // unknown version
+    bytes[4] = 9; // beyond kWireVersion
     Frame frame;
     std::size_t consumed = 0;
     EXPECT_EQ(server::decodeFrame(std::string_view(bytes).substr(0, 5),
