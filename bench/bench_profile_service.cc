@@ -35,8 +35,19 @@
  * flame graph of the warehouse's own self-profile — all three from the
  * spans this very process produced.
  *
+ * Multi-core scaling is a measured property: the scaling mode drives
+ * the cached topKernels path with 1..N concurrent query threads
+ * (--threads, default 1,2,4,8) and records scale_topk_qps_tN per
+ * width, plus a hardware_concurrency key so the CI gate can treat the
+ * scale curve as informational on single-core runners where no
+ * speedup is physically possible. The cold-merge comparison emits
+ * size-bucketed reduction keys (reduction_vs_serial_speedup_small /
+ * _large) because the executor's serial cutover intentionally makes
+ * small merges serial — only the large bucket claims a parallel win.
+ *
  * Usage: bench_profile_service [--max-runs N] [--json FILE]
  *                              [--telemetry-dir DIR]
+ *                              [--threads W1,W2,...]
  *
  * With --json the headline numbers are written to FILE as a flat JSON
  * object (one key per scenario x stored-runs scale); CI regenerates it
@@ -60,6 +71,7 @@
 
 #include "analyzer/diff.h"
 #include "bench_util.h"
+#include "common/executor.h"
 #include "common/failpoint.h"
 #include "common/fs.h"
 #include "common/stats.h"
@@ -512,6 +524,12 @@ benchGroupCommitAndCheckpoint(
     removeTree(churn_dir);
     removeTree(ckpt_dir);
 
+    // Ingestion concurrency is pool width, not Options::workers, so
+    // group commit needs a pool wide enough for appends to pile up
+    // behind the fsync leader — even on one core the workers overlap
+    // in fsync *waits*, which is exactly what group commit exploits.
+    common::Executor executor({.threads = kWorkers});
+
     auto ingestAll = [&](ProfileStore &store) {
         for (int i = 0; i < kRuns; ++i) {
             store.ingestText(
@@ -526,6 +544,7 @@ benchGroupCommitAndCheckpoint(
     {
         ProfileStore::Options memory;
         memory.workers = kWorkers;
+        memory.executor = &executor;
         ProfileStore store(memory);
         const Clock::time_point start = Clock::now();
         ingestAll(store);
@@ -540,6 +559,7 @@ benchGroupCommitAndCheckpoint(
     {
         ProfileStore::Options durable;
         durable.workers = kWorkers;
+        durable.executor = &executor;
         durable.data_dir = dir;
         ProfileStore store(durable);
         const Clock::time_point start = Clock::now();
@@ -554,6 +574,7 @@ benchGroupCommitAndCheckpoint(
                      bool checkpoint) -> std::vector<KernelAggregate> {
         ProfileStore::Options options;
         options.workers = kWorkers;
+        options.executor = &executor;
         options.data_dir = data_dir;
         ProfileStore store(options);
         ingestAll(store);
@@ -650,37 +671,55 @@ benchTelemetryOverhead(const std::vector<std::string> &pool,
                        std::vector<std::pair<std::string, double>> *json)
 {
     constexpr int kRuns = 24;
-    constexpr int kRounds = 7;
+    // 11 ABBA rounds: the median delta survives up to 5 rounds each
+    // polluted by a co-tenant burst longer than one ~20ms leg.
+    constexpr int kRounds = 11;
 
-    // Best-of-rounds, not median: each round is tens of milliseconds,
-    // so scheduler noise on a busy host dwarfs the effect being
-    // measured. The best round per state is the one least disturbed by
-    // noise, leaving the systematic per-ingest telemetry cost.
+    // The overhead estimate is the MEDIAN OF PAIRED PER-ROUND DELTAS,
+    // not a difference of per-state minima: adjacent on/off rounds
+    // share host state (frequency, cache residency, co-tenant load),
+    // so each round's delta cancels the drift that dominates absolute
+    // times on a busy machine, and the median discards rounds a
+    // scheduler hiccup landed on one side of. Comparing two
+    // independently-picked minima leaks that drift straight into the
+    // percentage and flaps around a hard CI ceiling. The best-of
+    // absolutes are still reported as the companion keys.
+    const auto measureIngestRate = [&](bool enabled) {
+        obs::setEnabled(enabled);
+        ProfileStore store;
+        const Clock::time_point start = Clock::now();
+        for (int i = 0; i < kRuns; ++i) {
+            store.ingestText(
+                "run-" + std::to_string(i),
+                pool[static_cast<std::size_t>(i) % pool.size()]);
+        }
+        store.waitIdle();
+        return static_cast<double>(kRuns) / secondsSince(start);
+    };
     std::vector<double> ingest_on;
     std::vector<double> ingest_off;
+    std::vector<double> ingest_pcts;
+    // Warmup: the first store of the measurement pays cold allocator
+    // and page-cache state that would otherwise bias round 0's A leg.
+    measureIngestRate(false);
     for (int round = 0; round < kRounds; ++round) {
-        for (bool enabled : {true, false}) {
-            obs::setEnabled(enabled);
-            ProfileStore store;
-            const Clock::time_point start = Clock::now();
-            for (int i = 0; i < kRuns; ++i) {
-                store.ingestText(
-                    "run-" + std::to_string(i),
-                    pool[static_cast<std::size_t>(i) % pool.size()]);
-            }
-            store.waitIdle();
-            const double rate =
-                static_cast<double>(kRuns) / secondsSince(start);
-            (enabled ? ingest_on : ingest_off).push_back(rate);
-        }
+        // ABBA within the round (see the cached-topk loop below).
+        const double on1 = measureIngestRate(true);
+        const double off1 = measureIngestRate(false);
+        const double off2 = measureIngestRate(false);
+        const double on2 = measureIngestRate(true);
+        ingest_on.push_back(std::max(on1, on2));
+        ingest_off.push_back(std::max(off1, off2));
+        const double on_mid = (on1 + on2) / 2.0;
+        const double off_mid = (off1 + off2) / 2.0;
+        ingest_pcts.push_back((off_mid - on_mid) / off_mid * 100.0);
     }
     obs::setEnabled(true);
     const double ingest_on_rate =
         *std::max_element(ingest_on.begin(), ingest_on.end());
     const double ingest_off_rate =
         *std::max_element(ingest_off.begin(), ingest_off.end());
-    const double ingest_pct =
-        (ingest_off_rate - ingest_on_rate) / ingest_off_rate * 100.0;
+    const double ingest_pct = median(ingest_pcts);
 
     // Cached topKernels is the microsecond-scale fast path where a
     // misplaced clock read would actually show up; query sites sample
@@ -693,29 +732,46 @@ benchTelemetryOverhead(const std::vector<std::string> &pool,
     store.waitIdle();
     QueryEngine engine(store);
     engine.topKernels(10); // materialize the view once
+    // More rounds and reps than the ingest loop: the measured effect
+    // is tens of nanoseconds on a microseconds-scale call, so the
+    // per-round median needs enough samples for the paired deltas to
+    // cluster. Each round measures ABBA (on, off, off, on) — a strict
+    // on/off alternation aliases with periodic co-tenant load and
+    // records the *pattern* as overhead; averaging the A and B legs
+    // cancels any drift linear across the round. Still ~100ms total.
+    constexpr int kTopkRounds = 11;
+    constexpr int kTopkReps = 600;
+    const auto measureTopkUs = [&](bool enabled) {
+        obs::setEnabled(enabled);
+        return medianLatencyUs(kTopkReps,
+                               [&] { engine.topKernels(10); });
+    };
     std::vector<double> topk_on;
     std::vector<double> topk_off;
-    for (int round = 0; round < kRounds; ++round) {
-        for (bool enabled : {true, false}) {
-            obs::setEnabled(enabled);
-            (enabled ? topk_on : topk_off)
-                .push_back(medianLatencyUs(
-                    200, [&] { engine.topKernels(10); }));
-        }
+    std::vector<double> topk_pcts;
+    for (int round = 0; round < kTopkRounds; ++round) {
+        const double on1 = measureTopkUs(true);
+        const double off1 = measureTopkUs(false);
+        const double off2 = measureTopkUs(false);
+        const double on2 = measureTopkUs(true);
+        topk_on.push_back(std::min(on1, on2));
+        topk_off.push_back(std::min(off1, off2));
+        const double on_mid = (on1 + on2) / 2.0;
+        const double off_mid = (off1 + off2) / 2.0;
+        topk_pcts.push_back((on_mid - off_mid) / off_mid * 100.0);
     }
     obs::setEnabled(true);
     const double topk_on_us =
         *std::min_element(topk_on.begin(), topk_on.end());
     const double topk_off_us =
         *std::min_element(topk_off.begin(), topk_off.end());
-    const double topk_pct =
-        (topk_on_us - topk_off_us) / topk_off_us * 100.0;
+    const double topk_pct = median(topk_pcts);
 
-    std::printf("\ntelemetry overhead (obs on vs off, %d interleaved "
-                "rounds): ingest %.0f vs %.0f runs/s (%+.2f%%), cached "
-                "topk %.2f vs %.2f us (%+.2f%%)\n",
-                kRounds, ingest_on_rate, ingest_off_rate, ingest_pct,
-                topk_on_us, topk_off_us, topk_pct);
+    std::printf("\ntelemetry overhead (obs on vs off, %d/%d "
+                "interleaved rounds): ingest %.0f vs %.0f runs/s "
+                "(%+.2f%%), cached topk %.2f vs %.2f us (%+.2f%%)\n",
+                kRounds, kTopkRounds, ingest_on_rate, ingest_off_rate,
+                ingest_pct, topk_on_us, topk_off_us, topk_pct);
 
     json->emplace_back("telemetry_ingest_overhead_pct", ingest_pct);
     json->emplace_back("telemetry_ingest_on_per_sec", ingest_on_rate);
@@ -1070,6 +1126,67 @@ benchWarehouseFederation(const std::vector<std::string> &pool,
 }
 
 /**
+ * Multi-core query scaling: @p widths concurrent client threads each
+ * hammer the cached topKernels fast path (striped view cache, atomic
+ * stats, lock-free read of the materialized table) and the aggregate
+ * throughput lands in scale_topk_qps_tN. On a multi-core host the
+ * curve should rise with the width; on a single-core runner it stays
+ * flat, which is why compare_bench.py downgrades scale_* regressions
+ * to warnings when the recorded hardware_concurrency is 1.
+ */
+void
+benchQueryScaling(const std::vector<std::string> &pool,
+                  const std::vector<int> &widths,
+                  std::vector<std::pair<std::string, double>> *json)
+{
+    ProfileStore store;
+    for (int i = 0; i < 16; ++i) {
+        store.ingestText("run-" + std::to_string(i),
+                         pool[static_cast<std::size_t>(i) %
+                              pool.size()]);
+    }
+    store.waitIdle();
+    QueryEngine engine(store);
+    engine.topKernels(10); // materialize once; threads hit the cache
+
+    std::printf("\nquery scaling (cached topKernels, %zu stored "
+                "runs):\n",
+                store.size());
+    for (const int width : widths) {
+        constexpr int kQueriesPerThread = 2000;
+        std::vector<double> rounds;
+        for (int round = 0; round < 3; ++round) {
+            std::atomic<int> ready{0};
+            std::atomic<bool> go{false};
+            std::vector<std::thread> threads;
+            threads.reserve(static_cast<std::size_t>(width));
+            for (int t = 0; t < width; ++t) {
+                threads.emplace_back([&] {
+                    ++ready;
+                    while (!go.load())
+                        std::this_thread::yield();
+                    for (int q = 0; q < kQueriesPerThread; ++q)
+                        engine.topKernels(10);
+                });
+            }
+            while (ready.load() < width)
+                std::this_thread::yield();
+            const Clock::time_point start = Clock::now();
+            go.store(true);
+            for (std::thread &thread : threads)
+                thread.join();
+            rounds.push_back(
+                static_cast<double>(width) * kQueriesPerThread /
+                secondsSince(start));
+        }
+        const double qps = median(rounds);
+        std::printf("  %d thread(s): %.0f queries/s\n", width, qps);
+        json->emplace_back("scale_topk_qps_t" + std::to_string(width),
+                           qps);
+    }
+}
+
+/**
  * Dogfood the span rings: convert everything this process traced so
  * far into a ProfileDb, prove it survives the same handoff as any
  * tenant profile (validate + serialize/tryDeserialize + warehouse
@@ -1155,6 +1272,7 @@ main(int argc, char **argv)
     int max_runs = 64;
     std::string json_path;
     std::string telemetry_dir;
+    std::vector<int> scale_widths = {1, 2, 4, 8};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--max-runs") == 0 && i + 1 < argc)
             max_runs = std::atoi(argv[++i]);
@@ -1163,6 +1281,15 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--telemetry-dir") == 0 &&
                  i + 1 < argc)
             telemetry_dir = argv[++i];
+        else if (std::strcmp(argv[i], "--threads") == 0 &&
+                 i + 1 < argc) {
+            scale_widths.clear();
+            for (const std::string &part : split(argv[++i], ',')) {
+                const int width = std::atoi(part.c_str());
+                if (width > 0)
+                    scale_widths.push_back(width);
+            }
+        }
     }
     std::vector<std::pair<std::string, double>> json;
 
@@ -1178,6 +1305,10 @@ main(int argc, char **argv)
     const unsigned hw = std::thread::hardware_concurrency();
     std::printf("%u hardware thread(s) for parallel reduction\n\n",
                 hw > 0 ? hw : 1);
+    // Recorded so the CI gate knows whether a flat scale curve is a
+    // regression or just a single-core runner.
+    json.emplace_back("hardware_concurrency",
+                      static_cast<double>(hw > 0 ? hw : 1));
 
     bench::printRow({"stored runs", "ingest/s", "topk legacy",
                      "topk cached", "topk cold", "merge pre-PR",
@@ -1279,8 +1410,27 @@ main(int argc, char **argv)
                           legacy_topk_us / cached_topk_us);
         json.emplace_back("cold_merge_speedup_" + scale,
                           prepr_merge_us / parallel_merge_us);
-        json.emplace_back("reduction_vs_serial_speedup_" + scale,
-                          serial_merge_us / parallel_merge_us);
+        // Size-bucketed reduction ratios (replacing the old per-scale
+        // reduction_vs_serial_speedup_N keys): the executor's serial
+        // cutover makes sub-threshold merges serial on purpose, so
+        // the small bucket asserts "no fan-out tax" (~1.0) and only
+        // the large bucket claims the parallel win.
+        std::size_t total_nodes = 0;
+        for (const prof::ProfileDb *profile : profiles)
+            total_nodes += profile->cct().nodeCount();
+        if (runs == 8) {
+            json.emplace_back("reduction_vs_serial_speedup_small",
+                              serial_merge_us / parallel_merge_us);
+            std::printf("  (small reduction bucket: %zu runs, %zu "
+                        "tree nodes)\n",
+                        profiles.size(), total_nodes);
+        } else if (runs == 64) {
+            json.emplace_back("reduction_vs_serial_speedup_large",
+                              serial_merge_us / parallel_merge_us);
+            std::printf("  (large reduction bucket: %zu runs, %zu "
+                        "tree nodes)\n",
+                        profiles.size(), total_nodes);
+        }
 
         if (runs < 64 || 64 > max_runs)
             continue;
@@ -1342,6 +1492,7 @@ main(int argc, char **argv)
     benchDurability(pool, &json);
     benchGroupCommitAndCheckpoint(pool, &json);
     benchTelemetryOverhead(pool, &json);
+    benchQueryScaling(pool, scale_widths, &json);
     benchWireServer(pool, &json);
     benchWarehouseFederation(pool, &json);
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py's gating rules, focused on the
+scale-curve skip path: scale_* regressions must downgrade to warnings
+when (and only when) the fresh JSON records hardware_concurrency == 1,
+while every presence gate and every non-scale gate stays strict.
+
+Run directly (registered with ctest as compare_bench.gate): each case
+invokes compare_bench.py as a subprocess exactly the way CI does and
+asserts on the exit code and the report text.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def run_gate(baseline, fresh, extra_args=()):
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline_path = os.path.join(tmp, "baseline.json")
+        fresh_path = os.path.join(tmp, "fresh.json")
+        with open(baseline_path, "w") as handle:
+            json.dump(baseline, handle)
+        with open(fresh_path, "w") as handle:
+            json.dump(fresh, handle)
+        return subprocess.run(
+            [sys.executable, SCRIPT, baseline_path, fresh_path,
+             *extra_args],
+            capture_output=True, text=True)
+
+
+FAILURES = []
+
+
+def check(name, condition, detail=""):
+    status = "ok" if condition else "FAIL"
+    print(f"{name:<58} {status}")
+    if not condition:
+        FAILURES.append(f"{name}: {detail}")
+
+
+def main():
+    base = {
+        "scale_topk_qps_t1": 100000.0,
+        "scale_topk_qps_t4": 350000.0,
+        "cached_topk_speedup_8": 50.0,
+        "server_qps": 20000.0,
+        "hardware_concurrency": 4,
+    }
+
+    # Identical results pass.
+    result = run_gate(base, base)
+    check("identical JSONs pass", result.returncode == 0,
+          result.stdout + result.stderr)
+
+    # A collapsed scale curve on a single-core runner is a warning,
+    # not a failure — the runner cannot scale past its hardware.
+    flat = dict(base)
+    flat["scale_topk_qps_t4"] = 1000.0
+    flat["hardware_concurrency"] = 1
+    result = run_gate(base, flat)
+    check("scale regression @ hw=1 warns but passes",
+          result.returncode == 0, result.stdout + result.stderr)
+    check("  ...and the warning is loud",
+          "informational" in result.stderr, result.stderr)
+
+    # The same collapse on a multi-core runner fails.
+    flat_multicore = dict(flat)
+    flat_multicore["hardware_concurrency"] = 4
+    result = run_gate(base, flat_multicore)
+    check("scale regression @ hw=4 fails", result.returncode == 1,
+          result.stdout + result.stderr)
+
+    # Without a recorded hardware_concurrency the gate stays strict.
+    unrecorded = dict(flat)
+    del unrecorded["hardware_concurrency"]
+    result = run_gate(base, unrecorded)
+    check("scale regression without recorded hw fails",
+          result.returncode == 1, result.stdout + result.stderr)
+
+    # hw=1 excuses only the scale curve, not other gated keys.
+    slow = dict(base)
+    slow["hardware_concurrency"] = 1
+    slow["cached_topk_speedup_8"] = 1.0
+    result = run_gate(base, slow)
+    check("non-scale regression @ hw=1 still fails",
+          result.returncode == 1, result.stdout + result.stderr)
+
+    # Presence gates stay strict at any core count: a scale key
+    # missing from the fresh run, or fresh-only (never gated), fails.
+    missing = {k: v for k, v in flat.items()
+               if k != "scale_topk_qps_t4"}
+    result = run_gate(base, missing)
+    check("scale key missing from fresh fails even @ hw=1",
+          result.returncode == 1, result.stdout + result.stderr)
+
+    baseline_without = {k: v for k, v in base.items()
+                        if k != "scale_topk_qps_t4"}
+    result = run_gate(baseline_without, flat)
+    check("fresh-only scale key fails even @ hw=1",
+          result.returncode == 1, result.stdout + result.stderr)
+    result = run_gate(baseline_without, flat, ["--allow-new-keys"])
+    check("  ...unless --allow-new-keys downgrades it",
+          result.returncode == 0, result.stdout + result.stderr)
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} case(s) failed:", file=sys.stderr)
+        for failure in FAILURES:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall compare_bench gating cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

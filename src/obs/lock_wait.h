@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * Mutex acquisition with contention visibility.
+ *
+ * The contention audit needs lock-wait *distributions*, not guesses:
+ * a striped cache only proves itself if the histogram of time spent
+ * blocked on its stripes collapses. WaitMeteredLock is a lock_guard
+ * substitute that keeps the uncontended path free (one try_lock) and,
+ * only when the mutex is actually held by someone else, times the
+ * blocking acquire and records it — in microseconds — into a
+ * registry histogram. With obs disabled a contended acquire degrades
+ * to a plain lock() with no clock reads.
+ *
+ * The histogram handle is shared by every acquirer of a site (pass
+ * the same static handle), so one snapshot shows the site's p50/p99
+ * wait; sites live in the same registry namespace as everything else
+ * (e.g. "view.lock.stripe.wait_us").
+ */
+
+#include <mutex>
+
+#include "obs/metrics_registry.h"
+#include "obs/obs.h"
+
+namespace dc::obs {
+
+/** RAII scoped lock that meters contended acquires; see file docs. */
+template <typename Mutex = std::mutex>
+class WaitMeteredLock
+{
+  public:
+    WaitMeteredLock(Mutex &mutex, const Histogram &wait_us)
+        : mutex_(mutex)
+    {
+        if (mutex_.try_lock())
+            return;
+        if (!enabled()) {
+            mutex_.lock();
+            return;
+        }
+        const std::uint64_t start = nowNs();
+        mutex_.lock();
+        wait_us.record((nowNs() - start) / 1000);
+    }
+    ~WaitMeteredLock() { mutex_.unlock(); }
+
+    WaitMeteredLock(const WaitMeteredLock &) = delete;
+    WaitMeteredLock &operator=(const WaitMeteredLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+} // namespace dc::obs

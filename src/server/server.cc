@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/executor.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -1019,6 +1020,34 @@ WireServer::statsPayload(const Target &target)
     put("server.closed_stalled", server.closed_stalled);
     put("server.bytes_in", server.bytes_in);
     put("server.bytes_out", server.bytes_out);
+    // Shared-executor health: the pool every parallel site (merges,
+    // view rebuilds, ingestion drains, federated legs) runs on. The
+    // counters come from the executor's own atomics so they are live
+    // even without DC_OBS; the latency quantiles need the obs
+    // histograms and appear only when observability is on.
+    const common::Executor::Stats exec =
+        common::Executor::global().stats();
+    put("exec.threads", exec.threads);
+    put("exec.submitted", exec.submitted);
+    put("exec.executed", exec.executed);
+    put("exec.stolen", exec.stolen);
+    put("exec.inline_run", exec.inline_run);
+    put("exec.queued", exec.queued);
+    if (obs::enabled()) {
+        const obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::global().snapshot();
+        const auto put_hist = [&put, &snap](std::string_view key,
+                                            const char *name) {
+            const obs::HistogramSnapshot *hist = snap.histogram(name);
+            if (hist == nullptr || hist->count == 0)
+                return;
+            put(std::string(key) + ".p50", hist->p50);
+            put(std::string(key) + ".p99", hist->p99);
+        };
+        put_hist("exec.wait_us", "exec.wait_us");
+        put_hist("exec.run_us", "exec.run_us");
+        put_hist("exec.queue_depth", "exec.queue_depth");
+    }
     if (manager_ != nullptr) {
         // Manager-level counters, then one labeled line set per open
         // corpus — the per-corpus breakdown obs counters cannot carry

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 
+#include "common/executor.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -116,21 +116,29 @@ std::unique_ptr<prof::ProfileDb>
 CctMerger::mergeAllPrevalidated(
     const std::vector<const prof::ProfileDb *> &profiles,
     const std::vector<std::string> &run_ids, std::size_t workers,
-    std::size_t grain, const Deadline *deadline)
+    std::size_t grain, const Deadline *deadline,
+    common::Executor *executor)
 {
     DC_CHECK(profiles.size() == run_ids.size(),
              "mergeAllPrevalidated needs one run id per profile");
-    for (const prof::ProfileDb *profile : profiles)
+    std::size_t total_nodes = 0;
+    for (const prof::ProfileDb *profile : profiles) {
         DC_CHECK(profile != nullptr,
                  "null profile in mergeAllPrevalidated");
-    if (workers == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        workers = hw > 0 ? hw : 1;
+        total_nodes += profile->cct().nodeCount();
     }
+    common::Executor &exec =
+        executor != nullptr ? *executor : common::Executor::global();
+    if (workers == 0)
+        workers = exec.threads();
     grain = std::max<std::size_t>(grain, 1);
 
     const std::size_t n = profiles.size();
-    if (workers <= 1 || n < 2 * grain) {
+    // Adaptive serial cutover: below the node threshold the fan-out's
+    // overhead (task handoff, partial reduction) exceeds the merge
+    // itself, so small selections fold inline even on wide pools.
+    if (workers <= 1 || n < 2 * grain ||
+        total_nodes < kSerialNodeCutover) {
         CctMerger merger;
         for (std::size_t i = 0; i < n; ++i) {
             if (deadline != nullptr && deadline->expired())
@@ -153,53 +161,52 @@ CctMerger::mergeAllPrevalidated(
     // within a run's worth of work each.
     std::atomic<bool> aborted{false};
 
-    // Phase 1: fold each chunk into a partial CCT, one thread each.
-    // The first merge into an empty partial hits Cct::mergeFrom's
-    // block-copy path, so per-chunk cost is dominated by the colliding
-    // merges — the work the reduction spreads across cores.
-    {
-        std::vector<std::thread> pool;
-        pool.reserve(chunks);
-        for (std::size_t c = 0; c < chunks; ++c) {
-            pool.emplace_back([&, c] {
-                Partial &partial = partials[c];
-                const std::size_t begin = c * n / chunks;
-                const std::size_t end = (c + 1) * n / chunks;
-                // Adopt the chunk's first profile's table: within one
-                // store every profile shares it, so the whole
-                // reduction merges by direct id equality.
-                partial.cct = std::make_unique<prof::Cct>(
-                    profiles[begin]->cct().namesShared());
-                for (std::size_t i = begin; i < end; ++i) {
-                    if (aborted.load(std::memory_order_relaxed))
-                        return;
-                    if (deadline != nullptr && deadline->expired()) {
-                        aborted.store(true,
-                                      std::memory_order_relaxed);
-                        return;
-                    }
-                    const std::vector<int> remap =
-                        partial.metrics.mergeFrom(
-                            profiles[i]->metrics());
-                    partial.cct->mergeFrom(profiles[i]->cct(), remap);
+    // Phase 1: fold each chunk into a partial CCT, one pool task each
+    // (the submitting thread helps via wait()). The first merge into
+    // an empty partial hits Cct::mergeFrom's block-copy path, so
+    // per-chunk cost is dominated by the colliding merges — the work
+    // the reduction spreads across cores.
+    common::TaskGroup group(
+        exec, deadline != nullptr ? *deadline : Deadline{});
+    for (std::size_t c = 0; c < chunks; ++c) {
+        group.submit([&, c] {
+            Partial &partial = partials[c];
+            const std::size_t begin = c * n / chunks;
+            const std::size_t end = (c + 1) * n / chunks;
+            // Adopt the chunk's first profile's table: within one
+            // store every profile shares it, so the whole
+            // reduction merges by direct id equality.
+            partial.cct = std::make_unique<prof::Cct>(
+                profiles[begin]->cct().namesShared());
+            for (std::size_t i = begin; i < end; ++i) {
+                if (aborted.load(std::memory_order_relaxed))
+                    return;
+                if (deadline != nullptr && deadline->expired()) {
+                    aborted.store(true, std::memory_order_relaxed);
+                    return;
                 }
-            });
-        }
-        for (std::thread &thread : pool)
-            thread.join();
+                const std::vector<int> remap =
+                    partial.metrics.mergeFrom(profiles[i]->metrics());
+                partial.cct->mergeFrom(profiles[i]->cct(), remap);
+            }
+        });
     }
+    group.wait();
 
-    if (aborted.load())
+    // A cancelled group may have skipped whole chunk tasks (their
+    // partials stay null), so an expired deadline — the only way a
+    // skip happens here — abandons the merge exactly like a mid-chunk
+    // abort.
+    if (aborted.load() || group.cancelled())
         return nullptr;
 
     // Phase 2: pairwise tree reduction — log2(chunks) rounds, each
-    // merging disjoint partial pairs concurrently.
+    // merging disjoint partial pairs concurrently on the pool.
     for (std::size_t step = 1; step < chunks; step *= 2) {
         if (deadline != nullptr && deadline->expired())
             return nullptr;
-        std::vector<std::thread> pool;
         for (std::size_t i = 0; i + step < chunks; i += 2 * step) {
-            pool.emplace_back([&, i] {
+            group.submit([&, i, step] {
                 Partial &dst = partials[i];
                 Partial &src = partials[i + step];
                 const std::vector<int> remap =
@@ -208,8 +215,9 @@ CctMerger::mergeAllPrevalidated(
                 src.cct.reset();
             });
         }
-        for (std::thread &thread : pool)
-            thread.join();
+        group.wait();
+        if (group.cancelled())
+            return nullptr;
     }
 
     std::map<std::string, std::string> metadata =

@@ -25,6 +25,10 @@
 #include "profiler/profile_db.h"
 #include "service/deadline.h"
 
+namespace dc::common {
+class Executor;
+} // namespace dc::common
+
 namespace dc::service {
 
 /**
@@ -76,32 +80,44 @@ class CctMerger
     mergeAll(const std::vector<const prof::ProfileDb *> &profiles,
              const std::vector<std::string> &run_ids);
 
+    /// Total tree nodes across the inputs below which
+    /// mergeAllPrevalidated folds serially regardless of worker count:
+    /// task handoff and partial-table reduction cost more than they
+    /// save on small merges (the old per-rebuild thread pools lost
+    /// ~13% on 1-run merges before this cutover existed).
+    static constexpr std::size_t kSerialNodeCutover = 4096;
+
     /**
      * Merge pre-validated profiles (warehouse trust boundary — every
-     * store ingestion path validates) with a parallel tree reduction:
-     * the run list is split into contiguous chunks, each chunk is
-     * folded into a partial CCT on its own worker thread, and partials
-     * are merged pairwise in parallel rounds until one remains. The
-     * merge is associative and commutative up to floating-point
-     * rounding, so the result is equivalent to the serial fold —
-     * structure and counts identical, double-typed stats equal up to
-     * rounding; metric ids and child insertion order may differ
-     * (resolve metrics by name when comparing).
+     * store ingestion path validates) with a parallel tree reduction
+     * on the shared executor: the run list is split into contiguous
+     * chunks, each chunk is folded into a partial CCT as one pool
+     * task, and partials are merged pairwise in parallel rounds until
+     * one remains. The merge is associative and commutative up to
+     * floating-point rounding, so the result is equivalent to the
+     * serial fold — structure and counts identical, double-typed
+     * stats equal up to rounding; metric ids and child insertion
+     * order may differ (resolve metrics by name when comparing).
      *
-     * @param workers Worker cap; 0 = one per available hardware thread.
-     * @param grain   Minimum runs per chunk; below 2*grain the serial
-     *                fold is used (thread spin-up would dominate).
+     * Adaptive cutover: merges totalling fewer than kSerialNodeCutover
+     * tree nodes (or fewer than 2*grain runs) fold serially on the
+     * calling thread.
+     *
+     * @param workers Chunk-width cap; 0 = the executor's pool width.
+     * @param grain   Minimum runs per chunk.
      * @param deadline Optional cancellation token, passed explicitly
-     *                because the reduction's worker threads do not
-     *                inherit the caller's thread-local ScopedDeadline.
-     *                Polled at run granularity; once expired the merge
-     *                is abandoned and nullptr returned (callers must
-     *                treat null as "no result", never cache it).
+     *                because pool workers do not inherit the caller's
+     *                thread-local ScopedDeadline. Polled at run
+     *                granularity; once expired the merge is abandoned
+     *                and nullptr returned (callers must treat null as
+     *                "no result", never cache it).
+     * @param executor Pool to fan out on; null = Executor::global().
      */
     static std::unique_ptr<prof::ProfileDb> mergeAllPrevalidated(
         const std::vector<const prof::ProfileDb *> &profiles,
         const std::vector<std::string> &run_ids, std::size_t workers = 0,
-        std::size_t grain = 4, const Deadline *deadline = nullptr);
+        std::size_t grain = 4, const Deadline *deadline = nullptr,
+        common::Executor *executor = nullptr);
 
   private:
     /// The accumulator tree, created on the first add() so it adopts

@@ -1,10 +1,13 @@
 #include "service/corpus_view.h"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
+#include "common/executor.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/lock_wait.h"
 #include "obs/trace_span.h"
 #include "service/cct_merger.h"
 #include "service/deadline.h"
@@ -22,6 +25,22 @@ viewHitCounter()
     static obs::Counter counter =
         obs::MetricsRegistry::global().counter("view.hit");
     return counter;
+}
+
+obs::Histogram &
+stripeWaitHistogram()
+{
+    static obs::Histogram hist = obs::MetricsRegistry::global().histogram(
+        "view.lock.stripe.wait_us");
+    return hist;
+}
+
+obs::Histogram &
+entryWaitHistogram()
+{
+    static obs::Histogram hist = obs::MetricsRegistry::global().histogram(
+        "view.lock.entry.wait_us");
+    return hist;
 }
 
 /**
@@ -64,6 +83,11 @@ CorpusView::CorpusView(const ProfileStore &store, Options options)
     : store_(store), options_(options)
 {
     DC_CHECK(options_.max_views > 0, "view cache needs capacity");
+    const std::size_t stripes =
+        std::max<std::size_t>(options_.stripes, 1);
+    stripes_.reserve(stripes);
+    for (std::size_t i = 0; i < stripes; ++i)
+        stripes_.push_back(std::make_unique<Stripe>());
 }
 
 std::string
@@ -83,33 +107,81 @@ CorpusView::signature(const QueryFilter &filter,
     return sig;
 }
 
+CorpusView::Stripe &
+CorpusView::stripeFor(const std::string &key) const
+{
+    return *stripes_[std::hash<std::string>{}(key) % stripes_.size()];
+}
+
 std::shared_ptr<CorpusView::Entry>
 CorpusView::entryFor(const std::string &key) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = entries_.find(key);
-    if (it == entries_.end())
-        it = entries_.emplace(key, std::make_shared<Entry>()).first;
-    it->second->last_used = ++use_counter_;
-    // LRU eviction beyond capacity (never the entry just requested).
-    // A builder still holding an evicted entry's shared_ptr finishes
+    Stripe &stripe = stripeFor(key);
+    std::shared_ptr<Entry> entry;
+    {
+        obs::WaitMeteredLock<std::mutex> lock(stripe.mutex,
+                                              stripeWaitHistogram());
+        auto it = stripe.entries.find(key);
+        if (it == stripe.entries.end()) {
+            it = stripe.entries.emplace(key, std::make_shared<Entry>())
+                     .first;
+            entry_count_.fetch_add(1, std::memory_order_relaxed);
+        }
+        entry = it->second;
+    }
+    entry->last_used.store(
+        use_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    // LRU eviction beyond capacity (never the entry just requested) —
+    // outside the stripe lock, since the sweep locks every stripe. A
+    // builder still holding an evicted entry's shared_ptr finishes
     // harmlessly on the orphan; its result is simply rebuilt next time.
-    while (entries_.size() > options_.max_views) {
-        auto victim = entries_.end();
-        for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
-            if (cur == it)
-                continue;
-            if (victim == entries_.end() ||
-                cur->second->last_used < victim->second->last_used) {
-                victim = cur;
+    if (entry_count_.load(std::memory_order_relaxed) >
+        options_.max_views) {
+        evictOverflow(entry.get());
+    }
+    return entry;
+}
+
+void
+CorpusView::evictOverflow(const Entry *keep) const
+{
+    // All-stripe lock in index order (the only multi-stripe path, so
+    // no ordering conflicts). Eviction is rare — the cache has to be
+    // over capacity — so the global sweep never sits on the hot path.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(stripes_.size());
+    for (const auto &stripe : stripes_)
+        locks.emplace_back(stripe->mutex);
+    std::size_t count = 0;
+    for (const auto &stripe : stripes_)
+        count += stripe->entries.size();
+    while (count > options_.max_views) {
+        Stripe *victim_stripe = nullptr;
+        std::map<std::string, std::shared_ptr<Entry>>::iterator victim;
+        std::uint64_t oldest = ~0ull;
+        for (const auto &stripe : stripes_) {
+            for (auto cur = stripe->entries.begin();
+                 cur != stripe->entries.end(); ++cur) {
+                if (cur->second.get() == keep)
+                    continue;
+                const std::uint64_t used =
+                    cur->second->last_used.load(
+                        std::memory_order_relaxed);
+                if (victim_stripe == nullptr || used < oldest) {
+                    victim_stripe = stripe.get();
+                    victim = cur;
+                    oldest = used;
+                }
             }
         }
-        if (victim == entries_.end())
+        if (victim_stripe == nullptr)
             break;
-        entries_.erase(victim);
-        ++stats_.evictions;
+        victim_stripe->entries.erase(victim);
+        entry_count_.fetch_sub(1, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        --count;
     }
-    return it->second;
 }
 
 std::shared_ptr<const CorpusView::View>
@@ -118,7 +190,11 @@ CorpusView::acquire(const QueryFilter &filter,
 {
     const std::shared_ptr<Entry> entry =
         entryFor(signature(filter, exclude_run));
-    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+    // Builder serialization per signature: waits here mean concurrent
+    // queries stacked behind one cold rebuild — the histogram makes
+    // that visible.
+    obs::WaitMeteredLock<std::mutex> entry_lock(entry->mutex,
+                                                entryWaitHistogram());
 
     // Read the digest before snapshotting: runs published after this
     // read are deliberately left for the next acquire, which will see
@@ -126,8 +202,7 @@ CorpusView::acquire(const QueryFilter &filter,
     const ProfileStore::Generation generation = store_.generation();
     if (entry->view != nullptr && entry->generation == generation) {
         viewHitCounter().add();
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.hits;
+        hits_.fetch_add(1, std::memory_order_relaxed);
         return entry->view;
     }
 
@@ -148,8 +223,7 @@ CorpusView::acquire(const QueryFilter &filter,
             // record the new digest so the next acquire is a pure hit.
             entry->generation = generation;
             viewHitCounter().add();
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.hits;
+            hits_.fetch_add(1, std::memory_order_relaxed);
             return entry->view;
         }
         auto refreshed = buildIncremental(*entry->view, fresh);
@@ -157,8 +231,7 @@ CorpusView::acquire(const QueryFilter &filter,
             return nullptr; // deadline expired; stale view kept as-is
         entry->view = std::move(refreshed);
         entry->generation = generation;
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.incremental;
+        incremental_.fetch_add(1, std::memory_order_relaxed);
         return entry->view;
     }
 
@@ -171,10 +244,7 @@ CorpusView::acquire(const QueryFilter &filter,
     }
     entry->view = std::move(built);
     entry->generation = generation;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.rebuilds;
-    }
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
     return entry->view;
 }
 
@@ -203,16 +273,71 @@ CorpusView::buildFull(const QueryFilter &filter,
     }
 
     // The caller's deadline token (unset outside a server request).
-    // The parallel reduction's workers cannot see the thread-local, so
-    // it crosses by pointer; the index loop below polls it directly.
+    // Pool workers cannot see the thread-local, so it crosses by
+    // pointer (the merge) and via TaskGroup (the aggregation below).
     const Deadline deadline = ScopedDeadline::current();
+    common::Executor &exec = executor();
     auto view = std::make_shared<View>();
     view->db = CctMerger::mergeAllPrevalidated(
         profiles, run_ids, options_.merge_workers, options_.merge_grain,
-        deadline.valid() ? &deadline : nullptr);
+        deadline.valid() ? &deadline : nullptr, &exec);
     if (view->db == nullptr)
         return nullptr; // merge abandoned at the deadline
     view->run_ids = std::move(run_ids);
+
+    // Parallel flat-table aggregation: chunks build partial kernel
+    // tables on the pool, then one reduction folds them together.
+    // Chunks keep the serial path's global run ordinals (i + 1) as
+    // their dedup marks, so marks stay globally unique and a later
+    // incremental refresh (which continues from run_ids.size()) can
+    // never collide with them.
+    const std::size_t index_grain =
+        std::max<std::size_t>(options_.index_grain, 1);
+    const std::size_t chunks =
+        std::min(exec.threads() + 1, selected.size() / index_grain);
+    if (chunks >= 2) {
+        std::vector<FlatIdTable<KernelStat>> parts(chunks);
+        common::TaskGroup group(exec, deadline);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            group.submit([&, c] {
+                const std::size_t begin = c * selected.size() / chunks;
+                const std::size_t end =
+                    (c + 1) * selected.size() / chunks;
+                for (std::size_t i = begin; i < end; ++i) {
+                    if (group.cancelled())
+                        return;
+                    if (deadline.expired()) {
+                        // A chunk abandoned mid-run would leave a
+                        // partial table; cancelling the group makes
+                        // the whole build abandon below.
+                        group.cancel();
+                        return;
+                    }
+                    indexRun(parts[c], *selected[i].second,
+                             view->db->metrics(),
+                             static_cast<std::uint32_t>(i + 1));
+                }
+            });
+        }
+        group.wait();
+        if (group.cancelled() || deadline.expired())
+            return nullptr;
+        for (const FlatIdTable<KernelStat> &part : parts) {
+            part.forEach([&](std::uint64_t key,
+                             const KernelStat &stat) {
+                KernelStat &agg = view->kernels.slot(key);
+                agg.total += stat.total;
+                agg.samples += stat.samples;
+                agg.runs += stat.runs;
+                // Keep the largest mark so refresh ordinals stay
+                // strictly above every mark already in the table.
+                agg.last_run_mark =
+                    std::max(agg.last_run_mark, stat.last_run_mark);
+            });
+        }
+        return view;
+    }
+
     for (std::size_t i = 0; i < selected.size(); ++i) {
         if (deadline.expired())
             return nullptr;
@@ -315,15 +440,24 @@ CorpusView::indexRun(FlatIdTable<KernelStat> &kernels,
 void
 CorpusView::invalidateAll() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    entries_.clear();
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(stripes_.size());
+    for (const auto &stripe : stripes_)
+        locks.emplace_back(stripe->mutex);
+    for (const auto &stripe : stripes_)
+        stripe->entries.clear();
+    entry_count_.store(0, std::memory_order_relaxed);
 }
 
 CorpusView::Stats
 CorpusView::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    Stats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.incremental = incremental_.load(std::memory_order_relaxed);
+    out.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    return out;
 }
 
 } // namespace dc::service

@@ -14,7 +14,12 @@
  *  - **Cache keying.** A view is keyed by the canonical signature of
  *    its QueryFilter (named fields + sorted metadata constraints) plus
  *    an optional excluded run id (for run-vs-corpus diffs). Entries are
- *    evicted least-recently-used beyond Options::max_views.
+ *    evicted least-recently-used beyond Options::max_views. The entry
+ *    map is striped by signature hash — the hot lookup takes one
+ *    stripe mutex (wait-metered into "view.lock.stripe.wait_us"), and
+ *    only the rare over-capacity eviction sweeps all stripes — so
+ *    concurrent queries for distinct signatures never serialize on
+ *    one cache lock.
  *
  *  - **Generation invalidation.** ProfileStore keeps a monotonic
  *    Generation digest (publication low-water mark + erase count).
@@ -32,14 +37,17 @@
  *
  *  - **Parallel full rebuild.** First touch, eviction, or an erase
  *    (merged stats are not invertible) rebuilds from scratch via
- *    CctMerger::mergeAllPrevalidated's pairwise tree reduction across
- *    a small worker pool.
+ *    CctMerger::mergeAllPrevalidated's pairwise tree reduction on the
+ *    shared executor, and the per-kernel flat-table aggregation fans
+ *    out the same way (chunked partial tables, reduced once at the
+ *    end) — a cold topKernels uses every core twice over.
  *
  * Views are immutable once published and handed out as shared_ptr, so
  * queries hold a consistent view while ingestion, invalidation, and
  * eviction proceed concurrently.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -47,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/string_table.h"
 #include "profiler/profile_db.h"
 #include "service/profile_store.h"
@@ -65,12 +74,19 @@ class CorpusView
     struct Options {
         /// Cached views kept before least-recently-used eviction.
         std::size_t max_views = 8;
-        /// Worker cap for parallel full rebuilds; 0 = one per
-        /// available hardware thread.
+        /// Chunk-width cap for parallel full rebuilds; 0 = the
+        /// executor's pool width.
         std::size_t merge_workers = 0;
         /// Minimum runs per reduction chunk (below 2x this, rebuilds
-        /// fold serially — thread spin-up would dominate).
+        /// fold serially; CctMerger::kSerialNodeCutover also applies).
         std::size_t merge_grain = 4;
+        /// Mutex stripes for the entry map (clamped to >= 1).
+        std::size_t stripes = 8;
+        /// Minimum runs per parallel kernel-aggregation chunk; below
+        /// 2x this a cold build indexes runs serially.
+        std::size_t index_grain = 8;
+        /// Pool rebuild work fans out on; null = Executor::global().
+        common::Executor *executor = nullptr;
     };
 
     /**
@@ -160,15 +176,33 @@ class CorpusView
 
   private:
     /// One cache slot; the entry mutex serializes builders for the
-    /// signature and guards view/generation.
+    /// signature and guards view/generation. last_used is atomic so
+    /// touches never take more than the owning stripe's lock while
+    /// the eviction sweep reads it under all stripes' locks.
     struct Entry {
         std::mutex mutex;
         std::shared_ptr<const View> view;
         ProfileStore::Generation generation{};
-        std::uint64_t last_used = 0;
+        std::atomic<std::uint64_t> last_used{0};
     };
 
+    /// One shard of the entry map; keyed lookups lock exactly one.
+    struct Stripe {
+        mutable std::mutex mutex;
+        std::map<std::string, std::shared_ptr<Entry>> entries;
+    };
+
+    Stripe &stripeFor(const std::string &key) const;
     std::shared_ptr<Entry> entryFor(const std::string &key) const;
+    /// Evict global-LRU entries (never @p keep) until the cache fits
+    /// max_views again; locks every stripe, in index order.
+    void evictOverflow(const Entry *keep) const;
+    common::Executor &executor() const
+    {
+        return options_.executor != nullptr
+                   ? *options_.executor
+                   : common::Executor::global();
+    }
 
     std::shared_ptr<const View>
     buildFull(const QueryFilter &filter, const std::string &exclude_run,
@@ -192,10 +226,16 @@ class CorpusView
     const ProfileStore &store_;
     Options options_;
 
-    mutable std::mutex mutex_; ///< Guards entries_, use/stat counters.
-    mutable std::map<std::string, std::shared_ptr<Entry>> entries_;
-    mutable std::uint64_t use_counter_ = 0;
-    mutable Stats stats_;
+    mutable std::vector<std::unique_ptr<Stripe>> stripes_;
+    mutable std::atomic<std::uint64_t> use_counter_{0};
+    /// Entries across all stripes (capacity check without locking).
+    mutable std::atomic<std::size_t> entry_count_{0};
+    // Stats cells are atomics so the hot path never shares a cache
+    // lock just to count a hit.
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> incremental_{0};
+    mutable std::atomic<std::uint64_t> rebuilds_{0};
+    mutable std::atomic<std::uint64_t> evictions_{0};
 };
 
 } // namespace dc::service

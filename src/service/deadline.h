@@ -2,112 +2,20 @@
 
 /**
  * @file
- * Request deadlines as cooperative cancellation tokens.
- *
- * A deadline is an absolute monotonic timestamp (obs::nowNs()
- * timebase). The wire front end stamps one onto every request that
- * carries a deadline_ms header field and *propagates* it to the query
- * path with a ScopedDeadline: the token rides thread-local storage, so
- * the deep cold-rebuild code (CorpusView::buildFull, CctMerger's
- * reduction) can check it without threading a parameter through every
- * public query signature. Long operations poll expired() at natural
- * work boundaries — per run folded into a merge, per run indexed into
- * an aggregate table — and abandon the operation, so a timed-out query
- * returns within one work unit of its deadline instead of stalling a
- * server worker for the whole rebuild.
- *
- * The parallel merge reduction spawns its own worker threads, which do
- * not inherit the caller's thread-local token; code that fans out must
- * capture current() by value and hand it to the workers explicitly
- * (CctMerger::mergeAllPrevalidated does).
- *
- * An abandoned build surfaces as a null view / null result from the
- * layer that owns it; the server maps "deadline expired" onto the
- * DEADLINE_EXCEEDED wire status. Nothing partial is ever cached.
+ * Compatibility shim: Deadline/ScopedDeadline moved to
+ * common/deadline.h so the shared executor (common/executor.h) can
+ * propagate deadlines without depending on the service layer. The
+ * service-namespace names below keep every existing caller compiling
+ * unchanged; new code may use either namespace — they alias the same
+ * types and the same thread-local token.
  */
 
-#include <cstdint>
-
-#include "obs/obs.h"
+#include "common/deadline.h"
 
 namespace dc::service {
 
-/** Absolute monotonic deadline; default-constructed = no deadline. */
-class Deadline
-{
-  public:
-    Deadline() = default;
-
-    /** Deadline @p ns nanoseconds from now (0 = already expired). */
-    static Deadline after(std::uint64_t ns)
-    {
-        Deadline d;
-        d.deadline_ns_ = obs::nowNs() + ns;
-        return d;
-    }
-
-    /** Deadline @p ms milliseconds from now. */
-    static Deadline afterMs(std::uint64_t ms)
-    {
-        return after(ms * 1'000'000ull);
-    }
-
-    /** Whether a deadline is set at all. */
-    bool valid() const { return deadline_ns_ != 0; }
-
-    /** Whether the deadline is set and has passed. */
-    bool expired() const
-    {
-        return valid() && obs::nowNs() >= deadline_ns_;
-    }
-
-    /** Nanoseconds left; 0 when expired, UINT64_MAX when unset. */
-    std::uint64_t remainingNs() const
-    {
-        if (!valid())
-            return ~0ull;
-        const std::uint64_t now = obs::nowNs();
-        return now >= deadline_ns_ ? 0 : deadline_ns_ - now;
-    }
-
-  private:
-    std::uint64_t deadline_ns_ = 0; ///< 0 = none.
-};
-
-namespace detail {
-inline thread_local Deadline t_current_deadline;
-} // namespace detail
-
-/**
- * RAII propagation of a Deadline to everything this thread calls while
- * the scope is open. Nests: the inner scope wins, the outer token is
- * restored on exit.
- */
-class ScopedDeadline
-{
-  public:
-    explicit ScopedDeadline(Deadline deadline)
-        : previous_(detail::t_current_deadline)
-    {
-        detail::t_current_deadline = deadline;
-    }
-    ~ScopedDeadline() { detail::t_current_deadline = previous_; }
-
-    ScopedDeadline(const ScopedDeadline &) = delete;
-    ScopedDeadline &operator=(const ScopedDeadline &) = delete;
-
-    /** The innermost deadline active on this thread (maybe unset). */
-    static Deadline current() { return detail::t_current_deadline; }
-
-  private:
-    Deadline previous_;
-};
-
-/** Whether the calling thread's active deadline has passed. */
-inline bool
-deadlineExpired()
-{
-    return ScopedDeadline::current().expired();
-}
+using common::Deadline;
+using common::deadlineExpired;
+using common::ScopedDeadline;
 
 } // namespace dc::service

@@ -13,15 +13,6 @@ namespace dc::service {
 
 namespace {
 
-std::size_t
-resolveWorkers(std::size_t requested)
-{
-    if (requested > 0)
-        return requested;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
-}
-
 obs::SpanSite s_ingest_span{"warehouse.ingest"};
 obs::SpanSite s_erase_span{"warehouse.erase"};
 obs::SpanSite s_recover_span{"warehouse.recover"};
@@ -102,16 +93,16 @@ ProfileStore::ProfileStore(Options options)
     for (std::size_t i = 0; i < options.shards; ++i)
         shards_.push_back(std::make_unique<Shard>());
 
-    // Recover before the workers start: replay is single-threaded, so
-    // it can insert and meter interning without the concurrent-path
-    // guards.
+    // Recover before ingestion can start: replay is single-threaded,
+    // so it can insert and meter interning without the
+    // concurrent-path guards.
     if (!options.data_dir.empty())
         openAndReplayLog(options);
 
-    const std::size_t workers = resolveWorkers(options.workers);
-    workers_.reserve(workers);
-    for (std::size_t i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    executor_ = options.executor != nullptr
+                    ? options.executor
+                    : &common::Executor::global();
+    worker_limit_ = common::Executor::resolveThreads(options.workers);
     if (log_ != nullptr)
         reattach_thread_ = std::thread([this] { reattachLoop(); });
 }
@@ -242,16 +233,17 @@ ProfileStore::~ProfileStore()
     {
         std::unique_lock<std::mutex> lock(queue_mutex_);
         stopping_ = true;
-        queue_cv_.notify_all();
         space_cv_.notify_all();
         // Let producers blocked on backpressure finish their (rejected)
-        // calls before members are torn down. Calls *started* after
-        // destruction begins are caller UB, as for any C++ object.
-        idle_cv_.wait(lock,
-                      [this] { return active_producers_ == 0; });
+        // calls before members are torn down, then let the pooled
+        // drainers empty the queue and retire — a drain task running
+        // on the shared executor must never touch a freed store.
+        // Calls *started* after destruction begins are caller UB, as
+        // for any C++ object.
+        idle_cv_.wait(lock, [this] {
+            return active_producers_ == 0 && drainers_ == 0;
+        });
     }
-    for (std::thread &worker : workers_)
-        worker.join();
     if (reattach_thread_.joinable()) {
         {
             std::lock_guard<std::mutex> lock(reattach_mutex_);
@@ -320,11 +312,12 @@ ProfileStore::ingestFile(std::string run_id, std::string path)
 void
 ProfileStore::enqueue(Task task)
 {
+    bool schedule = false;
     {
         std::unique_lock<std::mutex> lock(queue_mutex_);
         ++active_producers_;
         ++stats_.enqueued;
-        // Backpressure: block the producer until the workers catch up
+        // Backpressure: block the producer until the drainers catch up
         // (or the store is shutting down). The byte bound is a
         // high-water mark, so one oversized payload still gets through
         // when the queue is otherwise empty.
@@ -344,24 +337,43 @@ ProfileStore::enqueue(Task task)
         }
         queued_bytes_ += task.bytes;
         queue_.push_back(std::move(task));
-        // Notify while still counted as an active producer: once the
-        // count drops, the destructor may tear the CVs down.
-        queue_cv_.notify_one();
+        if (drainers_ < worker_limit_) {
+            ++drainers_;
+            schedule = true;
+        }
+    }
+    // The submit happens outside queue_mutex_: a saturated pool runs
+    // the drain inline on this thread (synchronous ingestion is the
+    // overflow backpressure), which must not deadlock on our own
+    // lock. We stay counted as a producer until after it returns, so
+    // the destructor cannot win the race between our push and the
+    // pool accepting the task.
+    if (schedule)
+        executor_->submit([this] { drainQueue(); });
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
         --active_producers_;
+        if (active_producers_ == 0)
+            idle_cv_.notify_all();
     }
 }
 
 void
-ProfileStore::workerLoop()
+ProfileStore::drainQueue()
 {
     for (;;) {
         Task task;
         {
-            std::unique_lock<std::mutex> lock(queue_mutex_);
-            queue_cv_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty())
-                return; // stopping_ and drained
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            if (queue_.empty()) {
+                // Retire. Invariant: a non-empty queue always has at
+                // least one live drainer, because every push either
+                // found one (drainers_ > 0 while we only retire
+                // empty) or scheduled one.
+                --drainers_;
+                idle_cv_.notify_all();
+                return;
+            }
             task = std::move(queue_.front());
             queue_.pop_front();
             queued_bytes_ -= task.bytes;

@@ -3,15 +3,19 @@
 /**
  * @file
  * The profile warehouse's storage tier: a sharded in-memory store of
- * finished profiles keyed by run id, fed by a worker thread pool that
- * drains an ingestion queue.
+ * finished profiles keyed by run id, fed by an ingestion queue drained
+ * on the shared executor (common/executor.h).
  *
  * Profiles arrive three ways: an in-process handoff of a ProfileDb (the
  * path a resident Profiler uses), serialized text, or a file path read
  * via ProfileDb::tryLoad (never the panicking load() — one corrupt file
- * must not abort the service). Parsing happens on the workers, off the
- * caller's thread, so a frontend can enqueue a fleet of runs and overlap the
- * (CPU-bound) deserialization across cores. Shards keep lock contention
+ * must not abort the service). Parsing happens on pool drain tasks, off
+ * the caller's thread, so a frontend can enqueue a fleet of runs and
+ * overlap the (CPU-bound) deserialization across cores: an enqueue
+ * schedules a drainer (up to Options::workers concurrent ones), each
+ * drainer processes tasks until the queue is empty and exits — the
+ * store holds no idle ingestion threads of its own, and ingestion
+ * shares cores with query rebuilds under one process-wide pool. Shards keep lock contention
  * flat as the corpus and the reader count grow; readers receive
  * shared_ptr snapshots so queries never block ingestion of other runs.
  *
@@ -48,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/string_table.h"
 #include "profiler/profile_db.h"
 #include "service/warehouse_log.h"
@@ -136,9 +141,11 @@ class ProfileStore
 {
   public:
     struct Options {
-        /// Worker threads draining the ingestion queue; 0 = one per
-        /// available hardware thread (at least 1).
+        /// Concurrent executor drain tasks processing the ingestion
+        /// queue; 0 = one per available hardware thread (at least 1).
         std::size_t workers = 0;
+        /// Pool the drain tasks run on; null = Executor::global().
+        common::Executor *executor = nullptr;
         /// Shard count for the run-id keyed map.
         std::size_t shards = 16;
         /// Backpressure: enqueueing blocks while this many tasks are
@@ -433,7 +440,9 @@ class ProfileStore
     const Shard &shardFor(const std::string &run_id) const;
 
     void enqueue(Task task);
-    void workerLoop();
+    /// One pooled drain task: process queued ingestions until the
+    /// queue is empty, then retire (enqueue() schedules replacements).
+    void drainQueue();
     void process(Task &task);
     void recordFailure(const std::string &run_id, std::string error);
     /// Requires queue_mutex_ held.
@@ -561,25 +570,30 @@ class ProfileStore
 
     // Ingestion queue state.
     mutable std::mutex queue_mutex_;
-    std::condition_variable queue_cv_; ///< Signals workers: work/stop.
-    std::condition_variable idle_cv_;  ///< Signals waiters: queue drained.
+    std::condition_variable idle_cv_;  ///< Signals waiters: queue
+                                       ///< drained / producers and
+                                       ///< drainers retired.
     std::condition_variable space_cv_; ///< Signals producers: queue room.
     std::deque<Task> queue_;
     std::size_t max_queue_ = 1024;
     std::uint64_t max_queue_bytes_ = 256ull << 20;
     std::uint64_t max_interned_bytes_ = 1ull << 30;
     std::uint64_t queued_bytes_ = 0; ///< Payload bytes in queue_.
-    std::size_t active_workers_ = 0;   ///< Workers mid-task.
+    std::size_t active_workers_ = 0;   ///< Drainers mid-task.
     std::size_t active_producers_ = 0; ///< Threads inside enqueue();
                                        ///< the destructor waits for
                                        ///< them so an in-flight ingest
                                        ///< call never touches a freed
                                        ///< store.
+    /// Drain tasks scheduled or running on the executor. The
+    /// destructor waits for 0 so no pool task outlives the store.
+    std::size_t drainers_ = 0;
     bool stopping_ = false;
     StoreStats stats_;
     std::vector<std::pair<std::string, std::string>> failures_;
 
-    std::vector<std::thread> workers_;
+    common::Executor *executor_ = nullptr; ///< Never null after ctor.
+    std::size_t worker_limit_ = 1;         ///< Max concurrent drainers.
 };
 
 } // namespace dc::service

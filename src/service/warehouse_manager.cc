@@ -6,6 +6,8 @@
 
 #include <unistd.h>
 
+#include "common/executor.h"
+#include "common/failpoint.h"
 #include "common/fs.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -18,6 +20,11 @@ namespace dc::service {
 namespace {
 
 constexpr const char *kDropPrefix = ".drop-";
+
+/// Fires at the start of every federated leg, on the pool thread that
+/// runs it — delay() specs here stall one leg without touching the
+/// others (leg-overlap and stalled-leg tests).
+failpoint::Site s_fp_federated_leg{"mgr.federated.leg"};
 
 obs::Counter &
 openedCounter()
@@ -522,41 +529,76 @@ WarehouseManager::federatedTopKernels(
     }
     federatedCounter().add();
 
-    // Gather by *name*: each corpus's view keys kernels by its own
-    // table's interned ids, which do not unify across stores — the
-    // string is the only cross-corpus identity.
-    std::map<std::string, KernelAggregate> by_name;
-    for (const CorpusHandle &handle : handles) {
-        if (deadlineExpired()) {
-            setError(error, "deadline expired mid-federation");
-            return std::nullopt;
-        }
-        const std::shared_ptr<const CorpusView::View> view =
-            handle->engine.corpusView().acquire(filter);
-        if (view == nullptr) { // rebuild abandoned at the deadline
-            setError(error,
-                     strformat("deadline expired building corpus '%s'",
-                               handle->id.c_str()));
-            return std::nullopt;
-        }
-        const int metric_id = view->db->metrics().find(metric);
-        if (metric_id < 0)
-            continue; // corpus never recorded this metric
-        const StringTable &names = view->db->names();
-        view->kernels.forEach([&](std::uint64_t key,
-                                  const CorpusView::KernelStat &stat) {
-            if (FlatIdTable<CorpusView::KernelStat>::packedLow(key) !=
-                metric_id) {
+    // Scatter: each leg walks its own corpus's view on the pool and
+    // aggregates by *name* into a private map — each corpus's view
+    // keys kernels by its own table's interned ids, which do not
+    // unify across stores, so the string is the only cross-corpus
+    // identity. Legs skipped at an expired deadline leave done=false.
+    struct Leg {
+        std::map<std::string, KernelAggregate> by_name;
+        bool done = false;
+        bool expired = false;
+    };
+    std::vector<Leg> legs(handles.size());
+    common::TaskGroup group(executor());
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        group.submit([&, i] {
+            s_fp_federated_leg.eval();
+            const CorpusHandle &handle = handles[i];
+            const std::shared_ptr<const CorpusView::View> view =
+                handle->engine.corpusView().acquire(filter);
+            if (view == nullptr) { // rebuild abandoned at the deadline
+                legs[i].expired = true;
                 return;
             }
-            const StringTable::Id name_id =
-                FlatIdTable<CorpusView::KernelStat>::packedId(key);
-            KernelAggregate &agg =
-                by_name[std::string(names.str(name_id))];
-            agg.total += stat.total;
-            agg.samples += stat.samples;
-            agg.runs += stat.runs;
+            legs[i].done = true;
+            const int metric_id = view->db->metrics().find(metric);
+            if (metric_id < 0)
+                return; // corpus never recorded this metric
+            const StringTable &names = view->db->names();
+            view->kernels.forEach(
+                [&](std::uint64_t key,
+                    const CorpusView::KernelStat &stat) {
+                    if (FlatIdTable<CorpusView::KernelStat>::packedLow(
+                            key) != metric_id) {
+                        return;
+                    }
+                    const StringTable::Id name_id =
+                        FlatIdTable<CorpusView::KernelStat>::packedId(
+                            key);
+                    KernelAggregate &agg =
+                        legs[i].by_name[std::string(names.str(name_id))];
+                    agg.total += stat.total;
+                    agg.samples += stat.samples;
+                    agg.runs += stat.runs;
+                });
         });
+    }
+    group.wait();
+
+    // Gather in handle order: the first failed leg names its corpus;
+    // a deadline that expired mid-scatter (legs skipped, or it ran
+    // out while a stalled leg finished) abandons the whole query.
+    std::map<std::string, KernelAggregate> by_name;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        if (legs[i].expired) {
+            setError(error,
+                     strformat("deadline expired building corpus '%s'",
+                               handles[i]->id.c_str()));
+            return std::nullopt;
+        }
+    }
+    if (group.cancelled() || deadlineExpired()) {
+        setError(error, "deadline expired mid-federation");
+        return std::nullopt;
+    }
+    for (Leg &leg : legs) {
+        for (auto &[name, partial] : leg.by_name) {
+            KernelAggregate &agg = by_name[name];
+            agg.total += partial.total;
+            agg.samples += partial.samples;
+            agg.runs += partial.runs;
+        }
     }
 
     std::vector<KernelAggregate> ranked;
@@ -590,31 +632,57 @@ WarehouseManager::federatedMerged(const std::vector<std::string> &corpora,
     }
     federatedCounter().add();
 
+    // Scatter: every corpus materializes its merged view on the pool.
+    struct Leg {
+        std::shared_ptr<const prof::ProfileDb> db;
+        bool empty = false;
+        bool expired = false;
+    };
+    std::vector<Leg> legs(handles.size());
+    common::TaskGroup group(executor());
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        group.submit([&, i] {
+            s_fp_federated_leg.eval();
+            const CorpusHandle &handle = handles[i];
+            // A corpus with no matching runs contributes nothing;
+            // folding its empty merged view in anyway would wipe the
+            // metadata agreement (empty metadata intersects
+            // everything away).
+            if (handle->engine.runIds(filter).empty()) {
+                legs[i].empty = true;
+                return;
+            }
+            legs[i].db = handle->engine.merged(filter);
+            if (legs[i].db == nullptr) // abandoned at the deadline
+                legs[i].expired = true;
+        });
+    }
+    group.wait();
+
+    // Gather in handle order, so the merged result is byte-identical
+    // to the old serial walk regardless of leg completion order.
     CctMerger merger;
-    for (const CorpusHandle &handle : handles) {
-        if (deadlineExpired()) {
-            setError(error, "deadline expired mid-federation");
-            return nullptr;
-        }
-        // A corpus with no matching runs contributes nothing; folding
-        // its empty merged view in anyway would wipe the metadata
-        // agreement (empty metadata intersects everything away).
-        if (handle->engine.runIds(filter).empty())
-            continue;
-        const std::shared_ptr<const prof::ProfileDb> leg =
-            handle->engine.merged(filter);
-        if (leg == nullptr) { // rebuild abandoned at the deadline
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        if (legs[i].expired) {
             setError(error,
                      strformat("deadline expired merging corpus '%s'",
-                               handle->id.c_str()));
+                               handles[i]->id.c_str()));
             return nullptr;
         }
+    }
+    if (group.cancelled() || deadlineExpired()) {
+        setError(error, "deadline expired mid-federation");
+        return nullptr;
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        if (legs[i].empty)
+            continue;
         // Per-corpus trees intern through different StringTables; the
         // merger adopts the first leg's table and every later leg
         // takes Cct::mergeFrom's NameTranslator path. Store-held
         // profiles were validated at ingestion and the views merged
         // them unchanged, so the legs stay prevalidated.
-        merger.addPrevalidated(*leg, "corpus:" + handle->id);
+        merger.addPrevalidated(*legs[i].db, "corpus:" + handles[i]->id);
     }
     return merger.finish();
 }

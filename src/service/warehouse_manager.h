@@ -32,13 +32,19 @@
  *
  *  - **federates queries.** federatedTopKernels / federatedMerged /
  *    federatedDiff / federatedFlameGraph scatter over each corpus's
- *    cached CorpusView and gather across stores. Per-corpus trees
+ *    cached CorpusView and gather across stores. The per-corpus legs
+ *    fan out on the shared executor (common/executor.h) — one slow or
+ *    cold corpus no longer serializes the rest — and the gather folds
+ *    leg results in deterministic corpus order, so federated answers
+ *    are byte-identical to the old serial walk. Per-corpus trees
  *    intern through *different* StringTables, so the gather leg goes
  *    through CctMerger's cross-table NameTranslator path (and the
  *    aggregate gather unifies kernels by name). The calling thread's
- *    ScopedDeadline (deadline.h) propagates into every per-corpus
- *    leg: cold rebuilds poll it, and the gather checks it between
- *    legs — an expired deadline abandons the query, never stalls it.
+ *    ScopedDeadline (deadline.h) propagates into every leg via the
+ *    TaskGroup: cold rebuilds poll it, legs not yet started are
+ *    skipped once it expires, and the gather re-checks it — an
+ *    expired deadline abandons the query within a bounded grace
+ *    while already-running legs finish and warm their view caches.
  */
 
 #include <condition_variable>
@@ -51,6 +57,7 @@
 #include <vector>
 
 #include "analyzer/diff.h"
+#include "common/executor.h"
 #include "gui/flamegraph.h"
 #include "profiler/profile_db.h"
 #include "service/profile_store.h"
@@ -126,6 +133,8 @@ class WarehouseManager
         ProfileStore::Options store;
         /// Per-corpus query-engine (view cache) template.
         QueryEngine::Options engine;
+        /// Pool federated legs scatter on; null = Executor::global().
+        common::Executor *executor = nullptr;
     };
 
     WarehouseManager() : WarehouseManager(Options{}) {}
@@ -283,6 +292,12 @@ class WarehouseManager
     /// federated query.
     bool resolveAll(const std::vector<std::string> &corpora,
                     std::vector<CorpusHandle> *out, std::string *error);
+    common::Executor &executor() const
+    {
+        return options_.executor != nullptr
+                   ? *options_.executor
+                   : common::Executor::global();
+    }
 
     Options options_;
     mutable std::mutex mutex_;

@@ -15,6 +15,7 @@
 #include "common/string_table.h"
 #include "service/cct_merger.h"
 #include "service/corpus_view.h"
+#include "service/deadline.h"
 #include "service/profile_store.h"
 #include "service/query_engine.h"
 
@@ -265,6 +266,31 @@ TEST(CorpusView, CachedViewServedUntilGenerationChanges)
     EXPECT_NE(rebuilt.get(), first.get());
     EXPECT_EQ(engine.corpusView().stats().rebuilds, 2u);
     expectEquivalentProfile(*rebuilt, *scratchMerge(store));
+}
+
+TEST(CorpusView, AbandonedPooledRebuildNeverCached)
+{
+    ProfileStore store;
+    for (int i = 0; i < 32; ++i)
+        store.ingest("run-" + std::to_string(i), makeProfile(i));
+    store.waitIdle();
+
+    service::CorpusView view(store);
+    {
+        service::ScopedDeadline expired(service::Deadline::after(0));
+        EXPECT_EQ(view.acquire({}), nullptr)
+            << "an expired deadline must abandon the pooled rebuild";
+    }
+    EXPECT_EQ(view.stats().hits, 0u);
+
+    // The abandoned build left nothing behind: a deadline-free
+    // acquire runs a full cold rebuild and only then caches.
+    const auto built = view.acquire({});
+    ASSERT_NE(built, nullptr);
+    EXPECT_EQ(view.stats().hits, 0u);
+    EXPECT_GE(view.stats().rebuilds, 1u);
+    EXPECT_EQ(view.acquire({}).get(), built.get());
+    EXPECT_EQ(view.stats().hits, 1u);
 }
 
 TEST(CorpusView, IncrementalRefreshMatchesScratchMerge)

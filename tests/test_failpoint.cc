@@ -14,6 +14,7 @@
 #include <fstream>
 #include <thread>
 
+#include "common/executor.h"
 #include "common/failpoint.h"
 #include "common/fs.h"
 #include "common/rng.h"
@@ -453,8 +454,13 @@ TEST(Failpoint, GroupCommitBatchesFsyncsUnderConcurrentIngest)
 {
     FailpointGuard guard;
     const std::string dir = freshDir("fp_group_commit");
+    // Ingestion drains on the executor, so concurrent appends need a
+    // pool at least as wide as the drainer cap — the host's core
+    // count must not decide whether group commit gets exercised.
+    common::Executor executor({.threads = 4});
     ProfileStore::Options options;
     options.workers = 4;
+    options.executor = &executor;
     options.data_dir = dir;
     // Stretch each fsync so concurrent appends pile up behind the
     // leader — the batching is then deterministic, not a scheduling

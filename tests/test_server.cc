@@ -479,6 +479,14 @@ TEST(WireServer, IngestQueryRoundTrip)
               std::string::npos);
     EXPECT_NE(stats.payload.find("store.log_degraded_since_ns="),
               std::string::npos);
+    // Shared-executor pool health is always exported (the counters
+    // are the executor's own atomics, not DC_OBS metrics).
+    EXPECT_NE(stats.payload.find("exec.threads="), std::string::npos);
+    EXPECT_NE(stats.payload.find("exec.submitted="), std::string::npos);
+    EXPECT_NE(stats.payload.find("exec.executed="), std::string::npos);
+    EXPECT_NE(stats.payload.find("exec.stolen="), std::string::npos);
+    EXPECT_NE(stats.payload.find("exec.inline_run="), std::string::npos);
+    EXPECT_NE(stats.payload.find("exec.queued="), std::string::npos);
 
     EXPECT_EQ(client.erase("run-0").status, Status::kOk);
     EXPECT_EQ(client.erase("run-0").status, Status::kNotFound);

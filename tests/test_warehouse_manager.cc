@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "analyzer/diff.h"
+#include "common/executor.h"
+#include "common/failpoint.h"
 #include "common/fs.h"
 #include "common/rng.h"
 #include "profiler/profile_db.h"
@@ -550,6 +552,110 @@ TEST(FederatedQuery, ErrorsAndDeadlines)
     EXPECT_NE(error.find("deadline"), std::string::npos) << error;
     EXPECT_EQ(manager.federatedMerged({"a"}, {}, &error), nullptr);
     EXPECT_NE(error.find("deadline"), std::string::npos) << error;
+}
+
+TEST(FederatedQuery, LegsOverlapOnTheExecutor)
+{
+    // The scatter must fan legs out on the pool, not walk corpora
+    // serially: with every leg stalled by the same failpoint delay,
+    // two legs on a two-thread pool finish in ~one delay, while the
+    // old serial walk needed the sum.
+    struct FailpointGuard {
+        ~FailpointGuard() { failpoint::clearAll(); }
+    } guard;
+    common::Executor executor({.threads = 2});
+    WarehouseManager::Options options = volatileOptions();
+    options.executor = &executor;
+    WarehouseManager manager(options);
+    std::string error;
+    CorpusHandle a = manager.create("a", &error);
+    ASSERT_NE(a, nullptr) << error;
+    CorpusHandle b = manager.create("b", &error);
+    ASSERT_NE(b, nullptr) << error;
+    ingestNow(a, "a0", makeProfile(1));
+    ingestNow(b, "b0", makeProfile(2));
+
+    constexpr std::uint64_t kDelayMs = 300;
+    ASSERT_TRUE(failpoint::set("mgr.federated.leg",
+                               "delay(" + std::to_string(kDelayMs) +
+                                   ")"));
+    const auto start = std::chrono::steady_clock::now();
+    const auto top =
+        manager.federatedTopKernels({"a", "b"}, 8, {},
+                                    prof::metric_names::kGpuTime,
+                                    &error);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    ASSERT_TRUE(top.has_value()) << error;
+    EXPECT_FALSE(top->empty());
+    EXPECT_EQ(failpoint::fireCount("mgr.federated.leg"), 2u)
+        << "both legs ran through the failpoint";
+    EXPECT_GE(elapsed.count(), static_cast<long>(kDelayMs));
+    EXPECT_LT(elapsed.count(), static_cast<long>(2 * kDelayMs))
+        << "legs serialized: " << elapsed.count() << "ms for two "
+        << kDelayMs << "ms legs";
+}
+
+TEST(FederatedQuery, StalledLegYieldsDeadlineWhileOthersComplete)
+{
+    // One stalled corpus must not stall the query past its deadline:
+    // the caller gets the deadline error within a bounded grace (the
+    // stalled leg's delay, not some unbounded wait), and the legs
+    // that did run have warmed their view caches for the retry.
+    struct FailpointGuard {
+        ~FailpointGuard() { failpoint::clearAll(); }
+    } guard;
+    common::Executor executor({.threads = 2});
+    WarehouseManager::Options options = volatileOptions();
+    options.executor = &executor;
+    WarehouseManager manager(options);
+    std::string error;
+    CorpusHandle a = manager.create("a", &error);
+    ASSERT_NE(a, nullptr) << error;
+    CorpusHandle b = manager.create("b", &error);
+    ASSERT_NE(b, nullptr) << error;
+    ingestNow(a, "a0", makeProfile(1));
+    ingestNow(b, "b0", makeProfile(2));
+
+    // Exactly one leg (whichever evaluates the site first) stalls
+    // well past the deadline; the other proceeds immediately.
+    constexpr std::uint64_t kStallMs = 400;
+    ASSERT_TRUE(failpoint::set("mgr.federated.leg",
+                               "delay(" + std::to_string(kStallMs) +
+                                   "):hit=1"));
+    const auto start = std::chrono::steady_clock::now();
+    {
+        service::ScopedDeadline deadline(
+            service::Deadline::afterMs(50));
+        EXPECT_FALSE(manager
+                         .federatedTopKernels(
+                             {"a", "b"}, 8, {},
+                             prof::metric_names::kGpuTime, &error)
+                         .has_value());
+    }
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    EXPECT_NE(error.find("deadline"), std::string::npos) << error;
+    EXPECT_LT(elapsed.count(), static_cast<long>(3 * kStallMs))
+        << "grace is bounded by the stalled leg, not an open wait";
+    EXPECT_EQ(failpoint::fireCount("mgr.federated.leg"), 1u)
+        << "exactly one leg stalled";
+
+    // The legs that ran cached what they built: a deadline-free retry
+    // serves at least one corpus from its warmed view.
+    failpoint::clearAll();
+    const auto retry =
+        manager.federatedTopKernels({"a", "b"}, 8, {},
+                                    prof::metric_names::kGpuTime,
+                                    &error);
+    ASSERT_TRUE(retry.has_value()) << error;
+    const auto view_stats = [](const CorpusHandle &handle) {
+        return handle->engine.corpusView().stats();
+    };
+    EXPECT_GE(view_stats(a).hits + view_stats(b).hits, 1u)
+        << "no view survived the stalled federated call";
 }
 
 // ================================================================
