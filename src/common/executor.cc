@@ -203,7 +203,7 @@ Executor::popTask(std::size_t self, Task *out)
 }
 
 bool
-Executor::stealTask(Task *out)
+Executor::stealTask(Task *out, const void *only_tag)
 {
     const std::size_t n = workers_.size();
     const std::size_t start = static_cast<std::size_t>(
@@ -211,10 +211,17 @@ Executor::stealTask(Task *out)
     for (std::size_t i = 0; i < n; ++i) {
         Worker &victim = *workers_[(start + i) % n];
         std::lock_guard<std::mutex> lock(victim.mutex);
-        if (victim.queue.empty())
+        auto it = victim.queue.begin();
+        if (only_tag != nullptr) {
+            // Oldest matching task; a linear scan is fine — queues are
+            // bounded and tasks are coarse.
+            while (it != victim.queue.end() && it->tag != only_tag)
+                ++it;
+        }
+        if (it == victim.queue.end())
             continue;
-        *out = std::move(victim.queue.front());
-        victim.queue.pop_front();
+        *out = std::move(*it);
+        victim.queue.erase(it);
         queued_.fetch_sub(1, std::memory_order_relaxed);
         stolen_.fetch_add(1, std::memory_order_relaxed);
         if (obs::enabled())
@@ -241,10 +248,10 @@ Executor::runTask(Task &task)
 }
 
 bool
-Executor::tryRunOne()
+Executor::tryRunOne(const void *only_tag)
 {
     Task task;
-    if (!stealTask(&task))
+    if (!stealTask(&task, only_tag))
         return false;
     runTask(task);
     return true;
@@ -291,6 +298,7 @@ TaskGroup::submit(std::function<void()> fn)
 {
     pending_.fetch_add(1, std::memory_order_acq_rel);
     Executor::Task task;
+    task.tag = this;
     task.fn = [this, fn = std::move(fn)] {
         if (!cancelled()) {
             ScopedDeadline scope(deadline_);
@@ -337,16 +345,21 @@ TaskGroup::wait()
             if (pending_.load(std::memory_order_acquire) == 0)
                 return;
         }
-        // Help: run anyone's queued task — our own tasks finish
-        // sooner, and a nested group on a one-thread pool cannot
-        // deadlock waiting for a worker that is running *us*.
-        if (executor_.tryRunOne())
+        // Help: run one of OUR OWN queued tasks — they finish sooner,
+        // and a nested group on a one-thread pool cannot deadlock
+        // waiting for a worker that is running *us*. Never a foreign
+        // task: waiters hold locks (a view entry's builder mutex
+        // across the rebuild's fan-out), so a stolen foreign task
+        // could re-lock a mutex this thread already owns or entangle
+        // two waiters in a lock cycle — and its unknown cost would
+        // bound this request's latency by another request's work.
+        if (executor_.tryRunOne(this))
             continue;
         std::unique_lock<std::mutex> lock(mutex_);
         if (pending_.load(std::memory_order_acquire) == 0)
             return;
-        // Timed wait only as a belt against our remaining tasks being
-        // mid-run on workers while new helpable work arrives.
+        // Our remaining tasks are mid-run on workers (or queued behind
+        // foreign work we must not run): timed wait, re-poll.
         cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
 }

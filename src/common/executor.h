@@ -29,11 +29,17 @@
  *    store's own queue limits instead of hiding behind them.
  *
  *  - **Nested-submit safety.** TaskGroup::wait() *helps*: while its
- *    tasks are outstanding it runs queued tasks (its own or anyone
- *    else's) on the waiting thread. A pool task may therefore fan out
- *    a nested group and wait on it without deadlock even on a
- *    one-thread pool — the federated path does exactly this (a leg on
- *    the pool runs a cold rebuild whose merge fans out again).
+ *    tasks are outstanding it runs queued tasks of that group on the
+ *    waiting thread. A pool task may therefore fan out a nested group
+ *    and wait on it without deadlock even on a one-thread pool — the
+ *    federated path does exactly this (a leg on the pool runs a cold
+ *    rebuild whose merge fans out again). Helping is restricted to
+ *    the waiter's OWN group: waiters routinely hold locks (a view
+ *    entry's builder mutex across a rebuild's fan-out), so running an
+ *    arbitrary queued task could re-lock a mutex the waiting thread
+ *    already owns, or form a lock cycle between two waiters helping
+ *    each other's work — and a foreign task of unknown cost would
+ *    stretch this request's tail by another request's work.
  *
  *  - **Deadline/cancellation propagation.** Pool workers never inherit
  *    the submitter's thread-local ScopedDeadline, so TaskGroup
@@ -116,10 +122,13 @@ class Executor
     void submit(std::function<void()> fn);
 
     /**
-     * Pop-and-run one queued task on the calling thread.
-     * @return Whether a task was run (false = every queue was empty).
+     * Pop-and-run one queued task on the calling thread. With
+     * @p only_tag set, only a task carrying that tag (a TaskGroup
+     * helping its own work) is taken; untagged callers (drains) take
+     * anything.
+     * @return Whether a task was run (false = nothing eligible).
      */
-    bool tryRunOne();
+    bool tryRunOne(const void *only_tag = nullptr);
 
     Stats stats() const;
 
@@ -129,6 +138,11 @@ class Executor
     struct Task {
         std::function<void()> fn;
         std::uint64_t enqueue_ns = 0; ///< For exec.wait_us (0 = unset).
+        /// Owning TaskGroup (null for detached submits). Compared —
+        /// never dereferenced — by tryRunOne, so a waiter helps only
+        /// its own group; valid while queued because a group outlives
+        /// its tasks (wait() before scope exit).
+        const void *tag = nullptr;
     };
 
     /// One worker's deque. Owner pushes/pops the back; thieves take
@@ -144,8 +158,9 @@ class Executor
     bool trySubmit(Task &task);
     /// Pop for worker @p self: own back first, then steal fronts.
     bool popTask(std::size_t self, Task *out);
-    /// Steal from any queue (helping waiters; no home queue).
-    bool stealTask(Task *out);
+    /// Steal from any queue (helping waiters; no home queue). With
+    /// @p only_tag set, only a matching task is taken.
+    bool stealTask(Task *out, const void *only_tag);
     void runTask(Task &task);
     void workerLoop(std::size_t index);
 
@@ -174,9 +189,10 @@ class Executor
  * an explicit one); every task body runs under that deadline on the
  * pool thread. cancel() — or the deadline expiring — makes tasks that
  * have not started yet skip their bodies, so an abandoned fan-out
- * unwinds within one task's worth of work. wait() helps execute
- * queued tasks, which makes nested fan-outs deadlock-free (see file
- * comment) and lets the submitting thread contribute a core.
+ * unwinds within one task's worth of work. wait() helps execute the
+ * group's own queued tasks — never another group's (see file
+ * comment) — which makes nested fan-outs deadlock-free and lets the
+ * submitting thread contribute a core.
  *
  * The group must outlive its tasks: wait() (or the destructor, which
  * waits) before the group leaves scope.
@@ -214,9 +230,9 @@ class TaskGroup
     const Deadline &deadline() const { return deadline_; }
 
     /**
-     * Block until every submitted task finished, running queued pool
-     * tasks on this thread while waiting. Reusable: the group is empty
-     * afterwards and may submit again.
+     * Block until every submitted task finished, running this group's
+     * still-queued tasks on this thread while waiting. Reusable: the
+     * group is empty afterwards and may submit again.
      */
     void wait();
 

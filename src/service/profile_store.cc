@@ -102,7 +102,11 @@ ProfileStore::ProfileStore(Options options)
     executor_ = options.executor != nullptr
                     ? options.executor
                     : &common::Executor::global();
-    worker_limit_ = common::Executor::resolveThreads(options.workers);
+    // Default the drain width to the pool actually configured, not
+    // hardware_concurrency: a narrow private executor must not be
+    // handed more concurrent drains than it has threads to run them.
+    worker_limit_ = options.workers > 0 ? options.workers
+                                        : executor_->threads();
     if (log_ != nullptr)
         reattach_thread_ = std::thread([this] { reattachLoop(); });
 }

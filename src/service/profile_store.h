@@ -142,7 +142,8 @@ class ProfileStore
   public:
     struct Options {
         /// Concurrent executor drain tasks processing the ingestion
-        /// queue; 0 = one per available hardware thread (at least 1).
+        /// queue; 0 = one per thread of the executor the drains run
+        /// on (Options::executor, or the global pool).
         std::size_t workers = 0;
         /// Pool the drain tasks run on; null = Executor::global().
         common::Executor *executor = nullptr;

@@ -533,10 +533,10 @@ WarehouseManager::federatedTopKernels(
     // aggregates by *name* into a private map — each corpus's view
     // keys kernels by its own table's interned ids, which do not
     // unify across stores, so the string is the only cross-corpus
-    // identity. Legs skipped at an expired deadline leave done=false.
+    // identity. Legs skipped at an expired deadline set expired; the
+    // gather also re-checks the group for bodies skipped wholesale.
     struct Leg {
         std::map<std::string, KernelAggregate> by_name;
-        bool done = false;
         bool expired = false;
     };
     std::vector<Leg> legs(handles.size());
@@ -551,7 +551,6 @@ WarehouseManager::federatedTopKernels(
                 legs[i].expired = true;
                 return;
             }
-            legs[i].done = true;
             const int metric_id = view->db->metrics().find(metric);
             if (metric_id < 0)
                 return; // corpus never recorded this metric

@@ -2,8 +2,9 @@
  * @file
  * Shared work-stealing executor tests: completion and accounting,
  * inline overflow shedding, TaskGroup deadline capture/propagation,
- * cancellation, nested-submit safety on a one-thread pool, and the
- * multi-producer stress the TSan CI job leans on.
+ * cancellation, nested-submit safety on a one-thread pool, the
+ * own-group-only helping rule lock-holding waiters depend on, and
+ * the multi-producer stress the TSan CI job leans on.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -172,6 +174,53 @@ TEST(Executor, NestedGroupOnOneThreadPoolDoesNotDeadlock)
     }
     outer.wait();
     EXPECT_EQ(inner_ran.load(), 16);
+}
+
+TEST(Executor, GroupWaitHelpsOnlyItsOwnTasks)
+{
+    // Waiters hold locks: CorpusView::acquire keeps the entry builder
+    // mutex across its rebuild group's wait(). If wait() helped with
+    // an arbitrary queued task, it could run a foreign task that
+    // locks a mutex the waiting thread already holds — re-locking it
+    // on the same thread (UB / permanent hang). Reproduce exactly
+    // that shape and require wait() to leave the foreign task alone.
+    Executor executor({.threads = 1});
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    std::atomic<bool> worker_busy{false};
+    executor.submit([&worker_busy, gate] {
+        worker_busy = true;
+        gate.wait();
+    });
+    while (!worker_busy.load())
+        std::this_thread::yield();
+
+    std::mutex held; // the "entry mutex" the waiter holds
+    std::atomic<int> foreign_ran{0};
+    std::unique_lock<std::mutex> waiter_lock(held);
+    executor.submit([&held, &foreign_ran] { // foreign: wants `held`
+        std::lock_guard<std::mutex> lock(held);
+        ++foreign_ran;
+    });
+
+    std::atomic<int> own_ran{0};
+    TaskGroup group(executor);
+    for (int i = 0; i < 4; ++i)
+        group.submit([&own_ran] { ++own_ran; });
+    group.wait(); // worker is parked: the waiter must run these, and
+                  // ONLY these — stealing the foreign task deadlocks
+    EXPECT_EQ(own_ran.load(), 4);
+    EXPECT_EQ(foreign_ran.load(), 0); // still queued, untouched
+
+    waiter_lock.unlock();
+    release.set_value();
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (foreign_ran.load() < 1 &&
+           std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::yield();
+    }
+    EXPECT_EQ(foreign_ran.load(), 1); // a pool worker ran it
 }
 
 TEST(Executor, StressManyProducersManyGroups)
